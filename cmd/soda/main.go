@@ -1,0 +1,161 @@
+// Command soda is an interactive keyword-search shell over one of the
+// bundled worlds — the Google-like experience of the paper's §1.2: type
+// keywords and operators, get ranked SQL with result snippets.
+//
+// Usage:
+//
+//	soda                      # interactive shell on the mini-bank
+//	soda -world warehouse     # the Table-1-scale synthetic warehouse
+//	soda -q "wealthy customers"   # one-shot query
+//	soda -q "..." -explain    # print the full pipeline trace
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"soda"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("soda: ")
+	worldName := flag.String("world", "minibank", "world to search: minibank or warehouse")
+	query := flag.String("q", "", "one-shot query (otherwise interactive)")
+	explain := flag.Bool("explain", false, "print the pipeline trace for each query")
+	topN := flag.Int("top", 10, "number of ranked statements to keep")
+	flag.Parse()
+
+	var world *soda.World
+	switch *worldName {
+	case "minibank":
+		world = soda.MiniBank()
+	case "warehouse":
+		world = soda.Warehouse(soda.WarehouseConfig{})
+	default:
+		log.Fatalf("unknown world %q (want minibank or warehouse)", *worldName)
+	}
+	sys := soda.NewSystem(world, soda.Options{TopN: *topN})
+
+	if *query != "" {
+		run(sys, *query, *explain)
+		return
+	}
+
+	fmt.Printf("SODA search over the %s world (%d tables). Type keywords, or 'quit'.\n",
+		world.Name(), len(world.TableNames()))
+	fmt.Println(`examples:
+  customers Zürich financial instruments
+  wealthy customers
+  salary >= 100000 and birth date = date(1981-04-23)
+  sum (amount) group by (transaction date)
+commands: like N | dislike N    relevance feedback on result N
+          browse TABLE          schema browser (§5.3.2)
+          quit`)
+	scanner := bufio.NewScanner(os.Stdin)
+	var last *soda.Answer
+	for {
+		fmt.Print("soda> ")
+		if !scanner.Scan() {
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case line == "quit" || line == "exit":
+			return
+		case strings.HasPrefix(line, "like ") || strings.HasPrefix(line, "dislike "):
+			feedback(last, line)
+		case strings.HasPrefix(line, "browse "):
+			browse(sys, strings.TrimSpace(strings.TrimPrefix(line, "browse ")))
+		default:
+			last = run(sys, line, *explain)
+		}
+	}
+}
+
+// feedback applies "like N"/"dislike N" to the last answer.
+func feedback(last *soda.Answer, line string) {
+	if last == nil {
+		fmt.Println("no previous results to rate")
+		return
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		fmt.Println("usage: like N | dislike N")
+		return
+	}
+	n := 0
+	fmt.Sscanf(fields[1], "%d", &n)
+	if n < 1 || n > len(last.Results) {
+		fmt.Printf("result number must be 1..%d\n", len(last.Results))
+		return
+	}
+	if fields[0] == "like" {
+		last.Results[n-1].Like()
+		fmt.Printf("liked result %d; future rankings will prefer its interpretation\n", n)
+	} else {
+		last.Results[n-1].Dislike()
+		fmt.Printf("disliked result %d; future rankings will avoid its interpretation\n", n)
+	}
+}
+
+// browse prints the schema-browser view of a table.
+func browse(sys *soda.System, table string) {
+	info, err := sys.Browse(table)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	fmt.Printf("table %s\n", info.Name)
+	for _, c := range info.Columns {
+		fmt.Printf("  column %-20s %s\n", c.Name, c.Type)
+	}
+	if info.InheritanceParent != "" {
+		fmt.Printf("  inheritance parent: %s\n", info.InheritanceParent)
+	}
+	if len(info.InheritanceChildren) > 0 {
+		fmt.Printf("  inheritance children: %s\n", strings.Join(info.InheritanceChildren, ", "))
+	}
+	for _, r := range info.Related {
+		fmt.Printf("  related: %-24s via %s\n", r.Table, r.Join)
+	}
+	if len(info.Labels) > 0 {
+		fmt.Printf("  business terms: %s\n", strings.Join(info.Labels, ", "))
+	}
+}
+
+func run(sys *soda.System, query string, explain bool) *soda.Answer {
+	ans, err := sys.Search(query)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return nil
+	}
+	if explain {
+		fmt.Println(ans.Explain())
+		return ans
+	}
+	fmt.Printf("%d result(s), query complexity %d\n", len(ans.Results), ans.Complexity)
+	if len(ans.Ignored) > 0 {
+		fmt.Printf("ignored: %s\n", strings.Join(ans.Ignored, ", "))
+	}
+	for i, r := range ans.Results {
+		fmt.Printf("\n[%d] score %.2f\n%s\n", i+1, r.Score, r.SQL)
+		if r.Disconnected {
+			fmt.Println("(warning: entry points not fully connected — cross product)")
+		}
+		snippet, err := r.Snippet()
+		if err != nil {
+			fmt.Printf("execution error: %v\n", err)
+			continue
+		}
+		fmt.Printf("-- snippet (%d rows) --\n%s", snippet.NumRows(), snippet)
+	}
+	return ans
+}

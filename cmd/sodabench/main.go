@@ -1,0 +1,88 @@
+// Command sodabench regenerates the paper's tables and figures from the
+// synthetic worlds.
+//
+// Usage:
+//
+//	sodabench                 # everything
+//	sodabench -table 3        # one table (1-5)
+//	sodabench -figure 5       # one figure (5-10)
+//	sodabench -ablations      # the design-choice ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"soda/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sodabench: ")
+	table := flag.Int("table", 0, "regenerate one table (1-5)")
+	figure := flag.Int("figure", 0, "regenerate one figure (5-10)")
+	ablations := flag.Bool("ablations", false, "run the ablation experiments")
+	flag.Parse()
+
+	env := bench.NewEnv()
+	all := *table == 0 && *figure == 0 && !*ablations
+
+	out := func(s string, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(s)
+	}
+
+	if all || *table == 1 {
+		fmt.Println(env.RenderTable1())
+	}
+	if all || *table == 2 {
+		fmt.Println(env.RenderTable2())
+	}
+	if all || *table == 3 {
+		s, err := env.RenderTable3()
+		out(s, err)
+	}
+	if all || *table == 4 {
+		s, err := env.RenderTable4()
+		out(s, err)
+	}
+	if all || *table == 5 {
+		s, err := env.RenderTable5()
+		out(s, err)
+	}
+	if *table < 0 || *table > 5 {
+		log.Fatalf("no table %d", *table)
+	}
+
+	if all || *figure == 5 {
+		s, err := env.RenderFigure5()
+		out(s, err)
+	}
+	if all || *figure == 6 {
+		s, err := env.RenderFigure6()
+		out(s, err)
+	}
+	if all || *figure == 7 || *figure == 8 {
+		fmt.Println(env.RenderFigures7And8())
+	}
+	if all || *figure == 9 {
+		s, err := env.RenderFigure9()
+		out(s, err)
+	}
+	if all || *figure == 10 {
+		s, err := env.RenderFigure10()
+		out(s, err)
+	}
+	if *figure != 0 && (*figure < 5 || *figure > 10) {
+		fmt.Fprintf(os.Stderr, "figures 1-4 are architecture diagrams; see README.md and cmd/sodagen\n")
+	}
+
+	if all || *ablations {
+		s, err := env.RenderAblations()
+		out(s, err)
+	}
+}

@@ -1,0 +1,83 @@
+package soda_test
+
+import (
+	"fmt"
+
+	"soda"
+)
+
+// The paper's Query 1 (§4.4.1): plain keywords become a join across the
+// inheritance structure with the filters in place.
+func ExampleSystem_Search() {
+	sys := soda.NewSystem(soda.MiniBank(), soda.Options{})
+	ans, err := sys.Search("Sara Guttinger")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ans.Results[0].SQL)
+	// Output:
+	// SELECT *
+	// FROM individuals, parties
+	// WHERE individuals.id = parties.id AND individuals.firstname = 'Sara' AND individuals.lastname = 'Guttinger'
+}
+
+// Metadata-defined filters (§1.2): "wealthy customers" expands to the
+// salary threshold stored in the domain ontology.
+func ExampleSystem_Search_metadataFilter() {
+	sys := soda.NewSystem(soda.MiniBank(), soda.Options{})
+	ans, err := sys.Search("wealthy customers")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ans.Results[0].SQL)
+	// Output:
+	// SELECT *
+	// FROM individuals, parties
+	// WHERE individuals.id = parties.id AND individuals.salary >= 1000000
+}
+
+// The paper's Query 3 (§4.4.2): aggregation with explicit grouping. The
+// business term "transaction date" resolves to the cryptic physical
+// column trade_dt through the logical layer (§6.2).
+func ExampleSystem_Search_aggregation() {
+	sys := soda.NewSystem(soda.MiniBank(), soda.Options{})
+	ans, err := sys.Search("sum (amount) group by (transaction date)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ans.Results[0].SQL)
+	// Output:
+	// SELECT transactions.trade_dt, sum(fi_transactions.amount)
+	// FROM fi_transactions, transactions, parties
+	// WHERE fi_transactions.id = transactions.id AND transactions.fromparty = parties.id
+	// GROUP BY transactions.trade_dt
+}
+
+// Figure 5: the classification of the paper's running-example query —
+// one ontology hit, one base-data hit, and an ambiguous schema term give
+// complexity 1 x 1 x 2 = 2.
+func ExampleSystem_Search_classification() {
+	sys := soda.NewSystem(soda.MiniBank(), soda.Options{})
+	ans, err := sys.Search("customers Zürich financial instruments")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("terms:", ans.Terms)
+	fmt.Println("complexity:", ans.Complexity)
+	fmt.Println("results:", len(ans.Results))
+	// Output:
+	// terms: [customers Zürich financial instruments]
+	// complexity: 2
+	// results: 2
+}
+
+// ParseQuery exposes the §4.3 input grammar.
+func ExampleParseQuery() {
+	q, err := soda.ParseQuery("top 10 trading volume customer")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q.TopN, q.Keywords())
+	// Output:
+	// 10 [trading volume customer]
+}

@@ -1,0 +1,113 @@
+// Exploration demonstrates the usage scenarios reported by the paper's
+// §5.3.2 feedback sessions beyond plain search:
+//
+//  1. finding data items spread across tables one was not aware of (the
+//     inverted-index fans);
+//  2. using SODA as an exploratory tool to learn which entities relate to
+//     which (the schema-browser group);
+//  3. letting SODA discover join conditions and then refining the SQL by
+//     hand (the "give me tables X, Y, Z" group).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"soda"
+)
+
+func main() {
+	world := soda.Warehouse(soda.WarehouseConfig{})
+	sys := soda.NewSystem(world, soda.Options{})
+
+	// Scenario 1: where does "Sara" live in this warehouse? The inverted
+	// index reveals occurrences across tables the analyst did not expect
+	// (name history, an organization, a fund).
+	fmt.Println("=== scenario 1: find data items spread across tables ===")
+	ans, err := sys.Search("Sara")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%q appears in %d interpretation(s):\n", "Sara", len(ans.Results))
+	for _, r := range ans.Results {
+		fmt.Printf("  FROM %v\n", r.FromTables)
+	}
+
+	// Scenario 2: which entities relate to trade orders? Searching the
+	// business term and reading the discovered tables and joins teaches
+	// the schema.
+	fmt.Println("\n=== scenario 2: learn the schema around a business term ===")
+	ans, err = sys.Search("YEN trade order")
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := ans.Results[0]
+	fmt.Printf("tables-step discovery: %v\n", best.Tables)
+	fmt.Println("join conditions SODA found:")
+	for _, j := range best.Joins {
+		fmt.Printf("  %s\n", j)
+	}
+
+	// Scenario 3: take SODA's generated statement as a starting point and
+	// refine it by hand — here narrowing the generated YEN trade query to
+	// large orders.
+	fmt.Println("\n=== scenario 3: refine generated SQL by hand ===")
+	fmt.Printf("generated:\n%s\n", best.SQL)
+	refined := best.SQL + "\n"
+	refined = "SELECT order_td.id, order_td.investment_amt\n" +
+		refined[len("SELECT *\n"):] // keep FROM/WHERE, project explicitly
+	refined += " AND order_td.investment_amt > 90000"
+	fmt.Printf("\nrefined by the analyst:\n%s\n", refined)
+	rows, err := sys.ExecuteSQL(refined)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d large YEN trades:\n%s", rows.NumRows(), rows)
+
+	// Scenario 2b: the schema browser itself (§5.3.2's "SODA schema
+	// browser" that users "dive deeper" with).
+	fmt.Println("\n=== scenario 2b: the schema browser ===")
+	info, err := sys.Browse("individual_td")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("table %s (inheritance parent: %s)\n", info.Name, info.InheritanceParent)
+	for _, c := range info.Columns {
+		fmt.Printf("  %-16s %s\n", c.Name, c.Type)
+	}
+	fmt.Printf("business terms reaching it: %v\n", info.Labels)
+	for _, r := range info.Related {
+		fmt.Printf("  joins %s via %s\n", r.Table, r.Join)
+	}
+
+	// Scenario 4: relevance feedback (§6.3) — teach the ranking that the
+	// organization interpretation of "Sara" is the interesting one.
+	fmt.Println("\n=== scenario 4: relevance feedback ===")
+	ans, err = sys.Search("Sara")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before feedback, best interpretation: %v\n", ans.Results[0].FromTables)
+	for i, r := range ans.Results {
+		for _, tbl := range r.FromTables {
+			if tbl == "individual_name_hist" {
+				for k := 0; k < 4; k++ {
+					ans.Results[i].Like()
+				}
+			}
+		}
+	}
+	ans, err = sys.Search("Sara")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after liking the name-history result: %v\n", ans.Results[0].FromTables)
+
+	// Bonus: the engine's EXPLAIN for the refined statement.
+	fmt.Println("\n=== engine plan for the refined statement ===")
+	plan, err := sys.ExplainSQL(refined)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan)
+}

@@ -1,0 +1,84 @@
+// Minibank walks through the paper's worked examples on the running
+// example world: the Figure 5 classification, the Figure 6 tables step,
+// and the four SODA-vs-SQL pairs of §4.4 (Query 1: Sara Guttinger;
+// Query 2: salary and birthday operators; Query 3: aggregation with
+// grouping; Query 4: organizations ranked by trading volume).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"soda"
+)
+
+func main() {
+	sys := soda.NewSystem(soda.MiniBank(), soda.Options{})
+
+	// ---- Figures 5 and 6: classification and tables step.
+	fmt.Println("==================================================================")
+	fmt.Println("Figures 5/6: customers Zürich financial instruments")
+	fmt.Println("==================================================================")
+	ans := search(sys, "customers Zürich financial instruments")
+	fmt.Println(ans.Explain())
+
+	// ---- Query 1 (§4.4.1): keyword pattern example.
+	fmt.Println("==================================================================")
+	fmt.Println("Query 1: Sara Guttinger")
+	fmt.Println("==================================================================")
+	show(sys, "Sara Guttinger")
+
+	// ---- Query 2 (§4.4.1): comparison operators and date().
+	fmt.Println("==================================================================")
+	fmt.Println("Query 2: salary >= 90000 and birth date = date(1981-04-23)")
+	fmt.Println("==================================================================")
+	show(sys, "salary >= 90000 and birth date = date(1981-04-23)")
+
+	// ---- Query 3 (§4.4.2): aggregation pattern example.
+	fmt.Println("==================================================================")
+	fmt.Println("Query 3: sum (amount) group by (transaction date)")
+	fmt.Println("==================================================================")
+	show(sys, "sum (amount) group by (transaction date)")
+
+	// ---- Query 4 (§4.4.2): organizations ranked by trading volume.
+	fmt.Println("==================================================================")
+	fmt.Println("Query 4: top 10 count (transactions) group by (company name)")
+	fmt.Println("==================================================================")
+	show(sys, "top 10 count (transactions) group by (company name)")
+
+	// ---- The metadata-defined filter of §1.2 ("wealthy customer ...
+	// defined by, say, the salary of a customer").
+	fmt.Println("==================================================================")
+	fmt.Println("Metadata filter: wealthy customers")
+	fmt.Println("==================================================================")
+	show(sys, "wealthy customers")
+}
+
+func search(sys *soda.System, q string) *soda.Answer {
+	ans, err := sys.Search(q)
+	if err != nil {
+		log.Fatalf("search %q: %v", q, err)
+	}
+	return ans
+}
+
+func show(sys *soda.System, q string) {
+	ans := search(sys, q)
+	if len(ans.Results) == 0 {
+		fmt.Println("(no results)")
+		return
+	}
+	best := ans.Results[0]
+	fmt.Printf("SODA: %s\nSQL:\n%s\n", q, best.SQL)
+	snippet, err := best.Snippet()
+	if err != nil {
+		log.Fatal(err)
+	}
+	limit := snippet.NumRows()
+	if limit > 5 {
+		limit = 5
+	}
+	fmt.Printf("first %d of %d snippet rows:\n", limit, snippet.NumRows())
+	trimmed := &soda.Rows{Columns: snippet.Columns, Values: snippet.Values[:limit]}
+	fmt.Println(trimmed)
+}

@@ -1,0 +1,34 @@
+// Quickstart: search the mini-bank world the way the paper's §1.2
+// describes — type keywords, get ranked executable SQL with snippets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"soda"
+)
+
+func main() {
+	// The running example of the paper (§2): a mini-bank with customers
+	// that buy and sell financial instruments.
+	world := soda.MiniBank()
+	sys := soda.NewSystem(world, soda.Options{})
+
+	// "Show me all my wealthy customers who live in Zurich" (§1.1) in
+	// SODA's input language.
+	ans, err := sys.Search("wealthy customers Zürich")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query complexity: %d, %d result(s)\n\n", ans.Complexity, len(ans.Results))
+	for i, r := range ans.Results {
+		fmt.Printf("=== result %d (score %.2f) ===\n%s\n\n", i+1, r.Score, r.SQL)
+		snippet, err := r.Snippet()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snippet (%d rows):\n%s\n", snippet.NumRows(), snippet)
+	}
+}

@@ -1,0 +1,117 @@
+package baseline
+
+import (
+	"strings"
+
+	"soda/internal/invidx"
+	"soda/internal/metagraph"
+	"soda/internal/sqlast"
+)
+
+// Banks reimplements the matching strategy of BANKS (Bhalotia et al.,
+// ICDE 2002): the database is a graph of tuples connected by foreign
+// keys; answers are connection trees (approximate Steiner trees) covering
+// all keywords. BANKS also matches *metadata* names — a keyword equal to
+// a table or column name matches that schema node — which is why Table 5
+// credits it with schema support. Graph search tolerates cycles, unlike
+// DBExplorer/DISCOVER. Published gaps reproduced: no inheritance
+// treatment, no domain ontology, no predicates, no aggregates.
+type Banks struct {
+	db    *schema
+	index *invidx.Index
+}
+
+// NewBanks builds the system.
+func NewBanks(meta *metagraph.Graph, index *invidx.Index) *Banks {
+	return &Banks{db: extractSchema(meta), index: index}
+}
+
+// Name implements System.
+func (b *Banks) Name() string { return "BANKS" }
+
+// bankMatch is a keyword anchored to either a table (schema match) or a
+// column hit (data match).
+type bankMatch struct {
+	table  string
+	filter sqlast.Expr // nil for pure schema matches
+}
+
+// Search implements System.
+func (b *Banks) Search(input string) ([]*sqlast.Select, error) {
+	if hasAggregateSyntax(input) {
+		return nil, unsupported(b.Name(), "aggregation is not expressible as a connection tree")
+	}
+	if hasOperatorSyntax(input) {
+		return nil, unsupported(b.Name(), "predicates are not supported")
+	}
+	keywords := keywordsOf(input)
+	if len(keywords) == 0 {
+		return nil, unsupported(b.Name(), "no keywords")
+	}
+
+	var matches []bankMatch
+	for _, kw := range keywords {
+		m, ok := b.match(kw)
+		if !ok {
+			return nil, unsupported(b.Name(), "keyword "+kw+" matches neither data nor schema names")
+		}
+		matches = append(matches, m)
+	}
+
+	// Connect the anchored tables with a BFS-grown connection tree
+	// (backward expanding search, approximated).
+	tables := []string{matches[0].table}
+	var joins []fkEdge
+	var filters []sqlast.Expr
+	if matches[0].filter != nil {
+		filters = append(filters, matches[0].filter)
+	}
+	for _, m := range matches[1:] {
+		if m.filter != nil {
+			filters = append(filters, m.filter)
+		}
+		path, ok := b.db.connect(tables[0], m.table)
+		if !ok {
+			return nil, unsupported(b.Name(), "no connection tree covers all keywords")
+		}
+		joins = append(joins, path...)
+		tables = append(tables, m.table)
+	}
+	return []*sqlast.Select{starSelect(tables, joins, filters)}, nil
+}
+
+// match anchors one keyword: first to schema names (table, then column),
+// then to base data.
+func (b *Banks) match(kw string) (bankMatch, bool) {
+	for _, t := range b.db.tables {
+		if matchesName(t, kw) {
+			return bankMatch{table: t}, true
+		}
+	}
+	for _, t := range b.db.tables {
+		for _, c := range b.db.columns[t] {
+			if matchesName(c, kw) {
+				return bankMatch{table: t}, true
+			}
+		}
+	}
+	hits := b.index.Hits(kw)
+	if len(hits) > 0 {
+		return bankMatch{table: hits[0].Table, filter: hitFilter(hits[0], kw)}, true
+	}
+	return bankMatch{}, false
+}
+
+// matchesName compares a keyword against a physical identifier, treating
+// underscores as separators ("order" matches "order_td").
+func matchesName(name, kw string) bool {
+	if name == kw {
+		return true
+	}
+	for _, part := range strings.Split(name, "_") {
+		if part == kw {
+			return true
+		}
+	}
+	return false
+}

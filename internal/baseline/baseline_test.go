@@ -1,0 +1,307 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"soda/internal/core"
+	"soda/internal/eval"
+	"soda/internal/warehouse"
+)
+
+var (
+	world = warehouse.Build(warehouse.Default())
+	sys   = core.NewSystem(world.DB, world.Meta, world.Index, core.Options{})
+)
+
+func allSystems() []System {
+	return []System{
+		NewDBExplorer(world.Meta, world.Index),
+		NewDiscover(world.Meta, world.Index),
+		NewBanks(world.Meta, world.Index),
+		NewSqak(world.Meta),
+		NewKeymantic(world.Meta),
+		&SODAAdapter{Sys: sys},
+	}
+}
+
+func TestSchemaExtraction(t *testing.T) {
+	s := extractSchema(world.Meta)
+	if len(s.tables) != 472 {
+		t.Fatalf("schema tables = %d, want 472", len(s.tables))
+	}
+	if len(s.edges) == 0 {
+		t.Fatal("no FK edges extracted")
+	}
+	if !s.cyclic {
+		t.Fatal("the warehouse schema must be cyclic (employment bridge)")
+	}
+}
+
+func TestSchemaConnect(t *testing.T) {
+	s := extractSchema(world.Meta)
+	path, ok := s.connect("trade_order_td", "curr_td")
+	if !ok || len(path) != 2 {
+		t.Fatalf("trade_order→curr path = %v, %v (want 2 edges via order_td)", path, ok)
+	}
+	if _, ok := s.connect("party_td", "party_td"); !ok {
+		t.Fatal("self connect should be trivially true")
+	}
+	if _, ok := s.connect("party_td", "nonexistent"); ok {
+		t.Fatal("connect to missing table should fail")
+	}
+}
+
+func TestDBExplorerRejectsAggregatesAndPredicates(t *testing.T) {
+	d := NewDBExplorer(world.Meta, world.Index)
+	for _, q := range []string{
+		"sum (investments) group by (currency)",
+		"trade order period > date(2011-09-01)",
+		"select count() private customers Switzerland",
+	} {
+		if _, err := d.Search(q); err == nil {
+			t.Errorf("DBExplorer should reject %q", q)
+		}
+	}
+}
+
+func TestDBExplorerRejectsMetadataKeywords(t *testing.T) {
+	d := NewDBExplorer(world.Meta, world.Index)
+	// "customers" is an ontology term, not base data.
+	if _, err := d.Search("customers"); err == nil {
+		t.Error("DBExplorer has no metadata matching; 'customers' should fail")
+	}
+}
+
+func TestDBExplorerFindsCreditSuisse(t *testing.T) {
+	d := NewDBExplorer(world.Meta, world.Index)
+	sels, err := d.Search("Credit Suisse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sels) == 0 {
+		t.Fatal("no statements")
+	}
+	results, err := execAll(world.DB, sels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range results {
+		if r.NumRows() > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no result rows for Credit Suisse")
+	}
+}
+
+func TestDiscoverEnumeratesInterpretations(t *testing.T) {
+	d := NewDiscover(world.Meta, world.Index)
+	sels, err := d.Search("Credit Suisse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sels) < 2 {
+		t.Fatalf("DISCOVER interpretations = %d, want >= 2 (org + agreement)", len(sels))
+	}
+}
+
+func TestBanksMatchesSchemaNames(t *testing.T) {
+	b := NewBanks(world.Meta, world.Index)
+	sels, err := b.Search("YEN trade order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sels) != 1 {
+		t.Fatalf("statements = %d", len(sels))
+	}
+	sql := sels[0].String()
+	if !strings.Contains(sql, "trade_order_td") || !strings.Contains(sql, "curr_td") {
+		t.Fatalf("BANKS should join matched tables:\n%s", sql)
+	}
+	if _, err := b.Search("sum (investments) group by (currency)"); err == nil {
+		t.Error("BANKS should reject aggregates")
+	}
+}
+
+func TestSqakAggregatesOnly(t *testing.T) {
+	s := NewSqak(world.Meta)
+	if _, err := s.Search("Credit Suisse"); err == nil {
+		t.Error("SQAK must reject plain keyword queries")
+	}
+	sels, err := s.Search("sum (investments) group by (currency)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := sels[0].String()
+	if !strings.Contains(sql, "sum(order_td.investment_amt)") {
+		t.Fatalf("SQAK sum resolution:\n%s", sql)
+	}
+	if !strings.Contains(sql, "GROUP BY curr_td.currency_cd") {
+		t.Fatalf("SQAK group-by resolution:\n%s", sql)
+	}
+	res, err := execAll(world.DB, sels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].NumRows() == 0 {
+		t.Fatal("SQAK aggregate returned nothing")
+	}
+}
+
+func TestSqakRejectsOntologyTerms(t *testing.T) {
+	s := NewSqak(world.Meta)
+	// "private customers" is an ontology concept, invisible to SQAK.
+	if _, err := s.Search("count (private customers)"); err == nil {
+		t.Error("SQAK should fail on ontology-only terms")
+	}
+}
+
+func TestKeymanticMetadataOnly(t *testing.T) {
+	k := NewKeymantic(world.Meta)
+	// Schema term: fine.
+	sels, err := k.Search("customers names")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sels) == 0 {
+		t.Fatal("Keymantic should assign schema terms")
+	}
+	// Aggregates rejected.
+	if _, err := k.Search("sum (investments) group by (currency)"); err == nil {
+		t.Error("Keymantic should reject aggregates")
+	}
+}
+
+func TestKeymanticSynonymSupport(t *testing.T) {
+	k := NewKeymantic(world.Meta)
+	// "client" is a DBpedia synonym — Keymantic sees metadata labels.
+	sels, err := k.Search("client")
+	if err != nil {
+		t.Fatalf("Keymantic should resolve synonyms: %v", err)
+	}
+	if len(sels) == 0 {
+		t.Fatal("no statements")
+	}
+}
+
+func TestSODAAdapterRoundTrips(t *testing.T) {
+	a := &SODAAdapter{Sys: sys}
+	sels, err := a.Search("private customers family name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sels) == 0 {
+		t.Fatal("no statements from SODA adapter")
+	}
+}
+
+func TestBuildMatrixShape(t *testing.T) {
+	m, err := BuildMatrix(world.DB, allSystems(), eval.Corpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Systems) != 6 || len(m.Types) != 6 {
+		t.Fatalf("matrix = %d systems × %d types", len(m.Systems), len(m.Types))
+	}
+
+	get := func(sysName string, qt eval.QueryType) Support {
+		return m.Cells[sysName][qt].Support
+	}
+
+	// SODA supports every query type (the paper's last column).
+	for _, qt := range m.Types {
+		if get("SODA", qt) != SupportYes {
+			t.Errorf("SODA support for %s = %v, want X", qt, get("SODA", qt))
+		}
+	}
+	// Only SODA handles predicates.
+	for _, s := range []string{"DBExplorer", "DISCOVER", "BANKS", "SQAK", "Keymantic"} {
+		if get(s, eval.TypePredicate) != SupportNo {
+			t.Errorf("%s predicates = %v, want NO", s, get(s, eval.TypePredicate))
+		}
+	}
+	// Aggregates: SQAK and SODA only.
+	if get("SQAK", eval.TypeAggregate) == SupportNo {
+		t.Error("SQAK should support aggregates")
+	}
+	for _, s := range []string{"DBExplorer", "DISCOVER", "BANKS", "Keymantic"} {
+		if get(s, eval.TypeAggregate) != SupportNo {
+			t.Errorf("%s aggregates = %v, want NO", s, get(s, eval.TypeAggregate))
+		}
+	}
+	// Base data: the early keyword systems have at least partial support.
+	for _, s := range []string{"DBExplorer", "DISCOVER", "BANKS"} {
+		if get(s, eval.TypeBaseData) == SupportNo {
+			t.Errorf("%s base data = NO, want at least partial", s)
+		}
+	}
+	// SQAK and Keymantic cannot do plain base-data lookups.
+	if get("SQAK", eval.TypeBaseData) != SupportNo {
+		t.Error("SQAK base data should be NO")
+	}
+	if get("Keymantic", eval.TypeBaseData) != SupportNo {
+		t.Error("Keymantic base data should be NO (no inverted index)")
+	}
+	// Domain ontology: Keymantic (partial via synonyms) and SODA only.
+	if get("Keymantic", eval.TypeOntology) == SupportNo {
+		t.Error("Keymantic should get ontology credit via synonyms")
+	}
+	for _, s := range []string{"DBExplorer", "DISCOVER", "BANKS", "SQAK"} {
+		if get(s, eval.TypeOntology) != SupportNo {
+			t.Errorf("%s ontology = %v, want NO", s, get(s, eval.TypeOntology))
+		}
+	}
+	// Inheritance: no baseline reaches full support.
+	for _, s := range []string{"DBExplorer", "DISCOVER", "BANKS", "SQAK", "Keymantic"} {
+		if get(s, eval.TypeInheritance) == SupportYes {
+			t.Errorf("%s inheritance = X; only SODA should fully support it", s)
+		}
+	}
+}
+
+func TestSupportString(t *testing.T) {
+	if SupportYes.String() != "X" || SupportPartial.String() != "(X)" || SupportNo.String() != "NO" {
+		t.Fatal("support marks")
+	}
+}
+
+func TestQueriesOfType(t *testing.T) {
+	ids := QueriesOfType(eval.Corpus(), eval.TypeAggregate)
+	if len(ids) != 2 {
+		t.Fatalf("aggregate queries = %v", ids)
+	}
+}
+
+func TestUnsupportedError(t *testing.T) {
+	err := unsupported("X", "reason")
+	if !strings.Contains(err.Error(), "X") || !strings.Contains(err.Error(), "reason") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if similarity("parties", "parties") != 1.0 {
+		t.Error("exact match")
+	}
+	if similarity("order", "order_td") != 0.8 {
+		t.Error("token match")
+	}
+	if similarity("invest", "investment_amt") != 0.4 {
+		t.Error("prefix match")
+	}
+	if similarity("zzz", "order_td") != 0 {
+		t.Error("no match")
+	}
+}
+
+func TestMatchesName(t *testing.T) {
+	if !matchesName("trade_order_td", "trade") || !matchesName("order_td", "order") {
+		t.Error("token matching")
+	}
+	if matchesName("order_td", "ord") {
+		t.Error("partial tokens must not match")
+	}
+}

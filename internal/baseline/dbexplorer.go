@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"sort"
+
+	"soda/internal/invidx"
+	"soda/internal/metagraph"
+	"soda/internal/sqlast"
+)
+
+// DBExplorer reimplements the matching strategy of Agrawal, Chaudhuri and
+// Das (ICDE 2002): a symbol table (inverted index) over the base data and
+// join trees over key/foreign-key relationships. Results come at the
+// granularity of sets of business objects (SELECT statements). Published
+// limitations reproduced here: no metadata matching (keywords must hit
+// base data), no aggregates, no predicates, no inheritance semantics, and
+// no support for cyclic schemas when joins are needed (Table 5 shows its
+// base-data support parenthesised for that reason).
+type DBExplorer struct {
+	db     *schema
+	index  *invidx.Index
+	cyclic bool
+}
+
+// NewDBExplorer builds the system over the warehouse's physical schema
+// and base data.
+func NewDBExplorer(meta *metagraph.Graph, index *invidx.Index) *DBExplorer {
+	s := extractSchema(meta)
+	return &DBExplorer{db: s, index: index, cyclic: s.cyclic}
+}
+
+// Name implements System.
+func (d *DBExplorer) Name() string { return "DBExplorer" }
+
+// Search implements System.
+func (d *DBExplorer) Search(input string) ([]*sqlast.Select, error) {
+	if hasAggregateSyntax(input) {
+		return nil, unsupported(d.Name(), "aggregation operators are not part of the symbol-table model")
+	}
+	if hasOperatorSyntax(input) {
+		return nil, unsupported(d.Name(), "comparison predicates are not supported")
+	}
+	keywords := keywordsOf(input)
+	if len(keywords) == 0 {
+		return nil, unsupported(d.Name(), "no keywords")
+	}
+
+	// Every keyword must hit the base data; DBExplorer has no schema or
+	// ontology matching.
+	perKeyword := make([][]invidx.ColumnHit, 0, len(keywords))
+	for _, kw := range keywords {
+		hits := d.index.Hits(kw)
+		if len(hits) == 0 {
+			return nil, unsupported(d.Name(), "keyword "+kw+" not found in base data")
+		}
+		perKeyword = append(perKeyword, hits)
+	}
+
+	// Single-keyword queries: one statement per hit column.
+	if len(perKeyword) == 1 {
+		var out []*sqlast.Select
+		for _, hit := range perKeyword[0] {
+			out = append(out, starSelect([]string{hit.Table}, nil,
+				[]sqlast.Expr{hitFilter(hit, keywords[0])}))
+		}
+		return out, nil
+	}
+
+	// Multi-keyword queries need join trees. DBExplorer's join-tree
+	// enumeration assumes an acyclic schema graph; on cyclic schemas only
+	// the degenerate single-table "tree" (every keyword hits the same
+	// table) remains available — hence Table 5's parenthesised check
+	// mark.
+	if d.cyclic {
+		if out := singleTableStatements(keywords, perKeyword); len(out) > 0 {
+			return out, nil
+		}
+		return nil, unsupported(d.Name(), "schema graph contains cycles; join-tree enumeration is not applicable")
+	}
+	return d.joinTrees(keywords, perKeyword)
+}
+
+// singleTableStatements emits one statement per table in which *every*
+// keyword occurs, conjoining the per-keyword filters.
+func singleTableStatements(keywords []string, perKeyword [][]invidx.ColumnHit) []*sqlast.Select {
+	counts := make(map[string]int)
+	filters := make(map[string][]sqlast.Expr)
+	for i, hits := range perKeyword {
+		seen := map[string]bool{}
+		for _, hit := range hits {
+			if seen[hit.Table] {
+				continue
+			}
+			seen[hit.Table] = true
+			if counts[hit.Table] == i {
+				counts[hit.Table] = i + 1
+				filters[hit.Table] = append(filters[hit.Table], hitFilter(hit, keywords[i]))
+			}
+		}
+	}
+	var tables []string
+	for t, c := range counts {
+		if c == len(perKeyword) {
+			tables = append(tables, t)
+		}
+	}
+	sort.Strings(tables)
+	var out []*sqlast.Select
+	for _, t := range tables {
+		out = append(out, starSelect([]string{t}, nil, filters[t]))
+	}
+	return out
+}
+
+// joinTrees combines the first hit of each keyword into one joined
+// statement (the minimal join tree).
+func (d *DBExplorer) joinTrees(keywords []string, perKeyword [][]invidx.ColumnHit) ([]*sqlast.Select, error) {
+	var tables []string
+	var filters []sqlast.Expr
+	for i, hits := range perKeyword {
+		hit := hits[0]
+		tables = append(tables, hit.Table)
+		filters = append(filters, hitFilter(hit, keywords[i]))
+	}
+	var joins []fkEdge
+	for i := 1; i < len(tables); i++ {
+		path, ok := d.db.connect(tables[0], tables[i])
+		if !ok {
+			return nil, unsupported(d.Name(), "no join path between matched tables")
+		}
+		joins = append(joins, path...)
+	}
+	return []*sqlast.Select{starSelect(tables, joins, filters)}, nil
+}

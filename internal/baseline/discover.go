@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"soda/internal/invidx"
+	"soda/internal/metagraph"
+	"soda/internal/sqlast"
+)
+
+// Discover reimplements Hristidis and Papakonstantinou's DISCOVER (VLDB
+// 2002): keyword tuple sets joined through candidate networks built over
+// key/foreign-key edges. Unlike DBExplorer it enumerates *every*
+// combination of keyword-to-column assignments (candidate networks of
+// size 1), which gives more alternative interpretations, but it shares
+// the published limitations: base-data-only matching, no aggregates or
+// predicates, and cyclic schema graphs break candidate-network
+// enumeration (§6.2).
+type Discover struct {
+	db     *schema
+	index  *invidx.Index
+	cyclic bool
+}
+
+// NewDiscover builds the system.
+func NewDiscover(meta *metagraph.Graph, index *invidx.Index) *Discover {
+	s := extractSchema(meta)
+	return &Discover{db: s, index: index, cyclic: s.cyclic}
+}
+
+// Name implements System.
+func (d *Discover) Name() string { return "DISCOVER" }
+
+// maxNetworks caps candidate-network enumeration, as the original system
+// bounds network size.
+const maxNetworks = 16
+
+// Search implements System.
+func (d *Discover) Search(input string) ([]*sqlast.Select, error) {
+	if hasAggregateSyntax(input) {
+		return nil, unsupported(d.Name(), "aggregations are outside the candidate-network model")
+	}
+	if hasOperatorSyntax(input) {
+		return nil, unsupported(d.Name(), "predicates are not supported")
+	}
+	keywords := keywordsOf(input)
+	if len(keywords) == 0 {
+		return nil, unsupported(d.Name(), "no keywords")
+	}
+
+	perKeyword := make([][]invidx.ColumnHit, 0, len(keywords))
+	for _, kw := range keywords {
+		hits := d.index.Hits(kw)
+		if len(hits) == 0 {
+			return nil, unsupported(d.Name(), "keyword "+kw+" has an empty tuple set")
+		}
+		perKeyword = append(perKeyword, hits)
+	}
+
+	if len(perKeyword) > 1 && d.cyclic {
+		// Cyclic schema graphs break multi-relation candidate networks,
+		// but networks of size one (all keywords in a single tuple set)
+		// need no joins and survive.
+		if out := singleTableStatements(keywords, perKeyword); len(out) > 0 {
+			return out, nil
+		}
+		return nil, unsupported(d.Name(), "cyclic schema graph: candidate networks are ambiguous")
+	}
+
+	// Enumerate assignments (cartesian product, capped).
+	assignments := [][]invidx.ColumnHit{{}}
+	for _, hits := range perKeyword {
+		var next [][]invidx.ColumnHit
+		for _, prefix := range assignments {
+			for _, h := range hits {
+				combo := make([]invidx.ColumnHit, len(prefix), len(prefix)+1)
+				copy(combo, prefix)
+				next = append(next, append(combo, h))
+				if len(next) >= maxNetworks {
+					break
+				}
+			}
+			if len(next) >= maxNetworks {
+				break
+			}
+		}
+		assignments = next
+	}
+
+	var out []*sqlast.Select
+	for _, combo := range assignments {
+		var tables []string
+		var filters []sqlast.Expr
+		for i, hit := range combo {
+			tables = append(tables, hit.Table)
+			filters = append(filters, hitFilter(hit, keywords[i]))
+		}
+		var joins []fkEdge
+		connected := true
+		for i := 1; i < len(tables); i++ {
+			path, ok := d.db.connect(tables[0], tables[i])
+			if !ok {
+				connected = false
+				break
+			}
+			joins = append(joins, path...)
+		}
+		if !connected {
+			continue
+		}
+		out = append(out, starSelect(tables, joins, filters))
+	}
+	if len(out) == 0 {
+		return nil, unsupported(d.Name(), "no connected candidate network")
+	}
+	return out, nil
+}

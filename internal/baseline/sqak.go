@@ -1,0 +1,187 @@
+package baseline
+
+import (
+	"strings"
+
+	"soda/internal/metagraph"
+	"soda/internal/queryparse"
+	"soda/internal/sqlast"
+)
+
+// Sqak reimplements the matching strategy of SQAK (Tata and Lohman,
+// SIGMOD 2008): keyword queries that contain aggregation terms are
+// translated into SELECT-PROJECT-JOIN-GROUP-BY statements over the
+// schema, respecting the direction of key/foreign-key relationships when
+// computing join paths. Published limitations reproduced: SQAK is "not
+// able to process any queries that go beyond the pre-defined SQAK pattern
+// of SELECT-PROJECT-JOIN-GROUP-BY queries" — plain keyword lookups are
+// rejected — and it matches *schema names only* (no ontology, no
+// inheritance semantics, no base-data values).
+type Sqak struct {
+	db *schema
+}
+
+// NewSqak builds the system over the physical schema.
+func NewSqak(meta *metagraph.Graph) *Sqak {
+	return &Sqak{db: extractSchema(meta)}
+}
+
+// Name implements System.
+func (s *Sqak) Name() string { return "SQAK" }
+
+// Search implements System.
+func (s *Sqak) Search(input string) ([]*sqlast.Select, error) {
+	if !hasAggregateSyntax(input) {
+		return nil, unsupported(s.Name(), "only aggregate queries match the SQAK pattern")
+	}
+	q, err := queryparse.Parse(input)
+	if err != nil {
+		return nil, unsupported(s.Name(), "unparseable input: "+err.Error())
+	}
+	if len(q.Aggregations) == 0 {
+		return nil, unsupported(s.Name(), "no aggregation operator found")
+	}
+
+	sel := sqlast.NewSelect()
+	var tables []string
+	addTable := func(t string) {
+		for _, have := range tables {
+			if have == t {
+				return
+			}
+		}
+		tables = append(tables, t)
+	}
+
+	// Group-by attributes resolve against schema column names.
+	for _, gb := range q.GroupBy {
+		tbl, col, ok := s.findColumn(strings.Join(gb, " "))
+		if !ok {
+			return nil, unsupported(s.Name(), "group-by attribute not found in schema names")
+		}
+		ref := &sqlast.ColumnRef{Table: tbl, Column: col}
+		sel.Items = append(sel.Items, sqlast.SelectItem{Expr: ref})
+		sel.GroupBy = append(sel.GroupBy, ref)
+		addTable(tbl)
+	}
+
+	// Aggregation attributes resolve against schema column or table names.
+	for _, agg := range q.Aggregations {
+		attr := strings.Join(agg.Attr, " ")
+		if attr == "" {
+			sel.Items = append(sel.Items, sqlast.SelectItem{
+				Expr: &sqlast.FuncCall{Name: agg.Func, Star: true}})
+			continue
+		}
+		if tbl, col, ok := s.findColumn(attr); ok {
+			sel.Items = append(sel.Items, sqlast.SelectItem{
+				Expr: &sqlast.FuncCall{Name: agg.Func,
+					Args: []sqlast.Expr{&sqlast.ColumnRef{Table: tbl, Column: col}}}})
+			addTable(tbl)
+			continue
+		}
+		if tbl, ok := s.findTable(attr); ok {
+			// Counting an entity counts its id column.
+			sel.Items = append(sel.Items, sqlast.SelectItem{
+				Expr: &sqlast.FuncCall{Name: agg.Func,
+					Args: []sqlast.Expr{&sqlast.ColumnRef{Table: tbl, Column: "id"}}}})
+			addTable(tbl)
+			continue
+		}
+		return nil, unsupported(s.Name(), "aggregation attribute "+attr+" not found in schema names")
+	}
+
+	// Remaining plain keywords must also resolve to schema names (SQAK
+	// has no base-data index).
+	for _, g := range q.Groups {
+		for _, w := range g.Words {
+			if tbl, ok := s.findTable(w); ok {
+				addTable(tbl)
+				continue
+			}
+			if tbl, _, ok := s.findColumn(w); ok {
+				addTable(tbl)
+				continue
+			}
+			return nil, unsupported(s.Name(), "keyword "+w+" is not a schema term")
+		}
+	}
+	if len(tables) == 0 {
+		return nil, unsupported(s.Name(), "no tables resolved")
+	}
+
+	// Join path computation.
+	var joins []fkEdge
+	for i := 1; i < len(tables); i++ {
+		path, ok := s.db.connect(tables[0], tables[i])
+		if !ok {
+			return nil, unsupported(s.Name(), "no join path")
+		}
+		joins = append(joins, path...)
+	}
+	seen := map[string]bool{}
+	for _, t := range tables {
+		if !seen[t] {
+			seen[t] = true
+			sel.From = append(sel.From, sqlast.TableRef{Table: t})
+		}
+	}
+	var conj []sqlast.Expr
+	for _, j := range joins {
+		for _, t := range []string{j.FromTable, j.ToTable} {
+			if !seen[t] {
+				seen[t] = true
+				sel.From = append(sel.From, sqlast.TableRef{Table: t})
+			}
+		}
+		conj = append(conj, &sqlast.Binary{
+			Op: sqlast.OpEq,
+			L:  &sqlast.ColumnRef{Table: j.FromTable, Column: j.FromCol},
+			R:  &sqlast.ColumnRef{Table: j.ToTable, Column: j.ToCol},
+		})
+	}
+	sel.Where = sqlast.AndAll(conj...)
+	return []*sqlast.Select{sel}, nil
+}
+
+// findColumn matches an attribute phrase against physical column names:
+// exact, underscore-token, or stemmed-token ("investments" matches the
+// "investment" token of investment_amt — the original SQAK matched schema
+// terms with similarity functions).
+func (s *Sqak) findColumn(phrase string) (string, string, bool) {
+	joined := strings.ToLower(strings.ReplaceAll(phrase, " ", "_"))
+	lower := strings.ToLower(phrase)
+	for _, t := range s.db.tables {
+		for _, c := range s.db.columns[t] {
+			if c == joined || matchesName(c, lower) || stemMatch(c, lower) {
+				return t, c, true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// findTable matches a phrase against physical table names.
+func (s *Sqak) findTable(phrase string) (string, bool) {
+	joined := strings.ToLower(strings.ReplaceAll(phrase, " ", "_"))
+	lower := strings.ToLower(phrase)
+	for _, t := range s.db.tables {
+		if t == joined || matchesName(t, lower) || stemMatch(t, lower) {
+			return t, true
+		}
+	}
+	return "", false
+}
+
+// stemMatch compares with a trivial plural stem: a trailing 's' on either
+// side is ignored per token.
+func stemMatch(name, kw string) bool {
+	stem := func(w string) string { return strings.TrimSuffix(w, "s") }
+	target := stem(kw)
+	for _, part := range strings.Split(name, "_") {
+		if stem(part) == target {
+			return true
+		}
+	}
+	return false
+}

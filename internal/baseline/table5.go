@@ -1,0 +1,197 @@
+package baseline
+
+import (
+	"sort"
+
+	"soda/internal/core"
+	"soda/internal/engine"
+	"soda/internal/eval"
+	"soda/internal/sqlast"
+	"soda/internal/sqlparse"
+)
+
+// SODAAdapter wraps the core pipeline behind the baseline System
+// interface so Table 5 measures all six systems identically.
+type SODAAdapter struct {
+	Sys *core.System
+}
+
+// Name implements System.
+func (s *SODAAdapter) Name() string { return "SODA" }
+
+// Search implements System.
+func (s *SODAAdapter) Search(input string) ([]*sqlast.Select, error) {
+	a, err := s.Sys.Search(input)
+	if err != nil {
+		return nil, err
+	}
+	var out []*sqlast.Select
+	for _, sol := range a.Solutions {
+		if sol.SQL != nil {
+			// Round-trip through text: the capability matrix must only
+			// credit executable SQL.
+			sel, err := sqlparse.Parse(sol.SQLText())
+			if err != nil {
+				continue
+			}
+			out = append(out, sel)
+		}
+	}
+	if len(out) == 0 {
+		return nil, unsupported(s.Name(), "no executable statement generated")
+	}
+	return out, nil
+}
+
+// Support grades one system on one query type, mirroring Table 5's marks.
+type Support uint8
+
+// Support levels: No ("NO"), Partial ("(X)"), Yes ("X").
+const (
+	SupportNo Support = iota
+	SupportPartial
+	SupportYes
+)
+
+// String renders the mark as printed in Table 5.
+func (s Support) String() string {
+	switch s {
+	case SupportYes:
+		return "X"
+	case SupportPartial:
+		return "(X)"
+	default:
+		return "NO"
+	}
+}
+
+// Cell is one measured cell of the capability matrix.
+type Cell struct {
+	System    string
+	QueryType eval.QueryType
+	Attempted int
+	Positive  int // queries of this type answered with P,R > 0
+	Support   Support
+}
+
+// Matrix is the measured Table 5.
+type Matrix struct {
+	Systems []string
+	Types   []eval.QueryType
+	Cells   map[string]map[eval.QueryType]Cell
+}
+
+// QueryTypeOrder is Table 5's row order.
+func QueryTypeOrder() []eval.QueryType {
+	return []eval.QueryType{
+		eval.TypeBaseData, eval.TypeSchema, eval.TypeInheritance,
+		eval.TypeOntology, eval.TypePredicate, eval.TypeAggregate,
+	}
+}
+
+// BuildMatrix runs every system on every corpus query, scores the results
+// against the gold standards, and aggregates per query type: a system
+// supports a type fully when it answers at least half of the type's
+// queries with positive precision and recall, partially when it answers
+// at least one. (The paper itself marks SODA X on aggregates although
+// Q9.0 scores zero, so "supports the feature" cannot mean "aces every
+// query of the type".)
+func BuildMatrix(db *engine.DB, systems []System, corpus []eval.Query) (*Matrix, error) {
+	m := &Matrix{
+		Types: QueryTypeOrder(),
+		Cells: make(map[string]map[eval.QueryType]Cell),
+	}
+	for _, sys := range systems {
+		m.Systems = append(m.Systems, sys.Name())
+		m.Cells[sys.Name()] = make(map[eval.QueryType]Cell)
+	}
+
+	// Score each (system, query) pair once.
+	type outcome struct{ positive bool }
+	results := make(map[string]map[string]outcome) // system -> query ID+input
+	for _, sys := range systems {
+		results[sys.Name()] = make(map[string]outcome)
+		for _, q := range corpus {
+			positive, err := answersQuery(db, sys, q)
+			if err != nil {
+				positive = false
+			}
+			results[sys.Name()][q.ID+q.Input] = outcome{positive: positive}
+		}
+	}
+
+	for _, sys := range systems {
+		for _, qt := range m.Types {
+			cell := Cell{System: sys.Name(), QueryType: qt}
+			for _, q := range corpus {
+				if !hasType(q, qt) {
+					continue
+				}
+				cell.Attempted++
+				if results[sys.Name()][q.ID+q.Input].positive {
+					cell.Positive++
+				}
+			}
+			switch {
+			case cell.Attempted == 0:
+				cell.Support = SupportNo
+			case float64(cell.Positive) >= 0.5*float64(cell.Attempted):
+				cell.Support = SupportYes
+			case cell.Positive > 0:
+				cell.Support = SupportPartial
+			default:
+				cell.Support = SupportNo
+			}
+			m.Cells[sys.Name()][qt] = cell
+		}
+	}
+	return m, nil
+}
+
+// answersQuery reports whether the system produces any statement scoring
+// P,R > 0 against the query's gold standard.
+func answersQuery(db *engine.DB, sys System, q eval.Query) (bool, error) {
+	sels, err := sys.Search(q.Input)
+	if err != nil {
+		return false, err
+	}
+	gold, err := eval.GoldSet(db, q)
+	if err != nil {
+		return false, err
+	}
+	for _, sel := range sels {
+		res, err := engine.Exec(db, sel)
+		if err != nil {
+			continue
+		}
+		got, ok := eval.KeySet(res, q.Keys)
+		if !ok {
+			continue
+		}
+		if eval.Score(got, gold).Positive() {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func hasType(q eval.Query, qt eval.QueryType) bool {
+	for _, t := range q.Types {
+		if t == qt {
+			return true
+		}
+	}
+	return false
+}
+
+// QueriesOfType lists the corpus IDs carrying a type tag, for display.
+func QueriesOfType(corpus []eval.Query, qt eval.QueryType) []string {
+	var ids []string
+	for _, q := range corpus {
+		if hasType(q, qt) {
+			ids = append(ids, q.ID)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// One shared environment: building the warehouse twice in tests wastes
+// seconds for no coverage.
+var env = NewEnv()
+
+func TestTable1MatchesTargets(t *testing.T) {
+	for _, r := range env.Table1() {
+		if r.Paper != r.Measured {
+			t.Errorf("%s: paper %d, measured %d", r.Metric, r.Paper, r.Measured)
+		}
+	}
+	out := env.RenderTable1()
+	if !strings.Contains(out, "472") || !strings.Contains(out, "3181") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestRenderTable2ListsAllQueries(t *testing.T) {
+	out := env.RenderTable2()
+	for _, id := range []string{"Q1.0", "Q2.1", "Q9.0", "Q10.0"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("Table 2 missing %s", id)
+		}
+	}
+	if !strings.Contains(out, "gold:") {
+		t.Fatal("gold standards missing")
+	}
+}
+
+func TestRenderTable3(t *testing.T) {
+	out, err := env.RenderTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two signature failure rows must appear.
+	if !strings.Contains(out, "2.1   |   1.00   0.20") {
+		t.Errorf("Q2.1 row wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "9.0   |   0.00   0.00") {
+		t.Errorf("Q9.0 row wrong:\n%s", out)
+	}
+}
+
+func TestRenderTable4(t *testing.T) {
+	out, err := env.RenderTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "complexity") || !strings.Contains(out, "paper SODA") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestTable5MatrixStructure(t *testing.T) {
+	m, err := env.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Systems) != 6 {
+		t.Fatalf("systems = %v", m.Systems)
+	}
+	out, err := env.RenderTable5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "SODA") || !strings.Contains(out, "Inheritance") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestRenderFigure5Complexity(t *testing.T) {
+	out, err := env.RenderFigure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "query complexity: 2") {
+		t.Fatalf("Figure 5 complexity:\n%s", out)
+	}
+	if !strings.Contains(out, "Domain ontology") || !strings.Contains(out, "Basedata") {
+		t.Fatalf("Figure 5 layers:\n%s", out)
+	}
+}
+
+func TestFigure6SevenTables(t *testing.T) {
+	tables, err := env.Figure6Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"addresses", "fi_contains_sec", "financial_instruments",
+		"individuals", "organizations", "parties", "securities",
+	}
+	if len(tables) != len(want) {
+		t.Fatalf("tables = %v, want %v", tables, want)
+	}
+	for i := range want {
+		if tables[i] != want[i] {
+			t.Fatalf("tables = %v, want %v", tables, want)
+		}
+	}
+}
+
+func TestRenderFigures7And8ListsPatterns(t *testing.T) {
+	out := env.RenderFigures7And8()
+	for _, p := range []string{"table", "column", "foreignkey", "inheritance-child", "bridge-table"} {
+		if !strings.Contains(out, "-- "+p+" --") {
+			t.Errorf("pattern %s missing", p)
+		}
+	}
+	if !strings.Contains(out, "( ?x tablename t:?y )") {
+		t.Fatal("pattern bodies missing")
+	}
+}
+
+func TestRenderFigure9DirectPath(t *testing.T) {
+	out, err := env.RenderFigure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The direct path between customers and instruments runs through the
+	// transaction fact tables.
+	if !strings.Contains(out, "transactions") {
+		t.Fatalf("Figure 9 path should include transactions:\n%s", out)
+	}
+}
+
+func TestRenderFigure10SiblingBridge(t *testing.T) {
+	out, err := env.RenderFigure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "associate_employment") {
+		t.Fatalf("Figure 10 should show the sibling bridge:\n%s", out)
+	}
+}
+
+func TestAblationsDifferentiate(t *testing.T) {
+	rows, err := env.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	base := byName["baseline"]
+	if byName["no bridge tables"].Disconnected <= base.Disconnected {
+		t.Error("removing bridges should disconnect N-to-N interpretations")
+	}
+	if byName["bi-temporal annotations fixed"].Recall <= base.Recall {
+		t.Error("the bi-temporal fix should raise recall")
+	}
+}
+
+func TestDBpediaEffectMeasured(t *testing.T) {
+	rows, err := env.DBpediaEffect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least one pure-synonym query must lose all interpretations when
+	// DBpedia is off, and none may gain complexity.
+	lost := false
+	for _, r := range rows {
+		if r.ComplexityOff > r.ComplexityWith {
+			t.Errorf("%q: complexity grew without DBpedia (%d > %d)",
+				r.Query, r.ComplexityOff, r.ComplexityWith)
+		}
+		if r.ResultsWith > 0 && r.ResultsOff == 0 {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Error("some synonym query should become unanswerable without DBpedia")
+	}
+}

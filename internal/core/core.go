@@ -1,0 +1,399 @@
+// Package core implements the SODA pipeline of Figure 4: starting from a
+// list of keywords and operators it computes a ranked list of executable
+// SQL statements in five steps —
+//
+//	Step 1  lookup   : match keywords to entry points in the metadata
+//	                   graph and the base-data inverted index
+//	Step 2  rank/topN: score every combination of entry points and keep
+//	                   the best N
+//	Step 3  tables   : traverse the metadata graph from the entry points,
+//	                   test graph patterns to find tables, joins on direct
+//	                   paths, inheritance parents and bridge tables
+//	Step 4  filters  : collect filter conditions from the input query and
+//	                   from the metadata
+//	Step 5  SQL      : combine everything into reasonable, executable SQL
+//
+// The patterns live in a pattern.Registry (package metagraph ships the
+// Credit-Suisse-style defaults); swapping patterns ports SODA to another
+// warehouse while "the algorithm always stays the same" (§4.1).
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"soda/internal/engine"
+	"soda/internal/invidx"
+	"soda/internal/metagraph"
+	"soda/internal/pattern"
+	"soda/internal/queryparse"
+	"soda/internal/rdf"
+	"soda/internal/sqlast"
+	"soda/internal/sqlparse"
+)
+
+// Options tunes the pipeline. The zero value is usable; Defaults fills in
+// the paper's settings (top 10 solutions, 20-tuple snippets).
+type Options struct {
+	// TopN is how many ranked solutions survive step 2 (paper: "SODA ...
+	// (partially) executes the Top 10").
+	TopN int
+	// SnippetRows caps snippet execution (paper: "up to twenty tuples").
+	SnippetRows int
+	// MaxSolutions caps the combinatorial product of entry points before
+	// ranking, protecting against adversarial inputs.
+	MaxSolutions int
+
+	// MaxPathLen bounds the join-path search between entry points, in
+	// edges; 0 means unbounded. The paper's §5.3.1 discusses the
+	// trade-off: without a bound "far-fetching" paths connect entities
+	// that are too far apart and flood the ranking, with a tight bound
+	// "we might not be able to find a join path between two entities".
+	MaxPathLen int
+
+	// Ablation switches (DESIGN.md "ablation benches").
+	DisableBridges bool // skip bridge-table discovery (§4.2.1 last part)
+	DisableDBpedia bool // ignore DBpedia entry points (§7 future work)
+	UniformRanking bool // score all entry points equally (step 2 ablation)
+	AllJoins       bool // keep every join between solution tables instead
+	// of only those on direct paths (Figure 9 ablation)
+}
+
+// Defaults returns the paper's operating point.
+func Defaults() Options {
+	return Options{TopN: 10, SnippetRows: 20, MaxSolutions: 4096}
+}
+
+func (o Options) withDefaults() Options {
+	d := Defaults()
+	if o.TopN <= 0 {
+		o.TopN = d.TopN
+	}
+	if o.SnippetRows <= 0 {
+		o.SnippetRows = d.SnippetRows
+	}
+	if o.MaxSolutions <= 0 {
+		o.MaxSolutions = d.MaxSolutions
+	}
+	return o
+}
+
+// System wires the substrates together: base data, metadata graph,
+// inverted index and pattern registry. A System is safe for concurrent
+// use: the pipeline's internal memoisation is guarded by a mutex (the
+// underlying graph, index and engine are read-only after construction).
+type System struct {
+	DB    *engine.DB
+	Meta  *metagraph.Graph
+	Index *invidx.Index
+	Reg   *pattern.Registry
+	Opt   Options
+
+	mu         sync.Mutex
+	matcher    *pattern.Matcher
+	jg         *joinGraph
+	bridgeMemo []bridgeRel
+	bridgeDone bool
+	colMemo    map[rdf.Term]ColRef
+	tblMemo    map[rdf.Term]string
+	feedback   map[feedbackKey]float64
+}
+
+// NewSystem builds a System over the given substrates. A nil registry gets
+// the metagraph default patterns.
+func NewSystem(db *engine.DB, meta *metagraph.Graph, idx *invidx.Index, opt Options) *System {
+	reg := metagraph.Patterns()
+	s := &System{
+		DB:      db,
+		Meta:    meta,
+		Index:   idx,
+		Reg:     reg,
+		Opt:     opt.withDefaults(),
+		colMemo: make(map[rdf.Term]ColRef),
+		tblMemo: make(map[rdf.Term]string),
+	}
+	s.matcher = pattern.NewMatcher(meta.G, reg)
+	return s
+}
+
+// Role says how a term participates in SQL generation.
+type Role uint8
+
+// Term roles.
+const (
+	RolePlain Role = iota
+	RoleAggAttr
+	RoleGroupBy
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleAggAttr:
+		return "agg-attr"
+	case RoleGroupBy:
+		return "group-by"
+	default:
+		return "keyword"
+	}
+}
+
+// Term is one semantic unit of the query after longest-combination
+// segmentation (§4.2.2 Keywords).
+type Term struct {
+	Text    string
+	Role    Role
+	AggFunc string // for RoleAggAttr
+	// Comparisons attached to this term by the input parser.
+	Comparisons []queryparse.Comparison
+}
+
+// EntryKind discriminates metadata entry points from base-data hits.
+type EntryKind uint8
+
+// Entry point kinds.
+const (
+	KindMetadata EntryKind = iota
+	KindBaseData
+)
+
+// EntryPoint is one place in the extended metadata graph (or base data)
+// where a term was found.
+type EntryPoint struct {
+	Term  int // index into Analysis.Terms
+	Kind  EntryKind
+	Node  rdf.Term // metadata node (KindMetadata)
+	Layer string
+	// Base-data location and the matching values (KindBaseData).
+	Table, Column string
+	Values        []string
+	Score         float64
+}
+
+// Describe renders the entry point the way Figure 5 annotates them.
+func (e EntryPoint) Describe() string {
+	if e.Kind == KindBaseData {
+		return fmt.Sprintf("%s.%s (Basedata)", e.Table, e.Column)
+	}
+	return fmt.Sprintf("%s (%s)", e.Node.Value(), layerTitle(e.Layer))
+}
+
+func layerTitle(layer string) string {
+	switch layer {
+	case metagraph.LayerDomainOntology:
+		return "Domain ontology"
+	case metagraph.LayerConceptual:
+		return "Conceptual schema"
+	case metagraph.LayerLogical:
+		return "Logical schema"
+	case metagraph.LayerPhysical:
+		return "Physical schema"
+	case metagraph.LayerDBpedia:
+		return "DBpedia"
+	case metagraph.LayerBaseData:
+		return "Basedata"
+	default:
+		return layer
+	}
+}
+
+// ColRef names a physical column.
+type ColRef struct {
+	Table, Column string
+}
+
+func (c ColRef) String() string { return c.Table + "." + c.Column }
+
+// Join is one join condition between two tables. Via records which pattern
+// produced it: "fk", "joinrel", "inheritance", or "bridge".
+type Join struct {
+	LeftTable, LeftCol   string
+	RightTable, RightCol string
+	Via                  string
+}
+
+func (j Join) String() string {
+	return fmt.Sprintf("%s.%s = %s.%s [%s]", j.LeftTable, j.LeftCol, j.RightTable, j.RightCol, j.Via)
+}
+
+// Filter is one WHERE condition. Source records provenance: "input" (an
+// operator in the query), "basedata" (an inverted-index hit), or
+// "metadata" (a filter stored in the metadata graph, e.g. wealthy
+// customers).
+type Filter struct {
+	Col    ColRef
+	Op     string // =, <>, >, >=, <, <=, like, between
+	Value  string
+	Value2 string // for between
+	IsDate bool
+	IsNum  bool
+	Source string
+}
+
+func (f Filter) String() string {
+	if f.Op == "between" {
+		return fmt.Sprintf("%s BETWEEN %s AND %s [%s]", f.Col, f.Value, f.Value2, f.Source)
+	}
+	return fmt.Sprintf("%s %s %s [%s]", f.Col, f.Op, f.Value, f.Source)
+}
+
+// Agg is a resolved aggregate; a nil Col means count(*).
+type Agg struct {
+	Func string
+	Col  *ColRef
+}
+
+// Solution is one fully processed combination of entry points, carrying
+// everything the five steps derived and the final SQL.
+type Solution struct {
+	Entries []EntryPoint
+	Score   float64
+
+	// Tables is the discovery output of the tables step (Figure 6): every
+	// table reachable from the entry points plus bridge tables between
+	// them. Primaries anchors each entry to its nearest table, and
+	// SQLTables is the pruned FROM list: anchors, join-path intermediates
+	// and inheritance parents.
+	Tables    []string
+	Primaries []string
+	SQLTables []string
+
+	Joins        []Join
+	Filters      []Filter
+	Aggs         []Agg
+	GroupBy      []ColRef
+	TopN         int
+	Disconnected bool // no join path connected some entry points
+
+	SQL *sqlast.Select
+}
+
+// SQLText renders the generated statement; the empty string means SQL
+// generation failed for this solution.
+func (s *Solution) SQLText() string {
+	if s.SQL == nil {
+		return ""
+	}
+	return s.SQL.String()
+}
+
+// Timings records per-step wall-clock durations (Table 4 reports the SODA
+// runtime split by algorithmic step).
+type Timings struct {
+	Lookup  time.Duration
+	Rank    time.Duration
+	Tables  time.Duration
+	Filters time.Duration
+	SQL     time.Duration
+}
+
+// Total sums the step durations.
+func (t Timings) Total() time.Duration {
+	return t.Lookup + t.Rank + t.Tables + t.Filters + t.SQL
+}
+
+// Analysis is the full result of running the pipeline on one input query.
+type Analysis struct {
+	Query      *queryparse.Query
+	Terms      []Term
+	Candidates [][]EntryPoint // per term
+	Ignored    []string       // words that matched nothing ("and" ...)
+	Complexity int            // product of entry-point counts (Table 4)
+	Solutions  []*Solution    // ranked, best first, len <= TopN
+	Timings    Timings
+}
+
+// Warm precomputes the join graph and bridge-table caches so the first
+// Search measures the pipeline, not one-time index construction. The
+// paper's Table 4 likewise excludes the 24-hour inverted-index build from
+// per-query runtimes.
+func (s *System) Warm() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.joinGraphCached()
+	s.bridgesCached()
+}
+
+// Search runs the five-step pipeline on an input query.
+func (s *System) Search(input string) (*Analysis, error) {
+	q, err := queryparse.Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := &Analysis{Query: q}
+
+	start := time.Now()
+	s.lookup(a) // step 1
+	a.Timings.Lookup = time.Since(start)
+
+	start = time.Now()
+	s.rank(a) // step 2
+	a.Timings.Rank = time.Since(start)
+
+	start = time.Now()
+	for _, sol := range a.Solutions {
+		s.tablesStep(sol, a) // step 3
+	}
+	a.Timings.Tables = time.Since(start)
+
+	start = time.Now()
+	for _, sol := range a.Solutions {
+		s.filtersStep(sol, a) // step 4
+	}
+	a.Timings.Filters = time.Since(start)
+
+	start = time.Now()
+	for _, sol := range a.Solutions {
+		s.sqlStep(sol, a) // step 5
+	}
+	a.Timings.SQL = time.Since(start)
+	return a, nil
+}
+
+// Execute runs a solution's generated SQL through the text parser and the
+// engine, proving the statement is executable SQL text, not just an AST.
+func (s *System) Execute(sol *Solution) (*engine.Result, error) {
+	if sol.SQL == nil {
+		return nil, fmt.Errorf("core: solution has no SQL")
+	}
+	sel, err := sqlparse.Parse(sol.SQLText())
+	if err != nil {
+		return nil, fmt.Errorf("core: generated SQL does not reparse: %w", err)
+	}
+	return engine.Exec(s.DB, sel)
+}
+
+// ExecSQL parses and runs an arbitrary statement in the engine's SQL
+// subset against the system's base data — used by the exploration
+// workflows of §5.3.2.
+func (s *System) ExecSQL(sql string) (*engine.Result, error) {
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Exec(s.DB, sel)
+}
+
+// Snippet executes a solution with the snippet row cap (paper: "result
+// snippets (up to twenty tuples)").
+func (s *System) Snippet(sol *Solution) (*engine.Result, error) {
+	if sol.SQL == nil {
+		return nil, fmt.Errorf("core: solution has no SQL")
+	}
+	sel, err := sqlparse.Parse(sol.SQLText())
+	if err != nil {
+		return nil, err
+	}
+	if sel.Limit < 0 || sel.Limit > s.Opt.SnippetRows {
+		sel.Limit = s.Opt.SnippetRows
+	}
+	return engine.Exec(s.DB, sel)
+}
+
+// termKey lower-cases and joins words for display.
+func termKey(words []string) string {
+	return strings.Join(words, " ")
+}

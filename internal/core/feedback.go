@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"soda/internal/rdf"
+)
+
+// Relevance feedback (§6.3): "SODA presents several possible solutions to
+// its users and allows them to like (or dislike) each result." Feedback
+// adjusts the score of the entry points that produced a solution, so
+// future rankings of the same ambiguous keywords prefer (or avoid) the
+// same interpretations. This also implements the paper's evolution story
+// (§1.2: "SODA can evolve over time thereby adapting ... based on user
+// feedback").
+
+// feedbackStep is the score adjustment per like/dislike on one entry
+// point; adjustments accumulate and are clamped to ±maxFeedback.
+const (
+	feedbackStep = 0.25
+	maxFeedback  = 1.0
+)
+
+// feedbackKey identifies an entry point across searches: the metadata
+// node, or the base-data column.
+type feedbackKey struct {
+	node   rdf.Term
+	column ColRef
+}
+
+func keyOf(e EntryPoint) feedbackKey {
+	if e.Kind == KindMetadata {
+		return feedbackKey{node: e.Node}
+	}
+	return feedbackKey{column: ColRef{Table: e.Table, Column: e.Column}}
+}
+
+// Feedback records a like (true) or dislike (false) for every entry point
+// of the solution.
+func (s *System) Feedback(sol *Solution, like bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.feedback == nil {
+		s.feedback = make(map[feedbackKey]float64)
+	}
+	delta := feedbackStep
+	if !like {
+		delta = -feedbackStep
+	}
+	for _, e := range sol.Entries {
+		k := keyOf(e)
+		v := s.feedback[k] + delta
+		if v > maxFeedback {
+			v = maxFeedback
+		}
+		if v < -maxFeedback {
+			v = -maxFeedback
+		}
+		s.feedback[k] = v
+	}
+}
+
+// FeedbackAdjustment returns the accumulated adjustment for an entry
+// point (0 when no feedback was given).
+func (s *System) FeedbackAdjustment(e EntryPoint) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.feedbackAdjustment(e)
+}
+
+// feedbackAdjustment is FeedbackAdjustment without locking, for use
+// inside the pipeline (which already holds the mutex).
+func (s *System) feedbackAdjustment(e EntryPoint) float64 {
+	if s.feedback == nil {
+		return 0
+	}
+	return s.feedback[keyOf(e)]
+}
+
+// ResetFeedback forgets all recorded feedback.
+func (s *System) ResetFeedback() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.feedback = nil
+}
+
+// FeedbackSummary lists the non-zero adjustments for diagnostics.
+func (s *System) FeedbackSummary() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k, v := range s.feedback {
+		if v == 0 {
+			continue
+		}
+		if k.node.IsZero() {
+			out = append(out, fmt.Sprintf("%s: %+.2f", k.column, v))
+		} else {
+			out = append(out, fmt.Sprintf("%s: %+.2f", k.node.Value(), v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"soda/internal/metagraph"
+)
+
+func TestFeedbackRerankAmbiguousQuery(t *testing.T) {
+	// A fresh system so feedback does not leak into other tests.
+	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+
+	// "customer" is ambiguous: the ontology concept outranks the DBpedia
+	// candidates by default.
+	a := search(t, sys, "customer")
+	if len(a.Solutions) < 2 {
+		t.Skipf("need >= 2 interpretations, got %d", len(a.Solutions))
+	}
+	first := a.Solutions[0]
+	if first.Entries[0].Layer != metagraph.LayerDomainOntology {
+		t.Fatalf("default best layer = %s", first.Entries[0].Layer)
+	}
+
+	// Disliking the ontology interpretation repeatedly sinks it below
+	// the alternatives.
+	for i := 0; i < 4; i++ {
+		sys.Feedback(first, false)
+	}
+	a2 := search(t, sys, "customer")
+	if a2.Solutions[0].Entries[0].Layer == metagraph.LayerDomainOntology {
+		t.Fatalf("disliked interpretation still ranks first (score %.2f)",
+			a2.Solutions[0].Score)
+	}
+
+	// Liking it back restores the original ranking.
+	for i := 0; i < 8; i++ {
+		sys.Feedback(first, true)
+	}
+	a3 := search(t, sys, "customer")
+	if a3.Solutions[0].Entries[0].Layer != metagraph.LayerDomainOntology {
+		t.Fatal("liked interpretation should rank first again")
+	}
+}
+
+func TestFeedbackClamped(t *testing.T) {
+	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	a := search(t, sys, "customers")
+	sol := best(t, a)
+	for i := 0; i < 100; i++ {
+		sys.Feedback(sol, true)
+	}
+	adj := sys.FeedbackAdjustment(sol.Entries[0])
+	if adj > maxFeedback {
+		t.Fatalf("adjustment %f exceeds clamp %f", adj, maxFeedback)
+	}
+}
+
+func TestFeedbackResetAndSummary(t *testing.T) {
+	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	a := search(t, sys, "customers Zürich")
+	sol := best(t, a)
+	sys.Feedback(sol, true)
+	sum := sys.FeedbackSummary()
+	if len(sum) == 0 {
+		t.Fatal("summary should list adjustments")
+	}
+	foundBaseData := false
+	for _, s := range sum {
+		if strings.Contains(s, "addresses.city") {
+			foundBaseData = true
+		}
+	}
+	if !foundBaseData {
+		t.Fatalf("base-data adjustment missing from summary: %v", sum)
+	}
+	sys.ResetFeedback()
+	if len(sys.FeedbackSummary()) != 0 {
+		t.Fatal("reset should clear feedback")
+	}
+	if sys.FeedbackAdjustment(sol.Entries[0]) != 0 {
+		t.Fatal("adjustment after reset should be 0")
+	}
+}
+
+func TestFeedbackOnFreshSystemIsNeutral(t *testing.T) {
+	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	a := search(t, sys, "customers")
+	if sys.FeedbackAdjustment(a.Solutions[0].Entries[0]) != 0 {
+		t.Fatal("fresh system must have zero adjustments")
+	}
+}
+
+func TestBrowseMinibankTable(t *testing.T) {
+	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	info, err := sys.Browse("individuals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Columns) != 5 {
+		t.Fatalf("columns = %d, want 5", len(info.Columns))
+	}
+	if info.InheritanceParent != "parties" {
+		t.Fatalf("parent = %q, want parties", info.InheritanceParent)
+	}
+	// Related tables include the parent and addresses.
+	related := map[string]bool{}
+	for _, r := range info.Related {
+		related[r.Table] = true
+	}
+	if !related["parties"] || !related["addresses"] {
+		t.Fatalf("related = %v", related)
+	}
+	// Business terms reaching individuals include the ontology concepts.
+	labels := strings.Join(info.Labels, "|")
+	if !strings.Contains(labels, "private customer") {
+		t.Fatalf("labels = %v", info.Labels)
+	}
+}
+
+func TestBrowseParentListsChildren(t *testing.T) {
+	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	info, err := sys.Browse("parties")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.InheritanceChildren) != 2 {
+		t.Fatalf("children = %v", info.InheritanceChildren)
+	}
+	if info.InheritanceChildren[0] != "individuals" || info.InheritanceChildren[1] != "organizations" {
+		t.Fatalf("children = %v", info.InheritanceChildren)
+	}
+	if info.InheritanceParent != "" {
+		t.Fatalf("parties should have no parent, got %q", info.InheritanceParent)
+	}
+}
+
+func TestBrowseUnknownTable(t *testing.T) {
+	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	if _, err := sys.Browse("no_such_table"); err == nil {
+		t.Fatal("unknown table should error")
+	}
+}
+
+func TestTablesList(t *testing.T) {
+	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	tables := sys.Tables()
+	if len(tables) != 10 {
+		t.Fatalf("tables = %d, want 10", len(tables))
+	}
+	for i := 1; i < len(tables); i++ {
+		if tables[i-1] >= tables[i] {
+			t.Fatal("tables not sorted")
+		}
+	}
+}

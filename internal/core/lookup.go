@@ -1,0 +1,189 @@
+package core
+
+import (
+	"strings"
+
+	"soda/internal/metagraph"
+	"soda/internal/queryparse"
+)
+
+// lookup implements Step 1 (Figure 4): segment each keyword group into the
+// longest word combinations known to the classification index (metadata
+// labels) or the base data (inverted index), then produce the entry-point
+// candidates per term. "The output of the lookup step is a combinatorial
+// product of all lookup terms" — the product is materialised lazily in
+// step 2 to honour Options.MaxSolutions.
+func (s *System) lookup(a *Analysis) {
+	q := a.Query
+
+	// Plain keyword groups, with operator attachments.
+	groupLastTerm := make([]int, len(q.Groups))
+	for gi, g := range q.Groups {
+		segs, unknown := s.segment(g.Words)
+		a.Ignored = append(a.Ignored, unknown...)
+		for _, seg := range segs {
+			a.Terms = append(a.Terms, Term{Text: seg, Role: RolePlain})
+		}
+		groupLastTerm[gi] = len(a.Terms) - 1
+	}
+
+	// Attach comparisons to the last term of their preceding group ("the
+	// comparison operator will later on be applied to the keywords before
+	// and after itself").
+	for _, cmp := range q.Comparisons {
+		if cmp.Group < 0 || cmp.Group >= len(groupLastTerm) || groupLastTerm[cmp.Group] < 0 {
+			a.Ignored = append(a.Ignored, "operator "+cmp.Op)
+			continue
+		}
+		ti := groupLastTerm[cmp.Group]
+		a.Terms[ti].Comparisons = append(a.Terms[ti].Comparisons, cmp)
+	}
+
+	// Aggregation attributes and group-by attributes are terms too; their
+	// entry points must resolve to columns.
+	for _, agg := range q.Aggregations {
+		if len(agg.Attr) == 0 {
+			continue // count() — handled in SQL generation
+		}
+		segs, unknown := s.segment(agg.Attr)
+		a.Ignored = append(a.Ignored, unknown...)
+		for _, seg := range segs {
+			a.Terms = append(a.Terms, Term{Text: seg, Role: RoleAggAttr, AggFunc: agg.Func})
+		}
+	}
+	for _, gb := range q.GroupBy {
+		segs, unknown := s.segment(gb)
+		a.Ignored = append(a.Ignored, unknown...)
+		for _, seg := range segs {
+			a.Terms = append(a.Terms, Term{Text: seg, Role: RoleGroupBy})
+		}
+	}
+
+	// Candidates per term.
+	a.Candidates = make([][]EntryPoint, len(a.Terms))
+	a.Complexity = 1
+	for ti, term := range a.Terms {
+		cands := s.candidates(ti, term)
+		a.Candidates[ti] = cands
+		if len(cands) > 0 {
+			a.Complexity *= len(cands)
+		}
+	}
+}
+
+// segment implements the longest-word-combination matching of §4.2.2: try
+// to match all words; on failure, recursively try smaller combinations;
+// single words known to neither index are ignored (like "and" in the
+// paper's example).
+func (s *System) segment(words []string) (segments []string, unknown []string) {
+	i := 0
+	for i < len(words) {
+		matched := false
+		for l := len(words) - i; l >= 1; l-- {
+			phrase := termKey(words[i : i+l])
+			if s.known(phrase) {
+				segments = append(segments, phrase)
+				i += l
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			unknown = append(unknown, words[i])
+			i++
+		}
+	}
+	return segments, unknown
+}
+
+// known reports whether the phrase exists in the classification index or
+// the base data. Multi-word phrases only count as base-data matches when
+// they equal a stored value ("Credit Suisse"); loose co-occurrence would
+// glue unrelated words into one term and lose schema matches ("gold
+// agreement" must split into base-data "gold" + schema term "agreement").
+func (s *System) known(phrase string) bool {
+	if s.Meta.HasLabel(phrase) {
+		if !s.Opt.DisableDBpedia {
+			return true
+		}
+		// With DBpedia disabled a phrase known only to DBpedia falls
+		// through to the base-data checks.
+		for _, n := range s.Meta.LookupLabel(phrase) {
+			if s.Meta.LayerOf(n) != metagraph.LayerDBpedia {
+				return true
+			}
+		}
+	}
+	if strings.Contains(phrase, " ") {
+		return s.Index.ContainsExact(phrase)
+	}
+	return s.Index.Contains(phrase)
+}
+
+// candidates returns the entry points for one term: every metadata node
+// carrying the label, plus every base-data column containing the phrase.
+func (s *System) candidates(ti int, term Term) []EntryPoint {
+	var out []EntryPoint
+	for _, node := range s.Meta.LookupLabel(term.Text) {
+		layer := s.Meta.LayerOf(node)
+		if s.Opt.DisableDBpedia && layer == metagraph.LayerDBpedia {
+			continue
+		}
+		ep := EntryPoint{
+			Term:  ti,
+			Kind:  KindMetadata,
+			Node:  node,
+			Layer: layer,
+		}
+		ep.Score = s.entryScore(layer) + s.feedbackAdjustment(ep)
+		switch term.Role {
+		case RoleGroupBy:
+			// Grouping attributes must resolve to a physical column.
+			if _, ok := s.resolveColumn(node); !ok {
+				continue
+			}
+		case RoleAggAttr:
+			// Aggregation attributes may resolve to a column (sum over
+			// it) or to an entity (count its key, Query 4's
+			// count(transactions)).
+			if _, ok := s.resolveColumn(node); !ok {
+				if tbl := s.entryTable(EntryPoint{Kind: KindMetadata, Node: node}); tbl == "" {
+					continue
+				}
+			}
+		}
+		out = append(out, ep)
+	}
+	for _, hit := range s.Index.Hits(term.Text) {
+		ep := EntryPoint{
+			Term:   ti,
+			Kind:   KindBaseData,
+			Layer:  metagraph.LayerBaseData,
+			Table:  hit.Table,
+			Column: hit.Column,
+			Values: hit.Values,
+		}
+		ep.Score = s.entryScore(metagraph.LayerBaseData) + s.feedbackAdjustment(ep)
+		out = append(out, ep)
+	}
+	return out
+}
+
+func (s *System) entryScore(layer string) float64 {
+	if s.Opt.UniformRanking {
+		return 1.0
+	}
+	return metagraph.LayerScore(layer)
+}
+
+// comparisonValueString renders a parsed comparison operand for Filter.
+func comparisonValueString(v queryparse.Value) (text string, isDate, isNum bool) {
+	switch v.Kind {
+	case queryparse.ValDate:
+		return v.Date.Format("2006-01-02"), true, false
+	case queryparse.ValNumber:
+		return v.String(), false, true
+	default:
+		return v.Text, false, false
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import "sort"
+
+// rank implements Step 2 (Figure 4): enumerate the combinatorial product
+// of entry points, score each combination by the location of its entry
+// points in the metadata graph, and keep the best N. "We rank the domain
+// ontology higher, because it was built by domain experts ... hence it is
+// more likely to match the intent of our business users than the general
+// terms found in DBpedia."
+func (s *System) rank(a *Analysis) {
+	// Terms without candidates are skipped entirely (unknown words are
+	// ignored, §4.4.1: "'and' might be unknown and we therefore ignore
+	// it").
+	var active [][]EntryPoint
+	for _, cands := range a.Candidates {
+		if len(cands) > 0 {
+			active = append(active, cands)
+		}
+	}
+	if len(active) == 0 {
+		// A query can still be meaningful with zero lookup terms (pure
+		// "count()" aggregations); emit one empty solution.
+		if len(a.Query.Aggregations) > 0 {
+			a.Solutions = []*Solution{{Score: 1.0, TopN: a.Query.TopN}}
+		}
+		return
+	}
+
+	// Materialise the product, capped at MaxSolutions combinations.
+	combos := [][]EntryPoint{{}}
+	for _, cands := range active {
+		var next [][]EntryPoint
+		for _, prefix := range combos {
+			for _, c := range cands {
+				combo := make([]EntryPoint, len(prefix), len(prefix)+1)
+				copy(combo, prefix)
+				next = append(next, append(combo, c))
+				if len(next) >= s.Opt.MaxSolutions {
+					break
+				}
+			}
+			if len(next) >= s.Opt.MaxSolutions {
+				break
+			}
+		}
+		combos = next
+	}
+
+	sols := make([]*Solution, 0, len(combos))
+	for _, combo := range combos {
+		score := 0.0
+		for _, e := range combo {
+			score += e.Score
+		}
+		score /= float64(len(combo))
+		sols = append(sols, &Solution{Entries: combo, Score: score, TopN: a.Query.TopN})
+	}
+
+	// Stable sort: ties keep enumeration order, so results are
+	// deterministic run to run (the graph and index iterate in insertion
+	// order).
+	sort.SliceStable(sols, func(i, j int) bool { return sols[i].Score > sols[j].Score })
+	if len(sols) > s.Opt.TopN {
+		sols = sols[:s.Opt.TopN]
+	}
+	a.Solutions = sols
+}

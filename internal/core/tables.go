@@ -1,0 +1,665 @@
+package core
+
+import (
+	"sort"
+
+	"soda/internal/metagraph"
+	"soda/internal/rdf"
+)
+
+// tablesStep implements Step 3 (Figure 4). Three parts, per §4.2.1
+// "Application in SODA":
+//
+//  1. From every entry point, recursively follow all outgoing edges in the
+//     metadata graph; at each node test the Table, Column and Inheritance
+//     Child patterns and collect table names (including inheritance
+//     parents, "because this table is needed to produce correct SQL").
+//     The union of these sets is the tables-step output shown to the user
+//     (Figure 6).
+//  2. Identify the joins needed to connect the tables: of all join
+//     conditions discoverable through the Foreign Key / Join-Relationship
+//     patterns, use those on a *direct path between the entry points*
+//     (Figure 9); join conditions merely "attached" to such a path are
+//     ignored. Each entry point's anchor is its nearest table (the first
+//     one its traversal discovers).
+//  3. Bridge tables — physical implementations of N-to-N relationships
+//     with two outgoing foreign keys — connect entry points that have no
+//     plain FK path (financial_instruments ↔ securities); they also
+//     faithfully reproduce the paper's failure mode where bridges between
+//     inheritance siblings (Figure 10) hijack the join path (Q5.0, Q9.0)
+//     unless annotated with ignore_join (§5.3.1).
+func (s *System) tablesStep(sol *Solution, a *Analysis) {
+	jg := s.joinGraphCached()
+
+	// Part 1: per-entry table sets via graph traversal (discovery view).
+	entrySets := make([][]string, len(sol.Entries))
+	discovered := make(map[string]bool)
+	var tables []string
+	addDiscovered := func(t string) {
+		if t != "" && !discovered[t] {
+			discovered[t] = true
+			tables = append(tables, t)
+		}
+	}
+	for i, e := range sol.Entries {
+		set := s.entryTables(e)
+		entrySets[i] = set
+		for _, t := range set {
+			addDiscovered(t)
+		}
+	}
+
+	// Discovery view of bridges: a bridge between two discovered tables
+	// is part of the Figure 6 output.
+	if !s.Opt.DisableBridges {
+		for _, br := range s.bridgesCached() {
+			if br.ignored {
+				continue
+			}
+			if discovered[br.left.Table] && discovered[br.right.Table] {
+				addDiscovered(br.bridge)
+			}
+		}
+	}
+	sol.Tables = tables
+
+	// Anchors: each entry's nearest table.
+	var primaries []string
+	for _, set := range entrySets {
+		if len(set) > 0 {
+			primaries = append(primaries, set[0])
+		}
+	}
+	sol.Primaries = primaries
+
+	// Part 2+3: joins on direct paths between the anchors, walking the
+	// global join graph built from the Foreign Key / Join-Relationship
+	// patterns (bridge edges included unless ablated).
+	inSQL := make(map[string]bool)
+	var sqlTables []string
+	addSQLTable := func(t string) {
+		if t != "" && !inSQL[t] {
+			inSQL[t] = true
+			sqlTables = append(sqlTables, t)
+		}
+	}
+	joinSeen := make(map[Join]bool)
+	var joins []Join
+	addJoin := func(j Join) {
+		if joinSeen[j] {
+			return
+		}
+		joinSeen[j] = true
+		joins = append(joins, j)
+		addSQLTable(j.LeftTable)
+		addSQLTable(j.RightTable)
+	}
+	for _, p := range primaries {
+		addSQLTable(p)
+	}
+
+	for i := 0; i < len(primaries); i++ {
+		for j := i + 1; j < len(primaries); j++ {
+			if primaries[i] == primaries[j] {
+				continue
+			}
+			path, ok := jg.shortestPath(
+				[]string{primaries[i]}, []string{primaries[j]},
+				s.Opt.DisableBridges, s.Opt.MaxPathLen)
+			if !ok {
+				sol.Disconnected = true
+				continue
+			}
+			for _, e := range path {
+				addJoin(e.join())
+			}
+		}
+	}
+
+	// Business-object closure: an anchored table is joined upward along
+	// its outgoing foreign keys and inheritance links — the paper's
+	// Query 1 selects FROM parties, individuals even though both keywords
+	// hit individuals, and a hit in a historised satellite table joins up
+	// to its entity. N-to-1 joins over total foreign keys preserve the
+	// result rows while completing the business object; this is also
+	// where the bi-temporal snapshot trap of §5.2.1 bites (the modelled
+	// snapshot join silently drops historic versions).
+	for _, p := range primaries {
+		s.fkUpwardClosure(p, addJoin, addSQLTable)
+	}
+
+	// Ablation: keep every join between the SQL tables (Figure 9 off).
+	if s.Opt.AllJoins {
+		for _, e := range jg.edges {
+			if e.ignored {
+				continue
+			}
+			if inSQL[e.t1] && inSQL[e.t2] {
+				addJoin(e.join())
+			}
+		}
+	}
+
+	sol.SQLTables = sqlTables
+	sol.Joins = joins
+	if !connectedUnder(sqlTables, joins) {
+		sol.Disconnected = true
+	}
+}
+
+// fkUpwardClosure joins a table with everything it references: outgoing
+// foreign keys (t1 is always the FK side) and inheritance parents,
+// transitively. Bridge edges are excluded — following a bridge would jump
+// to an unrelated entity, not complete the current one. The closure is
+// capped to keep FROM lists sane on pathological schemas.
+func (s *System) fkUpwardClosure(table string, addJoin func(Join), addTable func(string)) {
+	const maxClosure = 16
+	jg := s.joinGraphCached()
+	visited := map[string]bool{table: true}
+	queue := []string{table}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		var outs []jgEdge
+		for _, ei := range jg.adj[cur] {
+			e := jg.edges[ei]
+			if e.ignored || e.via == "bridge" || e.t1 != cur {
+				continue
+			}
+			outs = append(outs, e)
+		}
+		sort.Slice(outs, func(i, j int) bool {
+			if outs[i].t2 != outs[j].t2 {
+				return outs[i].t2 < outs[j].t2
+			}
+			return outs[i].c1 < outs[j].c1
+		})
+		// Follow at most one FK per referenced table: a fact table with
+		// two role FKs to the same dimension (fromparty/toparty) must not
+		// join both on a single instance — that would force the roles to
+		// coincide. Without aliases SODA keeps the first role.
+		followed := make(map[string]bool)
+		for _, e := range outs {
+			if len(visited) >= maxClosure {
+				return
+			}
+			if followed[e.t2] {
+				continue
+			}
+			followed[e.t2] = true
+			addTable(e.t2)
+			addJoin(e.join())
+			if !visited[e.t2] {
+				visited[e.t2] = true
+				queue = append(queue, e.t2)
+			}
+		}
+	}
+}
+
+// entryTables runs the traversal of part 1 for a single entry point. The
+// first table in the result is the entry's anchor (nearest table).
+func (s *System) entryTables(e EntryPoint) []string {
+	collected := make(map[string]bool)
+	var out []string
+	add := func(t string) {
+		if t != "" && !collected[t] {
+			collected[t] = true
+			out = append(out, t)
+		}
+	}
+
+	if e.Kind == KindBaseData {
+		// The entry is a (table, column) hit; the table anchors it, and
+		// traversal continues from the column node (a foreign key on the
+		// column can reach other tables).
+		add(e.Table)
+		if tblNode, ok := s.findTableNode(e.Table); ok {
+			s.collectInheritanceParents(tblNode, add)
+		}
+		if colNode, ok := s.findColumnNode(e.Table, e.Column); ok {
+			s.traverse(colNode, add)
+		}
+		return out
+	}
+	s.traverse(e.Node, add)
+	return out
+}
+
+// traverse BFSes outgoing edges from start, testing patterns at every
+// visited node and collecting table names. BFS order makes the first
+// collected table the nearest one — the entry's anchor.
+func (s *System) traverse(start rdf.Term, add func(string)) {
+	visited := map[rdf.Term]bool{start: true}
+	queue := []rdf.Term{start}
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+
+		s.collectAtNode(node, add)
+
+		s.Meta.G.Outgoing(node, func(p, o rdf.Term) bool {
+			if !o.IsIRI() || visited[o] {
+				return true
+			}
+			visited[o] = true
+			queue = append(queue, o)
+			return true
+		})
+	}
+}
+
+// collectAtNode tests the Table, Column and Inheritance Child patterns at
+// one node, per §4.2.1 "Application in SODA".
+func (s *System) collectAtNode(node rdf.Term, add func(string)) {
+	if name, ok := s.tableOfNode(node); ok {
+		add(name)
+		s.collectInheritanceParents(node, add)
+		return
+	}
+	// Column pattern: collect the owning table (binding z).
+	if bs := s.matcher.MatchName(metagraph.PatColumn, node); len(bs) > 0 {
+		if z, ok := bs[0].Get("z"); ok {
+			if name, ok := s.tableOfNode(z); ok {
+				add(name)
+				s.collectInheritanceParents(z, add)
+			}
+		}
+	}
+}
+
+// collectInheritanceParents walks the Inheritance Child pattern up through
+// multi-level hierarchies, collecting every ancestor table.
+func (s *System) collectInheritanceParents(node rdf.Term, add func(string)) {
+	for depth := 0; depth < 8; depth++ {
+		bs := s.matcher.MatchName(metagraph.PatInheritanceChild, node)
+		if len(bs) == 0 {
+			return
+		}
+		parent, ok := bs[0].Get("p")
+		if !ok {
+			return
+		}
+		if name, ok := s.tableOfNode(parent); ok {
+			add(name)
+		}
+		node = parent
+	}
+}
+
+// tableOfNode returns the table name if node matches the Table pattern,
+// memoised (traversals revisit table nodes constantly).
+func (s *System) tableOfNode(node rdf.Term) (string, bool) {
+	if name, ok := s.tblMemo[node]; ok {
+		return name, name != ""
+	}
+	name := ""
+	if s.matcher.MatchesName(metagraph.PatTable, node) {
+		if n, ok := s.Meta.TableName(node); ok {
+			name = n
+		}
+	}
+	s.tblMemo[node] = name
+	return name, name != ""
+}
+
+// columnFollowPreds are the predicates resolveColumn may traverse: the
+// cross-layer refinement chain only. Wandering through relationship or
+// table-composition edges would resolve an *entity* term to some arbitrary
+// column of a related table.
+var columnFollowPreds = map[string]bool{
+	metagraph.PredImplements:   true,
+	metagraph.PredClassifies:   true,
+	metagraph.PredRefersTo:     true,
+	metagraph.PredSubConceptOf: true,
+}
+
+// resolveColumn follows the refinement chain from a metadata node until it
+// reaches a physical column (used to resolve filter/aggregation attributes
+// like "birth date" → individuals.birth_dt across schema layers, §6.2).
+func (s *System) resolveColumn(node rdf.Term) (ColRef, bool) {
+	if ref, ok := s.colMemo[node]; ok {
+		return ref, ref.Table != ""
+	}
+	ref := ColRef{}
+	visited := map[rdf.Term]bool{node: true}
+	queue := []rdf.Term{node}
+	for len(queue) > 0 && ref.Table == "" {
+		n := queue[0]
+		queue = queue[1:]
+		if r, ok := s.columnRef(n); ok {
+			ref = r
+			break
+		}
+		s.Meta.G.Outgoing(n, func(p, o rdf.Term) bool {
+			if !columnFollowPreds[p.Value()] {
+				return true
+			}
+			if o.IsIRI() && !visited[o] {
+				visited[o] = true
+				queue = append(queue, o)
+			}
+			return true
+		})
+	}
+	s.colMemo[node] = ref
+	return ref, ref.Table != ""
+}
+
+// findTableNode locates the metadata node of a physical table by its
+// builder naming contract ("tbl:<name>").
+func (s *System) findTableNode(table string) (rdf.Term, bool) {
+	node := rdf.NewIRI("tbl:" + table)
+	if _, ok := s.Meta.TypeOf(node); ok {
+		return node, true
+	}
+	return rdf.Term{}, false
+}
+
+// findColumnNode locates the metadata node of a physical column
+// ("col:<table>.<column>").
+func (s *System) findColumnNode(table, column string) (rdf.Term, bool) {
+	node := rdf.NewIRI("col:" + table + "." + column)
+	if _, ok := s.Meta.TypeOf(node); ok {
+		return node, true
+	}
+	return rdf.Term{}, false
+}
+
+// ---- Join graph -----------------------------------------------------
+
+// jgEdge is one join condition in the global join graph.
+type jgEdge struct {
+	t1, c1, t2, c2 string
+	via            string // "fk", "joinrel", "inheritance", "bridge"
+	ignored        bool
+}
+
+func (e jgEdge) join() Join {
+	return Join{LeftTable: e.t1, LeftCol: e.c1, RightTable: e.t2, RightCol: e.c2, Via: e.via}
+}
+
+type joinGraph struct {
+	edges []jgEdge
+	adj   map[string][]int // table -> edge indexes
+}
+
+// bridgeRel is one discovered bridge table with its two FK targets.
+type bridgeRel struct {
+	bridge            string
+	leftCol, rightCol string
+	left, right       ColRef
+	ignored           bool
+}
+
+// joinGraphCached builds (once) the global join graph by matching the
+// Foreign Key and Join-Relationship patterns across the whole metadata
+// graph, honouring ignore_join annotations (§5.3.1). Edges touching a
+// bridge table are tagged via="bridge" so the Figure 9 pathfinding can be
+// ablated separately.
+func (s *System) joinGraphCached() *joinGraph {
+	if s.jg != nil {
+		return s.jg
+	}
+	bridgeTables := make(map[string]bool)
+	for _, br := range s.bridgesCached() {
+		bridgeTables[br.bridge] = true
+	}
+
+	jg := &joinGraph{adj: make(map[string][]int)}
+	ignorePred := rdf.NewIRI(metagraph.PredIgnoreJoin)
+
+	addEdge := func(fkCol, pkCol rdf.Term, extraIgnore bool) {
+		fkRef, ok1 := s.columnRef(fkCol)
+		pkRef, ok2 := s.columnRef(pkCol)
+		if !ok1 || !ok2 || fkRef.Table == pkRef.Table {
+			return
+		}
+		ignored := extraIgnore ||
+			s.Meta.G.Has(fkCol, ignorePred, rdf.NewText("true")) ||
+			s.Meta.G.Has(pkCol, ignorePred, rdf.NewText("true"))
+		via := "fk"
+		switch {
+		case bridgeTables[fkRef.Table] || bridgeTables[pkRef.Table]:
+			via = "bridge"
+		case s.isInheritanceLink(fkRef.Table, pkRef.Table):
+			via = "inheritance"
+		}
+		e := jgEdge{t1: fkRef.Table, c1: fkRef.Column, t2: pkRef.Table, c2: pkRef.Column, via: via, ignored: ignored}
+		for _, have := range jg.edges {
+			if have == e {
+				return
+			}
+		}
+		idx := len(jg.edges)
+		jg.edges = append(jg.edges, e)
+		jg.adj[e.t1] = append(jg.adj[e.t1], idx)
+		jg.adj[e.t2] = append(jg.adj[e.t2], idx)
+	}
+
+	// Simple foreign keys (Figure 8).
+	for _, b := range s.matcher.FindAll(s.Reg.Get(metagraph.PatForeignKey)) {
+		x, _ := b.Get("x")
+		y, _ := b.Get("y")
+		addEdge(x, y, false)
+	}
+	// Explicit join nodes (the Credit Suisse Join-Relationship pattern).
+	for _, b := range s.matcher.FindAll(s.Reg.Get(metagraph.PatJoinRelationship)) {
+		x, _ := b.Get("x") // the join node
+		f, _ := b.Get("f")
+		p, _ := b.Get("p")
+		ignored := s.Meta.G.Has(x, ignorePred, rdf.NewText("true"))
+		addEdge(f, p, ignored)
+	}
+	s.jg = jg
+	return jg
+}
+
+// columnRef resolves a column node to (table, column) without traversal.
+func (s *System) columnRef(col rdf.Term) (ColRef, bool) {
+	cname, ok := s.Meta.ColumnName(col)
+	if !ok {
+		return ColRef{}, false
+	}
+	tbl, ok := s.Meta.ColumnTable(col)
+	if !ok {
+		return ColRef{}, false
+	}
+	tname, ok := s.Meta.TableName(tbl)
+	if !ok {
+		return ColRef{}, false
+	}
+	return ColRef{Table: tname, Column: cname}, true
+}
+
+// isInheritanceLink reports whether child/parent tables participate in the
+// same inheritance node.
+func (s *System) isInheritanceLink(childTable, parentTable string) bool {
+	child, ok := s.findTableNode(childTable)
+	if !ok {
+		return false
+	}
+	for _, b := range s.matcher.MatchName(metagraph.PatInheritanceChild, child) {
+		if p, ok := b.Get("p"); ok {
+			if name, ok := s.Meta.TableName(p); ok && name == parentTable {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bridgesCached finds every bridge table once: tables matching the Bridge
+// Table pattern with two foreign keys into *different* tables.
+func (s *System) bridgesCached() []bridgeRel {
+	if s.bridgeDone {
+		return s.bridgeMemo
+	}
+	var out []bridgeRel
+	seen := make(map[string]bool)
+	ignorePred := rdf.NewIRI(metagraph.PredIgnoreJoin)
+	for _, b := range s.matcher.FindAll(s.Reg.Get(metagraph.PatBridgeTable)) {
+		x, _ := b.Get("x")
+		name, ok := s.Meta.TableName(x)
+		if !ok || seen[name] {
+			continue
+		}
+		// Re-match at the node to get all column pairings.
+		for _, bb := range s.matcher.MatchName(metagraph.PatBridgeTable, x) {
+			c1, _ := bb.Get("c1")
+			c2, _ := bb.Get("c2")
+			p1, _ := bb.Get("p1")
+			p2, _ := bb.Get("p2")
+			if c1 == c2 {
+				continue // the pattern cannot express ≠, we can
+			}
+			l, ok1 := s.columnRef(p1)
+			r, ok2 := s.columnRef(p2)
+			if !ok1 || !ok2 || l.Table == r.Table || l.Table == name || r.Table == name {
+				continue
+			}
+			lc, _ := s.Meta.ColumnName(c1)
+			rc, _ := s.Meta.ColumnName(c2)
+			ignored := s.Meta.G.Has(x, ignorePred, rdf.NewText("true")) ||
+				s.Meta.G.Has(c1, ignorePred, rdf.NewText("true")) ||
+				s.Meta.G.Has(c2, ignorePred, rdf.NewText("true"))
+			// Canonical orientation to avoid duplicates from symmetric
+			// bindings.
+			if l.Table > r.Table {
+				l, r = r, l
+				lc, rc = rc, lc
+			}
+			rel := bridgeRel{bridge: name, leftCol: lc, rightCol: rc, left: l, right: r, ignored: ignored}
+			dup := false
+			for _, have := range out {
+				if have.bridge == rel.bridge && have.left == rel.left && have.right == rel.right {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, rel)
+			}
+		}
+		seen[name] = true
+	}
+	s.bridgeMemo = out
+	s.bridgeDone = true
+	return out
+}
+
+// shortestPath runs a BFS over the join graph from any table in src to any
+// table in dst, skipping ignored edges (and bridge edges when
+// skipBridges). It returns the edges of one shortest path,
+// deterministically: neighbours are explored in sorted table order so tied
+// paths resolve the same way every run.
+func (g *joinGraph) shortestPath(src, dst []string, skipBridges bool, maxLen int) ([]jgEdge, bool) {
+	dstSet := make(map[string]bool, len(dst))
+	for _, t := range dst {
+		dstSet[t] = true
+	}
+	type state struct {
+		table string
+		via   int // edge index used to reach it, -1 for sources
+		prev  int // index into states, -1 for sources
+		depth int
+	}
+	var states []state
+	visited := make(map[string]bool)
+	queue := []int{}
+	srcSorted := append([]string(nil), src...)
+	sort.Strings(srcSorted)
+	for _, t := range srcSorted {
+		if visited[t] {
+			continue
+		}
+		visited[t] = true
+		states = append(states, state{table: t, via: -1, prev: -1, depth: 0})
+		queue = append(queue, len(states)-1)
+	}
+	for len(queue) > 0 {
+		si := queue[0]
+		queue = queue[1:]
+		st := states[si]
+		if dstSet[st.table] {
+			var path []jgEdge
+			for cur := si; states[cur].via >= 0; cur = states[cur].prev {
+				path = append(path, g.edges[states[cur].via])
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path, true
+		}
+		if maxLen > 0 && st.depth >= maxLen {
+			continue // path would exceed the far-fetching bound
+		}
+		// Deterministic neighbour order: sort candidate edges by the
+		// neighbour table name, then by column names.
+		type cand struct {
+			next string
+			ei   int
+		}
+		var cands []cand
+		for _, ei := range g.adj[st.table] {
+			e := g.edges[ei]
+			if e.ignored || (skipBridges && e.via == "bridge") {
+				continue
+			}
+			next := e.t1
+			if next == st.table {
+				next = e.t2
+			}
+			if visited[next] {
+				continue
+			}
+			cands = append(cands, cand{next: next, ei: ei})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].next != cands[j].next {
+				return cands[i].next < cands[j].next
+			}
+			return cands[i].ei < cands[j].ei
+		})
+		for _, c := range cands {
+			if visited[c.next] {
+				continue
+			}
+			visited[c.next] = true
+			states = append(states, state{table: c.next, via: c.ei, prev: si, depth: st.depth + 1})
+			queue = append(queue, len(states)-1)
+		}
+	}
+	return nil, false
+}
+
+// connectedUnder reports whether the tables form one connected component
+// under the given joins.
+func connectedUnder(tables []string, joins []Join) bool {
+	if len(tables) <= 1 {
+		return true
+	}
+	adj := make(map[string][]string)
+	for _, j := range joins {
+		adj[j.LeftTable] = append(adj[j.LeftTable], j.RightTable)
+		adj[j.RightTable] = append(adj[j.RightTable], j.LeftTable)
+	}
+	visited := map[string]bool{tables[0]: true}
+	queue := []string{tables[0]}
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		for _, n := range adj[t] {
+			if !visited[n] {
+				visited[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	for _, t := range tables {
+		if !visited[t] {
+			return false
+		}
+	}
+	return true
+}

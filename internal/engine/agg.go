@@ -1,0 +1,283 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"soda/internal/sqlast"
+)
+
+// aggState accumulates one aggregate over a group.
+type aggState struct {
+	call  *sqlast.FuncCall
+	count int64
+	sum   float64
+	sumI  int64
+	isInt bool
+	min   Value
+	max   Value
+	seen  bool
+}
+
+func newAggState(call *sqlast.FuncCall) *aggState {
+	return &aggState{call: call, isInt: true}
+}
+
+func (a *aggState) add(v Value) {
+	if a.call.Star {
+		a.count++
+		return
+	}
+	if v.IsNull() {
+		return // aggregates skip NULLs
+	}
+	a.count++
+	switch a.call.Name {
+	case "sum", "avg":
+		f, ok := v.numeric()
+		if !ok {
+			return
+		}
+		a.sum += f
+		if v.Kind == KInt {
+			a.sumI += v.I
+		} else {
+			a.isInt = false
+		}
+	case "min":
+		if !a.seen {
+			a.min = v
+		} else if cmp, ok := Compare(v, a.min); ok && cmp < 0 {
+			a.min = v
+		}
+	case "max":
+		if !a.seen {
+			a.max = v
+		} else if cmp, ok := Compare(v, a.max); ok && cmp > 0 {
+			a.max = v
+		}
+	}
+	a.seen = true
+}
+
+func (a *aggState) result() Value {
+	switch a.call.Name {
+	case "count":
+		return Int(a.count)
+	case "sum":
+		if a.count == 0 {
+			return Null()
+		}
+		if a.isInt {
+			return Int(a.sumI)
+		}
+		return Float(a.sum)
+	case "avg":
+		if a.count == 0 {
+			return Null()
+		}
+		return Float(a.sum / float64(a.count))
+	case "min":
+		if !a.seen {
+			return Null()
+		}
+		return a.min
+	case "max":
+		if !a.seen {
+			return Null()
+		}
+		return a.max
+	default:
+		return Null()
+	}
+}
+
+// collectAggCalls gathers every aggregate FuncCall node reachable from the
+// select list and order keys, in deterministic order.
+func collectAggCalls(sel *sqlast.Select) []*sqlast.FuncCall {
+	var calls []*sqlast.FuncCall
+	var walk func(sqlast.Expr)
+	walk = func(e sqlast.Expr) {
+		switch x := e.(type) {
+		case *sqlast.FuncCall:
+			if x.IsAggregate() {
+				calls = append(calls, x)
+				return
+			}
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *sqlast.Binary:
+			walk(x.L)
+			walk(x.R)
+		case *sqlast.Not:
+			walk(x.X)
+		case *sqlast.IsNull:
+			walk(x.X)
+		}
+	}
+	for _, it := range sel.Items {
+		if !it.Star {
+			walk(it.Expr)
+		}
+	}
+	for _, o := range sel.OrderBy {
+		walk(o.Expr)
+	}
+	if sel.Having != nil {
+		walk(sel.Having)
+	}
+	return calls
+}
+
+// aggregatePhase implements GROUP BY + aggregate evaluation, then ORDER BY
+// and LIMIT over the groups.
+func aggregatePhase(ctx *evalCtx, sel *sqlast.Select, tuples []tuple) (*Result, error) {
+	for _, it := range sel.Items {
+		if it.Star {
+			return nil, fmt.Errorf("engine: SELECT * cannot be combined with aggregation")
+		}
+	}
+	aggCalls := collectAggCalls(sel)
+
+	type group struct {
+		rep  tuple // representative tuple for group-by column values
+		aggs []*aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	for _, tu := range tuples {
+		var kb strings.Builder
+		for _, e := range sel.GroupBy {
+			v, err := ctx.eval(e, tu)
+			if err != nil {
+				return nil, err
+			}
+			kb.WriteString(v.Key())
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{rep: tu, aggs: make([]*aggState, len(aggCalls))}
+			for i, call := range aggCalls {
+				g.aggs[i] = newAggState(call)
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, call := range aggCalls {
+			if call.Star {
+				g.aggs[i].add(Null())
+				continue
+			}
+			if len(call.Args) != 1 {
+				return nil, fmt.Errorf("engine: aggregate %s expects 1 argument", call.Name)
+			}
+			v, err := ctx.eval(call.Args[0], tu)
+			if err != nil {
+				return nil, err
+			}
+			g.aggs[i].add(v)
+		}
+	}
+
+	// A global aggregate over zero rows still produces one group
+	// (e.g. SELECT count(*) FROM empty -> 0).
+	if len(sel.GroupBy) == 0 && len(groups) == 0 {
+		g := &group{rep: nil, aggs: make([]*aggState, len(aggCalls))}
+		for i, call := range aggCalls {
+			g.aggs[i] = newAggState(call)
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	cols := make([]string, 0, len(sel.Items))
+	for _, it := range sel.Items {
+		name := it.Alias
+		if name == "" {
+			name = it.Expr.String()
+		}
+		cols = append(cols, strings.ToLower(name))
+	}
+	res := &Result{Columns: cols}
+
+	type sortableRow struct {
+		row  []Value
+		keys []Value
+	}
+	rows := make([]sortableRow, 0, len(groups))
+
+	nullTuple := make(tuple, len(ctx.rels))
+	for i := range nullTuple {
+		nullTuple[i] = -1
+	}
+
+	for _, k := range order {
+		g := groups[k]
+		ctx.aggs = make(map[*sqlast.FuncCall]Value, len(aggCalls))
+		for i, call := range aggCalls {
+			ctx.aggs[call] = g.aggs[i].result()
+		}
+		rep := g.rep
+		if rep == nil {
+			rep = nullTuple
+		}
+		if sel.Having != nil {
+			ts, err := ctx.evalPred(sel.Having, rep)
+			if err != nil {
+				return nil, err
+			}
+			if ts != True {
+				continue
+			}
+		}
+		row := make([]Value, 0, len(sel.Items))
+		for _, it := range sel.Items {
+			v, err := ctx.eval(it.Expr, rep)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		keys := make([]Value, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			v, err := ctx.eval(o.Expr, rep)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		rows = append(rows, sortableRow{row: row, keys: keys})
+	}
+	ctx.aggs = nil
+
+	if sel.Distinct {
+		seen := make(map[string]bool, len(rows))
+		kept := rows[:0]
+		for _, r := range rows {
+			rk := rowKey(r.row)
+			if seen[rk] {
+				continue
+			}
+			seen[rk] = true
+			kept = append(kept, r)
+		}
+		rows = kept
+	}
+	if len(sel.OrderBy) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			return lessKeys(rows[i].keys, rows[j].keys, sel.OrderBy)
+		})
+	}
+	if sel.Limit >= 0 && len(rows) > sel.Limit {
+		rows = rows[:sel.Limit]
+	}
+	for _, r := range rows {
+		res.Rows = append(res.Rows, r.row)
+	}
+	return res, nil
+}

@@ -1,0 +1,279 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"soda/internal/sqlparse"
+)
+
+// randomDB builds a small random two/three-table database with referential
+// integrity, for planner property tests.
+func randomDB(seed int64) *DB {
+	rng := rand.New(rand.NewSource(seed))
+	db := NewDB()
+	parent := db.Create("p",
+		Column{Name: "id", Type: TInt},
+		Column{Name: "grp", Type: TString})
+	child := db.Create("c",
+		Column{Name: "id", Type: TInt},
+		Column{Name: "pid", Type: TInt},
+		Column{Name: "v", Type: TFloat})
+	other := db.Create("o",
+		Column{Name: "id", Type: TInt},
+		Column{Name: "pid", Type: TInt},
+		Column{Name: "tag", Type: TString})
+
+	nP := 3 + rng.Intn(6)
+	for i := 1; i <= nP; i++ {
+		parent.Insert(Int(int64(i)), Str(fmt.Sprintf("g%d", i%3)))
+	}
+	nC := rng.Intn(20)
+	for i := 1; i <= nC; i++ {
+		child.Insert(Int(int64(i)), Int(int64(rng.Intn(nP)+1)), Float(float64(rng.Intn(100))))
+	}
+	nO := rng.Intn(10)
+	for i := 1; i <= nO; i++ {
+		other.Insert(Int(int64(i)), Int(int64(rng.Intn(nP)+1)), Str(fmt.Sprintf("t%d", i%2)))
+	}
+	return db
+}
+
+// canonicalRows renders a result as a sorted multiset of row strings with
+// columns ordered by name, so results with permuted FROM lists compare
+// equal.
+func canonicalRows(res *Result) []string {
+	order := make([]int, len(res.Columns))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return res.Columns[order[a]] < res.Columns[order[b]] })
+	rows := make([]string, len(res.Rows))
+	for ri, row := range res.Rows {
+		parts := make([]string, len(order))
+		for i, ci := range order {
+			parts[i] = res.Columns[ci] + "=" + row[ci].Key()
+		}
+		rows[ri] = strings.Join(parts, ",")
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// property: permuting the FROM list never changes the result multiset
+// (the planner's join-order choices must be semantically invisible).
+func TestJoinOrderInvarianceQuick(t *testing.T) {
+	f := func(seed int64, filterV uint8) bool {
+		db := randomDB(seed)
+		where := fmt.Sprintf("c.pid = p.id AND o.pid = p.id AND c.v >= %d", filterV%50)
+		froms := [][]string{
+			{"p", "c", "o"},
+			{"c", "o", "p"},
+			{"o", "p", "c"},
+			{"c", "p", "o"},
+		}
+		var want []string
+		for i, fr := range froms {
+			sql := "SELECT * FROM " + strings.Join(fr, ", ") + " WHERE " + where
+			res, err := Exec(db, sqlparse.MustParse(sql))
+			if err != nil {
+				return false
+			}
+			got := canonicalRows(res)
+			if i == 0 {
+				want = got
+				continue
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// property: a WHERE filter never increases the result size, and dropping
+// it yields a superset.
+func TestFilterMonotonicityQuick(t *testing.T) {
+	f := func(seed int64, threshold uint8) bool {
+		db := randomDB(seed)
+		all, err := Exec(db, sqlparse.MustParse("SELECT * FROM c"))
+		if err != nil {
+			return false
+		}
+		filtered, err := Exec(db, sqlparse.MustParse(
+			fmt.Sprintf("SELECT * FROM c WHERE v >= %d", threshold%100)))
+		if err != nil {
+			return false
+		}
+		if filtered.NumRows() > all.NumRows() {
+			return false
+		}
+		allSet := all.KeySet()
+		for i := range filtered.Rows {
+			if _, ok := allSet[filtered.RowKey(i)]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// property: COUNT(*) equals the row count of the same SELECT *.
+func TestCountMatchesRowsQuick(t *testing.T) {
+	f := func(seed int64, threshold uint8) bool {
+		db := randomDB(seed)
+		where := fmt.Sprintf(" WHERE c.pid = p.id AND c.v < %d", threshold%120)
+		rows, err := Exec(db, sqlparse.MustParse("SELECT * FROM p, c"+where))
+		if err != nil {
+			return false
+		}
+		cnt, err := Exec(db, sqlparse.MustParse("SELECT count(*) FROM p, c"+where))
+		if err != nil {
+			return false
+		}
+		return cnt.Rows[0][0].I == int64(rows.NumRows())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// property: GROUP BY sums partition the global sum.
+func TestGroupSumsPartitionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		db := randomDB(seed)
+		total, err := Exec(db, sqlparse.MustParse("SELECT sum(v) FROM c"))
+		if err != nil {
+			return false
+		}
+		grouped, err := Exec(db, sqlparse.MustParse(
+			"SELECT pid, sum(v) FROM c GROUP BY pid"))
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, row := range grouped.Rows {
+			if row[1].IsNull() {
+				continue
+			}
+			sum += row[1].F
+		}
+		if total.Rows[0][0].IsNull() {
+			return sum == 0
+		}
+		return sum == total.Rows[0][0].F // whole numbers: exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// property: LIMIT n returns exactly min(n, total) rows and a prefix of
+// the ordered result.
+func TestLimitPrefixQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		db := randomDB(seed)
+		full, err := Exec(db, sqlparse.MustParse("SELECT id FROM c ORDER BY id"))
+		if err != nil {
+			return false
+		}
+		limit := int(n % 25)
+		lim, err := Exec(db, sqlparse.MustParse(
+			fmt.Sprintf("SELECT id FROM c ORDER BY id LIMIT %d", limit)))
+		if err != nil {
+			return false
+		}
+		want := limit
+		if full.NumRows() < want {
+			want = full.NumRows()
+		}
+		if lim.NumRows() != want {
+			return false
+		}
+		for i := 0; i < want; i++ {
+			if lim.Rows[i][0] != full.Rows[i][0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// property: DISTINCT is idempotent and never larger than the raw result.
+func TestDistinctIdempotentQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		db := randomDB(seed)
+		raw, err := Exec(db, sqlparse.MustParse("SELECT grp FROM p"))
+		if err != nil {
+			return false
+		}
+		d1, err := Exec(db, sqlparse.MustParse("SELECT DISTINCT grp FROM p"))
+		if err != nil {
+			return false
+		}
+		if d1.NumRows() > raw.NumRows() {
+			return false
+		}
+		seen := map[string]bool{}
+		for i := range d1.Rows {
+			k := d1.RowKey(i)
+			if seen[k] {
+				return false // duplicates survived DISTINCT
+			}
+			seen[k] = true
+		}
+		return len(seen) == len(raw.KeySet())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	db := NewDB()
+	tbl := db.Create("t",
+		Column{Name: "a", Type: TInt},
+		Column{Name: "b", Type: TString})
+	tbl.Insert(Int(2), Str("x"))
+	tbl.Insert(Int(1), Str("y"))
+	tbl.Insert(Int(1), Str("x"))
+	res, err := Exec(db, sqlparse.MustParse("SELECT a, b FROM t ORDER BY a, b DESC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("%v%v|%v%v|%v%v",
+		res.Rows[0][0], res.Rows[0][1], res.Rows[1][0], res.Rows[1][1], res.Rows[2][0], res.Rows[2][1])
+	if got != "1y|1x|2x" {
+		t.Fatalf("order = %s", got)
+	}
+}
+
+func TestTableDotStarProjection(t *testing.T) {
+	db := randomDB(1)
+	res, err := Exec(db, sqlparse.MustParse("SELECT p.* FROM p, c WHERE c.pid = p.id"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 2 || res.Columns[0] != "p.id" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}

@@ -1,0 +1,524 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"soda/internal/sqlast"
+)
+
+// Result is a materialised query result.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// NumRows returns the number of result rows.
+func (r *Result) NumRows() int { return len(r.Rows) }
+
+// RowKey returns a canonical encoding of row i for set comparison
+// (precision/recall against gold standards compares tuples as sets).
+func (r *Result) RowKey(i int) string {
+	parts := make([]string, len(r.Rows[i]))
+	for j, v := range r.Rows[i] {
+		parts[j] = v.Key()
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// KeySet returns the set of row keys with multiplicity collapsed.
+func (r *Result) KeySet() map[string]struct{} {
+	set := make(map[string]struct{}, len(r.Rows))
+	for i := range r.Rows {
+		set[r.RowKey(i)] = struct{}{}
+	}
+	return set
+}
+
+// Exec executes a SELECT against the database.
+func Exec(db *DB, sel *sqlast.Select) (*Result, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("engine: empty FROM list")
+	}
+
+	ctx := &evalCtx{locs: make(map[*sqlast.ColumnRef]colLoc)}
+	seen := make(map[string]bool)
+	for _, ref := range sel.From {
+		tbl := db.Table(ref.Table)
+		if tbl == nil {
+			return nil, fmt.Errorf("engine: unknown table %s", ref.Table)
+		}
+		name := strings.ToLower(ref.Name())
+		if seen[name] {
+			return nil, fmt.Errorf("engine: duplicate table name %s in FROM (alias needed)", name)
+		}
+		seen[name] = true
+		ctx.rels = append(ctx.rels, relation{name: name, tbl: tbl})
+	}
+
+	// Resolve every expression up front.
+	for _, it := range sel.Items {
+		if it.Star {
+			if it.Table != "" && !seen[strings.ToLower(it.Table)] {
+				return nil, fmt.Errorf("engine: %s.* refers to unknown table", it.Table)
+			}
+			continue
+		}
+		if err := ctx.resolve(it.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Where != nil {
+		if err := ctx.resolve(sel.Where); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range sel.GroupBy {
+		if err := ctx.resolve(g); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range sel.OrderBy {
+		if err := ctx.resolve(o.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Having != nil {
+		if err := ctx.resolve(sel.Having); err != nil {
+			return nil, err
+		}
+	}
+
+	tuples, err := joinPhase(ctx, sel)
+	if err != nil {
+		return nil, err
+	}
+
+	if len(sel.GroupBy) > 0 || sel.HasAggregate() || sel.Having != nil {
+		return aggregatePhase(ctx, sel, tuples)
+	}
+	return projectPhase(ctx, sel, tuples)
+}
+
+// conjunctClass classifies a WHERE conjunct for the planner.
+type conjunctClass uint8
+
+const (
+	classSingle   conjunctClass = iota // references exactly one relation
+	classEquiJoin                      // colA = colB across two relations
+	classResidual                      // everything else
+)
+
+type plannedConjunct struct {
+	expr  sqlast.Expr
+	class conjunctClass
+	rel   int // classSingle: the relation
+	// classEquiJoin fields:
+	relL, relR colLoc
+}
+
+func classify(ctx *evalCtx, e sqlast.Expr) plannedConjunct {
+	refs := sqlast.ColumnRefs(e)
+	relSet := make(map[int]bool)
+	for _, r := range refs {
+		relSet[ctx.locs[r].rel] = true
+	}
+	switch len(relSet) {
+	case 0:
+		return plannedConjunct{expr: e, class: classResidual}
+	case 1:
+		for rel := range relSet {
+			return plannedConjunct{expr: e, class: classSingle, rel: rel}
+		}
+	case 2:
+		if b, ok := e.(*sqlast.Binary); ok && b.Op == sqlast.OpEq {
+			lref, lok := b.L.(*sqlast.ColumnRef)
+			rref, rok := b.R.(*sqlast.ColumnRef)
+			if lok && rok {
+				ll, rl := ctx.locs[lref], ctx.locs[rref]
+				if ll.rel != rl.rel {
+					return plannedConjunct{expr: e, class: classEquiJoin, relL: ll, relR: rl}
+				}
+			}
+		}
+	}
+	return plannedConjunct{expr: e, class: classResidual}
+}
+
+// joinPhase filters single-table conjuncts, then joins all FROM relations
+// using hash joins on equi-join conjuncts, falling back to nested-loop
+// cross products when no join condition connects a relation. Residual
+// conjuncts are applied to the fully joined tuples.
+func joinPhase(ctx *evalCtx, sel *sqlast.Select) ([]tuple, error) {
+	n := len(ctx.rels)
+	conjuncts := make([]plannedConjunct, 0, 8)
+	for _, e := range sqlast.Conjuncts(sel.Where) {
+		conjuncts = append(conjuncts, classify(ctx, e))
+	}
+
+	// Per-relation filtering.
+	for ri := range ctx.rels {
+		rel := &ctx.rels[ri]
+		var filters []sqlast.Expr
+		for _, pc := range conjuncts {
+			if pc.class == classSingle && pc.rel == ri {
+				filters = append(filters, pc.expr)
+			}
+		}
+		rel.rows = rel.rows[:0]
+		probe := make(tuple, n)
+		for i := range probe {
+			probe[i] = -1
+		}
+	rows:
+		for i := range rel.tbl.Rows {
+			probe[ri] = i
+			for _, f := range filters {
+				ts, err := ctx.evalPred(f, probe)
+				if err != nil {
+					return nil, err
+				}
+				if ts != True {
+					continue rows
+				}
+			}
+			rel.rows = append(rel.rows, i)
+		}
+	}
+
+	// Join ordering: start from the smallest relation, greedily attach
+	// relations connected by an equi-join, preferring the smallest.
+	joined := make([]bool, n)
+	start := 0
+	for ri := 1; ri < n; ri++ {
+		if len(ctx.rels[ri].rows) < len(ctx.rels[start].rows) {
+			start = ri
+		}
+	}
+	joined[start] = true
+
+	var tuples []tuple
+	for _, ri := range ctx.rels[start].rows {
+		tu := make(tuple, n)
+		for i := range tu {
+			tu[i] = -1
+		}
+		tu[start] = ri
+		tuples = append(tuples, tu)
+	}
+
+	for count := 1; count < n; count++ {
+		// Find the best next relation: one connected to the joined set.
+		next := -1
+		for ri := 0; ri < n; ri++ {
+			if joined[ri] {
+				continue
+			}
+			if !connected(conjuncts, joined, ri) {
+				continue
+			}
+			if next < 0 || len(ctx.rels[ri].rows) < len(ctx.rels[next].rows) {
+				next = ri
+			}
+		}
+		cross := false
+		if next < 0 {
+			// No join condition reaches the remaining relations: cross
+			// join the smallest remaining one.
+			for ri := 0; ri < n; ri++ {
+				if joined[ri] {
+					continue
+				}
+				if next < 0 || len(ctx.rels[ri].rows) < len(ctx.rels[next].rows) {
+					next = ri
+				}
+			}
+			cross = true
+		}
+
+		if cross {
+			tuples = crossJoin(ctx, tuples, next)
+		} else {
+			var err error
+			tuples, err = hashJoin(ctx, conjuncts, joined, tuples, next)
+			if err != nil {
+				return nil, err
+			}
+		}
+		joined[next] = true
+	}
+
+	// Residual conjuncts (ORs, expressions over 3+ relations, non-equi
+	// cross-relation predicates).
+	var out []tuple
+	var residuals []sqlast.Expr
+	for _, pc := range conjuncts {
+		if pc.class == classResidual {
+			residuals = append(residuals, pc.expr)
+		}
+	}
+	if len(residuals) == 0 {
+		return tuples, nil
+	}
+tuples:
+	for _, tu := range tuples {
+		for _, e := range residuals {
+			ts, err := ctx.evalPred(e, tu)
+			if err != nil {
+				return nil, err
+			}
+			if ts != True {
+				continue tuples
+			}
+		}
+		out = append(out, tu)
+	}
+	return out, nil
+}
+
+// connected reports whether relation ri has an equi-join conjunct linking
+// it to any already-joined relation.
+func connected(conjuncts []plannedConjunct, joined []bool, ri int) bool {
+	for _, pc := range conjuncts {
+		if pc.class != classEquiJoin {
+			continue
+		}
+		l, r := pc.relL.rel, pc.relR.rel
+		if (l == ri && joined[r]) || (r == ri && joined[l]) {
+			return true
+		}
+	}
+	return false
+}
+
+// hashJoin joins tuples with relation next on all equi-join conjuncts that
+// connect next to the joined set.
+func hashJoin(ctx *evalCtx, conjuncts []plannedConjunct, joined []bool, tuples []tuple, next int) ([]tuple, error) {
+	// Collect the join keys: (locInJoined, locInNext) pairs.
+	type keyPair struct{ joinedLoc, nextLoc colLoc }
+	var keys []keyPair
+	for _, pc := range conjuncts {
+		if pc.class != classEquiJoin {
+			continue
+		}
+		l, r := pc.relL, pc.relR
+		switch {
+		case l.rel == next && joined[r.rel]:
+			keys = append(keys, keyPair{joinedLoc: r, nextLoc: l})
+		case r.rel == next && joined[l.rel]:
+			keys = append(keys, keyPair{joinedLoc: l, nextLoc: r})
+		}
+	}
+	if len(keys) == 0 {
+		return crossJoin(ctx, tuples, next), nil
+	}
+
+	rel := &ctx.rels[next]
+	// Build side: hash the new relation's filtered rows.
+	build := make(map[string][]int, len(rel.rows))
+	probe := make(tuple, len(ctx.rels))
+	for i := range probe {
+		probe[i] = -1
+	}
+	for _, ri := range rel.rows {
+		probe[next] = ri
+		var kb strings.Builder
+		null := false
+		for _, kp := range keys {
+			v := ctx.value(probe, kp.nextLoc)
+			if v.IsNull() {
+				null = true
+				break
+			}
+			kb.WriteString(v.Key())
+			kb.WriteByte('\x1f')
+		}
+		if null {
+			continue // NULL never equi-joins
+		}
+		k := kb.String()
+		build[k] = append(build[k], ri)
+	}
+
+	var out []tuple
+	for _, tu := range tuples {
+		var kb strings.Builder
+		null := false
+		for _, kp := range keys {
+			v := ctx.value(tu, kp.joinedLoc)
+			if v.IsNull() {
+				null = true
+				break
+			}
+			kb.WriteString(v.Key())
+			kb.WriteByte('\x1f')
+		}
+		if null {
+			continue
+		}
+		for _, ri := range build[kb.String()] {
+			ntu := make(tuple, len(tu))
+			copy(ntu, tu)
+			ntu[next] = ri
+			out = append(out, ntu)
+		}
+	}
+	return out, nil
+}
+
+func crossJoin(ctx *evalCtx, tuples []tuple, next int) []tuple {
+	rel := &ctx.rels[next]
+	out := make([]tuple, 0, len(tuples)*max(1, len(rel.rows)))
+	for _, tu := range tuples {
+		for _, ri := range rel.rows {
+			ntu := make(tuple, len(tu))
+			copy(ntu, tu)
+			ntu[next] = ri
+			out = append(out, ntu)
+		}
+	}
+	return out
+}
+
+// projectPhase evaluates the select list for non-aggregated queries and
+// applies DISTINCT, ORDER BY and LIMIT.
+func projectPhase(ctx *evalCtx, sel *sqlast.Select, tuples []tuple) (*Result, error) {
+	cols, evals := projection(ctx, sel)
+	res := &Result{Columns: cols}
+
+	orderExprs := make([]sqlast.Expr, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		orderExprs[i] = o.Expr
+	}
+
+	type sortableRow struct {
+		row  []Value
+		keys []Value
+	}
+	rows := make([]sortableRow, 0, len(tuples))
+	for _, tu := range tuples {
+		row := make([]Value, 0, len(evals))
+		for _, ev := range evals {
+			v, err := ev(tu)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		keys := make([]Value, len(orderExprs))
+		for i, e := range orderExprs {
+			v, err := ctx.eval(e, tu)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		rows = append(rows, sortableRow{row: row, keys: keys})
+	}
+
+	if sel.Distinct {
+		seen := make(map[string]bool, len(rows))
+		kept := rows[:0]
+		for _, r := range rows {
+			k := rowKey(r.row)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, r)
+		}
+		rows = kept
+	}
+
+	if len(sel.OrderBy) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			return lessKeys(rows[i].keys, rows[j].keys, sel.OrderBy)
+		})
+	}
+	if sel.Limit >= 0 && len(rows) > sel.Limit {
+		rows = rows[:sel.Limit]
+	}
+	for _, r := range rows {
+		res.Rows = append(res.Rows, r.row)
+	}
+	return res, nil
+}
+
+// projection returns the output column names and per-tuple evaluators.
+func projection(ctx *evalCtx, sel *sqlast.Select) ([]string, []func(tuple) (Value, error)) {
+	var cols []string
+	var evals []func(tuple) (Value, error)
+
+	addStar := func(relIdx int) {
+		rel := ctx.rels[relIdx]
+		for ci := range rel.tbl.Cols {
+			cols = append(cols, rel.name+"."+rel.tbl.Cols[ci].Name)
+			ri, cidx := relIdx, ci
+			evals = append(evals, func(tu tuple) (Value, error) {
+				return ctx.value(tu, colLoc{ri, cidx}), nil
+			})
+		}
+	}
+
+	for _, it := range sel.Items {
+		switch {
+		case it.Star && it.Table == "":
+			for ri := range ctx.rels {
+				addStar(ri)
+			}
+		case it.Star:
+			want := strings.ToLower(it.Table)
+			for ri := range ctx.rels {
+				if ctx.rels[ri].name == want {
+					addStar(ri)
+				}
+			}
+		default:
+			name := it.Alias
+			if name == "" {
+				name = it.Expr.String()
+			}
+			cols = append(cols, strings.ToLower(name))
+			expr := it.Expr
+			evals = append(evals, func(tu tuple) (Value, error) {
+				return ctx.eval(expr, tu)
+			})
+		}
+	}
+	return cols, evals
+}
+
+func rowKey(row []Value) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = v.Key()
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// lessKeys orders rows by the ORDER BY keys; NULLs sort last in ascending
+// order and first in descending order (Oracle default, the paper's DBMS).
+func lessKeys(a, b []Value, order []sqlast.OrderItem) bool {
+	for i := range order {
+		av, bv := a[i], b[i]
+		if av.IsNull() && bv.IsNull() {
+			continue
+		}
+		if av.IsNull() {
+			return false // NULLS LAST in ASC; after flip below for DESC
+		}
+		if bv.IsNull() {
+			return true
+		}
+		cmp, ok := Compare(av, bv)
+		if !ok || cmp == 0 {
+			continue
+		}
+		if order[i].Desc {
+			return cmp > 0
+		}
+		return cmp < 0
+	}
+	return false
+}

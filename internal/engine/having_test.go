@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"testing"
+
+	"soda/internal/sqlparse"
+)
+
+func havingDB() *DB {
+	db := NewDB()
+	tx := db.Create("tx",
+		Column{Name: "party", Type: TInt},
+		Column{Name: "amount", Type: TFloat})
+	amounts := map[int][]float64{
+		1: {100, 200, 300}, // sum 600, count 3
+		2: {50},            // sum 50, count 1
+		3: {400, 100},      // sum 500, count 2
+	}
+	for p, vals := range amounts {
+		for _, v := range vals {
+			tx.Insert(Int(int64(p)), Float(v))
+		}
+	}
+	return db
+}
+
+func TestHavingFiltersGroups(t *testing.T) {
+	db := havingDB()
+	res, err := Exec(db, sqlparse.MustParse(
+		`SELECT party, sum(amount) FROM tx GROUP BY party HAVING sum(amount) >= 500 ORDER BY party`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("groups = %d, want 2", res.NumRows())
+	}
+	if res.Rows[0][0].I != 1 || res.Rows[1][0].I != 3 {
+		t.Fatalf("parties = %v", res.Rows)
+	}
+}
+
+func TestHavingOnCount(t *testing.T) {
+	db := havingDB()
+	res, err := Exec(db, sqlparse.MustParse(
+		`SELECT party FROM tx GROUP BY party HAVING count(*) > 1 ORDER BY party`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("groups = %d, want 2", res.NumRows())
+	}
+}
+
+func TestHavingCombinesWithWhere(t *testing.T) {
+	db := havingDB()
+	// WHERE filters rows before grouping, HAVING after.
+	res, err := Exec(db, sqlparse.MustParse(
+		`SELECT party, count(*) FROM tx WHERE amount >= 100
+		 GROUP BY party HAVING count(*) >= 2 ORDER BY party`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 { // party 1 (3 rows >= 100), party 3 (2 rows)
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestHavingOnGroupKey(t *testing.T) {
+	db := havingDB()
+	res, err := Exec(db, sqlparse.MustParse(
+		`SELECT party, sum(amount) FROM tx GROUP BY party HAVING party <> 2 ORDER BY party`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("groups = %d", res.NumRows())
+	}
+}
+
+func TestHavingWithoutGroupBy(t *testing.T) {
+	db := havingDB()
+	// Global aggregate gated by HAVING: one group, kept or dropped.
+	res, err := Exec(db, sqlparse.MustParse(
+		`SELECT sum(amount) FROM tx HAVING sum(amount) > 10000`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 0 {
+		t.Fatalf("rows = %d, want 0 (sum is 1150)", res.NumRows())
+	}
+	res, err = Exec(db, sqlparse.MustParse(
+		`SELECT sum(amount) FROM tx HAVING sum(amount) > 1000`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1", res.NumRows())
+	}
+}
+
+func TestHavingPrintsAndReparses(t *testing.T) {
+	sel := sqlparse.MustParse(
+		"SELECT party, sum(amount) FROM tx GROUP BY party HAVING sum(amount) > 100")
+	printed := sel.String()
+	sel2, err := sqlparse.Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if sel2.String() != printed {
+		t.Fatalf("round trip:\n%s\nvs\n%s", printed, sel2.String())
+	}
+	if sel2.Having == nil {
+		t.Fatal("HAVING lost in round trip")
+	}
+}

@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"soda/internal/sqlast"
+)
+
+// Plan describes how the engine would execute a statement: per-relation
+// filter pushdown, the join order with strategies, residual predicates and
+// the post-processing pipeline. It is the engine's EXPLAIN — useful both
+// for tests that pin planner behaviour and for the §5.3.2 exploration
+// workflow (analysts inspecting what a generated statement will do).
+type Plan struct {
+	Scans     []ScanStep
+	Joins     []JoinStep
+	Residual  []string
+	Aggregate bool
+	GroupBy   []string
+	Having    string
+	OrderBy   []string
+	Limit     int
+	Distinct  bool
+}
+
+// ScanStep is one base-table scan with pushed-down filters.
+type ScanStep struct {
+	Table   string // effective name (alias if present)
+	Source  string // underlying table name
+	Rows    int    // table cardinality
+	Filters []string
+}
+
+// JoinStep is one join in execution order.
+type JoinStep struct {
+	Table    string // the relation joined in
+	Strategy string // "hash" or "cross"
+	Keys     []string
+}
+
+// String renders the plan as an indented tree.
+func (p *Plan) String() string {
+	var b strings.Builder
+	b.WriteString("plan:\n")
+	for _, s := range p.Scans {
+		fmt.Fprintf(&b, "  scan %s", s.Table)
+		if s.Source != s.Table {
+			fmt.Fprintf(&b, " (%s)", s.Source)
+		}
+		fmt.Fprintf(&b, " [%d rows]", s.Rows)
+		if len(s.Filters) > 0 {
+			fmt.Fprintf(&b, " filter: %s", strings.Join(s.Filters, " AND "))
+		}
+		b.WriteByte('\n')
+	}
+	for _, j := range p.Joins {
+		fmt.Fprintf(&b, "  %s join %s", j.Strategy, j.Table)
+		if len(j.Keys) > 0 {
+			fmt.Fprintf(&b, " on %s", strings.Join(j.Keys, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	if len(p.Residual) > 0 {
+		fmt.Fprintf(&b, "  residual: %s\n", strings.Join(p.Residual, " AND "))
+	}
+	if p.Aggregate {
+		if len(p.GroupBy) > 0 {
+			fmt.Fprintf(&b, "  aggregate by %s\n", strings.Join(p.GroupBy, ", "))
+		} else {
+			b.WriteString("  aggregate (global)\n")
+		}
+	}
+	if p.Having != "" {
+		fmt.Fprintf(&b, "  having %s\n", p.Having)
+	}
+	if p.Distinct {
+		b.WriteString("  distinct\n")
+	}
+	if len(p.OrderBy) > 0 {
+		fmt.Fprintf(&b, "  order by %s\n", strings.Join(p.OrderBy, ", "))
+	}
+	if p.Limit >= 0 {
+		fmt.Fprintf(&b, "  limit %d\n", p.Limit)
+	}
+	return b.String()
+}
+
+// Explain computes the execution plan for a statement without running it.
+// It mirrors the decisions Exec makes: single-table conjuncts push down to
+// scans, equi-joins become hash joins ordered greedily from the smallest
+// relation, everything else is residual.
+func Explain(db *DB, sel *sqlast.Select) (*Plan, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("engine: empty FROM list")
+	}
+	ctx := &evalCtx{locs: make(map[*sqlast.ColumnRef]colLoc)}
+	seen := make(map[string]bool)
+	for _, ref := range sel.From {
+		tbl := db.Table(ref.Table)
+		if tbl == nil {
+			return nil, fmt.Errorf("engine: unknown table %s", ref.Table)
+		}
+		name := strings.ToLower(ref.Name())
+		if seen[name] {
+			return nil, fmt.Errorf("engine: duplicate table name %s in FROM", name)
+		}
+		seen[name] = true
+		ctx.rels = append(ctx.rels, relation{name: name, tbl: tbl})
+	}
+	for _, it := range sel.Items {
+		if !it.Star {
+			if err := ctx.resolve(it.Expr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if sel.Where != nil {
+		if err := ctx.resolve(sel.Where); err != nil {
+			return nil, err
+		}
+	}
+	for _, g := range sel.GroupBy {
+		if err := ctx.resolve(g); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range sel.OrderBy {
+		if err := ctx.resolve(o.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Having != nil {
+		if err := ctx.resolve(sel.Having); err != nil {
+			return nil, err
+		}
+	}
+
+	plan := &Plan{Limit: sel.Limit, Distinct: sel.Distinct}
+
+	var conjuncts []plannedConjunct
+	for _, e := range sqlast.Conjuncts(sel.Where) {
+		conjuncts = append(conjuncts, classify(ctx, e))
+	}
+
+	// Scans with pushdown.
+	for ri := range ctx.rels {
+		rel := &ctx.rels[ri]
+		step := ScanStep{
+			Table:  rel.name,
+			Source: rel.tbl.Name,
+			Rows:   rel.tbl.NumRows(),
+		}
+		for _, pc := range conjuncts {
+			if pc.class == classSingle && pc.rel == ri {
+				step.Filters = append(step.Filters, pc.expr.String())
+			}
+		}
+		plan.Scans = append(plan.Scans, step)
+	}
+
+	// Join order simulation: same greedy policy as Exec, using table
+	// cardinality as the size estimate (Exec uses post-filter counts;
+	// the ordering tie-breaks identically for our generators).
+	n := len(ctx.rels)
+	joined := make([]bool, n)
+	start := 0
+	for ri := 1; ri < n; ri++ {
+		if ctx.rels[ri].tbl.NumRows() < ctx.rels[start].tbl.NumRows() {
+			start = ri
+		}
+	}
+	joined[start] = true
+	for count := 1; count < n; count++ {
+		next := -1
+		for ri := 0; ri < n; ri++ {
+			if joined[ri] || !connected(conjuncts, joined, ri) {
+				continue
+			}
+			if next < 0 || ctx.rels[ri].tbl.NumRows() < ctx.rels[next].tbl.NumRows() {
+				next = ri
+			}
+		}
+		strategy := "hash"
+		if next < 0 {
+			for ri := 0; ri < n; ri++ {
+				if joined[ri] {
+					continue
+				}
+				if next < 0 || ctx.rels[ri].tbl.NumRows() < ctx.rels[next].tbl.NumRows() {
+					next = ri
+				}
+			}
+			strategy = "cross"
+		}
+		step := JoinStep{Table: ctx.rels[next].name, Strategy: strategy}
+		if strategy == "hash" {
+			for _, pc := range conjuncts {
+				if pc.class != classEquiJoin {
+					continue
+				}
+				l, r := pc.relL.rel, pc.relR.rel
+				if (l == next && joined[r]) || (r == next && joined[l]) {
+					step.Keys = append(step.Keys, pc.expr.String())
+				}
+			}
+		}
+		plan.Joins = append(plan.Joins, step)
+		joined[next] = true
+	}
+
+	for _, pc := range conjuncts {
+		if pc.class == classResidual {
+			plan.Residual = append(plan.Residual, pc.expr.String())
+		}
+	}
+
+	plan.Aggregate = len(sel.GroupBy) > 0 || sel.HasAggregate() || sel.Having != nil
+	for _, g := range sel.GroupBy {
+		plan.GroupBy = append(plan.GroupBy, g.String())
+	}
+	if sel.Having != nil {
+		plan.Having = sel.Having.String()
+	}
+	for _, o := range sel.OrderBy {
+		plan.OrderBy = append(plan.OrderBy, o.String())
+	}
+	return plan, nil
+}

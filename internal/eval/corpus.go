@@ -1,0 +1,260 @@
+// Package eval implements the paper's evaluation methodology (§5): the 13
+// experiment queries of Table 2 with manually written gold-standard SQL,
+// and set-based precision/recall of result tuples against the gold results
+// (Table 3). Gold statements are written against the synthetic warehouse
+// of package warehouse; several queries union multiple statements, like
+// the paper's Q5.0 ("Two separate 3-way join queries for private and
+// corporate clients").
+//
+// Because SODA and the gold standard may select different column sets for
+// the same entities (SODA assembles business objects, experts project),
+// comparison happens at entity granularity: each query declares the key
+// columns that identify a result tuple, and precision/recall compare the
+// distinct key sets. Aggregation queries compare full rows (the paper's
+// Q9.0 count must match exactly).
+package eval
+
+// QueryType tags the feature classes of Table 2/Table 5.
+type QueryType string
+
+// Query type tags (the paper's column "Comments" abbreviations).
+const (
+	TypeBaseData    QueryType = "B"
+	TypeSchema      QueryType = "S"
+	TypeOntology    QueryType = "D"
+	TypeInheritance QueryType = "I"
+	TypePredicate   QueryType = "P"
+	TypeAggregate   QueryType = "A"
+)
+
+// Query is one experiment query with its gold standard.
+type Query struct {
+	ID      string
+	Input   string // SODA keyword/operator query
+	Comment string
+	Types   []QueryType
+	// Gold holds one or more executable SQL statements; their result
+	// sets are unioned (Q5.0 needs two statements).
+	Gold []string
+	// Keys lists the qualified columns that identify a result tuple for
+	// set comparison. Empty means full-row comparison (aggregations).
+	Keys []string
+	// PaperPrecision/PaperRecall are Table 3's published "best result"
+	// values, recorded for the paper-vs-measured report.
+	PaperPrecision float64
+	PaperRecall    float64
+	// PaperComplexity and PaperResults are Table 4's published values.
+	PaperComplexity int
+	PaperResults    int
+}
+
+// Corpus returns the 13 experiment queries of Table 2, adapted to the
+// synthetic warehouse schema (same shapes: ontology+schema joins,
+// base-data filters, the Credit Suisse ambiguity, inheritance, range
+// predicates, aggregations).
+func Corpus() []Query {
+	return []Query{
+		{
+			ID:      "1.0",
+			Input:   "private customers family name",
+			Comment: "customer domain ontology (D) + schema attribute (S); 3-way join incl. inheritance (I)",
+			Types:   []QueryType{TypeOntology, TypeSchema, TypeInheritance},
+			Gold: []string{`
+				SELECT party_td.id, individual_name_hist.family_nm
+				FROM party_td, individual_td, individual_name_hist
+				WHERE individual_td.id = party_td.id
+				AND individual_name_hist.snap_id = individual_td.crnt_snap_id`},
+			Keys:           []string{"party_td.id"},
+			PaperPrecision: 1.00, PaperRecall: 1.00,
+			PaperComplexity: 3, PaperResults: 1,
+		},
+		{
+			ID:      "2.1",
+			Input:   "Sara",
+			Comment: "base data (B) filter; 3-way join incl. inheritance (I); gold returns all name versions",
+			Types:   []QueryType{TypeBaseData, TypeInheritance},
+			Gold: []string{`
+				SELECT party_td.id, individual_name_hist.snap_id
+				FROM party_td, individual_td, individual_name_hist
+				WHERE individual_td.id = party_td.id
+				AND individual_name_hist.individual_id = individual_td.id
+				AND individual_name_hist.given_nm = 'Sara'`},
+			Keys:           []string{"party_td.id", "individual_name_hist.snap_id"},
+			PaperPrecision: 1.00, PaperRecall: 0.20,
+			PaperComplexity: 4, PaperResults: 4,
+		},
+		{
+			ID:      "2.2",
+			Input:   "Sara given name",
+			Comment: "Q2.1 plus a restriction on the given name attribute (S)",
+			Types:   []QueryType{TypeBaseData, TypeSchema, TypeInheritance},
+			Gold: []string{`
+				SELECT party_td.id, individual_name_hist.snap_id
+				FROM party_td, individual_td, individual_name_hist
+				WHERE individual_td.id = party_td.id
+				AND individual_name_hist.individual_id = individual_td.id
+				AND individual_name_hist.given_nm = 'Sara'`},
+			Keys:           []string{"party_td.id", "individual_name_hist.snap_id"},
+			PaperPrecision: 1.00, PaperRecall: 0.20,
+			PaperComplexity: 12, PaperResults: 2,
+		},
+		{
+			ID:      "2.3",
+			Input:   "Sara birth date",
+			Comment: "restriction on birth date to focus on a specific table (S)",
+			Types:   []QueryType{TypeBaseData, TypeSchema, TypeInheritance},
+			Gold: []string{`
+				SELECT party_td.id, individual_name_hist.snap_id
+				FROM party_td, individual_td, individual_name_hist
+				WHERE individual_td.id = party_td.id
+				AND individual_name_hist.individual_id = individual_td.id
+				AND individual_name_hist.given_nm = 'Sara'`},
+			Keys:           []string{"party_td.id", "individual_name_hist.snap_id"},
+			PaperPrecision: 1.00, PaperRecall: 1.00,
+			PaperComplexity: 12, PaperResults: 3,
+		},
+		{
+			ID:      "3.1",
+			Input:   "Credit Suisse",
+			Comment: "base data (B): the organization interpretation",
+			Types:   []QueryType{TypeBaseData},
+			Gold: []string{`
+				SELECT organization_td.id
+				FROM organization_td
+				WHERE organization_td.org_nm = 'Credit Suisse'`},
+			Keys:           []string{"organization_td.id"},
+			PaperPrecision: 1.00, PaperRecall: 1.00,
+			PaperComplexity: 12, PaperResults: 6,
+		},
+		{
+			ID:      "3.2",
+			Input:   "Credit Suisse",
+			Comment: "base data (B): the agreement interpretation",
+			Types:   []QueryType{TypeBaseData},
+			Gold: []string{`
+				SELECT agreement_td.id
+				FROM agreement_td
+				WHERE agreement_td.agreement_nm LIKE '%Credit Suisse%'`},
+			Keys:           []string{"agreement_td.id"},
+			PaperPrecision: 1.00, PaperRecall: 1.00,
+			PaperComplexity: 12, PaperResults: 6,
+		},
+		{
+			ID:      "4.0",
+			Input:   "gold agreement",
+			Comment: "base data (B) filter matched with schema attribute (S); 2-way join",
+			Types:   []QueryType{TypeBaseData, TypeSchema},
+			Gold: []string{`
+				SELECT agreement_td.id
+				FROM agreement_td, agreement_party
+				WHERE agreement_party.agreement_id = agreement_td.id
+				AND agreement_td.agreement_nm LIKE '%Gold%'`},
+			Keys:           []string{"agreement_td.id"},
+			PaperPrecision: 1.00, PaperRecall: 1.00,
+			PaperComplexity: 16, PaperResults: 4,
+		},
+		{
+			ID:      "5.0",
+			Input:   "customers names",
+			Comment: "inheritance (I) + names ontology (D); gold is two separate joins (private and corporate)",
+			Types:   []QueryType{TypeOntology, TypeInheritance},
+			Gold: []string{`
+				SELECT party_td.id
+				FROM party_td, individual_td, individual_name_hist
+				WHERE individual_td.id = party_td.id
+				AND individual_name_hist.snap_id = individual_td.crnt_snap_id`, `
+				SELECT party_td.id
+				FROM party_td, organization_td
+				WHERE organization_td.id = party_td.id`},
+			Keys:           []string{"party_td.id"},
+			PaperPrecision: 0.12, PaperRecall: 0.56,
+			PaperComplexity: 4, PaperResults: 4,
+		},
+		{
+			ID:      "6.0",
+			Input:   "trade order period > date(2011-09-01)",
+			Comment: "time-based range query (P) on a schema column (S); join incl. inheritance (I)",
+			Types:   []QueryType{TypeSchema, TypePredicate, TypeInheritance},
+			Gold: []string{`
+				SELECT order_td.id
+				FROM order_td, trade_order_td
+				WHERE trade_order_td.id = order_td.id
+				AND order_td.prd_dt > DATE '2011-09-01'`},
+			Keys:           []string{"order_td.id"},
+			PaperPrecision: 1.00, PaperRecall: 1.00,
+			PaperComplexity: 5, PaperResults: 2,
+		},
+		{
+			ID:      "7.0",
+			Input:   "YEN trade order",
+			Comment: "base data (B) + schema (S); 5-way join incl. inheritance (I)",
+			Types:   []QueryType{TypeBaseData, TypeSchema, TypeInheritance},
+			Gold: []string{`
+				SELECT trade_order_td.id
+				FROM curr_td, order_td, trade_order_td
+				WHERE order_td.curr_id = curr_td.id
+				AND trade_order_td.id = order_td.id
+				AND curr_td.currency_cd = 'YEN'`},
+			Keys:           []string{"trade_order_td.id"},
+			PaperPrecision: 0.50, PaperRecall: 1.00,
+			PaperComplexity: 20, PaperResults: 4,
+		},
+		{
+			ID:      "8.0",
+			Input:   "trade order investment product Lehman XYZ",
+			Comment: "base data (B) + schema (S); 5-way join incl. inheritance (I)",
+			Types:   []QueryType{TypeBaseData, TypeSchema, TypeInheritance},
+			Gold: []string{`
+				SELECT trade_order_td.id
+				FROM trade_order_td, investment_product_td
+				WHERE trade_order_td.product_id = investment_product_td.id
+				AND investment_product_td.product_nm = 'Lehman XYZ'`},
+			Keys:           []string{"trade_order_td.id"},
+			PaperPrecision: 1.00, PaperRecall: 1.00,
+			PaperComplexity: 8, PaperResults: 4,
+		},
+		{
+			ID:      "9.0",
+			Input:   "select count() private customers Switzerland",
+			Comment: "base data (B) + ontology (D) + aggregation (A) incl. inheritance (I); the sibling-bridge failure",
+			Types:   []QueryType{TypeBaseData, TypeOntology, TypeAggregate, TypeInheritance},
+			Gold: []string{`
+				SELECT count(*)
+				FROM individual_td, address_td
+				WHERE address_td.individual_id = individual_td.id
+				AND address_td.country_cd = 'CH'`},
+			Keys:           nil, // full-row comparison: the count must match
+			PaperPrecision: 0.00, PaperRecall: 0.00,
+			PaperComplexity: 30, PaperResults: 6,
+		},
+		{
+			ID:      "10.0",
+			Input:   "sum (investments) group by (currency)",
+			Comment: "aggregation (A) with explicit grouping and schema (S)",
+			Types:   []QueryType{TypeAggregate, TypeSchema},
+			Gold: []string{`
+				SELECT curr_td.currency_cd, sum(order_td.investment_amt)
+				FROM order_td, curr_td
+				WHERE order_td.curr_id = curr_td.id
+				GROUP BY curr_td.currency_cd`},
+			Keys:           nil, // full-row comparison: groups and sums
+			PaperPrecision: 1.00, PaperRecall: 1.00,
+			PaperComplexity: 25, PaperResults: 6,
+		},
+	}
+}
+
+// PaperTable4 returns the published SODA runtimes (seconds) and total
+// end-to-end runtimes (minutes) per query for the paper-vs-measured
+// report. Our absolute numbers are not expected to match (different
+// hardware and engine); the shape — SODA analysis being a small fraction
+// of end-to-end time — is what the harness verifies.
+func PaperTable4() map[string][2]float64 {
+	return map[string][2]float64{
+		"1.0": {1.54, 6}, "2.1": {0.81, 1}, "2.2": {1.60, 3},
+		"2.3": {1.69, 3}, "3.1": {3.78, 2}, "3.2": {3.78, 2},
+		"4.0": {4.89, 4}, "5.0": {1.24, 6}, "6.0": {0.73, 1},
+		"7.0": {4.94, 1}, "8.0": {2.94, 2}, "9.0": {7.31, 1},
+		"10.0": {2.83, 40},
+	}
+}

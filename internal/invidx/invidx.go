@@ -1,0 +1,240 @@
+// Package invidx implements SODA's inverted index over base data. Per the
+// paper (§5.1.2) the index covers only text-typed columns: "the inverted
+// index is only built on table columns of data type 'text'". A lookup of a
+// keyword returns postings identifying (table, column, row), which the
+// lookup step turns into base-data entry points and the filter step turns
+// into WHERE conditions (e.g. "Zürich" → addresses.city = 'Zürich').
+package invidx
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"soda/internal/engine"
+)
+
+// Posting locates one occurrence of a token in the base data.
+type Posting struct {
+	Table  string
+	Column string
+	Row    int
+}
+
+// ColumnHit aggregates the postings of one token within one column: the
+// granularity SODA needs to propose a filter condition.
+type ColumnHit struct {
+	Table  string
+	Column string
+	// Values are the distinct full column values containing the token,
+	// in first-seen order (needed to build equality filters).
+	Values []string
+	// Rows counts matching rows.
+	Rows int
+}
+
+// Index is an inverted index over the text columns of a database.
+type Index struct {
+	postings map[string][]Posting
+	// values indexes full normalised column values, for exact phrase
+	// lookups ("Credit Suisse" as one term).
+	values map[string][]Posting
+	// rawValue recovers the original (non-normalised) value of a posting.
+	rawValue map[Posting]string
+	tokens   int
+}
+
+// Build indexes every text column of every table in db.
+func Build(db *engine.DB) *Index {
+	idx := &Index{
+		postings: make(map[string][]Posting),
+		values:   make(map[string][]Posting),
+		rawValue: make(map[Posting]string),
+	}
+	for _, name := range db.TableNames() {
+		tbl := db.Table(name)
+		for ci, col := range tbl.Cols {
+			if col.Type != engine.TString {
+				continue // numeric/date columns are not indexed (§5.1.2)
+			}
+			for ri, row := range tbl.Rows {
+				v := row[ci]
+				if v.IsNull() || v.S == "" {
+					continue
+				}
+				p := Posting{Table: tbl.Name, Column: col.Name, Row: ri}
+				norm := Normalize(v.S)
+				idx.values[norm] = append(idx.values[norm], p)
+				idx.rawValue[p] = v.S
+				for _, tok := range Tokenize(v.S) {
+					idx.postings[tok] = append(idx.postings[tok], p)
+					idx.tokens++
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// NumPostings returns the total number of (token, posting) pairs, the
+// paper's "non-unique records" measure for index size.
+func (x *Index) NumPostings() int { return x.tokens }
+
+// NumTerms returns the number of distinct tokens.
+func (x *Index) NumTerms() int { return len(x.postings) }
+
+// Terms returns every distinct token, sorted — used by workload
+// generators that need realistic base-data keywords.
+func (x *Index) Terms() []string {
+	out := make([]string, 0, len(x.postings))
+	for t := range x.postings {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LookupToken returns the postings of a single normalised token.
+func (x *Index) LookupToken(tok string) []Posting {
+	return x.postings[Normalize(tok)]
+}
+
+// LookupPhrase finds occurrences of a phrase. A single word matches every
+// value containing it as a token. A multi-word phrase matches rows where
+// it equals the full column value ("Credit Suisse" = organizations.name)
+// *plus* rows where every word occurs in the same column value ("Credit
+// Suisse" inside "Credit Suisse Master Agreement") — both interpretations
+// must surface so ranking can arbitrate (paper Q3.1 vs Q3.2).
+func (x *Index) LookupPhrase(phrase string) []Posting {
+	words := Tokenize(phrase)
+	if len(words) == 0 {
+		return nil
+	}
+	if len(words) == 1 {
+		return x.postings[words[0]]
+	}
+	seen := make(map[Posting]bool)
+	var out []Posting
+	for _, p := range x.values[Normalize(phrase)] {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	// Intersect postings of all words at (table, column, row) granularity.
+	counts := make(map[Posting]int)
+	for i, w := range words {
+		for _, p := range x.postings[w] {
+			if counts[p] == i { // must have matched all previous words
+				counts[p] = i + 1
+			}
+		}
+	}
+	var conj []Posting
+	for p, c := range counts {
+		if c == len(words) && !seen[p] {
+			conj = append(conj, p)
+		}
+	}
+	sort.Slice(conj, func(i, j int) bool {
+		a, b := conj[i], conj[j]
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Row < b.Row
+	})
+	return append(out, conj...)
+}
+
+// Hits groups the postings for a phrase by column, carrying the distinct
+// original values so the filter step can build equality predicates.
+func (x *Index) Hits(phrase string) []ColumnHit {
+	postings := x.LookupPhrase(phrase)
+	if len(postings) == 0 {
+		return nil
+	}
+	type key struct{ table, column string }
+	byCol := make(map[key]*ColumnHit)
+	var order []key
+	for _, p := range postings {
+		k := key{p.Table, p.Column}
+		h, ok := byCol[k]
+		if !ok {
+			h = &ColumnHit{Table: p.Table, Column: p.Column}
+			byCol[k] = h
+			order = append(order, k)
+		}
+		h.Rows++
+		raw := x.rawValue[p]
+		found := false
+		for _, v := range h.Values {
+			if v == raw {
+				found = true
+				break
+			}
+		}
+		if !found {
+			h.Values = append(h.Values, raw)
+		}
+	}
+	out := make([]ColumnHit, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byCol[k])
+	}
+	return out
+}
+
+// Contains reports whether the phrase occurs anywhere in the base data.
+func (x *Index) Contains(phrase string) bool {
+	return len(x.LookupPhrase(phrase)) > 0
+}
+
+// ContainsExact reports whether the phrase equals a full column value
+// somewhere in the base data. The lookup step's longest-combination
+// matching uses this for multi-word phrases: "Credit Suisse" is one term
+// because it is a stored value, while "gold agreement" splits into the
+// base-data word "gold" and the schema term "agreement" (paper Q4.0).
+func (x *Index) ContainsExact(phrase string) bool {
+	return len(x.values[Normalize(phrase)]) > 0
+}
+
+// Normalize lower-cases and folds simple diacritics so "Zürich" matches
+// "Zurich", mirroring the paper's example where the keyword is written
+// both ways.
+func Normalize(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		b.WriteRune(foldRune(r))
+	}
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+func foldRune(r rune) rune {
+	switch r {
+	case 'ä', 'à', 'á', 'â', 'å':
+		return 'a'
+	case 'ö', 'ò', 'ó', 'ô':
+		return 'o'
+	case 'ü', 'ù', 'ú', 'û':
+		return 'u'
+	case 'é', 'è', 'ê', 'ë':
+		return 'e'
+	case 'î', 'ì', 'í', 'ï':
+		return 'i'
+	case 'ç':
+		return 'c'
+	default:
+		return r
+	}
+}
+
+// Tokenize splits a string into normalised word tokens.
+func Tokenize(s string) []string {
+	norm := Normalize(s)
+	return strings.FieldsFunc(norm, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}

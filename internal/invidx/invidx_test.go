@@ -1,0 +1,205 @@
+package invidx
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"soda/internal/engine"
+)
+
+func testDB() *engine.DB {
+	db := engine.NewDB()
+	orgs := db.Create("organizations",
+		engine.Column{Name: "id", Type: engine.TInt},
+		engine.Column{Name: "companyname", Type: engine.TString})
+	orgs.Insert(engine.Int(1), engine.Str("Credit Suisse"))
+	orgs.Insert(engine.Int(2), engine.Str("Acme Fund"))
+	orgs.Insert(engine.Int(3), engine.Str("Suisse Re"))
+
+	addr := db.Create("addresses",
+		engine.Column{Name: "id", Type: engine.TInt},
+		engine.Column{Name: "city", Type: engine.TString},
+		engine.Column{Name: "zip", Type: engine.TInt})
+	addr.Insert(engine.Int(1), engine.Str("Zürich"), engine.Int(8001))
+	addr.Insert(engine.Int(2), engine.Str("Geneva"), engine.Int(1201))
+	addr.Insert(engine.Int(3), engine.Null(), engine.Int(0))
+
+	deals := db.Create("agreements",
+		engine.Column{Name: "id", Type: engine.TInt},
+		engine.Column{Name: "agreementname", Type: engine.TString})
+	deals.Insert(engine.Int(1), engine.Str("Credit Suisse gold agreement"))
+	return db
+}
+
+func TestLookupSingleToken(t *testing.T) {
+	idx := Build(testDB())
+	ps := idx.LookupToken("suisse")
+	if len(ps) != 3 { // Credit Suisse, Suisse Re, gold agreement
+		t.Fatalf("postings = %d, want 3", len(ps))
+	}
+	if idx.LookupToken("nonexistent") != nil {
+		t.Fatal("missing token should return nil")
+	}
+}
+
+func TestDiacriticsFolding(t *testing.T) {
+	idx := Build(testDB())
+	// "Zurich" must find "Zürich" and vice versa.
+	if !idx.Contains("Zurich") {
+		t.Fatal("Zurich should match Zürich")
+	}
+	if !idx.Contains("zürich") {
+		t.Fatal("zürich should match too")
+	}
+}
+
+func TestLookupPhraseFullValue(t *testing.T) {
+	idx := Build(testDB())
+	ps := idx.LookupPhrase("Credit Suisse")
+	// Both interpretations surface: the exact value match first
+	// (organizations) and the co-occurrence inside the agreement name
+	// second (paper Q3.1 vs Q3.2 ambiguity).
+	if len(ps) != 2 || ps[0].Table != "organizations" || ps[1].Table != "agreements" {
+		t.Fatalf("postings = %+v", ps)
+	}
+	if !idx.ContainsExact("Credit Suisse") {
+		t.Fatal("ContainsExact should match the stored value")
+	}
+	if idx.ContainsExact("Suisse gold") {
+		t.Fatal("ContainsExact must not match mere co-occurrence")
+	}
+}
+
+func TestLookupPhraseConjunctiveFallback(t *testing.T) {
+	idx := Build(testDB())
+	// "Suisse gold" is not a full value anywhere; both words co-occur in
+	// the agreement name.
+	ps := idx.LookupPhrase("Suisse gold")
+	if len(ps) != 1 || ps[0].Table != "agreements" {
+		t.Fatalf("postings = %+v", ps)
+	}
+}
+
+func TestHitsGroupByColumn(t *testing.T) {
+	idx := Build(testDB())
+	hits := idx.Hits("suisse")
+	if len(hits) != 2 {
+		t.Fatalf("hits = %+v", hits)
+	}
+	byTable := map[string]ColumnHit{}
+	for _, h := range hits {
+		byTable[h.Table] = h
+	}
+	org := byTable["organizations"]
+	if org.Rows != 2 || len(org.Values) != 2 {
+		t.Fatalf("org hit = %+v", org)
+	}
+	if !reflect.DeepEqual(org.Values, []string{"Credit Suisse", "Suisse Re"}) {
+		t.Fatalf("org values = %v", org.Values)
+	}
+	if idx.Hits("nothing-here") != nil {
+		t.Fatal("no hits should return nil")
+	}
+}
+
+func TestNumericColumnsNotIndexed(t *testing.T) {
+	idx := Build(testDB())
+	// zip codes are TInt: must not be findable.
+	if idx.Contains("8001") {
+		t.Fatal("numeric column leaked into the inverted index")
+	}
+}
+
+func TestNullsNotIndexed(t *testing.T) {
+	idx := Build(testDB())
+	for tok := range map[string]bool{"null": true} {
+		if idx.Contains(tok) {
+			t.Fatal("NULL value leaked into index")
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	idx := Build(testDB())
+	if idx.NumTerms() == 0 || idx.NumPostings() < idx.NumTerms() {
+		t.Fatalf("terms=%d postings=%d", idx.NumTerms(), idx.NumPostings())
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Credit-Suisse  gold,agreement")
+	want := []string{"credit", "suisse", "gold", "agreement"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+	if Tokenize("") != nil && len(Tokenize("")) != 0 {
+		t.Fatal("empty tokenize")
+	}
+}
+
+func TestNormalizeCollapsesWhitespace(t *testing.T) {
+	if Normalize("  Crédit   Suisse ") != "credit suisse" {
+		t.Fatalf("Normalize = %q", Normalize("  Crédit   Suisse "))
+	}
+}
+
+// property: every token of every indexed string value is findable, and
+// every posting's raw value round-trips through Hits.
+func TestEveryIndexedTokenFindableQuick(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma", "delta", "Zürich", "Geneva"}
+	f := func(picks []uint8) bool {
+		db := engine.NewDB()
+		tbl := db.Create("t", engine.Column{Name: "v", Type: engine.TString})
+		var inserted []string
+		for _, p := range picks {
+			w := words[int(p)%len(words)]
+			tbl.Insert(engine.Str(w))
+			inserted = append(inserted, w)
+		}
+		idx := Build(db)
+		for _, w := range inserted {
+			if !idx.Contains(w) {
+				return false
+			}
+			hits := idx.Hits(w)
+			if len(hits) != 1 || hits[0].Table != "t" || hits[0].Column != "v" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// property: LookupPhrase of a multiword phrase returns only postings whose
+// raw value contains all words.
+func TestPhrasePostingsContainAllWordsQuick(t *testing.T) {
+	idx := Build(testDB())
+	phrases := []string{"Credit Suisse", "Suisse gold", "gold agreement", "credit gold", "acme fund"}
+	f := func(i uint8) bool {
+		phrase := phrases[int(i)%len(phrases)]
+		words := Tokenize(phrase)
+		for _, p := range idx.LookupPhrase(phrase) {
+			raw := Normalize(idx.rawValue[p])
+			for _, w := range words {
+				found := false
+				for _, tok := range Tokenize(raw) {
+					if tok == w {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package metagraph
+
+import "soda/internal/pattern"
+
+// Pattern names registered by Patterns. Core pipeline code refers to
+// patterns by these names so a deployment can swap pattern definitions
+// without touching the algorithm (§4.1: "While the patterns may have to be
+// changed between different applications, the algorithm always stays the
+// same").
+const (
+	PatTable            = "table"
+	PatColumn           = "column"
+	PatForeignKey       = "foreignkey"
+	PatJoinRelationship = "joinrel"
+	PatInheritanceChild = "inheritance-child"
+	PatBridgeTable      = "bridge-table"
+	PatMetadataFilter   = "metadata-filter"
+)
+
+// Patterns returns the Credit-Suisse-style metadata graph patterns of
+// §4.2.1, expressed in the pattern package's concrete syntax (the paper's
+// italic variables become ?vars).
+func Patterns() *pattern.Registry {
+	reg := pattern.NewRegistry()
+
+	// Figure 7: "The Table pattern can be written like this."
+	reg.Register(pattern.MustParse(PatTable, `
+		( ?x tablename t:?y ) &
+		( ?x type physical_table )`))
+
+	// "The Column pattern could be" — including the incoming column edge.
+	reg.Register(pattern.MustParse(PatColumn, `
+		( ?x columnname t:?y ) &
+		( ?x type physical_column ) &
+		( ?z column ?x )`))
+
+	// Figure 8: simple foreign key as a direct edge between columns.
+	reg.Register(pattern.MustParse(PatForeignKey, `
+		( ?x foreign_key ?y ) &
+		( ?x matches-column ) &
+		( ?y matches-column )`))
+
+	// "In the case of Credit Suisse, we use a more general
+	// Join-Relationship pattern which has an explicit join node with
+	// outgoing edges to primary key and foreign key."
+	reg.Register(pattern.MustParse(PatJoinRelationship, `
+		( ?x type join_node ) &
+		( ?x join_fk ?f ) &
+		( ?x join_pk ?p ) &
+		( ?f matches-column ) &
+		( ?p matches-column )`))
+
+	// The Inheritance Child pattern, verbatim from §4.2.1.
+	reg.Register(pattern.MustParse(PatInheritanceChild, `
+		( ?y inheritance_child ?x ) &
+		( ?y type inheritance_node ) &
+		( ?y inheritance_parent ?p ) &
+		( ?y inheritance_child ?c1 ) &
+		( ?y inheritance_child ?c2 )`))
+
+	// "Bridge tables connect two entities by having two outgoing foreign
+	// keys" (§4.2.1). The pattern cannot express ?c1 ≠ ?c2, so the join
+	// discovery code rejects bindings where both columns coincide.
+	reg.Register(pattern.MustParse(PatBridgeTable, `
+		( ?x type physical_table ) &
+		( ?x column ?c1 ) &
+		( ?x column ?c2 ) &
+		( ?c1 foreign_key ?p1 ) &
+		( ?c2 foreign_key ?p2 )`))
+
+	// Metadata-stored filters such as "wealthy individuals" (§3 Step 4:
+	// "filters stored in the metadata can be very powerful as well").
+	reg.Register(pattern.MustParse(PatMetadataFilter, `
+		( ?x has_filter ?f ) &
+		( ?f type metadata_filter ) &
+		( ?f filter_column ?c ) &
+		( ?f filter_op t:?op ) &
+		( ?f filter_value t:?v )`))
+
+	return reg
+}

@@ -1,0 +1,149 @@
+// Package metagraph defines the vocabulary, builder and typed accessors for
+// SODA's extended metadata graph (paper §2.2 and Figure 3): an RDF-style
+// graph holding the integrated schema at three levels (conceptual, logical,
+// physical), domain ontologies, DBpedia synonyms, and links down to the
+// base data. It also ships the Credit-Suisse-style metadata graph patterns
+// of §4.2.1 (Table, Column, Foreign Key, Join-Relationship, Inheritance
+// Child, Bridge Table, Metadata Filter) as a pattern.Registry.
+package metagraph
+
+// Predicate URIs. The traversal of SODA's tables step follows *outgoing*
+// edges from entry points (§3 Step 3), so edges point "downward": DBpedia →
+// ontology/schema → conceptual → logical → physical → base data.
+const (
+	// PredType types a node (object is one of the Type* URIs below).
+	PredType = "type"
+	// PredLabel attaches a searchable text label; the lookup step builds
+	// its classification index from these.
+	PredLabel = "label"
+	// PredInLayer records which metadata layer a node belongs to (object
+	// is one of the Layer* URIs); the ranking step scores entry points by
+	// layer (§3 Step 2).
+	PredInLayer = "inlayer"
+
+	// PredTableName / PredColumnName carry physical names (Fig. 7).
+	PredTableName  = "tablename"
+	PredColumnName = "columnname"
+	// PredColumn links a physical table to its columns.
+	PredColumn = "column"
+	// PredColumnType carries the SQL type of a physical column as text.
+	PredColumnType = "columntype"
+
+	// PredEntityName / PredAttributeName carry conceptual and logical
+	// names; PredAttribute links entities to attributes.
+	PredEntityName    = "entityname"
+	PredAttributeName = "attributename"
+	PredAttribute     = "attribute"
+
+	// PredImplements links a higher schema layer to its refinement:
+	// conceptual entity → logical entity → physical table (and attribute
+	// → attribute → column).
+	PredImplements = "implements"
+
+	// PredForeignKey is the simple join implementation: a direct edge
+	// from a foreign-key column to a primary-key column (Fig. 8).
+	PredForeignKey = "foreign_key"
+	// PredJoinPK / PredJoinFK hang off an explicit join node — the "more
+	// general Join-Relationship pattern" used at Credit Suisse (§4.2.1).
+	PredJoinPK = "join_pk"
+	PredJoinFK = "join_fk"
+	// PredJoinRef points from a participating column to its join node so
+	// that outgoing-edge traversal discovers the relationship.
+	PredJoinRef = "join_ref"
+
+	// PredRelates is a same-layer relationship edge between entities;
+	// Table 1 counts these per layer.
+	PredRelates = "relates"
+
+	// Inheritance is modelled with an explicit inheritance node (§4.2.1).
+	PredInheritanceParent = "inheritance_parent"
+	PredInheritanceChild  = "inheritance_child"
+	// PredInheritanceRef points from each participating table to its
+	// inheritance node, mirroring PredJoinRef for traversal.
+	PredInheritanceRef = "inheritance_ref"
+
+	// PredClassifies links a domain-ontology concept to the schema
+	// elements it classifies; PredRefersTo links a DBpedia entry to the
+	// term it is a synonym of.
+	PredClassifies = "classifies"
+	PredRefersTo   = "refers_to"
+	// PredSubConceptOf builds the ontology hierarchy (child → parent).
+	PredSubConceptOf = "sub_concept_of"
+
+	// Metadata-defined filters ("wealthy customer": salary above a
+	// threshold, §1.2/§6.2) hang a filter node off an ontology concept.
+	PredHasFilter    = "has_filter"
+	PredFilterColumn = "filter_column"
+	PredFilterOp     = "filter_op"
+	PredFilterValue  = "filter_value"
+
+	// PredImpliesAgg marks an ontology concept as an aggregation measure
+	// ("trading volume" → sum of transaction amount, §4.4.2: "another way
+	// to handle such cases is to introduce a domain ontology"). The
+	// object is the aggregate function name as text.
+	PredImpliesAgg = "implies_agg"
+
+	// PredIgnoreJoin annotates a join or foreign-key node as "do not
+	// use": the war-story mitigation for unpopulated bridge tables
+	// (§5.3.1: "the schema can be annotated indicating that the
+	// respective relationship should be ignored").
+	PredIgnoreJoin = "ignore_join"
+)
+
+// Node type URIs.
+const (
+	TypePhysicalTable   = "physical_table"
+	TypePhysicalColumn  = "physical_column"
+	TypeLogicalEntity   = "logical_entity"
+	TypeLogicalAttr     = "logical_attribute"
+	TypeConceptEntity   = "conceptual_entity"
+	TypeConceptAttr     = "conceptual_attribute"
+	TypeInheritanceNode = "inheritance_node"
+	TypeJoinNode        = "join_node"
+	TypeOntologyConcept = "ontology_concept"
+	TypeDBpediaEntry    = "dbpedia_entry"
+	TypeMetadataFilter  = "metadata_filter"
+)
+
+// Layer URIs, ordered from most to least trusted by the default ranking
+// heuristic (§3 Step 2: "a keyword which was found in DBpedia gets a lower
+// score than a keyword which was found in the domain ontology").
+const (
+	LayerDomainOntology = "layer:domain_ontology"
+	LayerConceptual     = "layer:conceptual"
+	LayerLogical        = "layer:logical"
+	LayerPhysical       = "layer:physical"
+	LayerBaseData       = "layer:basedata"
+	LayerDBpedia        = "layer:dbpedia"
+)
+
+// LayerScore returns the ranking weight of an entry point found in the
+// given layer. Higher is better. The ordering implements the paper's
+// heuristic; absolute values are our choice (the paper does not publish
+// its weights).
+func LayerScore(layer string) float64 {
+	switch layer {
+	case LayerDomainOntology:
+		return 1.0
+	case LayerConceptual:
+		return 0.9
+	case LayerLogical:
+		return 0.8
+	case LayerPhysical:
+		return 0.7
+	case LayerBaseData:
+		return 0.6
+	case LayerDBpedia:
+		return 0.4
+	default:
+		return 0.1
+	}
+}
+
+// Layers lists all layer URIs in ranking order.
+func Layers() []string {
+	return []string{
+		LayerDomainOntology, LayerConceptual, LayerLogical,
+		LayerPhysical, LayerBaseData, LayerDBpedia,
+	}
+}

@@ -1,0 +1,433 @@
+// Package queryparse implements SODA's input patterns (§4.2.2, §4.3): the
+// high-level query language of keywords, comparison operators, date()
+// literals, aggregation operators with explicit grouping, top-N, and
+// AND/OR connectives. The formal grammar from §4.3:
+//
+//	<search keywords> [ [AND|OR] <search keywords> |
+//	                    <comparison operator> <search keyword> ]
+//
+//	<search keywords> [ [AND|OR] <search keywords> |
+//	                    <comparison operator> date(YYYY-MM-DD) ]
+//
+//	<aggregation operator> (<aggregation attribute>)
+//	    [<search keywords>]
+//	    [group by (<attribute1, ..., attributeN>)]
+//
+// plus the "top N" and "between date(...) date(...)" constructs used in
+// the worked examples of §4.4.2.
+//
+// Parsing here is purely syntactic: it splits the input into keyword
+// groups and operator attachments. The *semantic* segmentation of keyword
+// groups into known terms (longest word combinations against the
+// classification index) happens in the lookup step, which has access to
+// the metadata graph and inverted index.
+package queryparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ValueKind discriminates comparison operand kinds.
+type ValueKind uint8
+
+// Comparison operand kinds.
+const (
+	ValNumber ValueKind = iota
+	ValDate
+	ValText
+)
+
+// Value is a comparison operand.
+type Value struct {
+	Kind ValueKind
+	Num  float64
+	Date time.Time
+	Text string
+}
+
+// String renders the operand.
+func (v Value) String() string {
+	switch v.Kind {
+	case ValNumber:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case ValDate:
+		return "date(" + v.Date.Format("2006-01-02") + ")"
+	default:
+		return v.Text
+	}
+}
+
+// Comparison is "<keyword> op <value>", attached to the keyword group that
+// precedes the operator ("The comparison operator will later on be applied
+// to the keywords before and after itself", §4.2.2).
+type Comparison struct {
+	// Group indexes Query.Groups; -1 when the operator had no preceding
+	// keywords (malformed but tolerated: SODA ignores what it cannot
+	// classify).
+	Group  int
+	Op     string // ">", ">=", "=", "<=", "<", "like", "between"
+	Value  Value
+	Value2 *Value // second bound for "between"
+}
+
+// Aggregation is "<func> ( <attribute words> )". An empty Attr means
+// count() with no attribute (Q9.0 writes "select count()").
+type Aggregation struct {
+	Func string // sum, count, avg, min, max
+	Attr []string
+}
+
+// Group is one run of raw keyword words between operators/connectives.
+type Group struct {
+	Words []string
+}
+
+// Query is the parsed input.
+type Query struct {
+	Raw          string
+	Groups       []Group
+	Comparisons  []Comparison
+	Aggregations []Aggregation
+	GroupBy      [][]string
+	TopN         int  // 0 = absent
+	Disjunctive  bool // an OR connective appeared
+}
+
+// aggregation operator names (§4.2.2 mentions sum and count and notes
+// "there is nothing that would prevent us from adding more").
+var aggFuncs = map[string]bool{
+	"sum": true, "count": true, "avg": true, "min": true, "max": true,
+}
+
+var comparisonOps = map[string]bool{
+	">": true, ">=": true, "=": true, "<=": true, "<": true, "like": true,
+}
+
+// Parse parses a SODA input query.
+func Parse(input string) (*Query, error) {
+	toks, err := tokenize(input)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Raw: input}
+	var cur []string
+
+	flush := func() {
+		if len(cur) > 0 {
+			q.Groups = append(q.Groups, Group{Words: cur})
+			cur = nil
+		}
+	}
+
+	i := 0
+	for i < len(toks) {
+		t := toks[i]
+		lower := strings.ToLower(t)
+		switch {
+		case lower == "select" && i == 0:
+			// Q9.0 writes "select count() ..."; tolerate a leading
+			// SELECT noise word.
+			i++
+
+		case aggFuncs[lower] && i+1 < len(toks) && toks[i+1] == "(":
+			flush()
+			attr, next, err := readParenWords(toks, i+2)
+			if err != nil {
+				return nil, err
+			}
+			q.Aggregations = append(q.Aggregations, Aggregation{Func: lower, Attr: attr})
+			i = next
+
+		case lower == "group" && i+1 < len(toks) && strings.EqualFold(toks[i+1], "by"):
+			flush()
+			if i+2 >= len(toks) || toks[i+2] != "(" {
+				return nil, fmt.Errorf("queryparse: group by needs a parenthesised attribute list")
+			}
+			attrs, next, err := readGroupByList(toks, i+3)
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, attrs...)
+			i = next
+
+		case lower == "top" && i+1 < len(toks) && isNumber(toks[i+1]):
+			flush()
+			n, _ := strconv.Atoi(toks[i+1])
+			if n <= 0 {
+				return nil, fmt.Errorf("queryparse: top N must be positive, got %d", n)
+			}
+			q.TopN = n
+			i += 2
+
+		case comparisonOps[lower]:
+			flush()
+			cmp := Comparison{Group: len(q.Groups) - 1, Op: lower}
+			v, next, err := readValue(toks, i+1)
+			if err != nil {
+				return nil, err
+			}
+			cmp.Value = v
+			q.Comparisons = append(q.Comparisons, cmp)
+			i = next
+
+		case lower == "between":
+			flush()
+			cmp := Comparison{Group: len(q.Groups) - 1, Op: "between"}
+			v1, next, err := readValue(toks, i+1)
+			if err != nil {
+				return nil, err
+			}
+			// Optional "and" between the bounds.
+			if next < len(toks) && strings.EqualFold(toks[next], "and") {
+				next++
+			}
+			v2, next2, err := readValue(toks, next)
+			if err != nil {
+				return nil, err
+			}
+			cmp.Value = v1
+			cmp.Value2 = &v2
+			q.Comparisons = append(q.Comparisons, cmp)
+			i = next2
+
+		case lower == "and":
+			flush()
+			i++
+
+		case lower == "or":
+			flush()
+			q.Disjunctive = true
+			i++
+
+		case t == "(" || t == ")" || t == ",":
+			// Stray punctuation: ignore, as SODA ignores unknowns.
+			i++
+
+		default:
+			cur = append(cur, t)
+			i++
+		}
+	}
+	flush()
+
+	if len(q.Groups) == 0 && len(q.Aggregations) == 0 && len(q.GroupBy) == 0 {
+		return nil, fmt.Errorf("queryparse: empty query")
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; for test corpora.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Keywords returns all plain keyword groups joined with spaces; useful for
+// display.
+func (q *Query) Keywords() []string {
+	out := make([]string, len(q.Groups))
+	for i, g := range q.Groups {
+		out[i] = strings.Join(g.Words, " ")
+	}
+	return out
+}
+
+// String renders the query in canonical input-language form: keyword
+// groups with their attached comparisons, then aggregations, group-by and
+// top-N. Parsing the rendered form yields an equivalent Query (the
+// round-trip is covered by tests), which makes queries durable artefacts
+// for logs and saved searches.
+func (q *Query) String() string {
+	// One unit per keyword group: the words plus their comparisons.
+	var units []string
+	for gi, g := range q.Groups {
+		unit := []string{strings.Join(g.Words, " ")}
+		for _, c := range q.Comparisons {
+			if c.Group != gi {
+				continue
+			}
+			if c.Op == "between" && c.Value2 != nil {
+				unit = append(unit, "between", c.Value.String(), c.Value2.String())
+			} else {
+				unit = append(unit, c.Op, c.Value.String())
+			}
+		}
+		units = append(units, strings.Join(unit, " "))
+	}
+	connective := " "
+	if q.Disjunctive {
+		connective = " or "
+	}
+	out := strings.Join(units, connective)
+
+	var tail []string
+	if q.TopN > 0 {
+		out = fmt.Sprintf("top %d %s", q.TopN, out)
+	}
+	for _, agg := range q.Aggregations {
+		tail = append(tail, fmt.Sprintf("%s (%s)", agg.Func, strings.Join(agg.Attr, " ")))
+	}
+	if len(q.GroupBy) > 0 {
+		attrs := make([]string, len(q.GroupBy))
+		for i, gb := range q.GroupBy {
+			attrs[i] = strings.Join(gb, " ")
+		}
+		tail = append(tail, fmt.Sprintf("group by (%s)", strings.Join(attrs, ", ")))
+	}
+	if len(tail) > 0 {
+		if out != "" {
+			out += " "
+		}
+		out += strings.Join(tail, " ")
+	}
+	return strings.TrimSpace(out)
+}
+
+// readValue reads a comparison operand: date(...), a number, or a word.
+func readValue(toks []string, i int) (Value, int, error) {
+	if i >= len(toks) {
+		return Value{}, 0, fmt.Errorf("queryparse: operator at end of input needs a value")
+	}
+	t := toks[i]
+	if strings.EqualFold(t, "date") && i+1 < len(toks) && toks[i+1] == "(" {
+		if i+3 >= len(toks) || toks[i+3] != ")" {
+			return Value{}, 0, fmt.Errorf("queryparse: malformed date() literal")
+		}
+		d, err := time.Parse("2006-01-02", toks[i+2])
+		if err != nil {
+			return Value{}, 0, fmt.Errorf("queryparse: bad date %q: %v", toks[i+2], err)
+		}
+		return Value{Kind: ValDate, Date: d}, i + 4, nil
+	}
+	if isNumber(t) {
+		f, err := strconv.ParseFloat(t, 64)
+		if err != nil {
+			return Value{}, 0, fmt.Errorf("queryparse: bad number %q", t)
+		}
+		return Value{Kind: ValNumber, Num: f}, i + 1, nil
+	}
+	return Value{Kind: ValText, Text: t}, i + 1, nil
+}
+
+// readParenWords reads words until ')', starting after '('. An empty list
+// is allowed (count()).
+func readParenWords(toks []string, i int) ([]string, int, error) {
+	var words []string
+	for i < len(toks) {
+		if toks[i] == ")" {
+			return words, i + 1, nil
+		}
+		if toks[i] == "(" {
+			return nil, 0, fmt.Errorf("queryparse: nested parenthesis in aggregation")
+		}
+		if toks[i] != "," {
+			words = append(words, toks[i])
+		}
+		i++
+	}
+	return nil, 0, fmt.Errorf("queryparse: unclosed parenthesis")
+}
+
+// readGroupByList reads comma-separated attribute word sequences until ')'.
+func readGroupByList(toks []string, i int) ([][]string, int, error) {
+	var attrs [][]string
+	var cur []string
+	for i < len(toks) {
+		switch toks[i] {
+		case ")":
+			if len(cur) > 0 {
+				attrs = append(attrs, cur)
+			}
+			if len(attrs) == 0 {
+				return nil, 0, fmt.Errorf("queryparse: empty group by list")
+			}
+			return attrs, i + 1, nil
+		case ",":
+			if len(cur) > 0 {
+				attrs = append(attrs, cur)
+				cur = nil
+			}
+		case "(":
+			return nil, 0, fmt.Errorf("queryparse: nested parenthesis in group by")
+		default:
+			cur = append(cur, toks[i])
+		}
+		i++
+	}
+	return nil, 0, fmt.Errorf("queryparse: unclosed group by list")
+}
+
+func isNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot := false
+	for i, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+		case r == '.' && !dot && i > 0:
+			dot = true
+		case r == '-' && i == 0 && len(s) > 1:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// tokenize splits the input into words, parentheses, commas and operator
+// symbols. Operators may be glued to words ("salary>=100") or separate.
+func tokenize(input string) ([]string, error) {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	rs := []rune(input)
+	for i := 0; i < len(rs); i++ {
+		r := rs[i]
+		switch {
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			flush()
+		case r == '(' || r == ')' || r == ',':
+			flush()
+			toks = append(toks, string(r))
+		case r == '>' || r == '<':
+			flush()
+			if i+1 < len(rs) && rs[i+1] == '=' {
+				toks = append(toks, string(r)+"=")
+				i++
+			} else {
+				toks = append(toks, string(r))
+			}
+		case r == '=':
+			flush()
+			toks = append(toks, "=")
+		case r == '\'' || r == '"':
+			// Quoted phrase: one token.
+			flush()
+			j := i + 1
+			for j < len(rs) && rs[j] != r {
+				j++
+			}
+			if j >= len(rs) {
+				return nil, fmt.Errorf("queryparse: unterminated quote")
+			}
+			toks = append(toks, string(rs[i+1:j]))
+			i = j
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return toks, nil
+}

@@ -1,0 +1,330 @@
+package queryparse
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseKeywordsOnly(t *testing.T) {
+	q := MustParse("Private customers Switzerland")
+	if len(q.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1 (no operators)", len(q.Groups))
+	}
+	want := []string{"Private", "customers", "Switzerland"}
+	if !reflect.DeepEqual(q.Groups[0].Words, want) {
+		t.Fatalf("words = %v", q.Groups[0].Words)
+	}
+}
+
+func TestParseComparisonAttachesToPrecedingGroup(t *testing.T) {
+	// Paper Query 2: salary >= x and birthday = date(1981-04-23)
+	q := MustParse("salary >= 100000 and birthday = date(1981-04-23)")
+	if len(q.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(q.Groups))
+	}
+	if len(q.Comparisons) != 2 {
+		t.Fatalf("comparisons = %d, want 2", len(q.Comparisons))
+	}
+	c0 := q.Comparisons[0]
+	if c0.Group != 0 || c0.Op != ">=" || c0.Value.Kind != ValNumber || c0.Value.Num != 100000 {
+		t.Fatalf("c0 = %+v", c0)
+	}
+	c1 := q.Comparisons[1]
+	if c1.Group != 1 || c1.Op != "=" || c1.Value.Kind != ValDate ||
+		c1.Value.Date.Format("2006-01-02") != "1981-04-23" {
+		t.Fatalf("c1 = %+v", c1)
+	}
+}
+
+func TestParseGluedOperators(t *testing.T) {
+	q := MustParse("salary>=100000")
+	if len(q.Comparisons) != 1 || q.Comparisons[0].Op != ">=" {
+		t.Fatalf("comparisons = %+v", q.Comparisons)
+	}
+	if q.Groups[0].Words[0] != "salary" {
+		t.Fatalf("groups = %+v", q.Groups)
+	}
+}
+
+func TestParseAggregationWithGroupBy(t *testing.T) {
+	// Paper Query 3: sum (amount) group by (transaction date)
+	q := MustParse("sum (amount) group by (transaction date)")
+	if len(q.Aggregations) != 1 {
+		t.Fatalf("aggs = %+v", q.Aggregations)
+	}
+	if q.Aggregations[0].Func != "sum" || !reflect.DeepEqual(q.Aggregations[0].Attr, []string{"amount"}) {
+		t.Fatalf("agg = %+v", q.Aggregations[0])
+	}
+	if len(q.GroupBy) != 1 || !reflect.DeepEqual(q.GroupBy[0], []string{"transaction", "date"}) {
+		t.Fatalf("groupby = %+v", q.GroupBy)
+	}
+}
+
+func TestParseCountTransactionsGroupByCompanyName(t *testing.T) {
+	// Paper Query 4: count (transactions) group by (company name)
+	q := MustParse("count (transactions) group by (company name)")
+	if q.Aggregations[0].Func != "count" ||
+		!reflect.DeepEqual(q.Aggregations[0].Attr, []string{"transactions"}) {
+		t.Fatalf("agg = %+v", q.Aggregations[0])
+	}
+}
+
+func TestParseEmptyCount(t *testing.T) {
+	// Q9.0: select count() private customers Switzerland
+	q := MustParse("select count() private customers Switzerland")
+	if len(q.Aggregations) != 1 || q.Aggregations[0].Func != "count" ||
+		len(q.Aggregations[0].Attr) != 0 {
+		t.Fatalf("agg = %+v", q.Aggregations)
+	}
+	if len(q.Groups) != 1 || len(q.Groups[0].Words) != 3 {
+		t.Fatalf("groups = %+v", q.Groups)
+	}
+}
+
+func TestParseGroupByMultipleAttrs(t *testing.T) {
+	q := MustParse("sum(amount) group by (currency, trade date)")
+	if len(q.GroupBy) != 2 {
+		t.Fatalf("groupby = %+v", q.GroupBy)
+	}
+	if !reflect.DeepEqual(q.GroupBy[0], []string{"currency"}) ||
+		!reflect.DeepEqual(q.GroupBy[1], []string{"trade", "date"}) {
+		t.Fatalf("groupby = %+v", q.GroupBy)
+	}
+}
+
+func TestParseTopN(t *testing.T) {
+	// §4.4.2: Top 10 trading volume customer ...
+	q := MustParse("Top 10 trading volume customer")
+	if q.TopN != 10 {
+		t.Fatalf("topN = %d", q.TopN)
+	}
+	if len(q.Groups) != 1 || len(q.Groups[0].Words) != 3 {
+		t.Fatalf("groups = %+v", q.Groups)
+	}
+}
+
+func TestParseBetweenDates(t *testing.T) {
+	// §4.4.2 variant a: ... transaction date between date(2010-01-01) date(2010-12-31)
+	q := MustParse("trading volume customer transaction date between date(2010-01-01) date(2010-12-31)")
+	if len(q.Comparisons) != 1 {
+		t.Fatalf("comparisons = %+v", q.Comparisons)
+	}
+	c := q.Comparisons[0]
+	if c.Op != "between" || c.Value.Kind != ValDate || c.Value2 == nil || c.Value2.Kind != ValDate {
+		t.Fatalf("between = %+v", c)
+	}
+	if c.Value.Date.Format("2006-01-02") != "2010-01-01" ||
+		c.Value2.Date.Format("2006-01-02") != "2010-12-31" {
+		t.Fatalf("bounds = %v %v", c.Value.Date, c.Value2.Date)
+	}
+}
+
+func TestParseBetweenWithAnd(t *testing.T) {
+	q := MustParse("birth date between date(1980-01-01) and date(1990-01-01)")
+	if len(q.Comparisons) != 1 || q.Comparisons[0].Value2 == nil {
+		t.Fatalf("comparisons = %+v", q.Comparisons)
+	}
+}
+
+func TestParseRangeOperatorOnDate(t *testing.T) {
+	// Q6.0: trade order period > date(2011-09-01)
+	q := MustParse("trade order period > date(2011-09-01)")
+	if len(q.Groups) != 1 || len(q.Groups[0].Words) != 3 {
+		t.Fatalf("groups = %+v", q.Groups)
+	}
+	c := q.Comparisons[0]
+	if c.Group != 0 || c.Op != ">" || c.Value.Kind != ValDate {
+		t.Fatalf("comparison = %+v", c)
+	}
+}
+
+func TestParseLikeOperator(t *testing.T) {
+	q := MustParse("company name like Suisse")
+	if len(q.Comparisons) != 1 || q.Comparisons[0].Op != "like" ||
+		q.Comparisons[0].Value.Text != "Suisse" {
+		t.Fatalf("comparisons = %+v", q.Comparisons)
+	}
+}
+
+func TestParseOrSetsDisjunctive(t *testing.T) {
+	q := MustParse("individuals or organizations")
+	if !q.Disjunctive {
+		t.Fatal("OR should set Disjunctive")
+	}
+	if len(q.Groups) != 2 {
+		t.Fatalf("groups = %+v", q.Groups)
+	}
+	if MustParse("individuals and organizations").Disjunctive {
+		t.Fatal("AND must not set Disjunctive")
+	}
+}
+
+func TestParseQuotedPhrase(t *testing.T) {
+	q := MustParse(`"Credit Suisse" agreements`)
+	if len(q.Groups) != 1 {
+		t.Fatalf("groups = %+v", q.Groups)
+	}
+	if q.Groups[0].Words[0] != "Credit Suisse" {
+		t.Fatalf("quoted phrase = %q", q.Groups[0].Words[0])
+	}
+}
+
+func TestParseOperatorWithoutKeyword(t *testing.T) {
+	q := MustParse(">= 100 salary")
+	if len(q.Comparisons) != 1 || q.Comparisons[0].Group != -1 {
+		t.Fatalf("comparisons = %+v", q.Comparisons)
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	q := MustParse("wealthy customers and Zurich")
+	if got := q.Keywords(); !reflect.DeepEqual(got, []string{"wealthy customers", "Zurich"}) {
+		t.Fatalf("keywords = %v", got)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	q := MustParse("a >= 10 b = date(2010-01-02) c like foo")
+	if q.Comparisons[0].Value.String() != "10" {
+		t.Fatalf("num string = %q", q.Comparisons[0].Value.String())
+	}
+	if q.Comparisons[1].Value.String() != "date(2010-01-02)" {
+		t.Fatalf("date string = %q", q.Comparisons[1].Value.String())
+	}
+	if q.Comparisons[2].Value.String() != "foo" {
+		t.Fatalf("text string = %q", q.Comparisons[2].Value.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"sum(",
+		"sum(amount",
+		"group by amount",
+		"group by ()",
+		"group by (a",
+		"salary >=",
+		"birthday = date(1981-99-99)",
+		"birthday = date(1981-04-23", // unclosed paren inside date — parses date wrong
+		"top 0 customers",
+		`unterminated "quote`,
+		"sum((amount))",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestStrayPunctuationIgnored(t *testing.T) {
+	q := MustParse("customers ) , ( Zurich")
+	if len(q.Groups) == 0 {
+		t.Fatal("stray punctuation should not kill the query")
+	}
+}
+
+// property: any sequence of plain words parses into exactly one group
+// carrying all words in order.
+func TestQuickPlainWordsSingleGroup(t *testing.T) {
+	words := []string{"alpha", "bravo", "customers", "zurich", "gold"}
+	f := func(picks []uint8) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		var in []string
+		for _, p := range picks {
+			in = append(in, words[int(p)%len(words)])
+		}
+		q, err := Parse(joinWords(in))
+		if err != nil {
+			return false
+		}
+		return len(q.Groups) == 1 && reflect.DeepEqual(q.Groups[0].Words, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func joinWords(ws []string) string {
+	out := ""
+	for i, w := range ws {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}
+
+// canonEqual compares two queries structurally, ignoring Raw.
+func canonEqual(a, b *Query) bool {
+	a2, b2 := *a, *b
+	a2.Raw, b2.Raw = "", ""
+	return reflect.DeepEqual(&a2, &b2)
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"private customers Switzerland",
+		"salary >= 100000 and birth date = date(1981-04-23)",
+		"sum (amount) group by (transaction date)",
+		"top 10 trading volume customer",
+		"trade order period > date(2011-09-01)",
+		"customers names",
+		"birth date between date(1980-01-01) date(1990-01-01)",
+		"individuals or organizations",
+		"count () group by (currency)",
+		"sum (investments) group by (currency, trade date)",
+	}
+	for _, src := range srcs {
+		q1 := MustParse(src)
+		printed := q1.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", printed, src, err)
+		}
+		if !canonEqual(q1, q2) {
+			t.Fatalf("round trip changed the query:\n src: %q\n out: %q\n q1: %+v\n q2: %+v",
+				src, printed, q1, q2)
+		}
+		// Idempotence: printing again is stable.
+		if q2.String() != printed {
+			t.Fatalf("String not stable: %q vs %q", printed, q2.String())
+		}
+	}
+}
+
+// property: String∘Parse is idempotent on generated keyword queries.
+func TestQuickStringParseIdempotent(t *testing.T) {
+	words := []string{"alpha", "customers", "zurich", "gold", "orders"}
+	f := func(picks []uint8, topN uint8) bool {
+		if len(picks) == 0 {
+			return true
+		}
+		var in []string
+		for _, p := range picks {
+			in = append(in, words[int(p)%len(words)])
+		}
+		src := joinWords(in)
+		if topN%4 == 0 {
+			src = "top 5 " + src
+		}
+		q1, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		q2, err := Parse(q1.String())
+		if err != nil {
+			return false
+		}
+		return canonEqual(q1, q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package rdf
+
+// ID is a dense interned identifier for a Term. IDs are only meaningful
+// within the Dict (and therefore Graph) that produced them. The zero ID is
+// never assigned, so it can be used as a sentinel for "no term".
+type ID int32
+
+// NoID is the sentinel value for "no interned term".
+const NoID ID = 0
+
+// Dict interns Terms to dense IDs so graph indexes can use small integer
+// keys. Interning is append-only: terms are never removed.
+type Dict struct {
+	terms []Term      // terms[id-1] is the Term for ID id
+	ids   map[Term]ID // reverse map
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[Term]ID)}
+}
+
+// Intern returns the ID for t, assigning a fresh one if t is new.
+func (d *Dict) Intern(t Term) ID {
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	id := ID(len(d.terms))
+	d.ids[t] = id
+	return id
+}
+
+// Lookup returns the ID for t, or NoID if t has never been interned.
+func (d *Dict) Lookup(t Term) ID {
+	return d.ids[t]
+}
+
+// Term returns the Term for id. It panics if id was not produced by this
+// dictionary, which always indicates a programming error.
+func (d *Dict) Term(id ID) Term {
+	if id <= 0 || int(id) > len(d.terms) {
+		panic("rdf: Term called with foreign or zero ID")
+	}
+	return d.terms[id-1]
+}
+
+// Len reports how many distinct terms have been interned.
+func (d *Dict) Len() int { return len(d.terms) }

@@ -1,0 +1,248 @@
+package rdf
+
+// edge is one (predicate, endpoint) pair in an adjacency list. For the
+// outgoing index the endpoint is the object; for the incoming index it is
+// the subject.
+type edge struct {
+	pred ID
+	end  ID
+}
+
+// adjacency stores the edges of a single node in insertion order, with a
+// per-predicate index for the frequent "follow predicate p" queries the
+// pattern matcher issues.
+type adjacency struct {
+	edges  []edge
+	byPred map[ID][]ID
+}
+
+func (a *adjacency) add(p, end ID) {
+	if a.byPred == nil {
+		a.byPred = make(map[ID][]ID)
+	}
+	a.edges = append(a.edges, edge{p, end})
+	a.byPred[p] = append(a.byPred[p], end)
+}
+
+// Graph is an in-memory triple store with set semantics and three indexes:
+// outgoing edges by subject, incoming edges by object, and full-predicate
+// scans. All iteration orders are deterministic (insertion order), which
+// keeps SODA's ranked output stable across runs — important because the
+// paper presents users an ordered result page.
+type Graph struct {
+	dict    *Dict
+	seen    map[Triple]struct{}
+	out     map[ID]*adjacency // subject -> (predicate, object)
+	in      map[ID]*adjacency // object  -> (predicate, subject)
+	byPred  map[ID][]Triple   // predicate -> triples in insertion order
+	triples []Triple          // insertion order, for All
+}
+
+// NewGraph returns an empty graph with its own term dictionary.
+func NewGraph() *Graph {
+	return &Graph{
+		dict:   NewDict(),
+		seen:   make(map[Triple]struct{}),
+		out:    make(map[ID]*adjacency),
+		in:     make(map[ID]*adjacency),
+		byPred: make(map[ID][]Triple),
+	}
+}
+
+// Dict exposes the graph's term dictionary.
+func (g *Graph) Dict() *Dict { return g.dict }
+
+// Add inserts the triple (s, p, o). Duplicate insertions are ignored, and
+// the method reports whether the triple was new. Subjects and predicates
+// must be IRIs; objects may be IRIs or text literals.
+func (g *Graph) Add(s, p, o Term) bool {
+	if !s.IsIRI() || !p.IsIRI() {
+		panic("rdf: subject and predicate must be IRIs: " + Triple{s, p, o}.String())
+	}
+	tr := Triple{S: s, P: p, O: o}
+	if _, dup := g.seen[tr]; dup {
+		return false
+	}
+	g.seen[tr] = struct{}{}
+	sid, pid, oid := g.dict.Intern(s), g.dict.Intern(p), g.dict.Intern(o)
+
+	oa := g.out[sid]
+	if oa == nil {
+		oa = &adjacency{}
+		g.out[sid] = oa
+	}
+	oa.add(pid, oid)
+
+	ia := g.in[oid]
+	if ia == nil {
+		ia = &adjacency{}
+		g.in[oid] = ia
+	}
+	ia.add(pid, sid)
+
+	g.byPred[pid] = append(g.byPred[pid], tr)
+	g.triples = append(g.triples, tr)
+	return true
+}
+
+// AddTriple inserts tr; see Add.
+func (g *Graph) AddTriple(tr Triple) bool { return g.Add(tr.S, tr.P, tr.O) }
+
+// Has reports whether the triple (s, p, o) is in the graph.
+func (g *Graph) Has(s, p, o Term) bool {
+	_, ok := g.seen[Triple{S: s, P: p, O: o}]
+	return ok
+}
+
+// Len reports the number of distinct triples.
+func (g *Graph) Len() int { return len(g.triples) }
+
+// All returns every triple in insertion order. The returned slice is shared;
+// callers must not modify it.
+func (g *Graph) All() []Triple { return g.triples }
+
+// Objects returns all objects o such that (s, p, o) is in the graph, in
+// insertion order.
+func (g *Graph) Objects(s, p Term) []Term {
+	sid, pid := g.dict.Lookup(s), g.dict.Lookup(p)
+	if sid == NoID || pid == NoID {
+		return nil
+	}
+	a := g.out[sid]
+	if a == nil {
+		return nil
+	}
+	ids := a.byPred[pid]
+	if len(ids) == 0 {
+		return nil
+	}
+	res := make([]Term, len(ids))
+	for i, id := range ids {
+		res[i] = g.dict.Term(id)
+	}
+	return res
+}
+
+// Object returns the first object o with (s, p, o) in the graph and whether
+// one exists. Useful for functional predicates like "tablename".
+func (g *Graph) Object(s, p Term) (Term, bool) {
+	objs := g.Objects(s, p)
+	if len(objs) == 0 {
+		return Term{}, false
+	}
+	return objs[0], true
+}
+
+// Subjects returns all subjects s such that (s, p, o) is in the graph, in
+// insertion order.
+func (g *Graph) Subjects(p, o Term) []Term {
+	pid, oid := g.dict.Lookup(p), g.dict.Lookup(o)
+	if pid == NoID || oid == NoID {
+		return nil
+	}
+	a := g.in[oid]
+	if a == nil {
+		return nil
+	}
+	ids := a.byPred[pid]
+	if len(ids) == 0 {
+		return nil
+	}
+	res := make([]Term, len(ids))
+	for i, id := range ids {
+		res[i] = g.dict.Term(id)
+	}
+	return res
+}
+
+// WithPredicate returns every triple whose predicate is p, in insertion
+// order. The returned slice is shared; callers must not modify it.
+func (g *Graph) WithPredicate(p Term) []Triple {
+	pid := g.dict.Lookup(p)
+	if pid == NoID {
+		return nil
+	}
+	return g.byPred[pid]
+}
+
+// Outgoing calls fn for every edge (p, o) leaving s, in insertion order,
+// until fn returns false.
+func (g *Graph) Outgoing(s Term, fn func(p, o Term) bool) {
+	sid := g.dict.Lookup(s)
+	if sid == NoID {
+		return
+	}
+	a := g.out[sid]
+	if a == nil {
+		return
+	}
+	for _, e := range a.edges {
+		if !fn(g.dict.Term(e.pred), g.dict.Term(e.end)) {
+			return
+		}
+	}
+}
+
+// Incoming calls fn for every edge (p, s) arriving at o, in insertion order,
+// until fn returns false.
+func (g *Graph) Incoming(o Term, fn func(p, s Term) bool) {
+	oid := g.dict.Lookup(o)
+	if oid == NoID {
+		return
+	}
+	a := g.in[oid]
+	if a == nil {
+		return
+	}
+	for _, e := range a.edges {
+		if !fn(g.dict.Term(e.pred), g.dict.Term(e.end)) {
+			return
+		}
+	}
+}
+
+// OutDegree returns the number of edges leaving s.
+func (g *Graph) OutDegree(s Term) int {
+	sid := g.dict.Lookup(s)
+	if sid == NoID {
+		return 0
+	}
+	if a := g.out[sid]; a != nil {
+		return len(a.edges)
+	}
+	return 0
+}
+
+// InDegree returns the number of edges arriving at o.
+func (g *Graph) InDegree(o Term) int {
+	oid := g.dict.Lookup(o)
+	if oid == NoID {
+		return 0
+	}
+	if a := g.in[oid]; a != nil {
+		return len(a.edges)
+	}
+	return 0
+}
+
+// Nodes returns every distinct IRI that appears as a subject or object, in
+// first-appearance order.
+func (g *Graph) Nodes() []Term {
+	seen := make(map[Term]struct{})
+	var nodes []Term
+	appendNode := func(t Term) {
+		if !t.IsIRI() {
+			return
+		}
+		if _, dup := seen[t]; dup {
+			return
+		}
+		seen[t] = struct{}{}
+		nodes = append(nodes, t)
+	}
+	for _, tr := range g.triples {
+		appendNode(tr.S)
+		appendNode(tr.O)
+	}
+	return nodes
+}

@@ -1,0 +1,80 @@
+// Package rdf implements the triple-store substrate underneath the SODA
+// metadata graph. The paper stores warehouse metadata "in a graph structure
+// (such as RDF)" (§2.2) and matches SPARQL-filter-inspired patterns against
+// it (§4.2.1). This package provides exactly the features those patterns
+// need: interned terms (IRIs and text labels), set-semantic triples, and
+// deterministic adjacency indexes for forward edges, backward edges, and
+// whole-predicate scans.
+package rdf
+
+import "fmt"
+
+// Kind discriminates the two term shapes the SODA pattern language uses:
+// node URIs and plain-text labels (written "t:label" in the paper).
+type Kind uint8
+
+const (
+	// IRI identifies a graph node (a table, column, ontology concept, ...).
+	IRI Kind = iota
+	// Text is a literal label attached to a node (a table name, a synonym).
+	Text
+)
+
+func (k Kind) String() string {
+	switch k {
+	case IRI:
+		return "iri"
+	case Text:
+		return "text"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Term is an immutable RDF term: either a node IRI or a text literal.
+// The zero Term is invalid; construct terms with NewIRI or NewText.
+type Term struct {
+	kind  Kind
+	value string
+}
+
+// NewIRI returns an IRI term for the given identifier.
+func NewIRI(s string) Term { return Term{kind: IRI, value: s} }
+
+// NewText returns a text-literal term for the given label.
+func NewText(s string) Term { return Term{kind: Text, value: s} }
+
+// Kind reports whether the term is an IRI or a text literal.
+func (t Term) Kind() Kind { return t.kind }
+
+// Value returns the raw identifier or label.
+func (t Term) Value() string { return t.value }
+
+// IsIRI reports whether the term is a node IRI.
+func (t Term) IsIRI() bool { return t.kind == IRI }
+
+// IsText reports whether the term is a text literal.
+func (t Term) IsText() bool { return t.kind == Text }
+
+// IsZero reports whether the term is the invalid zero value.
+func (t Term) IsZero() bool { return t.value == "" && t.kind == IRI }
+
+// String renders the term using the paper's notation: IRIs bare, text
+// literals with a "t:" prefix.
+func (t Term) String() string {
+	if t.kind == Text {
+		return "t:" + t.value
+	}
+	return t.value
+}
+
+// Triple is a single (subject, predicate, object) statement. Subjects and
+// predicates are always IRIs; objects may be IRIs or text literals.
+type Triple struct {
+	S, P, O Term
+}
+
+// String renders the triple in the paper's "( s p o )" notation.
+func (tr Triple) String() string {
+	return fmt.Sprintf("( %s %s %s )", tr.S, tr.P, tr.O)
+}

@@ -1,0 +1,471 @@
+// Package sqlast defines the abstract syntax tree for the SQL subset that
+// SODA generates and the in-memory engine executes: single SELECT blocks
+// with comma-joined FROM lists, WHERE conjunctions/disjunctions, aggregates,
+// GROUP BY, ORDER BY and LIMIT. This mirrors the statements shown in the
+// paper's Query 1–4 (§4.4) and the gold-standard queries of Table 2; the
+// paper's related work (SQAK) calls the shape SELECT-PROJECT-JOIN-GROUP-BY.
+package sqlast
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Expr is any SQL scalar expression.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators, in increasing binding order groups.
+const (
+	OpOr BinOp = iota
+	OpAnd
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpLike
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+)
+
+var binOpNames = map[BinOp]string{
+	OpOr:   "OR",
+	OpAnd:  "AND",
+	OpEq:   "=",
+	OpNe:   "<>",
+	OpLt:   "<",
+	OpLe:   "<=",
+	OpGt:   ">",
+	OpGe:   ">=",
+	OpLike: "LIKE",
+	OpAdd:  "+",
+	OpSub:  "-",
+	OpMul:  "*",
+	OpDiv:  "/",
+}
+
+// String returns the SQL spelling of the operator.
+func (op BinOp) String() string {
+	if s, ok := binOpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsComparison reports whether the operator compares values (as opposed to
+// combining booleans or doing arithmetic).
+func (op BinOp) IsComparison() bool {
+	switch op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpLike:
+		return true
+	}
+	return false
+}
+
+// Binary is a binary expression L op R.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (*Binary) exprNode() {}
+
+func (b *Binary) String() string {
+	l, r := b.L.String(), b.R.String()
+	if needsParens(b.L, b.Op) {
+		l = "(" + l + ")"
+	}
+	if needsParens(b.R, b.Op) {
+		r = "(" + r + ")"
+	}
+	return l + " " + b.Op.String() + " " + r
+}
+
+// precedence returns a binding strength for printing parentheses.
+func precedence(op BinOp) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpLike:
+		return 3
+	case OpAdd, OpSub:
+		return 4
+	default:
+		return 5
+	}
+}
+
+func needsParens(child Expr, parent BinOp) bool {
+	b, ok := child.(*Binary)
+	if !ok {
+		return false
+	}
+	return precedence(b.Op) < precedence(parent)
+}
+
+// Not is logical negation.
+type Not struct{ X Expr }
+
+func (*Not) exprNode() {}
+
+func (n *Not) String() string { return "NOT (" + n.X.String() + ")" }
+
+// IsNull is "X IS [NOT] NULL".
+type IsNull struct {
+	X   Expr
+	Neg bool
+}
+
+func (*IsNull) exprNode() {}
+
+func (n *IsNull) String() string {
+	if n.Neg {
+		return n.X.String() + " IS NOT NULL"
+	}
+	return n.X.String() + " IS NULL"
+}
+
+// ColumnRef names a column, optionally qualified by table (or alias).
+type ColumnRef struct {
+	Table  string // optional
+	Column string
+}
+
+func (*ColumnRef) exprNode() {}
+
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// LiteralKind discriminates literal types.
+type LiteralKind uint8
+
+// Literal kinds.
+const (
+	LitString LiteralKind = iota
+	LitInt
+	LitFloat
+	LitDate
+	LitBool
+	LitNull
+)
+
+// Literal is a constant value.
+type Literal struct {
+	Kind LiteralKind
+	S    string
+	I    int64
+	F    float64
+	T    time.Time
+	B    bool
+}
+
+func (*Literal) exprNode() {}
+
+func (l *Literal) String() string {
+	switch l.Kind {
+	case LitString:
+		return "'" + strings.ReplaceAll(l.S, "'", "''") + "'"
+	case LitInt:
+		return fmt.Sprintf("%d", l.I)
+	case LitFloat:
+		return fmt.Sprintf("%g", l.F)
+	case LitDate:
+		return "DATE '" + l.T.Format("2006-01-02") + "'"
+	case LitBool:
+		if l.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return "NULL"
+	}
+}
+
+// StringLit returns a string literal.
+func StringLit(s string) *Literal { return &Literal{Kind: LitString, S: s} }
+
+// IntLit returns an integer literal.
+func IntLit(i int64) *Literal { return &Literal{Kind: LitInt, I: i} }
+
+// FloatLit returns a float literal.
+func FloatLit(f float64) *Literal { return &Literal{Kind: LitFloat, F: f} }
+
+// DateLit returns a date literal truncated to the day.
+func DateLit(t time.Time) *Literal {
+	return &Literal{Kind: LitDate, T: time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)}
+}
+
+// BoolLit returns a boolean literal.
+func BoolLit(b bool) *Literal { return &Literal{Kind: LitBool, B: b} }
+
+// NullLit returns the NULL literal.
+func NullLit() *Literal { return &Literal{Kind: LitNull} }
+
+// FuncCall is an aggregate or scalar function call. Star marks COUNT(*).
+type FuncCall struct {
+	Name string // lower-case: count, sum, avg, min, max
+	Args []Expr
+	Star bool
+}
+
+func (*FuncCall) exprNode() {}
+
+func (f *FuncCall) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// AggregateFuncs lists the aggregate function names the engine supports.
+var AggregateFuncs = map[string]bool{
+	"count": true,
+	"sum":   true,
+	"avg":   true,
+	"min":   true,
+	"max":   true,
+}
+
+// IsAggregate reports whether the call is an aggregate function.
+func (f *FuncCall) IsAggregate() bool { return AggregateFuncs[f.Name] }
+
+// SelectItem is one projection in the SELECT list. Star marks "*" (or
+// "tbl.*" when Expr is a ColumnRef with empty Column).
+type SelectItem struct {
+	Star  bool
+	Table string // for "tbl.*"
+	Expr  Expr
+	Alias string
+}
+
+func (s SelectItem) String() string {
+	if s.Star {
+		if s.Table != "" {
+			return s.Table + ".*"
+		}
+		return "*"
+	}
+	if s.Alias != "" {
+		return s.Expr.String() + " AS " + s.Alias
+	}
+	return s.Expr.String()
+}
+
+// TableRef is one entry of the FROM list.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+func (t TableRef) String() string {
+	if t.Alias != "" {
+		return t.Table + " " + t.Alias
+	}
+	return t.Table
+}
+
+// Name returns the name the table is referred to by in expressions.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Expr.String() + " DESC"
+	}
+	return o.Expr.String()
+}
+
+// Select is a full SELECT statement.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 means no limit
+}
+
+// NewSelect returns an empty SELECT with no limit.
+func NewSelect() *Select { return &Select{Limit: -1} }
+
+// HasAggregate reports whether any select item or order key contains an
+// aggregate function call.
+func (s *Select) HasAggregate() bool {
+	for _, it := range s.Items {
+		if it.Star {
+			continue
+		}
+		if containsAggregate(it.Expr) {
+			return true
+		}
+	}
+	for _, o := range s.OrderBy {
+		if containsAggregate(o.Expr) {
+			return true
+		}
+	}
+	return s.Having != nil && containsAggregate(s.Having)
+}
+
+func containsAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *FuncCall:
+		if x.IsAggregate() {
+			return true
+		}
+		for _, a := range x.Args {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+	case *Binary:
+		return containsAggregate(x.L) || containsAggregate(x.R)
+	case *Not:
+		return containsAggregate(x.X)
+	case *IsNull:
+		return containsAggregate(x.X)
+	}
+	return false
+}
+
+// String renders the statement as executable SQL with deterministic layout.
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if len(s.Items) == 0 {
+		b.WriteString("*")
+	} else {
+		for i, it := range s.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(it.String())
+		}
+	}
+	b.WriteString("\nFROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	if s.Where != nil {
+		b.WriteString("\nWHERE ")
+		b.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString("\nGROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString("\nHAVING ")
+		b.WriteString(s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString("\nORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.String())
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, "\nLIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+// AndAll combines the expressions with AND, skipping nils. It returns nil
+// when no expressions remain.
+func AndAll(exprs ...Expr) Expr {
+	var acc Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if acc == nil {
+			acc = e
+			continue
+		}
+		acc = &Binary{Op: OpAnd, L: acc, R: e}
+	}
+	return acc
+}
+
+// Conjuncts flattens a tree of ANDs into its leaf conjuncts.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// ColumnRefs returns every column reference in the expression, in
+// depth-first order.
+func ColumnRefs(e Expr) []*ColumnRef {
+	var refs []*ColumnRef
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *ColumnRef:
+			refs = append(refs, x)
+		case *Binary:
+			walk(x.L)
+			walk(x.R)
+		case *Not:
+			walk(x.X)
+		case *IsNull:
+			walk(x.X)
+		case *FuncCall:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return refs
+}

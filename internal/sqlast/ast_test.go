@@ -1,0 +1,227 @@
+package sqlast
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBinaryStringParenthesization(t *testing.T) {
+	// (a = 1 OR b = 2) AND c = 3 must keep its parens when printed.
+	e := &Binary{
+		Op: OpAnd,
+		L: &Binary{Op: OpOr,
+			L: &Binary{Op: OpEq, L: &ColumnRef{Column: "a"}, R: IntLit(1)},
+			R: &Binary{Op: OpEq, L: &ColumnRef{Column: "b"}, R: IntLit(2)}},
+		R: &Binary{Op: OpEq, L: &ColumnRef{Column: "c"}, R: IntLit(3)},
+	}
+	want := "(a = 1 OR b = 2) AND c = 3"
+	if got := e.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestBinaryStringNoUnneededParens(t *testing.T) {
+	e := &Binary{
+		Op: OpAnd,
+		L:  &Binary{Op: OpEq, L: &ColumnRef{Column: "a"}, R: IntLit(1)},
+		R:  &Binary{Op: OpEq, L: &ColumnRef{Column: "b"}, R: IntLit(2)},
+	}
+	if got := e.String(); got != "a = 1 AND b = 2" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestLiteralStrings(t *testing.T) {
+	cases := map[string]*Literal{
+		"'O''Brien'":        StringLit("O'Brien"),
+		"42":                IntLit(42),
+		"2.5":               FloatLit(2.5),
+		"DATE '2010-01-02'": DateLit(time.Date(2010, 1, 2, 15, 4, 5, 0, time.UTC)),
+		"TRUE":              BoolLit(true),
+		"FALSE":             BoolLit(false),
+		"NULL":              NullLit(),
+	}
+	for want, lit := range cases {
+		if got := lit.String(); got != want {
+			t.Errorf("Literal.String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestDateLitTruncates(t *testing.T) {
+	l := DateLit(time.Date(2010, 1, 2, 23, 59, 0, 0, time.UTC))
+	if l.T.Hour() != 0 {
+		t.Fatal("DateLit must truncate to day")
+	}
+}
+
+func TestFuncCallString(t *testing.T) {
+	c := &FuncCall{Name: "count", Star: true}
+	if c.String() != "count(*)" {
+		t.Fatalf("count(*) printed as %q", c.String())
+	}
+	c = &FuncCall{Name: "sum", Args: []Expr{&ColumnRef{Column: "amount"}}}
+	if c.String() != "sum(amount)" {
+		t.Fatalf("sum printed as %q", c.String())
+	}
+	if !c.IsAggregate() {
+		t.Fatal("sum should be aggregate")
+	}
+	if (&FuncCall{Name: "lower"}).IsAggregate() {
+		t.Fatal("lower should not be aggregate")
+	}
+}
+
+func TestSelectItemAndTableRefString(t *testing.T) {
+	it := SelectItem{Expr: &ColumnRef{Table: "p", Column: "id"}, Alias: "pid"}
+	if it.String() != "p.id AS pid" {
+		t.Fatalf("item = %q", it.String())
+	}
+	star := SelectItem{Star: true, Table: "p"}
+	if star.String() != "p.*" {
+		t.Fatalf("star = %q", star.String())
+	}
+	ref := TableRef{Table: "parties", Alias: "p"}
+	if ref.String() != "parties p" || ref.Name() != "p" {
+		t.Fatalf("ref = %q name = %q", ref.String(), ref.Name())
+	}
+	if (TableRef{Table: "parties"}).Name() != "parties" {
+		t.Fatal("Name without alias")
+	}
+}
+
+func TestSelectStringFullClause(t *testing.T) {
+	sel := NewSelect()
+	sel.Items = []SelectItem{
+		{Expr: &FuncCall{Name: "count", Star: true}},
+		{Expr: &ColumnRef{Table: "o", Column: "companyname"}},
+	}
+	sel.From = []TableRef{{Table: "organizations", Alias: "o"}}
+	sel.Where = &Binary{Op: OpGt, L: &ColumnRef{Table: "o", Column: "id"}, R: IntLit(0)}
+	sel.GroupBy = []Expr{&ColumnRef{Table: "o", Column: "companyname"}}
+	sel.OrderBy = []OrderItem{{Expr: &FuncCall{Name: "count", Star: true}, Desc: true}}
+	sel.Limit = 10
+
+	want := strings.Join([]string{
+		"SELECT count(*), o.companyname",
+		"FROM organizations o",
+		"WHERE o.id > 0",
+		"GROUP BY o.companyname",
+		"ORDER BY count(*) DESC",
+		"LIMIT 10",
+	}, "\n")
+	if got := sel.String(); got != want {
+		t.Fatalf("String:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestEmptySelectPrintsStar(t *testing.T) {
+	sel := NewSelect()
+	sel.From = []TableRef{{Table: "t"}}
+	if !strings.HasPrefix(sel.String(), "SELECT *") {
+		t.Fatalf("got %q", sel.String())
+	}
+}
+
+func TestAndAll(t *testing.T) {
+	if AndAll() != nil || AndAll(nil, nil) != nil {
+		t.Fatal("AndAll of nothing should be nil")
+	}
+	one := &Binary{Op: OpEq, L: &ColumnRef{Column: "a"}, R: IntLit(1)}
+	if AndAll(nil, one, nil) != Expr(one) {
+		t.Fatal("AndAll of single expr should be that expr")
+	}
+	two := AndAll(one, one)
+	b, ok := two.(*Binary)
+	if !ok || b.Op != OpAnd {
+		t.Fatalf("AndAll of two = %T", two)
+	}
+}
+
+func TestConjunctsFlattening(t *testing.T) {
+	a := &Binary{Op: OpEq, L: &ColumnRef{Column: "a"}, R: IntLit(1)}
+	b := &Binary{Op: OpEq, L: &ColumnRef{Column: "b"}, R: IntLit(2)}
+	c := &Binary{Op: OpEq, L: &ColumnRef{Column: "c"}, R: IntLit(3)}
+	tree := AndAll(a, b, c)
+	conj := Conjuncts(tree)
+	if len(conj) != 3 {
+		t.Fatalf("conjuncts = %d, want 3", len(conj))
+	}
+	if Conjuncts(nil) != nil {
+		t.Fatal("Conjuncts(nil) should be nil")
+	}
+	// OR is not flattened.
+	or := &Binary{Op: OpOr, L: a, R: b}
+	if got := Conjuncts(or); len(got) != 1 {
+		t.Fatalf("OR conjuncts = %d, want 1", len(got))
+	}
+}
+
+func TestColumnRefsWalk(t *testing.T) {
+	e := AndAll(
+		&Binary{Op: OpEq, L: &ColumnRef{Table: "t", Column: "a"}, R: IntLit(1)},
+		&Not{X: &IsNull{X: &ColumnRef{Column: "b"}}},
+		&Binary{Op: OpGt, L: &FuncCall{Name: "sum", Args: []Expr{&ColumnRef{Column: "c"}}}, R: IntLit(0)},
+	)
+	refs := ColumnRefs(e)
+	var names []string
+	for _, r := range refs {
+		names = append(names, r.Column)
+	}
+	if !reflect.DeepEqual(names, []string{"a", "b", "c"}) {
+		t.Fatalf("refs = %v", names)
+	}
+}
+
+func TestHasAggregate(t *testing.T) {
+	sel := NewSelect()
+	sel.Items = []SelectItem{{Star: true}}
+	if sel.HasAggregate() {
+		t.Fatal("star select has no aggregate")
+	}
+	sel.OrderBy = []OrderItem{{Expr: &FuncCall{Name: "count", Star: true}}}
+	if !sel.HasAggregate() {
+		t.Fatal("aggregate in ORDER BY must be detected")
+	}
+	sel2 := NewSelect()
+	sel2.Items = []SelectItem{{Expr: &Binary{Op: OpAdd,
+		L: &FuncCall{Name: "sum", Args: []Expr{&ColumnRef{Column: "x"}}},
+		R: IntLit(1)}}}
+	if !sel2.HasAggregate() {
+		t.Fatal("nested aggregate must be detected")
+	}
+}
+
+func TestIsNullString(t *testing.T) {
+	e := &IsNull{X: &ColumnRef{Column: "a"}}
+	if e.String() != "a IS NULL" {
+		t.Fatalf("got %q", e.String())
+	}
+	e.Neg = true
+	if e.String() != "a IS NOT NULL" {
+		t.Fatalf("got %q", e.String())
+	}
+}
+
+func TestNotString(t *testing.T) {
+	e := &Not{X: &ColumnRef{Column: "a"}}
+	if e.String() != "NOT (a)" {
+		t.Fatalf("got %q", e.String())
+	}
+}
+
+func TestBinOpIsComparison(t *testing.T) {
+	comparisons := []BinOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpLike}
+	for _, op := range comparisons {
+		if !op.IsComparison() {
+			t.Errorf("%v should be comparison", op)
+		}
+	}
+	for _, op := range []BinOp{OpAnd, OpOr, OpAdd, OpSub, OpMul, OpDiv} {
+		if op.IsComparison() {
+			t.Errorf("%v should not be comparison", op)
+		}
+	}
+}

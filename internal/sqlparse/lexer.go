@@ -1,0 +1,159 @@
+// Package sqlparse parses the SQL subset of package sqlast. It exists so
+// that the SQL statements SODA *generates* (step 5 of the pipeline) are
+// demonstrably executable text, exactly as the paper requires ("By
+// 'executable' statements we mean SQL statements that can be executed on
+// the data warehouse", §3): generated SQL is printed, re-parsed here, and
+// run by the engine. The gold-standard queries of Table 2 are written as
+// plain SQL strings and enter the system through this parser too.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // for idents: original spelling; upper() used for keywords
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.peekAt(1) == '-':
+			l.skipLineComment()
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '<' && l.peekAt(1) == '=',
+			c == '>' && l.peekAt(1) == '=',
+			c == '<' && l.peekAt(1) == '>',
+			c == '!' && l.peekAt(1) == '=':
+			l.emit(tokSymbol, l.src[l.pos:l.pos+2])
+			l.pos += 2
+		case strings.ContainsRune("(),.*=<>+-/", rune(c)):
+			l.emit(tokSymbol, string(c))
+			l.pos++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: l.pos})
+}
+
+func (l *lexer) skipLineComment() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	sawDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !sawDot {
+			// A dot is part of the number only if followed by a digit;
+			// "1.e" or "t1.c" style splits are not expected because
+			// identifiers cannot start with digits in this subset.
+			if d := l.peekAt(1); d >= '0' && d <= '9' {
+				sawDot = true
+				l.pos++
+				continue
+			}
+		}
+		break
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.peekAt(1) == '\'' { // doubled quote escape
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string literal at offset %d", start)
+}

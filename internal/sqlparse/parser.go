@@ -1,0 +1,558 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"soda/internal/sqlast"
+)
+
+// Parse parses a single SELECT statement.
+func Parse(src string) (*sqlast.Select, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("sql: trailing input at %s", p.peek())
+	}
+	return sel, nil
+}
+
+// MustParse is Parse that panics on error; for statically known statements
+// such as the gold-standard corpus.
+func MustParse(src string) *sqlast.Select {
+	sel, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return sel
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token has the given kind and (for idents,
+// case-insensitively) text. Empty text matches any.
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	if t.kind != kind {
+		return false
+	}
+	if text == "" {
+		return true
+	}
+	if kind == tokIdent {
+		return strings.EqualFold(t.text, text)
+	}
+	return t.text == text
+}
+
+// eat consumes the current token if it matches; reports whether it did.
+func (p *parser) eat(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		return token{}, fmt.Errorf("sql: expected %q, got %s", text, p.peek())
+	}
+	return p.next(), nil
+}
+
+// keyword reports whether the current token is the given keyword without
+// consuming it.
+func (p *parser) keyword(kw string) bool { return p.at(tokIdent, kw) }
+
+var reservedAfterTable = map[string]bool{
+	"where": true, "group": true, "order": true, "limit": true,
+	"on": true, "and": true, "or": true, "inner": true, "join": true,
+	"having": true, "desc": true, "asc": true,
+}
+
+func (p *parser) parseSelect() (*sqlast.Select, error) {
+	if _, err := p.expect(tokIdent, "select"); err != nil {
+		return nil, err
+	}
+	sel := sqlast.NewSelect()
+	sel.Distinct = p.eat(tokIdent, "distinct")
+
+	// Select list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.eat(tokSymbol, ",") {
+			break
+		}
+	}
+
+	if _, err := p.expect(tokIdent, "from"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, ref)
+		if !p.eat(tokSymbol, ",") {
+			break
+		}
+	}
+
+	if p.eat(tokIdent, "where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+
+	if p.keyword("group") {
+		p.next()
+		if _, err := p.expect(tokIdent, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.eat(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	if p.eat(tokIdent, "having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+
+	if p.keyword("order") {
+		p.next()
+		if _, err := p.expect(tokIdent, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := sqlast.OrderItem{Expr: e}
+			if p.eat(tokIdent, "desc") {
+				item.Desc = true
+			} else {
+				p.eat(tokIdent, "asc")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.eat(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	if p.eat(tokIdent, "limit") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", t.text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (sqlast.SelectItem, error) {
+	if p.eat(tokSymbol, "*") {
+		return sqlast.SelectItem{Star: true}, nil
+	}
+	// "tbl.*"
+	if p.peek().kind == tokIdent && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "." &&
+		p.toks[p.pos+2].kind == tokSymbol && p.toks[p.pos+2].text == "*" {
+		tbl := p.next().text
+		p.next() // .
+		p.next() // *
+		return sqlast.SelectItem{Star: true, Table: tbl}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return sqlast.SelectItem{}, err
+	}
+	item := sqlast.SelectItem{Expr: e}
+	if p.eat(tokIdent, "as") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return sqlast.SelectItem{}, err
+		}
+		item.Alias = t.text
+	} else if p.peek().kind == tokIdent && !reservedAfterSelectItem[strings.ToLower(p.peek().text)] {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+var reservedAfterSelectItem = map[string]bool{
+	"from": true, "where": true, "group": true, "order": true, "limit": true,
+	"and": true, "or": true, "as": true, "desc": true, "asc": true, "like": true,
+	"is": true, "not": true, "null": true, "between": true,
+}
+
+func (p *parser) parseTableRef() (sqlast.TableRef, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return sqlast.TableRef{}, err
+	}
+	ref := sqlast.TableRef{Table: t.text}
+	if p.eat(tokIdent, "as") {
+		a, err := p.expect(tokIdent, "")
+		if err != nil {
+			return sqlast.TableRef{}, err
+		}
+		ref.Alias = a.text
+	} else if p.peek().kind == tokIdent && !reservedAfterTable[strings.ToLower(p.peek().text)] {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+// Expression grammar, loosest first:
+//
+//	expr    := orExpr
+//	orExpr  := andExpr ( OR andExpr )*
+//	andExpr := notExpr ( AND notExpr )*
+//	notExpr := NOT notExpr | cmpExpr
+//	cmpExpr := addExpr ( (=|<>|!=|<|<=|>|>=|LIKE) addExpr
+//	         | IS [NOT] NULL | [NOT] BETWEEN addExpr AND addExpr )?
+//	addExpr := mulExpr ( (+|-) mulExpr )*
+//	mulExpr := unary ( (*|/) unary )*
+//	unary   := - unary | primary
+//	primary := literal | funcCall | columnRef | ( expr )
+func (p *parser) parseExpr() (sqlast.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (sqlast.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat(tokIdent, "or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &sqlast.Binary{Op: sqlast.OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (sqlast.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat(tokIdent, "and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &sqlast.Binary{Op: sqlast.OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (sqlast.Expr, error) {
+	if p.eat(tokIdent, "not") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Not{X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+var cmpOps = map[string]sqlast.BinOp{
+	"=":  sqlast.OpEq,
+	"<>": sqlast.OpNe,
+	"!=": sqlast.OpNe,
+	"<":  sqlast.OpLt,
+	"<=": sqlast.OpLe,
+	">":  sqlast.OpGt,
+	">=": sqlast.OpGe,
+}
+
+func (p *parser) parseComparison() (sqlast.Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokSymbol {
+		if op, ok := cmpOps[p.peek().text]; ok {
+			p.next()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &sqlast.Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	if p.eat(tokIdent, "like") {
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Binary{Op: sqlast.OpLike, L: l, R: r}, nil
+	}
+	if p.keyword("not") && strings.EqualFold(p.toks[p.pos+1].text, "like") {
+		p.next()
+		p.next()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Not{X: &sqlast.Binary{Op: sqlast.OpLike, L: l, R: r}}, nil
+	}
+	if p.eat(tokIdent, "is") {
+		neg := p.eat(tokIdent, "not")
+		if _, err := p.expect(tokIdent, "null"); err != nil {
+			return nil, err
+		}
+		return &sqlast.IsNull{X: l, Neg: neg}, nil
+	}
+	neg := false
+	if p.keyword("not") && strings.EqualFold(p.toks[p.pos+1].text, "between") {
+		p.next()
+		neg = true
+	}
+	if p.eat(tokIdent, "between") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIdent, "and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		// Desugar: l BETWEEN lo AND hi  =>  l >= lo AND l <= hi.
+		between := &sqlast.Binary{
+			Op: sqlast.OpAnd,
+			L:  &sqlast.Binary{Op: sqlast.OpGe, L: l, R: lo},
+			R:  &sqlast.Binary{Op: sqlast.OpLe, L: l, R: hi},
+		}
+		if neg {
+			return &sqlast.Not{X: between}, nil
+		}
+		return between, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (sqlast.Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op sqlast.BinOp
+		switch {
+		case p.at(tokSymbol, "+"):
+			op = sqlast.OpAdd
+		case p.at(tokSymbol, "-"):
+			op = sqlast.OpSub
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &sqlast.Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (sqlast.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op sqlast.BinOp
+		switch {
+		case p.at(tokSymbol, "*"):
+			op = sqlast.OpMul
+		case p.at(tokSymbol, "/"):
+			op = sqlast.OpDiv
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &sqlast.Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (sqlast.Expr, error) {
+	if p.eat(tokSymbol, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation into numeric literals for cleaner trees.
+		if lit, ok := x.(*sqlast.Literal); ok {
+			switch lit.Kind {
+			case sqlast.LitInt:
+				return sqlast.IntLit(-lit.I), nil
+			case sqlast.LitFloat:
+				return sqlast.FloatLit(-lit.F), nil
+			}
+		}
+		return &sqlast.Binary{Op: sqlast.OpSub, L: sqlast.IntLit(0), R: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (sqlast.Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.text)
+			}
+			return sqlast.FloatLit(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return sqlast.IntLit(i), nil
+
+	case tokString:
+		p.next()
+		return sqlast.StringLit(t.text), nil
+
+	case tokSymbol:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected token %s", t)
+
+	case tokIdent:
+		lower := strings.ToLower(t.text)
+		switch lower {
+		case "null":
+			p.next()
+			return sqlast.NullLit(), nil
+		case "true":
+			p.next()
+			return sqlast.BoolLit(true), nil
+		case "false":
+			p.next()
+			return sqlast.BoolLit(false), nil
+		case "date":
+			// DATE 'yyyy-mm-dd'
+			if p.toks[p.pos+1].kind == tokString {
+				p.next()
+				s := p.next().text
+				tm, err := time.Parse("2006-01-02", s)
+				if err != nil {
+					return nil, fmt.Errorf("sql: bad date literal %q: %v", s, err)
+				}
+				return sqlast.DateLit(tm), nil
+			}
+		}
+		// Function call?
+		if p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+			p.next() // name
+			p.next() // (
+			call := &sqlast.FuncCall{Name: lower}
+			if p.eat(tokSymbol, "*") {
+				call.Star = true
+				if _, err := p.expect(tokSymbol, ")"); err != nil {
+					return nil, err
+				}
+				return call, nil
+			}
+			if !p.eat(tokSymbol, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.eat(tokSymbol, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(tokSymbol, ")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		// Column reference, possibly qualified.
+		p.next()
+		if p.at(tokSymbol, ".") {
+			p.next()
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &sqlast.ColumnRef{Table: t.text, Column: col.text}, nil
+		}
+		return &sqlast.ColumnRef{Column: t.text}, nil
+
+	default:
+		return nil, fmt.Errorf("sql: unexpected %s", t)
+	}
+}

@@ -1,0 +1,351 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"soda/internal/sqlast"
+)
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := MustParse("SELECT * FROM parties")
+	if len(sel.Items) != 1 || !sel.Items[0].Star {
+		t.Fatalf("items = %+v", sel.Items)
+	}
+	if len(sel.From) != 1 || sel.From[0].Table != "parties" {
+		t.Fatalf("from = %+v", sel.From)
+	}
+	if sel.Where != nil || sel.Limit != -1 {
+		t.Fatal("unexpected where/limit")
+	}
+}
+
+func TestParsePaperQuery1(t *testing.T) {
+	// Query 1 from §4.4.1, verbatim.
+	sel := MustParse(`SELECT *
+		FROM parties, individuals
+		WHERE parties.id = individuals.id
+		AND individuals.firstName = 'Sara'
+		AND individuals.lastName = 'Guttinger'`)
+	if len(sel.From) != 2 {
+		t.Fatalf("from count = %d", len(sel.From))
+	}
+	conj := sqlast.Conjuncts(sel.Where)
+	if len(conj) != 3 {
+		t.Fatalf("conjuncts = %d, want 3", len(conj))
+	}
+	first, ok := conj[0].(*sqlast.Binary)
+	if !ok || first.Op != sqlast.OpEq {
+		t.Fatalf("first conjunct = %v", conj[0])
+	}
+	l := first.L.(*sqlast.ColumnRef)
+	if l.Table != "parties" || l.Column != "id" {
+		t.Fatalf("lhs = %+v", l)
+	}
+}
+
+func TestParsePaperQuery3Aggregation(t *testing.T) {
+	// Query 3 from §4.4.2.
+	sel := MustParse(`SELECT sum(amount), transactiondate
+		FROM fi_transactions
+		GROUP BY transactiondate`)
+	if len(sel.Items) != 2 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	call, ok := sel.Items[0].Expr.(*sqlast.FuncCall)
+	if !ok || call.Name != "sum" || len(call.Args) != 1 {
+		t.Fatalf("item0 = %v", sel.Items[0].Expr)
+	}
+	if !sel.HasAggregate() {
+		t.Fatal("HasAggregate should be true")
+	}
+	if len(sel.GroupBy) != 1 {
+		t.Fatalf("groupby = %d", len(sel.GroupBy))
+	}
+}
+
+func TestParsePaperQuery4OrderByDesc(t *testing.T) {
+	// Query 4 from §4.4.2 (trailing desc).
+	sel := MustParse(`SELECT count(fi_transactions.id), companyname
+		FROM transactions,fi_transactions,organizations
+		WHERE transactions.id = fi_transactions.id
+		AND transactions.toParty = organizations.id
+		GROUP BY organizations.companyname
+		ORDER BY count(fi_transactions.id) desc`)
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Fatalf("orderby = %+v", sel.OrderBy)
+	}
+	if _, ok := sel.OrderBy[0].Expr.(*sqlast.FuncCall); !ok {
+		t.Fatal("order key should be an aggregate call")
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	sel := MustParse("SELECT count(*) FROM t")
+	call := sel.Items[0].Expr.(*sqlast.FuncCall)
+	if !call.Star || call.Name != "count" {
+		t.Fatalf("call = %+v", call)
+	}
+}
+
+func TestParseDateLiteral(t *testing.T) {
+	sel := MustParse("SELECT * FROM t WHERE d >= DATE '2011-09-01'")
+	bin := sel.Where.(*sqlast.Binary)
+	lit := bin.R.(*sqlast.Literal)
+	if lit.Kind != sqlast.LitDate || lit.T.Format("2006-01-02") != "2011-09-01" {
+		t.Fatalf("lit = %+v", lit)
+	}
+}
+
+func TestParseBetweenDesugars(t *testing.T) {
+	sel := MustParse("SELECT * FROM t WHERE d BETWEEN DATE '2010-01-01' AND DATE '2010-12-31'")
+	conj := sqlast.Conjuncts(sel.Where)
+	if len(conj) != 2 {
+		t.Fatalf("between should desugar to 2 conjuncts, got %d", len(conj))
+	}
+	ge := conj[0].(*sqlast.Binary)
+	le := conj[1].(*sqlast.Binary)
+	if ge.Op != sqlast.OpGe || le.Op != sqlast.OpLe {
+		t.Fatalf("ops = %v, %v", ge.Op, le.Op)
+	}
+}
+
+func TestParseNotBetween(t *testing.T) {
+	sel := MustParse("SELECT * FROM t WHERE x NOT BETWEEN 1 AND 5")
+	if _, ok := sel.Where.(*sqlast.Not); !ok {
+		t.Fatalf("want Not node, got %T", sel.Where)
+	}
+}
+
+func TestParseLikeAndNotLike(t *testing.T) {
+	sel := MustParse("SELECT * FROM t WHERE name LIKE '%gold%'")
+	bin := sel.Where.(*sqlast.Binary)
+	if bin.Op != sqlast.OpLike {
+		t.Fatalf("op = %v", bin.Op)
+	}
+	sel = MustParse("SELECT * FROM t WHERE name NOT LIKE 'x%'")
+	if _, ok := sel.Where.(*sqlast.Not); !ok {
+		t.Fatalf("want Not, got %T", sel.Where)
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	sel := MustParse("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL")
+	conj := sqlast.Conjuncts(sel.Where)
+	a := conj[0].(*sqlast.IsNull)
+	b := conj[1].(*sqlast.IsNull)
+	if a.Neg || !b.Neg {
+		t.Fatalf("isnull flags wrong: %v %v", a.Neg, b.Neg)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := MustParse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or := sel.Where.(*sqlast.Binary)
+	if or.Op != sqlast.OpOr {
+		t.Fatalf("top = %v, want OR", or.Op)
+	}
+	and := or.R.(*sqlast.Binary)
+	if and.Op != sqlast.OpAnd {
+		t.Fatalf("right = %v, want AND", and.Op)
+	}
+}
+
+func TestParseParenthesesOverridePrecedence(t *testing.T) {
+	sel := MustParse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+	and := sel.Where.(*sqlast.Binary)
+	if and.Op != sqlast.OpAnd {
+		t.Fatalf("top = %v, want AND", and.Op)
+	}
+	if or := and.L.(*sqlast.Binary); or.Op != sqlast.OpOr {
+		t.Fatalf("left = %v, want OR", or.Op)
+	}
+}
+
+func TestParseArithmetic(t *testing.T) {
+	sel := MustParse("SELECT a + b * 2 FROM t")
+	add := sel.Items[0].Expr.(*sqlast.Binary)
+	if add.Op != sqlast.OpAdd {
+		t.Fatalf("top op = %v", add.Op)
+	}
+	mul := add.R.(*sqlast.Binary)
+	if mul.Op != sqlast.OpMul {
+		t.Fatalf("right op = %v", mul.Op)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	sel := MustParse("SELECT * FROM t WHERE x > -5 AND y < -2.5")
+	conj := sqlast.Conjuncts(sel.Where)
+	lit := conj[0].(*sqlast.Binary).R.(*sqlast.Literal)
+	if lit.Kind != sqlast.LitInt || lit.I != -5 {
+		t.Fatalf("lit = %+v", lit)
+	}
+	flit := conj[1].(*sqlast.Binary).R.(*sqlast.Literal)
+	if flit.Kind != sqlast.LitFloat || flit.F != -2.5 {
+		t.Fatalf("flit = %+v", flit)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	sel := MustParse("SELECT p.id AS pid, count(*) cnt FROM parties p, individuals AS i WHERE p.id = i.id")
+	if sel.Items[0].Alias != "pid" || sel.Items[1].Alias != "cnt" {
+		t.Fatalf("aliases = %+v", sel.Items)
+	}
+	if sel.From[0].Alias != "p" || sel.From[1].Alias != "i" {
+		t.Fatalf("from aliases = %+v", sel.From)
+	}
+	if sel.From[0].Name() != "p" {
+		t.Fatalf("Name() = %s", sel.From[0].Name())
+	}
+}
+
+func TestParseDistinctAndLimit(t *testing.T) {
+	sel := MustParse("SELECT DISTINCT city FROM addresses LIMIT 20")
+	if !sel.Distinct || sel.Limit != 20 {
+		t.Fatalf("distinct=%v limit=%d", sel.Distinct, sel.Limit)
+	}
+}
+
+func TestParseTableDotStar(t *testing.T) {
+	sel := MustParse("SELECT p.*, i.name FROM parties p, individuals i")
+	if !sel.Items[0].Star || sel.Items[0].Table != "p" {
+		t.Fatalf("item0 = %+v", sel.Items[0])
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	sel := MustParse("SELECT * FROM t WHERE name = 'O''Brien'")
+	lit := sel.Where.(*sqlast.Binary).R.(*sqlast.Literal)
+	if lit.S != "O'Brien" {
+		t.Fatalf("lit = %q", lit.S)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	sel := MustParse("SELECT * -- trailing\nFROM t -- another\nWHERE a = 1")
+	if sel.Where == nil {
+		t.Fatal("comment swallowed the WHERE clause")
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	sel := MustParse("select * from t where a = 1 group by a order by a desc limit 5")
+	if sel.Where == nil || len(sel.GroupBy) != 1 || len(sel.OrderBy) != 1 || sel.Limit != 5 {
+		t.Fatal("lowercase keywords not parsed")
+	}
+}
+
+func TestParseNullTrueFalse(t *testing.T) {
+	sel := MustParse("SELECT NULL, TRUE, FALSE FROM t")
+	kinds := []sqlast.LiteralKind{sqlast.LitNull, sqlast.LitBool, sqlast.LitBool}
+	for i, k := range kinds {
+		lit := sel.Items[i].Expr.(*sqlast.Literal)
+		if lit.Kind != k {
+			t.Fatalf("item %d kind = %v, want %v", i, lit.Kind, k)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t LIMIT x",
+		"SELECT * FROM t GROUP a",
+		"SELECT * FROM t ORDER a",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT * FROM t WHERE a ~ 1",
+		"SELECT * FROM t trailing garbage (",
+		"SELECT * FROM t WHERE (a = 1",
+		"SELECT * FROM t WHERE a IS BANANA",
+		"SELECT * FROM t WHERE a BETWEEN 1 5",
+		"SELECT count( FROM t",
+		"SELECT * FROM t WHERE d >= DATE '20-bad-date'",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestRoundTripPrintedSQLReparses(t *testing.T) {
+	srcs := []string{
+		"SELECT * FROM parties, individuals WHERE parties.id = individuals.id",
+		"SELECT sum(amount), transactiondate FROM fi_transactions GROUP BY transactiondate",
+		"SELECT count(fi_transactions.id), companyname FROM transactions, fi_transactions, organizations WHERE transactions.id = fi_transactions.id AND transactions.toparty = organizations.id GROUP BY organizations.companyname ORDER BY count(fi_transactions.id) DESC",
+		"SELECT * FROM persons WHERE persons.salary >= 100000 AND persons.birthday = DATE '1981-04-23'",
+		"SELECT DISTINCT a.city FROM addresses a WHERE a.city LIKE 'Z%' ORDER BY a.city LIMIT 10",
+		"SELECT * FROM t WHERE (a = 1 OR b = 2) AND NOT (c IS NULL)",
+	}
+	for _, src := range srcs {
+		sel1 := MustParse(src)
+		printed := sel1.String()
+		sel2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v\nprinted: %s", src, err, printed)
+		}
+		if sel2.String() != printed {
+			t.Fatalf("print-parse-print not stable:\nfirst:  %s\nsecond: %s", printed, sel2.String())
+		}
+	}
+}
+
+// property: printing and reparsing a randomly generated comparison WHERE
+// clause is stable.
+func TestQuickPrintParseStable(t *testing.T) {
+	cols := []string{"a", "b", "c", "salary", "birth_dt"}
+	ops := []string{"=", "<>", "<", "<=", ">", ">=", "LIKE"}
+	f := func(colIdx, opIdx uint8, val int16, conj bool) bool {
+		col := cols[int(colIdx)%len(cols)]
+		op := ops[int(opIdx)%len(ops)]
+		var where string
+		if op == "LIKE" {
+			where = col + " LIKE 'x%'"
+		} else {
+			where = col + " " + op + " " + itoa(int(val))
+		}
+		if conj {
+			where += " AND " + col + " IS NOT NULL"
+		}
+		src := "SELECT * FROM t WHERE " + where
+		sel, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		printed := sel.String()
+		sel2, err := Parse(printed)
+		if err != nil {
+			return false
+		}
+		return sel2.String() == printed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v int) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}
+
+func TestSelectStringLayout(t *testing.T) {
+	sel := MustParse("SELECT a FROM t WHERE a > 1 GROUP BY a ORDER BY a LIMIT 3")
+	want := "SELECT a\nFROM t\nWHERE a > 1\nGROUP BY a\nORDER BY a\nLIMIT 3"
+	if got := sel.String(); got != want {
+		t.Fatalf("String:\n got: %q\nwant: %q", got, want)
+	}
+	if !strings.Contains(sel.String(), "\nWHERE ") {
+		t.Fatal("layout check")
+	}
+}

@@ -1,0 +1,552 @@
+package warehouse
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"soda/internal/engine"
+	"soda/internal/metagraph"
+	"soda/internal/rdf"
+)
+
+// domain hand-models the warehouse's business core: the party hierarchy
+// with bi-temporal name history (Figure 10), agreements, currencies,
+// investment products and the order fact tables with their own
+// inheritance split. Physical names are deliberately cryptic (§6.2).
+type domain struct {
+	cfg   cfg
+	db    *engine.DB
+	b     *metagraph.Builder
+	nodes map[string]rdf.Term
+}
+
+type cfg = Config
+
+func (d *domain) buildSchema() {
+	b := d.b
+
+	// ---- Physical layer.
+	tParty := b.PhysicalTable("party_td")
+	cPartyID := b.PhysicalColumn(tParty, "id", "int")
+	b.PhysicalColumn(tParty, "party_kind_cd", "text")
+
+	tInd := b.PhysicalTable("individual_td")
+	cIndID := b.PhysicalColumn(tInd, "id", "int")
+	cIndBirth := b.PhysicalColumn(tInd, "birth_dt", "date")
+	cIndSalary := b.PhysicalColumn(tInd, "salary_amt", "float")
+	cIndSnap := b.PhysicalColumn(tInd, "crnt_snap_id", "int")
+
+	tOrg := b.PhysicalTable("organization_td")
+	cOrgID := b.PhysicalColumn(tOrg, "id", "int")
+	cOrgName := b.PhysicalColumn(tOrg, "org_nm", "text")
+	b.PhysicalColumn(tOrg, "country", "text")
+	cOrgSnap := b.PhysicalColumn(tOrg, "crnt_snap_id", "int")
+
+	tIndHist := b.PhysicalTable("individual_name_hist")
+	cIHSnap := b.PhysicalColumn(tIndHist, "snap_id", "int")
+	cIHInd := b.PhysicalColumn(tIndHist, "individual_id", "int")
+	cIHGiven := b.PhysicalColumn(tIndHist, "given_nm", "text")
+	cIHFamily := b.PhysicalColumn(tIndHist, "family_nm", "text")
+	b.PhysicalColumn(tIndHist, "valid_from", "date")
+	b.PhysicalColumn(tIndHist, "valid_to", "date")
+
+	tOrgHist := b.PhysicalTable("organization_name_hist")
+	cOHSnap := b.PhysicalColumn(tOrgHist, "snap_id", "int")
+	cOHOrg := b.PhysicalColumn(tOrgHist, "organization_id", "int")
+	b.PhysicalColumn(tOrgHist, "org_nm", "text")
+	b.PhysicalColumn(tOrgHist, "valid_from", "date")
+	b.PhysicalColumn(tOrgHist, "valid_to", "date")
+
+	tEmp := b.PhysicalTable("associate_employment")
+	cEmpInd := b.PhysicalColumn(tEmp, "individual_id", "int")
+	cEmpOrg := b.PhysicalColumn(tEmp, "organization_id", "int")
+	b.PhysicalColumn(tEmp, "role_cd", "text")
+
+	tAddr := b.PhysicalTable("address_td")
+	b.PhysicalColumn(tAddr, "id", "int")
+	cAddrInd := b.PhysicalColumn(tAddr, "individual_id", "int")
+	cAddrCity := b.PhysicalColumn(tAddr, "city_nm", "text")
+	b.PhysicalColumn(tAddr, "street_nm", "text")
+	cAddrCountry := b.PhysicalColumn(tAddr, "country_cd", "text")
+
+	tAgr := b.PhysicalTable("agreement_td")
+	cAgrID := b.PhysicalColumn(tAgr, "id", "int")
+	cAgrName := b.PhysicalColumn(tAgr, "agreement_nm", "text")
+	cAgrSigned := b.PhysicalColumn(tAgr, "signed_dt", "date")
+
+	tAgrParty := b.PhysicalTable("agreement_party")
+	cAPAgr := b.PhysicalColumn(tAgrParty, "agreement_id", "int")
+	cAPParty := b.PhysicalColumn(tAgrParty, "party_id", "int")
+
+	tCurr := b.PhysicalTable("curr_td")
+	cCurrID := b.PhysicalColumn(tCurr, "id", "int")
+	cCurrISO := b.PhysicalColumn(tCurr, "currency_cd", "text")
+	b.PhysicalColumn(tCurr, "curr_nm", "text")
+
+	tProd := b.PhysicalTable("investment_product_td")
+	cProdID := b.PhysicalColumn(tProd, "id", "int")
+	cProdName := b.PhysicalColumn(tProd, "product_nm", "text")
+	b.PhysicalColumn(tProd, "product_type_cd", "text")
+
+	tOrder := b.PhysicalTable("order_td")
+	cOrderID := b.PhysicalColumn(tOrder, "id", "int")
+	cOrderParty := b.PhysicalColumn(tOrder, "party_id", "int")
+	cOrderDate := b.PhysicalColumn(tOrder, "prd_dt", "date")
+	cOrderAmt := b.PhysicalColumn(tOrder, "investment_amt", "float")
+	cOrderCurr := b.PhysicalColumn(tOrder, "curr_id", "int")
+
+	tTradeOrder := b.PhysicalTable("trade_order_td")
+	cTOID := b.PhysicalColumn(tTradeOrder, "id", "int")
+	cTOProd := b.PhysicalColumn(tTradeOrder, "product_id", "int")
+
+	tMoneyOrder := b.PhysicalTable("money_order_td")
+	cMOID := b.PhysicalColumn(tMoneyOrder, "id", "int")
+	cMOBen := b.PhysicalColumn(tMoneyOrder, "beneficiary_id", "int")
+
+	// ---- Joins and inheritance (with the war-story quirks).
+	b.ForeignKey(cIndID, cPartyID)
+	b.ForeignKey(cOrgID, cPartyID)
+	b.Inheritance(tParty, tInd, tOrg)
+
+	// Bi-temporal historisation: the schema graph models the *snapshot*
+	// join (name_hist.snap_id = individual.crnt_snap_id). The proper
+	// all-versions join on individual_id is "not properly reflected in
+	// the schema graph" (§5.2.1) — unless FixBiTemporal applies the
+	// annotation mitigation.
+	b.ForeignKey(cIHSnap, cIndSnap)
+	b.ForeignKey(cOHSnap, cOrgSnap)
+	if d.cfg.FixBiTemporal {
+		b.IgnoreJoin(cIHSnap)
+		b.IgnoreJoin(cOHSnap)
+		b.ForeignKey(cIHInd, cIndID)
+		b.ForeignKey(cOHOrg, cOrgID)
+	}
+
+	// Bridge table between inheritance siblings (Figure 10).
+	b.ForeignKey(cEmpInd, cIndID)
+	b.ForeignKey(cEmpOrg, cOrgID)
+	if d.cfg.FixSiblingBridges {
+		b.IgnoreJoin(cEmpInd)
+		b.IgnoreJoin(cEmpOrg)
+	}
+
+	b.ForeignKey(cAddrInd, cIndID)
+	b.ForeignKey(cAPAgr, cAgrID)
+	b.ForeignKey(cAPParty, cPartyID)
+	// The fact-table joins use the explicit Join-Relationship pattern —
+	// "In the case of Credit Suisse, we use a more general
+	// Join-Relationship pattern which has an explicit join node with
+	// outgoing edges to primary key and foreign key" (§4.2.1). The
+	// dimension joins above stay as simple Figure 8 foreign keys, so both
+	// modelling conventions coexist as in the real warehouse.
+	b.JoinRelationship(cOrderParty, cPartyID)
+	b.JoinRelationship(cOrderCurr, cCurrID)
+	b.ForeignKey(cTOID, cOrderID)
+	b.ForeignKey(cMOID, cOrderID)
+	b.Inheritance(tOrder, tTradeOrder, tMoneyOrder)
+	b.JoinRelationship(cTOProd, cProdID)
+	b.ForeignKey(cMOBen, cPartyID)
+
+	// ---- Logical layer (business names; physical names are cryptic).
+	logParty := b.LogicalEntity("parties", "party")
+	logInd := b.LogicalEntity("individuals", "individual")
+	logOrg := b.LogicalEntity("organizations", "organization")
+	logIndName := b.LogicalEntity("individual names")
+	logOrgName := b.LogicalEntity("organization names")
+	logEmp := b.LogicalEntity("employments", "employment")
+	logAddr := b.LogicalEntity("addresses", "address")
+	logAgr := b.LogicalEntity("agreements", "agreement")
+	logCurr := b.LogicalEntity("currencies")
+	logProd := b.LogicalEntity("investment products", "investment product")
+	logOrder := b.LogicalEntity("orders", "order")
+	logTrade := b.LogicalEntity("trade orders", "trade order")
+	logMoney := b.LogicalEntity("money orders", "money order")
+
+	for _, im := range []struct {
+		l rdf.Term
+		t rdf.Term
+	}{
+		{logParty, tParty}, {logInd, tInd}, {logOrg, tOrg},
+		{logIndName, tIndHist}, {logOrgName, tOrgHist}, {logEmp, tEmp},
+		{logAddr, tAddr}, {logAgr, tAgr}, {logCurr, tCurr},
+		{logProd, tProd}, {logOrder, tOrder}, {logTrade, tTradeOrder},
+		{logMoney, tMoneyOrder},
+	} {
+		b.Implements(im.l, im.t)
+	}
+
+	// Logical relationships (owner → referenced, as in minibank).
+	b.Relates(logParty, logInd)
+	b.Relates(logParty, logOrg)
+	b.Relates(logInd, logIndName)
+	b.Relates(logOrg, logOrgName)
+	b.Relates(logInd, logAddr)
+	b.Relates(logEmp, logInd)
+	b.Relates(logEmp, logOrg)
+	b.Relates(logAgr, logParty)
+	b.Relates(logOrder, logParty)
+	b.Relates(logOrder, logCurr)
+	b.Relates(logOrder, logTrade)
+	b.Relates(logOrder, logMoney)
+	b.Relates(logTrade, logProd)
+
+	// Logical attributes with business labels.
+	attr := func(ent rdf.Term, name string, col rdf.Term, extra ...string) rdf.Term {
+		a := b.LogicalAttr(ent, name)
+		b.Implements(a, col)
+		b.Label(a, extra...)
+		return a
+	}
+	aGiven := attr(logIndName, "given name", cIHGiven, "first name")
+	aFamily := attr(logIndName, "family name", cIHFamily, "last name")
+	attr(logInd, "birth date", cIndBirth, "birthday")
+	aSalary := attr(logInd, "salary", cIndSalary)
+	attr(logAddr, "city", cAddrCity)
+	attr(logAddr, "country code", cAddrCountry)
+	aOrgName := attr(logOrg, "organization name", cOrgName, "company name")
+	attr(logAgr, "agreement name", cAgrName)
+	attr(logAgr, "signed date", cAgrSigned)
+	attr(logOrder, "period", cOrderDate, "order period", "order date")
+	aAmt := attr(logOrder, "amount", cOrderAmt, "order amount")
+	attr(logCurr, "currency", cCurrISO, "currency code")
+	attr(logProd, "product name", cProdName)
+
+	// ---- Conceptual layer.
+	conParty := b.ConceptEntity("business partners")
+	conAgr := b.ConceptEntity("master agreements")
+	conOrder := b.ConceptEntity("transactions", "orders placed")
+	conProd := b.ConceptEntity("banking products")
+	conCurr := b.ConceptEntity("currency concepts")
+	b.ConceptAttr(conParty, "partner identity")
+	b.ConceptAttr(conParty, "partner classification")
+	b.ConceptAttr(conOrder, "transaction value")
+	b.ConceptAttr(conAgr, "agreement terms")
+	b.ConceptAttr(conProd, "product family")
+
+	b.Implements(conParty, logParty)
+	b.Implements(conAgr, logAgr)
+	b.Implements(conOrder, logOrder)
+	b.Implements(conProd, logProd)
+	b.Implements(conCurr, logCurr)
+
+	b.Relates(conParty, conParty) // self: the party hierarchy
+	b.Relates(conOrder, conParty)
+	b.Relates(conOrder, conProd)
+	b.Relates(conOrder, conCurr)
+	b.Relates(conAgr, conParty)
+
+	// ---- Domain ontology (§2.2) with metadata filters.
+	ontCustomers := b.OntologyConcept("customers",
+		[]rdf.Term{conParty}, "customer")
+	ontPrivate := b.OntologyConcept("private customers",
+		[]rdf.Term{logInd}, "private customer", "private clients")
+	ontCorporate := b.OntologyConcept("corporate customers",
+		[]rdf.Term{logOrg}, "corporate customer", "corporate clients")
+	ontWealthy := b.OntologyConcept("wealthy customers",
+		[]rdf.Term{logInd}, "wealthy individuals", "wealthy customer")
+	ontNames := b.OntologyConcept("names",
+		[]rdf.Term{aGiven, aFamily, aOrgName}, "name")
+	ontInvest := b.OntologyConcept("investments",
+		[]rdf.Term{aAmt}, "investment")
+	ontVolume := b.OntologyConcept("trading volume",
+		[]rdf.Term{aAmt}, "trade volume")
+	ontProducts := b.OntologyConcept("investment product classification",
+		[]rdf.Term{conProd})
+
+	b.SubConcept(ontPrivate, ontCustomers)
+	b.SubConcept(ontCorporate, ontCustomers)
+	b.SubConcept(ontWealthy, ontPrivate)
+	b.MetadataFilter(ontWealthy, cIndSalary, ">=", "1000000")
+	b.ImpliesAggregation(ontVolume, "sum")
+	_ = aSalary
+
+	// ---- DBpedia extract.
+	b.DBpediaEntry("client", ontCustomers)
+	b.DBpediaEntry("political organization", conParty)
+	b.DBpediaEntry("company", logOrg)
+	b.DBpediaEntry("payment", logMoney)
+	b.DBpediaEntry("stock", logProd)
+	b.DBpediaEntry("share", logProd)
+
+	for k, v := range map[string]rdf.Term{
+		"tbl:party_td":               tParty,
+		"tbl:individual_td":          tInd,
+		"tbl:organization_td":        tOrg,
+		"tbl:individual_name_hist":   tIndHist,
+		"tbl:organization_name_hist": tOrgHist,
+		"tbl:associate_employment":   tEmp,
+		"tbl:address_td":             tAddr,
+		"tbl:agreement_td":           tAgr,
+		"tbl:curr_td":                tCurr,
+		"tbl:investment_product_td":  tProd,
+		"tbl:order_td":               tOrder,
+		"tbl:trade_order_td":         tTradeOrder,
+		"tbl:money_order_td":         tMoneyOrder,
+		"col:salary_amt":             cIndSalary,
+		"col:snap_fk":                cIHSnap,
+		"ont:customers":              ontCustomers,
+		"ont:private":                ontPrivate,
+		"ont:wealthy":                ontWealthy,
+		"ont:names":                  ontNames,
+		"ont:investments":            ontInvest,
+		"ont:products":               ontProducts,
+	} {
+		d.nodes[k] = v
+	}
+}
+
+var (
+	whGivenNames = []string{
+		"Anna", "Hans", "Peter", "Maria", "Urs", "Claudia", "Marco",
+		"Julia", "Thomas", "Nina", "Lukas", "Elena", "Stefan", "Laura",
+	}
+	whFamilyNames = []string{
+		"Muller", "Meier", "Schmid", "Keller", "Weber", "Huber",
+		"Schneider", "Frey", "Baumann", "Fischer", "Brunner", "Gerber",
+	}
+	whCities = []string{
+		"Zürich", "Geneva", "Basel", "Bern", "Lausanne", "Lugano",
+		"St Gallen", "Winterthur",
+	}
+	whOrgNames = []string{
+		"Credit Suisse", "Sara Textiles AG", "Helvetia Trading",
+		"Alpine Capital", "Lakeside Holdings", "Summit Partners",
+		"Glacier Invest", "Matterhorn Group", "Rhine Ventures",
+		"Jura Industries", "Aare Logistics", "Ticino Foods",
+	}
+	whAgreementNames = []string{
+		"Credit Suisse Master Agreement", "Gold Hedge Agreement",
+		"Gold Supply Agreement", "Silver Custody Agreement",
+		"Credit Suisse Prime Agreement", "Copper Futures Agreement",
+		"Equity Swap Agreement", "Bond Repo Agreement",
+	}
+	whProductNames = []string{
+		"Lehman XYZ", "Alpine Growth Fund", "Gold Certificate",
+		"Sara Growth Fund", "Helvetia Bond Basket", "Matterhorn Hedge",
+		"Rhine Equity Note", "Glacier Income Fund",
+	}
+	whCurrencies = [][2]string{
+		{"CHF", "Swiss Franc"}, {"USD", "US Dollar"}, {"EUR", "Euro"},
+		{"GBP", "British Pound"}, {"YEN", "Japanese Yen"},
+		{"SEK", "Swedish Krona"}, {"NOK", "Norwegian Krone"},
+		{"DKK", "Danish Krone"},
+	}
+	whCountries = []string{"Switzerland", "Germany", "France", "Italy", "Austria"}
+)
+
+// buildData fills the domain tables with deterministic synthetic rows.
+// Amounts are whole numbers so aggregate sums are float-exact regardless
+// of join order.
+func (d *domain) buildData() {
+	rng := rand.New(rand.NewSource(d.cfg.Seed))
+	db := d.db
+
+	party := db.Create("party_td",
+		engine.Column{Name: "id", Type: engine.TInt},
+		engine.Column{Name: "party_kind_cd", Type: engine.TString})
+	individual := db.Create("individual_td",
+		engine.Column{Name: "id", Type: engine.TInt},
+		engine.Column{Name: "birth_dt", Type: engine.TDate},
+		engine.Column{Name: "salary_amt", Type: engine.TFloat},
+		engine.Column{Name: "crnt_snap_id", Type: engine.TInt})
+	organization := db.Create("organization_td",
+		engine.Column{Name: "id", Type: engine.TInt},
+		engine.Column{Name: "org_nm", Type: engine.TString},
+		engine.Column{Name: "country", Type: engine.TString},
+		engine.Column{Name: "crnt_snap_id", Type: engine.TInt})
+	indHist := db.Create("individual_name_hist",
+		engine.Column{Name: "snap_id", Type: engine.TInt},
+		engine.Column{Name: "individual_id", Type: engine.TInt},
+		engine.Column{Name: "given_nm", Type: engine.TString},
+		engine.Column{Name: "family_nm", Type: engine.TString},
+		engine.Column{Name: "valid_from", Type: engine.TDate},
+		engine.Column{Name: "valid_to", Type: engine.TDate})
+	orgHist := db.Create("organization_name_hist",
+		engine.Column{Name: "snap_id", Type: engine.TInt},
+		engine.Column{Name: "organization_id", Type: engine.TInt},
+		engine.Column{Name: "org_nm", Type: engine.TString},
+		engine.Column{Name: "valid_from", Type: engine.TDate},
+		engine.Column{Name: "valid_to", Type: engine.TDate})
+	employment := db.Create("associate_employment",
+		engine.Column{Name: "individual_id", Type: engine.TInt},
+		engine.Column{Name: "organization_id", Type: engine.TInt},
+		engine.Column{Name: "role_cd", Type: engine.TString})
+	address := db.Create("address_td",
+		engine.Column{Name: "id", Type: engine.TInt},
+		engine.Column{Name: "individual_id", Type: engine.TInt},
+		engine.Column{Name: "city_nm", Type: engine.TString},
+		engine.Column{Name: "street_nm", Type: engine.TString},
+		engine.Column{Name: "country_cd", Type: engine.TString})
+	agreement := db.Create("agreement_td",
+		engine.Column{Name: "id", Type: engine.TInt},
+		engine.Column{Name: "agreement_nm", Type: engine.TString},
+		engine.Column{Name: "signed_dt", Type: engine.TDate})
+	agreementParty := db.Create("agreement_party",
+		engine.Column{Name: "agreement_id", Type: engine.TInt},
+		engine.Column{Name: "party_id", Type: engine.TInt})
+	curr := db.Create("curr_td",
+		engine.Column{Name: "id", Type: engine.TInt},
+		engine.Column{Name: "currency_cd", Type: engine.TString},
+		engine.Column{Name: "curr_nm", Type: engine.TString})
+	product := db.Create("investment_product_td",
+		engine.Column{Name: "id", Type: engine.TInt},
+		engine.Column{Name: "product_nm", Type: engine.TString},
+		engine.Column{Name: "product_type_cd", Type: engine.TString})
+	order := db.Create("order_td",
+		engine.Column{Name: "id", Type: engine.TInt},
+		engine.Column{Name: "party_id", Type: engine.TInt},
+		engine.Column{Name: "prd_dt", Type: engine.TDate},
+		engine.Column{Name: "investment_amt", Type: engine.TFloat},
+		engine.Column{Name: "curr_id", Type: engine.TInt})
+	tradeOrder := db.Create("trade_order_td",
+		engine.Column{Name: "id", Type: engine.TInt},
+		engine.Column{Name: "product_id", Type: engine.TInt})
+	moneyOrder := db.Create("money_order_td",
+		engine.Column{Name: "id", Type: engine.TInt},
+		engine.Column{Name: "beneficiary_id", Type: engine.TInt})
+
+	// Individuals with bi-temporal name history. Person 1 is Sara
+	// Guttinger (Q2.x); her given name is stable across all versions so
+	// the all-versions gold returns NameVersions rows while the snapshot
+	// join returns exactly one — recall = 1/NameVersions = 0.2.
+	id := 0
+	snapSeq := 0
+	for i := 0; i < d.cfg.Individuals; i++ {
+		id++
+		party.Insert(engine.Int(int64(id)), engine.Str("IND"))
+		given := whGivenNames[rng.Intn(len(whGivenNames))]
+		family := whFamilyNames[rng.Intn(len(whFamilyNames))]
+		if i == 0 {
+			given, family = "Sara", "Guttinger"
+		}
+		salary := float64(40000 + rng.Intn(2000000))
+		birth := time.Date(1940+rng.Intn(60), time.Month(1+rng.Intn(12)), 1+rng.Intn(28), 0, 0, 0, 0, time.UTC)
+
+		currentSnap := 0
+		for v := 0; v < d.cfg.NameVersions; v++ {
+			snapSeq++
+			from := birth.AddDate(18+v*5, 0, 0)
+			to := from.AddDate(5, 0, 0)
+			if v == d.cfg.NameVersions-1 {
+				to = time.Date(9999, 12, 31, 0, 0, 0, 0, time.UTC)
+				currentSnap = snapSeq
+			}
+			// Family names may drift between versions, given names do
+			// not (keyword lookups target given names).
+			fam := family
+			if v < d.cfg.NameVersions-1 && rng.Float64() < 0.3 {
+				fam = whFamilyNames[rng.Intn(len(whFamilyNames))]
+			}
+			if i == 0 {
+				fam = "Guttinger"
+			}
+			indHist.Insert(engine.Int(int64(snapSeq)), engine.Int(int64(id)),
+				engine.Str(given), engine.Str(fam),
+				engine.DateOf(from), engine.DateOf(to))
+		}
+		individual.Insert(engine.Int(int64(id)), engine.DateOf(birth),
+			engine.Float(salary), engine.Int(int64(currentSnap)))
+
+		city := whCities[rng.Intn(len(whCities))]
+		countryCd := "CH"
+		if rng.Float64() < 0.2 {
+			countryCd = []string{"DE", "FR", "IT", "AT"}[rng.Intn(4)]
+		}
+		if i == 0 {
+			city, countryCd = "Zürich", "CH"
+		}
+		address.Insert(engine.Int(int64(10000+id)), engine.Int(int64(id)),
+			engine.Str(city), engine.Str(fmt.Sprintf("Street %d", rng.Intn(200)+1)),
+			engine.Str(countryCd))
+	}
+	firstOrgID := id + 1
+
+	// Organizations; country "Switzerland" lives ONLY here (Q9.0's trap:
+	// the keyword anchors organizations, not addresses).
+	for i := 0; i < d.cfg.Organizations; i++ {
+		id++
+		party.Insert(engine.Int(int64(id)), engine.Str("ORG"))
+		// Sentinel names ('Credit Suisse', 'Sara Textiles AG') must stay
+		// unique; overflow organizations get neutral names.
+		name := fmt.Sprintf("Trading House %d", i+1)
+		if i < len(whOrgNames) {
+			name = whOrgNames[i]
+		}
+		country := whCountries[0]
+		if rng.Float64() < 0.3 {
+			country = whCountries[1+rng.Intn(len(whCountries)-1)]
+		}
+		currentSnap := 0
+		for v := 0; v < 3; v++ {
+			snapSeq++
+			suffix := []string{" Holding", " AG", ""}[v]
+			from := time.Date(1990+v*10, 1, 1, 0, 0, 0, 0, time.UTC)
+			to := from.AddDate(10, 0, 0)
+			if v == 2 {
+				to = time.Date(9999, 12, 31, 0, 0, 0, 0, time.UTC)
+				currentSnap = snapSeq
+			}
+			orgHist.Insert(engine.Int(int64(snapSeq)), engine.Int(int64(id)),
+				engine.Str(name+suffix), engine.DateOf(from), engine.DateOf(to))
+		}
+		organization.Insert(engine.Int(int64(id)), engine.Str(name),
+			engine.Str(country), engine.Int(int64(currentSnap)))
+	}
+
+	// Employment: each individual works for one organization (the
+	// Figure 10 sibling bridge).
+	for i := 1; i <= d.cfg.Individuals; i++ {
+		org := firstOrgID + rng.Intn(d.cfg.Organizations)
+		employment.Insert(engine.Int(int64(i)), engine.Int(int64(org)),
+			engine.Str([]string{"EMP", "MGR", "DIR"}[rng.Intn(3)]))
+	}
+
+	// Agreements between parties.
+	for i := 0; i < d.cfg.Agreements; i++ {
+		name := whAgreementNames[i%len(whAgreementNames)]
+		if i >= len(whAgreementNames) {
+			name = fmt.Sprintf("%s %d", name, i/len(whAgreementNames)+1)
+		}
+		signed := time.Date(2000+rng.Intn(12), time.Month(1+rng.Intn(12)), 1+rng.Intn(28), 0, 0, 0, 0, time.UTC)
+		agreement.Insert(engine.Int(int64(i+1)), engine.Str(name), engine.DateOf(signed))
+		// Two parties per agreement.
+		for k := 0; k < 2; k++ {
+			agreementParty.Insert(engine.Int(int64(i+1)),
+				engine.Int(int64(rng.Intn(id)+1)))
+		}
+	}
+
+	// Currencies (YEN included verbatim for Q7.0).
+	for i, c := range whCurrencies {
+		curr.Insert(engine.Int(int64(i+1)), engine.Str(c[0]), engine.Str(c[1]))
+	}
+
+	// Investment products; product 1 is "Lehman XYZ" (Q8.0). Overflow
+	// products get neutral names so the sentinels stay unique.
+	for i := 0; i < d.cfg.Products; i++ {
+		name := fmt.Sprintf("Portfolio Product %d", i+1)
+		if i < len(whProductNames) {
+			name = whProductNames[i]
+		}
+		product.Insert(engine.Int(int64(i+1)), engine.Str(name),
+			engine.Str([]string{"FUND", "CERT", "NOTE", "BOND"}[rng.Intn(4)]))
+	}
+
+	// Orders: 75% trades, 25% money transfers; whole-number amounts.
+	for i := 0; i < d.cfg.Orders; i++ {
+		oid := int64(i + 1)
+		pid := int64(rng.Intn(id) + 1)
+		day := time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, rng.Intn(4*365))
+		amt := float64(100 + rng.Intn(100000))
+		currID := int64(rng.Intn(len(whCurrencies)) + 1)
+		order.Insert(engine.Int(oid), engine.Int(pid), engine.DateOf(day),
+			engine.Float(amt), engine.Int(currID))
+		if rng.Float64() < 0.75 {
+			tradeOrder.Insert(engine.Int(oid), engine.Int(int64(rng.Intn(d.cfg.Products)+1)))
+		} else {
+			moneyOrder.Insert(engine.Int(oid), engine.Int(int64(rng.Intn(id)+1)))
+		}
+	}
+	_ = metagraph.LayerBaseData
+}

@@ -1,0 +1,223 @@
+package warehouse
+
+import (
+	"fmt"
+	"time"
+
+	"soda/internal/engine"
+	"soda/internal/metagraph"
+	"soda/internal/rdf"
+)
+
+// pad deterministically fills the metadata graph and database up to the
+// Table 1 cardinalities. Padded content is organised into "subject areas"
+// of eight tables around a hub, mirroring how an integration layer grows
+// one feeder system at a time: each area gets shared-key joins to its hub,
+// the first dozen areas get inheritance structures (several with a second
+// level, for the paper's "several levels"), and the first six areas get a
+// bridge table between the inheritance siblings — more Figure 10 shapes in
+// the wild, not just the hand-modelled one.
+func pad(cfg Config, db *engine.DB, b *metagraph.Builder) {
+	s := b.Graph().Stats()
+	nConcepts := TargetConceptEntities - s.ConceptEntities
+	nConceptAttrs := TargetConceptAttrs - s.ConceptAttrs
+	nConceptRels := TargetConceptRelations - s.ConceptRelations
+	nLogical := TargetLogicalEntities - s.LogicalEntities
+	nLogicalAttrs := TargetLogicalAttrs - s.LogicalAttrs
+	nLogicalRels := TargetLogicalRelations - s.LogicalRelations
+	nTables := TargetPhysicalTables - s.PhysicalTables
+	nColumns := TargetPhysicalColumns - s.PhysicalColumns
+
+	for name, v := range map[string]int{
+		"concepts": nConcepts, "concept attrs": nConceptAttrs,
+		"concept rels": nConceptRels, "logical entities": nLogical,
+		"logical attrs": nLogicalAttrs, "logical rels": nLogicalRels,
+		"tables": nTables, "columns": nColumns,
+	} {
+		if v < 0 {
+			panic(fmt.Sprintf("warehouse: domain core exceeds Table 1 target for %s by %d", name, -v))
+		}
+	}
+
+	// ---- Conceptual layer padding.
+	concepts := make([]rdf.Term, nConcepts)
+	for i := range concepts {
+		concepts[i] = b.ConceptEntity(fmt.Sprintf("subject area %03d", i+1))
+	}
+	for i := 0; i < nConceptAttrs; i++ {
+		b.ConceptAttr(concepts[i%nConcepts], fmt.Sprintf("measure %03d", i/nConcepts+1))
+	}
+	for i := 0; i < nConceptRels; i++ {
+		from := concepts[i%nConcepts]
+		to := concepts[(i+1+i/nConcepts)%nConcepts]
+		b.Relates(from, to)
+	}
+
+	// ---- Logical layer padding.
+	logicals := make([]rdf.Term, nLogical)
+	for i := range logicals {
+		logicals[i] = b.LogicalEntity(fmt.Sprintf("area %03d entity %02d", i/2+1, i%2+1))
+		b.Implements(concepts[i%nConcepts], logicals[i])
+	}
+	for i := 0; i < nLogicalAttrs; i++ {
+		b.LogicalAttr(logicals[i%nLogical], fmt.Sprintf("detail %03d", i/nLogical+1))
+	}
+	for i := 0; i < nLogicalRels; i++ {
+		from := logicals[i%nLogical]
+		to := logicals[(i+1+i/nLogical)%nLogical]
+		b.Relates(from, to)
+	}
+
+	// ---- Physical layer padding: plan column lists first so the column
+	// budget lands exactly, then materialise metadata and engine tables.
+	type padTable struct {
+		name string
+		cols []engine.Column
+		// bridge marks the sibling-bridge table of structured areas; its
+		// first two non-id columns FK to the area's two children.
+		bridge bool
+	}
+	const areaSize = 8
+	tables := make([]padTable, nTables)
+	usedCols := 0
+	for i := range tables {
+		area, pos := i/areaSize, i%areaSize
+		name := fmt.Sprintf("a%03d_t%d_td", area+1, pos)
+		pt := padTable{name: name}
+		pt.cols = append(pt.cols, engine.Column{Name: "id", Type: engine.TInt})
+		usedCols++
+		if structuredArea(area, nTables) && pos == 5 && area < 6 {
+			pt.bridge = true
+			pt.cols = append(pt.cols,
+				engine.Column{Name: "p1_id", Type: engine.TInt},
+				engine.Column{Name: "p2_id", Type: engine.TInt})
+			usedCols += 2
+		}
+		tables[i] = pt
+	}
+	if usedCols > nColumns {
+		panic("warehouse: structural padding columns exceed the column budget")
+	}
+	// Distribute the remaining column budget round-robin with a cycle of
+	// warehouse-flavoured column shapes.
+	shapes := []engine.Column{
+		{Name: "amt", Type: engine.TFloat},
+		{Name: "ref_nm", Type: engine.TString},
+		{Name: "valid_from", Type: engine.TDate},
+		{Name: "valid_to", Type: engine.TDate},
+		{Name: "status_cd", Type: engine.TString},
+		{Name: "qty_cnt", Type: engine.TInt},
+		{Name: "upd_dt", Type: engine.TDate},
+		{Name: "src_sys_cd", Type: engine.TString},
+	}
+	for k := 0; usedCols < nColumns; k++ {
+		ti := k % nTables
+		shape := shapes[(len(tables[ti].cols)-1)%len(shapes)]
+		col := engine.Column{
+			Name: fmt.Sprintf("%s_%d", shape.Name, len(tables[ti].cols)),
+			Type: shape.Type,
+		}
+		tables[ti].cols = append(tables[ti].cols, col)
+		usedCols++
+	}
+
+	// Materialise metadata nodes, joins, inheritance and engine rows.
+	nodes := make([]rdf.Term, nTables)
+	idCols := make([]rdf.Term, nTables)
+	colNodes := make([][]rdf.Term, nTables)
+	for i, pt := range tables {
+		node := b.PhysicalTable(pt.name)
+		nodes[i] = node
+		b.Implements(logicals[i%nLogical], node)
+		colNodes[i] = make([]rdf.Term, len(pt.cols))
+		for ci, col := range pt.cols {
+			cn := b.PhysicalColumn(node, col.Name, sqlTypeName(col.Type))
+			colNodes[i][ci] = cn
+			if col.Name == "id" {
+				idCols[i] = cn
+			}
+		}
+	}
+
+	for i := range tables {
+		area, pos := i/areaSize, i%areaSize
+		hub := i - pos
+		if pos == 0 {
+			continue
+		}
+		switch {
+		case tables[i].bridge:
+			// Sibling bridge: FK p1_id → child1.id, p2_id → child2.id.
+			b.ForeignKey(colNodes[i][1], idCols[hub+1])
+			b.ForeignKey(colNodes[i][2], idCols[hub+2])
+		case structuredArea(area, nTables) && area < 6 && (pos == 3 || pos == 4):
+			// Second inheritance level: children of table 1.
+			b.ForeignKey(idCols[i], idCols[hub+1])
+		default:
+			// Shared-key join to the area hub.
+			b.ForeignKey(idCols[i], idCols[hub])
+		}
+	}
+	for area := 0; area*areaSize+areaSize <= nTables; area++ {
+		if !structuredArea(area, nTables) {
+			continue
+		}
+		hub := area * areaSize
+		if area < 12 {
+			b.Inheritance(nodes[hub], nodes[hub+1], nodes[hub+2])
+		}
+		if area < 6 {
+			b.Inheritance(nodes[hub+1], nodes[hub+3], nodes[hub+4])
+		}
+	}
+
+	// Engine tables with deterministic rows.
+	base := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i, pt := range tables {
+		tbl := db.Create(pt.name, pt.cols...)
+		for r := 0; r < cfg.PadRows; r++ {
+			row := make([]engine.Value, len(pt.cols))
+			for ci, col := range pt.cols {
+				switch {
+				case col.Name == "id":
+					row[ci] = engine.Int(int64(r + 1))
+				case pt.bridge && ci == 1, pt.bridge && ci == 2:
+					row[ci] = engine.Int(int64(r%cfg.PadRows + 1))
+				case col.Type == engine.TInt:
+					row[ci] = engine.Int(int64(r % 7))
+				case col.Type == engine.TFloat:
+					row[ci] = engine.Float(float64((r + 1) * 10))
+				case col.Type == engine.TDate:
+					row[ci] = engine.DateOf(base.AddDate(0, 0, r))
+				default:
+					row[ci] = engine.Str(fmt.Sprintf("ref %s r%d", pt.name, r+1))
+				}
+			}
+			tbl.Insert(row...)
+		}
+		_ = i
+	}
+	_ = metagraph.LayerPhysical
+}
+
+// structuredArea reports whether the area is complete (eight tables), so
+// its inheritance/bridge structure can be built.
+func structuredArea(area, nTables int) bool {
+	const areaSize = 8
+	return (area+1)*areaSize <= nTables
+}
+
+func sqlTypeName(t engine.Type) string {
+	switch t {
+	case engine.TInt:
+		return "int"
+	case engine.TFloat:
+		return "float"
+	case engine.TDate:
+		return "date"
+	case engine.TBool:
+		return "bool"
+	default:
+		return "text"
+	}
+}

@@ -1,0 +1,225 @@
+package warehouse
+
+import (
+	"testing"
+
+	"soda/internal/engine"
+	"soda/internal/metagraph"
+	"soda/internal/rdf"
+	"soda/internal/sqlparse"
+)
+
+var world = Build(Default())
+
+func TestTable1CardinalitiesExact(t *testing.T) {
+	s := world.Meta.Stats()
+	cases := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"conceptual entities", s.ConceptEntities, 226},
+		{"conceptual attributes", s.ConceptAttrs, 985},
+		{"conceptual relationships", s.ConceptRelations, 243},
+		{"logical entities", s.LogicalEntities, 436},
+		{"logical attributes", s.LogicalAttrs, 2700},
+		{"logical relationships", s.LogicalRelations, 254},
+		{"physical tables", s.PhysicalTables, 472},
+		{"physical columns", s.PhysicalColumns, 3181},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	w2 := Build(Default())
+	if w2.Meta.G.Len() != world.Meta.G.Len() {
+		t.Fatal("metadata graphs differ between builds")
+	}
+	if w2.Index.NumPostings() != world.Index.NumPostings() {
+		t.Fatal("inverted indexes differ between builds")
+	}
+}
+
+func TestEngineHasAllPhysicalTables(t *testing.T) {
+	if world.DB.NumTables() != 472 {
+		t.Fatalf("engine tables = %d, want 472", world.DB.NumTables())
+	}
+	// Every metadata table node must have a database table.
+	for _, name := range world.DB.TableNames() {
+		if _, ok := world.Meta.TableName(rdf.NewIRI("tbl:" + name)); !ok {
+			t.Errorf("metadata node missing for table %s", name)
+		}
+	}
+}
+
+func TestMultiLevelInheritance(t *testing.T) {
+	s := world.Meta.Stats()
+	if s.InheritanceNodes < 12 {
+		t.Fatalf("inheritance nodes = %d, want dozens (>= 12)", s.InheritanceNodes)
+	}
+}
+
+func TestSaraHistoryVersions(t *testing.T) {
+	res := exec(t, `SELECT * FROM individual_name_hist WHERE given_nm = 'Sara'`)
+	if res.NumRows() != Default().NameVersions {
+		t.Fatalf("Sara versions = %d, want %d", res.NumRows(), Default().NameVersions)
+	}
+	// Exactly one version is current (the snapshot join target).
+	res = exec(t, `SELECT * FROM individual_name_hist, individual_td
+		WHERE individual_name_hist.snap_id = individual_td.crnt_snap_id
+		AND given_nm = 'Sara'`)
+	if res.NumRows() != 1 {
+		t.Fatalf("current Sara versions = %d, want 1 (bi-temporal trap)", res.NumRows())
+	}
+}
+
+func TestSaraAmbiguityPlanted(t *testing.T) {
+	// 'Sara' must also appear outside the name history so lookup yields
+	// several interpretations (paper Q2.1 reports 4 results).
+	hits := world.Index.Hits("Sara")
+	if len(hits) < 3 {
+		t.Fatalf("Sara column hits = %d, want >= 3 (%v)", len(hits), hits)
+	}
+}
+
+func TestSwitzerlandOnlyInOrganizations(t *testing.T) {
+	hits := world.Index.Hits("Switzerland")
+	for _, h := range hits {
+		if h.Table != "organization_td" {
+			t.Fatalf("Switzerland leaked into %s.%s (Q9.0 trap requires organizations only)", h.Table, h.Column)
+		}
+	}
+	if len(hits) == 0 {
+		t.Fatal("Switzerland must exist in organization_td.country")
+	}
+	// Retail addresses use ISO codes, not country names.
+	res := exec(t, `SELECT count(*) FROM address_td WHERE country_cd = 'CH'`)
+	if res.Rows[0][0].I == 0 {
+		t.Fatal("addresses must carry CH country codes")
+	}
+}
+
+func TestYENCurrencyExists(t *testing.T) {
+	res := exec(t, `SELECT * FROM curr_td WHERE currency_cd = 'YEN'`)
+	if res.NumRows() != 1 {
+		t.Fatalf("YEN rows = %d", res.NumRows())
+	}
+}
+
+func TestLehmanXYZExactProduct(t *testing.T) {
+	if !world.Index.ContainsExact("Lehman XYZ") {
+		t.Fatal("product 'Lehman XYZ' must exist verbatim (Q8.0)")
+	}
+}
+
+func TestCreditSuisseAmbiguity(t *testing.T) {
+	hits := world.Index.Hits("Credit Suisse")
+	tables := map[string]bool{}
+	for _, h := range hits {
+		tables[h.Table] = true
+	}
+	for _, want := range []string{"organization_td", "agreement_td", "organization_name_hist"} {
+		if !tables[want] {
+			t.Errorf("Credit Suisse missing from %s (Q3.x ambiguity)", want)
+		}
+	}
+}
+
+func TestGoldAgreementSplits(t *testing.T) {
+	// "gold agreement" must NOT be an exact base-data value: the term has
+	// to split into base-data "gold" + schema term "agreement" (Q4.0).
+	if world.Index.ContainsExact("gold agreement") {
+		t.Fatal("gold agreement must not be a stored value")
+	}
+	if !world.Index.Contains("gold") {
+		t.Fatal("gold must appear in base data")
+	}
+	if len(world.Meta.LookupLabel("agreement")) == 0 {
+		t.Fatal("agreement must be a schema label")
+	}
+}
+
+func TestOrderSubtypePartition(t *testing.T) {
+	total := world.DB.Table("order_td").NumRows()
+	trade := world.DB.Table("trade_order_td").NumRows()
+	money := world.DB.Table("money_order_td").NumRows()
+	if trade+money != total {
+		t.Fatalf("order subtypes %d+%d != %d", trade, money, total)
+	}
+}
+
+func TestReferentialIntegrityOrders(t *testing.T) {
+	// Every order joins a party and a currency: the N:1 upward closure
+	// must be lossless for precision/recall arithmetic.
+	total := world.DB.Table("order_td").NumRows()
+	res := exec(t, `SELECT count(*) FROM order_td, party_td, curr_td
+		WHERE order_td.party_id = party_td.id AND order_td.curr_id = curr_td.id`)
+	if int(res.Rows[0][0].I) != total {
+		t.Fatalf("joined orders = %d, want %d (broken referential integrity)", res.Rows[0][0].I, total)
+	}
+}
+
+func TestWholeNumberAmounts(t *testing.T) {
+	tbl := world.DB.Table("order_td")
+	ci := tbl.ColIndex("investment_amt")
+	for _, row := range tbl.Rows[:50] {
+		if row[ci].F != float64(int64(row[ci].F)) {
+			t.Fatalf("amount %v not whole (float-exact sums need integers)", row[ci].F)
+		}
+	}
+}
+
+func TestFixBiTemporalConfig(t *testing.T) {
+	fixed := Build(Config{FixBiTemporal: true})
+	// The fixed world models the proper join: all of Sara's versions
+	// reachable via individual_id.
+	res, err := engine.Exec(fixed.DB, sqlparse.MustParse(
+		`SELECT * FROM individual_name_hist, individual_td
+		 WHERE individual_name_hist.individual_id = individual_td.id
+		 AND given_nm = 'Sara'`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != Default().NameVersions {
+		t.Fatalf("fixed world: rows = %d, want %d", res.NumRows(), Default().NameVersions)
+	}
+	// Table 1 cardinality is preserved by the fix (annotations only).
+	s := fixed.Meta.Stats()
+	if s.PhysicalTables != 472 || s.PhysicalColumns != 3181 {
+		t.Fatal("fix changed physical cardinalities")
+	}
+}
+
+func TestWealthyFilterNode(t *testing.T) {
+	if _, ok := world.Nodes["ont:wealthy"]; !ok {
+		t.Fatal("wealthy ontology node missing")
+	}
+	s := world.Meta.Stats()
+	if s.MetadataFilters != 1 {
+		t.Fatalf("metadata filters = %d, want 1", s.MetadataFilters)
+	}
+}
+
+func TestCrypticNamesOnlyViaLogicalLayer(t *testing.T) {
+	// "birth date" must resolve through the logical layer only (§6.2).
+	hits := world.Meta.LookupLabel("birth date")
+	if len(hits) != 1 {
+		t.Fatalf("birth date hits = %d, want 1", len(hits))
+	}
+	if world.Meta.LayerOf(hits[0]) != metagraph.LayerLogical {
+		t.Fatalf("birth date layer = %s", world.Meta.LayerOf(hits[0]))
+	}
+}
+
+func exec(t *testing.T, sql string) *engine.Result {
+	t.Helper()
+	res, err := engine.Exec(world.DB, sqlparse.MustParse(sql))
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return res
+}

@@ -1,0 +1,124 @@
+// Package workload generates synthetic SODA input queries from a world's
+// own vocabulary. The paper's workload (§5.1.3) mixes "queries taken from
+// the query logs, queries proposed by our business users and synthetic
+// queries to cover corner cases of our algorithms — such as complex
+// aggregations with joins"; this package provides the synthetic third,
+// used as a robustness fuzzer (Search must never fail on well-formed
+// input, every generated statement must execute) and as a throughput
+// workload for the scale benchmarks.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"soda/internal/invidx"
+	"soda/internal/metagraph"
+)
+
+// Generator produces deterministic pseudo-random SODA queries over a
+// world's labels and base-data tokens.
+type Generator struct {
+	rng    *rand.Rand
+	labels []string // classification-index entries (metadata terms)
+	tokens []string // base-data tokens from the inverted index
+}
+
+// New builds a generator for a world. Seed fixes the sequence.
+func New(meta *metagraph.Graph, index *invidx.Index, seed int64) *Generator {
+	g := &Generator{
+		rng:    rand.New(rand.NewSource(seed)),
+		labels: meta.Labels(),
+		tokens: index.Terms(),
+	}
+	if len(g.labels) == 0 || len(g.tokens) == 0 {
+		panic("workload: world has no labels or no indexed tokens")
+	}
+	return g
+}
+
+// aggregation functions the input language accepts.
+var aggFuncs = []string{"sum", "count", "avg", "min", "max"}
+
+// comparison operators of §4.2.2.
+var cmpOps = []string{">", ">=", "=", "<=", "<", "like"}
+
+// Query returns the next synthetic query. The mix mirrors §5.1.3's corner
+// cases: plain keywords (45%), keyword+value mixes (20%), comparison
+// operators with numbers or dates (15%), aggregations with optional
+// grouping (15%), and top-N rankings (5%).
+func (g *Generator) Query() string {
+	switch p := g.rng.Float64(); {
+	case p < 0.45:
+		return g.keywords(1 + g.rng.Intn(3))
+	case p < 0.65:
+		return g.keywords(1) + " " + g.token()
+	case p < 0.80:
+		return g.comparison()
+	case p < 0.95:
+		return g.aggregation()
+	default:
+		return fmt.Sprintf("top %d %s", 1+g.rng.Intn(20), g.keywords(1+g.rng.Intn(2)))
+	}
+}
+
+// Queries returns the next n queries.
+func (g *Generator) Queries(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.Query()
+	}
+	return out
+}
+
+func (g *Generator) label() string {
+	return g.labels[g.rng.Intn(len(g.labels))]
+}
+
+func (g *Generator) token() string {
+	return g.tokens[g.rng.Intn(len(g.tokens))]
+}
+
+func (g *Generator) keywords(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = g.label()
+	}
+	return strings.Join(parts, " ")
+}
+
+func (g *Generator) comparison() string {
+	op := cmpOps[g.rng.Intn(len(cmpOps))]
+	var value string
+	switch g.rng.Intn(3) {
+	case 0:
+		value = fmt.Sprintf("%d", g.rng.Intn(1_000_000))
+	case 1:
+		value = fmt.Sprintf("date(%04d-%02d-%02d)",
+			1950+g.rng.Intn(70), 1+g.rng.Intn(12), 1+g.rng.Intn(28))
+	default:
+		value = g.token()
+	}
+	q := fmt.Sprintf("%s %s %s", g.label(), op, value)
+	if g.rng.Float64() < 0.3 {
+		q += " and " + g.keywords(1)
+	}
+	return q
+}
+
+func (g *Generator) aggregation() string {
+	fn := aggFuncs[g.rng.Intn(len(aggFuncs))]
+	attr := g.label()
+	if fn == "count" && g.rng.Float64() < 0.3 {
+		attr = "" // bare count(), Q9.0 style
+	}
+	q := fmt.Sprintf("%s (%s)", fn, attr)
+	if g.rng.Float64() < 0.5 {
+		q += fmt.Sprintf(" group by (%s)", g.label())
+	}
+	if g.rng.Float64() < 0.3 {
+		q += " " + g.keywords(1)
+	}
+	return q
+}

@@ -1,0 +1,351 @@
+// Package soda is the public API of this reproduction of "SODA: Generating
+// SQL for Business Users" (Blunschi, Jossen, Kossmann, Mori, Stockinger,
+// PVLDB 5(10), 2012). SODA gives business users a Google-like search
+// experience over a complex data warehouse: keyword queries with optional
+// operators are translated into a ranked list of executable SQL statements
+// by matching graph patterns against an extended metadata graph
+// (conceptual/logical/physical schema layers, domain ontologies, DBpedia
+// synonyms) and an inverted index over the base data.
+//
+// Quick start:
+//
+//	sys := soda.NewSystem(soda.MiniBank(), soda.Options{})
+//	ans, err := sys.Search("customers Zürich financial instruments")
+//	for _, r := range ans.Results {
+//	    fmt.Println(r.SQL)
+//	    snippet, _ := r.Snippet()
+//	    fmt.Println(snippet)
+//	}
+//
+// Two ready-made worlds ship with the library: MiniBank, the paper's
+// running example (§2, Figures 1-2), and Warehouse, a synthetic enterprise
+// warehouse matching the paper's Table 1 complexity with the war-story
+// quirks of §5.3 (bi-temporal historisation, bridge tables between
+// inheritance siblings, cryptic physical names). Custom worlds are built
+// with NewWorld from the building blocks in internal packages.
+package soda
+
+import (
+	"fmt"
+	"strings"
+
+	"soda/internal/core"
+	"soda/internal/engine"
+	"soda/internal/invidx"
+	"soda/internal/metagraph"
+	"soda/internal/minibank"
+	"soda/internal/queryparse"
+	"soda/internal/sqlparse"
+	"soda/internal/warehouse"
+)
+
+// Options tunes the pipeline; the zero value uses the paper's settings
+// (top 10 ranked statements, 20-tuple snippets).
+type Options struct {
+	// TopN caps the ranked statements kept after step 2.
+	TopN int
+	// SnippetRows caps snippet execution ("up to twenty tuples").
+	SnippetRows int
+	// MaxSolutions caps the combinatorial lookup product.
+	MaxSolutions int
+	// MaxPathLen bounds join-path search between entry points in edges
+	// (0 = unbounded); the §5.3.1 "far-fetching" trade-off.
+	MaxPathLen int
+
+	// Ablations (see DESIGN.md).
+	DisableBridges bool // skip bridge-table discovery
+	DisableDBpedia bool // drop DBpedia entry points
+	UniformRanking bool // ignore the metadata-layer ranking heuristic
+	AllJoins       bool // keep every join, not only direct paths (Fig. 9)
+}
+
+func (o Options) internal() core.Options {
+	return core.Options{
+		TopN:           o.TopN,
+		SnippetRows:    o.SnippetRows,
+		MaxSolutions:   o.MaxSolutions,
+		MaxPathLen:     o.MaxPathLen,
+		DisableBridges: o.DisableBridges,
+		DisableDBpedia: o.DisableDBpedia,
+		UniformRanking: o.UniformRanking,
+		AllJoins:       o.AllJoins,
+	}
+}
+
+// World bundles the three artefacts SODA searches: the relational base
+// data, the extended metadata graph, and the inverted index over text
+// columns.
+type World struct {
+	db    *engine.DB
+	meta  *metagraph.Graph
+	index *invidx.Index
+	name  string
+}
+
+// NewWorld wraps custom substrates into a World. Most callers use
+// MiniBank or Warehouse instead.
+func NewWorld(name string, db *engine.DB, meta *metagraph.Graph, index *invidx.Index) *World {
+	if index == nil {
+		index = invidx.Build(db)
+	}
+	return &World{db: db, meta: meta, index: index, name: name}
+}
+
+// Name identifies the world ("minibank", "warehouse", ...).
+func (w *World) Name() string { return w.name }
+
+// DB exposes the relational engine holding the base data.
+func (w *World) DB() *engine.DB { return w.db }
+
+// Meta exposes the metadata graph.
+func (w *World) Meta() *metagraph.Graph { return w.meta }
+
+// Index exposes the inverted index.
+func (w *World) Index() *invidx.Index { return w.index }
+
+// TableNames lists the physical tables.
+func (w *World) TableNames() []string { return w.db.TableNames() }
+
+// Stats summarises metadata-graph complexity (the paper's Table 1 shape).
+func (w *World) Stats() metagraph.Stats { return w.meta.Stats() }
+
+// MiniBank builds the paper's running example world (§2): parties with
+// individuals and organizations, transactions split into financial
+// instrument and money transactions, instruments containing securities
+// through a bridge table, a financial domain ontology and a DBpedia
+// extract.
+func MiniBank() *World {
+	w := minibank.Build(minibank.Default())
+	return &World{db: w.DB, meta: w.Meta, index: w.Index, name: "minibank"}
+}
+
+// WarehouseConfig re-exports the synthetic warehouse knobs.
+type WarehouseConfig = warehouse.Config
+
+// Warehouse builds the enterprise-scale synthetic warehouse matching the
+// paper's Table 1 cardinalities (226/985/243 conceptual, 436/2700/254
+// logical, 472/3181 physical) with the §5.3 war-story quirks planted.
+func Warehouse(cfg WarehouseConfig) *World {
+	w := warehouse.Build(cfg)
+	return &World{db: w.DB, meta: w.Meta, index: w.Index, name: "warehouse"}
+}
+
+// System is a SODA instance over one world.
+type System struct {
+	world *World
+	sys   *core.System
+}
+
+// NewSystem builds a System.
+func NewSystem(w *World, opt Options) *System {
+	return &System{
+		world: w,
+		sys:   core.NewSystem(w.db, w.meta, w.index, opt.internal()),
+	}
+}
+
+// World returns the system's world.
+func (s *System) World() *World { return s.world }
+
+// Result is one ranked, executable SQL statement.
+type Result struct {
+	// SQL is the generated statement text; parse it back or hand it to
+	// Execute — it is guaranteed to round-trip.
+	SQL string
+	// Score is the ranking score from the entry-point heuristic.
+	Score float64
+	// Tables is the tables-step discovery output (Figure 6); FromTables
+	// is the pruned FROM list of the statement.
+	Tables     []string
+	FromTables []string
+	// Joins and Filters describe the statement's WHERE building blocks.
+	Joins   []string
+	Filters []string
+	// Disconnected warns that no join path connected all entry points
+	// (the SQL contains a cross product).
+	Disconnected bool
+
+	sys *core.System
+	sol *core.Solution
+}
+
+// Execute runs the statement and returns the full result.
+func (r *Result) Execute() (*Rows, error) {
+	res, err := r.sys.Execute(r.sol)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(res), nil
+}
+
+// Snippet runs the statement with the snippet row cap, like the paper's
+// result page ("up to twenty tuples").
+func (r *Result) Snippet() (*Rows, error) {
+	res, err := r.sys.Snippet(r.sol)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(res), nil
+}
+
+// Rows is a materialised query result with display helpers.
+type Rows struct {
+	Columns []string
+	Values  [][]engine.Value
+}
+
+func newRows(res *engine.Result) *Rows {
+	return &Rows{Columns: res.Columns, Values: res.Rows}
+}
+
+// NumRows reports the row count.
+func (r *Rows) NumRows() int { return len(r.Values) }
+
+// String renders an aligned text table.
+func (r *Rows) String() string {
+	var b strings.Builder
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Values))
+	for ri, row := range r.Values {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			cells[ri][ci] = v.String()
+			if ci < len(widths) && len(cells[ri][ci]) > widths[ci] {
+				widths[ci] = len(cells[ri][ci])
+			}
+		}
+	}
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Answer is the outcome of one search: the ranked results plus the
+// classification details of Figure 5.
+type Answer struct {
+	// Complexity is the combinatorial entry-point product (Table 4).
+	Complexity int
+	// Terms are the recognised lookup terms after longest-combination
+	// segmentation; Ignored lists words matching nothing.
+	Terms   []string
+	Ignored []string
+	// Results are the ranked SQL statements, best first.
+	Results []*Result
+
+	analysis *core.Analysis
+}
+
+// Explain renders the full pipeline trace (Figures 4-6) for the answer.
+func (a *Answer) Explain() string { return core.Explain(a.analysis) }
+
+// Search runs the five-step pipeline on a keyword/operator query written
+// in the paper's input language (§4.3):
+//
+//	wealthy customers Zürich
+//	salary >= 100000 and birth date = date(1981-04-23)
+//	sum (amount) group by (transaction date)
+//	top 10 trading volume customer
+func (s *System) Search(query string) (*Answer, error) {
+	a, err := s.sys.Search(query)
+	if err != nil {
+		return nil, err
+	}
+	ans := &Answer{Complexity: a.Complexity, Ignored: a.Ignored, analysis: a}
+	for _, t := range a.Terms {
+		ans.Terms = append(ans.Terms, t.Text)
+	}
+	for _, sol := range a.Solutions {
+		sql := sol.SQLText()
+		if sql == "" {
+			continue
+		}
+		res := &Result{
+			SQL:          sql,
+			Score:        sol.Score,
+			Tables:       append([]string(nil), sol.Tables...),
+			FromTables:   append([]string(nil), sol.SQLTables...),
+			Disconnected: sol.Disconnected,
+			sys:          s.sys,
+			sol:          sol,
+		}
+		for _, j := range sol.Joins {
+			res.Joins = append(res.Joins, j.String())
+		}
+		for _, f := range sol.Filters {
+			res.Filters = append(res.Filters, f.String())
+		}
+		ans.Results = append(ans.Results, res)
+	}
+	return ans, nil
+}
+
+// ParseQuery exposes the input-pattern parser for tooling; most callers
+// just use Search.
+func ParseQuery(query string) (*queryparse.Query, error) {
+	return queryparse.Parse(query)
+}
+
+// ExecuteSQL runs an arbitrary SQL statement (the engine's subset) against
+// the world — the schema-exploration workflow of §5.3.2 where analysts
+// take SODA's statements and refine them by hand.
+func (s *System) ExecuteSQL(sql string) (*Rows, error) {
+	res, err := s.sys.ExecSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(res), nil
+}
+
+// Like records positive relevance feedback on a result: the entry points
+// behind it rank higher in future searches (§6.3: "SODA presents several
+// possible solutions to its users and allows them to like (or dislike)
+// each result").
+func (r *Result) Like() { r.sys.Feedback(r.sol, true) }
+
+// Dislike records negative relevance feedback on a result.
+func (r *Result) Dislike() { r.sys.Feedback(r.sol, false) }
+
+// ResetFeedback forgets all relevance feedback recorded on this system.
+func (s *System) ResetFeedback() { s.sys.ResetFeedback() }
+
+// TableInfo re-exports the schema-browser view (§5.3.2's exploratory
+// workflow): columns, join-graph neighbours, inheritance structure and
+// the business terms that reach the table through the metadata layers.
+type TableInfo = core.TableInfo
+
+// Browse returns the schema-browser view of one physical table.
+func (s *System) Browse(table string) (*TableInfo, error) {
+	return s.sys.Browse(table)
+}
+
+// ExplainSQL renders the engine's execution plan for a statement without
+// running it: scans with pushed-down filters, hash/cross join order,
+// residual predicates and the aggregation pipeline.
+func (s *System) ExplainSQL(sql string) (string, error) {
+	sel, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	plan, err := engine.Explain(s.world.db, sel)
+	if err != nil {
+		return "", err
+	}
+	return plan.String(), nil
+}

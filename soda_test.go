@@ -1,0 +1,262 @@
+package soda
+
+import (
+	"strings"
+	"testing"
+)
+
+var (
+	mb    = MiniBank()
+	mbSys = NewSystem(mb, Options{})
+)
+
+func TestMiniBankWorld(t *testing.T) {
+	if mb.Name() != "minibank" {
+		t.Fatalf("name = %q", mb.Name())
+	}
+	if len(mb.TableNames()) != 10 {
+		t.Fatalf("tables = %d, want 10 (Figure 2)", len(mb.TableNames()))
+	}
+	if mb.DB() == nil || mb.Meta() == nil || mb.Index() == nil {
+		t.Fatal("world accessors must be non-nil")
+	}
+	s := mb.Stats()
+	if s.PhysicalTables != 10 || s.ConceptEntities != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSearchReturnsRankedResults(t *testing.T) {
+	ans, err := mbSys.Search("customers Zürich financial instruments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Complexity != 2 {
+		t.Fatalf("complexity = %d, want 2 (Figure 5)", ans.Complexity)
+	}
+	if len(ans.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(ans.Results))
+	}
+	for i := 1; i < len(ans.Results); i++ {
+		if ans.Results[i].Score > ans.Results[i-1].Score {
+			t.Fatal("results not sorted by score")
+		}
+	}
+	if len(ans.Terms) != 3 {
+		t.Fatalf("terms = %v", ans.Terms)
+	}
+}
+
+func TestResultExecuteAndSnippet(t *testing.T) {
+	ans, err := mbSys.Search("Sara Guttinger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Results) == 0 {
+		t.Fatal("no results")
+	}
+	r := ans.Results[0]
+	if !strings.Contains(r.SQL, "SELECT") {
+		t.Fatalf("SQL = %q", r.SQL)
+	}
+	rows, err := r.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.NumRows() == 0 {
+		t.Fatal("Sara not found")
+	}
+	snip, err := r.Snippet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snip.NumRows() > 20 {
+		t.Fatalf("snippet rows = %d, want <= 20", snip.NumRows())
+	}
+}
+
+func TestRowsString(t *testing.T) {
+	ans, err := mbSys.Search("Sara Guttinger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ans.Results[0].Snippet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rows.String()
+	if !strings.Contains(out, "Sara") || !strings.Contains(out, "Guttinger") {
+		t.Fatalf("table rendering:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != rows.NumRows()+1 {
+		t.Fatalf("lines = %d, want header + %d rows", len(lines), rows.NumRows())
+	}
+}
+
+func TestAnswerExplain(t *testing.T) {
+	ans, err := mbSys.Search("wealthy customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ans.Explain()
+	for _, want := range []string{"step 1 - lookup", "step 3 - tables", "step 5 - SQL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q", want)
+		}
+	}
+}
+
+func TestExecuteSQLDirect(t *testing.T) {
+	rows, err := mbSys.ExecuteSQL("SELECT count(*) FROM parties")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.NumRows() != 1 || rows.Values[0][0].I == 0 {
+		t.Fatalf("rows = %+v", rows.Values)
+	}
+	if _, err := mbSys.ExecuteSQL("SELEC nonsense"); err == nil {
+		t.Fatal("bad SQL should error")
+	}
+}
+
+func TestParseQueryExposed(t *testing.T) {
+	q, err := ParseQuery("sum (amount) group by (currency)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Aggregations) != 1 || q.Aggregations[0].Func != "sum" {
+		t.Fatalf("parse = %+v", q)
+	}
+	if _, err := ParseQuery(""); err == nil {
+		t.Fatal("empty query should error")
+	}
+}
+
+func TestOptionsAblationsWired(t *testing.T) {
+	noBridges := NewSystem(mb, Options{DisableBridges: true})
+	ans, err := noBridges.Search("financial instruments securities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ans.Results {
+		for _, tbl := range r.FromTables {
+			if tbl == "fi_contains_sec" {
+				t.Fatal("bridge table present despite DisableBridges")
+			}
+		}
+	}
+}
+
+func TestWarehouseWorldViaFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warehouse build in -short mode")
+	}
+	w := Warehouse(WarehouseConfig{})
+	s := w.Stats()
+	if s.PhysicalTables != 472 || s.PhysicalColumns != 3181 {
+		t.Fatalf("warehouse stats = %+v", s)
+	}
+	sys := NewSystem(w, Options{})
+	ans, err := sys.Search("private customers family name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Results) == 0 {
+		t.Fatal("no results on the warehouse")
+	}
+	rows, err := ans.Results[0].Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.NumRows() == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestNewWorldCustom(t *testing.T) {
+	// Building a custom world from an existing one's parts: index may be
+	// nil and gets built.
+	w := NewWorld("custom", mb.DB(), mb.Meta(), nil)
+	if w.Index() == nil {
+		t.Fatal("index should be built on demand")
+	}
+	sys := NewSystem(w, Options{})
+	if _, err := sys.Search("Sara Guttinger"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisconnectedWarning(t *testing.T) {
+	noBridges := NewSystem(mb, Options{DisableBridges: true})
+	ans, err := noBridges.Search("financial instruments securities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range ans.Results {
+		if r.Disconnected {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("expected a disconnected warning without bridges")
+	}
+}
+
+func TestFeedbackViaFacade(t *testing.T) {
+	sys := NewSystem(mb, Options{})
+	ans, err := sys.Search("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Results) < 2 {
+		t.Skip("need ambiguity for the feedback test")
+	}
+	firstSQL := ans.Results[0].SQL
+	for i := 0; i < 4; i++ {
+		ans.Results[0].Dislike()
+	}
+	again, err := sys.Search("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Results[0].SQL == firstSQL {
+		t.Fatal("disliked result still ranks first")
+	}
+	sys.ResetFeedback()
+	reset, err := sys.Search("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reset.Results[0].SQL != firstSQL {
+		t.Fatal("reset should restore the default ranking")
+	}
+}
+
+func TestBrowseViaFacade(t *testing.T) {
+	info, err := mbSys.Browse("transactions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.InheritanceChildren) != 2 {
+		t.Fatalf("children = %v", info.InheritanceChildren)
+	}
+	if _, err := mbSys.Browse("nope"); err == nil {
+		t.Fatal("unknown table should error")
+	}
+}
+
+func TestExplainSQLViaFacade(t *testing.T) {
+	out, err := mbSys.ExplainSQL(
+		"SELECT * FROM parties, individuals WHERE parties.id = individuals.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hash join") {
+		t.Fatalf("plan:\n%s", out)
+	}
+	if _, err := mbSys.ExplainSQL("not sql"); err == nil {
+		t.Fatal("bad SQL should error")
+	}
+}
