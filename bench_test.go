@@ -229,6 +229,87 @@ func BenchmarkSearchWarehouse(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentSearch measures the serving-layer hot path on the
+// 472-table warehouse: the same query pipeline run sequentially
+// (Parallelism=1), with the per-solution steps 3-5 spread across all
+// cores, and with many concurrent client goroutines sharing one System —
+// the daemon's production shape. Caching is disabled so every iteration
+// pays the full pipeline.
+func BenchmarkConcurrentSearch(b *testing.B) {
+	e := sharedEnv()
+	const query = "YEN trade order"
+	mkSys := func(parallelism int) *core.System {
+		sys := core.NewSystem(e.Warehouse.DB, e.Warehouse.Meta, e.Warehouse.Index,
+			core.Options{Parallelism: parallelism, CacheSize: -1})
+		sys.Warm()
+		return sys
+	}
+	b.Run("sequential", func(b *testing.B) {
+		sys := mkSys(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Search(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		sys := mkSys(0) // GOMAXPROCS workers
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Search(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("clients", func(b *testing.B) {
+		sys := mkSys(1) // per-query sequential; concurrency across clients
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := sys.Search(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkCachedSearch compares a cold pipeline run against the answer
+// cache serving the same repeated query — the daemon's steady state for
+// hot queries. The cached path must be orders of magnitude faster.
+func BenchmarkCachedSearch(b *testing.B) {
+	e := sharedEnv()
+	const query = "YEN trade order"
+	b.Run("cold", func(b *testing.B) {
+		sys := core.NewSystem(e.Warehouse.DB, e.Warehouse.Meta, e.Warehouse.Index,
+			core.Options{CacheSize: -1})
+		sys.Warm()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Search(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		sys := core.NewSystem(e.Warehouse.DB, e.Warehouse.Meta, e.Warehouse.Index,
+			core.Options{})
+		sys.Warm()
+		if _, err := sys.Search(query); err != nil {
+			b.Fatal(err) // populate the cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Search(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := sys.CacheStats()
+		b.ReportMetric(float64(st.Hits), "hits")
+	})
+}
+
 // BenchmarkInvertedIndexBuild measures index construction over the
 // warehouse base data (the paper's 24-hour single-core build, scaled to
 // the synthetic volume).

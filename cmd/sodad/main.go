@@ -1,0 +1,136 @@
+// Command sodad serves a SODA world over a JSON HTTP API — the
+// production shape of the paper's self-service search box (§1): many
+// business users share one warehouse-backed System through a daemon
+// instead of linking the Go library.
+//
+// Usage:
+//
+//	sodad [flags]
+//
+//	-addr string        listen address (default ":8080")
+//	-world string       world to serve: minibank or warehouse (default "minibank")
+//	-parallelism int    pipeline worker-pool width (0 = GOMAXPROCS)
+//	-cache int          answer-cache entries (0 = default 512, negative = off)
+//	-topn int           ranked statements kept per query (0 = paper's 10)
+//
+// The daemon warms the join-graph caches before listening, serves until
+// SIGINT/SIGTERM and then shuts down gracefully, draining in-flight
+// requests.
+//
+// HTTP API (package soda/internal/server):
+//
+//	GET  /healthz
+//	    Liveness, world name, table count and answer-cache counters.
+//
+//	POST /search
+//	    {"query": "customers Zürich", "snippets": true}
+//	    Ranked SQL statements with scores, tables, joins, filters and
+//	    (optionally) executed snippet rows.
+//
+//	POST /sql
+//	    {"sql": "select * from parties"}
+//	    Executes one statement in the engine's SQL subset (§5.3.2
+//	    exploration workflow).
+//
+//	GET  /browse/{table}
+//	    Schema-browser view: columns, join-graph neighbours, inheritance
+//	    structure and reachable business terms.
+//
+//	POST /feedback
+//	    {"query": "customers Zürich", "result": 0, "like": true}
+//	    Likes/dislikes one ranked result (§6.3); adjusts future rankings
+//	    and invalidates cached answers. Pass "sql" instead of "result"
+//	    to pin the exact statement (immune to re-ranking drift).
+//
+//	GET  /explain?q=customers+Zürich
+//	    Plain-text pipeline trace in the shape of Figures 4-6.
+//
+// Examples:
+//
+//	sodad -world warehouse -addr :9000
+//	curl -s localhost:9000/healthz
+//	curl -s -X POST localhost:9000/search -d '{"query":"YEN trade order"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"soda"
+	"soda/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		world       = flag.String("world", "minibank", "world to serve: minibank or warehouse")
+		parallelism = flag.Int("parallelism", 0, "pipeline worker-pool width (0 = GOMAXPROCS)")
+		cacheSize   = flag.Int("cache", 0, "answer-cache entries (0 = default, negative = off)")
+		topN        = flag.Int("topn", 0, "ranked statements kept per query (0 = paper's 10)")
+	)
+	flag.Parse()
+	if err := run(*addr, *world, *parallelism, *cacheSize, *topN); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, world string, parallelism, cacheSize, topN int) error {
+	var w *soda.World
+	switch world {
+	case "minibank":
+		w = soda.MiniBank()
+	case "warehouse":
+		w = soda.Warehouse(soda.WarehouseConfig{})
+	default:
+		return fmt.Errorf("unknown world %q (want minibank or warehouse)", world)
+	}
+
+	sys := soda.NewSystem(w, soda.Options{
+		TopN:        topN,
+		Parallelism: parallelism,
+		CacheSize:   cacheSize,
+	})
+	log.Printf("warming %s (%d tables)...", w.Name(), len(w.TableNames()))
+	sys.Warm()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           server.New(sys),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("sodad serving %s on %s", w.Name(), addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Print("shutting down, draining in-flight requests...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	return <-errc
+}

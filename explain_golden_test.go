@@ -1,0 +1,101 @@
+package soda
+
+// Golden tests pinning the full pipeline trace of Answer.Explain() on
+// canonical MiniBank queries (the paper's worked examples). Any change to
+// lookup classification, ranking, the tables step, filters or SQL
+// generation shows up as a golden diff. Regenerate with:
+//
+//	go test -run TestExplainGolden -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/*.golden files")
+
+// timingsLine matches the wall-clock line at the end of every trace; the
+// durations vary run to run and are elided from the goldens.
+var timingsLine = regexp.MustCompile(`(?m)^timings: .*$`)
+
+func normalizeExplain(s string) string {
+	return timingsLine.ReplaceAllString(s, "timings: (elided)")
+}
+
+func TestExplainGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		query string
+	}{
+		// Figure 5/6: the paper's running classification example.
+		{"customers_zurich_instruments", "customers Zürich financial instruments"},
+		// Metadata-filter entry point ("wealthy" stores a condition).
+		{"wealthy_customers", "wealthy customers"},
+		// Aggregation with explicit grouping (§4.4.2).
+		{"sum_amount_by_date", "sum (amount) group by (transaction date)"},
+		// Top-N with an ontology-implied measure (Query 4's shape).
+		{"top10_trading_volume", "top 10 trading volume customer"},
+	}
+	sys := NewSystem(MiniBank(), Options{})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ans, err := sys.Search(tc.query)
+			if err != nil {
+				t.Fatalf("Search(%q): %v", tc.query, err)
+			}
+			got := normalizeExplain(ans.Explain())
+			path := filepath.Join("testdata", "explain_"+tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("explain trace for %q diverged from %s:\n%s",
+					tc.query, path, diffLines(string(want), got))
+			}
+		})
+	}
+}
+
+// diffLines renders a minimal line diff for golden mismatches.
+func diffLines(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	var b strings.Builder
+	max := len(wl)
+	if len(gl) > max {
+		max = len(gl)
+	}
+	for i := 0; i < max; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w == g {
+			continue
+		}
+		if w != "" || i < len(wl) {
+			b.WriteString("-" + w + "\n")
+		}
+		if g != "" || i < len(gl) {
+			b.WriteString("+" + g + "\n")
+		}
+	}
+	return b.String()
+}

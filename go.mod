@@ -1,0 +1,3 @@
+module soda
+
+go 1.24

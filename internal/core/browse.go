@@ -43,10 +43,9 @@ type RelatedTable struct {
 }
 
 // Browse assembles the browser view of one physical table, or an error if
-// the table is unknown.
+// the table is unknown. It only reads the immutable substrates and the
+// once-built join graph, so it is safe to call concurrently with searches.
 func (s *System) Browse(table string) (*TableInfo, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	node, ok := s.findTableNode(table)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown table %q", table)

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// The answer cache makes the serving layer's hot path cheap: business
+// users repeat the same keyword searches constantly (the paper's §1
+// self-service scenario), and a repeated query should skip the five-step
+// pipeline entirely. The cache is sharded to keep lock contention off the
+// concurrent-search path and validated against the System's feedback
+// epoch, so a like/dislike — which changes the ranking function — is
+// observed by the very next search instead of being masked by a stale
+// cached answer.
+
+// defaultCacheSize is the total entry cap when Options.CacheSize is 0.
+const defaultCacheSize = 512
+
+// cacheShardCount is the number of independent LRU shards; a power of two
+// so shard picking is a mask.
+const cacheShardCount = 16
+
+var cacheSeed = maphash.MakeSeed()
+
+// CacheStats reports answer-cache effectiveness (JSON-tagged: the
+// daemon's /healthz embeds it).
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`    // searches served from the cache
+	Misses  uint64 `json:"misses"`  // searches that ran the pipeline
+	Entries int    `json:"entries"` // answers currently cached (any epoch)
+}
+
+// answerCache is a sharded LRU of completed analyses keyed by the
+// canonical query form. Entries remember the feedback epoch they were
+// computed under; get never returns an entry from another epoch.
+type answerCache struct {
+	shards [cacheShardCount]cacheShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // of *cacheEntry; front = most recently used
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key   string
+	epoch uint64
+	a     *Analysis
+}
+
+// newAnswerCache builds a cache holding up to total entries across all
+// shards: the cap is distributed exactly (remainder entries go to the
+// first shards), so CacheSize is an honest upper bound even when it is
+// smaller than the shard count.
+func newAnswerCache(total int) *answerCache {
+	base := total / cacheShardCount
+	extra := total % cacheShardCount
+	c := &answerCache{}
+	for i := range c.shards {
+		c.shards[i].cap = base
+		if i < extra {
+			c.shards[i].cap++
+		}
+		c.shards[i].lru = list.New()
+		c.shards[i].byKey = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *answerCache) shard(key string) *cacheShard {
+	h := maphash.String(cacheSeed, key)
+	return &c.shards[h&(cacheShardCount-1)]
+}
+
+// get returns the cached analysis for key computed under exactly the
+// given epoch. A hit from an older epoch is evicted on sight — the
+// ranking function changed, so the answer can never be valid again.
+func (c *answerCache) get(key string, epoch uint64) (*Analysis, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.byKey[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.epoch != epoch {
+		sh.lru.Remove(el)
+		delete(sh.byKey, key)
+		c.misses.Add(1)
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	c.hits.Add(1)
+	return e.a, true
+}
+
+// put stores an analysis computed under the given epoch, evicting the
+// least recently used entry when the shard is full.
+func (c *answerCache) put(key string, epoch uint64, a *Analysis) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.byKey[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.epoch = epoch
+		e.a = a
+		sh.lru.MoveToFront(el)
+		return
+	}
+	sh.byKey[key] = sh.lru.PushFront(&cacheEntry{key: key, epoch: epoch, a: a})
+	for sh.lru.Len() > sh.cap {
+		back := sh.lru.Back()
+		sh.lru.Remove(back)
+		delete(sh.byKey, back.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *answerCache) stats() CacheStats {
+	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Entries += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// CacheStats reports the answer cache's hit/miss counters and current
+// size; the zero value when caching is disabled.
+func (s *System) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.stats()
+}

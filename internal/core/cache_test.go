@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheHitServesSameAnalysis(t *testing.T) {
+	sys := newSys(t, Options{})
+	a1 := search(t, sys, "wealthy customers")
+	a2 := search(t, sys, "wealthy customers")
+	if a1 != a2 {
+		t.Fatal("repeated query should be served from the cache")
+	}
+	st := sys.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestCacheKeyIsCanonicalQueryForm(t *testing.T) {
+	sys := newSys(t, Options{})
+	a1 := search(t, sys, "wealthy   customers")
+	a2 := search(t, sys, "  wealthy customers  ")
+	if a1 != a2 {
+		t.Fatal("whitespace variants must share a cache entry (canonical key)")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	sys := newSys(t, Options{CacheSize: -1})
+	a1 := search(t, sys, "wealthy customers")
+	a2 := search(t, sys, "wealthy customers")
+	if a1 == a2 {
+		t.Fatal("CacheSize < 0 must disable the cache")
+	}
+	if st := sys.CacheStats(); st != (CacheStats{}) {
+		t.Fatalf("stats = %+v, want zero value", st)
+	}
+}
+
+func TestCacheInvalidatedByFeedback(t *testing.T) {
+	sys := newSys(t, Options{})
+	a1 := search(t, sys, "wealthy customers")
+	sys.Feedback(best(t, a1), true)
+	a2 := search(t, sys, "wealthy customers")
+	if a1 == a2 {
+		t.Fatal("feedback must invalidate the cached answer")
+	}
+	sys.ResetFeedback()
+	a3 := search(t, sys, "wealthy customers")
+	if a3 == a2 {
+		t.Fatal("ResetFeedback must invalidate the cached answer")
+	}
+}
+
+func TestCacheFeedbackChangesScores(t *testing.T) {
+	sys := newSys(t, Options{})
+	a1 := search(t, sys, "customer")
+	before := best(t, a1).Score
+	sys.Feedback(best(t, a1), true)
+	a2 := search(t, sys, "customer")
+	after := best(t, a2).Score
+	if after <= before {
+		t.Fatalf("liked solution score %v should exceed pre-feedback %v", after, before)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// CacheSize is an exact upper bound, even below the shard count.
+	for _, size := range []int{1, 3, 40} {
+		sys := newSys(t, Options{CacheSize: size})
+		queries := []string{
+			"customer", "wealthy customers", "Sara Guttinger", "transactions",
+			"securities", "parties", "individuals", "organizations",
+		}
+		for _, q := range queries {
+			search(t, sys, q)
+		}
+		if st := sys.CacheStats(); st.Entries > size {
+			t.Fatalf("CacheSize=%d: entries = %d, want <= %d", size, st.Entries, size)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := newSys(t, Options{Parallelism: 1, CacheSize: -1})
+	par := newSys(t, Options{Parallelism: 8, CacheSize: -1})
+	for _, q := range determinismQueries {
+		want := sqlsOf(t, seq, q)
+		got := sqlsOf(t, par, q)
+		if len(want) != len(got) {
+			t.Fatalf("%q: %d vs %d solutions", q, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%q solution %d:\nsequential: %s\nparallel:   %s", q, i, want[i], got[i])
+			}
+		}
+		// The whole trace, not just SQL: tables, joins, filters, scores.
+		wa := search(t, seq, q)
+		ga := search(t, par, q)
+		for i := range wa.Solutions {
+			if w, g := solutionTrace(wa.Solutions[i]), solutionTrace(ga.Solutions[i]); w != g {
+				t.Fatalf("%q solution %d differs beyond SQL:\nsequential: %s\nparallel:   %s", q, i, w, g)
+			}
+		}
+	}
+}
+
+// TestForEachSolutionPanicPropagates pins the worker-pool contract: a
+// panic inside a step resurfaces on the calling goroutine (where the
+// daemon's per-request recovery can catch it) instead of killing the
+// process from a bare goroutine.
+func TestForEachSolutionPanicPropagates(t *testing.T) {
+	sys := newSys(t, Options{Parallelism: 4})
+	sols := []*Solution{{}, {}, {}, {}, {}, {}, {}, {}}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic in a worker did not propagate to the caller")
+		} else if r != "boom" {
+			t.Fatalf("propagated %v, want boom", r)
+		}
+	}()
+	var n atomic.Int64
+	sys.forEachSolution(sols, func(sol *Solution) {
+		if n.Add(1) == 3 {
+			panic("boom")
+		}
+	})
+}
+
+// solutionTrace renders every derived field of a solution (pointers
+// dereferenced) so sequential and parallel runs can be compared exactly.
+func solutionTrace(sol *Solution) string {
+	return fmt.Sprintf("score=%.6f tables=%v primaries=%v sqlTables=%v joins=%v filters=%v groupBy=%v disconnected=%v sql=%q",
+		sol.Score, sol.Tables, sol.Primaries, sol.SQLTables, sol.Joins, sol.Filters, sol.GroupBy, sol.Disconnected, sol.SQLText())
+}
+
+func TestConcurrentSearchesShareCache(t *testing.T) {
+	sys := newSys(t, Options{})
+	const goroutines = 8
+	var wg sync.WaitGroup
+	results := make([]*Analysis, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				a, err := sys.Search("customers Zürich financial instruments")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[g] = a
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := sys.CacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("stats = %+v, want cache hits under concurrent repetition", st)
+	}
+	for g := 1; g < goroutines; g++ {
+		if results[g] == nil {
+			t.Fatalf("goroutine %d recorded no result", g)
+		}
+	}
+}

@@ -20,8 +20,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"soda/internal/engine"
@@ -53,6 +55,17 @@ type Options struct {
 	// "we might not be able to find a join path between two entities".
 	MaxPathLen int
 
+	// Parallelism is the worker-pool width for the per-solution steps
+	// 3-5 (tables/filters/SQL). 0 means GOMAXPROCS; 1 runs the steps
+	// sequentially. The ranked output is byte-identical either way.
+	Parallelism int
+
+	// CacheSize caps the answer cache (entries across all shards). 0
+	// means the default (512); negative disables caching entirely. The
+	// cache is keyed by the canonical query form and invalidated as a
+	// whole whenever relevance feedback changes the ranking function.
+	CacheSize int
+
 	// Ablation switches (DESIGN.md "ablation benches").
 	DisableBridges bool // skip bridge-table discovery (§4.2.1 last part)
 	DisableDBpedia bool // ignore DBpedia entry points (§7 future work)
@@ -63,7 +76,7 @@ type Options struct {
 
 // Defaults returns the paper's operating point.
 func Defaults() Options {
-	return Options{TopN: 10, SnippetRows: 20, MaxSolutions: 4096}
+	return Options{TopN: 10, SnippetRows: 20, MaxSolutions: 4096, CacheSize: defaultCacheSize}
 }
 
 func (o Options) withDefaults() Options {
@@ -77,13 +90,22 @@ func (o Options) withDefaults() Options {
 	if o.MaxSolutions <= 0 {
 		o.MaxSolutions = d.MaxSolutions
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = d.CacheSize
+	}
 	return o
 }
 
 // System wires the substrates together: base data, metadata graph,
 // inverted index and pattern registry. A System is safe for concurrent
-// use: the pipeline's internal memoisation is guarded by a mutex (the
-// underlying graph, index and engine are read-only after construction).
+// use and concurrent searches proceed in parallel: the substrates are
+// read-only after construction, the derived join-graph/bridge caches are
+// built once, the node-level memo tables take a narrow lock, and the
+// feedback store has its own lock plus an epoch counter that invalidates
+// the answer cache whenever the ranking function changes.
 type System struct {
 	DB    *engine.DB
 	Meta  *metagraph.Graph
@@ -91,14 +113,26 @@ type System struct {
 	Reg   *pattern.Registry
 	Opt   Options
 
-	mu         sync.Mutex
-	matcher    *pattern.Matcher
-	jg         *joinGraph
-	bridgeMemo []bridgeRel
-	bridgeDone bool
-	colMemo    map[rdf.Term]ColRef
-	tblMemo    map[rdf.Term]string
-	feedback   map[feedbackKey]float64
+	matcher *pattern.Matcher
+
+	// Derived join structures, built once on first use (or by Warm).
+	derivedOnce sync.Once
+	jg          *joinGraph
+	bridgeMemo  []bridgeRel
+
+	// Node-level memo tables shared by concurrent traversals. Values are
+	// deterministic functions of the node, so racing fills are benign.
+	memoMu  sync.RWMutex
+	colMemo map[rdf.Term]ColRef
+	tblMemo map[rdf.Term]string
+
+	// Relevance feedback. epoch counts ranking-function changes; cached
+	// answers from older epochs are never served.
+	fbMu     sync.RWMutex
+	feedback map[feedbackKey]float64
+	epoch    atomic.Uint64
+
+	cache *answerCache
 }
 
 // NewSystem builds a System over the given substrates. A nil registry gets
@@ -115,6 +149,9 @@ func NewSystem(db *engine.DB, meta *metagraph.Graph, idx *invidx.Index, opt Opti
 		tblMemo: make(map[rdf.Term]string),
 	}
 	s.matcher = pattern.NewMatcher(meta.G, reg)
+	if s.Opt.CacheSize > 0 {
+		s.cache = newAnswerCache(s.Opt.CacheSize)
+	}
 	return s
 }
 
@@ -309,20 +346,27 @@ type Analysis struct {
 // paper's Table 4 likewise excludes the 24-hour inverted-index build from
 // per-query runtimes.
 func (s *System) Warm() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.joinGraphCached()
-	s.bridgesCached()
+	s.derivedOnce.Do(s.buildDerived)
 }
 
-// Search runs the five-step pipeline on an input query.
+// Search runs the five-step pipeline on an input query. Repeated queries
+// hit the answer cache (keyed by the canonical query form) unless
+// relevance feedback bumped the ranking epoch since the answer was
+// computed; the returned Analysis is shared between such callers and must
+// be treated as read-only.
 func (s *System) Search(input string) (*Analysis, error) {
 	q, err := queryparse.Parse(input)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	key := q.String()
+	epoch := s.epoch.Load()
+	if s.cache != nil {
+		if a, ok := s.cache.get(key, epoch); ok {
+			return a, nil
+		}
+	}
+
 	a := &Analysis{Query: q}
 
 	start := time.Now()
@@ -333,24 +377,79 @@ func (s *System) Search(input string) (*Analysis, error) {
 	s.rank(a) // step 2
 	a.Timings.Rank = time.Since(start)
 
+	// Steps 3-5 are independent per solution; each runs across the
+	// bounded worker pool. Solutions keep their slice positions, so the
+	// ranked output is byte-identical to a sequential run.
 	start = time.Now()
-	for _, sol := range a.Solutions {
+	s.forEachSolution(a.Solutions, func(sol *Solution) {
 		s.tablesStep(sol, a) // step 3
-	}
+	})
 	a.Timings.Tables = time.Since(start)
 
 	start = time.Now()
-	for _, sol := range a.Solutions {
+	s.forEachSolution(a.Solutions, func(sol *Solution) {
 		s.filtersStep(sol, a) // step 4
-	}
+	})
 	a.Timings.Filters = time.Since(start)
 
 	start = time.Now()
-	for _, sol := range a.Solutions {
+	s.forEachSolution(a.Solutions, func(sol *Solution) {
 		s.sqlStep(sol, a) // step 5
-	}
+	})
 	a.Timings.SQL = time.Since(start)
+
+	if s.cache != nil {
+		// Stored under the epoch observed before the pipeline ran: if
+		// feedback raced in meanwhile the entry is already stale and will
+		// never be served.
+		s.cache.put(key, epoch, a)
+	}
 	return a, nil
+}
+
+// forEachSolution applies fn to every solution using up to
+// Opt.Parallelism workers. fn must only mutate its own solution.
+func (s *System) forEachSolution(sols []*Solution, fn func(*Solution)) {
+	workers := s.Opt.Parallelism
+	if workers > len(sols) {
+		workers = len(sols)
+	}
+	if workers <= 1 {
+		for _, sol := range sols {
+			fn(sol)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			// A panic in a bare worker goroutine would kill the whole
+			// process (the daemon serves many users off one System);
+			// re-panic on the calling goroutine instead, where net/http's
+			// per-request recovery applies, matching sequential behaviour.
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sols) {
+					return
+				}
+				fn(sols[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // Execute runs a solution's generated SQL through the text parser and the

@@ -36,10 +36,11 @@ func keyOf(e EntryPoint) feedbackKey {
 }
 
 // Feedback records a like (true) or dislike (false) for every entry point
-// of the solution.
+// of the solution. Each call bumps the ranking epoch, invalidating every
+// cached answer: the feedback must be observable on the very next search.
 func (s *System) Feedback(sol *Solution, like bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.fbMu.Lock()
+	defer s.fbMu.Unlock()
 	if s.feedback == nil {
 		s.feedback = make(map[feedbackKey]float64)
 	}
@@ -58,36 +59,40 @@ func (s *System) Feedback(sol *Solution, like bool) {
 		}
 		s.feedback[k] = v
 	}
+	s.epoch.Add(1)
 }
 
 // FeedbackAdjustment returns the accumulated adjustment for an entry
 // point (0 when no feedback was given).
 func (s *System) FeedbackAdjustment(e EntryPoint) float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.feedbackAdjustment(e)
+	s.fbMu.RLock()
+	defer s.fbMu.RUnlock()
+	return s.feedbackAdjustmentLocked(e)
 }
 
-// feedbackAdjustment is FeedbackAdjustment without locking, for use
-// inside the pipeline (which already holds the mutex).
-func (s *System) feedbackAdjustment(e EntryPoint) float64 {
+// feedbackAdjustmentLocked reads the adjustment; the caller must hold
+// fbMu (read or write). The lookup step holds the read-lock across all
+// terms so one search never observes a Feedback call half-applied.
+func (s *System) feedbackAdjustmentLocked(e EntryPoint) float64 {
 	if s.feedback == nil {
 		return 0
 	}
 	return s.feedback[keyOf(e)]
 }
 
-// ResetFeedback forgets all recorded feedback.
+// ResetFeedback forgets all recorded feedback and, like Feedback,
+// invalidates the answer cache by bumping the ranking epoch.
 func (s *System) ResetFeedback() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.fbMu.Lock()
+	defer s.fbMu.Unlock()
 	s.feedback = nil
+	s.epoch.Add(1)
 }
 
 // FeedbackSummary lists the non-zero adjustments for diagnostics.
 func (s *System) FeedbackSummary() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.fbMu.RLock()
+	defer s.fbMu.RUnlock()
 	var out []string
 	for k, v := range s.feedback {
 		if v == 0 {

@@ -59,9 +59,13 @@ func (s *System) lookup(a *Analysis) {
 		}
 	}
 
-	// Candidates per term.
+	// Candidates per term. The feedback read-lock spans all terms:
+	// a concurrent Feedback call is either fully visible to this search
+	// or not at all, never half-applied.
 	a.Candidates = make([][]EntryPoint, len(a.Terms))
 	a.Complexity = 1
+	s.fbMu.RLock()
+	defer s.fbMu.RUnlock()
 	for ti, term := range a.Terms {
 		cands := s.candidates(ti, term)
 		a.Candidates[ti] = cands
@@ -135,7 +139,7 @@ func (s *System) candidates(ti int, term Term) []EntryPoint {
 			Node:  node,
 			Layer: layer,
 		}
-		ep.Score = s.entryScore(layer) + s.feedbackAdjustment(ep)
+		ep.Score = s.entryScore(layer) + s.feedbackAdjustmentLocked(ep)
 		switch term.Role {
 		case RoleGroupBy:
 			// Grouping attributes must resolve to a physical column.
@@ -163,7 +167,7 @@ func (s *System) candidates(ti int, term Term) []EntryPoint {
 			Column: hit.Column,
 			Values: hit.Values,
 		}
-		ep.Score = s.entryScore(metagraph.LayerBaseData) + s.feedbackAdjustment(ep)
+		ep.Score = s.entryScore(metagraph.LayerBaseData) + s.feedbackAdjustmentLocked(ep)
 		out = append(out, ep)
 	}
 	return out

@@ -288,18 +288,25 @@ func (s *System) collectInheritanceParents(node rdf.Term, add func(string)) {
 }
 
 // tableOfNode returns the table name if node matches the Table pattern,
-// memoised (traversals revisit table nodes constantly).
+// memoised (traversals revisit table nodes constantly). The memo is
+// shared across concurrent searches; racing fills compute the same value,
+// so last-write-wins is correct.
 func (s *System) tableOfNode(node rdf.Term) (string, bool) {
-	if name, ok := s.tblMemo[node]; ok {
+	s.memoMu.RLock()
+	name, ok := s.tblMemo[node]
+	s.memoMu.RUnlock()
+	if ok {
 		return name, name != ""
 	}
-	name := ""
+	name = ""
 	if s.matcher.MatchesName(metagraph.PatTable, node) {
 		if n, ok := s.Meta.TableName(node); ok {
 			name = n
 		}
 	}
+	s.memoMu.Lock()
 	s.tblMemo[node] = name
+	s.memoMu.Unlock()
 	return name, name != ""
 }
 
@@ -318,10 +325,13 @@ var columnFollowPreds = map[string]bool{
 // reaches a physical column (used to resolve filter/aggregation attributes
 // like "birth date" → individuals.birth_dt across schema layers, §6.2).
 func (s *System) resolveColumn(node rdf.Term) (ColRef, bool) {
-	if ref, ok := s.colMemo[node]; ok {
+	s.memoMu.RLock()
+	ref, ok := s.colMemo[node]
+	s.memoMu.RUnlock()
+	if ok {
 		return ref, ref.Table != ""
 	}
-	ref := ColRef{}
+	ref = ColRef{}
 	visited := map[rdf.Term]bool{node: true}
 	queue := []rdf.Term{node}
 	for len(queue) > 0 && ref.Table == "" {
@@ -342,7 +352,9 @@ func (s *System) resolveColumn(node rdf.Term) (ColRef, bool) {
 			return true
 		})
 	}
+	s.memoMu.Lock()
 	s.colMemo[node] = ref
+	s.memoMu.Unlock()
 	return ref, ref.Table != ""
 }
 
@@ -392,17 +404,33 @@ type bridgeRel struct {
 	ignored           bool
 }
 
-// joinGraphCached builds (once) the global join graph by matching the
-// Foreign Key and Join-Relationship patterns across the whole metadata
-// graph, honouring ignore_join annotations (§5.3.1). Edges touching a
-// bridge table are tagged via="bridge" so the Figure 9 pathfinding can be
-// ablated separately.
+// buildDerived computes the one-time derived join structures: bridge
+// tables first (the join graph tags edges touching them), then the global
+// join graph. It runs exactly once per System, through derivedOnce.
+func (s *System) buildDerived() {
+	s.bridgeMemo = s.findBridges()
+	s.jg = s.buildJoinGraph()
+}
+
+// joinGraphCached returns the global join graph, building it on first use.
 func (s *System) joinGraphCached() *joinGraph {
-	if s.jg != nil {
-		return s.jg
-	}
+	s.derivedOnce.Do(s.buildDerived)
+	return s.jg
+}
+
+// bridgesCached returns the discovered bridge tables, building on first use.
+func (s *System) bridgesCached() []bridgeRel {
+	s.derivedOnce.Do(s.buildDerived)
+	return s.bridgeMemo
+}
+
+// buildJoinGraph matches the Foreign Key and Join-Relationship patterns
+// across the whole metadata graph, honouring ignore_join annotations
+// (§5.3.1). Edges touching a bridge table are tagged via="bridge" so the
+// Figure 9 pathfinding can be ablated separately.
+func (s *System) buildJoinGraph() *joinGraph {
 	bridgeTables := make(map[string]bool)
-	for _, br := range s.bridgesCached() {
+	for _, br := range s.bridgeMemo {
 		bridgeTables[br.bridge] = true
 	}
 
@@ -451,7 +479,6 @@ func (s *System) joinGraphCached() *joinGraph {
 		ignored := s.Meta.G.Has(x, ignorePred, rdf.NewText("true"))
 		addEdge(f, p, ignored)
 	}
-	s.jg = jg
 	return jg
 }
 
@@ -489,12 +516,9 @@ func (s *System) isInheritanceLink(childTable, parentTable string) bool {
 	return false
 }
 
-// bridgesCached finds every bridge table once: tables matching the Bridge
-// Table pattern with two foreign keys into *different* tables.
-func (s *System) bridgesCached() []bridgeRel {
-	if s.bridgeDone {
-		return s.bridgeMemo
-	}
+// findBridges finds every bridge table: tables matching the Bridge Table
+// pattern with two foreign keys into *different* tables.
+func (s *System) findBridges() []bridgeRel {
 	var out []bridgeRel
 	seen := make(map[string]bool)
 	ignorePred := rdf.NewIRI(metagraph.PredIgnoreJoin)
@@ -543,8 +567,6 @@ func (s *System) bridgesCached() []bridgeRel {
 		}
 		seen[name] = true
 	}
-	s.bridgeMemo = out
-	s.bridgeDone = true
 	return out
 }
 

@@ -1,0 +1,75 @@
+package queryparse_test
+
+// Fuzzing the input-language parser: arbitrary user input must never
+// panic (the daemon feeds raw HTTP request bodies into Parse), and any
+// input that parses must render a canonical form that reparses. The seed
+// corpus mixes the paper's example queries with the §5.1.3-style
+// synthetic workload over the MiniBank world.
+
+import (
+	"testing"
+
+	"soda/internal/minibank"
+	"soda/internal/queryparse"
+	"soda/internal/workload"
+)
+
+// TestCanonicalFormRegressions pins cases past fuzz/review passes found:
+// a trailing OR on a single group must survive the canonical round-trip
+// (the answer cache keys on it), and empty quoted phrases are rejected
+// rather than silently rebinding the next word as a comparison value.
+func TestCanonicalFormRegressions(t *testing.T) {
+	q, err := queryparse.Parse("salary > 100 < 200 or")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := queryparse.Parse(q.String())
+	if err != nil {
+		t.Fatalf("canonical %q does not reparse: %v", q.String(), err)
+	}
+	if !q.Disjunctive || !q2.Disjunctive {
+		t.Fatalf("Disjunctive lost through canonical form %q", q.String())
+	}
+	if _, err := queryparse.Parse("city = '' Zurich"); err == nil {
+		t.Fatal("empty quoted phrase must be rejected")
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"customers Zürich financial instruments",
+		"wealthy customers",
+		"salary >= 100000 and birth date = date(1981-04-23)",
+		"sum (amount) group by (transaction date)",
+		"top 10 trading volume customer",
+		"select count() from transactions",
+		"price between 10 and 20.5",
+		"name like 'Guttinger' or city = \"Zürich\"",
+		"sum ( ( broken",
+		"date(2011-13-99)",
+		"top -3 x",
+	}
+	w := minibank.Build(minibank.Default())
+	seeds = append(seeds, workload.New(w.Meta, w.Index, 7).Queries(32)...)
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := queryparse.Parse(input)
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		canonical := q.String()
+		q2, err := queryparse.Parse(canonical)
+		if err != nil {
+			t.Fatalf("canonical form of %q does not reparse: %v\ncanonical: %q", input, err, canonical)
+		}
+		// The canonical form is a fixpoint: reparsing and re-rendering
+		// must not drift (a drift means the rendered query changed
+		// meaning — e.g. a number reparsed as text).
+		if again := q2.String(); again != canonical {
+			t.Fatalf("canonical form is not a fixpoint for %q:\nfirst:  %q\nsecond: %q", input, canonical, again)
+		}
+	})
+}

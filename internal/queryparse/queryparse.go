@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unicode"
 )
 
 // ValueKind discriminates comparison operand kinds.
@@ -48,11 +49,13 @@ type Value struct {
 	Text string
 }
 
-// String renders the operand.
+// String renders the operand. Numbers use plain decimal notation: the
+// tokenizer has no exponent syntax, so %g's "1e+23" would reparse as a
+// text value and silently change the comparison's type.
 func (v Value) String() string {
 	switch v.Kind {
 	case ValNumber:
-		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+		return strconv.FormatFloat(v.Num, 'f', -1, 64)
 	case ValDate:
 		return "date(" + v.Date.Format("2006-01-02") + ")"
 	default:
@@ -124,15 +127,22 @@ func Parse(input string) (*Query, error) {
 
 	i := 0
 	for i < len(toks) {
-		t := toks[i]
+		tk := toks[i]
+		t := tk.text
 		lower := strings.ToLower(t)
+		if tk.quoted {
+			// Quoted phrases are always plain words, never keywords.
+			cur = append(cur, t)
+			i++
+			continue
+		}
 		switch {
 		case lower == "select" && i == 0:
 			// Q9.0 writes "select count() ..."; tolerate a leading
 			// SELECT noise word.
 			i++
 
-		case aggFuncs[lower] && i+1 < len(toks) && toks[i+1] == "(":
+		case aggFuncs[lower] && i+1 < len(toks) && toks[i+1].is("("):
 			flush()
 			attr, next, err := readParenWords(toks, i+2)
 			if err != nil {
@@ -141,9 +151,9 @@ func Parse(input string) (*Query, error) {
 			q.Aggregations = append(q.Aggregations, Aggregation{Func: lower, Attr: attr})
 			i = next
 
-		case lower == "group" && i+1 < len(toks) && strings.EqualFold(toks[i+1], "by"):
+		case lower == "group" && i+1 < len(toks) && !toks[i+1].quoted && strings.EqualFold(toks[i+1].text, "by"):
 			flush()
-			if i+2 >= len(toks) || toks[i+2] != "(" {
+			if i+2 >= len(toks) || !toks[i+2].is("(") {
 				return nil, fmt.Errorf("queryparse: group by needs a parenthesised attribute list")
 			}
 			attrs, next, err := readGroupByList(toks, i+3)
@@ -153,9 +163,9 @@ func Parse(input string) (*Query, error) {
 			q.GroupBy = append(q.GroupBy, attrs...)
 			i = next
 
-		case lower == "top" && i+1 < len(toks) && isNumber(toks[i+1]):
+		case lower == "top" && i+1 < len(toks) && !toks[i+1].quoted && isNumber(toks[i+1].text):
 			flush()
-			n, _ := strconv.Atoi(toks[i+1])
+			n, _ := strconv.Atoi(toks[i+1].text)
 			if n <= 0 {
 				return nil, fmt.Errorf("queryparse: top N must be positive, got %d", n)
 			}
@@ -181,7 +191,7 @@ func Parse(input string) (*Query, error) {
 				return nil, err
 			}
 			// Optional "and" between the bounds.
-			if next < len(toks) && strings.EqualFold(toks[next], "and") {
+			if next < len(toks) && !toks[next].quoted && strings.EqualFold(toks[next].text, "and") {
 				next++
 			}
 			v2, next2, err := readValue(toks, next)
@@ -202,7 +212,7 @@ func Parse(input string) (*Query, error) {
 			q.Disjunctive = true
 			i++
 
-		case t == "(" || t == ")" || t == ",":
+		case tk.is("(") || tk.is(")") || tk.is(","):
 			// Stray punctuation: ignore, as SODA ignores unknowns.
 			i++
 
@@ -238,24 +248,77 @@ func (q *Query) Keywords() []string {
 	return out
 }
 
+// reservedWords are words the parser interprets structurally; rendering
+// them as data requires quoting. Derived from the operator tables so a
+// new aggregation function or comparison operator is quoted automatically.
+var reservedWords = func() map[string]bool {
+	m := map[string]bool{
+		"and": true, "or": true, "between": true, "top": true,
+		"group": true, "by": true, "select": true, "date": true,
+	}
+	for w := range aggFuncs {
+		m[w] = true
+	}
+	for w := range comparisonOps {
+		m[w] = true
+	}
+	return m
+}()
+
+// quote wraps s in whichever quote kind s does not contain (a parsed
+// word never contains both — the tokenizer cannot produce one).
+func quote(s string) string {
+	if strings.Contains(s, "'") {
+		return `"` + s + `"`
+	}
+	return "'" + s + "'"
+}
+
+// quoteWord renders one word so that reparsing yields the same word:
+// reserved words, numbers and words containing structural characters are
+// quoted.
+func quoteWord(w string) string {
+	needs := reservedWords[strings.ToLower(w)] || isNumber(w) ||
+		strings.ContainsAny(w, "()<>=,'\"") ||
+		strings.IndexFunc(w, unicode.IsSpace) >= 0
+	if !needs {
+		return w
+	}
+	return quote(w)
+}
+
+func quoteWords(words []string) []string {
+	out := make([]string, len(words))
+	for i, w := range words {
+		out[i] = quoteWord(w)
+	}
+	return out
+}
+
 // String renders the query in canonical input-language form: keyword
 // groups with their attached comparisons, then aggregations, group-by and
 // top-N. Parsing the rendered form yields an equivalent Query (the
-// round-trip is covered by tests), which makes queries durable artefacts
-// for logs and saved searches.
+// round-trip is covered by tests and fuzzing), which makes queries
+// durable artefacts for logs, saved searches and cache keys.
 func (q *Query) String() string {
+	value := func(v Value) string {
+		if v.Kind == ValText {
+			return quote(v.Text)
+		}
+		return v.String()
+	}
 	// One unit per keyword group: the words plus their comparisons.
 	var units []string
 	for gi, g := range q.Groups {
-		unit := []string{strings.Join(g.Words, " ")}
+		unit := []string{strings.Join(quoteWords(g.Words), " ")}
 		for _, c := range q.Comparisons {
 			if c.Group != gi {
 				continue
 			}
 			if c.Op == "between" && c.Value2 != nil {
-				unit = append(unit, "between", c.Value.String(), c.Value2.String())
+				unit = append(unit, "between", value(c.Value), value(*c.Value2))
 			} else {
-				unit = append(unit, c.Op, c.Value.String())
+				unit = append(unit, c.Op, value(c.Value))
 			}
 		}
 		units = append(units, strings.Join(unit, " "))
@@ -271,12 +334,12 @@ func (q *Query) String() string {
 		out = fmt.Sprintf("top %d %s", q.TopN, out)
 	}
 	for _, agg := range q.Aggregations {
-		tail = append(tail, fmt.Sprintf("%s (%s)", agg.Func, strings.Join(agg.Attr, " ")))
+		tail = append(tail, fmt.Sprintf("%s (%s)", agg.Func, strings.Join(quoteWords(agg.Attr), " ")))
 	}
 	if len(q.GroupBy) > 0 {
 		attrs := make([]string, len(q.GroupBy))
 		for i, gb := range q.GroupBy {
-			attrs[i] = strings.Join(gb, " ")
+			attrs[i] = strings.Join(quoteWords(gb), " ")
 		}
 		tail = append(tail, fmt.Sprintf("group by (%s)", strings.Join(attrs, ", ")))
 	}
@@ -286,22 +349,34 @@ func (q *Query) String() string {
 		}
 		out += strings.Join(tail, " ")
 	}
+	// With fewer than two keyword groups the " or " connective never
+	// appears, yet Disjunctive still matters (it ORs multiple filters of
+	// one group); render it as a trailing "or" so the canonical form —
+	// and the answer-cache key built from it — keeps the distinction.
+	if q.Disjunctive && len(units) <= 1 {
+		out += " or"
+	}
 	return strings.TrimSpace(out)
 }
 
 // readValue reads a comparison operand: date(...), a number, or a word.
-func readValue(toks []string, i int) (Value, int, error) {
+// A quoted token is always a text value ('10' matches the string "10").
+func readValue(toks []token, i int) (Value, int, error) {
 	if i >= len(toks) {
 		return Value{}, 0, fmt.Errorf("queryparse: operator at end of input needs a value")
 	}
-	t := toks[i]
-	if strings.EqualFold(t, "date") && i+1 < len(toks) && toks[i+1] == "(" {
-		if i+3 >= len(toks) || toks[i+3] != ")" {
+	tk := toks[i]
+	if tk.quoted {
+		return Value{Kind: ValText, Text: tk.text}, i + 1, nil
+	}
+	t := tk.text
+	if strings.EqualFold(t, "date") && i+1 < len(toks) && toks[i+1].is("(") {
+		if i+3 >= len(toks) || !toks[i+3].is(")") {
 			return Value{}, 0, fmt.Errorf("queryparse: malformed date() literal")
 		}
-		d, err := time.Parse("2006-01-02", toks[i+2])
+		d, err := time.Parse("2006-01-02", toks[i+2].text)
 		if err != nil {
-			return Value{}, 0, fmt.Errorf("queryparse: bad date %q: %v", toks[i+2], err)
+			return Value{}, 0, fmt.Errorf("queryparse: bad date %q: %v", toks[i+2].text, err)
 		}
 		return Value{Kind: ValDate, Date: d}, i + 4, nil
 	}
@@ -317,17 +392,17 @@ func readValue(toks []string, i int) (Value, int, error) {
 
 // readParenWords reads words until ')', starting after '('. An empty list
 // is allowed (count()).
-func readParenWords(toks []string, i int) ([]string, int, error) {
+func readParenWords(toks []token, i int) ([]string, int, error) {
 	var words []string
 	for i < len(toks) {
-		if toks[i] == ")" {
+		if toks[i].is(")") {
 			return words, i + 1, nil
 		}
-		if toks[i] == "(" {
+		if toks[i].is("(") {
 			return nil, 0, fmt.Errorf("queryparse: nested parenthesis in aggregation")
 		}
-		if toks[i] != "," {
-			words = append(words, toks[i])
+		if !toks[i].is(",") {
+			words = append(words, toks[i].text)
 		}
 		i++
 	}
@@ -335,12 +410,12 @@ func readParenWords(toks []string, i int) ([]string, int, error) {
 }
 
 // readGroupByList reads comma-separated attribute word sequences until ')'.
-func readGroupByList(toks []string, i int) ([][]string, int, error) {
+func readGroupByList(toks []token, i int) ([][]string, int, error) {
 	var attrs [][]string
 	var cur []string
 	for i < len(toks) {
-		switch toks[i] {
-		case ")":
+		switch {
+		case toks[i].is(")"):
 			if len(cur) > 0 {
 				attrs = append(attrs, cur)
 			}
@@ -348,15 +423,15 @@ func readGroupByList(toks []string, i int) ([][]string, int, error) {
 				return nil, 0, fmt.Errorf("queryparse: empty group by list")
 			}
 			return attrs, i + 1, nil
-		case ",":
+		case toks[i].is(","):
 			if len(cur) > 0 {
 				attrs = append(attrs, cur)
 				cur = nil
 			}
-		case "(":
+		case toks[i].is("("):
 			return nil, 0, fmt.Errorf("queryparse: nested parenthesis in group by")
 		default:
-			cur = append(cur, toks[i])
+			cur = append(cur, toks[i].text)
 		}
 		i++
 	}
@@ -381,14 +456,26 @@ func isNumber(s string) bool {
 	return true
 }
 
+// token is one lexical unit. quoted marks tokens that came from a quoted
+// phrase: they are always plain words, never keywords, operators or
+// punctuation — searching for the literal value "top" or "like" is
+// written 'top' / 'like'.
+type token struct {
+	text   string
+	quoted bool
+}
+
+// is reports a structural (unquoted) token with the given text.
+func (t token) is(s string) bool { return !t.quoted && t.text == s }
+
 // tokenize splits the input into words, parentheses, commas and operator
 // symbols. Operators may be glued to words ("salary>=100") or separate.
-func tokenize(input string) ([]string, error) {
-	var toks []string
+func tokenize(input string) ([]token, error) {
+	var toks []token
 	var cur strings.Builder
 	flush := func() {
 		if cur.Len() > 0 {
-			toks = append(toks, cur.String())
+			toks = append(toks, token{text: cur.String()})
 			cur.Reset()
 		}
 	}
@@ -396,24 +483,27 @@ func tokenize(input string) ([]string, error) {
 	for i := 0; i < len(rs); i++ {
 		r := rs[i]
 		switch {
-		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+		case unicode.IsSpace(r):
 			flush()
 		case r == '(' || r == ')' || r == ',':
 			flush()
-			toks = append(toks, string(r))
+			toks = append(toks, token{text: string(r)})
 		case r == '>' || r == '<':
 			flush()
 			if i+1 < len(rs) && rs[i+1] == '=' {
-				toks = append(toks, string(r)+"=")
+				toks = append(toks, token{text: string(r) + "="})
 				i++
 			} else {
-				toks = append(toks, string(r))
+				toks = append(toks, token{text: string(r)})
 			}
 		case r == '=':
 			flush()
-			toks = append(toks, "=")
+			toks = append(toks, token{text: "="})
 		case r == '\'' || r == '"':
-			// Quoted phrase: one token.
+			// Quoted phrase: one token. An empty quote pair is rejected:
+			// silently dropping it would rebind whatever follows (in
+			// "city = '' Zurich" the keyword would become the value), and
+			// an empty word cannot round-trip through the canonical form.
 			flush()
 			j := i + 1
 			for j < len(rs) && rs[j] != r {
@@ -422,7 +512,10 @@ func tokenize(input string) ([]string, error) {
 			if j >= len(rs) {
 				return nil, fmt.Errorf("queryparse: unterminated quote")
 			}
-			toks = append(toks, string(rs[i+1:j]))
+			if j == i+1 {
+				return nil, fmt.Errorf("queryparse: empty quoted phrase")
+			}
+			toks = append(toks, token{text: string(rs[i+1 : j]), quoted: true})
 			i = j
 		default:
 			cur.WriteRune(r)

@@ -1,0 +1,364 @@
+// Package server exposes a soda.System as a JSON HTTP API — the serving
+// layer that turns the library into the self-service search box the paper
+// targets (§1: business users query the warehouse themselves). One Server
+// wraps one shared System; the System is safe for concurrent use, so the
+// handler serves requests in parallel and hot repeated queries are
+// answered from the core answer cache.
+//
+// Routes:
+//
+//	GET  /healthz          liveness + world name + cache counters
+//	POST /search           {"query": "...", "snippets": true?} -> ranked SQL
+//	POST /sql              {"sql": "..."} -> rows (exploration, §5.3.2)
+//	GET  /browse/{table}   schema-browser view of one physical table
+//	POST /feedback         {"query": "...", "result": 0, "like": true}
+//	GET  /explain?q=...    text/plain pipeline trace (Figures 4-6)
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"soda"
+)
+
+// maxBodyBytes caps request bodies; queries and SQL are tiny.
+const maxBodyBytes = 1 << 20
+
+// Server is the HTTP serving layer over one shared soda.System.
+type Server struct {
+	sys   *soda.System
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a Server over sys.
+func New(sys *soda.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /search", s.handleSearch)
+	s.mux.HandleFunc("POST /sql", s.handleSQL)
+	s.mux.HandleFunc("GET /browse/{table}", s.handleBrowse)
+	s.mux.HandleFunc("POST /feedback", s.handleFeedback)
+	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorResponse is the uniform error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decodeBody parses the JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// --- /healthz ---------------------------------------------------------
+
+// HealthResponse is the healthz payload.
+type HealthResponse struct {
+	Status        string          `json:"status"`
+	World         string          `json:"world"`
+	Tables        int             `json:"tables"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Cache         soda.CacheStats `json:"cache"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		World:         s.sys.World().Name(),
+		Tables:        len(s.sys.World().TableNames()),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Cache:         s.sys.CacheStats(),
+	})
+}
+
+// --- /search ----------------------------------------------------------
+
+// SearchRequest asks for the ranked SQL of one input query. With Snippets
+// set, each result also carries up to the snippet row cap of executed
+// rows (the paper's result page shows "up to twenty tuples").
+type SearchRequest struct {
+	Query    string `json:"query"`
+	Snippets bool   `json:"snippets,omitempty"`
+}
+
+// SearchResult is one ranked statement.
+type SearchResult struct {
+	Index        int       `json:"index"`
+	SQL          string    `json:"sql"`
+	Score        float64   `json:"score"`
+	Tables       []string  `json:"tables"`
+	FromTables   []string  `json:"from_tables"`
+	Joins        []string  `json:"joins,omitempty"`
+	Filters      []string  `json:"filters,omitempty"`
+	Disconnected bool      `json:"disconnected,omitempty"`
+	Snippet      *RowsJSON `json:"snippet,omitempty"`
+	SnippetError string    `json:"snippet_error,omitempty"`
+}
+
+// SearchResponse is the full answer for one query.
+type SearchResponse struct {
+	Query      string         `json:"query"`
+	Complexity int            `json:"complexity"`
+	Terms      []string       `json:"terms"`
+	Ignored    []string       `json:"ignored,omitempty"`
+	Results    []SearchResult `json:"results"`
+}
+
+// RowsJSON is a materialised result; values are rendered as strings the
+// way the CLI prints them.
+type RowsJSON struct {
+	Columns  []string   `json:"columns"`
+	Rows     [][]string `json:"rows"`
+	RowCount int        `json:"row_count"`
+}
+
+func rowsJSON(rows *soda.Rows) *RowsJSON {
+	out := &RowsJSON{Columns: rows.Columns, Rows: make([][]string, len(rows.Values)), RowCount: rows.NumRows()}
+	for i, row := range rows.Values {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.String()
+		}
+		out.Rows[i] = cells
+	}
+	return out
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing query"))
+		return
+	}
+	ans, err := s.sys.Search(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := SearchResponse{
+		Query:      req.Query,
+		Complexity: ans.Complexity,
+		Terms:      ans.Terms,
+		Ignored:    ans.Ignored,
+		Results:    make([]SearchResult, 0, len(ans.Results)),
+	}
+	for i, res := range ans.Results {
+		sr := SearchResult{
+			Index:        i,
+			SQL:          res.SQL,
+			Score:        res.Score,
+			Tables:       res.Tables,
+			FromTables:   res.FromTables,
+			Joins:        res.Joins,
+			Filters:      res.Filters,
+			Disconnected: res.Disconnected,
+		}
+		if req.Snippets {
+			if rows, err := res.Snippet(); err != nil {
+				sr.SnippetError = err.Error()
+			} else {
+				sr.Snippet = rowsJSON(rows)
+			}
+		}
+		resp.Results = append(resp.Results, sr)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /sql -------------------------------------------------------------
+
+// SQLRequest executes one statement in the engine's SQL subset — the
+// §5.3.2 exploration workflow where analysts refine SODA's statements.
+type SQLRequest struct {
+	SQL string `json:"sql"`
+}
+
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	var req SQLRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing sql"))
+		return
+	}
+	rows, err := s.sys.ExecuteSQL(req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rowsJSON(rows))
+}
+
+// --- /browse/{table} --------------------------------------------------
+
+// BrowseResponse is the schema-browser view of one table.
+type BrowseResponse struct {
+	Name                string         `json:"name"`
+	Columns             []BrowseColumn `json:"columns"`
+	Related             []BrowseJoin   `json:"related,omitempty"`
+	Labels              []string       `json:"labels,omitempty"`
+	InheritanceParent   string         `json:"inheritance_parent,omitempty"`
+	InheritanceChildren []string       `json:"inheritance_children,omitempty"`
+}
+
+// BrowseColumn is one column with its declared type.
+type BrowseColumn struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// BrowseJoin is one join-graph neighbour.
+type BrowseJoin struct {
+	Table string `json:"table"`
+	Join  string `json:"join"`
+}
+
+func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
+	table := r.PathValue("table")
+	info, err := s.sys.Browse(table)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	resp := BrowseResponse{
+		Name:                info.Name,
+		Labels:              info.Labels,
+		InheritanceParent:   info.InheritanceParent,
+		InheritanceChildren: info.InheritanceChildren,
+	}
+	for _, c := range info.Columns {
+		resp.Columns = append(resp.Columns, BrowseColumn{Name: c.Name, Type: c.Type})
+	}
+	for _, rel := range info.Related {
+		resp.Related = append(resp.Related, BrowseJoin{Table: rel.Table, Join: rel.Join.String()})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- /feedback --------------------------------------------------------
+
+// FeedbackRequest likes or dislikes one ranked result of a query (§6.3).
+// SQL, when set, pins the exact statement the client saw: feedback
+// re-ranks future answers, so a bare index can drift between the search
+// the client rendered and the re-resolved one. The first feedback on a
+// query resolves through the answer cache; later ones re-run the pipeline
+// (their own epoch bump invalidated the entry).
+type FeedbackRequest struct {
+	Query  string `json:"query"`
+	Result int    `json:"result"`
+	SQL    string `json:"sql,omitempty"`
+	Like   bool   `json:"like"`
+}
+
+// FeedbackResponse confirms what was recorded.
+type FeedbackResponse struct {
+	OK     bool   `json:"ok"`
+	Query  string `json:"query"`
+	Result int    `json:"result"`
+	Like   bool   `json:"like"`
+	SQL    string `json:"sql"`
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req FeedbackRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing query"))
+		return
+	}
+	ans, err := s.sys.Search(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var res *soda.Result
+	index := req.Result
+	switch {
+	case req.SQL != "":
+		for i, r := range ans.Results {
+			if r.SQL == req.SQL {
+				res, index = r, i
+				break
+			}
+		}
+		if res == nil {
+			writeError(w, http.StatusNotFound,
+				fmt.Errorf("no result with the given sql (query has %d results)", len(ans.Results)))
+			return
+		}
+	case req.Result < 0 || req.Result >= len(ans.Results):
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("result %d out of range (query has %d results)", req.Result, len(ans.Results)))
+		return
+	default:
+		res = ans.Results[req.Result]
+	}
+	if req.Like {
+		res.Like()
+	} else {
+		res.Dislike()
+	}
+	writeJSON(w, http.StatusOK, FeedbackResponse{
+		OK: true, Query: req.Query, Result: index, Like: req.Like, SQL: res.SQL,
+	})
+}
+
+// --- /explain ---------------------------------------------------------
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if strings.TrimSpace(q) == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		return
+	}
+	ans, err := s.sys.Search(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(ans.Explain()))
+}

@@ -1,0 +1,336 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"soda"
+)
+
+var (
+	sysOnce sync.Once
+	testSys *soda.System
+)
+
+func sharedSys() *soda.System {
+	sysOnce.Do(func() {
+		testSys = soda.NewSystem(soda.MiniBank(), soda.Options{})
+		testSys.Warm()
+	})
+	return testSys
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(sharedSys()))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func getBody(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp, readAll(t, resp)
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.World != "minibank" || h.Tables != 10 {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/search", `{"query":"customers Zürich financial instruments"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) == 0 {
+		t.Fatal("no results")
+	}
+	if sr.Complexity < 1 || len(sr.Terms) == 0 {
+		t.Fatalf("answer metadata missing: %+v", sr)
+	}
+	for i, r := range sr.Results {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d", i, r.Index)
+		}
+		if !strings.HasPrefix(r.SQL, "SELECT") {
+			t.Fatalf("result %d SQL = %q", i, r.SQL)
+		}
+		if r.Snippet != nil {
+			t.Fatal("snippets not requested but present")
+		}
+	}
+}
+
+func TestSearchSnippets(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/search", `{"query":"Sara Guttinger","snippets":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) == 0 {
+		t.Fatal("no results")
+	}
+	found := false
+	for _, r := range sr.Results {
+		if r.Snippet != nil && r.Snippet.RowCount > 0 {
+			found = true
+			if len(r.Snippet.Columns) == 0 || len(r.Snippet.Rows) != r.Snippet.RowCount {
+				t.Fatalf("malformed snippet: %+v", r.Snippet)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no result produced snippet rows")
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	ts := newTestServer(t)
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"query":""}`, http.StatusBadRequest},
+		{`{"query":"sum ("}`, http.StatusBadRequest}, // parse error
+		{`not json`, http.StatusBadRequest},
+		{`{"query":"x","bogus":1}`, http.StatusBadRequest}, // unknown field
+	} {
+		resp, body := postJSON(t, ts.URL+"/search", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Fatalf("body %q: status = %d want %d (%s)", tc.body, resp.StatusCode, tc.want, body)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Fatalf("body %q: error envelope missing: %s", tc.body, body)
+		}
+	}
+}
+
+func TestSQLEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/sql", `{"sql":"select * from parties"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var rows RowsJSON
+	if err := json.Unmarshal(body, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if rows.RowCount == 0 || len(rows.Columns) == 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/sql", `{"sql":"select * from nonexistent"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown table status = %d", resp.StatusCode)
+	}
+}
+
+func TestBrowseEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := getBody(t, ts.URL+"/browse/parties")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var br BrowseResponse
+	if err := json.Unmarshal([]byte(body), &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Name != "parties" || len(br.Columns) == 0 {
+		t.Fatalf("browse = %+v", br)
+	}
+	if len(br.Related) == 0 {
+		t.Fatal("parties should have join-graph neighbours")
+	}
+
+	resp, _ = getBody(t, ts.URL+"/browse/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown table status = %d", resp.StatusCode)
+	}
+}
+
+func TestFeedbackEndpoint(t *testing.T) {
+	// Private system: feedback mutates ranking state.
+	sys := soda.NewSystem(soda.MiniBank(), soda.Options{})
+	ts := httptest.NewServer(New(sys))
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/feedback", `{"query":"wealthy customers","result":0,"like":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var fr FeedbackResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if !fr.OK || fr.SQL == "" {
+		t.Fatalf("feedback = %+v", fr)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/feedback", `{"query":"wealthy customers","result":99,"like":true}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("out-of-range result status = %d", resp.StatusCode)
+	}
+}
+
+// TestFeedbackBySQL pins the result by statement text — immune to
+// re-ranking between the client's search and its feedback.
+func TestFeedbackBySQL(t *testing.T) {
+	sys := soda.NewSystem(soda.MiniBank(), soda.Options{})
+	ts := httptest.NewServer(New(sys))
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/search", `{"query":"wealthy customers"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status = %d", resp.StatusCode)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := json.Marshal(FeedbackRequest{Query: "wealthy customers", SQL: sr.Results[0].SQL, Like: true})
+	resp, body = postJSON(t, ts.URL+"/feedback", string(req))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback-by-sql status = %d, body %s", resp.StatusCode, body)
+	}
+	var fr FeedbackResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if !fr.OK || fr.SQL != sr.Results[0].SQL || fr.Result != 0 {
+		t.Fatalf("feedback = %+v", fr)
+	}
+
+	req, _ = json.Marshal(FeedbackRequest{Query: "wealthy customers", SQL: "SELECT nothing", Like: true})
+	resp, _ = postJSON(t, ts.URL+"/feedback", string(req))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown sql status = %d", resp.StatusCode)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := getBody(t, ts.URL+"/explain?q=wealthy+customers")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	for _, want := range []string{"step 1 - lookup", "step 5 - SQL"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, body)
+		}
+	}
+
+	resp, _ = getBody(t, ts.URL+"/explain")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing q status = %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /search status = %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentRequests hammers one server (hence one shared System)
+// with a mixed read workload from many goroutines.
+func TestConcurrentRequests(t *testing.T) {
+	ts := newTestServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				var resp *http.Response
+				var err error
+				switch (g + i) % 3 {
+				case 0:
+					resp, err = http.Post(ts.URL+"/search", "application/json",
+						strings.NewReader(`{"query":"customers Zürich financial instruments"}`))
+				case 1:
+					resp, err = http.Get(ts.URL + "/browse/parties")
+				default:
+					resp, err = http.Post(ts.URL+"/sql", "application/json",
+						strings.NewReader(`{"sql":"select * from parties"}`))
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("goroutine %d: status %d", g, resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

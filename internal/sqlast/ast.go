@@ -8,6 +8,7 @@ package sqlast
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -184,7 +185,19 @@ func (l *Literal) String() string {
 	case LitInt:
 		return fmt.Sprintf("%d", l.I)
 	case LitFloat:
-		return fmt.Sprintf("%g", l.F)
+		// Plain decimal notation with a forced decimal point: the SQL
+		// lexer has no exponent syntax (so %g's "1e+06" would not
+		// reparse), integral floats like 1e19 must not print as integer
+		// text (it may overflow int64 on reparse), and negative zero
+		// normalises to "0.0".
+		if l.F == 0 {
+			return "0.0"
+		}
+		s := strconv.FormatFloat(l.F, 'f', -1, 64)
+		if !strings.ContainsAny(s, ".") {
+			s += ".0"
+		}
+		return s
 	case LitDate:
 		return "DATE '" + l.T.Format("2006-01-02") + "'"
 	case LitBool:

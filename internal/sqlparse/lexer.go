@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 type tokenKind uint8
@@ -51,8 +52,18 @@ func lex(src string) ([]token, error) {
 			l.pos++
 		case c == '-' && l.peekAt(1) == '-':
 			l.skipLineComment()
-		case isIdentStart(rune(c)):
+		case c < utf8.RuneSelf && isIdentStart(rune(c)):
 			l.lexIdent()
+		case c >= utf8.RuneSelf:
+			// Multi-byte runes are decoded properly: a valid letter starts
+			// an identifier, anything else (including invalid UTF-8) is
+			// rejected rather than mis-lexed as Latin-1.
+			r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+			if r != utf8.RuneError && isIdentStart(r) {
+				l.lexIdent()
+				break
+			}
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
 		case c >= '0' && c <= '9':
 			if err := l.lexNumber(); err != nil {
 				return nil, err
@@ -105,8 +116,12 @@ func isIdentPart(r rune) bool {
 
 func (l *lexer) lexIdent() {
 	start := l.pos
-	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
-		l.pos++
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if (r == utf8.RuneError && size <= 1) || !isIdentPart(r) {
+			break
+		}
+		l.pos += size
 	}
 	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
 }

@@ -51,6 +51,14 @@ type Options struct {
 	// MaxPathLen bounds join-path search between entry points in edges
 	// (0 = unbounded); the §5.3.1 "far-fetching" trade-off.
 	MaxPathLen int
+	// Parallelism is the worker-pool width for the per-solution pipeline
+	// steps 3-5 (0 = GOMAXPROCS, 1 = sequential); the ranked output is
+	// identical either way.
+	Parallelism int
+	// CacheSize caps the answer cache in entries (0 = default 512,
+	// negative = disabled). Cached answers are invalidated whenever
+	// relevance feedback changes the ranking.
+	CacheSize int
 
 	// Ablations (see DESIGN.md).
 	DisableBridges bool // skip bridge-table discovery
@@ -65,6 +73,8 @@ func (o Options) internal() core.Options {
 		SnippetRows:    o.SnippetRows,
 		MaxSolutions:   o.MaxSolutions,
 		MaxPathLen:     o.MaxPathLen,
+		Parallelism:    o.Parallelism,
+		CacheSize:      o.CacheSize,
 		DisableBridges: o.DisableBridges,
 		DisableDBpedia: o.DisableDBpedia,
 		UniformRanking: o.UniformRanking,
@@ -324,6 +334,17 @@ func (r *Result) Dislike() { r.sys.Feedback(r.sol, false) }
 
 // ResetFeedback forgets all relevance feedback recorded on this system.
 func (s *System) ResetFeedback() { s.sys.ResetFeedback() }
+
+// CacheStats re-exports the answer-cache counters.
+type CacheStats = core.CacheStats
+
+// CacheStats reports answer-cache hits, misses and current size (zero
+// when caching is disabled via Options.CacheSize < 0).
+func (s *System) CacheStats() CacheStats { return s.sys.CacheStats() }
+
+// Warm precomputes the join-graph and bridge caches so the first search
+// pays only the per-query pipeline cost.
+func (s *System) Warm() { s.sys.Warm() }
 
 // TableInfo re-exports the schema-browser view (§5.3.2's exploratory
 // workflow): columns, join-graph neighbours, inheritance structure and
