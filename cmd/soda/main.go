@@ -8,6 +8,7 @@
 //	soda -world warehouse     # the Table-1-scale synthetic warehouse
 //	soda -q "wealthy customers"   # one-shot query
 //	soda -q "..." -explain    # print the full pipeline trace
+//	soda -q "..." -dialect db2    # render SQL for a specific warehouse
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 	query := flag.String("q", "", "one-shot query (otherwise interactive)")
 	explain := flag.Bool("explain", false, "print the pipeline trace for each query")
 	topN := flag.Int("top", 10, "number of ranked statements to keep")
+	dialect := flag.String("dialect", "generic", "SQL dialect for generated statements: "+strings.Join(soda.Dialects(), ", "))
 	flag.Parse()
 
 	var world *soda.World
@@ -39,7 +41,10 @@ func main() {
 	default:
 		log.Fatalf("unknown world %q (want minibank or warehouse)", *worldName)
 	}
-	sys := soda.NewSystem(world, soda.Options{TopN: *topN})
+	if !soda.KnownDialect(*dialect) {
+		log.Fatalf("unknown dialect %q (want %s)", *dialect, strings.Join(soda.Dialects(), ", "))
+	}
+	sys := soda.NewSystem(world, soda.Options{TopN: *topN, Dialect: *dialect})
 
 	if *query != "" {
 		run(sys, *query, *explain)

@@ -12,6 +12,9 @@
 //	-parallelism int    pipeline worker-pool width (0 = GOMAXPROCS)
 //	-cache int          answer-cache entries (0 = default 512, negative = off)
 //	-topn int           ranked statements kept per query (0 = paper's 10)
+//	-dialect string     default SQL dialect for generated statements:
+//	                    generic, postgres, mysql or db2 (default "generic");
+//	                    requests override it with their "dialect" field
 //
 // The daemon warms the join-graph caches before listening, serves until
 // SIGINT/SIGTERM and then shuts down gracefully, draining in-flight
@@ -23,14 +26,16 @@
 //	    Liveness, world name, table count and answer-cache counters.
 //
 //	POST /search
-//	    {"query": "customers Zürich", "snippets": true}
+//	    {"query": "customers Zürich", "snippets": true, "dialect": "db2"}
 //	    Ranked SQL statements with scores, tables, joins, filters and
-//	    (optionally) executed snippet rows.
+//	    (optionally) executed snippet rows; snippet rows are cached with
+//	    the answer, so repeated snippet searches run no SQL. "dialect"
+//	    renders the statements for a specific backend.
 //
 //	POST /sql
-//	    {"sql": "select * from parties"}
+//	    {"sql": "select * from parties", "dialect": "mysql"}
 //	    Executes one statement in the engine's SQL subset (§5.3.2
-//	    exploration workflow).
+//	    exploration workflow), read in the given dialect.
 //
 //	GET  /browse/{table}
 //	    Schema-browser view: columns, join-graph neighbours, inheritance
@@ -61,6 +66,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -75,14 +81,15 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "pipeline worker-pool width (0 = GOMAXPROCS)")
 		cacheSize   = flag.Int("cache", 0, "answer-cache entries (0 = default, negative = off)")
 		topN        = flag.Int("topn", 0, "ranked statements kept per query (0 = paper's 10)")
+		dialect     = flag.String("dialect", "generic", "default SQL dialect: "+strings.Join(soda.Dialects(), ", "))
 	)
 	flag.Parse()
-	if err := run(*addr, *world, *parallelism, *cacheSize, *topN); err != nil {
+	if err := run(*addr, *world, *dialect, *parallelism, *cacheSize, *topN); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, world string, parallelism, cacheSize, topN int) error {
+func run(addr, world, dialect string, parallelism, cacheSize, topN int) error {
 	var w *soda.World
 	switch world {
 	case "minibank":
@@ -92,11 +99,15 @@ func run(addr, world string, parallelism, cacheSize, topN int) error {
 	default:
 		return fmt.Errorf("unknown world %q (want minibank or warehouse)", world)
 	}
+	if !soda.KnownDialect(dialect) {
+		return fmt.Errorf("unknown dialect %q (want %s)", dialect, strings.Join(soda.Dialects(), ", "))
+	}
 
 	sys := soda.NewSystem(w, soda.Options{
 		TopN:        topN,
 		Parallelism: parallelism,
 		CacheSize:   cacheSize,
+		Dialect:     dialect,
 	})
 	log.Printf("warming %s (%d tables)...", w.Name(), len(w.TableNames()))
 	sys.Warm()

@@ -1,6 +1,9 @@
 // Command sodagen builds the bundled worlds and dumps their structure:
 // schema layers (Figures 1-3), metadata-graph statistics (Table 1 shape),
-// and inverted-index size (§5.1.2's measurements).
+// and inverted-index size (§5.1.2's measurements). With -query it dumps
+// the SQL the pipeline generates for one input, rendered in one dialect
+// or all of them — the quickest way to see what a specific warehouse
+// backend would receive.
 //
 // Usage:
 //
@@ -8,6 +11,8 @@
 //	sodagen -world minibank -layer logical      # Figure 2
 //	sodagen -world minibank -layer all          # Figure 3 layering
 //	sodagen -world warehouse                    # Table 1 stats + index size
+//	sodagen -world minibank -query "wealthy customers" -dialect db2
+//	sodagen -world minibank -query "top 10 trading volume customer" -dialect all
 package main
 
 import (
@@ -29,6 +34,8 @@ func main() {
 	worldName := flag.String("world", "warehouse", "world to generate: minibank or warehouse")
 	layer := flag.String("layer", "", "dump one schema layer: conceptual, logical, physical, ontology, dbpedia, all")
 	export := flag.String("export", "", "write the metadata graph as N-Triples to this file (the §5.3.2 RDF export)")
+	query := flag.String("query", "", "dump the generated SQL for this input query instead of world structure")
+	dialect := flag.String("dialect", "generic", "SQL dialect for -query: "+strings.Join(soda.Dialects(), ", ")+", or all")
 	flag.Parse()
 
 	var world *soda.World
@@ -39,6 +46,11 @@ func main() {
 		world = soda.Warehouse(soda.WarehouseConfig{})
 	default:
 		log.Fatalf("unknown world %q", *worldName)
+	}
+
+	if *query != "" {
+		dumpSQL(world, *query, *dialect)
+		return
 	}
 
 	s := world.Stats()
@@ -90,6 +102,29 @@ func main() {
 	for _, l := range dump {
 		fmt.Printf("\n==== %s layer ====\n", l)
 		printLayer(world.Meta(), layers[l])
+	}
+}
+
+// dumpSQL runs the pipeline on one query and prints the ranked SQL in
+// the requested dialect ("all" renders every statement once per
+// dialect, aligned for eyeballing the differences).
+func dumpSQL(world *soda.World, query, dialect string) {
+	dialects := []string{dialect}
+	if dialect == "all" {
+		dialects = soda.Dialects()
+	} else if !soda.KnownDialect(dialect) {
+		log.Fatalf("unknown dialect %q (want %s, or all)", dialect, strings.Join(soda.Dialects(), ", "))
+	}
+	sys := soda.NewSystem(world, soda.Options{})
+	for _, d := range dialects {
+		ans, err := sys.SearchWith(query, soda.SearchOptions{Dialect: d})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("==== dialect %s: %d result(s) ====\n", d, len(ans.Results))
+		for i, r := range ans.Results {
+			fmt.Printf("-- [%d] score %.2f\n%s\n", i+1, r.Score, r.SQL)
+		}
 	}
 }
 

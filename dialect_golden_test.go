@@ -1,0 +1,106 @@
+package soda
+
+// Per-dialect golden tests for the four canonical MiniBank queries (the
+// paper's worked examples): every generated statement must reparse
+// through sqlparse in its dialect and re-render byte-identically (the
+// per-dialect fixpoint), and the top-ranked SQL per query is pinned in
+// testdata/dialect_<name>.golden. Regenerate with:
+//
+//	go test -run TestDialectGolden -update
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"soda/internal/sqlast"
+	"soda/internal/sqlparse"
+)
+
+var dialectQueries = []struct {
+	name  string
+	query string
+}{
+	{"customers_zurich_instruments", "customers Zürich financial instruments"},
+	{"wealthy_customers", "wealthy customers"},
+	{"sum_amount_by_date", "sum (amount) group by (transaction date)"},
+	{"top10_trading_volume", "top 10 trading volume customer"},
+}
+
+func TestDialectGolden(t *testing.T) {
+	sys := NewSystem(MiniBank(), Options{})
+	for _, d := range sqlast.Dialects() {
+		t.Run(d.Name(), func(t *testing.T) {
+			var golden strings.Builder
+			for _, tc := range dialectQueries {
+				ans, err := sys.SearchWith(tc.query, SearchOptions{Dialect: d.Name()})
+				if err != nil {
+					t.Fatalf("SearchWith(%q, %s): %v", tc.query, d.Name(), err)
+				}
+				if len(ans.Results) == 0 {
+					t.Fatalf("no results for %q in %s", tc.query, d.Name())
+				}
+				// Fixpoint: every ranked statement, not just the top one.
+				for i, r := range ans.Results {
+					reparsed, err := sqlparse.ParseDialect(r.SQL, d)
+					if err != nil {
+						t.Errorf("%q result %d does not reparse in %s: %v\nsql:\n%s",
+							tc.query, i, d.Name(), err, r.SQL)
+						continue
+					}
+					if again := reparsed.Render(d); again != r.SQL {
+						t.Errorf("%q result %d: render-parse-render not a fixpoint in %s:\nfirst:\n%s\nsecond:\n%s",
+							tc.query, i, d.Name(), r.SQL, again)
+					}
+				}
+				fmt.Fprintf(&golden, "-- query: %s\n%s\n\n", tc.query, ans.Results[0].SQL)
+			}
+
+			path := filepath.Join("testdata", "dialect_"+d.Name()+".golden")
+			got := golden.String()
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s dialect SQL diverged from %s:\n%s", d.Name(), path, diffLines(string(want), got))
+			}
+		})
+	}
+}
+
+// TestSnippetRowsAreCopies pins that cached snippet rows handed out via
+// SnippetRows (and Snippet()) are private copies: mutating them must
+// not corrupt the rows later cache hits are served.
+func TestSnippetRowsAreCopies(t *testing.T) {
+	sys := NewSystem(MiniBank(), Options{})
+	a1, err := sys.SearchWith("wealthy customers", SearchOptions{Snippets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1.Results) == 0 || a1.Results[0].SnippetRows == nil || a1.Results[0].SnippetRows.NumRows() == 0 {
+		t.Fatal("expected snippet rows")
+	}
+	want := a1.Results[0].SnippetRows.Values[0][0].String()
+	a1.Results[0].SnippetRows.Values[0][0] = a1.Results[0].SnippetRows.Values[0][1] // caller scribbles
+	a1.Results[0].SnippetRows.Columns[0] = "scribbled"
+
+	a2, err := sys.SearchWith("wealthy customers", SearchOptions{Snippets: true}) // cache hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a2.Results[0].SnippetRows.Values[0][0].String(); got != want {
+		t.Fatalf("cache served mutated row value %q, want %q", got, want)
+	}
+	if got := a2.Results[0].SnippetRows.Columns[0]; got == "scribbled" {
+		t.Fatal("cache served mutated column name")
+	}
+}

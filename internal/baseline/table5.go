@@ -28,9 +28,9 @@ func (s *SODAAdapter) Search(input string) ([]*sqlast.Select, error) {
 	var out []*sqlast.Select
 	for _, sol := range a.Solutions {
 		if sol.SQL != nil {
-			// Round-trip through text: the capability matrix must only
-			// credit executable SQL.
-			sel, err := sqlparse.Parse(sol.SQLText())
+			// Round-trip through text in the solution's dialect: the
+			// capability matrix must only credit executable SQL.
+			sel, err := sqlparse.ParseDialect(sol.SQLText(), sol.Dialect)
 			if err != nil {
 				continue
 			}

@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"soda/internal/sqlast"
 )
 
 func TestCacheHitServesSameAnalysis(t *testing.T) {
@@ -26,6 +29,98 @@ func TestCacheKeyIsCanonicalQueryForm(t *testing.T) {
 	a2 := search(t, sys, "  wealthy customers  ")
 	if a1 != a2 {
 		t.Fatal("whitespace variants must share a cache entry (canonical key)")
+	}
+}
+
+// searchWith is the SearchWith analogue of the search helper.
+func searchWith(t *testing.T, sys *System, q string, so SearchOptions) *Analysis {
+	t.Helper()
+	a, err := sys.SearchWith(q, so)
+	if err != nil {
+		t.Fatalf("SearchWith(%q, %+v): %v", q, so, err)
+	}
+	return a
+}
+
+// TestCacheKeyIncludesDialect pins the fix for the cache serving one
+// dialect's SQL to a request for another: the key carries the dialect,
+// and same-dialect repeats still share an entry.
+func TestCacheKeyIncludesDialect(t *testing.T) {
+	sys := newSys(t, Options{})
+	generic := searchWith(t, sys, "wealthy customers", SearchOptions{})
+	db2 := searchWith(t, sys, "wealthy customers", SearchOptions{Dialect: sqlast.DB2})
+	if generic == db2 {
+		t.Fatal("a cached generic answer must not be served to a db2 request")
+	}
+	topN := searchWith(t, sys, "top 10 trading volume customer", SearchOptions{Dialect: sqlast.DB2})
+	if got := best(t, topN).SQLText(); !strings.Contains(got, "FETCH FIRST 10 ROWS ONLY") {
+		t.Fatalf("db2 SQL should use FETCH FIRST, got:\n%s", got)
+	}
+	if again := searchWith(t, sys, "wealthy customers", SearchOptions{Dialect: sqlast.DB2}); again != db2 {
+		t.Fatal("repeated db2 request should hit the db2 cache entry")
+	}
+	if again := searchWith(t, sys, "wealthy customers", SearchOptions{}); again != generic {
+		t.Fatal("repeated generic request should hit the generic cache entry")
+	}
+}
+
+// TestCacheKeyIncludesSnippets pins the fix for snippet and non-snippet
+// answers sharing a cache entry: a row-less answer must never be served
+// to a snippet request and vice versa.
+func TestCacheKeyIncludesSnippets(t *testing.T) {
+	sys := newSys(t, Options{})
+	plain := searchWith(t, sys, "wealthy customers", SearchOptions{})
+	snip := searchWith(t, sys, "wealthy customers", SearchOptions{Snippets: true})
+	if plain == snip {
+		t.Fatal("snippet and non-snippet requests must not share a cache entry")
+	}
+	if best(t, plain).Snippet != nil {
+		t.Fatal("non-snippet answer should carry no snippet rows")
+	}
+	if sol := best(t, snip); sol.Snippet == nil && sol.SnippetErr == "" {
+		t.Fatal("snippet answer should carry executed rows (or an error)")
+	}
+	if again := searchWith(t, sys, "wealthy customers", SearchOptions{Snippets: true}); again != snip {
+		t.Fatal("repeated snippet request should hit the snippet cache entry")
+	}
+}
+
+// TestCachedSnippetsZeroExecutions is the ROADMAP bug: /search?snippets
+// used to re-execute every solution's SQL on each answer-cache hit. Now
+// the rows ride the cache entry and a hit performs zero SQL executions.
+func TestCachedSnippetsZeroExecutions(t *testing.T) {
+	sys := newSys(t, Options{})
+	searchWith(t, sys, "wealthy customers", SearchOptions{Snippets: true})
+	if sys.ExecCount() == 0 {
+		t.Fatal("the initial snippet search should execute SQL")
+	}
+	before := sys.ExecCount()
+	a := searchWith(t, sys, "wealthy customers", SearchOptions{Snippets: true})
+	if got := sys.ExecCount(); got != before {
+		t.Fatalf("cache hit executed %d statement(s), want 0", got-before)
+	}
+	// Serving the cached rows through Snippet() is also free.
+	if _, err := sys.Snippet(best(t, a)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.ExecCount(); got != before {
+		t.Fatalf("Snippet() on a cached solution executed %d statement(s), want 0", got-before)
+	}
+}
+
+// TestSnippetRowsInvalidatedByFeedback pins that cached snippet rows die
+// with the same feedback epoch as the analysis they ride on.
+func TestSnippetRowsInvalidatedByFeedback(t *testing.T) {
+	sys := newSys(t, Options{})
+	a1 := searchWith(t, sys, "wealthy customers", SearchOptions{Snippets: true})
+	before := sys.ExecCount()
+	sys.Feedback(best(t, a1), true)
+	a2 := searchWith(t, sys, "wealthy customers", SearchOptions{Snippets: true})
+	if a1 == a2 {
+		t.Fatal("feedback must invalidate the cached snippet answer")
+	}
+	if got := sys.ExecCount(); got == before {
+		t.Fatal("the re-computed snippet answer should have re-executed its SQL")
 	}
 }
 

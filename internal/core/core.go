@@ -62,9 +62,16 @@ type Options struct {
 
 	// CacheSize caps the answer cache (entries across all shards). 0
 	// means the default (512); negative disables caching entirely. The
-	// cache is keyed by the canonical query form and invalidated as a
-	// whole whenever relevance feedback changes the ranking function.
+	// cache is keyed by the canonical query form plus the requested
+	// dialect and snippet flag, and invalidated as a whole whenever
+	// relevance feedback changes the ranking function.
 	CacheSize int
+
+	// Dialect selects the SQL surface syntax generated statements are
+	// rendered in (identifier quoting, LIMIT vs FETCH FIRST, string
+	// escaping). nil means sqlast.Generic. Individual searches can
+	// override it per request via SearchOptions.Dialect.
+	Dialect *sqlast.Dialect
 
 	// Ablation switches (DESIGN.md "ablation benches").
 	DisableBridges bool // skip bridge-table discovery (§4.2.1 last part)
@@ -95,6 +102,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheSize == 0 {
 		o.CacheSize = d.CacheSize
+	}
+	if o.Dialect == nil {
+		o.Dialect = sqlast.Generic
 	}
 	return o
 }
@@ -131,6 +141,12 @@ type System struct {
 	fbMu     sync.RWMutex
 	feedback map[feedbackKey]float64
 	epoch    atomic.Uint64
+
+	// execs counts SQL statements actually run by the engine (snippets,
+	// Execute, ExecSQL). Tests assert that answer-cache hits with
+	// snippets perform zero executions; the daemon exposes it on
+	// /healthz.
+	execs atomic.Uint64
 
 	cache *answerCache
 }
@@ -304,15 +320,32 @@ type Solution struct {
 	Disconnected bool // no join path connected some entry points
 
 	SQL *sqlast.Select
+	// Dialect the statement is rendered in (set by the SQL step; nil
+	// means sqlast.Generic).
+	Dialect *sqlast.Dialect
+
+	// Snippet rows executed during the pipeline when the search asked
+	// for them (SearchOptions.Snippets). Cached with the analysis, so a
+	// cache hit serves them without re-executing the SQL; feedback
+	// invalidates them together with the answer (same epoch).
+	Snippet    *engine.Result
+	SnippetErr string
 }
 
-// SQLText renders the generated statement; the empty string means SQL
-// generation failed for this solution.
+// SQLText renders the generated statement in the solution's dialect; the
+// empty string means SQL generation failed for this solution.
 func (s *Solution) SQLText() string {
 	if s.SQL == nil {
 		return ""
 	}
-	return s.SQL.String()
+	return s.SQL.Render(s.dialect())
+}
+
+func (s *Solution) dialect() *sqlast.Dialect {
+	if s.Dialect == nil {
+		return sqlast.Generic
+	}
+	return s.Dialect
 }
 
 // Timings records per-step wall-clock durations (Table 4 reports the SODA
@@ -323,11 +356,12 @@ type Timings struct {
 	Tables  time.Duration
 	Filters time.Duration
 	SQL     time.Duration
+	Snippet time.Duration // snippet execution, when requested
 }
 
 // Total sums the step durations.
 func (t Timings) Total() time.Duration {
-	return t.Lookup + t.Rank + t.Tables + t.Filters + t.SQL
+	return t.Lookup + t.Rank + t.Tables + t.Filters + t.SQL + t.Snippet
 }
 
 // Analysis is the full result of running the pipeline on one input query.
@@ -339,6 +373,11 @@ type Analysis struct {
 	Complexity int            // product of entry-point counts (Table 4)
 	Solutions  []*Solution    // ranked, best first, len <= TopN
 	Timings    Timings
+
+	// Dialect the solutions' SQL is rendered in; WithSnippets records
+	// that snippet rows were executed and cached on the solutions.
+	Dialect      *sqlast.Dialect
+	WithSnippets bool
 }
 
 // Warm precomputes the join graph and bridge-table caches so the first
@@ -349,17 +388,40 @@ func (s *System) Warm() {
 	s.derivedOnce.Do(s.buildDerived)
 }
 
-// Search runs the five-step pipeline on an input query. Repeated queries
-// hit the answer cache (keyed by the canonical query form) unless
+// SearchOptions are per-request knobs layered over the System's Options.
+type SearchOptions struct {
+	// Dialect renders the generated SQL for a specific backend; nil uses
+	// the System's Options.Dialect.
+	Dialect *sqlast.Dialect
+	// Snippets executes each solution with the snippet row cap during
+	// the pipeline and caches the rows alongside the analysis, so
+	// repeated snippet searches perform zero SQL executions.
+	Snippets bool
+}
+
+// Search runs the five-step pipeline on an input query with the System's
+// default dialect and no snippets. See SearchWith.
+func (s *System) Search(input string) (*Analysis, error) {
+	return s.SearchWith(input, SearchOptions{})
+}
+
+// SearchWith runs the five-step pipeline on an input query. Repeated
+// queries hit the answer cache (keyed by the canonical query form, the
+// dialect and the snippet flag — a cached generic answer is never served
+// to a db2 request, nor a row-less answer to a snippet request) unless
 // relevance feedback bumped the ranking epoch since the answer was
 // computed; the returned Analysis is shared between such callers and must
 // be treated as read-only.
-func (s *System) Search(input string) (*Analysis, error) {
+func (s *System) SearchWith(input string, so SearchOptions) (*Analysis, error) {
 	q, err := queryparse.Parse(input)
 	if err != nil {
 		return nil, err
 	}
-	key := q.String()
+	dialect := so.Dialect
+	if dialect == nil {
+		dialect = s.Opt.Dialect
+	}
+	key := cacheKey(q.String(), dialect, so.Snippets)
 	epoch := s.epoch.Load()
 	if s.cache != nil {
 		if a, ok := s.cache.get(key, epoch); ok {
@@ -367,7 +429,7 @@ func (s *System) Search(input string) (*Analysis, error) {
 		}
 	}
 
-	a := &Analysis{Query: q}
+	a := &Analysis{Query: q, Dialect: dialect, WithSnippets: so.Snippets}
 
 	start := time.Now()
 	s.lookup(a) // step 1
@@ -398,6 +460,16 @@ func (s *System) Search(input string) (*Analysis, error) {
 	})
 	a.Timings.SQL = time.Since(start)
 
+	if so.Snippets {
+		// Snippet execution rides the same worker pool; rows live on the
+		// solutions and are cached (and epoch-invalidated) with them.
+		start = time.Now()
+		s.forEachSolution(a.Solutions, func(sol *Solution) {
+			s.snippetStep(sol)
+		})
+		a.Timings.Snippet = time.Since(start)
+	}
+
 	if s.cache != nil {
 		// Stored under the epoch observed before the pipeline ran: if
 		// feedback raced in meanwhile the entry is already stale and will
@@ -405,6 +477,31 @@ func (s *System) Search(input string) (*Analysis, error) {
 		s.cache.put(key, epoch, a)
 	}
 	return a, nil
+}
+
+// cacheKey builds the answer-cache key: the canonical query form plus
+// every per-request knob that changes the answer's content.
+func cacheKey(canonical string, d *sqlast.Dialect, snippets bool) string {
+	key := canonical + "\x1f" + d.Name()
+	if snippets {
+		key += "\x1fsnippets"
+	}
+	return key
+}
+
+// snippetStep executes one solution with the snippet row cap and stores
+// the rows (or the error) on the solution.
+func (s *System) snippetStep(sol *Solution) {
+	if sol.SQL == nil {
+		sol.SnippetErr = "core: solution has no SQL"
+		return
+	}
+	res, err := s.execSnippet(sol)
+	if err != nil {
+		sol.SnippetErr = err.Error()
+		return
+	}
+	sol.Snippet = res
 }
 
 // forEachSolution applies fn to every solution using up to
@@ -454,43 +551,78 @@ func (s *System) forEachSolution(sols []*Solution, fn func(*Solution)) {
 
 // Execute runs a solution's generated SQL through the text parser and the
 // engine, proving the statement is executable SQL text, not just an AST.
+// The text is parsed in the solution's dialect — the same round trip a
+// real warehouse client would perform.
 func (s *System) Execute(sol *Solution) (*engine.Result, error) {
 	if sol.SQL == nil {
 		return nil, fmt.Errorf("core: solution has no SQL")
 	}
-	sel, err := sqlparse.Parse(sol.SQLText())
+	sel, err := sqlparse.ParseDialect(sol.SQLText(), sol.dialect())
 	if err != nil {
 		return nil, fmt.Errorf("core: generated SQL does not reparse: %w", err)
 	}
-	return engine.Exec(s.DB, sel)
+	return s.runSQL(sel)
 }
 
 // ExecSQL parses and runs an arbitrary statement in the engine's SQL
 // subset against the system's base data — used by the exploration
-// workflows of §5.3.2.
+// workflows of §5.3.2. The statement is read in the System's configured
+// dialect; use ExecSQLDialect for a per-call override.
 func (s *System) ExecSQL(sql string) (*engine.Result, error) {
-	sel, err := sqlparse.Parse(sql)
+	return s.ExecSQLDialect(sql, s.Opt.Dialect)
+}
+
+// ExecSQLDialect parses the statement in the given dialect (nil =
+// generic) and runs it.
+func (s *System) ExecSQLDialect(sql string, d *sqlast.Dialect) (*engine.Result, error) {
+	sel, err := sqlparse.ParseDialect(sql, d)
 	if err != nil {
 		return nil, err
 	}
-	return engine.Exec(s.DB, sel)
+	return s.runSQL(sel)
 }
 
-// Snippet executes a solution with the snippet row cap (paper: "result
-// snippets (up to twenty tuples)").
+// Snippet returns a solution's result snippet (paper: "result snippets
+// (up to twenty tuples)"). Rows cached by a snippet search are served
+// as-is — zero SQL executions; otherwise the statement is executed with
+// the snippet row cap.
 func (s *System) Snippet(sol *Solution) (*engine.Result, error) {
+	if sol.Snippet != nil {
+		return sol.Snippet, nil
+	}
+	if sol.SnippetErr != "" {
+		return nil, fmt.Errorf("%s", sol.SnippetErr)
+	}
 	if sol.SQL == nil {
 		return nil, fmt.Errorf("core: solution has no SQL")
 	}
-	sel, err := sqlparse.Parse(sol.SQLText())
+	return s.execSnippet(sol)
+}
+
+// execSnippet reparses the rendered statement in its dialect, caps it to
+// the snippet row budget and runs it.
+func (s *System) execSnippet(sol *Solution) (*engine.Result, error) {
+	sel, err := sqlparse.ParseDialect(sol.SQLText(), sol.dialect())
 	if err != nil {
 		return nil, err
 	}
 	if sel.Limit < 0 || sel.Limit > s.Opt.SnippetRows {
 		sel.Limit = s.Opt.SnippetRows
 	}
+	return s.runSQL(sel)
+}
+
+// runSQL executes a parsed statement, counting the execution.
+func (s *System) runSQL(sel *sqlast.Select) (*engine.Result, error) {
+	s.execs.Add(1)
 	return engine.Exec(s.DB, sel)
 }
+
+// ExecCount reports how many SQL statements the engine has executed on
+// behalf of this System (snippets, Execute, ExecSQL). Answer-cache hits
+// do not execute anything, so the counter makes snippet caching
+// observable.
+func (s *System) ExecCount() uint64 { return s.execs.Load() }
 
 // termKey lower-cases and joins words for display.
 func termKey(words []string) string {

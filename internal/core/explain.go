@@ -12,6 +12,9 @@ import (
 func Explain(a *Analysis) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "query: %s\n", a.Query.Raw)
+	if a.Dialect != nil {
+		fmt.Fprintf(&b, "dialect: %s\n", a.Dialect.Name())
+	}
 
 	fmt.Fprintf(&b, "\nstep 1 - lookup (complexity %d):\n", a.Complexity)
 	for ti, term := range a.Terms {
@@ -51,9 +54,14 @@ func Explain(a *Analysis) string {
 		} else {
 			fmt.Fprintf(&b, "  step 5 - SQL: (none)\n")
 		}
+		if sol.Snippet != nil {
+			fmt.Fprintf(&b, "  snippet: %d row(s) cached\n", len(sol.Snippet.Rows))
+		} else if sol.SnippetErr != "" {
+			fmt.Fprintf(&b, "  snippet: error: %s\n", sol.SnippetErr)
+		}
 	}
 
-	fmt.Fprintf(&b, "\ntimings: lookup=%v rank=%v tables=%v filters=%v sql=%v\n",
-		a.Timings.Lookup, a.Timings.Rank, a.Timings.Tables, a.Timings.Filters, a.Timings.SQL)
+	fmt.Fprintf(&b, "\ntimings: lookup=%v rank=%v tables=%v filters=%v sql=%v snippet=%v\n",
+		a.Timings.Lookup, a.Timings.Rank, a.Timings.Tables, a.Timings.Filters, a.Timings.SQL, a.Timings.Snippet)
 	return b.String()
 }

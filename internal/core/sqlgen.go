@@ -16,6 +16,9 @@ import (
 // inheritance) are respected; executable meaning the statement runs on the
 // warehouse as-is.
 func (s *System) sqlStep(sol *Solution, a *Analysis) {
+	// The statement is rendered in the dialect the search asked for;
+	// SQLText, Execute and the snippet step all follow it.
+	sol.Dialect = a.Dialect
 	// Aggregation attributes can pull their own tables in (a pure
 	// "sum (amount)" query has no keyword-derived tables yet).
 	s.resolveAggregates(sol, a)

@@ -312,6 +312,11 @@ func arith(op sqlast.BinOp, l, r Value) (Value, error) {
 	if l.IsNull() || r.IsNull() {
 		return Null(), nil
 	}
+	if op == sqlast.OpConcat {
+		// String concatenation; non-string operands coerce through their
+		// display form, the way warehouses implicitly cast in || context.
+		return Str(l.String() + r.String()), nil
+	}
 	lf, lok := l.numeric()
 	rf, rok := r.numeric()
 	if !lok || !rok {

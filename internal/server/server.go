@@ -7,9 +7,9 @@
 //
 // Routes:
 //
-//	GET  /healthz          liveness + world name + cache counters
-//	POST /search           {"query": "...", "snippets": true?} -> ranked SQL
-//	POST /sql              {"sql": "..."} -> rows (exploration, §5.3.2)
+//	GET  /healthz          liveness + world name + cache/execution counters
+//	POST /search           {"query": "...", "snippets": true?, "dialect": "db2"?} -> ranked SQL
+//	POST /sql              {"sql": "...", "dialect": "mysql"?} -> rows (exploration, §5.3.2)
 //	GET  /browse/{table}   schema-browser view of one physical table
 //	POST /feedback         {"query": "...", "result": 0, "like": true}
 //	GET  /explain?q=...    text/plain pipeline trace (Figures 4-6)
@@ -96,6 +96,12 @@ type HealthResponse struct {
 	Tables        int             `json:"tables"`
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	Cache         soda.CacheStats `json:"cache"`
+	// Executions counts SQL statements run by the engine; together with
+	// the cache counters it shows how much work snippet caching saves.
+	Executions uint64 `json:"executions"`
+	// Dialects lists the SQL dialects accepted in the per-request
+	// "dialect" field of /search and /sql.
+	Dialects []string `json:"dialects"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -105,6 +111,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Tables:        len(s.sys.World().TableNames()),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Cache:         s.sys.CacheStats(),
+		Executions:    s.sys.ExecCount(),
+		Dialects:      soda.Dialects(),
 	})
 }
 
@@ -112,10 +120,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // SearchRequest asks for the ranked SQL of one input query. With Snippets
 // set, each result also carries up to the snippet row cap of executed
-// rows (the paper's result page shows "up to twenty tuples").
+// rows (the paper's result page shows "up to twenty tuples"); snippet
+// rows are cached with the answer, so repeated snippet searches execute
+// no SQL. Dialect renders the statements for a specific backend
+// ("generic", "postgres", "mysql", "db2"); empty uses the daemon's
+// configured default.
 type SearchRequest struct {
 	Query    string `json:"query"`
 	Snippets bool   `json:"snippets,omitempty"`
+	Dialect  string `json:"dialect,omitempty"`
 }
 
 // SearchResult is one ranked statement.
@@ -170,7 +183,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("missing query"))
 		return
 	}
-	ans, err := s.sys.Search(req.Query)
+	// Dialect validation happens in SearchWith; an unknown name surfaces
+	// as a 400 through the normal error path.
+	ans, err := s.sys.SearchWith(req.Query, soda.SearchOptions{
+		Dialect:  req.Dialect,
+		Snippets: req.Snippets,
+	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -194,10 +212,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Disconnected: res.Disconnected,
 		}
 		if req.Snippets {
-			if rows, err := res.Snippet(); err != nil {
-				sr.SnippetError = err.Error()
+			// Snippet rows were executed with the pipeline and live in
+			// the answer cache; a cache hit serves them without touching
+			// the engine.
+			if res.SnippetRows != nil {
+				sr.Snippet = rowsJSON(res.SnippetRows)
 			} else {
-				sr.Snippet = rowsJSON(rows)
+				sr.SnippetError = res.SnippetError
 			}
 		}
 		resp.Results = append(resp.Results, sr)
@@ -209,8 +230,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 // SQLRequest executes one statement in the engine's SQL subset — the
 // §5.3.2 exploration workflow where analysts refine SODA's statements.
+// Dialect says which dialect the statement is written in (quoting and
+// escaping rules); empty uses the daemon's configured default.
 type SQLRequest struct {
-	SQL string `json:"sql"`
+	SQL     string `json:"sql"`
+	Dialect string `json:"dialect,omitempty"`
 }
 
 func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
@@ -222,7 +246,7 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("missing sql"))
 		return
 	}
-	rows, err := s.sys.ExecuteSQL(req.SQL)
+	rows, err := s.sys.ExecuteSQLIn(req.Dialect, req.SQL)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -354,7 +378,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("missing q parameter"))
 		return
 	}
-	ans, err := s.sys.Search(q)
+	ans, err := s.sys.SearchWith(q, soda.SearchOptions{Dialect: r.URL.Query().Get("dialect")})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

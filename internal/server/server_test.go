@@ -334,3 +334,124 @@ func TestConcurrentRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- dialect + snippet-cache coverage ---------------------------------
+
+func TestSearchDialect(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/search",
+		`{"query":"top 10 trading volume customer","dialect":"db2"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) == 0 {
+		t.Fatal("no results")
+	}
+	if !strings.Contains(sr.Results[0].SQL, "FETCH FIRST 10 ROWS ONLY") {
+		t.Fatalf("db2 SQL should use FETCH FIRST, got:\n%s", sr.Results[0].SQL)
+	}
+
+	// The same query in mysql renders differently; the cache must not
+	// leak one dialect's answer to the other.
+	resp, body = postJSON(t, ts.URL+"/search",
+		`{"query":"top 10 trading volume customer","dialect":"mysql"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var mr SearchResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(mr.Results[0].SQL, "FETCH FIRST") {
+		t.Fatalf("mysql answer served db2 SQL:\n%s", mr.Results[0].SQL)
+	}
+	if !strings.Contains(mr.Results[0].SQL, "LIMIT 10") {
+		t.Fatalf("mysql SQL should use LIMIT, got:\n%s", mr.Results[0].SQL)
+	}
+}
+
+func TestSearchUnknownDialect(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/search", `{"query":"customer","dialect":"oracle"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "unknown dialect") {
+		t.Fatalf("body = %s", body)
+	}
+}
+
+func TestSQLDialect(t *testing.T) {
+	ts := newTestServer(t)
+	// Backtick identifier quoting is a MySQL-ism the generic parser also
+	// accepts; the important part is the dialect-specific string
+	// escaping round trip.
+	resp, body := postJSON(t, ts.URL+"/sql",
+		`{"sql":"select count(*) from individuals where lastname like '%\\%'","dialect":"mysql"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/sql", `{"sql":"select * from parties","dialect":"nope"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, body)
+	}
+}
+
+// TestSnippetsServedFromCache is the serving-layer view of the ROADMAP
+// bug fix: the second snippet search must be answered entirely from the
+// answer cache — zero SQL executions — and still carry rows.
+func TestSnippetsServedFromCache(t *testing.T) {
+	ts := newTestServer(t)
+	q := `{"query":"customers Zürich financial instruments","snippets":true}`
+	resp, body := postJSON(t, ts.URL+"/search", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	before := sharedSys().ExecCount()
+	resp, body = postJSON(t, ts.URL+"/search", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := sharedSys().ExecCount(); got != before {
+		t.Fatalf("cached snippet search executed %d statement(s), want 0", got-before)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) == 0 {
+		t.Fatal("no results")
+	}
+	withRows := 0
+	for _, r := range sr.Results {
+		if r.Snippet != nil && r.Snippet.RowCount > 0 {
+			withRows++
+		}
+	}
+	if withRows == 0 {
+		t.Fatal("cached snippet search returned no rows")
+	}
+}
+
+func TestHealthzReportsDialectsAndExecutions(t *testing.T) {
+	ts := newTestServer(t)
+	_, _ = postJSON(t, ts.URL+"/search", `{"query":"customer","snippets":true}`)
+	resp, body := getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Dialects) != 4 {
+		t.Fatalf("dialects = %v, want 4 entries", h.Dialects)
+	}
+	if h.Executions == 0 {
+		t.Fatal("executions counter should be non-zero after a snippet search")
+	}
+}

@@ -37,22 +37,24 @@ const (
 	OpSub
 	OpMul
 	OpDiv
+	OpConcat // string concatenation: "a || b" (CONCAT(a, b) in MySQL)
 )
 
 var binOpNames = map[BinOp]string{
-	OpOr:   "OR",
-	OpAnd:  "AND",
-	OpEq:   "=",
-	OpNe:   "<>",
-	OpLt:   "<",
-	OpLe:   "<=",
-	OpGt:   ">",
-	OpGe:   ">=",
-	OpLike: "LIKE",
-	OpAdd:  "+",
-	OpSub:  "-",
-	OpMul:  "*",
-	OpDiv:  "/",
+	OpOr:     "OR",
+	OpAnd:    "AND",
+	OpEq:     "=",
+	OpNe:     "<>",
+	OpLt:     "<",
+	OpLe:     "<=",
+	OpGt:     ">",
+	OpGe:     ">=",
+	OpLike:   "LIKE",
+	OpAdd:    "+",
+	OpSub:    "-",
+	OpMul:    "*",
+	OpDiv:    "/",
+	OpConcat: "||",
 }
 
 // String returns the SQL spelling of the operator.
@@ -81,16 +83,7 @@ type Binary struct {
 
 func (*Binary) exprNode() {}
 
-func (b *Binary) String() string {
-	l, r := b.L.String(), b.R.String()
-	if needsParens(b.L, b.Op) {
-		l = "(" + l + ")"
-	}
-	if needsParens(b.R, b.Op) {
-		r = "(" + r + ")"
-	}
-	return l + " " + b.Op.String() + " " + r
-}
+func (b *Binary) String() string { return RenderExpr(b, Generic) }
 
 // precedence returns a binding strength for printing parentheses.
 func precedence(op BinOp) int {
@@ -101,7 +94,7 @@ func precedence(op BinOp) int {
 		return 2
 	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpLike:
 		return 3
-	case OpAdd, OpSub:
+	case OpAdd, OpSub, OpConcat:
 		return 4
 	default:
 		return 5
@@ -113,7 +106,36 @@ func needsParens(child Expr, parent BinOp) bool {
 	if !ok {
 		return false
 	}
-	return precedence(b.Op) < precedence(parent)
+	if precedence(b.Op) < precedence(parent) {
+		return true
+	}
+	// Comparisons cannot chain in the grammar: "(a = b) = c" must keep
+	// its parentheses even on the left or the output fails to reparse.
+	return precedence(b.Op) == precedence(parent) && parent.IsComparison()
+}
+
+// needsParensRight is needsParens for the right operand. The grammar is
+// left-associative, so a right child at equal precedence would
+// re-associate on reparse — "a || (b + c)" printed bare as
+// "a || b + c" reads back as "(a || b) + c". Parentheses are omitted
+// only when the operator is the same and associative, which keeps the
+// common generated shapes (AND chains, concat chains) paren-free.
+func needsParensRight(child Expr, parent BinOp) bool {
+	b, ok := child.(*Binary)
+	if !ok {
+		return false
+	}
+	if precedence(b.Op) != precedence(parent) {
+		return precedence(b.Op) < precedence(parent)
+	}
+	if b.Op != parent {
+		return true
+	}
+	switch parent {
+	case OpAnd, OpOr, OpAdd, OpMul, OpConcat:
+		return false
+	}
+	return true
 }
 
 // Not is logical negation.
@@ -121,7 +143,7 @@ type Not struct{ X Expr }
 
 func (*Not) exprNode() {}
 
-func (n *Not) String() string { return "NOT (" + n.X.String() + ")" }
+func (n *Not) String() string { return RenderExpr(n, Generic) }
 
 // IsNull is "X IS [NOT] NULL".
 type IsNull struct {
@@ -131,12 +153,7 @@ type IsNull struct {
 
 func (*IsNull) exprNode() {}
 
-func (n *IsNull) String() string {
-	if n.Neg {
-		return n.X.String() + " IS NOT NULL"
-	}
-	return n.X.String() + " IS NULL"
-}
+func (n *IsNull) String() string { return RenderExpr(n, Generic) }
 
 // ColumnRef names a column, optionally qualified by table (or alias).
 type ColumnRef struct {
@@ -146,12 +163,7 @@ type ColumnRef struct {
 
 func (*ColumnRef) exprNode() {}
 
-func (c *ColumnRef) String() string {
-	if c.Table != "" {
-		return c.Table + "." + c.Column
-	}
-	return c.Column
-}
+func (c *ColumnRef) String() string { return RenderExpr(c, Generic) }
 
 // LiteralKind discriminates literal types.
 type LiteralKind uint8
@@ -178,12 +190,15 @@ type Literal struct {
 
 func (*Literal) exprNode() {}
 
-func (l *Literal) String() string {
+func (l *Literal) String() string { return RenderExpr(l, Generic) }
+
+// render writes the literal in the dialect's idiom.
+func (l *Literal) render(b *strings.Builder, d *Dialect) {
 	switch l.Kind {
 	case LitString:
-		return "'" + strings.ReplaceAll(l.S, "'", "''") + "'"
+		b.WriteString(d.StringLiteral(l.S))
 	case LitInt:
-		return fmt.Sprintf("%d", l.I)
+		fmt.Fprintf(b, "%d", l.I)
 	case LitFloat:
 		// Plain decimal notation with a forced decimal point: the SQL
 		// lexer has no exponent syntax (so %g's "1e+06" would not
@@ -191,22 +206,20 @@ func (l *Literal) String() string {
 		// text (it may overflow int64 on reparse), and negative zero
 		// normalises to "0.0".
 		if l.F == 0 {
-			return "0.0"
+			b.WriteString("0.0")
+			return
 		}
 		s := strconv.FormatFloat(l.F, 'f', -1, 64)
 		if !strings.ContainsAny(s, ".") {
 			s += ".0"
 		}
-		return s
+		b.WriteString(s)
 	case LitDate:
-		return "DATE '" + l.T.Format("2006-01-02") + "'"
+		b.WriteString(d.dateLiteral(l.T))
 	case LitBool:
-		if l.B {
-			return "TRUE"
-		}
-		return "FALSE"
+		b.WriteString(d.boolLiteral(l.B))
 	default:
-		return "NULL"
+		b.WriteString("NULL")
 	}
 }
 
@@ -239,16 +252,7 @@ type FuncCall struct {
 
 func (*FuncCall) exprNode() {}
 
-func (f *FuncCall) String() string {
-	if f.Star {
-		return f.Name + "(*)"
-	}
-	args := make([]string, len(f.Args))
-	for i, a := range f.Args {
-		args[i] = a.String()
-	}
-	return f.Name + "(" + strings.Join(args, ", ") + ")"
-}
+func (f *FuncCall) String() string { return RenderExpr(f, Generic) }
 
 // AggregateFuncs lists the aggregate function names the engine supports.
 var AggregateFuncs = map[string]bool{
@@ -271,17 +275,20 @@ type SelectItem struct {
 	Alias string
 }
 
-func (s SelectItem) String() string {
+func (s SelectItem) String() string { return s.Render(Generic) }
+
+// Render renders the projection in the dialect.
+func (s SelectItem) Render(d *Dialect) string {
 	if s.Star {
 		if s.Table != "" {
-			return s.Table + ".*"
+			return d.Ident(s.Table) + ".*"
 		}
 		return "*"
 	}
 	if s.Alias != "" {
-		return s.Expr.String() + " AS " + s.Alias
+		return RenderExpr(s.Expr, d) + " AS " + d.Ident(s.Alias)
 	}
-	return s.Expr.String()
+	return RenderExpr(s.Expr, d)
 }
 
 // TableRef is one entry of the FROM list.
@@ -290,11 +297,14 @@ type TableRef struct {
 	Alias string
 }
 
-func (t TableRef) String() string {
+func (t TableRef) String() string { return t.Render(Generic) }
+
+// Render renders the FROM entry in the dialect.
+func (t TableRef) Render(d *Dialect) string {
 	if t.Alias != "" {
-		return t.Table + " " + t.Alias
+		return d.Ident(t.Table) + " " + d.Ident(t.Alias)
 	}
-	return t.Table
+	return d.Ident(t.Table)
 }
 
 // Name returns the name the table is referred to by in expressions.
@@ -311,11 +321,14 @@ type OrderItem struct {
 	Desc bool
 }
 
-func (o OrderItem) String() string {
+func (o OrderItem) String() string { return o.Render(Generic) }
+
+// Render renders the ORDER BY entry in the dialect.
+func (o OrderItem) Render(d *Dialect) string {
 	if o.Desc {
-		return o.Expr.String() + " DESC"
+		return RenderExpr(o.Expr, d) + " DESC"
 	}
-	return o.Expr.String()
+	return RenderExpr(o.Expr, d)
 }
 
 // Select is a full SELECT statement.
@@ -373,8 +386,14 @@ func containsAggregate(e Expr) bool {
 	return false
 }
 
-// String renders the statement as executable SQL with deterministic layout.
-func (s *Select) String() string {
+// String renders the statement in the Generic dialect.
+func (s *Select) String() string { return s.Render(Generic) }
+
+// Render renders the statement as executable SQL for the dialect, with
+// deterministic layout. The output reparses through sqlparse and
+// re-renders byte-identically (the per-dialect fixpoint the answer cache
+// relies on).
+func (s *Select) Render(d *Dialect) string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
 	if s.Distinct {
@@ -387,7 +406,7 @@ func (s *Select) String() string {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			b.WriteString(it.String())
+			b.WriteString(it.Render(d))
 		}
 	}
 	b.WriteString("\nFROM ")
@@ -395,11 +414,11 @@ func (s *Select) String() string {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		b.WriteString(t.String())
+		b.WriteString(t.Render(d))
 	}
 	if s.Where != nil {
 		b.WriteString("\nWHERE ")
-		b.WriteString(s.Where.String())
+		renderExpr(&b, s.Where, d)
 	}
 	if len(s.GroupBy) > 0 {
 		b.WriteString("\nGROUP BY ")
@@ -407,12 +426,12 @@ func (s *Select) String() string {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			b.WriteString(g.String())
+			renderExpr(&b, g, d)
 		}
 	}
 	if s.Having != nil {
 		b.WriteString("\nHAVING ")
-		b.WriteString(s.Having.String())
+		renderExpr(&b, s.Having, d)
 	}
 	if len(s.OrderBy) > 0 {
 		b.WriteString("\nORDER BY ")
@@ -420,13 +439,121 @@ func (s *Select) String() string {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			b.WriteString(o.String())
+			b.WriteString(o.Render(d))
 		}
 	}
 	if s.Limit >= 0 {
-		fmt.Fprintf(&b, "\nLIMIT %d", s.Limit)
+		b.WriteByte('\n')
+		b.WriteString(d.LimitClause(s.Limit))
 	}
 	return b.String()
+}
+
+// RenderExpr renders a scalar expression in the dialect.
+func RenderExpr(e Expr, d *Dialect) string {
+	var b strings.Builder
+	renderExpr(&b, e, d)
+	return b.String()
+}
+
+func renderExpr(b *strings.Builder, e Expr, d *Dialect) {
+	switch x := e.(type) {
+	case *Binary:
+		if x.Op == OpConcat && d.concatFunc {
+			// MySQL spells concatenation CONCAT(...); nested concats
+			// flatten into one variadic call, which the parser folds back
+			// into the same left-associative tree.
+			b.WriteString("CONCAT(")
+			for i, a := range flattenConcat(x) {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				renderExpr(b, a, d)
+			}
+			b.WriteByte(')')
+			return
+		}
+		renderChild(b, x.L, x.Op, d, needsParens)
+		b.WriteByte(' ')
+		b.WriteString(x.Op.String())
+		b.WriteByte(' ')
+		renderChild(b, x.R, x.Op, d, needsParensRight)
+	case *Not:
+		b.WriteString("NOT (")
+		renderExpr(b, x.X, d)
+		b.WriteByte(')')
+	case *IsNull:
+		// The grammar's IS NULL operand is an additive expression:
+		// anything looser (comparisons, AND/OR, NOT, a nested IS NULL)
+		// must be parenthesized or the output reparses differently
+		// ("a OR b IS NULL" binds as a OR (b IS NULL)).
+		if needsParensIsNull(x.X) {
+			b.WriteByte('(')
+			renderExpr(b, x.X, d)
+			b.WriteByte(')')
+		} else {
+			renderExpr(b, x.X, d)
+		}
+		if x.Neg {
+			b.WriteString(" IS NOT NULL")
+		} else {
+			b.WriteString(" IS NULL")
+		}
+	case *ColumnRef:
+		if x.Table != "" {
+			b.WriteString(d.Ident(x.Table))
+			b.WriteByte('.')
+		}
+		b.WriteString(d.Ident(x.Column))
+	case *Literal:
+		x.render(b, d)
+	case *FuncCall:
+		b.WriteString(x.Name)
+		if x.Star {
+			b.WriteString("(*)")
+			return
+		}
+		b.WriteByte('(')
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, a, d)
+		}
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "%v", e)
+	}
+}
+
+func renderChild(b *strings.Builder, child Expr, parent BinOp, d *Dialect, parens func(Expr, BinOp) bool) {
+	if parens(child, parent) {
+		b.WriteByte('(')
+		renderExpr(b, child, d)
+		b.WriteByte(')')
+		return
+	}
+	renderExpr(b, child, d)
+}
+
+// needsParensIsNull reports whether e, as the operand of IS [NOT] NULL,
+// binds looser than the additive level the grammar parses there.
+func needsParensIsNull(e Expr) bool {
+	switch x := e.(type) {
+	case *Binary:
+		return precedence(x.Op) < precedence(OpAdd)
+	case *Not, *IsNull:
+		return true
+	}
+	return false
+}
+
+// flattenConcat collects the leaves of a concat tree in order.
+func flattenConcat(e Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == OpConcat {
+		return append(flattenConcat(b.L), flattenConcat(b.R)...)
+	}
+	return []Expr{e}
 }
 
 // AndAll combines the expressions with AND, skipping nils. It returns nil

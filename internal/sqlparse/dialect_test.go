@@ -1,0 +1,271 @@
+package sqlparse_test
+
+// Cross-dialect round-trip coverage: every statement a dialect printer
+// emits must reparse through this package and re-render byte-identically
+// (the fixpoint the answer cache keys depend on), including identifiers
+// that need quoting — reserved words, spaces, unicode — which the printer
+// used to emit bare, producing SQL the parser itself rejected.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"soda/internal/sqlast"
+	"soda/internal/sqlparse"
+)
+
+// roundTrip asserts Render(d) → ParseDialect(d) → Render(d) is the
+// identity on text for every dialect.
+func roundTrip(t *testing.T, sel *sqlast.Select) {
+	t.Helper()
+	for _, d := range sqlast.Dialects() {
+		first := sel.Render(d)
+		reparsed, err := sqlparse.ParseDialect(first, d)
+		if err != nil {
+			t.Errorf("%s: rendered SQL does not reparse: %v\nsql: %s", d.Name(), err, first)
+			continue
+		}
+		if second := reparsed.Render(d); second != first {
+			t.Errorf("%s: render-parse-render not a fixpoint:\nfirst:  %q\nsecond: %q", d.Name(), first, second)
+		}
+	}
+}
+
+// TestDialectRoundTripCorpus drives the fixpoint over hand-written
+// statements in the generic dialect that exercise every construct.
+func TestDialectRoundTripCorpus(t *testing.T) {
+	corpus := []string{
+		"select * from parties",
+		"select distinct p.name from parties p where p.city like '%Z' or p.id <> 4",
+		"select count(*) from t group by t.c having count(*) > 3",
+		"select sum(t.amount) from t where t.d >= date '2011-01-01' order by sum(t.amount) desc limit 10",
+		"select a.x, b.y as z from a, b where a.id = b.aid and not (a.x is null)",
+		"select * from t where x between 1 and 2.5",
+		"select t.a || '-' || t.b from t",
+		"select * from t where active = true and deleted = false",
+		"select * from t where note = 'O''Brien \\ Co'",
+		"select upper(name) from parties limit 0",
+	}
+	for _, src := range corpus {
+		sel, err := sqlparse.Parse(src)
+		if err != nil {
+			t.Fatalf("corpus statement does not parse: %v\nsql: %s", err, src)
+		}
+		roundTrip(t, sel)
+	}
+}
+
+// TestQuotedIdentifierRegression pins the fix for identifiers that need
+// quoting: a fuzz-style corpus of reserved words, spaces, unicode,
+// embedded quote characters and leading digits, pushed through every
+// position an identifier can occupy.
+func TestQuotedIdentifierRegression(t *testing.T) {
+	idents := []string{
+		"order", "select", "group", "from", "limit", "fetch", "between",
+		"transaction date", "2fast", "a-b", "zürich", "münzen",
+		`we"ird`, "back`tick", "mixed CASE name", "null", "date",
+	}
+	for _, id := range idents {
+		sel := sqlast.NewSelect()
+		sel.Items = []sqlast.SelectItem{
+			{Expr: &sqlast.ColumnRef{Table: id, Column: id}, Alias: id},
+		}
+		sel.From = []sqlast.TableRef{{Table: id, Alias: id}}
+		sel.Where = &sqlast.Binary{
+			Op: sqlast.OpEq,
+			L:  &sqlast.ColumnRef{Column: id},
+			R:  sqlast.StringLit(id),
+		}
+		sel.GroupBy = []sqlast.Expr{&sqlast.ColumnRef{Column: id}}
+		sel.OrderBy = []sqlast.OrderItem{{Expr: &sqlast.ColumnRef{Column: id}, Desc: true}}
+		roundTrip(t, sel)
+	}
+}
+
+// TestDialectConstructsRoundTrip covers the dialect-specific surface
+// forms end to end: DB2 FETCH FIRST, MySQL CONCAT and backslash strings,
+// function-style DATE literals, boolean-as-integer.
+func TestDialectConstructsRoundTrip(t *testing.T) {
+	sel := sqlast.NewSelect()
+	sel.Items = []sqlast.SelectItem{
+		{Expr: &sqlast.Binary{
+			Op: sqlast.OpConcat,
+			L:  &sqlast.ColumnRef{Column: "a"},
+			R:  &sqlast.Binary{Op: sqlast.OpConcat, L: sqlast.StringLit(`x\y'z`), R: &sqlast.ColumnRef{Column: "b"}},
+		}},
+	}
+	sel.From = []sqlast.TableRef{{Table: "t"}}
+	sel.Where = sqlast.AndAll(
+		&sqlast.Binary{Op: sqlast.OpGe, L: &sqlast.ColumnRef{Column: "d"}, R: sqlast.DateLit(time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC))},
+		&sqlast.Binary{Op: sqlast.OpEq, L: &sqlast.ColumnRef{Column: "ok"}, R: sqlast.BoolLit(false)},
+	)
+	sel.Limit = 7
+	roundTrip(t, sel)
+}
+
+// TestRightChildReassociation pins the printer's parenthesization of
+// right-nested operands at equal precedence: CONCAT(a, b + c)
+// normalises to a || (b + c), and printing that bare as "a || b + c"
+// would reparse as "(a || b) + c" — a different statement that is
+// itself a stable fixpoint, so only a semantic check catches it.
+func TestRightChildReassociation(t *testing.T) {
+	sel, err := sqlparse.ParseDialect("select concat(a, b + c) from t", sqlast.MySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	item := sel.Items[0].Expr.(*sqlast.Binary)
+	if item.Op != sqlast.OpConcat {
+		t.Fatalf("top op = %v, want concat", item.Op)
+	}
+	generic := sel.Render(sqlast.Generic)
+	if !strings.Contains(generic, "a || (b + c)") {
+		t.Fatalf("generic render lost the grouping: %q", generic)
+	}
+	reparsed, err := sqlparse.Parse(generic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top := reparsed.Items[0].Expr.(*sqlast.Binary).Op; top != sqlast.OpConcat {
+		t.Fatalf("reparsed top op = %v, want concat (re-associated)", top)
+	}
+	// Same hazard with right-nested subtraction from unary-minus folding.
+	sub, err := sqlparse.Parse("select 1 - - x from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.Items[0].String(); got != "1 - (0 - x)" {
+		t.Fatalf("right-nested subtraction = %q, want parenthesised", got)
+	}
+	roundTrip(t, sel)
+	roundTrip(t, sub)
+}
+
+// TestComparisonAndIsNullParens pins two more printer-parenthesization
+// fixes: chained comparisons ("(a = b) = c") must keep their parens on
+// the left or the output fails to reparse, and IS NULL over anything
+// looser than an additive expression must parenthesize its operand or
+// the output reparses to a different predicate.
+func TestComparisonAndIsNullParens(t *testing.T) {
+	for _, src := range []string{
+		"select * from t where (a = b) = c",
+		"select * from t where (a like b) = c",
+		"select * from t where (a or b) is null",
+		"select * from t where (not a) is null",
+		"select * from t where (a = b) is not null",
+	} {
+		sel, err := sqlparse.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		roundTrip(t, sel)
+	}
+	sel := sqlparse.MustParse("select * from t where (a or b) is null")
+	if got := sqlast.RenderExpr(sel.Where, sqlast.Generic); got != "(a OR b) IS NULL" {
+		t.Fatalf("is-null operand = %q, want parenthesised", got)
+	}
+}
+
+func TestParseFetchFirst(t *testing.T) {
+	sel, err := sqlparse.Parse("select * from t fetch first 5 rows only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Limit != 5 {
+		t.Fatalf("Limit = %d, want 5", sel.Limit)
+	}
+	// ROW is interchangeable with ROWS.
+	sel, err = sqlparse.Parse("select * from t fetch first 1 row only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Limit != 1 {
+		t.Fatalf("Limit = %d, want 1", sel.Limit)
+	}
+	if _, err := sqlparse.Parse("select * from t fetch first 5 rows"); err == nil {
+		t.Fatal("missing ONLY should be rejected")
+	}
+}
+
+func TestParseQuotedIdentKeywordCollision(t *testing.T) {
+	sel, err := sqlparse.Parse(`select "order", t."group" from "from" t where "select" = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sel.Items[0].Expr.(*sqlast.ColumnRef).Column; got != "order" {
+		t.Fatalf("column = %q, want order", got)
+	}
+	if got := sel.From[0].Table; got != "from" {
+		t.Fatalf("table = %q, want from", got)
+	}
+	// Backtick quoting is accepted in every dialect.
+	if _, err := sqlparse.Parse("select `order` from `transaction date`"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseConcatForms(t *testing.T) {
+	a, err := sqlparse.Parse("select x || y || z from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sqlparse.Parse("select concat(x, y, z) from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both spellings normalise to the same left-associative tree and the
+	// same generic rendering.
+	if ga, gb := a.String(), b.String(); ga != gb {
+		t.Fatalf("concat forms diverge:\n||:     %q\nCONCAT: %q", ga, gb)
+	}
+}
+
+func TestParseBackslashStrings(t *testing.T) {
+	// In the generic dialect a backslash is a literal character.
+	sel, err := sqlparse.Parse(`select * from t where x = 'a\nb'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := literalOf(t, sel); got != `a\nb` {
+		t.Fatalf("generic literal = %q, want %q", got, `a\nb`)
+	}
+	// MySQL decodes escapes.
+	sel, err = sqlparse.ParseDialect(`select * from t where x = 'a\nb'`, sqlast.MySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := literalOf(t, sel); got != "a\nb" {
+		t.Fatalf("mysql literal = %q, want %q", got, "a\nb")
+	}
+	// A trailing backslash must not swallow the closing quote.
+	if _, err := sqlparse.ParseDialect(`select * from t where x = 'a\`, sqlast.MySQL); err == nil {
+		t.Fatal("unterminated mysql string should be rejected")
+	}
+}
+
+func literalOf(t *testing.T, sel *sqlast.Select) string {
+	t.Helper()
+	bin, ok := sel.Where.(*sqlast.Binary)
+	if !ok {
+		t.Fatalf("where is %T, want binary", sel.Where)
+	}
+	lit, ok := bin.R.(*sqlast.Literal)
+	if !ok {
+		t.Fatalf("rhs is %T, want literal", bin.R)
+	}
+	return lit.S
+}
+
+func TestParseDateFunctionForm(t *testing.T) {
+	a, err := sqlparse.Parse("select * from t where d = date '2011-04-23'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sqlparse.Parse("select * from t where d = date('2011-04-23')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga, gb := a.String(), b.String(); ga != gb {
+		t.Fatalf("date forms diverge:\nliteral: %q\nfunc:    %q", ga, gb)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"soda/internal/core"
 	"soda/internal/minibank"
+	"soda/internal/sqlast"
 	"soda/internal/sqlparse"
 	"soda/internal/workload"
 )
@@ -61,6 +62,40 @@ func FuzzParse(f *testing.F) {
 		}
 		if again := sel2.String(); again != printed {
 			t.Fatalf("print-parse-print not stable:\ninput:  %q\nfirst:  %q\nsecond: %q", src, printed, again)
+		}
+	})
+}
+
+// FuzzDialectRoundTrip drives the per-dialect fixpoint: any statement
+// that parses (in the generic dialect) must render in every dialect to
+// text that reparses in that dialect and re-renders byte-identically.
+// The answer cache keys include the dialect and rely on exactly this.
+func FuzzDialectRoundTrip(f *testing.F) {
+	seeds := []string{
+		"select * from parties",
+		`select "order", t."group" from "from" t where "select" = 1`,
+		"select a || 'x''y' || b from t fetch first 3 rows only",
+		"select concat(a, '\\', b) from `transaction date` limit 2",
+		"select * from t where d = date('2011-04-23') and ok = true",
+		"select sum(t.amount) from t group by t.c order by sum(t.amount) desc limit 10",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sel, err := sqlparse.Parse(src)
+		if err != nil {
+			return
+		}
+		for _, d := range sqlast.Dialects() {
+			first := sel.Render(d)
+			reparsed, err := sqlparse.ParseDialect(first, d)
+			if err != nil {
+				t.Fatalf("%s: rendered form does not reparse: %v\ninput:    %q\nrendered: %q", d.Name(), err, src, first)
+			}
+			if second := reparsed.Render(d); second != first {
+				t.Fatalf("%s: render-parse-render not a fixpoint:\ninput:  %q\nfirst:  %q\nsecond: %q", d.Name(), src, first, second)
+			}
 		}
 	})
 }

@@ -25,9 +25,10 @@ const (
 )
 
 type token struct {
-	kind tokenKind
-	text string // for idents: original spelling; upper() used for keywords
-	pos  int
+	kind   tokenKind
+	text   string // for idents: original spelling; upper() used for keywords
+	pos    int
+	quoted bool // quoted identifier: never treated as a keyword
 }
 
 func (t token) String() string {
@@ -41,10 +42,14 @@ type lexer struct {
 	src  string
 	pos  int
 	toks []token
+	// backslash enables MySQL-style backslash escapes inside string
+	// literals (the printer escapes backslashes for that dialect, so the
+	// lexer must invert it).
+	backslash bool
 }
 
-func lex(src string) ([]token, error) {
-	l := &lexer{src: src}
+func lex(src string, backslash bool) ([]token, error) {
+	l := &lexer{src: src, backslash: backslash}
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
 		switch {
@@ -72,10 +77,18 @@ func lex(src string) ([]token, error) {
 			if err := l.lexString(); err != nil {
 				return nil, err
 			}
+		case c == '"' || c == '`':
+			// Quoted identifiers, both the double-quote style (generic,
+			// Postgres, DB2) and MySQL backticks; the enclosed text is
+			// never a keyword.
+			if err := l.lexQuotedIdent(c); err != nil {
+				return nil, err
+			}
 		case c == '<' && l.peekAt(1) == '=',
 			c == '>' && l.peekAt(1) == '=',
 			c == '<' && l.peekAt(1) == '>',
-			c == '!' && l.peekAt(1) == '=':
+			c == '!' && l.peekAt(1) == '=',
+			c == '|' && l.peekAt(1) == '|':
 			l.emit(tokSymbol, l.src[l.pos:l.pos+2])
 			l.pos += 2
 		case strings.ContainsRune("(),.*=<>+-/", rune(c)):
@@ -157,6 +170,32 @@ func (l *lexer) lexString() error {
 	var b strings.Builder
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
+		if c == '\\' && l.backslash {
+			// MySQL escape: \\ and \' are what the printer emits; the
+			// common control escapes are decoded too, and an unknown
+			// escape drops the backslash (MySQL's documented behaviour).
+			if l.pos+1 >= len(l.src) {
+				return fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			switch e := l.src[l.pos+1]; e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '0':
+				b.WriteByte(0)
+			case 'b':
+				b.WriteByte('\b')
+			case 'Z':
+				b.WriteByte(26)
+			default:
+				b.WriteByte(e) // \\ -> \, \' -> ', \" -> ", \x -> x
+			}
+			l.pos += 2
+			continue
+		}
 		if c == '\'' {
 			if l.peekAt(1) == '\'' { // doubled quote escape
 				b.WriteByte('\'')
@@ -171,4 +210,28 @@ func (l *lexer) lexString() error {
 		l.pos++
 	}
 	return fmt.Errorf("sql: unterminated string literal at offset %d", start)
+}
+
+// lexQuotedIdent reads an identifier enclosed in q (double quote or
+// backtick); a doubled quote character inside stands for itself.
+func (l *lexer) lexQuotedIdent(q byte) error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == q {
+			if l.peekAt(1) == q { // doubled quote escape
+				b.WriteByte(q)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokIdent, text: b.String(), pos: start, quoted: true})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
 }

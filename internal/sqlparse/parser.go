@@ -9,9 +9,22 @@ import (
 	"soda/internal/sqlast"
 )
 
-// Parse parses a single SELECT statement.
+// Parse parses a single SELECT statement in the Generic dialect.
 func Parse(src string) (*sqlast.Select, error) {
-	toks, err := lex(src)
+	return ParseDialect(src, sqlast.Generic)
+}
+
+// ParseDialect parses a single SELECT statement written in the given
+// dialect. The grammar accepts the union of what every dialect printer
+// emits — double-quoted and backtick identifiers, LIMIT and FETCH FIRST,
+// || and CONCAT(...), DATE 'd' and DATE('d') — so the dialect only
+// controls string-literal escaping (MySQL treats backslash as an escape
+// character; the other dialects take it literally).
+func ParseDialect(src string, d *sqlast.Dialect) (*sqlast.Select, error) {
+	if d == nil {
+		d = sqlast.Generic
+	}
+	toks, err := lex(src, d.BackslashStrings())
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +65,9 @@ func (p *parser) next() token {
 }
 
 // at reports whether the current token has the given kind and (for idents,
-// case-insensitively) text. Empty text matches any.
+// case-insensitively) text. Empty text matches any. A quoted identifier
+// never matches keyword text: `select "order" from t` must read "order"
+// as a column, not a clause.
 func (p *parser) at(kind tokenKind, text string) bool {
 	t := p.peek()
 	if t.kind != kind {
@@ -62,7 +77,7 @@ func (p *parser) at(kind tokenKind, text string) bool {
 		return true
 	}
 	if kind == tokIdent {
-		return strings.EqualFold(t.text, text)
+		return !t.quoted && strings.EqualFold(t.text, text)
 	}
 	return t.text == text
 }
@@ -90,7 +105,7 @@ func (p *parser) keyword(kw string) bool { return p.at(tokIdent, kw) }
 var reservedAfterTable = map[string]bool{
 	"where": true, "group": true, "order": true, "limit": true,
 	"on": true, "and": true, "or": true, "inner": true, "join": true,
-	"having": true, "desc": true, "asc": true,
+	"having": true, "desc": true, "asc": true, "fetch": true,
 }
 
 func (p *parser) parseSelect() (*sqlast.Select, error) {
@@ -182,7 +197,8 @@ func (p *parser) parseSelect() (*sqlast.Select, error) {
 		}
 	}
 
-	if p.eat(tokIdent, "limit") {
+	switch {
+	case p.eat(tokIdent, "limit"):
 		t, err := p.expect(tokNumber, "")
 		if err != nil {
 			return nil, err
@@ -190,6 +206,27 @@ func (p *parser) parseSelect() (*sqlast.Select, error) {
 		n, err := strconv.Atoi(t.text)
 		if err != nil || n < 0 {
 			return nil, fmt.Errorf("sql: bad LIMIT %q", t.text)
+		}
+		sel.Limit = n
+	case p.eat(tokIdent, "fetch"):
+		// DB2 row limiting: FETCH FIRST n ROWS ONLY (ROW and ROWS are
+		// interchangeable).
+		if _, err := p.expect(tokIdent, "first"); err != nil {
+			return nil, err
+		}
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad FETCH FIRST %q", t.text)
+		}
+		if !p.eat(tokIdent, "rows") && !p.eat(tokIdent, "row") {
+			return nil, fmt.Errorf("sql: expected ROWS, got %s", p.peek())
+		}
+		if _, err := p.expect(tokIdent, "only"); err != nil {
+			return nil, err
 		}
 		sel.Limit = n
 	}
@@ -219,7 +256,8 @@ func (p *parser) parseSelectItem() (sqlast.SelectItem, error) {
 			return sqlast.SelectItem{}, err
 		}
 		item.Alias = t.text
-	} else if p.peek().kind == tokIdent && !reservedAfterSelectItem[strings.ToLower(p.peek().text)] {
+	} else if p.peek().kind == tokIdent &&
+		(p.peek().quoted || !reservedAfterSelectItem[strings.ToLower(p.peek().text)]) {
 		item.Alias = p.next().text
 	}
 	return item, nil
@@ -228,7 +266,7 @@ func (p *parser) parseSelectItem() (sqlast.SelectItem, error) {
 var reservedAfterSelectItem = map[string]bool{
 	"from": true, "where": true, "group": true, "order": true, "limit": true,
 	"and": true, "or": true, "as": true, "desc": true, "asc": true, "like": true,
-	"is": true, "not": true, "null": true, "between": true,
+	"is": true, "not": true, "null": true, "between": true, "fetch": true,
 }
 
 func (p *parser) parseTableRef() (sqlast.TableRef, error) {
@@ -243,7 +281,8 @@ func (p *parser) parseTableRef() (sqlast.TableRef, error) {
 			return sqlast.TableRef{}, err
 		}
 		ref.Alias = a.text
-	} else if p.peek().kind == tokIdent && !reservedAfterTable[strings.ToLower(p.peek().text)] {
+	} else if p.peek().kind == tokIdent &&
+		(p.peek().quoted || !reservedAfterTable[strings.ToLower(p.peek().text)]) {
 		ref.Alias = p.next().text
 	}
 	return ref, nil
@@ -257,7 +296,7 @@ func (p *parser) parseTableRef() (sqlast.TableRef, error) {
 //	notExpr := NOT notExpr | cmpExpr
 //	cmpExpr := addExpr ( (=|<>|!=|<|<=|>|>=|LIKE) addExpr
 //	         | IS [NOT] NULL | [NOT] BETWEEN addExpr AND addExpr )?
-//	addExpr := mulExpr ( (+|-) mulExpr )*
+//	addExpr := mulExpr ( (+|-|'||') mulExpr )*
 //	mulExpr := unary ( (*|/) unary )*
 //	unary   := - unary | primary
 //	primary := literal | funcCall | columnRef | ( expr )
@@ -395,6 +434,8 @@ func (p *parser) parseAdditive() (sqlast.Expr, error) {
 			op = sqlast.OpAdd
 		case p.at(tokSymbol, "-"):
 			op = sqlast.OpSub
+		case p.at(tokSymbol, "||"):
+			op = sqlast.OpConcat
 		default:
 			return l, nil
 		}
@@ -489,30 +530,39 @@ func (p *parser) parsePrimary() (sqlast.Expr, error) {
 
 	case tokIdent:
 		lower := strings.ToLower(t.text)
-		switch lower {
-		case "null":
-			p.next()
-			return sqlast.NullLit(), nil
-		case "true":
-			p.next()
-			return sqlast.BoolLit(true), nil
-		case "false":
-			p.next()
-			return sqlast.BoolLit(false), nil
-		case "date":
-			// DATE 'yyyy-mm-dd'
-			if p.toks[p.pos+1].kind == tokString {
+		if !t.quoted {
+			switch lower {
+			case "null":
 				p.next()
-				s := p.next().text
-				tm, err := time.Parse("2006-01-02", s)
-				if err != nil {
-					return nil, fmt.Errorf("sql: bad date literal %q: %v", s, err)
+				return sqlast.NullLit(), nil
+			case "true":
+				p.next()
+				return sqlast.BoolLit(true), nil
+			case "false":
+				p.next()
+				return sqlast.BoolLit(false), nil
+			case "date":
+				// DATE 'yyyy-mm-dd' or the function form DATE('yyyy-mm-dd')
+				// that the MySQL and DB2 printers emit.
+				if p.toks[p.pos+1].kind == tokString {
+					p.next()
+					s := p.next().text
+					return dateLit(s)
 				}
-				return sqlast.DateLit(tm), nil
+				if p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" &&
+					p.toks[p.pos+2].kind == tokString &&
+					p.toks[p.pos+3].kind == tokSymbol && p.toks[p.pos+3].text == ")" {
+					p.next() // date
+					p.next() // (
+					s := p.next().text
+					p.next() // )
+					return dateLit(s)
+				}
 			}
 		}
-		// Function call?
-		if p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+		// Function call? (never for quoted identifiers: `"count"(x)` is
+		// not something any printer emits)
+		if !t.quoted && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
 			p.next() // name
 			p.next() // (
 			call := &sqlast.FuncCall{Name: lower}
@@ -538,6 +588,16 @@ func (p *parser) parsePrimary() (sqlast.Expr, error) {
 					return nil, err
 				}
 			}
+			// Normalise CONCAT(a, b, ...) — the MySQL spelling of
+			// concatenation — into the same left-associative || tree the
+			// other dialects parse to, so the AST is dialect-independent.
+			if lower == "concat" && len(call.Args) >= 1 {
+				e := call.Args[0]
+				for _, a := range call.Args[1:] {
+					e = &sqlast.Binary{Op: sqlast.OpConcat, L: e, R: a}
+				}
+				return e, nil
+			}
 			return call, nil
 		}
 		// Column reference, possibly qualified.
@@ -555,4 +615,13 @@ func (p *parser) parsePrimary() (sqlast.Expr, error) {
 	default:
 		return nil, fmt.Errorf("sql: unexpected %s", t)
 	}
+}
+
+// dateLit parses the yyyy-mm-dd payload of a DATE literal.
+func dateLit(s string) (sqlast.Expr, error) {
+	tm, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return nil, fmt.Errorf("sql: bad date literal %q: %v", s, err)
+	}
+	return sqlast.DateLit(tm), nil
 }

@@ -35,6 +35,7 @@ import (
 	"soda/internal/metagraph"
 	"soda/internal/minibank"
 	"soda/internal/queryparse"
+	"soda/internal/sqlast"
 	"soda/internal/sqlparse"
 	"soda/internal/warehouse"
 )
@@ -59,6 +60,13 @@ type Options struct {
 	// negative = disabled). Cached answers are invalidated whenever
 	// relevance feedback changes the ranking.
 	CacheSize int
+	// Dialect names the SQL dialect generated statements are rendered
+	// in: "generic" (default), "postgres", "mysql" or "db2". It controls
+	// identifier quoting, string escaping, row limiting (LIMIT vs FETCH
+	// FIRST) and concatenation/date idioms. Unknown names fall back to
+	// generic; validate with KnownDialect first when the name is user
+	// input. Individual searches can override it via SearchOptions.
+	Dialect string
 
 	// Ablations (see DESIGN.md).
 	DisableBridges bool // skip bridge-table discovery
@@ -68,6 +76,7 @@ type Options struct {
 }
 
 func (o Options) internal() core.Options {
+	d, _ := sqlast.DialectByName(o.Dialect) // unknown names fall back to generic
 	return core.Options{
 		TopN:           o.TopN,
 		SnippetRows:    o.SnippetRows,
@@ -75,11 +84,22 @@ func (o Options) internal() core.Options {
 		MaxPathLen:     o.MaxPathLen,
 		Parallelism:    o.Parallelism,
 		CacheSize:      o.CacheSize,
+		Dialect:        d,
 		DisableBridges: o.DisableBridges,
 		DisableDBpedia: o.DisableDBpedia,
 		UniformRanking: o.UniformRanking,
 		AllJoins:       o.AllJoins,
 	}
+}
+
+// Dialects lists the supported SQL dialect names.
+func Dialects() []string { return sqlast.DialectNames() }
+
+// KnownDialect reports whether name is a supported SQL dialect (the
+// empty string counts: it means generic).
+func KnownDialect(name string) bool {
+	_, ok := sqlast.DialectByName(name)
+	return ok
 }
 
 // World bundles the three artefacts SODA searches: the relational base
@@ -174,6 +194,13 @@ type Result struct {
 	// Disconnected warns that no join path connected all entry points
 	// (the SQL contains a cross product).
 	Disconnected bool
+	// SnippetRows holds the cached snippet when the search asked for
+	// snippets (SearchOptions.Snippets): rows executed once with the
+	// analysis and served from the answer cache afterwards. nil when the
+	// search did not request snippets — call Snippet() to execute.
+	SnippetRows *Rows
+	// SnippetError reports why snippet execution failed, when it did.
+	SnippetError string
 
 	sys *core.System
 	sol *core.Solution
@@ -188,14 +215,17 @@ func (r *Result) Execute() (*Rows, error) {
 	return newRows(res), nil
 }
 
-// Snippet runs the statement with the snippet row cap, like the paper's
-// result page ("up to twenty tuples").
+// Snippet returns the statement's result snippet, like the paper's
+// result page ("up to twenty tuples"): rows cached by a snippet search
+// are served without executing anything, otherwise the statement runs
+// with the snippet row cap. The returned rows are always a private copy
+// (cached rows are shared across cache hits).
 func (r *Result) Snippet() (*Rows, error) {
 	res, err := r.sys.Snippet(r.sol)
 	if err != nil {
 		return nil, err
 	}
-	return newRows(res), nil
+	return newRowsCopy(res), nil
 }
 
 // Rows is a materialised query result with display helpers.
@@ -206,6 +236,19 @@ type Rows struct {
 
 func newRows(res *engine.Result) *Rows {
 	return &Rows{Columns: res.Columns, Values: res.Rows}
+}
+
+// newRowsCopy deep-copies an engine result before exposing it. Cached
+// snippet rows are shared by every answer-cache hit, and Rows' fields
+// are exported and mutable — handing out the shared slices would let
+// one caller corrupt the cache for everyone else.
+func newRowsCopy(res *engine.Result) *Rows {
+	cols := append([]string(nil), res.Columns...)
+	vals := make([][]engine.Value, len(res.Rows))
+	for i, row := range res.Rows {
+		vals[i] = append([]engine.Value(nil), row...)
+	}
+	return &Rows{Columns: cols, Values: vals}
 }
 
 // NumRows reports the row count.
@@ -273,7 +316,35 @@ func (a *Answer) Explain() string { return core.Explain(a.analysis) }
 //	sum (amount) group by (transaction date)
 //	top 10 trading volume customer
 func (s *System) Search(query string) (*Answer, error) {
-	a, err := s.sys.Search(query)
+	return s.SearchWith(query, SearchOptions{})
+}
+
+// SearchOptions are per-search knobs layered over the System's Options.
+type SearchOptions struct {
+	// Dialect renders the generated SQL for a specific backend
+	// ("generic", "postgres", "mysql", "db2"); empty uses the System's
+	// Options.Dialect. Unknown names are an error.
+	Dialect string
+	// Snippets executes each result with the snippet row cap during the
+	// pipeline and caches the rows with the answer: repeated snippet
+	// searches are served entirely from the cache, zero SQL executions.
+	Snippets bool
+}
+
+// SearchWith is Search with per-request options: a target SQL dialect
+// and/or cached snippet execution.
+func (s *System) SearchWith(query string, opts SearchOptions) (*Answer, error) {
+	var so core.SearchOptions
+	if opts.Dialect != "" {
+		d, ok := sqlast.DialectByName(opts.Dialect)
+		if !ok {
+			return nil, fmt.Errorf("soda: unknown dialect %q (supported: %s)",
+				opts.Dialect, strings.Join(Dialects(), ", "))
+		}
+		so.Dialect = d
+	}
+	so.Snippets = opts.Snippets
+	a, err := s.sys.SearchWith(query, so)
 	if err != nil {
 		return nil, err
 	}
@@ -292,8 +363,12 @@ func (s *System) Search(query string) (*Answer, error) {
 			Tables:       append([]string(nil), sol.Tables...),
 			FromTables:   append([]string(nil), sol.SQLTables...),
 			Disconnected: sol.Disconnected,
+			SnippetError: sol.SnippetErr,
 			sys:          s.sys,
 			sol:          sol,
+		}
+		if sol.Snippet != nil {
+			res.SnippetRows = newRowsCopy(sol.Snippet)
 		}
 		for _, j := range sol.Joins {
 			res.Joins = append(res.Joins, j.String())
@@ -314,7 +389,8 @@ func ParseQuery(query string) (*queryparse.Query, error) {
 
 // ExecuteSQL runs an arbitrary SQL statement (the engine's subset) against
 // the world — the schema-exploration workflow of §5.3.2 where analysts
-// take SODA's statements and refine them by hand.
+// take SODA's statements and refine them by hand. The statement is read
+// in the System's configured dialect.
 func (s *System) ExecuteSQL(sql string) (*Rows, error) {
 	res, err := s.sys.ExecSQL(sql)
 	if err != nil {
@@ -322,6 +398,29 @@ func (s *System) ExecuteSQL(sql string) (*Rows, error) {
 	}
 	return newRows(res), nil
 }
+
+// ExecuteSQLIn runs a statement written in the named dialect (empty =
+// the System's configured dialect); unknown names are an error.
+func (s *System) ExecuteSQLIn(dialect, sql string) (*Rows, error) {
+	d, ok := sqlast.DialectByName(dialect)
+	if !ok {
+		return nil, fmt.Errorf("soda: unknown dialect %q (supported: %s)",
+			dialect, strings.Join(Dialects(), ", "))
+	}
+	if dialect == "" {
+		return s.ExecuteSQL(sql)
+	}
+	res, err := s.sys.ExecSQLDialect(sql, d)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(res), nil
+}
+
+// ExecCount reports how many SQL statements the engine has executed for
+// this System (snippets, Execute, ExecuteSQL). Cache hits execute
+// nothing, so the counter exposes snippet-cache effectiveness.
+func (s *System) ExecCount() uint64 { return s.sys.ExecCount() }
 
 // Like records positive relevance feedback on a result: the entry points
 // behind it rank higher in future searches (§6.3: "SODA presents several
@@ -358,9 +457,10 @@ func (s *System) Browse(table string) (*TableInfo, error) {
 
 // ExplainSQL renders the engine's execution plan for a statement without
 // running it: scans with pushed-down filters, hash/cross join order,
-// residual predicates and the aggregation pipeline.
+// residual predicates and the aggregation pipeline. The statement is
+// read in the System's configured dialect.
 func (s *System) ExplainSQL(sql string) (string, error) {
-	sel, err := sqlparse.Parse(sql)
+	sel, err := sqlparse.ParseDialect(sql, s.sys.Opt.Dialect)
 	if err != nil {
 		return "", err
 	}
