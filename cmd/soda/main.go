@@ -103,10 +103,16 @@ func feedback(last *soda.Answer, line string) {
 		return
 	}
 	if fields[0] == "like" {
-		last.Results[n-1].Like()
+		if err := last.Results[n-1].Like(); err != nil {
+			fmt.Printf("like failed: %v\n", err)
+			return
+		}
 		fmt.Printf("liked result %d; future rankings will prefer its interpretation\n", n)
 	} else {
-		last.Results[n-1].Dislike()
+		if err := last.Results[n-1].Dislike(); err != nil {
+			fmt.Printf("dislike failed: %v\n", err)
+			return
+		}
 		fmt.Printf("disliked result %d; future rankings will avoid its interpretation\n", n)
 	}
 }

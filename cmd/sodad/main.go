@@ -15,10 +15,17 @@
 //	-dialect string     default SQL dialect for generated statements:
 //	                    generic, postgres, mysql or db2 (default "generic");
 //	                    requests override it with their "dialect" field
+//	-data-dir string    persistent state directory (feedback WAL + index
+//	                    snapshots). Empty runs in-memory: feedback dies
+//	                    with the process. With a directory, relevance
+//	                    feedback survives restarts and a valid snapshot
+//	                    skips the cold inverted-index build entirely
+//	                    (warm start); pre-bake one with sodagen -prebake.
 //
 // The daemon warms the join-graph caches before listening, serves until
 // SIGINT/SIGTERM and then shuts down gracefully, draining in-flight
-// requests.
+// requests; with -data-dir it then flushes a final snapshot so the next
+// boot replays an empty WAL.
 //
 // HTTP API (package soda/internal/server):
 //
@@ -82,14 +89,15 @@ func main() {
 		cacheSize   = flag.Int("cache", 0, "answer-cache entries (0 = default, negative = off)")
 		topN        = flag.Int("topn", 0, "ranked statements kept per query (0 = paper's 10)")
 		dialect     = flag.String("dialect", "generic", "default SQL dialect: "+strings.Join(soda.Dialects(), ", "))
+		dataDir     = flag.String("data-dir", "", "persistent state directory (feedback WAL + snapshots); empty = in-memory")
 	)
 	flag.Parse()
-	if err := run(*addr, *world, *dialect, *parallelism, *cacheSize, *topN); err != nil {
+	if err := run(*addr, *world, *dialect, *dataDir, *parallelism, *cacheSize, *topN); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, world, dialect string, parallelism, cacheSize, topN int) error {
+func run(addr, world, dialect, dataDir string, parallelism, cacheSize, topN int) error {
 	var w *soda.World
 	switch world {
 	case "minibank":
@@ -103,12 +111,33 @@ func run(addr, world, dialect string, parallelism, cacheSize, topN int) error {
 		return fmt.Errorf("unknown dialect %q (want %s)", dialect, strings.Join(soda.Dialects(), ", "))
 	}
 
-	sys := soda.NewSystem(w, soda.Options{
+	opts := soda.Options{
 		TopN:        topN,
 		Parallelism: parallelism,
 		CacheSize:   cacheSize,
 		Dialect:     dialect,
-	})
+	}
+	var sys *soda.System
+	if dataDir != "" {
+		var err error
+		sys, err = soda.Open(w, opts, dataDir)
+		if err != nil {
+			return fmt.Errorf("opening state store: %w", err)
+		}
+		st := sys.StoreStats()
+		if st.WarmStart {
+			log.Printf("state store %s: warm start from snapshot (epoch %d, %d WAL records replayed)",
+				dataDir, st.SnapshotEpoch, st.ReplayedRecords)
+		} else {
+			reason := st.InvalidReason
+			if reason == "" {
+				reason = "no snapshot"
+			}
+			log.Printf("state store %s: cold start (%s), snapshot pre-baked for next boot", dataDir, reason)
+		}
+	} else {
+		sys = soda.NewSystem(w, opts)
+	}
 	log.Printf("warming %s (%d tables)...", w.Name(), len(w.TableNames()))
 	sys.Warm()
 
@@ -142,6 +171,14 @@ func run(addr, world, dialect string, parallelism, cacheSize, topN int) error {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	if dataDir != "" {
+		// Fold the WAL tail into a final snapshot: the next boot opens
+		// warm with nothing to replay.
+		if err := sys.Close(); err != nil {
+			return fmt.Errorf("flushing state store: %w", err)
+		}
+		log.Printf("state store %s flushed", dataDir)
 	}
 	return <-errc
 }

@@ -118,10 +118,14 @@ func TestSharedSystemMixedWorkload(t *testing.T) {
 						return
 					}
 					if len(ans.Results) > 0 {
+						// Errors are tolerated: under heavy contention a
+						// result can leave the answer before the feedback
+						// re-resolves, which is a correct rejection, not a
+						// failure.
 						if i%2 == 0 {
-							ans.Results[0].Like()
+							_ = ans.Results[0].Like()
 						} else {
-							ans.Results[0].Dislike()
+							_ = ans.Results[0].Dislike()
 						}
 					}
 				case 2: // schema browser
@@ -173,7 +177,9 @@ func TestFeedbackInvalidatesCacheAcrossAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	scoreBefore := ans.Results[0].Score
-	ans.Results[0].Like()
+	if err := ans.Results[0].Like(); err != nil {
+		t.Fatal(err)
+	}
 
 	after, err := sys.Search("customer")
 	if err != nil {
@@ -187,7 +193,9 @@ func TestFeedbackInvalidatesCacheAcrossAPI(t *testing.T) {
 		t.Fatalf("liked result score %v should rise above %v", after.Results[0].Score, scoreBefore)
 	}
 
-	sys.ResetFeedback()
+	if err := sys.ResetFeedback(); err != nil {
+		t.Fatal(err)
+	}
 	reset, err := sys.Search("customer")
 	if err != nil {
 		t.Fatal(err)

@@ -91,8 +91,12 @@ func main() {
 	for i, r := range ans.Results {
 		for _, tbl := range r.FromTables {
 			if tbl == "individual_name_hist" {
+				// Like re-resolves the statement after each re-ranking, so
+				// repeated likes on one result keep working.
 				for k := 0; k < 4; k++ {
-					ans.Results[i].Like()
+					if err := ans.Results[i].Like(); err != nil {
+						log.Fatal(err)
+					}
 				}
 			}
 		}

@@ -114,7 +114,9 @@ func TestSnippetRowsInvalidatedByFeedback(t *testing.T) {
 	sys := newSys(t, Options{})
 	a1 := searchWith(t, sys, "wealthy customers", SearchOptions{Snippets: true})
 	before := sys.ExecCount()
-	sys.Feedback(best(t, a1), true)
+	if err := sys.Feedback(best(t, a1), true); err != nil {
+		t.Fatal(err)
+	}
 	a2 := searchWith(t, sys, "wealthy customers", SearchOptions{Snippets: true})
 	if a1 == a2 {
 		t.Fatal("feedback must invalidate the cached snippet answer")
@@ -139,12 +141,16 @@ func TestCacheDisabled(t *testing.T) {
 func TestCacheInvalidatedByFeedback(t *testing.T) {
 	sys := newSys(t, Options{})
 	a1 := search(t, sys, "wealthy customers")
-	sys.Feedback(best(t, a1), true)
+	if err := sys.Feedback(best(t, a1), true); err != nil {
+		t.Fatal(err)
+	}
 	a2 := search(t, sys, "wealthy customers")
 	if a1 == a2 {
 		t.Fatal("feedback must invalidate the cached answer")
 	}
-	sys.ResetFeedback()
+	if err := sys.ResetFeedback(); err != nil {
+		t.Fatal(err)
+	}
 	a3 := search(t, sys, "wealthy customers")
 	if a3 == a2 {
 		t.Fatal("ResetFeedback must invalidate the cached answer")
@@ -155,7 +161,9 @@ func TestCacheFeedbackChangesScores(t *testing.T) {
 	sys := newSys(t, Options{})
 	a1 := search(t, sys, "customer")
 	before := best(t, a1).Score
-	sys.Feedback(best(t, a1), true)
+	if err := sys.Feedback(best(t, a1), true); err != nil {
+		t.Fatal(err)
+	}
 	a2 := search(t, sys, "customer")
 	after := best(t, a2).Score
 	if after <= before {

@@ -34,6 +34,7 @@ import (
 	"soda/internal/rdf"
 	"soda/internal/sqlast"
 	"soda/internal/sqlparse"
+	"soda/internal/store"
 )
 
 // Options tunes the pipeline. The zero value is usable; Defaults fills in
@@ -66,6 +67,13 @@ type Options struct {
 	// dialect and snippet flag, and invalidated as a whole whenever
 	// relevance feedback changes the ranking function.
 	CacheSize int
+
+	// CompactEvery is the WAL compaction threshold when a persistent
+	// store is attached (OpenStore): once the log holds this many
+	// records a fresh snapshot is written and the log is compacted. 0
+	// means the default (1024); negative disables automatic compaction
+	// (snapshots still happen on Close and on explicit WriteSnapshot).
+	CompactEvery int
 
 	// Dialect selects the SQL surface syntax generated statements are
 	// rendered in (identifier quoting, LIMIT vs FETCH FIRST, string
@@ -103,6 +111,9 @@ func (o Options) withDefaults() Options {
 	if o.CacheSize == 0 {
 		o.CacheSize = d.CacheSize
 	}
+	if o.CompactEvery == 0 {
+		o.CompactEvery = defaultCompactEvery
+	}
 	if o.Dialect == nil {
 		o.Dialect = sqlast.Generic
 	}
@@ -137,10 +148,19 @@ type System struct {
 	tblMemo map[rdf.Term]string
 
 	// Relevance feedback. epoch counts ranking-function changes; cached
-	// answers from older epochs are never served.
-	fbMu     sync.RWMutex
-	feedback map[feedbackKey]float64
-	epoch    atomic.Uint64
+	// answers from older epochs are never served. When a persistent
+	// store is attached (OpenStore) every change is logged to its WAL
+	// before it is applied, and appliedSeq tracks the last WAL sequence
+	// folded into the in-memory state.
+	fbMu            sync.RWMutex
+	feedback        map[feedbackKey]float64
+	epoch           atomic.Uint64
+	store           *store.Store
+	appliedSeq      uint64
+	warmStart       bool
+	replayedRecords int
+	fingerprint     uint64
+	compacting      atomic.Bool // an async auto-compaction is in flight
 
 	// execs counts SQL statements actually run by the engine (snippets,
 	// Execute, ExecSQL). Tests assert that answer-cache hits with
@@ -319,6 +339,13 @@ type Solution struct {
 	TopN         int
 	Disconnected bool // no join path connected some entry points
 
+	// Epoch is the ranking epoch the solution was computed under.
+	// Feedback validates it against the current epoch: a solution from
+	// an older epoch was ranked by a different function, and applying
+	// its feedback silently (or replaying it from a WAL twice) would
+	// corrupt the accumulated adjustments.
+	Epoch uint64
+
 	SQL *sqlast.Select
 	// Dialect the statement is rendered in (set by the SQL step; nil
 	// means sqlast.Generic).
@@ -378,6 +405,10 @@ type Analysis struct {
 	// that snippet rows were executed and cached on the solutions.
 	Dialect      *sqlast.Dialect
 	WithSnippets bool
+
+	// Epoch is the ranking epoch the analysis was computed under (the
+	// same value stamped on every solution).
+	Epoch uint64
 }
 
 // Warm precomputes the join graph and bridge-table caches so the first
@@ -429,7 +460,7 @@ func (s *System) SearchWith(input string, so SearchOptions) (*Analysis, error) {
 		}
 	}
 
-	a := &Analysis{Query: q, Dialect: dialect, WithSnippets: so.Snippets}
+	a := &Analysis{Query: q, Dialect: dialect, WithSnippets: so.Snippets, Epoch: epoch}
 
 	start := time.Now()
 	s.lookup(a) // step 1
@@ -438,6 +469,13 @@ func (s *System) SearchWith(input string, so SearchOptions) (*Analysis, error) {
 	start = time.Now()
 	s.rank(a) // step 2
 	a.Timings.Rank = time.Since(start)
+
+	// Stamp every solution with the pipeline's epoch: Feedback checks it
+	// so feedback from a page ranked under an older function is detected
+	// instead of silently applied.
+	for _, sol := range a.Solutions {
+		sol.Epoch = epoch
+	}
 
 	// Steps 3-5 are independent per solution; each runs across the
 	// bounded worker pool. Solutions keep their slice positions, so the
@@ -507,13 +545,21 @@ func (s *System) snippetStep(sol *Solution) {
 // forEachSolution applies fn to every solution using up to
 // Opt.Parallelism workers. fn must only mutate its own solution.
 func (s *System) forEachSolution(sols []*Solution, fn func(*Solution)) {
+	s.parallelDo(len(sols), func(i int) { fn(sols[i]) })
+}
+
+// parallelDo runs fn(i) for every i in [0, n) across up to
+// Opt.Parallelism workers. Indices are handed out atomically, so fn calls
+// that write only to their own index-addressed slot produce output
+// byte-identical to a sequential run.
+func (s *System) parallelDo(n int, fn func(int)) {
 	workers := s.Opt.Parallelism
-	if workers > len(sols) {
-		workers = len(sols)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		for _, sol := range sols {
-			fn(sol)
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
 		return
 	}
@@ -536,10 +582,10 @@ func (s *System) forEachSolution(sols []*Solution, fn func(*Solution)) {
 			}()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(sols) {
+				if i >= n {
 					return
 				}
-				fn(sols[i])
+				fn(i)
 			}
 		}()
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"soda/internal/rdf"
+	"soda/internal/store"
 )
 
 // Relevance feedback (§6.3): "SODA presents several possible solutions to
@@ -13,6 +14,10 @@ import (
 // same interpretations. This also implements the paper's evolution story
 // (§1.2: "SODA can evolve over time thereby adapting ... based on user
 // feedback").
+//
+// When a persistent store is attached (OpenStore) every accepted feedback
+// call is appended to the write-ahead log before it is applied, so the
+// accumulated adjustments survive daemon restarts.
 
 // feedbackStep is the score adjustment per like/dislike on one entry
 // point; adjustments accumulate and are clamped to ±maxFeedback.
@@ -35,12 +40,77 @@ func keyOf(e EntryPoint) feedbackKey {
 	return feedbackKey{column: ColRef{Table: e.Table, Column: e.Column}}
 }
 
+// storeKey converts a feedback key to its on-disk form.
+func storeKey(k feedbackKey) store.Key {
+	if !k.node.IsZero() {
+		return store.Key{Node: k.node.Value()}
+	}
+	return store.Key{Table: k.column.Table, Column: k.column.Column}
+}
+
+// keyFromStore converts an on-disk key back to the in-memory form.
+func keyFromStore(k store.Key) feedbackKey {
+	if k.Node != "" {
+		return feedbackKey{node: rdf.NewIRI(k.Node)}
+	}
+	return feedbackKey{column: ColRef{Table: k.Table, Column: k.Column}}
+}
+
+// StaleSolutionError reports feedback on a solution computed under an
+// older ranking epoch. Between the search that produced the solution and
+// the feedback call, other feedback changed the ranking function; applying
+// the stale call silently would also let a replayed WAL record
+// double-apply after a crash. Callers re-run the search and resolve the
+// same statement in the fresh answer (the soda layer does this
+// automatically).
+type StaleSolutionError struct {
+	SolutionEpoch uint64
+	CurrentEpoch  uint64
+}
+
+func (e *StaleSolutionError) Error() string {
+	return fmt.Sprintf("core: stale feedback: solution from ranking epoch %d, current epoch %d (re-run the search and retry)",
+		e.SolutionEpoch, e.CurrentEpoch)
+}
+
 // Feedback records a like (true) or dislike (false) for every entry point
-// of the solution. Each call bumps the ranking epoch, invalidating every
-// cached answer: the feedback must be observable on the very next search.
-func (s *System) Feedback(sol *Solution, like bool) {
+// of the solution. Each accepted call bumps the ranking epoch,
+// invalidating every cached answer: the feedback must be observable on the
+// very next search. A solution from an older epoch is rejected with
+// *StaleSolutionError instead of being silently applied against a ranking
+// function it was never scored by.
+func (s *System) Feedback(sol *Solution, like bool) error {
 	s.fbMu.Lock()
 	defer s.fbMu.Unlock()
+	if cur := s.epoch.Load(); sol.Epoch != cur {
+		return &StaleSolutionError{SolutionEpoch: sol.Epoch, CurrentEpoch: cur}
+	}
+	op := store.OpDislike
+	if like {
+		op = store.OpLike
+	}
+	keys := make([]store.Key, len(sol.Entries))
+	for i, e := range sol.Entries {
+		keys[i] = storeKey(keyOf(e))
+	}
+	if s.store != nil {
+		rec, err := s.store.Append(op, keys)
+		if err != nil {
+			return fmt.Errorf("core: logging feedback: %w", err)
+		}
+		s.appliedSeq = rec.Seq
+	}
+	s.applyFeedbackLocked(keys, like)
+	s.epoch.Add(1)
+	s.maybeCompactLocked()
+	return nil
+}
+
+// applyFeedbackLocked folds one feedback event into the adjustment map.
+// The caller holds fbMu and is responsible for the epoch bump. Both the
+// live path and WAL replay go through here, so replay is exactly as
+// deterministic as the original sequence of calls.
+func (s *System) applyFeedbackLocked(keys []store.Key, like bool) {
 	if s.feedback == nil {
 		s.feedback = make(map[feedbackKey]float64)
 	}
@@ -48,8 +118,8 @@ func (s *System) Feedback(sol *Solution, like bool) {
 	if !like {
 		delta = -feedbackStep
 	}
-	for _, e := range sol.Entries {
-		k := keyOf(e)
+	for _, sk := range keys {
+		k := keyFromStore(sk)
 		v := s.feedback[k] + delta
 		if v > maxFeedback {
 			v = maxFeedback
@@ -59,7 +129,6 @@ func (s *System) Feedback(sol *Solution, like bool) {
 		}
 		s.feedback[k] = v
 	}
-	s.epoch.Add(1)
 }
 
 // FeedbackAdjustment returns the accumulated adjustment for an entry
@@ -81,12 +150,22 @@ func (s *System) feedbackAdjustmentLocked(e EntryPoint) float64 {
 }
 
 // ResetFeedback forgets all recorded feedback and, like Feedback,
-// invalidates the answer cache by bumping the ranking epoch.
-func (s *System) ResetFeedback() {
+// invalidates the answer cache by bumping the ranking epoch. With a store
+// attached the reset is WAL-logged, so a replay reproduces it.
+func (s *System) ResetFeedback() error {
 	s.fbMu.Lock()
 	defer s.fbMu.Unlock()
+	if s.store != nil {
+		rec, err := s.store.Append(store.OpReset, nil)
+		if err != nil {
+			return fmt.Errorf("core: logging feedback reset: %w", err)
+		}
+		s.appliedSeq = rec.Seq
+	}
 	s.feedback = nil
 	s.epoch.Add(1)
+	s.maybeCompactLocked()
+	return nil
 }
 
 // FeedbackSummary lists the non-zero adjustments for diagnostics.

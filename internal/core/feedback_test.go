@@ -1,11 +1,30 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"soda/internal/metagraph"
 )
+
+// feedbackOnLayer re-runs the query and applies feedback to the solution
+// whose first entry sits on the given layer. Each Feedback call bumps the
+// ranking epoch, so repeated feedback must go through a fresh search —
+// solutions from the previous page are rejected as stale.
+func feedbackOnLayer(t *testing.T, sys *System, q, layer string, like bool) {
+	t.Helper()
+	a := search(t, sys, q)
+	for _, sol := range a.Solutions {
+		if len(sol.Entries) > 0 && sol.Entries[0].Layer == layer {
+			if err := sys.Feedback(sol, like); err != nil {
+				t.Fatalf("Feedback on %s: %v", layer, err)
+			}
+			return
+		}
+	}
+	t.Fatalf("no solution with first entry on layer %s", layer)
+}
 
 func TestFeedbackRerankAmbiguousQuery(t *testing.T) {
 	// A fresh system so feedback does not leak into other tests.
@@ -25,7 +44,7 @@ func TestFeedbackRerankAmbiguousQuery(t *testing.T) {
 	// Disliking the ontology interpretation repeatedly sinks it below
 	// the alternatives.
 	for i := 0; i < 4; i++ {
-		sys.Feedback(first, false)
+		feedbackOnLayer(t, sys, "customer", metagraph.LayerDomainOntology, false)
 	}
 	a2 := search(t, sys, "customer")
 	if a2.Solutions[0].Entries[0].Layer == metagraph.LayerDomainOntology {
@@ -35,7 +54,7 @@ func TestFeedbackRerankAmbiguousQuery(t *testing.T) {
 
 	// Liking it back restores the original ranking.
 	for i := 0; i < 8; i++ {
-		sys.Feedback(first, true)
+		feedbackOnLayer(t, sys, "customer", metagraph.LayerDomainOntology, true)
 	}
 	a3 := search(t, sys, "customer")
 	if a3.Solutions[0].Entries[0].Layer != metagraph.LayerDomainOntology {
@@ -46,13 +65,50 @@ func TestFeedbackRerankAmbiguousQuery(t *testing.T) {
 func TestFeedbackClamped(t *testing.T) {
 	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
 	a := search(t, sys, "customers")
-	sol := best(t, a)
-	for i := 0; i < 100; i++ {
-		sys.Feedback(sol, true)
+	target := keyOf(best(t, a).Entries[0])
+	for i := 0; i < 8; i++ {
+		// Re-search each round: the previous page is stale after its own
+		// feedback bumped the epoch.
+		a := search(t, sys, "customers")
+		var sol *Solution
+		for _, s2 := range a.Solutions {
+			if len(s2.Entries) > 0 && keyOf(s2.Entries[0]) == target {
+				sol = s2
+				break
+			}
+		}
+		if sol == nil {
+			t.Fatal("liked interpretation left the answer")
+		}
+		if err := sys.Feedback(sol, true); err != nil {
+			t.Fatal(err)
+		}
 	}
-	adj := sys.FeedbackAdjustment(sol.Entries[0])
-	if adj > maxFeedback {
-		t.Fatalf("adjustment %f exceeds clamp %f", adj, maxFeedback)
+	adj := sys.FeedbackAdjustment(best(t, search(t, sys, "customers")).Entries[0])
+	if adj != maxFeedback {
+		t.Fatalf("adjustment = %f, want clamped accumulation to %f", adj, maxFeedback)
+	}
+}
+
+func TestFeedbackStaleSolutionRejected(t *testing.T) {
+	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	a := search(t, sys, "customers")
+	sol := best(t, a)
+	if err := sys.Feedback(sol, true); err != nil {
+		t.Fatalf("first feedback at current epoch: %v", err)
+	}
+	// The first call bumped the epoch: the same page is now stale and a
+	// second apply must be detected, not silently double-applied.
+	err := sys.Feedback(sol, true)
+	var stale *StaleSolutionError
+	if !errors.As(err, &stale) {
+		t.Fatalf("stale feedback error = %v, want *StaleSolutionError", err)
+	}
+	if stale.SolutionEpoch >= stale.CurrentEpoch {
+		t.Fatalf("stale error epochs: %+v", stale)
+	}
+	if adj := sys.FeedbackAdjustment(sol.Entries[0]); adj != feedbackStep {
+		t.Fatalf("adjustment = %f, want single step %f (stale call must not apply)", adj, feedbackStep)
 	}
 }
 
@@ -60,7 +116,9 @@ func TestFeedbackResetAndSummary(t *testing.T) {
 	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
 	a := search(t, sys, "customers Zürich")
 	sol := best(t, a)
-	sys.Feedback(sol, true)
+	if err := sys.Feedback(sol, true); err != nil {
+		t.Fatal(err)
+	}
 	sum := sys.FeedbackSummary()
 	if len(sum) == 0 {
 		t.Fatal("summary should list adjustments")
@@ -74,7 +132,9 @@ func TestFeedbackResetAndSummary(t *testing.T) {
 	if !foundBaseData {
 		t.Fatalf("base-data adjustment missing from summary: %v", sum)
 	}
-	sys.ResetFeedback()
+	if err := sys.ResetFeedback(); err != nil {
+		t.Fatal(err)
+	}
 	if len(sys.FeedbackSummary()) != 0 {
 		t.Fatal("reset should clear feedback")
 	}

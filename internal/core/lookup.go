@@ -62,13 +62,28 @@ func (s *System) lookup(a *Analysis) {
 	// Candidates per term. The feedback read-lock spans all terms:
 	// a concurrent Feedback call is either fully visible to this search
 	// or not at all, never half-applied.
+	//
+	// Terms probe the metadata label index and the inverted index
+	// independently, so the probes run across the worker pool — lookup
+	// dominates some warehouse queries (ROADMAP), and steps 3-5 were
+	// already parallel. Each worker writes only its own index-addressed
+	// candidate slot, so the output is byte-identical to a sequential
+	// scan. Workers read the feedback map while this goroutine holds the
+	// read-lock across the whole fan-out: writers are excluded, so every
+	// term sees the same feedback state.
 	a.Candidates = make([][]EntryPoint, len(a.Terms))
 	a.Complexity = 1
-	s.fbMu.RLock()
-	defer s.fbMu.RUnlock()
-	for ti, term := range a.Terms {
-		cands := s.candidates(ti, term)
-		a.Candidates[ti] = cands
+	func() {
+		// parallelDo re-panics worker panics on this goroutine (so
+		// net/http's recovery applies); the deferred unlock keeps a
+		// panicking probe from wedging every future Feedback call.
+		s.fbMu.RLock()
+		defer s.fbMu.RUnlock()
+		s.parallelDo(len(a.Terms), func(ti int) {
+			a.Candidates[ti] = s.candidates(ti, a.Terms[ti])
+		})
+	}()
+	for _, cands := range a.Candidates {
 		if len(cands) > 0 {
 			a.Complexity *= len(cands)
 		}

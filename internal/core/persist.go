@@ -1,0 +1,200 @@
+package core
+
+// Persistence hooks: a System can attach a store.Store so relevance
+// feedback survives restarts ("open the store, replay the tail") and the
+// expensive derived state — inverted index, metadata graph, feedback map —
+// is snapshotted for instant warm starts. The soda layer decides which
+// substrates to boot from (snapshot vs cold rebuild); this file owns the
+// feedback restore, WAL replay, snapshot writes and compaction policy.
+
+import (
+	"errors"
+	"fmt"
+
+	"soda/internal/store"
+)
+
+// defaultCompactEvery is the WAL record count that triggers an automatic
+// snapshot + compaction when Options.CompactEvery is 0.
+const defaultCompactEvery = 1024
+
+// StoreStats describes the attached store for diagnostics; WarmStart
+// reports whether this System booted from a snapshot instead of a cold
+// rebuild.
+type StoreStats struct {
+	store.Stats
+	WarmStart bool `json:"warm_start"`
+	// ReplayedRecords is how many WAL records were replayed at open on
+	// top of the snapshot (or of empty state).
+	ReplayedRecords int `json:"replayed_records"`
+}
+
+// OpenStore attaches an open store to the System: it restores the
+// feedback map and ranking epoch from the snapshot (when one was loaded),
+// replays the WAL tail — skipping records the snapshot already folded in,
+// so nothing can double-apply — and from then on logs every feedback
+// change through the WAL. When the boot was cold (snap == nil) a fresh
+// snapshot is written immediately so the *next* boot is warm.
+//
+// OpenStore must be called once, before the System serves searches. The
+// snapshot's Index/Meta sections are the caller's concern: pass them to
+// NewSystem to skip the cold rebuild, then hand the same snapshot here.
+func (s *System) OpenStore(st *store.Store, snap *store.Snapshot) error {
+	if st == nil {
+		return errors.New("core: OpenStore: nil store")
+	}
+	s.fbMu.Lock()
+	defer s.fbMu.Unlock()
+	if s.store != nil {
+		return errors.New("core: store already attached")
+	}
+	if snap != nil {
+		s.feedback = make(map[feedbackKey]float64, len(snap.Feedback))
+		for _, e := range snap.Feedback {
+			s.feedback[keyFromStore(e.Key)] = e.Value
+		}
+		s.epoch.Store(snap.Epoch)
+		s.appliedSeq = snap.AppliedSeq
+		s.warmStart = true
+	}
+	replayed := 0
+	for _, rec := range st.Replayed() {
+		if rec.Seq <= s.appliedSeq {
+			continue // already folded into the snapshot
+		}
+		s.applyRecordLocked(rec)
+		replayed++
+	}
+	s.replayedRecords = replayed
+	s.store = st
+	if snap == nil {
+		// Cold boot: pre-bake the snapshot (and compact any replayed WAL)
+		// so the next boot opens warm.
+		if err := s.writeSnapshotLocked(); err != nil {
+			return fmt.Errorf("core: initial snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// applyRecordLocked replays one WAL record. Each record corresponds to
+// exactly one accepted feedback call, i.e. one epoch bump — so a replayed
+// System ends at the same epoch, with the same adjustments, as the one
+// that wrote the log.
+func (s *System) applyRecordLocked(rec store.Record) {
+	switch rec.Op {
+	case store.OpReset:
+		s.feedback = nil
+	case store.OpLike, store.OpDislike:
+		s.applyFeedbackLocked(rec.Keys, rec.Op == store.OpLike)
+	}
+	s.epoch.Add(1)
+	s.appliedSeq = rec.Seq
+}
+
+// WriteSnapshot persists the current derived state (index, metadata
+// graph, feedback map and epoch) and compacts the WAL. Safe to call
+// concurrently with searches and feedback; the feedback state and its WAL
+// position are captured atomically.
+func (s *System) WriteSnapshot() (store.Stats, error) {
+	s.fbMu.RLock()
+	defer s.fbMu.RUnlock()
+	if s.store == nil {
+		return store.Stats{}, errors.New("core: no store attached")
+	}
+	if err := s.writeSnapshotLocked(); err != nil {
+		return store.Stats{}, err
+	}
+	return s.store.Stats(), nil
+}
+
+// snapshotLocked captures a consistent snapshot value; the caller holds
+// fbMu (read suffices: the feedback map is only written under the full
+// lock, and index/meta are immutable after construction). The capture is
+// cheap — the expensive encode happens when the snapshot is written.
+func (s *System) snapshotLocked() *store.Snapshot {
+	snap := &store.Snapshot{
+		Fingerprint: s.fingerprint,
+		Epoch:       s.epoch.Load(),
+		AppliedSeq:  s.appliedSeq,
+		Index:       s.Index,
+		Meta:        s.Meta,
+	}
+	for k, v := range s.feedback {
+		snap.Feedback = append(snap.Feedback, store.FeedbackEntry{Key: storeKey(k), Value: v})
+	}
+	return snap
+}
+
+// writeSnapshotLocked builds and writes a snapshot; see snapshotLocked
+// for the locking contract.
+func (s *System) writeSnapshotLocked() error {
+	return s.store.WriteSnapshot(s.snapshotLocked())
+}
+
+// maybeCompactLocked snapshots and compacts once the WAL grows past the
+// configured threshold. Called with fbMu held after an append. Only the
+// state capture happens under the lock: encoding and fsyncing a
+// warehouse-scale snapshot takes long enough that doing it inline would
+// stall every concurrent search behind the one unlucky feedback call
+// that crossed the threshold. Errors are swallowed deliberately —
+// compaction is an optimisation, and the WAL record that triggered it is
+// already durable; records appended while the write runs stay in the
+// compacted log (they are newer than the captured AppliedSeq).
+func (s *System) maybeCompactLocked() {
+	if s.store == nil || s.Opt.CompactEvery <= 0 {
+		return
+	}
+	if s.store.WALRecords() < s.Opt.CompactEvery {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return // one in-flight compaction is plenty
+	}
+	snap := s.snapshotLocked()
+	st := s.store
+	go func() {
+		defer s.compacting.Store(false)
+		_ = st.WriteSnapshot(snap) // a closed store rejects the write; fine
+	}()
+}
+
+// SetFingerprint records the world fingerprint stamped into snapshots.
+// The soda layer computes it from the world's structure before attaching
+// the store.
+func (s *System) SetFingerprint(fp uint64) { s.fingerprint = fp }
+
+// WarmStart reports whether this System booted from a snapshot.
+func (s *System) WarmStart() bool { return s.warmStart }
+
+// StoreStats describes the attached store, or nil when the System runs
+// without persistence.
+func (s *System) StoreStats() *StoreStats {
+	s.fbMu.RLock()
+	defer s.fbMu.RUnlock()
+	if s.store == nil {
+		return nil
+	}
+	return &StoreStats{Stats: s.store.Stats(), WarmStart: s.warmStart, ReplayedRecords: s.replayedRecords}
+}
+
+// Close flushes persistent state and detaches the store: any WAL tail is
+// folded into a final snapshot (the graceful-shutdown flush), and the
+// store is closed. A System without a store closes trivially. The System
+// must not be used after Close.
+func (s *System) Close() error {
+	s.fbMu.Lock()
+	defer s.fbMu.Unlock()
+	if s.store == nil {
+		return nil
+	}
+	var err error
+	if s.store.WALRecords() > 0 {
+		err = s.writeSnapshotLocked()
+	}
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
+	s.store = nil
+	return err
+}

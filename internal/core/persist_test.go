@@ -1,0 +1,283 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"soda/internal/store"
+)
+
+// The persistence contract: a System that dies and reopens the same data
+// directory — from a snapshot, from a WAL replay, or from both — must
+// produce byte-identical rankings to the one that wrote it.
+
+const persistTestFP = uint64(0x50DA)
+
+// openSysWithStore builds a System over the shared minibank world and
+// attaches a store in dir. Returned systems are closed by the caller.
+func openSysWithStore(t *testing.T, dir string, opt Options) *System {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closing the raw store is idempotent: systems the test closed
+	// gracefully already released it, "crashed" ones leak their flusher
+	// goroutine until here.
+	t.Cleanup(func() { st.Close() })
+	snap, err := st.LoadSnapshot(persistTestFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, idx := world.Meta, world.Index
+	if snap != nil {
+		meta, idx = snap.Meta, snap.Index
+	}
+	sys := NewSystem(world.DB, meta, idx, opt)
+	sys.SetFingerprint(persistTestFP)
+	if err := sys.OpenStore(st, snap); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// applyTestFeedback records a deterministic feedback sequence: dislikes
+// on the ontology "customer" interpretation and likes on the Zürich
+// base-data interpretation, re-searching between calls (each call bumps
+// the epoch).
+func applyTestFeedback(t *testing.T, sys *System, rounds int) {
+	t.Helper()
+	for i := 0; i < rounds; i++ {
+		a := search(t, sys, "customer")
+		if err := sys.Feedback(a.Solutions[0], i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+		a = search(t, sys, "customers Zürich")
+		if err := sys.Feedback(a.Solutions[len(a.Solutions)-1], false); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func rankingsOf(t *testing.T, sys *System) []string {
+	t.Helper()
+	var out []string
+	for _, q := range determinismQueries {
+		out = append(out, sqlsOf(t, sys, q)...)
+		a := search(t, sys, q)
+		for _, sol := range a.Solutions {
+			out = append(out, formatScore(sol.Score))
+		}
+	}
+	return out
+}
+
+func formatScore(s float64) string {
+	// Full float bits: "byte-identical ranking" includes the scores, not
+	// just the SQL ordering.
+	return strconv.FormatFloat(s, 'x', -1, 64)
+}
+
+func assertSameRankings(t *testing.T, a, b []string, context string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: ranking lengths differ: %d vs %d", context, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: ranking entry %d differs:\n%q\nvs\n%q", context, i, a[i], b[i])
+		}
+	}
+}
+
+// TestWALReplayDeterminism: the same WAL produces byte-identical rankings
+// — whether replayed on top of the initial snapshot or cold from an empty
+// feedback map — and a second replay does not double-apply.
+func TestWALReplayDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	sys1 := openSysWithStore(t, dir, Options{})
+	applyTestFeedback(t, sys1, 3)
+	want := rankingsOf(t, sys1)
+	if err := sys1.store.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulated crash: the store is NOT closed, so no final snapshot is
+	// written — the WAL tail carries all the feedback.
+
+	// Reopen 1: initial snapshot (epoch 0, from the cold open) + WAL tail.
+	sys2 := openSysWithStore(t, dir, Options{})
+	if sys2.StoreStats().ReplayedRecords == 0 {
+		t.Fatal("expected WAL records to replay")
+	}
+	assertSameRankings(t, want, rankingsOf(t, sys2), "snapshot+tail replay")
+	if err := sys2.store.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen 2: delete the snapshot — a pure WAL replay from scratch must
+	// land on the same state.
+	if err := os.Remove(filepath.Join(dir, "snapshot.soda")); err != nil {
+		t.Fatal(err)
+	}
+	sys3 := openSysWithStore(t, dir, Options{})
+	assertSameRankings(t, want, rankingsOf(t, sys3), "cold WAL replay")
+	if sys3.epoch.Load() != sys1.epoch.Load() {
+		t.Fatalf("replayed epoch %d != original %d", sys3.epoch.Load(), sys1.epoch.Load())
+	}
+
+	// Reopen 3: sys3's cold open wrote a fresh snapshot and compacted the
+	// WAL; opening again must replay nothing and still agree.
+	if err := sys3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sys4 := openSysWithStore(t, dir, Options{})
+	defer sys4.Close()
+	st := sys4.StoreStats()
+	if !st.WarmStart {
+		t.Fatal("expected warm start from the compacted snapshot")
+	}
+	if st.ReplayedRecords != 0 {
+		t.Fatalf("replayed %d records after compaction, want 0 (no double-apply)", st.ReplayedRecords)
+	}
+	assertSameRankings(t, want, rankingsOf(t, sys4), "warm reopen")
+}
+
+// TestCloseWritesFinalSnapshot: a graceful shutdown folds the WAL tail
+// into a snapshot, and the next boot is warm with nothing to replay.
+func TestCloseWritesFinalSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	sys1 := openSysWithStore(t, dir, Options{})
+	applyTestFeedback(t, sys1, 2)
+	want := rankingsOf(t, sys1)
+	if err := sys1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2 := openSysWithStore(t, dir, Options{})
+	defer sys2.Close()
+	st := sys2.StoreStats()
+	if !st.WarmStart || st.ReplayedRecords != 0 || st.WALRecords != 0 {
+		t.Fatalf("after graceful close: %+v, want warm start with empty WAL", st)
+	}
+	assertSameRankings(t, want, rankingsOf(t, sys2), "post-close reopen")
+}
+
+// TestAutoCompaction: once the WAL passes CompactEvery records the System
+// snapshots and truncates it on its own.
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	sys := openSysWithStore(t, dir, Options{CompactEvery: 4})
+	defer sys.Close()
+	for i := 0; i < 6; i++ {
+		a := search(t, sys, "customer")
+		if err := sys.Feedback(a.Solutions[0], true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compaction runs asynchronously off the feedback call that crossed
+	// the threshold; poll briefly for it to land. The cold open already
+	// counted one compaction (the pre-baked snapshot), so the observable
+	// postcondition is the WAL shrinking below the threshold.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := sys.StoreStats()
+		if st.Compactions >= 2 && st.WALRecords < 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no auto-compaction after 6 feedback calls with CompactEvery=4: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestConcurrentFeedbackSearchSnapshot hammers one persistent System with
+// parallel searches, feedback and snapshot writes (run under -race in CI).
+func TestConcurrentFeedbackSearchSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	sys := openSysWithStore(t, dir, Options{})
+	defer sys.Close()
+
+	const goroutines = 12
+	const iters = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch g % 3 {
+				case 0: // searcher
+					q := determinismQueries[(g+i)%len(determinismQueries)]
+					if _, err := sys.Search(q); err != nil {
+						errs <- err
+						return
+					}
+				case 1: // feedback giver; stale rejections are expected
+					a, err := sys.Search("customer")
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(a.Solutions) > 0 {
+						_ = sys.Feedback(a.Solutions[0], i%2 == 0)
+					}
+				default: // snapshotter
+					if _, err := sys.WriteSnapshot(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The surviving state must round-trip: close and reopen warm.
+	want := rankingsOf(t, sys)
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sys2 := openSysWithStore(t, dir, Options{})
+	defer sys2.Close()
+	assertSameRankings(t, want, rankingsOf(t, sys2), "post-stress reopen")
+}
+
+// TestParallelLookupIdentical pins the satellite: per-term parallel
+// lookup produces byte-identical analyses to a sequential scan.
+func TestParallelLookupIdentical(t *testing.T) {
+	seq := NewSystem(world.DB, world.Meta, world.Index, Options{Parallelism: 1})
+	par := NewSystem(world.DB, world.Meta, world.Index, Options{Parallelism: 8})
+	for _, q := range determinismQueries {
+		a1, a2 := search(t, seq, q), search(t, par, q)
+		if len(a1.Candidates) != len(a2.Candidates) {
+			t.Fatalf("%q: candidate term counts differ", q)
+		}
+		for ti := range a1.Candidates {
+			if len(a1.Candidates[ti]) != len(a2.Candidates[ti]) {
+				t.Fatalf("%q: term %d candidate counts differ", q, ti)
+			}
+			for ci := range a1.Candidates[ti] {
+				if a1.Candidates[ti][ci].Describe() != a2.Candidates[ti][ci].Describe() ||
+					a1.Candidates[ti][ci].Score != a2.Candidates[ti][ci].Score {
+					t.Fatalf("%q: term %d candidate %d differs", q, ti, ci)
+				}
+			}
+		}
+		s1, s2 := sqlsOf(t, seq, q), sqlsOf(t, par, q)
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("%q: ranked SQL %d differs between sequential and parallel lookup", q, i)
+			}
+		}
+	}
+}

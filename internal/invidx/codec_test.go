@@ -1,0 +1,110 @@
+package invidx
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"soda/internal/engine"
+)
+
+func buildCodecTestDB() *engine.DB {
+	db := engine.NewDB()
+	parties := db.Create("parties",
+		engine.Column{Name: "id", Type: engine.TInt},
+		engine.Column{Name: "name", Type: engine.TString},
+		engine.Column{Name: "city", Type: engine.TString})
+	parties.Insert(engine.Int(1), engine.Str("Credit Suisse"), engine.Str("Zürich"))
+	parties.Insert(engine.Int(2), engine.Str("Sara Güttinger"), engine.Str("Zurich"))
+	parties.Insert(engine.Int(3), engine.Str("Credit Suisse Master Agreement"), engine.Str("Bern"))
+	parties.Insert(engine.Int(4), engine.Null(), engine.Str(""))
+	notes := db.Create("notes",
+		engine.Column{Name: "body", Type: engine.TString})
+	notes.Insert(engine.Str("gold certificate for Credit Suisse"))
+	return db
+}
+
+func TestCodecRoundTripExact(t *testing.T) {
+	idx := Build(buildCodecTestDB())
+	var buf bytes.Buffer
+	if err := idx.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(idx.postings, got.postings) {
+		t.Fatal("postings map changed across the round trip")
+	}
+	if !reflect.DeepEqual(idx.values, got.values) {
+		t.Fatal("values map changed across the round trip")
+	}
+	if !reflect.DeepEqual(idx.rawValues, got.rawValues) {
+		t.Fatal("raw values changed across the round trip")
+	}
+	if idx.tokens != got.tokens {
+		t.Fatalf("tokens %d != %d", idx.tokens, got.tokens)
+	}
+
+	// The observable API must agree too, including ordering-sensitive
+	// results (Hits order feeds the ranked output).
+	for _, phrase := range []string{"credit suisse", "zurich", "gold", "credit suisse master agreement", "nothing"} {
+		if !reflect.DeepEqual(idx.Hits(phrase), got.Hits(phrase)) {
+			t.Fatalf("Hits(%q) differ after round trip", phrase)
+		}
+	}
+
+	// Deterministic encoding: encoding the decoded index reproduces the
+	// same bytes.
+	var buf2 bytes.Buffer
+	if err := got.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("encoding is not deterministic across a round trip")
+	}
+}
+
+func TestCodecRejectsCorruptInput(t *testing.T) {
+	idx := Build(buildCodecTestDB())
+	var buf bytes.Buffer
+	if err := idx.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := ReadIndex(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+}
+
+// BenchmarkReadIndex measures snapshot decode of an index over a few
+// thousand text cells — the other half of the warm-start budget next to
+// rdf.ReadBinary.
+func BenchmarkReadIndex(b *testing.B) {
+	db := engine.NewDB()
+	words := []string{"credit", "suisse", "gold", "zurich", "bond", "swap", "master", "agreement"}
+	for t := 0; t < 20; t++ {
+		tbl := db.Create(fmt.Sprintf("t%d", t),
+			engine.Column{Name: "a", Type: engine.TString},
+			engine.Column{Name: "b", Type: engine.TString})
+		for r := 0; r < 200; r++ {
+			tbl.Insert(
+				engine.Str(words[r%len(words)]+" "+words[(r+t)%len(words)]),
+				engine.Str(fmt.Sprintf("value %d %s", r, words[(r+3*t)%len(words)])))
+		}
+	}
+	var buf bytes.Buffer
+	if err := Build(db).Encode(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeIndex(buf.Bytes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -33,23 +33,53 @@ type ColumnHit struct {
 	Rows int
 }
 
+// colKey identifies one text column.
+type colKey struct{ table, column string }
+
 // Index is an inverted index over the text columns of a database.
 type Index struct {
 	postings map[string][]Posting
 	// values indexes full normalised column values, for exact phrase
 	// lookups ("Credit Suisse" as one term).
 	values map[string][]Posting
-	// rawValue recovers the original (non-normalised) value of a posting.
-	rawValue map[Posting]string
-	tokens   int
+	// rawValues recovers the original (non-normalised) value of a
+	// posting: per column, a slice indexed by row number. Rows whose cell
+	// was null/empty were never indexed, so their "" entries are never
+	// looked up. A slice per column beats a map keyed by whole postings —
+	// both to build (and snapshot-decode) and to probe in Hits.
+	rawValues map[colKey][]string
+	tokens    int
+}
+
+// rawOf returns the original value behind a posting.
+func (x *Index) rawOf(p Posting) string {
+	col := x.rawValues[colKey{p.Table, p.Column}]
+	if p.Row < len(col) {
+		return col[p.Row]
+	}
+	return ""
+}
+
+// setRaw records the original value behind a posting. The slice ends at
+// the last non-empty row, so an index built from base data and one
+// decoded from a snapshot (which only carries non-empty entries) are
+// deeply equal.
+func (x *Index) setRaw(p Posting, s string) {
+	k := colKey{p.Table, p.Column}
+	col := x.rawValues[k]
+	for len(col) <= p.Row {
+		col = append(col, "")
+	}
+	col[p.Row] = s
+	x.rawValues[k] = col
 }
 
 // Build indexes every text column of every table in db.
 func Build(db *engine.DB) *Index {
 	idx := &Index{
-		postings: make(map[string][]Posting),
-		values:   make(map[string][]Posting),
-		rawValue: make(map[Posting]string),
+		postings:  make(map[string][]Posting),
+		values:    make(map[string][]Posting),
+		rawValues: make(map[colKey][]string),
 	}
 	for _, name := range db.TableNames() {
 		tbl := db.Table(name)
@@ -65,7 +95,7 @@ func Build(db *engine.DB) *Index {
 				p := Posting{Table: tbl.Name, Column: col.Name, Row: ri}
 				norm := Normalize(v.S)
 				idx.values[norm] = append(idx.values[norm], p)
-				idx.rawValue[p] = v.S
+				idx.setRaw(p, v.S)
 				for _, tok := range Tokenize(v.S) {
 					idx.postings[tok] = append(idx.postings[tok], p)
 					idx.tokens++
@@ -168,7 +198,7 @@ func (x *Index) Hits(phrase string) []ColumnHit {
 			order = append(order, k)
 		}
 		h.Rows++
-		raw := x.rawValue[p]
+		raw := x.rawOf(p)
 		found := false
 		for _, v := range h.Values {
 			if v == raw {

@@ -183,7 +183,7 @@ func TestPhrasePostingsContainAllWordsQuick(t *testing.T) {
 		phrase := phrases[int(i)%len(phrases)]
 		words := Tokenize(phrase)
 		for _, p := range idx.LookupPhrase(phrase) {
-			raw := Normalize(idx.rawValue[p])
+			raw := Normalize(idx.rawOf(p))
 			for _, w := range words {
 				found := false
 				for _, tok := range Tokenize(raw) {

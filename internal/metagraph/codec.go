@@ -1,0 +1,54 @@
+package metagraph
+
+// Snapshot serialisation of the metadata graph. The triple store carries
+// all durable state; the label (classification) index is derived and is
+// rebuilt on load, in an order provably identical to the one incremental
+// addLabel calls produced — lookup results, and therefore rankings, are
+// byte-identical across a snapshot round trip.
+
+import (
+	"io"
+
+	"soda/internal/invidx"
+	"soda/internal/rdf"
+)
+
+// Encode serialises the graph's triples in insertion order using the rdf
+// binary encoding.
+func (g *Graph) Encode(w io.Writer) error {
+	return rdf.WriteBinary(w, g.G)
+}
+
+// ReadGraph decodes a graph written by Encode and rebuilds the label
+// index.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	rg, err := rdf.ReadBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromTriples(rg), nil
+}
+
+// FromTriples wraps an existing triple store, reconstructing the label
+// index from its label triples. addLabel appends a node to a label's list
+// exactly when it also inserts a new (node, label) triple, so scanning
+// label triples in insertion order reproduces the original index order.
+func FromTriples(rg *rdf.Graph) *Graph {
+	labels := rg.WithPredicate(rdf.NewIRI(PredLabel))
+	g := &Graph{G: rg, labelIndex: make(map[string][]rdf.Term, len(labels))}
+	type entry struct {
+		key  string
+		node rdf.Term
+	}
+	seen := make(map[entry]struct{}, len(labels))
+	for _, tr := range labels {
+		key := invidx.Normalize(tr.O.Value())
+		e := entry{key, tr.S}
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		g.labelIndex[key] = append(g.labelIndex[key], tr.S)
+	}
+	return g
+}

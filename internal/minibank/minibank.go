@@ -89,13 +89,21 @@ var (
 
 // Build constructs the mini-bank world.
 func Build(cfg Config) *World {
+	w := BuildNoIndex(cfg)
+	w.Index = invidx.Build(w.DB)
+	return w
+}
+
+// BuildNoIndex constructs the world without its inverted index, for
+// callers that load the index from a state-store snapshot instead of
+// scanning the base data (warm starts).
+func BuildNoIndex(cfg Config) *World {
 	if cfg == (Config{}) {
 		cfg = Default()
 	}
 	w := &World{Nodes: make(map[string]rdf.Term)}
 	w.DB = buildData(cfg)
 	w.Meta = buildMeta(w.Nodes)
-	w.Index = invidx.Build(w.DB)
 	return w
 }
 

@@ -10,18 +10,62 @@ type edge struct {
 
 // adjacency stores the edges of a single node in insertion order, with a
 // per-predicate index for the frequent "follow predicate p" queries the
-// pattern matcher issues.
+// pattern matcher issues. The index is only materialised once a node
+// passes adjIndexThreshold edges: most schema nodes carry a handful of
+// edges where a linear scan wins, and skipping tens of thousands of tiny
+// map allocations is what makes warehouse-scale graph construction — and
+// snapshot warm starts — fast.
 type adjacency struct {
 	edges  []edge
-	byPred map[ID][]ID
+	byPred map[ID][]ID // nil until the node outgrows linear scanning
 }
 
+// adjIndexThreshold is the edge count past which a node gets a
+// per-predicate map.
+const adjIndexThreshold = 8
+
 func (a *adjacency) add(p, end ID) {
-	if a.byPred == nil {
-		a.byPred = make(map[ID][]ID)
-	}
 	a.edges = append(a.edges, edge{p, end})
-	a.byPred[p] = append(a.byPred[p], end)
+	if a.byPred != nil {
+		a.byPred[p] = append(a.byPred[p], end)
+		return
+	}
+	if len(a.edges) > adjIndexThreshold {
+		a.byPred = make(map[ID][]ID, len(a.edges))
+		for _, e := range a.edges {
+			a.byPred[e.pred] = append(a.byPred[e.pred], e.end)
+		}
+	}
+}
+
+// forPred calls fn with every endpoint reached over predicate p, in
+// insertion order.
+func (a *adjacency) forPred(p ID, fn func(ID)) {
+	if a.byPred != nil {
+		for _, end := range a.byPred[p] {
+			fn(end)
+		}
+		return
+	}
+	for _, e := range a.edges {
+		if e.pred == p {
+			fn(e.end)
+		}
+	}
+}
+
+// countPred reports how many edges carry predicate p.
+func (a *adjacency) countPred(p ID) int {
+	if a.byPred != nil {
+		return len(a.byPred[p])
+	}
+	n := 0
+	for _, e := range a.edges {
+		if e.pred == p {
+			n++
+		}
+	}
+	return n
 }
 
 // Graph is an in-memory triple store with set semantics and three indexes:
@@ -29,24 +73,50 @@ func (a *adjacency) add(p, end ID) {
 // scans. All iteration orders are deterministic (insertion order), which
 // keeps SODA's ranked output stable across runs — important because the
 // paper presents users an ordered result page.
+//
+// The per-node and per-predicate indexes are dense slices keyed by the
+// dictionary's sequential IDs rather than maps: node counts are known to
+// be dict-bounded, and indexing an array by a small integer beats hashing
+// on every one of the hundreds of thousands of insertions a
+// warehouse-scale build (or snapshot decode) performs.
 type Graph struct {
 	dict    *Dict
-	seen    map[Triple]struct{}
-	out     map[ID]*adjacency // subject -> (predicate, object)
-	in      map[ID]*adjacency // object  -> (predicate, subject)
-	byPred  map[ID][]Triple   // predicate -> triples in insertion order
-	triples []Triple          // insertion order, for All
+	seen    map[[3]ID]struct{} // interned (s, p, o), for set semantics
+	out     []adjacency        // subject ID   -> (predicate, object); [0] unused
+	in      []adjacency        // object ID    -> (predicate, subject); [0] unused
+	byPred  [][]Triple         // predicate ID -> triples in insertion order
+	triples []Triple           // insertion order, for All
 }
 
 // NewGraph returns an empty graph with its own term dictionary.
 func NewGraph() *Graph {
 	return &Graph{
-		dict:   NewDict(),
-		seen:   make(map[Triple]struct{}),
-		out:    make(map[ID]*adjacency),
-		in:     make(map[ID]*adjacency),
-		byPred: make(map[ID][]Triple),
+		dict: NewDict(),
+		seen: make(map[[3]ID]struct{}),
 	}
+}
+
+// growDense extends s so that index n is addressable, amortising like
+// append.
+func growDense[T any](s []T, n int) []T {
+	if n < len(s) {
+		return s
+	}
+	if n < cap(s) {
+		return s[:n+1]
+	}
+	ns := make([]T, n+1, max(n+1, 2*cap(s)))
+	copy(ns, s)
+	return ns
+}
+
+// adj returns the adjacency at id within s, or nil when id is beyond what
+// has been indexed (a term with no edges in that direction).
+func adj(s []adjacency, id ID) *adjacency {
+	if int(id) < len(s) {
+		return &s[id]
+	}
+	return nil
 }
 
 // Dict exposes the graph's term dictionary.
@@ -59,30 +129,28 @@ func (g *Graph) Add(s, p, o Term) bool {
 	if !s.IsIRI() || !p.IsIRI() {
 		panic("rdf: subject and predicate must be IRIs: " + Triple{s, p, o}.String())
 	}
-	tr := Triple{S: s, P: p, O: o}
-	if _, dup := g.seen[tr]; dup {
+	sid, pid, oid := g.dict.Intern(s), g.dict.Intern(p), g.dict.Intern(o)
+	key := [3]ID{sid, pid, oid}
+	if _, dup := g.seen[key]; dup {
 		return false
 	}
-	g.seen[tr] = struct{}{}
-	sid, pid, oid := g.dict.Intern(s), g.dict.Intern(p), g.dict.Intern(o)
+	g.seen[key] = struct{}{}
+	g.addInterned(sid, pid, oid, Triple{S: s, P: p, O: o})
+	return true
+}
 
-	oa := g.out[sid]
-	if oa == nil {
-		oa = &adjacency{}
-		g.out[sid] = oa
-	}
-	oa.add(pid, oid)
+// addInterned appends the already-deduplicated triple to every index. The
+// caller has interned the terms and updated seen.
+func (g *Graph) addInterned(sid, pid, oid ID, tr Triple) {
+	g.out = growDense(g.out, int(sid))
+	g.out[sid].add(pid, oid)
 
-	ia := g.in[oid]
-	if ia == nil {
-		ia = &adjacency{}
-		g.in[oid] = ia
-	}
-	ia.add(pid, sid)
+	g.in = growDense(g.in, int(oid))
+	g.in[oid].add(pid, sid)
 
+	g.byPred = growDense(g.byPred, int(pid))
 	g.byPred[pid] = append(g.byPred[pid], tr)
 	g.triples = append(g.triples, tr)
-	return true
 }
 
 // AddTriple inserts tr; see Add.
@@ -90,7 +158,11 @@ func (g *Graph) AddTriple(tr Triple) bool { return g.Add(tr.S, tr.P, tr.O) }
 
 // Has reports whether the triple (s, p, o) is in the graph.
 func (g *Graph) Has(s, p, o Term) bool {
-	_, ok := g.seen[Triple{S: s, P: p, O: o}]
+	sid, pid, oid := g.dict.Lookup(s), g.dict.Lookup(p), g.dict.Lookup(o)
+	if sid == NoID || pid == NoID || oid == NoID {
+		return false
+	}
+	_, ok := g.seen[[3]ID{sid, pid, oid}]
 	return ok
 }
 
@@ -108,18 +180,18 @@ func (g *Graph) Objects(s, p Term) []Term {
 	if sid == NoID || pid == NoID {
 		return nil
 	}
-	a := g.out[sid]
+	a := adj(g.out, sid)
 	if a == nil {
 		return nil
 	}
-	ids := a.byPred[pid]
-	if len(ids) == 0 {
+	n := a.countPred(pid)
+	if n == 0 {
 		return nil
 	}
-	res := make([]Term, len(ids))
-	for i, id := range ids {
-		res[i] = g.dict.Term(id)
-	}
+	res := make([]Term, 0, n)
+	a.forPred(pid, func(id ID) {
+		res = append(res, g.dict.Term(id))
+	})
 	return res
 }
 
@@ -140,18 +212,18 @@ func (g *Graph) Subjects(p, o Term) []Term {
 	if pid == NoID || oid == NoID {
 		return nil
 	}
-	a := g.in[oid]
+	a := adj(g.in, oid)
 	if a == nil {
 		return nil
 	}
-	ids := a.byPred[pid]
-	if len(ids) == 0 {
+	n := a.countPred(pid)
+	if n == 0 {
 		return nil
 	}
-	res := make([]Term, len(ids))
-	for i, id := range ids {
-		res[i] = g.dict.Term(id)
-	}
+	res := make([]Term, 0, n)
+	a.forPred(pid, func(id ID) {
+		res = append(res, g.dict.Term(id))
+	})
 	return res
 }
 
@@ -159,7 +231,7 @@ func (g *Graph) Subjects(p, o Term) []Term {
 // order. The returned slice is shared; callers must not modify it.
 func (g *Graph) WithPredicate(p Term) []Triple {
 	pid := g.dict.Lookup(p)
-	if pid == NoID {
+	if pid == NoID || int(pid) >= len(g.byPred) {
 		return nil
 	}
 	return g.byPred[pid]
@@ -172,7 +244,7 @@ func (g *Graph) Outgoing(s Term, fn func(p, o Term) bool) {
 	if sid == NoID {
 		return
 	}
-	a := g.out[sid]
+	a := adj(g.out, sid)
 	if a == nil {
 		return
 	}
@@ -190,7 +262,7 @@ func (g *Graph) Incoming(o Term, fn func(p, s Term) bool) {
 	if oid == NoID {
 		return
 	}
-	a := g.in[oid]
+	a := adj(g.in, oid)
 	if a == nil {
 		return
 	}
@@ -207,7 +279,7 @@ func (g *Graph) OutDegree(s Term) int {
 	if sid == NoID {
 		return 0
 	}
-	if a := g.out[sid]; a != nil {
+	if a := adj(g.out, sid); a != nil {
 		return len(a.edges)
 	}
 	return 0
@@ -219,7 +291,7 @@ func (g *Graph) InDegree(o Term) int {
 	if oid == NoID {
 		return 0
 	}
-	if a := g.in[oid]; a != nil {
+	if a := adj(g.in, oid); a != nil {
 		return len(a.edges)
 	}
 	return 0

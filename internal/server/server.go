@@ -7,12 +7,13 @@
 //
 // Routes:
 //
-//	GET  /healthz          liveness + world name + cache/execution counters
+//	GET  /healthz          liveness + world name + cache/execution/store counters
 //	POST /search           {"query": "...", "snippets": true?, "dialect": "db2"?} -> ranked SQL
 //	POST /sql              {"sql": "...", "dialect": "mysql"?} -> rows (exploration, §5.3.2)
 //	GET  /browse/{table}   schema-browser view of one physical table
 //	POST /feedback         {"query": "...", "result": 0, "like": true}
 //	GET  /explain?q=...    text/plain pipeline trace (Figures 4-6)
+//	POST /admin/snapshot   persist derived state + compact the feedback WAL
 package server
 
 import (
@@ -45,6 +46,7 @@ func New(sys *soda.System) *Server {
 	s.mux.HandleFunc("GET /browse/{table}", s.handleBrowse)
 	s.mux.HandleFunc("POST /feedback", s.handleFeedback)
 	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	s.mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
 	return s
 }
 
@@ -102,6 +104,9 @@ type HealthResponse struct {
 	// Dialects lists the SQL dialects accepted in the per-request
 	// "dialect" field of /search and /sql.
 	Dialects []string `json:"dialects"`
+	// Store describes the persistent state store (WAL size, snapshot,
+	// warm-start flag); absent when the daemon runs without -data-dir.
+	Store *soda.StoreStats `json:"store,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -113,6 +118,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Cache:         s.sys.CacheStats(),
 		Executions:    s.sys.ExecCount(),
 		Dialects:      soda.Dialects(),
+		Store:         s.sys.StoreStats(),
 	})
 }
 
@@ -360,14 +366,48 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	default:
 		res = ans.Results[req.Result]
 	}
+	// Like/Dislike re-resolve internally when another feedback call
+	// re-ranked the system between our Search above and this apply; a
+	// surviving error means the statement genuinely left the answer (410)
+	// or the state store rejected the write (500).
+	var ferr error
 	if req.Like {
-		res.Like()
+		ferr = res.Like()
 	} else {
-		res.Dislike()
+		ferr = res.Dislike()
+	}
+	if ferr != nil {
+		status := http.StatusInternalServerError
+		var stale *soda.StaleFeedbackError
+		if errors.As(ferr, &stale) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, ferr)
+		return
 	}
 	writeJSON(w, http.StatusOK, FeedbackResponse{
 		OK: true, Query: req.Query, Result: index, Like: req.Like, SQL: res.SQL,
 	})
+}
+
+// --- /admin/snapshot --------------------------------------------------
+
+// SnapshotResponse reports the store state after a manual snapshot.
+type SnapshotResponse struct {
+	OK    bool            `json:"ok"`
+	Store soda.StoreStats `json:"store"`
+}
+
+// handleSnapshot persists the current derived state and compacts the
+// feedback WAL — the operational hook for "flush before maintenance" and
+// for pre-baking warm snapshots on a running daemon.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sys.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{OK: true, Store: *st})
 }
 
 // --- /explain ---------------------------------------------------------

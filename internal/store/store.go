@@ -1,0 +1,214 @@
+// Package store is SODA's persistent state layer: an append-only feedback
+// write-ahead log plus versioned binary snapshots of the expensive derived
+// state (inverted index, metadata graph, feedback map and its ranking
+// epoch). Together they change the system's lifecycle from "rebuild the
+// world every boot" to "open the store, replay the tail": relevance
+// feedback (§6.3) survives daemon restarts — the top roadmap item — and a
+// warm boot skips the index rebuild the paper measured in hours (§5.1.2).
+//
+// Data directory layout:
+//
+//	feedback.wal   append-only feedback log (crc-framed, fsync-batched)
+//	snapshot.soda  latest snapshot (atomic tmp+rename writes)
+//
+// Corruption anywhere degrades gracefully: a torn WAL tail is truncated, a
+// stale or corrupt snapshot is ignored and the caller rebuilds cold.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	walFileName      = "feedback.wal"
+	snapshotFileName = "snapshot.soda"
+)
+
+// Store is one open data directory. It is safe for concurrent use.
+type Store struct {
+	dir string
+	wal *wal
+
+	// snapMu serialises snapshot writes: concurrent writers would race
+	// on the shared temp file, and back-to-back snapshots of the same
+	// state are pointless anyway.
+	snapMu sync.Mutex
+
+	mu            sync.Mutex
+	replayed      []Record // records scanned from the WAL at open
+	snapshotBytes int64
+	snapshotEpoch uint64
+	snapshotSeq   uint64
+	invalidReason string // why the on-disk snapshot was unusable, if it was
+
+	compactions atomic.Uint64
+	closed      atomic.Bool
+}
+
+// Stats describes the store for diagnostics (/healthz).
+type Stats struct {
+	Dir           string `json:"dir"`
+	WALRecords    int    `json:"wal_records"`
+	WALBytes      int64  `json:"wal_bytes"`
+	NextSeq       uint64 `json:"next_seq"`
+	SnapshotBytes int64  `json:"snapshot_bytes"`
+	SnapshotEpoch uint64 `json:"snapshot_epoch"`
+	SnapshotSeq   uint64 `json:"snapshot_seq"`
+	Compactions   uint64 `json:"compactions"`
+	// InvalidReason says why the snapshot present at open was discarded
+	// ("" when it was usable or absent).
+	InvalidReason string `json:"invalid_reason,omitempty"`
+}
+
+// Open opens (creating if necessary) the data directory, scans the WAL and
+// truncates any torn tail. Snapshot loading is a separate step
+// (LoadSnapshot) because the caller decides what fingerprint is valid.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	w, records, err := openWAL(filepath.Join(dir, walFileName))
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	return &Store{dir: dir, wal: w, replayed: records}, nil
+}
+
+// Dir returns the data directory path.
+func (st *Store) Dir() string { return st.dir }
+
+// LoadSnapshot reads and validates the snapshot on disk against the given
+// world fingerprint. A missing, stale or corrupt snapshot returns
+// (nil, nil): the caller rebuilds cold and the reason is kept for Stats.
+// Only I/O-level failures of a *valid* store return an error.
+//
+// Loading also advances the WAL's next sequence number past the
+// snapshot's applied sequence, so records appended after a compacted WAL
+// can never reuse sequence numbers the snapshot already folded in.
+func (st *Store) LoadSnapshot(fingerprint uint64) (*Snapshot, error) {
+	path := filepath.Join(st.dir, snapshotFileName)
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: open snapshot: %w", err)
+	}
+	defer f.Close()
+	info, _ := f.Stat()
+	snap, derr := decodeSnapshot(f, fingerprint)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if derr != nil {
+		st.invalidReason = derr.Error()
+		return nil, nil
+	}
+	if info != nil {
+		st.snapshotBytes = info.Size()
+	}
+	st.snapshotEpoch = snap.Epoch
+	st.snapshotSeq = snap.AppliedSeq
+	st.wal.ensureSeqAfter(snap.AppliedSeq)
+	return snap, nil
+}
+
+// Replayed returns the WAL records scanned at open, in sequence order.
+// The caller filters out records already folded into its snapshot (Seq <=
+// Snapshot.AppliedSeq).
+func (st *Store) Replayed() []Record { return st.replayed }
+
+// Append logs one feedback event and returns it with its assigned
+// sequence number. Durability is fsync-batched (see package wal docs).
+func (st *Store) Append(op Op, keys []Key) (Record, error) {
+	return st.wal.append(op, keys)
+}
+
+// Sync forces all appended records to disk.
+func (st *Store) Sync() error { return st.wal.sync() }
+
+// WALRecords reports how many records the WAL currently holds — the
+// replay debt a restart would pay, and the compaction trigger.
+func (st *Store) WALRecords() int {
+	n, _, _ := st.wal.stats()
+	return n
+}
+
+// WriteSnapshot atomically persists snap and compacts the WAL down to the
+// records newer than snap.AppliedSeq. The caller guarantees snap is a
+// consistent view (feedback state and AppliedSeq captured under its own
+// lock).
+func (st *Store) WriteSnapshot(snap *Snapshot) error {
+	st.snapMu.Lock()
+	defer st.snapMu.Unlock()
+	if st.closed.Load() {
+		return errors.New("store: closed")
+	}
+	data, err := encodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	// The WAL must be durable up to AppliedSeq before the snapshot that
+	// claims to supersede those records lands.
+	if err := st.wal.sync(); err != nil {
+		return fmt.Errorf("store: sync wal before snapshot: %w", err)
+	}
+	if err := writeSnapshotFile(filepath.Join(st.dir, snapshotFileName), data); err != nil {
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := st.wal.compact(snap.AppliedSeq); err != nil {
+		return fmt.Errorf("store: compact wal: %w", err)
+	}
+	st.compactions.Add(1)
+	st.mu.Lock()
+	st.snapshotBytes = int64(len(data))
+	st.snapshotEpoch = snap.Epoch
+	st.snapshotSeq = snap.AppliedSeq
+	st.mu.Unlock()
+	return nil
+}
+
+// Stats returns a point-in-time description of the store.
+func (st *Store) Stats() Stats {
+	records, bytes, nextSeq := st.wal.stats()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return Stats{
+		Dir:           st.dir,
+		WALRecords:    records,
+		WALBytes:      bytes,
+		NextSeq:       nextSeq,
+		SnapshotBytes: st.snapshotBytes,
+		SnapshotEpoch: st.snapshotEpoch,
+		SnapshotSeq:   st.snapshotSeq,
+		Compactions:   st.compactions.Load(),
+		InvalidReason: st.invalidReason,
+	}
+}
+
+// Close syncs and closes the WAL. The store is unusable afterwards.
+func (st *Store) Close() error {
+	if st.closed.Swap(true) {
+		return nil
+	}
+	return st.wal.close()
+}
+
+func uint64FromFloat(f float64) uint64 { return math.Float64bits(f) }
+func floatFromUint64(u uint64) float64 { return math.Float64frombits(u) }
+
+// ensureSeqAfter bumps the WAL's next sequence number so it is strictly
+// greater than seq. Needed when the WAL was compacted to empty: its scan
+// found no records, but the snapshot has already consumed sequences.
+func (w *wal) ensureSeqAfter(seq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.nextSeq <= seq {
+		w.nextSeq = seq + 1
+	}
+}

@@ -1,0 +1,322 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"soda/internal/minibank"
+)
+
+var testWorld = minibank.Build(minibank.Default())
+
+const testFP = uint64(0xDEADBEEFCAFE)
+
+func testSnapshot(epoch, appliedSeq uint64) *Snapshot {
+	return &Snapshot{
+		Fingerprint: testFP,
+		Epoch:       epoch,
+		AppliedSeq:  appliedSeq,
+		Index:       testWorld.Index,
+		Meta:        testWorld.Meta,
+		Feedback: []FeedbackEntry{
+			{Key: Key{Node: "ont:customer"}, Value: 0.5},
+			{Key: Key{Table: "addresses", Column: "city"}, Value: -0.25},
+		},
+	}
+}
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func TestWALAppendAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	keys := []Key{{Node: "ont:customer"}, {Table: "parties", Column: "name"}}
+	r1, err := st.Append(OpLike, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := st.Append(OpDislike, keys[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := st.Append(OpReset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Seq != 1 || r2.Seq != 2 || r3.Seq != 3 {
+		t.Fatalf("seqs = %d,%d,%d want 1,2,3", r1.Seq, r2.Seq, r3.Seq)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := mustOpen(t, dir)
+	got := st2.Replayed()
+	want := []Record{
+		{Seq: 1, Op: OpLike, Keys: keys},
+		{Seq: 2, Op: OpDislike, Keys: keys[:1]},
+		{Seq: 3, Op: OpReset, Keys: []Key{}},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq || got[i].Op != want[i].Op ||
+			!reflect.DeepEqual(append([]Key{}, got[i].Keys...), want[i].Keys) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// New appends continue the sequence.
+	r4, err := st2.Append(OpLike, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Seq != 4 {
+		t.Fatalf("seq after reopen = %d, want 4", r4.Seq)
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	if _, err := st.Append(OpLike, []Key{{Node: "a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(OpDislike, []Key{{Node: "b"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, walFileName)
+	info, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodSize := info.Size()
+	// Simulate a crash mid-append: a partial frame at the tail.
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x10, 0x00, 0x00, 0x00, 0xAB}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2 := mustOpen(t, dir)
+	if n := len(st2.Replayed()); n != 2 {
+		t.Fatalf("replayed %d records after torn tail, want 2", n)
+	}
+	info, err = os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != goodSize {
+		t.Fatalf("torn tail not truncated: size %d, want %d", info.Size(), goodSize)
+	}
+}
+
+func TestWALCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	for i := 0; i < 3; i++ {
+		if _, err := st.Append(OpLike, []Key{{Node: "a"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, walFileName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the second record; the first survives, the
+	// corrupt one and everything after it are dropped.
+	recLen := len(data) / 3
+	data[recLen+10] ^= 0xFF
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2 := mustOpen(t, dir)
+	if n := len(st2.Replayed()); n != 1 {
+		t.Fatalf("replayed %d records past corruption, want 1", n)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	want := testSnapshot(7, 42)
+	if err := st.WriteSnapshot(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := mustOpen(t, dir)
+	got, err := st2.LoadSnapshot(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatalf("snapshot did not load: %+v", st2.Stats())
+	}
+	if got.Epoch != 7 || got.AppliedSeq != 42 {
+		t.Fatalf("epoch/seq = %d/%d, want 7/42", got.Epoch, got.AppliedSeq)
+	}
+	// The encoder sorts entries by key for determinism; compare as sets.
+	asMap := func(entries []FeedbackEntry) map[Key]float64 {
+		m := make(map[Key]float64, len(entries))
+		for _, e := range entries {
+			m[e.Key] = e.Value
+		}
+		return m
+	}
+	if !reflect.DeepEqual(asMap(got.Feedback), asMap(want.Feedback)) {
+		t.Fatalf("feedback = %+v, want %+v", got.Feedback, want.Feedback)
+	}
+	if got.Index.NumPostings() != testWorld.Index.NumPostings() ||
+		got.Index.NumTerms() != testWorld.Index.NumTerms() {
+		t.Fatal("index sizes changed across the round trip")
+	}
+	if got.Meta.G.Len() != testWorld.Meta.G.Len() ||
+		got.Meta.NumLabels() != testWorld.Meta.NumLabels() {
+		t.Fatal("metagraph sizes changed across the round trip")
+	}
+	// Seq numbers continue past the snapshot even though the WAL is empty.
+	rec, err := st2.Append(OpLike, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 43 {
+		t.Fatalf("first seq after snapshot = %d, want 43", rec.Seq)
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	if err := st.WriteSnapshot(testSnapshot(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	path := filepath.Join(dir, snapshotFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2 := mustOpen(t, dir)
+	snap, err := st2.LoadSnapshot(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil {
+		t.Fatal("corrupt snapshot must not load")
+	}
+	if st2.Stats().InvalidReason == "" {
+		t.Fatal("invalid reason missing from stats")
+	}
+}
+
+func TestSnapshotRejectsWrongFingerprintAndVersion(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	if err := st.WriteSnapshot(testSnapshot(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2 := mustOpen(t, dir)
+	if snap, _ := st2.LoadSnapshot(testFP + 1); snap != nil {
+		t.Fatal("snapshot for another world must not load")
+	}
+	st2.Close()
+
+	// Bump the on-disk format version: readers speak exactly one version.
+	path := filepath.Join(dir, snapshotFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint16(data[len(snapshotMagic):], snapshotVersion+1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st3 := mustOpen(t, dir)
+	if snap, _ := st3.LoadSnapshot(testFP); snap != nil {
+		t.Fatal("snapshot with a future format version must not load")
+	}
+}
+
+func TestWriteSnapshotCompactsWAL(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	var last Record
+	for i := 0; i < 5; i++ {
+		var err error
+		if last, err = st.Append(OpLike, []Key{{Node: "a"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.WALRecords() != 5 {
+		t.Fatalf("wal records = %d, want 5", st.WALRecords())
+	}
+	if err := st.WriteSnapshot(testSnapshot(5, last.Seq)); err != nil {
+		t.Fatal(err)
+	}
+	if st.WALRecords() != 0 {
+		t.Fatalf("wal records after compaction = %d, want 0", st.WALRecords())
+	}
+	// Records appended after the snapshot survive a reopen and carry
+	// fresh sequence numbers.
+	r6, err := st.Append(OpDislike, []Key{{Node: "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r6.Seq != 6 {
+		t.Fatalf("post-compaction seq = %d, want 6", r6.Seq)
+	}
+	st.Close()
+
+	st2 := mustOpen(t, dir)
+	if n := len(st2.Replayed()); n != 1 {
+		t.Fatalf("replayed %d records after compaction, want 1", n)
+	}
+	if st2.Replayed()[0].Seq != 6 {
+		t.Fatalf("surviving record seq = %d, want 6", st2.Replayed()[0].Seq)
+	}
+}
+
+func TestSnapshotEncodingDeterministic(t *testing.T) {
+	a, err := encodeSnapshot(testSnapshot(3, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := encodeSnapshot(testSnapshot(3, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("snapshot encoding is not deterministic")
+	}
+}

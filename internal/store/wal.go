@@ -1,0 +1,419 @@
+package store
+
+// The feedback write-ahead log. Every Feedback/ResetFeedback call on a
+// System appends one record; on open the log is replayed to reconstruct
+// the feedback map (and epoch) the daemon had when it died. Records are
+// length-prefixed and CRC-framed, so a torn tail from a crash mid-write is
+// detected and truncated instead of poisoning the replay.
+//
+// Durability is fsync-batched: appends write through to the OS
+// immediately, and a background flusher fsyncs at a short interval, so a
+// burst of feedback calls costs one disk sync, not one per call. Close
+// (and snapshot compaction) force a sync, so a graceful shutdown loses
+// nothing; a hard crash loses at most the last flush interval.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Op discriminates WAL record types.
+type Op uint8
+
+// WAL record operations.
+const (
+	// OpLike / OpDislike apply a feedback delta to every key.
+	OpLike    Op = 1
+	OpDislike Op = 2
+	// OpReset clears the whole feedback map.
+	OpReset Op = 3
+)
+
+// Key identifies one feedback entry point on disk: a metadata node (Node
+// set) or a base-data column (Table/Column set).
+type Key struct {
+	Node   string
+	Table  string
+	Column string
+}
+
+// Record is one replayable feedback event. Seq is strictly increasing and
+// never reused; snapshots remember the last applied Seq so a replay can
+// never double-apply a record that is already folded into the snapshot.
+type Record struct {
+	Seq  uint64
+	Op   Op
+	Keys []Key
+}
+
+// walSyncInterval is how long an appended record may sit unsynced before
+// the background flusher forces it to disk.
+const walSyncInterval = 25 * time.Millisecond
+
+// walMaxRecordSize caps a single record's payload, guarding replay against
+// corrupt length prefixes.
+const walMaxRecordSize = 1 << 24
+
+// wal is the append-only log file plus its replay/compaction logic.
+type wal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	nextSeq uint64 // seq the next append will use
+	records int    // records currently in the file
+	bytes   int64
+	dirty   bool // written but not yet fsynced
+	// failed poisons the log after an unrecoverable file-state error (a
+	// partial write that could not be rewound, a compaction whose
+	// reopen failed): appends must error loudly rather than silently
+	// land somewhere the next replay will never read.
+	failed error
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// openWAL opens (or creates) the log at path, scans it for valid records,
+// truncates any torn tail, and starts the background flusher. The scanned
+// records are returned for replay.
+func openWAL(path string) (*wal, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	records, goodOffset, err := scanWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// A torn or corrupt tail is dropped: everything after the last valid
+	// record is overwritten by the next append anyway, and leaving garbage
+	// in the middle of the file would corrupt the *next* replay.
+	if err := f.Truncate(goodOffset); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(goodOffset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w := &wal{
+		f:         f,
+		path:      path,
+		nextSeq:   1,
+		records:   len(records),
+		bytes:     goodOffset,
+		flushStop: make(chan struct{}),
+		flushDone: make(chan struct{}),
+	}
+	if n := len(records); n > 0 {
+		w.nextSeq = records[n-1].Seq + 1
+	}
+	go w.flushLoop()
+	return w, records, nil
+}
+
+// scanWAL reads every well-formed record from the start of f. It stops —
+// without error — at the first truncated or checksum-failing record and
+// reports the offset of the last good byte.
+func scanWAL(f *os.File) (records []Record, goodOffset int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	var lastSeq uint64
+	var header [8]byte
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			return records, goodOffset, nil // clean EOF or torn header
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length == 0 || length > walMaxRecordSize {
+			return records, goodOffset, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return records, goodOffset, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return records, goodOffset, nil // corrupt record
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return records, goodOffset, nil // framing is fine, content isn't
+		}
+		if rec.Seq <= lastSeq {
+			return records, goodOffset, nil // out-of-order seq: stop trusting
+		}
+		lastSeq = rec.Seq
+		records = append(records, rec)
+		goodOffset += int64(8 + length)
+	}
+}
+
+// append assigns the next sequence number to the record, frames it and
+// writes it through to the file. Durability is provided by the flusher
+// (or an explicit sync).
+func (w *wal) append(op Op, keys []Key) (Record, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return Record{}, errors.New("store: wal is closed")
+	}
+	if w.failed != nil {
+		return Record{}, w.failed
+	}
+	rec := Record{Seq: w.nextSeq, Op: op, Keys: keys}
+	frame := frameRecord(rec)
+	if n, err := w.f.Write(frame); err != nil {
+		if n > 0 {
+			// Rewind past the torn bytes: replay stops at the first bad
+			// frame, so leaving garbage mid-file would make every later
+			// successful append invisible to the next boot.
+			if _, serr := w.f.Seek(w.bytes, io.SeekStart); serr != nil {
+				w.failed = fmt.Errorf("store: wal unusable after partial append (seek: %w)", serr)
+			} else if terr := w.f.Truncate(w.bytes); terr != nil {
+				w.failed = fmt.Errorf("store: wal unusable after partial append (truncate: %w)", terr)
+			}
+		}
+		return Record{}, fmt.Errorf("store: wal append: %w", err)
+	}
+	w.nextSeq++
+	w.records++
+	w.bytes += int64(len(frame))
+	w.dirty = true
+	return rec, nil
+}
+
+func frameRecord(rec Record) []byte {
+	payload := encodeRecord(rec)
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	return frame
+}
+
+// sync forces everything appended so far to disk.
+func (w *wal) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *wal) syncLocked() error {
+	if w.f == nil || !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	return nil
+}
+
+// flushLoop batches fsyncs: however many records arrive inside one
+// interval cost a single disk sync.
+func (w *wal) flushLoop() {
+	defer close(w.flushDone)
+	t := time.NewTicker(walSyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = w.sync()
+		case <-w.flushStop:
+			return
+		}
+	}
+}
+
+// compact rewrites the log keeping only records with Seq > keepAfter —
+// called after a snapshot that folded everything up to keepAfter into
+// durable state. The rewrite goes through a temp file and a rename, so a
+// crash mid-compaction leaves either the old or the new log, never a
+// mangled one.
+func (w *wal) compact(keepAfter uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("store: wal is closed")
+	}
+	records, _, err := scanWAL(w.f)
+	if err != nil {
+		return err
+	}
+	tmpPath := w.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var kept int
+	var bytes int64
+	for _, rec := range records {
+		if rec.Seq <= keepAfter {
+			continue
+		}
+		frame := frameRecord(rec)
+		if _, err := tmp.Write(frame); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		kept++
+		bytes += int64(len(frame))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, w.path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	f, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	if err != nil {
+		// The rename already happened: w.f now points at an unlinked
+		// inode, so anything appended there would vanish on restart.
+		// Poison the log so those appends fail loudly instead.
+		w.failed = fmt.Errorf("store: wal unusable after compaction (reopen: %w)", err)
+		return w.failed
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		w.failed = fmt.Errorf("store: wal unusable after compaction (seek: %w)", err)
+		return w.failed
+	}
+	syncDir(filepath.Dir(w.path))
+	old := w.f
+	w.f = f
+	w.records = kept
+	w.bytes = bytes
+	w.dirty = false
+	return old.Close()
+}
+
+// close stops the flusher, syncs and closes the file.
+func (w *wal) close() error {
+	close(w.flushStop)
+	<-w.flushDone
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+func (w *wal) stats() (records int, bytes int64, nextSeq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records, w.bytes, w.nextSeq
+}
+
+// syncDir fsyncs a directory so a rename within it is durable. Errors are
+// ignored: not every platform supports directory fsync, and the rename
+// itself already happened.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// --- record payload encoding -----------------------------------------
+
+func encodeRecord(rec Record) []byte {
+	buf := binary.AppendUvarint(nil, rec.Seq)
+	buf = append(buf, byte(rec.Op))
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Keys)))
+	for _, k := range rec.Keys {
+		buf = appendString(buf, k.Node)
+		buf = appendString(buf, k.Table)
+		buf = appendString(buf, k.Column)
+	}
+	return buf
+}
+
+func decodeRecord(payload []byte) (Record, error) {
+	var rec Record
+	rest := payload
+	var err error
+	if rec.Seq, rest, err = takeUvarint(rest); err != nil {
+		return rec, fmt.Errorf("store: record seq: %w", err)
+	}
+	if len(rest) == 0 {
+		return rec, errors.New("store: record missing op")
+	}
+	rec.Op = Op(rest[0])
+	rest = rest[1:]
+	if rec.Op != OpLike && rec.Op != OpDislike && rec.Op != OpReset {
+		return rec, fmt.Errorf("store: unknown record op %d", rec.Op)
+	}
+	n, rest, err := takeUvarint(rest)
+	if err != nil {
+		return rec, fmt.Errorf("store: record key count: %w", err)
+	}
+	if n > walMaxRecordSize {
+		return rec, fmt.Errorf("store: record key count %d exceeds limit", n)
+	}
+	rec.Keys = make([]Key, n)
+	for i := range rec.Keys {
+		if rec.Keys[i].Node, rest, err = takeString(rest); err != nil {
+			return rec, err
+		}
+		if rec.Keys[i].Table, rest, err = takeString(rest); err != nil {
+			return rec, err
+		}
+		if rec.Keys[i].Column, rest, err = takeString(rest); err != nil {
+			return rec, err
+		}
+	}
+	if len(rest) != 0 {
+		return rec, errors.New("store: trailing bytes in record")
+	}
+	return rec, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func takeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errors.New("bad uvarint")
+	}
+	return v, b[n:], nil
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	l, rest, err := takeUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if l > uint64(len(rest)) {
+		return "", nil, errors.New("string length exceeds payload")
+	}
+	return string(rest[:l]), rest[l:], nil
+}

@@ -123,6 +123,15 @@ type World struct {
 // Build generates the warehouse. The result is deterministic for a given
 // configuration.
 func Build(cfg Config) *World {
+	w := BuildNoIndex(cfg)
+	w.Index = invidx.Build(w.DB)
+	return w
+}
+
+// BuildNoIndex generates the warehouse without its inverted index, for
+// callers that load the index from a state-store snapshot instead of
+// scanning the base data (warm starts).
+func BuildNoIndex(cfg Config) *World {
 	cfg = cfg.withDefaults()
 	w := &World{Cfg: cfg, Nodes: make(map[string]rdf.Term)}
 	w.DB = engine.NewDB()
@@ -135,7 +144,6 @@ func Build(cfg Config) *World {
 	pad(cfg, w.DB, b)
 
 	w.Meta = b.Graph()
-	w.Index = invidx.Build(w.DB)
 
 	s := w.Meta.Stats()
 	check := func(name string, got, want int) {

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Restart-survival check: feedback applied to a live sodad must produce a
+# byte-identical feedback-adjusted /search ranking after a SIGTERM and a
+# restart from the same -data-dir. This is the end-to-end proof of the
+# state store's contract (WAL + snapshot + graceful-shutdown flush); the
+# in-process variant lives in internal/server/persist_test.go.
+#
+# Usage: scripts/restart_survival.sh [workdir]
+# Requires: curl, jq, a built ./sodad (or set SODAD=path).
+set -euo pipefail
+
+SODAD=${SODAD:-./sodad}
+WORKDIR=${1:-$(mktemp -d)}
+ADDR=${ADDR:-127.0.0.1:18080}
+DATA="$WORKDIR/data"
+QUERY='{"query": "customers Zürich financial instruments"}'
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "sodad did not become healthy on $ADDR" >&2
+  return 1
+}
+
+stop() { # pid
+  kill -TERM "$1"
+  wait "$1" 2>/dev/null || true
+}
+
+echo "== boot 1 (cold, pre-bakes snapshot) =="
+"$SODAD" -addr "$ADDR" -world minibank -data-dir "$DATA" &
+PID=$!
+trap 'kill -9 $PID 2>/dev/null || true' EXIT
+wait_healthy
+
+echo "== apply feedback =="
+curl -sf -X POST "http://$ADDR/feedback" \
+  -d '{"query": "customers Zürich financial instruments", "result": 1, "like": true}' | jq -e '.ok == true' >/dev/null
+curl -sf -X POST "http://$ADDR/feedback" \
+  -d '{"query": "wealthy customers", "result": 0, "like": false}' | jq -e '.ok == true' >/dev/null
+
+echo "== capture feedback-adjusted ranking =="
+curl -sf -X POST "http://$ADDR/search" -d "$QUERY" >"$WORKDIR/before.json"
+
+echo "== SIGTERM (graceful shutdown flushes a final snapshot) =="
+stop $PID
+
+echo "== boot 2 (same data dir: must be a warm start) =="
+"$SODAD" -addr "$ADDR" -world minibank -data-dir "$DATA" &
+PID=$!
+wait_healthy
+curl -sf "http://$ADDR/healthz" | jq -e '.store.warm_start == true' >/dev/null ||
+  { echo "second boot was not a warm start" >&2; exit 1; }
+
+echo "== assert byte-identical ranking =="
+curl -sf -X POST "http://$ADDR/search" -d "$QUERY" >"$WORKDIR/after.json"
+stop $PID
+trap - EXIT
+
+if ! cmp "$WORKDIR/before.json" "$WORKDIR/after.json"; then
+  echo "search output changed across restart" >&2
+  diff <(jq . "$WORKDIR/before.json") <(jq . "$WORKDIR/after.json") >&2 || true
+  exit 1
+fi
+echo "OK: feedback-adjusted ranking survived the restart byte-identically"

@@ -26,8 +26,12 @@
 package soda
 
 import (
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"strings"
+	"sync"
 
 	"soda/internal/core"
 	"soda/internal/engine"
@@ -37,6 +41,7 @@ import (
 	"soda/internal/queryparse"
 	"soda/internal/sqlast"
 	"soda/internal/sqlparse"
+	"soda/internal/store"
 	"soda/internal/warehouse"
 )
 
@@ -60,6 +65,11 @@ type Options struct {
 	// negative = disabled). Cached answers are invalidated whenever
 	// relevance feedback changes the ranking.
 	CacheSize int
+	// CompactEvery is the feedback-WAL compaction threshold for Systems
+	// built with Open: once the log holds this many records a snapshot
+	// is written and the log truncated (0 = default 1024, negative =
+	// only on Close / explicit Snapshot).
+	CompactEvery int
 	// Dialect names the SQL dialect generated statements are rendered
 	// in: "generic" (default), "postgres", "mysql" or "db2". It controls
 	// identifier quoting, string escaping, row limiting (LIMIT vs FETCH
@@ -84,6 +94,7 @@ func (o Options) internal() core.Options {
 		MaxPathLen:     o.MaxPathLen,
 		Parallelism:    o.Parallelism,
 		CacheSize:      o.CacheSize,
+		CompactEvery:   o.CompactEvery,
 		Dialect:        d,
 		DisableBridges: o.DisableBridges,
 		DisableDBpedia: o.DisableDBpedia,
@@ -104,20 +115,21 @@ func KnownDialect(name string) bool {
 
 // World bundles the three artefacts SODA searches: the relational base
 // data, the extended metadata graph, and the inverted index over text
-// columns.
+// columns. The index — the most expensive derived structure — is built
+// lazily on first use, so Open can boot from a state-store snapshot
+// without ever paying the cold scan.
 type World struct {
-	db    *engine.DB
-	meta  *metagraph.Graph
-	index *invidx.Index
-	name  string
+	db        *engine.DB
+	meta      *metagraph.Graph
+	index     *invidx.Index
+	indexOnce sync.Once
+	name      string
 }
 
 // NewWorld wraps custom substrates into a World. Most callers use
-// MiniBank or Warehouse instead.
+// MiniBank or Warehouse instead. A nil index is built lazily from the
+// base data on first use.
 func NewWorld(name string, db *engine.DB, meta *metagraph.Graph, index *invidx.Index) *World {
-	if index == nil {
-		index = invidx.Build(db)
-	}
 	return &World{db: db, meta: meta, index: index, name: name}
 }
 
@@ -130,8 +142,16 @@ func (w *World) DB() *engine.DB { return w.db }
 // Meta exposes the metadata graph.
 func (w *World) Meta() *metagraph.Graph { return w.meta }
 
-// Index exposes the inverted index.
-func (w *World) Index() *invidx.Index { return w.index }
+// Index exposes the inverted index, building it on first use when the
+// world was constructed without one.
+func (w *World) Index() *invidx.Index {
+	w.indexOnce.Do(func() {
+		if w.index == nil {
+			w.index = invidx.Build(w.db)
+		}
+	})
+	return w.index
+}
 
 // TableNames lists the physical tables.
 func (w *World) TableNames() []string { return w.db.TableNames() }
@@ -143,10 +163,11 @@ func (w *World) Stats() metagraph.Stats { return w.meta.Stats() }
 // individuals and organizations, transactions split into financial
 // instrument and money transactions, instruments containing securities
 // through a bridge table, a financial domain ontology and a DBpedia
-// extract.
+// extract. The inverted index is built lazily (see World.Index), so Open
+// can restore it from a snapshot instead.
 func MiniBank() *World {
-	w := minibank.Build(minibank.Default())
-	return &World{db: w.DB, meta: w.Meta, index: w.Index, name: "minibank"}
+	w := minibank.BuildNoIndex(minibank.Default())
+	return &World{db: w.DB, meta: w.Meta, name: "minibank"}
 }
 
 // WarehouseConfig re-exports the synthetic warehouse knobs.
@@ -155,9 +176,10 @@ type WarehouseConfig = warehouse.Config
 // Warehouse builds the enterprise-scale synthetic warehouse matching the
 // paper's Table 1 cardinalities (226/985/243 conceptual, 436/2700/254
 // logical, 472/3181 physical) with the §5.3 war-story quirks planted.
+// The inverted index is built lazily (see World.Index).
 func Warehouse(cfg WarehouseConfig) *World {
-	w := warehouse.Build(cfg)
-	return &World{db: w.DB, meta: w.Meta, index: w.Index, name: "warehouse"}
+	w := warehouse.BuildNoIndex(cfg)
+	return &World{db: w.DB, meta: w.Meta, name: "warehouse"}
 }
 
 // System is a SODA instance over one world.
@@ -166,12 +188,108 @@ type System struct {
 	sys   *core.System
 }
 
-// NewSystem builds a System.
+// NewSystem builds a System without persistence: derived state (the
+// inverted index) is built cold and feedback lives in memory only. Use
+// Open for a System whose state survives restarts.
 func NewSystem(w *World, opt Options) *System {
 	return &System{
 		world: w,
-		sys:   core.NewSystem(w.db, w.meta, w.index, opt.internal()),
+		sys:   core.NewSystem(w.db, w.meta, w.Index(), opt.internal()),
 	}
+}
+
+// Open builds a System backed by a persistent state store in dir — the
+// production lifecycle ("open the store, replay the tail" instead of
+// "rebuild the world every boot"):
+//
+//   - A valid snapshot in dir replaces the cold inverted-index build and
+//     metadata graph, and restores the feedback map and ranking epoch.
+//   - The feedback WAL tail is replayed on top, so feedback recorded
+//     after the last snapshot is not lost; snapshots remember the last
+//     applied WAL sequence, so replay can never double-apply.
+//   - A missing, stale (format version or world mismatch) or corrupt
+//     snapshot degrades to a cold rebuild, and a fresh snapshot is
+//     written immediately so the next boot is warm.
+//   - Every Feedback call from then on is WAL-logged (fsync-batched);
+//     once the log passes the compaction threshold a new snapshot is
+//     written and the log truncated.
+//
+// Close flushes a final snapshot — call it on graceful shutdown.
+func Open(w *World, opt Options, dir string) (*System, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	fp := worldFingerprint(w)
+	snap, err := st.LoadSnapshot(fp)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	var meta = w.meta
+	var idx *invidx.Index
+	if snap != nil {
+		// Warm boot: the snapshot's derived state stands in for the cold
+		// rebuild. The base data itself is regenerated by the world
+		// builder (it is not derived state), and the fingerprint check
+		// guarantees the snapshot indexes this exact schema. The world is
+		// repointed at the snapshot's copies so the builder's metagraph
+		// becomes garbage instead of a second warehouse-scale graph
+		// pinned for the process lifetime, and World.Index never redoes
+		// the cold scan.
+		meta, idx = snap.Meta, snap.Index
+		w.meta, w.index = snap.Meta, snap.Index
+	} else {
+		idx = w.Index() // cold: scan the base data
+	}
+	cs := core.NewSystem(w.db, meta, idx, opt.internal())
+	cs.SetFingerprint(fp)
+	if err := cs.OpenStore(st, snap); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return &System{world: w, sys: cs}, nil
+}
+
+// worldFingerprint hashes the world's structure — name, table schemas,
+// row counts, metadata-graph size — so a snapshot taken over a different
+// world (or a reconfigured one) is rejected instead of serving wrong
+// postings. The hash is structural, not content-deep: regenerating the
+// same deterministic world yields the same fingerprint cheaply.
+func worldFingerprint(w *World) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, w.name)
+	for _, name := range w.db.TableNames() {
+		tbl := w.db.Table(name)
+		fmt.Fprintf(h, "|%s:%d", name, tbl.NumRows())
+		for _, c := range tbl.Cols {
+			fmt.Fprintf(h, ",%s/%d", c.Name, c.Type)
+		}
+	}
+	fmt.Fprintf(h, "|triples:%d|labels:%d", w.meta.G.Len(), w.meta.NumLabels())
+	return h.Sum64()
+}
+
+// Close flushes persistent state (final snapshot + WAL sync) and releases
+// the store. A System built with NewSystem closes trivially.
+func (s *System) Close() error { return s.sys.Close() }
+
+// StoreStats re-exports the persistent-store diagnostics; WarmStart says
+// whether the System booted from a snapshot.
+type StoreStats = core.StoreStats
+
+// StoreStats describes the attached state store, or nil when the System
+// was built without persistence (NewSystem).
+func (s *System) StoreStats() *StoreStats { return s.sys.StoreStats() }
+
+// Snapshot persists the current derived state and compacts the feedback
+// WAL — the /admin/snapshot operation. It fails when the System has no
+// store attached.
+func (s *System) Snapshot() (*StoreStats, error) {
+	if _, err := s.sys.WriteSnapshot(); err != nil {
+		return nil, err
+	}
+	return s.sys.StoreStats(), nil
 }
 
 // World returns the system's world.
@@ -202,8 +320,9 @@ type Result struct {
 	// SnippetError reports why snippet execution failed, when it did.
 	SnippetError string
 
-	sys *core.System
-	sol *core.Solution
+	sys      *core.System
+	sol      *core.Solution
+	analysis *core.Analysis
 }
 
 // Execute runs the statement and returns the full result.
@@ -366,6 +485,7 @@ func (s *System) SearchWith(query string, opts SearchOptions) (*Answer, error) {
 			SnippetError: sol.SnippetErr,
 			sys:          s.sys,
 			sol:          sol,
+			analysis:     a,
 		}
 		if sol.Snippet != nil {
 			res.SnippetRows = newRowsCopy(sol.Snippet)
@@ -426,13 +546,60 @@ func (s *System) ExecCount() uint64 { return s.sys.ExecCount() }
 // behind it rank higher in future searches (§6.3: "SODA presents several
 // possible solutions to its users and allows them to like (or dislike)
 // each result").
-func (r *Result) Like() { r.sys.Feedback(r.sol, true) }
+//
+// Feedback is epoch-checked: if other feedback re-ranked the system since
+// this result's search, the statement is re-resolved against a fresh
+// search before the feedback is applied, so it lands on the entry points
+// of the statement the user actually saw. An error is returned when the
+// statement no longer appears in the answer, or when persisting the
+// feedback to the state store fails.
+func (r *Result) Like() error { return r.feedback(true) }
 
-// Dislike records negative relevance feedback on a result.
-func (r *Result) Dislike() { r.sys.Feedback(r.sol, false) }
+// Dislike records negative relevance feedback on a result. See Like for
+// the epoch-check and re-resolution semantics.
+func (r *Result) Dislike() error { return r.feedback(false) }
+
+func (r *Result) feedback(like bool) error {
+	err := r.sys.Feedback(r.sol, like)
+	var stale *core.StaleSolutionError
+	// The ranking epoch moved between our search and this feedback call
+	// (another user's like, a reset, ...). Re-resolve: re-run the search
+	// — served at the current epoch — find the same statement, and apply
+	// the feedback to its solution. Bounded retries cover epochs racing
+	// forward while we resolve.
+	for attempt := 0; errors.As(err, &stale) && attempt < 4; attempt++ {
+		a, serr := r.sys.SearchWith(r.analysis.Query.Raw, core.SearchOptions{
+			Dialect:  r.analysis.Dialect,
+			Snippets: r.analysis.WithSnippets,
+		})
+		if serr != nil {
+			return fmt.Errorf("soda: re-resolving stale feedback: %w", serr)
+		}
+		var match *core.Solution
+		for _, sol := range a.Solutions {
+			if sol.SQLText() == r.SQL {
+				match = sol
+				break
+			}
+		}
+		if match == nil {
+			return fmt.Errorf("soda: feedback target no longer in the answer (re-ranked since): %w", err)
+		}
+		err = r.sys.Feedback(match, like)
+	}
+	return err
+}
 
 // ResetFeedback forgets all relevance feedback recorded on this system.
-func (s *System) ResetFeedback() { s.sys.ResetFeedback() }
+// With a state store attached the reset is WAL-logged so it also survives
+// restarts.
+func (s *System) ResetFeedback() error { return s.sys.ResetFeedback() }
+
+// StaleFeedbackError reports feedback on a result whose ranking epoch has
+// moved on and whose statement could not be re-resolved in the fresh
+// answer. Like/Dislike re-resolve transparently first; callers only see
+// this when the statement genuinely left the ranked list.
+type StaleFeedbackError = core.StaleSolutionError
 
 // CacheStats re-exports the answer-cache counters.
 type CacheStats = core.CacheStats

@@ -214,8 +214,13 @@ func TestFeedbackViaFacade(t *testing.T) {
 		t.Skip("need ambiguity for the feedback test")
 	}
 	firstSQL := ans.Results[0].SQL
+	// Repeated dislikes on one Result exercise the re-resolve path: each
+	// call bumps the ranking epoch, and Dislike transparently re-finds
+	// the same statement in a fresh answer.
 	for i := 0; i < 4; i++ {
-		ans.Results[0].Dislike()
+		if err := ans.Results[0].Dislike(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	again, err := sys.Search("customer")
 	if err != nil {
@@ -224,7 +229,9 @@ func TestFeedbackViaFacade(t *testing.T) {
 	if again.Results[0].SQL == firstSQL {
 		t.Fatal("disliked result still ranks first")
 	}
-	sys.ResetFeedback()
+	if err := sys.ResetFeedback(); err != nil {
+		t.Fatal(err)
+	}
 	reset, err := sys.Search("customer")
 	if err != nil {
 		t.Fatal(err)
