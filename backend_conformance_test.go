@@ -1,0 +1,195 @@
+package soda
+
+// Backend conformance: the per-dialect golden SQL for the four canonical
+// MiniBank queries (testdata/dialect_<name>.golden, pinned by
+// dialect_golden_test.go) must return identical rows whether executed by
+// the in-memory reference engine (backend/memory) or shipped as text
+// over database/sql and re-executed by a separately loaded database
+// (backend/sqldb over the sodalite driver). This is the hermetic half of
+// the ROADMAP's "real-backend conformance checks"; the Postgres half
+// lives in pg_conformance_test.go and runs when SODA_PG_DSN is set.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"soda/internal/backend"
+	"soda/internal/backend/memory"
+	"soda/internal/backend/sqldb"
+	"soda/internal/sqlast"
+	"soda/internal/sqlparse"
+)
+
+// goldenStatements reads one dialect's golden file into (query, sql)
+// pairs.
+func goldenStatements(t *testing.T, dialect string) [][2]string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "dialect_"+dialect+".golden"))
+	if err != nil {
+		t.Fatalf("reading golden (generate with go test -run TestDialectGolden -update): %v", err)
+	}
+	var out [][2]string
+	for _, chunk := range regexp.MustCompile(`(?m)^-- query: `).Split(string(raw), -1) {
+		chunk = strings.TrimSpace(chunk)
+		if chunk == "" {
+			continue
+		}
+		query, sql, ok := strings.Cut(chunk, "\n")
+		if !ok {
+			t.Fatalf("malformed golden chunk %q", chunk)
+		}
+		out = append(out, [2]string{strings.TrimSpace(query), strings.TrimSpace(sql)})
+	}
+	if len(out) != 4 {
+		t.Fatalf("expected the 4 MiniBank golden queries, found %d", len(out))
+	}
+	return out
+}
+
+// sortedKeys renders a result as its multiset of row keys. Statements
+// without a total ORDER BY have no defined row order on a real backend,
+// so conformance compares row sets with multiplicity.
+func sortedKeys(res *backend.Result) []string {
+	keys := make([]string, res.NumRows())
+	for i := range keys {
+		keys[i] = res.RowKey(i)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// conformanceRun executes every golden statement of one dialect on both
+// executors and reports row-level differences.
+func conformanceRun(t *testing.T, d *sqlast.Dialect, mem, sq backend.Executor) {
+	t.Helper()
+	for _, pair := range goldenStatements(t, d.Name()) {
+		query, text := pair[0], pair[1]
+		sel, err := sqlparse.ParseDialect(text, d)
+		if err != nil {
+			t.Fatalf("%q: golden SQL does not parse: %v", query, err)
+		}
+		want, err := mem.Exec(context.Background(), sel)
+		if err != nil {
+			t.Fatalf("%q: memory execution: %v", query, err)
+		}
+		got, err := sq.Exec(context.Background(), sel)
+		if err != nil {
+			t.Fatalf("%q: sqldb execution: %v", query, err)
+		}
+		if got.NumRows() != want.NumRows() {
+			t.Errorf("%q: sqldb returned %d rows, memory %d", query, got.NumRows(), want.NumRows())
+			continue
+		}
+		wk, gk := sortedKeys(want), sortedKeys(got)
+		for i := range wk {
+			if wk[i] != gk[i] {
+				t.Errorf("%q: row multisets diverge at %d:\n  memory: %q\n  sqldb:  %q", query, i, wk[i], gk[i])
+				break
+			}
+		}
+	}
+}
+
+func TestBackendConformanceSQLite(t *testing.T) {
+	world := MiniBank()
+	mem := memory.New(world.DB())
+	for _, d := range sqlast.Dialects() {
+		t.Run(d.Name(), func(t *testing.T) {
+			sq, err := sqldb.Open("sodalite", fmt.Sprintf(":memory:?dialect=%s", d.Name()), d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sq.Close()
+			if err := sq.Load(context.Background(), world.DB()); err != nil {
+				t.Fatal(err)
+			}
+			conformanceRun(t, d, mem, sq)
+		})
+	}
+}
+
+// TestSQLBackendPipelineEndToEnd runs the whole five-step pipeline —
+// Connect, corpus auto-load, search, snippet execution, cache — on the
+// sqldb backend, and keeps the answer cache's zero-execution guarantee
+// observable per backend: the second snippet search must not send a
+// single statement over the connection.
+func TestSQLBackendPipelineEndToEnd(t *testing.T) {
+	sys, err := Connect(MiniBank(), Options{
+		Backend: "sqldb",
+		Driver:  "sodalite",
+		DSN:     ":memory:",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if !strings.HasPrefix(sys.Backend(), "sqldb:sodalite:") {
+		t.Fatalf("Backend() = %q", sys.Backend())
+	}
+
+	a1, err := sys.SearchWith("wealthy customers", SearchOptions{Snippets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1.Results) == 0 || a1.Results[0].SnippetRows == nil || a1.Results[0].SnippetRows.NumRows() == 0 {
+		t.Fatal("expected snippet rows from the SQL backend")
+	}
+	execs := sys.ExecCount()
+	if execs == 0 {
+		t.Fatal("snippet search should have executed SQL on the backend")
+	}
+
+	a2, err := sys.SearchWith("wealthy customers", SearchOptions{Snippets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.ExecCount(); got != execs {
+		t.Fatalf("cache hit executed %d statements on the SQL backend", got-execs)
+	}
+	if a2.Results[0].SnippetRows.NumRows() != a1.Results[0].SnippetRows.NumRows() {
+		t.Fatal("cached snippet rows diverged")
+	}
+
+	// The memory backend over the same world must agree on the snippet
+	// row multiset (end-to-end cross-backend conformance, not just the
+	// golden statements).
+	memSys := NewSystem(MiniBank(), Options{})
+	m, err := memSys.SearchWith("wealthy customers", SearchOptions{Snippets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Results[0].SQL != a1.Results[0].SQL {
+		t.Fatalf("backends generated different SQL:\nmemory: %s\nsqldb:  %s", m.Results[0].SQL, a1.Results[0].SQL)
+	}
+	if m.Results[0].SnippetRows.NumRows() != a1.Results[0].SnippetRows.NumRows() {
+		t.Fatalf("snippet row counts diverge: memory %d, sqldb %d",
+			m.Results[0].SnippetRows.NumRows(), a1.Results[0].SnippetRows.NumRows())
+	}
+}
+
+// TestConnectValidation pins Connect's error surface.
+func TestConnectValidation(t *testing.T) {
+	if _, err := Connect(MiniBank(), Options{Backend: "sqldb"}); err == nil {
+		t.Error("sqldb without a driver should fail")
+	}
+	if _, err := Connect(MiniBank(), Options{Backend: "orcl"}); err == nil {
+		t.Error("unknown backend should fail")
+	}
+	if _, err := Connect(MiniBank(), Options{Backend: "sqldb", Driver: "sodalite", DSN: ":memory:", Dialect: "nope"}); err == nil {
+		t.Error("unknown dialect should fail")
+	}
+	sys, err := Connect(MiniBank(), Options{}) // defaults to memory
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.Backend() != "memory" {
+		t.Errorf("default backend = %q, want memory", sys.Backend())
+	}
+}

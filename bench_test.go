@@ -14,6 +14,7 @@ import (
 	"sync"
 	"testing"
 
+	"soda/internal/backend/memory"
 	"soda/internal/baseline"
 	"soda/internal/bench"
 	"soda/internal/core"
@@ -168,7 +169,7 @@ func BenchmarkFigure6Tables(b *testing.B) {
 // Inheritance Child patterns across the warehouse graph.
 func BenchmarkPatternMatching(b *testing.B) {
 	e := sharedEnv()
-	sys := core.NewSystem(e.Warehouse.DB, e.Warehouse.Meta, e.Warehouse.Index, core.Options{})
+	sys := core.NewSystem(memory.New(e.Warehouse.DB), e.Warehouse.Meta, e.Warehouse.Index, core.Options{})
 	sys.Warm()
 	for i := 0; i < b.N; i++ {
 		if _, err := sys.Search("trade order"); err != nil {
@@ -239,7 +240,7 @@ func BenchmarkConcurrentSearch(b *testing.B) {
 	e := sharedEnv()
 	const query = "YEN trade order"
 	mkSys := func(parallelism int) *core.System {
-		sys := core.NewSystem(e.Warehouse.DB, e.Warehouse.Meta, e.Warehouse.Index,
+		sys := core.NewSystem(memory.New(e.Warehouse.DB), e.Warehouse.Meta, e.Warehouse.Index,
 			core.Options{Parallelism: parallelism, CacheSize: -1})
 		sys.Warm()
 		return sys
@@ -282,7 +283,7 @@ func BenchmarkCachedSearch(b *testing.B) {
 	e := sharedEnv()
 	const query = "YEN trade order"
 	b.Run("cold", func(b *testing.B) {
-		sys := core.NewSystem(e.Warehouse.DB, e.Warehouse.Meta, e.Warehouse.Index,
+		sys := core.NewSystem(memory.New(e.Warehouse.DB), e.Warehouse.Meta, e.Warehouse.Index,
 			core.Options{CacheSize: -1})
 		sys.Warm()
 		b.ResetTimer()
@@ -293,7 +294,7 @@ func BenchmarkCachedSearch(b *testing.B) {
 		}
 	})
 	b.Run("cached", func(b *testing.B) {
-		sys := core.NewSystem(e.Warehouse.DB, e.Warehouse.Meta, e.Warehouse.Index,
+		sys := core.NewSystem(memory.New(e.Warehouse.DB), e.Warehouse.Meta, e.Warehouse.Index,
 			core.Options{})
 		sys.Warm()
 		if _, err := sys.Search(query); err != nil {
@@ -353,7 +354,7 @@ func BenchmarkScaleOrders(b *testing.B) {
 		cfg := warehouse.Default()
 		cfg.Orders = orders
 		w := warehouse.Build(cfg)
-		sys := core.NewSystem(w.DB, w.Meta, w.Index, core.Options{})
+		sys := core.NewSystem(memory.New(w.DB), w.Meta, w.Index, core.Options{})
 		sys.Warm()
 		b.Run(fmt.Sprintf("orders=%d/soda", orders), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

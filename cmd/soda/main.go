@@ -9,6 +9,9 @@
 //	soda -q "wealthy customers"   # one-shot query
 //	soda -q "..." -explain    # print the full pipeline trace
 //	soda -q "..." -dialect db2    # render SQL for a specific warehouse
+//	soda -backend sqldb -driver sodalite -dsn bank   # execute on a SQL backend
+//	soda -backend sqldb -driver pgwire \
+//	     -dsn postgres://user:pw@localhost:5432/soda -dialect postgres
 package main
 
 import (
@@ -30,6 +33,10 @@ func main() {
 	explain := flag.Bool("explain", false, "print the pipeline trace for each query")
 	topN := flag.Int("top", 10, "number of ranked statements to keep")
 	dialect := flag.String("dialect", "generic", "SQL dialect for generated statements: "+strings.Join(soda.Dialects(), ", "))
+	backendName := flag.String("backend", "memory", "execution backend: "+strings.Join(soda.Backends(), ", "))
+	driver := flag.String("driver", "", `database/sql driver for -backend sqldb ("sodalite", "pgwire")`)
+	dsn := flag.String("dsn", "", "data source name for -backend sqldb")
+	load := flag.Bool("load", false, "force-load the world's corpus into the SQL backend")
 	flag.Parse()
 
 	var world *soda.World
@@ -44,7 +51,18 @@ func main() {
 	if !soda.KnownDialect(*dialect) {
 		log.Fatalf("unknown dialect %q (want %s)", *dialect, strings.Join(soda.Dialects(), ", "))
 	}
-	sys := soda.NewSystem(world, soda.Options{TopN: *topN, Dialect: *dialect})
+	sys, err := soda.Connect(world, soda.Options{
+		TopN:       *topN,
+		Dialect:    *dialect,
+		Backend:    *backendName,
+		Driver:     *driver,
+		DSN:        *dsn,
+		LoadCorpus: *load,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
 
 	if *query != "" {
 		run(sys, *query, *explain)

@@ -7,6 +7,8 @@
 //	sodabench -table 3        # one table (1-5)
 //	sodabench -figure 5       # one figure (5-10)
 //	sodabench -ablations      # the design-choice ablations
+//	sodabench -backend sqldb -driver sodalite -dsn bench -table 4
+//	                          # run the experiment systems on a SQL backend
 package main
 
 import (
@@ -14,8 +16,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
+	"soda"
 	"soda/internal/bench"
+	"soda/internal/sqlast"
 )
 
 func main() {
@@ -24,9 +29,22 @@ func main() {
 	table := flag.Int("table", 0, "regenerate one table (1-5)")
 	figure := flag.Int("figure", 0, "regenerate one figure (5-10)")
 	ablations := flag.Bool("ablations", false, "run the ablation experiments")
+	backendName := flag.String("backend", "memory", "execution backend for the experiment systems: "+strings.Join(soda.Backends(), ", "))
+	driver := flag.String("driver", "", `database/sql driver for -backend sqldb ("sodalite", "pgwire")`)
+	dsn := flag.String("dsn", "", "data source name for -backend sqldb")
+	dialect := flag.String("dialect", "generic", "SQL dialect for -backend sqldb: "+strings.Join(soda.Dialects(), ", "))
 	flag.Parse()
 
-	env := bench.NewEnv()
+	d, ok := sqlast.DialectByName(*dialect)
+	if !ok {
+		log.Fatalf("unknown dialect %q (want %s)", *dialect, strings.Join(soda.Dialects(), ", "))
+	}
+	env := bench.NewEnvConfig(bench.Config{
+		Backend: *backendName,
+		Driver:  *driver,
+		DSN:     *dsn,
+		Dialect: d,
+	})
 	all := *table == 0 && *figure == 0 && !*ablations
 
 	out := func(s string, err error) {

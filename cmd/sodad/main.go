@@ -15,6 +15,16 @@
 //	-dialect string     default SQL dialect for generated statements:
 //	                    generic, postgres, mysql or db2 (default "generic");
 //	                    requests override it with their "dialect" field
+//	-backend string     execution backend: "memory" runs the in-process
+//	                    reference engine, "sqldb" executes rendered SQL on
+//	                    a database/sql connection (default "memory")
+//	-driver string      database/sql driver for -backend sqldb: "sodalite"
+//	                    (in-process) or "pgwire" (PostgreSQL)
+//	-dsn string         data source name for -backend sqldb, e.g.
+//	                    postgres://user:pw@host:5432/db
+//	-load               force-load the world's corpus (CREATE TABLE +
+//	                    INSERT) into the SQL backend; without it the
+//	                    corpus is loaded only when its tables are missing
 //	-data-dir string    persistent state directory (feedback WAL + index
 //	                    snapshots). Empty runs in-memory: feedback dies
 //	                    with the process. With a directory, relevance
@@ -90,14 +100,25 @@ func main() {
 		topN        = flag.Int("topn", 0, "ranked statements kept per query (0 = paper's 10)")
 		dialect     = flag.String("dialect", "generic", "default SQL dialect: "+strings.Join(soda.Dialects(), ", "))
 		dataDir     = flag.String("data-dir", "", "persistent state directory (feedback WAL + snapshots); empty = in-memory")
+		backendName = flag.String("backend", "memory", "execution backend: "+strings.Join(soda.Backends(), ", "))
+		driver      = flag.String("driver", "", `database/sql driver for -backend sqldb ("sodalite", "pgwire")`)
+		dsn         = flag.String("dsn", "", "data source name for -backend sqldb")
+		load        = flag.Bool("load", false, "force-load the world's corpus into the SQL backend")
 	)
 	flag.Parse()
-	if err := run(*addr, *world, *dialect, *dataDir, *parallelism, *cacheSize, *topN); err != nil {
+	be := backendOptions{Backend: *backendName, Driver: *driver, DSN: *dsn, Load: *load}
+	if err := run(*addr, *world, *dialect, *dataDir, be, *parallelism, *cacheSize, *topN); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, world, dialect, dataDir string, parallelism, cacheSize, topN int) error {
+// backendOptions groups the execution-backend flags.
+type backendOptions struct {
+	Backend, Driver, DSN string
+	Load                 bool
+}
+
+func run(addr, world, dialect, dataDir string, be backendOptions, parallelism, cacheSize, topN int) error {
 	var w *soda.World
 	switch world {
 	case "minibank":
@@ -116,6 +137,10 @@ func run(addr, world, dialect, dataDir string, parallelism, cacheSize, topN int)
 		Parallelism: parallelism,
 		CacheSize:   cacheSize,
 		Dialect:     dialect,
+		Backend:     be.Backend,
+		Driver:      be.Driver,
+		DSN:         be.DSN,
+		LoadCorpus:  be.Load,
 	}
 	var sys *soda.System
 	if dataDir != "" {
@@ -136,9 +161,13 @@ func run(addr, world, dialect, dataDir string, parallelism, cacheSize, topN int)
 			log.Printf("state store %s: cold start (%s), snapshot pre-baked for next boot", dataDir, reason)
 		}
 	} else {
-		sys = soda.NewSystem(w, opts)
+		var err error
+		sys, err = soda.Connect(w, opts)
+		if err != nil {
+			return fmt.Errorf("connecting execution backend: %w", err)
+		}
 	}
-	log.Printf("warming %s (%d tables)...", w.Name(), len(w.TableNames()))
+	log.Printf("warming %s (%d tables, backend %s)...", w.Name(), len(w.TableNames()), sys.Backend())
 	sys.Warm()
 
 	srv := &http.Server{
@@ -172,12 +201,12 @@ func run(addr, world, dialect, dataDir string, parallelism, cacheSize, topN int)
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("graceful shutdown: %w", err)
 	}
+	// Fold the WAL tail into a final snapshot (the next boot opens warm
+	// with nothing to replay) and release backend connections.
+	if err := sys.Close(); err != nil {
+		return fmt.Errorf("closing system: %w", err)
+	}
 	if dataDir != "" {
-		// Fold the WAL tail into a final snapshot: the next boot opens
-		// warm with nothing to replay.
-		if err := sys.Close(); err != nil {
-			return fmt.Errorf("flushing state store: %w", err)
-		}
 		log.Printf("state store %s flushed", dataDir)
 	}
 	return <-errc

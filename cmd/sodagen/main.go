@@ -14,13 +14,20 @@
 //	sodagen -world minibank -query "wealthy customers" -dialect db2
 //	sodagen -world minibank -query "top 10 trading volume customer" -dialect all
 //	sodagen -world warehouse -prebake /var/lib/soda   # ship a warm snapshot
+//	sodagen -world minibank -ddl -dialect postgres > minibank.sql
 //
 // -prebake builds the world cold and writes a state-store snapshot into
 // the given data directory, so a deployment's first `sodad -data-dir`
 // boot is already warm (no inverted-index scan).
+//
+// -ddl dumps the world's base data as executable CREATE TABLE + INSERT
+// statements in the chosen dialect — the same loader the sqldb backend
+// uses — so a real warehouse can be populated with psql/mysql clients
+// out of band.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -29,8 +36,10 @@ import (
 	"strings"
 
 	"soda"
+	"soda/internal/backend"
 	"soda/internal/metagraph"
 	"soda/internal/rdf"
+	"soda/internal/sqlast"
 )
 
 func main() {
@@ -42,6 +51,7 @@ func main() {
 	query := flag.String("query", "", "dump the generated SQL for this input query instead of world structure")
 	dialect := flag.String("dialect", "generic", "SQL dialect for -query: "+strings.Join(soda.Dialects(), ", ")+", or all")
 	prebake := flag.String("prebake", "", "write a state-store snapshot into this data directory (warm deployments)")
+	ddl := flag.Bool("ddl", false, "dump the world's base data as CREATE TABLE + INSERT statements in -dialect")
 	flag.Parse()
 
 	var world *soda.World
@@ -56,6 +66,11 @@ func main() {
 
 	if *prebake != "" {
 		prebakeSnapshot(world, *prebake)
+		return
+	}
+
+	if *ddl {
+		dumpDDL(world, *dialect)
 		return
 	}
 
@@ -133,6 +148,21 @@ func prebakeSnapshot(world *soda.World, dir string) {
 	}
 	fmt.Printf("prebaked %s snapshot in %s: %d bytes (epoch %d, %d WAL records)\n",
 		world.Name(), dir, st.SnapshotBytes, st.SnapshotEpoch, st.WALRecords)
+}
+
+// dumpDDL writes the world's corpus as an executable SQL script.
+func dumpDDL(world *soda.World, dialect string) {
+	d, ok := sqlast.DialectByName(dialect)
+	if !ok {
+		log.Fatalf("unknown dialect %q (want %s)", dialect, strings.Join(soda.Dialects(), ", "))
+	}
+	out := bufio.NewWriter(os.Stdout)
+	if err := backend.WriteScript(out, world.DB(), d, backend.DefaultInsertBatch); err != nil {
+		log.Fatal(err)
+	}
+	if err := out.Flush(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // dumpSQL runs the pipeline on one query and prints the ranked SQL in

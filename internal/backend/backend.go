@@ -1,0 +1,174 @@
+// Package backend is the execution seam between SQL generation and SQL
+// execution. The SODA pipeline (package core) produces sqlast.Select
+// statements; an Executor runs them somewhere — the in-memory reference
+// engine (backend/memory) or a real database reached through
+// database/sql (backend/sqldb) — and materialises the rows back into the
+// shared Result shape. The paper's point is that SODA emits SQL "that can
+// be executed on the data warehouse" (§3); this seam is what lets the
+// same five-step pipeline execute against a warehouse instead of only
+// the local simulator.
+//
+// The package also re-exports the relational vocabulary (values, column
+// types, tables, the in-memory dataset container) from the engine, so
+// every layer above the seam — corpus builders, the inverted index, the
+// evaluation harness — speaks one type language without importing the
+// engine directly. Only backend/* packages may import internal/engine.
+package backend
+
+import (
+	"context"
+
+	"soda/internal/engine"
+	"soda/internal/sqlast"
+)
+
+// The shared relational vocabulary. Value is one SQL value (the zero
+// Value is NULL); Result is a materialised query result; DB is the
+// in-memory dataset container the corpus generators fill — the memory
+// backend executes it directly, the sqldb backend loads it into a real
+// database with Script/Load.
+type (
+	// Value is a single SQL value.
+	Value = engine.Value
+	// ValueKind enumerates runtime value kinds (Type plus NULL).
+	ValueKind = engine.ValueKind
+	// Type enumerates column types.
+	Type = engine.Type
+	// Column describes one column of a table.
+	Column = engine.Column
+	// Table is an in-memory relation.
+	Table = engine.Table
+	// DB is a named collection of in-memory tables — the neutral corpus
+	// representation every backend can ingest.
+	DB = engine.DB
+	// Result is a materialised query result.
+	Result = engine.Result
+)
+
+// Column types.
+const (
+	TString = engine.TString
+	TInt    = engine.TInt
+	TFloat  = engine.TFloat
+	TDate   = engine.TDate
+	TBool   = engine.TBool
+)
+
+// Value kinds.
+const (
+	KNull   = engine.KNull
+	KString = engine.KString
+	KInt    = engine.KInt
+	KFloat  = engine.KFloat
+	KDate   = engine.KDate
+	KBool   = engine.KBool
+)
+
+// Value constructors, re-exported for corpus builders and tests.
+var (
+	Null   = engine.Null
+	Str    = engine.Str
+	Int    = engine.Int
+	Float  = engine.Float
+	Date   = engine.Date
+	DateOf = engine.DateOf
+	Bool   = engine.Bool
+)
+
+// NewDB returns an empty in-memory dataset.
+func NewDB() *DB { return engine.NewDB() }
+
+// Compare compares two non-null values of compatible kinds; see
+// engine.Compare.
+var Compare = engine.Compare
+
+// Executor executes SELECT statements against some backing store. One
+// Executor backs one core.System; implementations must be safe for
+// concurrent use (searches run snippet executions in parallel).
+type Executor interface {
+	// Name identifies the backend for answer-cache keys and diagnostics
+	// ("memory", "sqldb:sodalite:…"). Two executors whose results can
+	// differ must return different names — the answer cache includes the
+	// name in its key so rows produced by one backend are never served
+	// for another.
+	Name() string
+
+	// Exec runs one SELECT and materialises the result.
+	Exec(ctx context.Context, sel *sqlast.Select) (*Result, error)
+
+	// Catalog describes the tables the executor can query; the pipeline
+	// uses it for key-column selection and the schema browser.
+	Catalog() Catalog
+
+	// ExecCount reports how many statements this executor has run. The
+	// answer cache's zero-execution guarantee on snippet hits is verified
+	// against this counter.
+	ExecCount() uint64
+}
+
+// Catalog is the schema/statistics view the planner and snippet path
+// need: table names, column shapes and row-count estimates.
+type Catalog interface {
+	// TableNames lists the known tables in a stable order.
+	TableNames() []string
+	// Table returns the named table's schema.
+	Table(name string) (TableSchema, bool)
+	// NumRows estimates the table's cardinality; -1 means unknown.
+	NumRows(name string) int
+}
+
+// TableSchema describes one table's shape.
+type TableSchema struct {
+	Name    string
+	Columns []Column
+}
+
+// DBCatalog is the Catalog over an in-memory dataset — the corpus schema.
+// Both the memory backend (whose data it is) and the sqldb backend (which
+// loaded the corpus into a real database) use it.
+type DBCatalog struct{ DB *DB }
+
+// TableNames lists the dataset's tables in creation order.
+func (c DBCatalog) TableNames() []string {
+	if c.DB == nil {
+		return nil
+	}
+	return c.DB.TableNames()
+}
+
+// Table returns the named table's schema.
+func (c DBCatalog) Table(name string) (TableSchema, bool) {
+	if c.DB == nil {
+		return TableSchema{}, false
+	}
+	t := c.DB.Table(name)
+	if t == nil {
+		return TableSchema{}, false
+	}
+	return TableSchema{Name: t.Name, Columns: t.Cols}, true
+}
+
+// NumRows returns the table's exact row count, or -1.
+func (c DBCatalog) NumRows(name string) int {
+	if c.DB == nil {
+		return -1
+	}
+	t := c.DB.Table(name)
+	if t == nil {
+		return -1
+	}
+	return t.NumRows()
+}
+
+// EmptyCatalog is the Catalog of an executor attached to a database whose
+// schema is unknown (a pre-loaded warehouse reached by DSN only).
+type EmptyCatalog struct{}
+
+// TableNames returns nil.
+func (EmptyCatalog) TableNames() []string { return nil }
+
+// Table reports no table.
+func (EmptyCatalog) Table(string) (TableSchema, bool) { return TableSchema{}, false }
+
+// NumRows reports unknown.
+func (EmptyCatalog) NumRows(string) int { return -1 }

@@ -1,0 +1,66 @@
+// Package memory is the in-process execution backend: it wraps the
+// in-memory reference engine (internal/engine) behind the
+// backend.Executor seam. It is the default backend — hermetic,
+// dependency-free, and the semantics oracle the sqldb backend's
+// conformance tests compare against.
+package memory
+
+import (
+	"context"
+	"sync/atomic"
+
+	"soda/internal/backend"
+	"soda/internal/engine"
+	"soda/internal/sqlast"
+)
+
+// Executor executes statements directly against an in-memory dataset.
+type Executor struct {
+	db    *backend.DB
+	execs atomic.Uint64
+}
+
+// New wraps the dataset in an Executor.
+func New(db *backend.DB) *Executor { return &Executor{db: db} }
+
+// Name identifies the backend. Every memory executor owns its dataset
+// privately, so the constant name is safe: two memory executors never
+// share an answer cache.
+func (e *Executor) Name() string { return "memory" }
+
+// Exec runs the statement in the engine.
+func (e *Executor) Exec(_ context.Context, sel *sqlast.Select) (*backend.Result, error) {
+	e.execs.Add(1)
+	return engine.Exec(e.db, sel)
+}
+
+// Catalog exposes the dataset's schema.
+func (e *Executor) Catalog() backend.Catalog { return backend.DBCatalog{DB: e.db} }
+
+// ExecCount reports how many statements this executor has run.
+func (e *Executor) ExecCount() uint64 { return e.execs.Load() }
+
+// DB exposes the backing dataset (the corpus itself).
+func (e *Executor) DB() *backend.DB { return e.db }
+
+// ExplainSQL renders the engine's execution plan for the statement
+// without running it — scan pushdowns, join order, residuals.
+func (e *Executor) ExplainSQL(sel *sqlast.Select) (string, error) {
+	return Explain(e.db, sel)
+}
+
+// Exec is the package-level convenience for one-off executions against a
+// dataset (gold-standard evaluation, the baseline harness) that don't
+// need a long-lived executor.
+func Exec(db *backend.DB, sel *sqlast.Select) (*backend.Result, error) {
+	return engine.Exec(db, sel)
+}
+
+// Explain renders the engine's execution plan for a statement.
+func Explain(db *backend.DB, sel *sqlast.Select) (string, error) {
+	plan, err := engine.Explain(db, sel)
+	if err != nil {
+		return "", err
+	}
+	return plan.String(), nil
+}

@@ -1,0 +1,148 @@
+// DDL + data script generation: render an in-memory corpus as CREATE
+// TABLE and INSERT statements in any SQL dialect, so the same worlds the
+// memory backend executes directly can be loaded into a real database
+// (backend/sqldb, sodagen -ddl, the Postgres conformance job).
+
+package backend
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"soda/internal/sqlast"
+)
+
+// DefaultInsertBatch is how many rows one generated INSERT carries.
+// Multi-row VALUES lists are accepted by every target backend and keep
+// the statement count (and per-statement round trips) proportional to
+// tables, not rows.
+const DefaultInsertBatch = 100
+
+// TypeName maps a column type to the dialect's DDL type name. The
+// choices are deliberately lowest-common-denominator: 64-bit integers,
+// double-precision floats, TEXT strings (VARCHAR on DB2, which has no
+// TEXT type) and SMALLINT booleans on DB2 (whose printer renders TRUE/
+// FALSE as 1/0, so the loaded values match the literals).
+func TypeName(t Type, d *sqlast.Dialect) string {
+	switch t {
+	case TInt:
+		return "BIGINT"
+	case TFloat:
+		if d.Name() == "mysql" {
+			return "DOUBLE"
+		}
+		return "DOUBLE PRECISION"
+	case TDate:
+		return "DATE"
+	case TBool:
+		if d.Name() == "db2" {
+			return "SMALLINT"
+		}
+		return "BOOLEAN"
+	default:
+		if d.Name() == "db2" {
+			return "VARCHAR(255)"
+		}
+		return "TEXT"
+	}
+}
+
+// Script renders the corpus as a list of executable statements in the
+// dialect: one CREATE TABLE per table (in creation order, so foreign-key
+// targets exist first) followed by batched INSERTs. Statements carry no
+// trailing semicolon — database/sql executes them one at a time; use
+// WriteScript for a ';'-terminated dump.
+func Script(db *DB, d *sqlast.Dialect, batch int) []string {
+	if d == nil {
+		d = sqlast.Generic
+	}
+	if batch <= 0 {
+		batch = DefaultInsertBatch
+	}
+	var stmts []string
+	for _, name := range db.TableNames() {
+		tbl := db.Table(name)
+		var b strings.Builder
+		fmt.Fprintf(&b, "CREATE TABLE %s (", d.Ident(tbl.Name))
+		for i, c := range tbl.Cols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", d.Ident(c.Name), TypeName(c.Type, d))
+		}
+		b.WriteByte(')')
+		stmts = append(stmts, b.String())
+		stmts = append(stmts, insertStatements(tbl, d, batch)...)
+	}
+	return stmts
+}
+
+// insertStatements renders the table's rows as batched INSERTs.
+func insertStatements(tbl *Table, d *sqlast.Dialect, batch int) []string {
+	var stmts []string
+	for lo := 0; lo < len(tbl.Rows); lo += batch {
+		hi := lo + batch
+		if hi > len(tbl.Rows) {
+			hi = len(tbl.Rows)
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "INSERT INTO %s (", d.Ident(tbl.Name))
+		for i, c := range tbl.Cols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(d.Ident(c.Name))
+		}
+		b.WriteString(") VALUES")
+		for ri := lo; ri < hi; ri++ {
+			if ri > lo {
+				b.WriteByte(',')
+			}
+			b.WriteString("\n(")
+			for ci, v := range tbl.Rows[ri] {
+				if ci > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(sqlast.RenderExpr(ValueLiteral(v), d))
+			}
+			b.WriteByte(')')
+		}
+		stmts = append(stmts, b.String())
+	}
+	return stmts
+}
+
+// ValueLiteral converts a runtime value into the literal AST node whose
+// dialect rendering reproduces it (string escaping, DATE idiom, 1/0
+// booleans on DB2 all come from the expression printer).
+func ValueLiteral(v Value) *sqlast.Literal {
+	switch v.Kind {
+	case KString:
+		return sqlast.StringLit(v.S)
+	case KInt:
+		return sqlast.IntLit(v.I)
+	case KFloat:
+		return sqlast.FloatLit(v.F)
+	case KDate:
+		return sqlast.DateLit(v.T)
+	case KBool:
+		return sqlast.BoolLit(v.B)
+	default:
+		return sqlast.NullLit()
+	}
+}
+
+// WriteScript writes the corpus script with ';' statement terminators —
+// the sodagen -ddl dump format, loadable by psql/mysql clients.
+func WriteScript(w io.Writer, db *DB, d *sqlast.Dialect, batch int) error {
+	for _, stmt := range Script(db, d, batch) {
+		if _, err := io.WriteString(w, stmt); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, ";\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package sqldriver
+
+import (
+	"database/sql"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func open(t *testing.T, dsn string) *sql.DB {
+	t.Helper()
+	db, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := open(t, ":memory:")
+	mustExec(t, db, `CREATE TABLE people (id BIGINT, name TEXT, salary DOUBLE PRECISION, born DATE, active BOOLEAN)`)
+	mustExec(t, db, `INSERT INTO people (id, name, salary, born, active) VALUES
+(1, 'Sara O''Neil', 95000.0, DATE '1981-04-23', TRUE),
+(2, 'Hans', NULL, NULL, FALSE)`)
+
+	rows, err := db.Query("SELECT name, salary, born, active FROM people ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	type rec struct {
+		name   string
+		salary sql.NullFloat64
+		born   sql.NullTime
+		active bool
+	}
+	var got []rec
+	for rows.Next() {
+		var r rec
+		if err := rows.Scan(&r.name, &r.salary, &r.born, &r.active); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, r)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d rows, want 2", len(got))
+	}
+	if got[0].name != "Sara O'Neil" || !got[0].salary.Valid || got[0].salary.Float64 != 95000 ||
+		!got[0].active || got[0].born.Time.Format("2006-01-02") != "1981-04-23" {
+		t.Fatalf("row 0 = %+v", got[0])
+	}
+	if got[1].salary.Valid || got[1].born.Valid || got[1].active {
+		t.Fatalf("row 1 = %+v, want NULL salary/born and active=false", got[1])
+	}
+}
+
+func TestDialectParameter(t *testing.T) {
+	db := open(t, ":memory:?dialect=mysql")
+	// MySQL surface: backtick identifiers, CONCAT, DATE('...'), and
+	// backslash-escaped strings.
+	mustExec(t, db, "CREATE TABLE `t` (`name` TEXT, `d` DATE)")
+	mustExec(t, db, `INSERT INTO `+"`t`"+` (`+"`name`, `d`"+`) VALUES ('a\\b', DATE('2020-01-02'))`)
+	var name string
+	if err := db.QueryRow("SELECT CONCAT(`name`, '!') FROM `t`").Scan(&name); err != nil {
+		t.Fatal(err)
+	}
+	if name != `a\b!` {
+		t.Fatalf("got %q, want %q", name, `a\b!`)
+	}
+}
+
+func TestNamedDatabasesAreShared(t *testing.T) {
+	const dsn = "shared_test_db"
+	Reset(dsn)
+	t.Cleanup(func() { Reset(dsn) })
+
+	db1 := open(t, dsn)
+	mustExec(t, db1, "CREATE TABLE t (id BIGINT)")
+	mustExec(t, db1, "INSERT INTO t (id) VALUES (7)")
+
+	db2 := open(t, dsn)
+	var id int64
+	if err := db2.QueryRow("SELECT id FROM t").Scan(&id); err != nil {
+		t.Fatal(err)
+	}
+	if id != 7 {
+		t.Fatalf("id = %d, want 7", id)
+	}
+
+	// A fresh ":memory:" handle must NOT see the named database.
+	mem := open(t, ":memory:")
+	if _, err := mem.Query("SELECT id FROM t"); err == nil {
+		t.Fatal(":memory: database should be private")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := open(t, ":memory:")
+	if _, err := db.Exec("CREATE TABLE t (id BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"CREATE TABLE t (id BIGINT)",             // duplicate table
+		"INSERT INTO missing (id) VALUES (1)",    // unknown table
+		"INSERT INTO t (nope) VALUES (1)",        // unknown column
+		"INSERT INTO t (id) VALUES (1, 2)",       // arity mismatch
+		"INSERT INTO t (id) VALUES (id)",         // non-literal value
+		"CREATE TABLE u (x BLOB)",                // unsupported type
+		"SELECT * FROM nowhere",                  // engine error
+		"DROP TABLE t",                           // unsupported statement
+		"SELECT * FROM t; SELECT * FROM t",       // trailing input
+		"INSERT INTO t (id) VALUES ('a' || 'b')", // expression, not literal
+	} {
+		if _, err := db.Exec(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+	if _, err := db.Exec("SELECT * FROM t WHERE id = ?", 1); err == nil {
+		t.Error("placeholders should be rejected")
+	}
+}
+
+func TestTypeCoercions(t *testing.T) {
+	// DB2 renders booleans as 1/0 into SMALLINT-typed columns; the
+	// generic dialect may still feed integers into FLOAT columns and ISO
+	// strings into DATE columns (warehouse text dates).
+	db := open(t, ":memory:")
+	mustExec(t, db, "CREATE TABLE t (f DOUBLE PRECISION, b BOOLEAN, d DATE)")
+	mustExec(t, db, "INSERT INTO t (f, b, d) VALUES (3, 1, '2021-12-31')")
+	var f float64
+	var b bool
+	var d sql.NullTime
+	if err := db.QueryRow("SELECT f, b, d FROM t").Scan(&f, &b, &d); err != nil {
+		t.Fatal(err)
+	}
+	if f != 3 || !b || d.Time.Format("2006-01-02") != "2021-12-31" {
+		t.Fatalf("got f=%v b=%v d=%v", f, b, d.Time)
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	db := open(t, ":memory:")
+	mustExec(t, db, "CREATE TABLE t (id BIGINT)")
+	for i := 0; i < 50; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t (id) VALUES (%d)", i))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n int64
+			if err := db.QueryRow("SELECT count(*) FROM t").Scan(&n); err != nil {
+				errs <- err
+				return
+			}
+			if n != 50 {
+				errs <- fmt.Errorf("count = %d, want 50", n)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func mustExec(t *testing.T, db *sql.DB, stmt string) {
+	t.Helper()
+	if _, err := db.Exec(stmt); err != nil {
+		t.Fatalf("%v\nstatement: %s", err, stmt)
+	}
+}

@@ -24,7 +24,8 @@ import (
 	"sort"
 	"strings"
 
-	"soda/internal/engine"
+	"soda/internal/backend"
+	"soda/internal/backend/memory"
 	"soda/internal/invidx"
 	"soda/internal/metagraph"
 	"soda/internal/rdf"
@@ -273,10 +274,10 @@ func hitFilter(hit invidx.ColumnHit, keyword string) sqlast.Expr {
 }
 
 // execAll is a convenience for tests: run all statements on a database.
-func execAll(db *engine.DB, sels []*sqlast.Select) ([]*engine.Result, error) {
-	var out []*engine.Result
+func execAll(db *backend.DB, sels []*sqlast.Select) ([]*backend.Result, error) {
+	var out []*backend.Result
 	for _, sel := range sels {
-		res, err := engine.Exec(db, sel)
+		res, err := memory.Exec(db, sel)
 		if err != nil {
 			return nil, err
 		}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"soda/internal/backend/memory"
 	"soda/internal/core"
 	"soda/internal/eval"
 	"soda/internal/warehouse"
@@ -11,7 +12,7 @@ import (
 
 var (
 	world = warehouse.Build(warehouse.Default())
-	sys   = core.NewSystem(world.DB, world.Meta, world.Index, core.Options{})
+	sys   = core.NewSystem(memory.New(world.DB), world.Meta, world.Index, core.Options{})
 )
 
 func allSystems() []System {

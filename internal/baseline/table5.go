@@ -3,8 +3,9 @@ package baseline
 import (
 	"sort"
 
+	"soda/internal/backend"
+	"soda/internal/backend/memory"
 	"soda/internal/core"
-	"soda/internal/engine"
 	"soda/internal/eval"
 	"soda/internal/sqlast"
 	"soda/internal/sqlparse"
@@ -96,7 +97,7 @@ func QueryTypeOrder() []eval.QueryType {
 // at least one. (The paper itself marks SODA X on aggregates although
 // Q9.0 scores zero, so "supports the feature" cannot mean "aces every
 // query of the type".)
-func BuildMatrix(db *engine.DB, systems []System, corpus []eval.Query) (*Matrix, error) {
+func BuildMatrix(db *backend.DB, systems []System, corpus []eval.Query) (*Matrix, error) {
 	m := &Matrix{
 		Types: QueryTypeOrder(),
 		Cells: make(map[string]map[eval.QueryType]Cell),
@@ -150,7 +151,7 @@ func BuildMatrix(db *engine.DB, systems []System, corpus []eval.Query) (*Matrix,
 
 // answersQuery reports whether the system produces any statement scoring
 // P,R > 0 against the query's gold standard.
-func answersQuery(db *engine.DB, sys System, q eval.Query) (bool, error) {
+func answersQuery(db *backend.DB, sys System, q eval.Query) (bool, error) {
 	sels, err := sys.Search(q.Input)
 	if err != nil {
 		return false, err
@@ -160,7 +161,7 @@ func answersQuery(db *engine.DB, sys System, q eval.Query) (bool, error) {
 		return false, err
 	}
 	for _, sel := range sels {
-		res, err := engine.Exec(db, sel)
+		res, err := memory.Exec(db, sel)
 		if err != nil {
 			continue
 		}

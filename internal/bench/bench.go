@@ -22,11 +22,17 @@ import (
 	"sort"
 	"strings"
 
+	"context"
+
+	"soda/internal/backend"
+	"soda/internal/backend/memory"
+	"soda/internal/backend/sqldb"
 	"soda/internal/baseline"
 	"soda/internal/core"
 	"soda/internal/eval"
 	"soda/internal/metagraph"
 	"soda/internal/minibank"
+	"soda/internal/sqlast"
 	"soda/internal/warehouse"
 )
 
@@ -38,16 +44,74 @@ type Env struct {
 	MBSys     *core.System
 }
 
-// NewEnv builds the standard environment.
-func NewEnv() *Env {
+// Config selects the execution backend the experiment systems run on.
+// The zero value is the in-memory engine; Backend "sqldb" loads each
+// world's corpus into the database named by Driver/DSN (the DSN is used
+// for the warehouse; the mini-bank gets DSN+"_minibank" so the two
+// corpora never collide in one database).
+type Config struct {
+	Backend string // "", "memory" or "sqldb"
+	Driver  string // database/sql driver name for "sqldb"
+	DSN     string
+	Dialect *sqlast.Dialect
+}
+
+// NewEnv builds the standard environment on the in-memory backend.
+func NewEnv() *Env { return NewEnvConfig(Config{}) }
+
+// NewEnvConfig builds the environment on the configured backend.
+func NewEnvConfig(cfg Config) *Env {
 	wh := warehouse.Build(warehouse.Default())
 	mb := minibank.Build(minibank.Default())
 	return &Env{
 		Warehouse: wh,
-		WHSys:     core.NewSystem(wh.DB, wh.Meta, wh.Index, core.Options{}),
+		WHSys:     core.NewSystem(cfg.executor(wh.DB, ""), wh.Meta, wh.Index, core.Options{}),
 		MiniBank:  mb,
-		MBSys:     core.NewSystem(mb.DB, mb.Meta, mb.Index, core.Options{}),
+		MBSys:     core.NewSystem(cfg.executor(mb.DB, "_minibank"), mb.Meta, mb.Index, core.Options{}),
 	}
+}
+
+// executor builds (and loads) the backend for one corpus.
+func (cfg Config) executor(db *backend.DB, dsnSuffix string) backend.Executor {
+	switch cfg.Backend {
+	case "", "memory":
+		return memory.New(db)
+	case "sqldb":
+		ex, err := sqldb.Open(cfg.Driver, suffixDSN(cfg.DSN, dsnSuffix), cfg.Dialect)
+		if err != nil {
+			panic(fmt.Sprintf("bench: opening %s backend: %v", cfg.Driver, err))
+		}
+		if err := ex.EnsureLoaded(context.Background(), db); err != nil {
+			panic(fmt.Sprintf("bench: loading corpus: %v", err))
+		}
+		return ex
+	default:
+		panic(fmt.Sprintf("bench: unknown backend %q", cfg.Backend))
+	}
+}
+
+// suffixDSN appends suffix to the database *name* inside a DSN rather
+// than to the raw string: before any '?' parameter block, and at the
+// end of the path for URL-shaped DSNs ("postgres://h/db" →
+// "postgres://h/db_minibank", "bench?dialect=db2" →
+// "bench_minibank?dialect=db2").
+func suffixDSN(dsn, suffix string) string {
+	if suffix == "" {
+		return dsn
+	}
+	// Keyword form: suffix the dbname value wherever it sits.
+	if i := strings.Index(dsn, "dbname="); i >= 0 {
+		end := strings.IndexByte(dsn[i:], ' ')
+		if end < 0 {
+			return dsn + suffix
+		}
+		return dsn[:i+end] + suffix + dsn[i+end:]
+	}
+	rest := ""
+	if i := strings.IndexByte(dsn, '?'); i >= 0 {
+		dsn, rest = dsn[:i], dsn[i:]
+	}
+	return dsn + suffix + rest
 }
 
 // Table1Row compares one schema-graph statistic with the paper.
@@ -358,7 +422,7 @@ func (e *Env) Ablations() ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, c := range configs {
 		w := warehouse.Build(c.cfg)
-		sys := core.NewSystem(w.DB, w.Meta, w.Index, c.opt)
+		sys := core.NewSystem(memory.New(w.DB), w.Meta, w.Index, c.opt)
 		reports, err := eval.EvaluateAll(sys, eval.Corpus())
 		if err != nil {
 			return nil, err
@@ -436,8 +500,8 @@ func (e *Env) DBpediaEffect() ([]DBpediaEffectRow, error) {
 		"payment",           // DBpedia synonym of money orders
 		"customer",          // ontology term AND near-synonyms
 	}
-	withSys := core.NewSystem(e.Warehouse.DB, e.Warehouse.Meta, e.Warehouse.Index, core.Options{})
-	offSys := core.NewSystem(e.Warehouse.DB, e.Warehouse.Meta, e.Warehouse.Index,
+	withSys := core.NewSystem(memory.New(e.Warehouse.DB), e.Warehouse.Meta, e.Warehouse.Index, core.Options{})
+	offSys := core.NewSystem(memory.New(e.Warehouse.DB), e.Warehouse.Meta, e.Warehouse.Index,
 		core.Options{DisableDBpedia: true})
 	var rows []DBpediaEffectRow
 	for _, q := range queries {

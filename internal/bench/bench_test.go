@@ -179,3 +179,20 @@ func TestDBpediaEffectMeasured(t *testing.T) {
 		t.Error("some synonym query should become unanswerable without DBpedia")
 	}
 }
+
+// TestSuffixDSN pins that the per-world suffix lands on the database
+// name, not on trailing DSN parameters.
+func TestSuffixDSN(t *testing.T) {
+	for _, tc := range [][3]string{
+		{"bench", "_minibank", "bench_minibank"},
+		{"bench?dialect=db2", "_minibank", "bench_minibank?dialect=db2"},
+		{"postgres://u:p@h:5432/soda?sslmode=disable", "_minibank", "postgres://u:p@h:5432/soda_minibank?sslmode=disable"},
+		{"host=h dbname=soda port=5", "_minibank", "host=h dbname=soda_minibank port=5"},
+		{"host=h dbname=soda", "_minibank", "host=h dbname=soda_minibank"},
+		{"x", "", "x"},
+	} {
+		if got := suffixDSN(tc[0], tc[1]); got != tc[2] {
+			t.Errorf("suffixDSN(%q, %q) = %q, want %q", tc[0], tc[1], got, tc[2])
+		}
+	}
+}

@@ -272,3 +272,18 @@ func TestConcurrentSearchesShareCache(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheKeyIncludesBackend pins the fix for backend-agnostic cache
+// keys: with switchable execution backends, snippet rows produced by one
+// backend must never be served to a system pointed at another, so the
+// executor identity is part of the key.
+func TestCacheKeyIncludesBackend(t *testing.T) {
+	mem := cacheKey("wealthy customers", sqlast.Generic, true, "memory")
+	pg := cacheKey("wealthy customers", sqlast.Generic, true, "sqldb:pgwire:0a1b2c3d")
+	if mem == pg {
+		t.Fatal("cache keys for different backends must differ")
+	}
+	if got := cacheKey("wealthy customers", sqlast.Generic, true, "memory"); got != mem {
+		t.Fatal("cache key must be deterministic per backend")
+	}
+}

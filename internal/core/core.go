@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -26,7 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"soda/internal/engine"
+	"soda/internal/backend"
 	"soda/internal/invidx"
 	"soda/internal/metagraph"
 	"soda/internal/pattern"
@@ -128,11 +129,16 @@ func (o Options) withDefaults() Options {
 // feedback store has its own lock plus an epoch counter that invalidates
 // the answer cache whenever the ranking function changes.
 type System struct {
-	DB    *engine.DB
-	Meta  *metagraph.Graph
-	Index *invidx.Index
-	Reg   *pattern.Registry
-	Opt   Options
+	// Backend executes the generated SQL. The pipeline itself never
+	// touches a database representation: snippet execution, Execute and
+	// ExecSQL all go through this seam, so the same System can run
+	// against the in-memory engine (backend/memory) or a real warehouse
+	// (backend/sqldb).
+	Backend backend.Executor
+	Meta    *metagraph.Graph
+	Index   *invidx.Index
+	Reg     *pattern.Registry
+	Opt     Options
 
 	matcher *pattern.Matcher
 
@@ -162,21 +168,16 @@ type System struct {
 	fingerprint     uint64
 	compacting      atomic.Bool // an async auto-compaction is in flight
 
-	// execs counts SQL statements actually run by the engine (snippets,
-	// Execute, ExecSQL). Tests assert that answer-cache hits with
-	// snippets perform zero executions; the daemon exposes it on
-	// /healthz.
-	execs atomic.Uint64
-
 	cache *answerCache
 }
 
-// NewSystem builds a System over the given substrates. A nil registry gets
-// the metagraph default patterns.
-func NewSystem(db *engine.DB, meta *metagraph.Graph, idx *invidx.Index, opt Options) *System {
+// NewSystem builds a System over the given substrates: an execution
+// backend for the base data, the metadata graph and the inverted index.
+// A nil registry gets the metagraph default patterns.
+func NewSystem(be backend.Executor, meta *metagraph.Graph, idx *invidx.Index, opt Options) *System {
 	reg := metagraph.Patterns()
 	s := &System{
-		DB:      db,
+		Backend: be,
 		Meta:    meta,
 		Index:   idx,
 		Reg:     reg,
@@ -355,7 +356,7 @@ type Solution struct {
 	// for them (SearchOptions.Snippets). Cached with the analysis, so a
 	// cache hit serves them without re-executing the SQL; feedback
 	// invalidates them together with the answer (same epoch).
-	Snippet    *engine.Result
+	Snippet    *backend.Result
 	SnippetErr string
 }
 
@@ -452,7 +453,7 @@ func (s *System) SearchWith(input string, so SearchOptions) (*Analysis, error) {
 	if dialect == nil {
 		dialect = s.Opt.Dialect
 	}
-	key := cacheKey(q.String(), dialect, so.Snippets)
+	key := cacheKey(q.String(), dialect, so.Snippets, s.Backend.Name())
 	epoch := s.epoch.Load()
 	if s.cache != nil {
 		if a, ok := s.cache.get(key, epoch); ok {
@@ -518,9 +519,13 @@ func (s *System) SearchWith(input string, so SearchOptions) (*Analysis, error) {
 }
 
 // cacheKey builds the answer-cache key: the canonical query form plus
-// every per-request knob that changes the answer's content.
-func cacheKey(canonical string, d *sqlast.Dialect, snippets bool) string {
-	key := canonical + "\x1f" + d.Name()
+// every per-request knob that changes the answer's content — including
+// the backend identity, because cached snippet rows were produced by one
+// backend's execution and must never be served for another (two systems
+// pointed at different warehouses can legitimately return different
+// rows for the same statement).
+func cacheKey(canonical string, d *sqlast.Dialect, snippets bool, backendName string) string {
+	key := canonical + "\x1f" + d.Name() + "\x1f" + backendName
 	if snippets {
 		key += "\x1fsnippets"
 	}
@@ -595,11 +600,11 @@ func (s *System) parallelDo(n int, fn func(int)) {
 	}
 }
 
-// Execute runs a solution's generated SQL through the text parser and the
-// engine, proving the statement is executable SQL text, not just an AST.
-// The text is parsed in the solution's dialect — the same round trip a
-// real warehouse client would perform.
-func (s *System) Execute(sol *Solution) (*engine.Result, error) {
+// Execute runs a solution's generated SQL through the text parser and
+// the backend, proving the statement is executable SQL text, not just an
+// AST. The text is parsed in the solution's dialect — the same round
+// trip a real warehouse client would perform.
+func (s *System) Execute(sol *Solution) (*backend.Result, error) {
 	if sol.SQL == nil {
 		return nil, fmt.Errorf("core: solution has no SQL")
 	}
@@ -610,17 +615,17 @@ func (s *System) Execute(sol *Solution) (*engine.Result, error) {
 	return s.runSQL(sel)
 }
 
-// ExecSQL parses and runs an arbitrary statement in the engine's SQL
-// subset against the system's base data — used by the exploration
+// ExecSQL parses and runs an arbitrary statement in the supported SQL
+// subset against the system's backend — used by the exploration
 // workflows of §5.3.2. The statement is read in the System's configured
 // dialect; use ExecSQLDialect for a per-call override.
-func (s *System) ExecSQL(sql string) (*engine.Result, error) {
+func (s *System) ExecSQL(sql string) (*backend.Result, error) {
 	return s.ExecSQLDialect(sql, s.Opt.Dialect)
 }
 
 // ExecSQLDialect parses the statement in the given dialect (nil =
 // generic) and runs it.
-func (s *System) ExecSQLDialect(sql string, d *sqlast.Dialect) (*engine.Result, error) {
+func (s *System) ExecSQLDialect(sql string, d *sqlast.Dialect) (*backend.Result, error) {
 	sel, err := sqlparse.ParseDialect(sql, d)
 	if err != nil {
 		return nil, err
@@ -632,7 +637,7 @@ func (s *System) ExecSQLDialect(sql string, d *sqlast.Dialect) (*engine.Result, 
 // (up to twenty tuples)"). Rows cached by a snippet search are served
 // as-is — zero SQL executions; otherwise the statement is executed with
 // the snippet row cap.
-func (s *System) Snippet(sol *Solution) (*engine.Result, error) {
+func (s *System) Snippet(sol *Solution) (*backend.Result, error) {
 	if sol.Snippet != nil {
 		return sol.Snippet, nil
 	}
@@ -647,7 +652,7 @@ func (s *System) Snippet(sol *Solution) (*engine.Result, error) {
 
 // execSnippet reparses the rendered statement in its dialect, caps it to
 // the snippet row budget and runs it.
-func (s *System) execSnippet(sol *Solution) (*engine.Result, error) {
+func (s *System) execSnippet(sol *Solution) (*backend.Result, error) {
 	sel, err := sqlparse.ParseDialect(sol.SQLText(), sol.dialect())
 	if err != nil {
 		return nil, err
@@ -658,17 +663,16 @@ func (s *System) execSnippet(sol *Solution) (*engine.Result, error) {
 	return s.runSQL(sel)
 }
 
-// runSQL executes a parsed statement, counting the execution.
-func (s *System) runSQL(sel *sqlast.Select) (*engine.Result, error) {
-	s.execs.Add(1)
-	return engine.Exec(s.DB, sel)
+// runSQL executes a parsed statement on the backend.
+func (s *System) runSQL(sel *sqlast.Select) (*backend.Result, error) {
+	return s.Backend.Exec(context.Background(), sel)
 }
 
-// ExecCount reports how many SQL statements the engine has executed on
+// ExecCount reports how many SQL statements the backend has executed on
 // behalf of this System (snippets, Execute, ExecSQL). Answer-cache hits
 // do not execute anything, so the counter makes snippet caching
-// observable.
-func (s *System) ExecCount() uint64 { return s.execs.Load() }
+// observable — per backend, since each executor counts its own work.
+func (s *System) ExecCount() uint64 { return s.Backend.ExecCount() }
 
 // termKey lower-cases and joins words for display.
 func termKey(words []string) string {

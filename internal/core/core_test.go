@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"soda/internal/backend/memory"
 	"soda/internal/metagraph"
 	"soda/internal/minibank"
 )
@@ -12,7 +13,7 @@ var world = minibank.Build(minibank.Default())
 
 func newSys(t *testing.T, opt Options) *System {
 	t.Helper()
-	return NewSystem(world.DB, world.Meta, world.Index, opt)
+	return NewSystem(memory.New(world.DB), world.Meta, world.Index, opt)
 }
 
 func search(t *testing.T, sys *System, q string) *Analysis {

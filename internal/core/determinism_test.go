@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"soda/internal/backend/memory"
 	"soda/internal/minibank"
 )
 
@@ -53,7 +54,7 @@ func TestSameSystemRerunsIdentical(t *testing.T) {
 
 func TestFreshSystemsAgree(t *testing.T) {
 	a := newSys(t, Options{})
-	b := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	b := NewSystem(memory.New(world.DB), world.Meta, world.Index, Options{})
 	for _, q := range determinismQueries {
 		sa, sb := sqlsOf(t, a, q), sqlsOf(t, b, q)
 		if len(sa) != len(sb) {
@@ -71,7 +72,7 @@ func TestFreshWorldsAgree(t *testing.T) {
 	// Deterministic world building implies deterministic answers on a
 	// rebuilt world.
 	w2 := minibank.Build(minibank.Default())
-	sys2 := NewSystem(w2.DB, w2.Meta, w2.Index, Options{})
+	sys2 := NewSystem(memory.New(w2.DB), w2.Meta, w2.Index, Options{})
 	base := newSys(t, Options{})
 	for _, q := range determinismQueries[:4] {
 		sa, sb := sqlsOf(t, base, q), sqlsOf(t, sys2, q)

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"soda/internal/backend/memory"
 	"soda/internal/metagraph"
 )
 
@@ -28,7 +29,7 @@ func feedbackOnLayer(t *testing.T, sys *System, q, layer string, like bool) {
 
 func TestFeedbackRerankAmbiguousQuery(t *testing.T) {
 	// A fresh system so feedback does not leak into other tests.
-	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	sys := NewSystem(memory.New(world.DB), world.Meta, world.Index, Options{})
 
 	// "customer" is ambiguous: the ontology concept outranks the DBpedia
 	// candidates by default.
@@ -63,7 +64,7 @@ func TestFeedbackRerankAmbiguousQuery(t *testing.T) {
 }
 
 func TestFeedbackClamped(t *testing.T) {
-	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	sys := NewSystem(memory.New(world.DB), world.Meta, world.Index, Options{})
 	a := search(t, sys, "customers")
 	target := keyOf(best(t, a).Entries[0])
 	for i := 0; i < 8; i++ {
@@ -91,7 +92,7 @@ func TestFeedbackClamped(t *testing.T) {
 }
 
 func TestFeedbackStaleSolutionRejected(t *testing.T) {
-	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	sys := NewSystem(memory.New(world.DB), world.Meta, world.Index, Options{})
 	a := search(t, sys, "customers")
 	sol := best(t, a)
 	if err := sys.Feedback(sol, true); err != nil {
@@ -113,7 +114,7 @@ func TestFeedbackStaleSolutionRejected(t *testing.T) {
 }
 
 func TestFeedbackResetAndSummary(t *testing.T) {
-	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	sys := NewSystem(memory.New(world.DB), world.Meta, world.Index, Options{})
 	a := search(t, sys, "customers Zürich")
 	sol := best(t, a)
 	if err := sys.Feedback(sol, true); err != nil {
@@ -144,7 +145,7 @@ func TestFeedbackResetAndSummary(t *testing.T) {
 }
 
 func TestFeedbackOnFreshSystemIsNeutral(t *testing.T) {
-	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	sys := NewSystem(memory.New(world.DB), world.Meta, world.Index, Options{})
 	a := search(t, sys, "customers")
 	if sys.FeedbackAdjustment(a.Solutions[0].Entries[0]) != 0 {
 		t.Fatal("fresh system must have zero adjustments")
@@ -152,7 +153,7 @@ func TestFeedbackOnFreshSystemIsNeutral(t *testing.T) {
 }
 
 func TestBrowseMinibankTable(t *testing.T) {
-	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	sys := NewSystem(memory.New(world.DB), world.Meta, world.Index, Options{})
 	info, err := sys.Browse("individuals")
 	if err != nil {
 		t.Fatal(err)
@@ -179,7 +180,7 @@ func TestBrowseMinibankTable(t *testing.T) {
 }
 
 func TestBrowseParentListsChildren(t *testing.T) {
-	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	sys := NewSystem(memory.New(world.DB), world.Meta, world.Index, Options{})
 	info, err := sys.Browse("parties")
 	if err != nil {
 		t.Fatal(err)
@@ -196,14 +197,14 @@ func TestBrowseParentListsChildren(t *testing.T) {
 }
 
 func TestBrowseUnknownTable(t *testing.T) {
-	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	sys := NewSystem(memory.New(world.DB), world.Meta, world.Index, Options{})
 	if _, err := sys.Browse("no_such_table"); err == nil {
 		t.Fatal("unknown table should error")
 	}
 }
 
 func TestTablesList(t *testing.T) {
-	sys := NewSystem(world.DB, world.Meta, world.Index, Options{})
+	sys := NewSystem(memory.New(world.DB), world.Meta, world.Index, Options{})
 	tables := sys.Tables()
 	if len(tables) != 10 {
 		t.Fatalf("tables = %d, want 10", len(tables))

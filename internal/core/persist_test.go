@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"soda/internal/backend/memory"
 	"soda/internal/store"
 )
 
@@ -37,7 +38,7 @@ func openSysWithStore(t *testing.T, dir string, opt Options) *System {
 	if snap != nil {
 		meta, idx = snap.Meta, snap.Index
 	}
-	sys := NewSystem(world.DB, meta, idx, opt)
+	sys := NewSystem(memory.New(world.DB), meta, idx, opt)
 	sys.SetFingerprint(persistTestFP)
 	if err := sys.OpenStore(st, snap); err != nil {
 		t.Fatal(err)
@@ -255,8 +256,8 @@ func TestConcurrentFeedbackSearchSnapshot(t *testing.T) {
 // TestParallelLookupIdentical pins the satellite: per-term parallel
 // lookup produces byte-identical analyses to a sequential scan.
 func TestParallelLookupIdentical(t *testing.T) {
-	seq := NewSystem(world.DB, world.Meta, world.Index, Options{Parallelism: 1})
-	par := NewSystem(world.DB, world.Meta, world.Index, Options{Parallelism: 8})
+	seq := NewSystem(memory.New(world.DB), world.Meta, world.Index, Options{Parallelism: 1})
+	par := NewSystem(memory.New(world.DB), world.Meta, world.Index, Options{Parallelism: 8})
 	for _, q := range determinismQueries {
 		a1, a2 := search(t, seq, q), search(t, par, q)
 		if len(a1.Candidates) != len(a2.Candidates) {

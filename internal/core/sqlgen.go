@@ -175,18 +175,21 @@ func (s *System) entryTable(e EntryPoint) string {
 	return tables[0]
 }
 
-// keyColumn picks the table's key column: "id" when present, otherwise the
-// first column.
+// keyColumn picks the table's key column: "id" when present, otherwise
+// the first column. The shape comes from the backend's catalog; an
+// unknown table (a catalog-less remote backend) defaults to "id".
 func (s *System) keyColumn(table string) string {
-	tbl := s.DB.Table(table)
-	if tbl == nil {
+	ts, ok := s.Backend.Catalog().Table(table)
+	if !ok {
 		return "id"
 	}
-	if tbl.ColIndex("id") >= 0 {
-		return "id"
+	for _, c := range ts.Columns {
+		if c.Name == "id" {
+			return "id"
+		}
 	}
-	if len(tbl.Cols) > 0 {
-		return tbl.Cols[0].Name
+	if len(ts.Columns) > 0 {
+		return ts.Columns[0].Name
 	}
 	return "id"
 }

@@ -5,14 +5,15 @@ import (
 	"testing"
 	"testing/quick"
 
+	"soda/internal/backend"
+	"soda/internal/backend/memory"
 	"soda/internal/core"
-	"soda/internal/engine"
 	"soda/internal/warehouse"
 )
 
 var (
 	world = warehouse.Build(warehouse.Default())
-	sys   = core.NewSystem(world.DB, world.Meta, world.Index, core.Options{})
+	sys   = core.NewSystem(memory.New(world.DB), world.Meta, world.Index, core.Options{})
 )
 
 func TestCorpusWellFormed(t *testing.T) {
@@ -97,7 +98,7 @@ func TestEvaluateMatchesPaperShape(t *testing.T) {
 
 func TestBiTemporalFixRestoresRecall(t *testing.T) {
 	fixed := warehouse.Build(warehouse.Config{FixBiTemporal: true})
-	fsys := core.NewSystem(fixed.DB, fixed.Meta, fixed.Index, core.Options{})
+	fsys := core.NewSystem(memory.New(fixed.DB), fixed.Meta, fixed.Index, core.Options{})
 	for _, id := range []string{"2.1", "2.2", "2.3"} {
 		q := queryByID(t, id)
 		rep, err := Evaluate(fsys, q)
@@ -138,12 +139,12 @@ func TestTimingsRecorded(t *testing.T) {
 }
 
 func TestKeySetProjection(t *testing.T) {
-	res := &engine.Result{
+	res := &backend.Result{
 		Columns: []string{"party_td.id", "other"},
-		Rows: [][]engine.Value{
-			{engine.Int(1), engine.Str("x")},
-			{engine.Int(1), engine.Str("y")}, // same key, different payload
-			{engine.Int(2), engine.Str("z")},
+		Rows: [][]backend.Value{
+			{backend.Int(1), backend.Str("x")},
+			{backend.Int(1), backend.Str("y")}, // same key, different payload
+			{backend.Int(2), backend.Str("z")},
 		},
 	}
 	set, ok := KeySet(res, []string{"party_td.id"})

@@ -1,12 +1,14 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
+	"soda/internal/backend"
+	"soda/internal/backend/memory"
 	"soda/internal/core"
-	"soda/internal/engine"
 	"soda/internal/sqlparse"
 )
 
@@ -24,7 +26,7 @@ func (m Metrics) Positive() bool { return m.Precision > 0 && m.Recall > 0 }
 // distinct tuple keys. With no key columns the full rows are compared.
 // A result that lacks one of the key columns is incomparable: it returns
 // ok=false and the caller scores it zero.
-func KeySet(res *engine.Result, keys []string) (map[string]struct{}, bool) {
+func KeySet(res *backend.Result, keys []string) (map[string]struct{}, bool) {
 	if len(keys) == 0 {
 		return res.KeySet(), true
 	}
@@ -97,9 +99,11 @@ type ResultReport struct {
 }
 
 // Evaluate runs one experiment query through the full pipeline, executes
-// the gold standard and every generated statement, and scores them.
+// the gold standard and every generated statement, and scores them. Gold
+// statements run on the same backend the system executes against, so the
+// comparison stays apples-to-apples when the backend is a real database.
 func Evaluate(sys *core.System, q Query) (*ResultReport, error) {
-	gold, err := GoldSet(sys.DB, q)
+	gold, err := GoldSetOn(sys.Backend, q)
 	if err != nil {
 		return nil, fmt.Errorf("eval %s: gold standard: %w", q.ID, err)
 	}
@@ -169,15 +173,22 @@ func better(a, b Metrics) bool {
 	return a.Precision+a.Recall > b.Precision+b.Recall
 }
 
-// GoldSet executes the query's gold statements and unions their key sets.
-func GoldSet(db *engine.DB, q Query) (map[string]struct{}, error) {
+// GoldSet executes the query's gold statements against an in-memory
+// dataset and unions their key sets.
+func GoldSet(db *backend.DB, q Query) (map[string]struct{}, error) {
+	return GoldSetOn(memory.New(db), q)
+}
+
+// GoldSetOn executes the query's gold statements on an execution backend
+// and unions their key sets.
+func GoldSetOn(be backend.Executor, q Query) (map[string]struct{}, error) {
 	union := make(map[string]struct{})
 	for _, sql := range q.Gold {
 		sel, err := sqlparse.Parse(sql)
 		if err != nil {
 			return nil, err
 		}
-		res, err := engine.Exec(db, sel)
+		res, err := be.Exec(context.Background(), sel)
 		if err != nil {
 			return nil, err
 		}

@@ -6,22 +6,22 @@ import (
 	"reflect"
 	"testing"
 
-	"soda/internal/engine"
+	"soda/internal/backend"
 )
 
-func buildCodecTestDB() *engine.DB {
-	db := engine.NewDB()
+func buildCodecTestDB() *backend.DB {
+	db := backend.NewDB()
 	parties := db.Create("parties",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "name", Type: engine.TString},
-		engine.Column{Name: "city", Type: engine.TString})
-	parties.Insert(engine.Int(1), engine.Str("Credit Suisse"), engine.Str("Zürich"))
-	parties.Insert(engine.Int(2), engine.Str("Sara Güttinger"), engine.Str("Zurich"))
-	parties.Insert(engine.Int(3), engine.Str("Credit Suisse Master Agreement"), engine.Str("Bern"))
-	parties.Insert(engine.Int(4), engine.Null(), engine.Str(""))
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "name", Type: backend.TString},
+		backend.Column{Name: "city", Type: backend.TString})
+	parties.Insert(backend.Int(1), backend.Str("Credit Suisse"), backend.Str("Zürich"))
+	parties.Insert(backend.Int(2), backend.Str("Sara Güttinger"), backend.Str("Zurich"))
+	parties.Insert(backend.Int(3), backend.Str("Credit Suisse Master Agreement"), backend.Str("Bern"))
+	parties.Insert(backend.Int(4), backend.Null(), backend.Str(""))
 	notes := db.Create("notes",
-		engine.Column{Name: "body", Type: engine.TString})
-	notes.Insert(engine.Str("gold certificate for Credit Suisse"))
+		backend.Column{Name: "body", Type: backend.TString})
+	notes.Insert(backend.Str("gold certificate for Credit Suisse"))
 	return db
 }
 
@@ -85,16 +85,16 @@ func TestCodecRejectsCorruptInput(t *testing.T) {
 // thousand text cells — the other half of the warm-start budget next to
 // rdf.ReadBinary.
 func BenchmarkReadIndex(b *testing.B) {
-	db := engine.NewDB()
+	db := backend.NewDB()
 	words := []string{"credit", "suisse", "gold", "zurich", "bond", "swap", "master", "agreement"}
 	for t := 0; t < 20; t++ {
 		tbl := db.Create(fmt.Sprintf("t%d", t),
-			engine.Column{Name: "a", Type: engine.TString},
-			engine.Column{Name: "b", Type: engine.TString})
+			backend.Column{Name: "a", Type: backend.TString},
+			backend.Column{Name: "b", Type: backend.TString})
 		for r := 0; r < 200; r++ {
 			tbl.Insert(
-				engine.Str(words[r%len(words)]+" "+words[(r+t)%len(words)]),
-				engine.Str(fmt.Sprintf("value %d %s", r, words[(r+3*t)%len(words)])))
+				backend.Str(words[r%len(words)]+" "+words[(r+t)%len(words)]),
+				backend.Str(fmt.Sprintf("value %d %s", r, words[(r+3*t)%len(words)])))
 		}
 	}
 	var buf bytes.Buffer

@@ -11,7 +11,7 @@ import (
 	"strings"
 	"unicode"
 
-	"soda/internal/engine"
+	"soda/internal/backend"
 )
 
 // Posting locates one occurrence of a token in the base data.
@@ -75,7 +75,7 @@ func (x *Index) setRaw(p Posting, s string) {
 }
 
 // Build indexes every text column of every table in db.
-func Build(db *engine.DB) *Index {
+func Build(db *backend.DB) *Index {
 	idx := &Index{
 		postings:  make(map[string][]Posting),
 		values:    make(map[string][]Posting),
@@ -84,7 +84,7 @@ func Build(db *engine.DB) *Index {
 	for _, name := range db.TableNames() {
 		tbl := db.Table(name)
 		for ci, col := range tbl.Cols {
-			if col.Type != engine.TString {
+			if col.Type != backend.TString {
 				continue // numeric/date columns are not indexed (§5.1.2)
 			}
 			for ri, row := range tbl.Rows {

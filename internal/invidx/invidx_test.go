@@ -5,30 +5,30 @@ import (
 	"testing"
 	"testing/quick"
 
-	"soda/internal/engine"
+	"soda/internal/backend"
 )
 
-func testDB() *engine.DB {
-	db := engine.NewDB()
+func testDB() *backend.DB {
+	db := backend.NewDB()
 	orgs := db.Create("organizations",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "companyname", Type: engine.TString})
-	orgs.Insert(engine.Int(1), engine.Str("Credit Suisse"))
-	orgs.Insert(engine.Int(2), engine.Str("Acme Fund"))
-	orgs.Insert(engine.Int(3), engine.Str("Suisse Re"))
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "companyname", Type: backend.TString})
+	orgs.Insert(backend.Int(1), backend.Str("Credit Suisse"))
+	orgs.Insert(backend.Int(2), backend.Str("Acme Fund"))
+	orgs.Insert(backend.Int(3), backend.Str("Suisse Re"))
 
 	addr := db.Create("addresses",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "city", Type: engine.TString},
-		engine.Column{Name: "zip", Type: engine.TInt})
-	addr.Insert(engine.Int(1), engine.Str("Zürich"), engine.Int(8001))
-	addr.Insert(engine.Int(2), engine.Str("Geneva"), engine.Int(1201))
-	addr.Insert(engine.Int(3), engine.Null(), engine.Int(0))
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "city", Type: backend.TString},
+		backend.Column{Name: "zip", Type: backend.TInt})
+	addr.Insert(backend.Int(1), backend.Str("Zürich"), backend.Int(8001))
+	addr.Insert(backend.Int(2), backend.Str("Geneva"), backend.Int(1201))
+	addr.Insert(backend.Int(3), backend.Null(), backend.Int(0))
 
 	deals := db.Create("agreements",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "agreementname", Type: engine.TString})
-	deals.Insert(engine.Int(1), engine.Str("Credit Suisse gold agreement"))
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "agreementname", Type: backend.TString})
+	deals.Insert(backend.Int(1), backend.Str("Credit Suisse gold agreement"))
 	return db
 }
 
@@ -149,12 +149,12 @@ func TestNormalizeCollapsesWhitespace(t *testing.T) {
 func TestEveryIndexedTokenFindableQuick(t *testing.T) {
 	words := []string{"alpha", "beta", "gamma", "delta", "Zürich", "Geneva"}
 	f := func(picks []uint8) bool {
-		db := engine.NewDB()
-		tbl := db.Create("t", engine.Column{Name: "v", Type: engine.TString})
+		db := backend.NewDB()
+		tbl := db.Create("t", backend.Column{Name: "v", Type: backend.TString})
 		var inserted []string
 		for _, p := range picks {
 			w := words[int(p)%len(words)]
-			tbl.Insert(engine.Str(w))
+			tbl.Insert(backend.Str(w))
 			inserted = append(inserted, w)
 		}
 		idx := Build(db)

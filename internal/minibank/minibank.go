@@ -24,7 +24,7 @@ import (
 	"math/rand"
 	"time"
 
-	"soda/internal/engine"
+	"soda/internal/backend"
 	"soda/internal/invidx"
 	"soda/internal/metagraph"
 	"soda/internal/rdf"
@@ -32,7 +32,7 @@ import (
 
 // World bundles the three artefacts of the running example.
 type World struct {
-	DB    *engine.DB
+	DB    *backend.DB
 	Meta  *metagraph.Graph
 	Index *invidx.Index
 
@@ -109,52 +109,52 @@ func BuildNoIndex(cfg Config) *World {
 
 // buildData creates the physical tables of Figure 2 and fills them with
 // deterministic synthetic rows.
-func buildData(cfg Config) *engine.DB {
+func buildData(cfg Config) *backend.DB {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	db := engine.NewDB()
+	db := backend.NewDB()
 
 	parties := db.Create("parties",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "kind", Type: engine.TString})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "kind", Type: backend.TString})
 	individuals := db.Create("individuals",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "firstname", Type: engine.TString},
-		engine.Column{Name: "lastname", Type: engine.TString},
-		engine.Column{Name: "salary", Type: engine.TFloat},
-		engine.Column{Name: "birth_dt", Type: engine.TDate})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "firstname", Type: backend.TString},
+		backend.Column{Name: "lastname", Type: backend.TString},
+		backend.Column{Name: "salary", Type: backend.TFloat},
+		backend.Column{Name: "birth_dt", Type: backend.TDate})
 	organizations := db.Create("organizations",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "companyname", Type: engine.TString},
-		engine.Column{Name: "country", Type: engine.TString})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "companyname", Type: backend.TString},
+		backend.Column{Name: "country", Type: backend.TString})
 	addresses := db.Create("addresses",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "individual_id", Type: engine.TInt},
-		engine.Column{Name: "city", Type: engine.TString},
-		engine.Column{Name: "street", Type: engine.TString})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "individual_id", Type: backend.TInt},
+		backend.Column{Name: "city", Type: backend.TString},
+		backend.Column{Name: "street", Type: backend.TString})
 	transactions := db.Create("transactions",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "fromparty", Type: engine.TInt},
-		engine.Column{Name: "toparty", Type: engine.TInt},
-		engine.Column{Name: "trade_dt", Type: engine.TDate})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "fromparty", Type: backend.TInt},
+		backend.Column{Name: "toparty", Type: backend.TInt},
+		backend.Column{Name: "trade_dt", Type: backend.TDate})
 	fiTx := db.Create("fi_transactions",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "instrument_id", Type: engine.TInt},
-		engine.Column{Name: "amount", Type: engine.TFloat})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "instrument_id", Type: backend.TInt},
+		backend.Column{Name: "amount", Type: backend.TFloat})
 	moneyTx := db.Create("money_transactions",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "amount", Type: engine.TFloat},
-		engine.Column{Name: "currency", Type: engine.TString})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "amount", Type: backend.TFloat},
+		backend.Column{Name: "currency", Type: backend.TString})
 	instruments := db.Create("financial_instruments",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "name", Type: engine.TString},
-		engine.Column{Name: "kind", Type: engine.TString})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "name", Type: backend.TString},
+		backend.Column{Name: "kind", Type: backend.TString})
 	securities := db.Create("securities",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "name", Type: engine.TString},
-		engine.Column{Name: "issuer", Type: engine.TString})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "name", Type: backend.TString},
+		backend.Column{Name: "issuer", Type: backend.TString})
 	fiContainsSec := db.Create("fi_contains_sec",
-		engine.Column{Name: "fi_id", Type: engine.TInt},
-		engine.Column{Name: "sec_id", Type: engine.TInt})
+		backend.Column{Name: "fi_id", Type: backend.TInt},
+		backend.Column{Name: "sec_id", Type: backend.TInt})
 
 	// Individuals: party ids 1..N. Row 1 is Sara Guttinger (the paper's
 	// Query 1 subject), wealthy enough to be interesting but below the
@@ -162,7 +162,7 @@ func buildData(cfg Config) *engine.DB {
 	id := 0
 	for i := 0; i < cfg.Individuals; i++ {
 		id++
-		parties.Insert(engine.Int(int64(id)), engine.Str("individual"))
+		parties.Insert(backend.Int(int64(id)), backend.Str("individual"))
 		first := firstNames[rng.Intn(len(firstNames))]
 		last := lastNames[rng.Intn(len(lastNames))]
 		salary := float64(40000 + rng.Intn(2000000))
@@ -172,39 +172,39 @@ func buildData(cfg Config) *engine.DB {
 			salary = 95000
 			birth = time.Date(1981, 4, 23, 0, 0, 0, 0, time.UTC)
 		}
-		individuals.Insert(engine.Int(int64(id)), engine.Str(first), engine.Str(last),
-			engine.Float(salary), engine.DateOf(birth))
+		individuals.Insert(backend.Int(int64(id)), backend.Str(first), backend.Str(last),
+			backend.Float(salary), backend.DateOf(birth))
 
 		city := cities[rng.Intn(len(cities))]
 		if i == 0 {
 			city = "Zürich"
 		}
-		addresses.Insert(engine.Int(int64(1000+id)), engine.Int(int64(id)),
-			engine.Str(city), engine.Str(fmt.Sprintf("Street %d", rng.Intn(200)+1)))
+		addresses.Insert(backend.Int(int64(1000+id)), backend.Int(int64(id)),
+			backend.Str(city), backend.Str(fmt.Sprintf("Street %d", rng.Intn(200)+1)))
 	}
 
 	// Organizations: party ids continue after individuals.
 	for i := 0; i < cfg.Organizations; i++ {
 		id++
-		parties.Insert(engine.Int(int64(id)), engine.Str("organization"))
+		parties.Insert(backend.Int(int64(id)), backend.Str("organization"))
 		name := orgNames[i%len(orgNames)]
 		if i >= len(orgNames) {
 			name = fmt.Sprintf("%s %d", name, i/len(orgNames)+1)
 		}
-		organizations.Insert(engine.Int(int64(id)), engine.Str(name), engine.Str("Switzerland"))
+		organizations.Insert(backend.Int(int64(id)), backend.Str(name), backend.Str("Switzerland"))
 	}
 
 	// Financial instruments and securities; instruments contain securities
 	// through the bridge table (funds hold shares).
 	for i := 0; i < cfg.Instruments; i++ {
 		kind := instrumentKinds[rng.Intn(len(instrumentKinds))]
-		instruments.Insert(engine.Int(int64(i+1)),
-			engine.Str(fmt.Sprintf("%s instrument %d", kind, i+1)), engine.Str(kind))
+		instruments.Insert(backend.Int(int64(i+1)),
+			backend.Str(fmt.Sprintf("%s instrument %d", kind, i+1)), backend.Str(kind))
 	}
 	for i := 0; i < cfg.Securities; i++ {
 		issuer := secIssuers[rng.Intn(len(secIssuers))]
-		securities.Insert(engine.Int(int64(i+1)),
-			engine.Str(fmt.Sprintf("%s share %d", issuer, i+1)), engine.Str(issuer))
+		securities.Insert(backend.Int(int64(i+1)),
+			backend.Str(fmt.Sprintf("%s share %d", issuer, i+1)), backend.Str(issuer))
 	}
 	seenPair := make(map[[2]int]bool)
 	for i := 0; i < cfg.Instruments*3; i++ {
@@ -214,7 +214,7 @@ func buildData(cfg Config) *engine.DB {
 			continue
 		}
 		seenPair[[2]int{fi, sec}] = true
-		fiContainsSec.Insert(engine.Int(int64(fi)), engine.Int(int64(sec)))
+		fiContainsSec.Insert(backend.Int(int64(fi)), backend.Int(int64(sec)))
 	}
 
 	// Transactions: 80% financial-instrument trades, 20% money transfers.
@@ -225,14 +225,14 @@ func buildData(cfg Config) *engine.DB {
 		to := int64(rng.Intn(nParties) + 1)
 		day := time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC).
 			AddDate(0, 0, rng.Intn(3*365))
-		transactions.Insert(engine.Int(txID), engine.Int(from), engine.Int(to), engine.DateOf(day))
+		transactions.Insert(backend.Int(txID), backend.Int(from), backend.Int(to), backend.DateOf(day))
 		amount := 100 + rng.Float64()*100000
 		if rng.Float64() < 0.8 {
-			fiTx.Insert(engine.Int(txID),
-				engine.Int(int64(rng.Intn(cfg.Instruments)+1)), engine.Float(amount))
+			fiTx.Insert(backend.Int(txID),
+				backend.Int(int64(rng.Intn(cfg.Instruments)+1)), backend.Float(amount))
 		} else {
-			moneyTx.Insert(engine.Int(txID), engine.Float(amount),
-				engine.Str(currencies[rng.Intn(len(currencies))]))
+			moneyTx.Insert(backend.Int(txID), backend.Float(amount),
+				backend.Str(currencies[rng.Intn(len(currencies))]))
 		}
 	}
 	return db

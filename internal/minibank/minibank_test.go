@@ -3,7 +3,7 @@ package minibank
 import (
 	"testing"
 
-	"soda/internal/engine"
+	"soda/internal/backend/memory"
 	"soda/internal/metagraph"
 	"soda/internal/pattern"
 	"soda/internal/rdf"
@@ -42,7 +42,7 @@ func TestAllFigure2TablesExist(t *testing.T) {
 
 func TestSaraGuttingerExists(t *testing.T) {
 	w := Build(Default())
-	res, err := engine.Exec(w.DB, sqlparse.MustParse(
+	res, err := memory.Exec(w.DB, sqlparse.MustParse(
 		`SELECT * FROM parties, individuals
 		 WHERE parties.id = individuals.id
 		 AND individuals.firstname = 'Sara'
@@ -57,7 +57,7 @@ func TestSaraGuttingerExists(t *testing.T) {
 
 func TestSaraLivesInZurich(t *testing.T) {
 	w := Build(Default())
-	res, err := engine.Exec(w.DB, sqlparse.MustParse(
+	res, err := memory.Exec(w.DB, sqlparse.MustParse(
 		`SELECT addresses.city FROM individuals, addresses
 		 WHERE addresses.individual_id = individuals.id
 		 AND individuals.lastname = 'Guttinger' AND individuals.firstname = 'Sara'`))

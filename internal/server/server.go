@@ -98,8 +98,11 @@ type HealthResponse struct {
 	Tables        int             `json:"tables"`
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	Cache         soda.CacheStats `json:"cache"`
-	// Executions counts SQL statements run by the engine; together with
-	// the cache counters it shows how much work snippet caching saves.
+	// Backend identifies the execution backend generated SQL runs on
+	// ("memory", "sqldb:pgwire:…"); Executions counts the statements that
+	// backend has run for this System — together with the cache counters
+	// it shows how much work snippet caching saves, per backend.
+	Backend    string `json:"backend"`
 	Executions uint64 `json:"executions"`
 	// Dialects lists the SQL dialects accepted in the per-request
 	// "dialect" field of /search and /sql.
@@ -116,6 +119,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Tables:        len(s.sys.World().TableNames()),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Cache:         s.sys.CacheStats(),
+		Backend:       s.sys.Backend(),
 		Executions:    s.sys.ExecCount(),
 		Dialects:      soda.Dialects(),
 		Store:         s.sys.StoreStats(),

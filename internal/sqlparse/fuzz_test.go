@@ -10,6 +10,7 @@ package sqlparse_test
 import (
 	"testing"
 
+	"soda/internal/backend/memory"
 	"soda/internal/core"
 	"soda/internal/minibank"
 	"soda/internal/sqlast"
@@ -34,7 +35,7 @@ func FuzzParse(f *testing.F) {
 	// SODA-generated statements for synthetic queries: the exact SQL
 	// shapes the pipeline emits in production.
 	w := minibank.Build(minibank.Default())
-	sys := core.NewSystem(w.DB, w.Meta, w.Index, core.Options{})
+	sys := core.NewSystem(memory.New(w.DB), w.Meta, w.Index, core.Options{})
 	for _, q := range workload.New(w.Meta, w.Index, 11).Queries(24) {
 		a, err := sys.Search(q)
 		if err != nil {

@@ -1,0 +1,188 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"soda/internal/sqlast"
+)
+
+// Statement is one parsed SQL statement: *sqlast.Select, *CreateTable or
+// *Insert. The DDL/DML subset exists for the loader path — the scripts
+// package backend emits (CREATE TABLE + batched INSERT) must be
+// demonstrably parseable text, and the in-process sodalite driver
+// executes them by re-parsing here.
+type Statement any
+
+// CreateTable is "CREATE TABLE name (col TYPE, ...)". Types are kept as
+// raw name text ("BIGINT", "DOUBLE PRECISION", "VARCHAR(255)"); the
+// consumer maps them onto its own type system.
+type CreateTable struct {
+	Name string
+	Cols []ColumnDef
+}
+
+// ColumnDef is one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type string // upper-cased type text, e.g. "DOUBLE PRECISION"
+}
+
+// Insert is "INSERT INTO name (cols...) VALUES (...), (...)". Values are
+// constant expressions (literals, possibly sign-folded numbers).
+type Insert struct {
+	Table   string
+	Columns []string // empty means table order
+	Rows    [][]sqlast.Expr
+}
+
+// ParseStatement parses one statement in the Generic dialect.
+func ParseStatement(src string) (Statement, error) {
+	return ParseStatementDialect(src, sqlast.Generic)
+}
+
+// ParseStatementDialect parses one SELECT, CREATE TABLE or INSERT
+// statement written in the given dialect. A single trailing semicolon is
+// tolerated (script dumps terminate statements with ';').
+func ParseStatementDialect(src string, d *sqlast.Dialect) (Statement, error) {
+	if d == nil {
+		d = sqlast.Generic
+	}
+	src = strings.TrimSpace(src)
+	src = strings.TrimSuffix(src, ";")
+	toks, err := lex(src, d.BackslashStrings())
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt Statement
+	switch {
+	case p.keyword("create"):
+		stmt, err = p.parseCreateTable()
+	case p.keyword("insert"):
+		stmt, err = p.parseInsert()
+	default:
+		stmt, err = p.parseSelect()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("sql: trailing input at %s", p.peek())
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseCreateTable() (*CreateTable, error) {
+	p.next() // create
+	if _, err := p.expect(tokIdent, "table"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name.text}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		typ, err := p.parseTypeName()
+		if err != nil {
+			return nil, err
+		}
+		ct.Cols = append(ct.Cols, ColumnDef{Name: col.text, Type: typ})
+		if !p.eat(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+// parseTypeName reads a type: one or more bare words ("DOUBLE PRECISION")
+// with an optional parenthesized length ("VARCHAR(255)").
+func (p *parser) parseTypeName() (string, error) {
+	var words []string
+	for p.peek().kind == tokIdent && !p.peek().quoted {
+		words = append(words, strings.ToUpper(p.next().text))
+	}
+	if len(words) == 0 {
+		return "", fmt.Errorf("sql: expected a type name, got %s", p.peek())
+	}
+	typ := strings.Join(words, " ")
+	if p.eat(tokSymbol, "(") {
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return "", err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return "", err
+		}
+		typ += "(" + n.text + ")"
+	}
+	return typ, nil
+}
+
+func (p *parser) parseInsert() (*Insert, error) {
+	p.next() // insert
+	if _, err := p.expect(tokIdent, "into"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name.text}
+	if p.eat(tokSymbol, "(") {
+		for {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col.text)
+			if !p.eat(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokIdent, "values"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []sqlast.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.eat(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		if len(ins.Columns) > 0 && len(row) != len(ins.Columns) {
+			return nil, fmt.Errorf("sql: INSERT row has %d values for %d columns", len(row), len(ins.Columns))
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.eat(tokSymbol, ",") {
+			break
+		}
+	}
+	return ins, nil
+}

@@ -1,0 +1,78 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"soda/internal/sqlast"
+)
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := ParseStatement(`CREATE TABLE "order" (id BIGINT, "unit price" DOUBLE PRECISION, name VARCHAR(255));`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, ok := st.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if ct.Name != "order" || len(ct.Cols) != 3 {
+		t.Fatalf("ct = %+v", ct)
+	}
+	want := []ColumnDef{
+		{Name: "id", Type: "BIGINT"},
+		{Name: "unit price", Type: "DOUBLE PRECISION"},
+		{Name: "name", Type: "VARCHAR(255)"},
+	}
+	for i, w := range want {
+		if ct.Cols[i] != w {
+			t.Errorf("col %d = %+v, want %+v", i, ct.Cols[i], w)
+		}
+	}
+}
+
+func TestParseInsertMultiRow(t *testing.T) {
+	st, err := ParseStatement(`INSERT INTO t (a, b) VALUES (1, 'x'), (-2.5, NULL)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, ok := st.(*Insert)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if ins.Table != "t" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("ins = %+v", ins)
+	}
+	if lit := ins.Rows[1][0].(*sqlast.Literal); lit.Kind != sqlast.LitFloat || lit.F != -2.5 {
+		t.Fatalf("negative float literal = %+v", lit)
+	}
+	if lit := ins.Rows[1][1].(*sqlast.Literal); lit.Kind != sqlast.LitNull {
+		t.Fatalf("null literal = %+v", lit)
+	}
+}
+
+func TestParseStatementSelectPassthrough(t *testing.T) {
+	st, err := ParseStatement("SELECT * FROM t LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := st.(*sqlast.Select)
+	if !ok || sel.Limit != 3 {
+		t.Fatalf("got %T %+v", st, st)
+	}
+}
+
+func TestParseStatementErrors(t *testing.T) {
+	for _, bad := range []string{
+		"CREATE TABLE (x INT)",
+		"CREATE TABLE t (x)",
+		"CREATE VIEW v (x INT)",
+		"INSERT t (a) VALUES (1)",
+		"INSERT INTO t (a, b) VALUES (1)",
+		"INSERT INTO t (a) VALUES (1) garbage",
+		"DELETE FROM t",
+	} {
+		if _, err := ParseStatement(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}

@@ -5,7 +5,7 @@ import (
 	"math/rand"
 	"time"
 
-	"soda/internal/engine"
+	"soda/internal/backend"
 	"soda/internal/metagraph"
 	"soda/internal/rdf"
 )
@@ -16,7 +16,7 @@ import (
 // inheritance split. Physical names are deliberately cryptic (§6.2).
 type domain struct {
 	cfg   cfg
-	db    *engine.DB
+	db    *backend.DB
 	b     *metagraph.Builder
 	nodes map[string]rdf.Term
 }
@@ -343,68 +343,68 @@ func (d *domain) buildData() {
 	db := d.db
 
 	party := db.Create("party_td",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "party_kind_cd", Type: engine.TString})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "party_kind_cd", Type: backend.TString})
 	individual := db.Create("individual_td",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "birth_dt", Type: engine.TDate},
-		engine.Column{Name: "salary_amt", Type: engine.TFloat},
-		engine.Column{Name: "crnt_snap_id", Type: engine.TInt})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "birth_dt", Type: backend.TDate},
+		backend.Column{Name: "salary_amt", Type: backend.TFloat},
+		backend.Column{Name: "crnt_snap_id", Type: backend.TInt})
 	organization := db.Create("organization_td",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "org_nm", Type: engine.TString},
-		engine.Column{Name: "country", Type: engine.TString},
-		engine.Column{Name: "crnt_snap_id", Type: engine.TInt})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "org_nm", Type: backend.TString},
+		backend.Column{Name: "country", Type: backend.TString},
+		backend.Column{Name: "crnt_snap_id", Type: backend.TInt})
 	indHist := db.Create("individual_name_hist",
-		engine.Column{Name: "snap_id", Type: engine.TInt},
-		engine.Column{Name: "individual_id", Type: engine.TInt},
-		engine.Column{Name: "given_nm", Type: engine.TString},
-		engine.Column{Name: "family_nm", Type: engine.TString},
-		engine.Column{Name: "valid_from", Type: engine.TDate},
-		engine.Column{Name: "valid_to", Type: engine.TDate})
+		backend.Column{Name: "snap_id", Type: backend.TInt},
+		backend.Column{Name: "individual_id", Type: backend.TInt},
+		backend.Column{Name: "given_nm", Type: backend.TString},
+		backend.Column{Name: "family_nm", Type: backend.TString},
+		backend.Column{Name: "valid_from", Type: backend.TDate},
+		backend.Column{Name: "valid_to", Type: backend.TDate})
 	orgHist := db.Create("organization_name_hist",
-		engine.Column{Name: "snap_id", Type: engine.TInt},
-		engine.Column{Name: "organization_id", Type: engine.TInt},
-		engine.Column{Name: "org_nm", Type: engine.TString},
-		engine.Column{Name: "valid_from", Type: engine.TDate},
-		engine.Column{Name: "valid_to", Type: engine.TDate})
+		backend.Column{Name: "snap_id", Type: backend.TInt},
+		backend.Column{Name: "organization_id", Type: backend.TInt},
+		backend.Column{Name: "org_nm", Type: backend.TString},
+		backend.Column{Name: "valid_from", Type: backend.TDate},
+		backend.Column{Name: "valid_to", Type: backend.TDate})
 	employment := db.Create("associate_employment",
-		engine.Column{Name: "individual_id", Type: engine.TInt},
-		engine.Column{Name: "organization_id", Type: engine.TInt},
-		engine.Column{Name: "role_cd", Type: engine.TString})
+		backend.Column{Name: "individual_id", Type: backend.TInt},
+		backend.Column{Name: "organization_id", Type: backend.TInt},
+		backend.Column{Name: "role_cd", Type: backend.TString})
 	address := db.Create("address_td",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "individual_id", Type: engine.TInt},
-		engine.Column{Name: "city_nm", Type: engine.TString},
-		engine.Column{Name: "street_nm", Type: engine.TString},
-		engine.Column{Name: "country_cd", Type: engine.TString})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "individual_id", Type: backend.TInt},
+		backend.Column{Name: "city_nm", Type: backend.TString},
+		backend.Column{Name: "street_nm", Type: backend.TString},
+		backend.Column{Name: "country_cd", Type: backend.TString})
 	agreement := db.Create("agreement_td",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "agreement_nm", Type: engine.TString},
-		engine.Column{Name: "signed_dt", Type: engine.TDate})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "agreement_nm", Type: backend.TString},
+		backend.Column{Name: "signed_dt", Type: backend.TDate})
 	agreementParty := db.Create("agreement_party",
-		engine.Column{Name: "agreement_id", Type: engine.TInt},
-		engine.Column{Name: "party_id", Type: engine.TInt})
+		backend.Column{Name: "agreement_id", Type: backend.TInt},
+		backend.Column{Name: "party_id", Type: backend.TInt})
 	curr := db.Create("curr_td",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "currency_cd", Type: engine.TString},
-		engine.Column{Name: "curr_nm", Type: engine.TString})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "currency_cd", Type: backend.TString},
+		backend.Column{Name: "curr_nm", Type: backend.TString})
 	product := db.Create("investment_product_td",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "product_nm", Type: engine.TString},
-		engine.Column{Name: "product_type_cd", Type: engine.TString})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "product_nm", Type: backend.TString},
+		backend.Column{Name: "product_type_cd", Type: backend.TString})
 	order := db.Create("order_td",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "party_id", Type: engine.TInt},
-		engine.Column{Name: "prd_dt", Type: engine.TDate},
-		engine.Column{Name: "investment_amt", Type: engine.TFloat},
-		engine.Column{Name: "curr_id", Type: engine.TInt})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "party_id", Type: backend.TInt},
+		backend.Column{Name: "prd_dt", Type: backend.TDate},
+		backend.Column{Name: "investment_amt", Type: backend.TFloat},
+		backend.Column{Name: "curr_id", Type: backend.TInt})
 	tradeOrder := db.Create("trade_order_td",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "product_id", Type: engine.TInt})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "product_id", Type: backend.TInt})
 	moneyOrder := db.Create("money_order_td",
-		engine.Column{Name: "id", Type: engine.TInt},
-		engine.Column{Name: "beneficiary_id", Type: engine.TInt})
+		backend.Column{Name: "id", Type: backend.TInt},
+		backend.Column{Name: "beneficiary_id", Type: backend.TInt})
 
 	// Individuals with bi-temporal name history. Person 1 is Sara
 	// Guttinger (Q2.x); her given name is stable across all versions so
@@ -414,7 +414,7 @@ func (d *domain) buildData() {
 	snapSeq := 0
 	for i := 0; i < d.cfg.Individuals; i++ {
 		id++
-		party.Insert(engine.Int(int64(id)), engine.Str("IND"))
+		party.Insert(backend.Int(int64(id)), backend.Str("IND"))
 		given := whGivenNames[rng.Intn(len(whGivenNames))]
 		family := whFamilyNames[rng.Intn(len(whFamilyNames))]
 		if i == 0 {
@@ -441,12 +441,12 @@ func (d *domain) buildData() {
 			if i == 0 {
 				fam = "Guttinger"
 			}
-			indHist.Insert(engine.Int(int64(snapSeq)), engine.Int(int64(id)),
-				engine.Str(given), engine.Str(fam),
-				engine.DateOf(from), engine.DateOf(to))
+			indHist.Insert(backend.Int(int64(snapSeq)), backend.Int(int64(id)),
+				backend.Str(given), backend.Str(fam),
+				backend.DateOf(from), backend.DateOf(to))
 		}
-		individual.Insert(engine.Int(int64(id)), engine.DateOf(birth),
-			engine.Float(salary), engine.Int(int64(currentSnap)))
+		individual.Insert(backend.Int(int64(id)), backend.DateOf(birth),
+			backend.Float(salary), backend.Int(int64(currentSnap)))
 
 		city := whCities[rng.Intn(len(whCities))]
 		countryCd := "CH"
@@ -456,9 +456,9 @@ func (d *domain) buildData() {
 		if i == 0 {
 			city, countryCd = "Zürich", "CH"
 		}
-		address.Insert(engine.Int(int64(10000+id)), engine.Int(int64(id)),
-			engine.Str(city), engine.Str(fmt.Sprintf("Street %d", rng.Intn(200)+1)),
-			engine.Str(countryCd))
+		address.Insert(backend.Int(int64(10000+id)), backend.Int(int64(id)),
+			backend.Str(city), backend.Str(fmt.Sprintf("Street %d", rng.Intn(200)+1)),
+			backend.Str(countryCd))
 	}
 	firstOrgID := id + 1
 
@@ -466,7 +466,7 @@ func (d *domain) buildData() {
 	// the keyword anchors organizations, not addresses).
 	for i := 0; i < d.cfg.Organizations; i++ {
 		id++
-		party.Insert(engine.Int(int64(id)), engine.Str("ORG"))
+		party.Insert(backend.Int(int64(id)), backend.Str("ORG"))
 		// Sentinel names ('Credit Suisse', 'Sara Textiles AG') must stay
 		// unique; overflow organizations get neutral names.
 		name := fmt.Sprintf("Trading House %d", i+1)
@@ -487,19 +487,19 @@ func (d *domain) buildData() {
 				to = time.Date(9999, 12, 31, 0, 0, 0, 0, time.UTC)
 				currentSnap = snapSeq
 			}
-			orgHist.Insert(engine.Int(int64(snapSeq)), engine.Int(int64(id)),
-				engine.Str(name+suffix), engine.DateOf(from), engine.DateOf(to))
+			orgHist.Insert(backend.Int(int64(snapSeq)), backend.Int(int64(id)),
+				backend.Str(name+suffix), backend.DateOf(from), backend.DateOf(to))
 		}
-		organization.Insert(engine.Int(int64(id)), engine.Str(name),
-			engine.Str(country), engine.Int(int64(currentSnap)))
+		organization.Insert(backend.Int(int64(id)), backend.Str(name),
+			backend.Str(country), backend.Int(int64(currentSnap)))
 	}
 
 	// Employment: each individual works for one organization (the
 	// Figure 10 sibling bridge).
 	for i := 1; i <= d.cfg.Individuals; i++ {
 		org := firstOrgID + rng.Intn(d.cfg.Organizations)
-		employment.Insert(engine.Int(int64(i)), engine.Int(int64(org)),
-			engine.Str([]string{"EMP", "MGR", "DIR"}[rng.Intn(3)]))
+		employment.Insert(backend.Int(int64(i)), backend.Int(int64(org)),
+			backend.Str([]string{"EMP", "MGR", "DIR"}[rng.Intn(3)]))
 	}
 
 	// Agreements between parties.
@@ -509,17 +509,17 @@ func (d *domain) buildData() {
 			name = fmt.Sprintf("%s %d", name, i/len(whAgreementNames)+1)
 		}
 		signed := time.Date(2000+rng.Intn(12), time.Month(1+rng.Intn(12)), 1+rng.Intn(28), 0, 0, 0, 0, time.UTC)
-		agreement.Insert(engine.Int(int64(i+1)), engine.Str(name), engine.DateOf(signed))
+		agreement.Insert(backend.Int(int64(i+1)), backend.Str(name), backend.DateOf(signed))
 		// Two parties per agreement.
 		for k := 0; k < 2; k++ {
-			agreementParty.Insert(engine.Int(int64(i+1)),
-				engine.Int(int64(rng.Intn(id)+1)))
+			agreementParty.Insert(backend.Int(int64(i+1)),
+				backend.Int(int64(rng.Intn(id)+1)))
 		}
 	}
 
 	// Currencies (YEN included verbatim for Q7.0).
 	for i, c := range whCurrencies {
-		curr.Insert(engine.Int(int64(i+1)), engine.Str(c[0]), engine.Str(c[1]))
+		curr.Insert(backend.Int(int64(i+1)), backend.Str(c[0]), backend.Str(c[1]))
 	}
 
 	// Investment products; product 1 is "Lehman XYZ" (Q8.0). Overflow
@@ -529,8 +529,8 @@ func (d *domain) buildData() {
 		if i < len(whProductNames) {
 			name = whProductNames[i]
 		}
-		product.Insert(engine.Int(int64(i+1)), engine.Str(name),
-			engine.Str([]string{"FUND", "CERT", "NOTE", "BOND"}[rng.Intn(4)]))
+		product.Insert(backend.Int(int64(i+1)), backend.Str(name),
+			backend.Str([]string{"FUND", "CERT", "NOTE", "BOND"}[rng.Intn(4)]))
 	}
 
 	// Orders: 75% trades, 25% money transfers; whole-number amounts.
@@ -540,12 +540,12 @@ func (d *domain) buildData() {
 		day := time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, rng.Intn(4*365))
 		amt := float64(100 + rng.Intn(100000))
 		currID := int64(rng.Intn(len(whCurrencies)) + 1)
-		order.Insert(engine.Int(oid), engine.Int(pid), engine.DateOf(day),
-			engine.Float(amt), engine.Int(currID))
+		order.Insert(backend.Int(oid), backend.Int(pid), backend.DateOf(day),
+			backend.Float(amt), backend.Int(currID))
 		if rng.Float64() < 0.75 {
-			tradeOrder.Insert(engine.Int(oid), engine.Int(int64(rng.Intn(d.cfg.Products)+1)))
+			tradeOrder.Insert(backend.Int(oid), backend.Int(int64(rng.Intn(d.cfg.Products)+1)))
 		} else {
-			moneyOrder.Insert(engine.Int(oid), engine.Int(int64(rng.Intn(id)+1)))
+			moneyOrder.Insert(backend.Int(oid), backend.Int(int64(rng.Intn(id)+1)))
 		}
 	}
 	_ = metagraph.LayerBaseData

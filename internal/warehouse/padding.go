@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"soda/internal/engine"
+	"soda/internal/backend"
 	"soda/internal/metagraph"
 	"soda/internal/rdf"
 )
@@ -17,7 +17,7 @@ import (
 // level, for the paper's "several levels"), and the first six areas get a
 // bridge table between the inheritance siblings — more Figure 10 shapes in
 // the wild, not just the hand-modelled one.
-func pad(cfg Config, db *engine.DB, b *metagraph.Builder) {
+func pad(cfg Config, db *backend.DB, b *metagraph.Builder) {
 	s := b.Graph().Stats()
 	nConcepts := TargetConceptEntities - s.ConceptEntities
 	nConceptAttrs := TargetConceptAttrs - s.ConceptAttrs
@@ -72,7 +72,7 @@ func pad(cfg Config, db *engine.DB, b *metagraph.Builder) {
 	// budget lands exactly, then materialise metadata and engine tables.
 	type padTable struct {
 		name string
-		cols []engine.Column
+		cols []backend.Column
 		// bridge marks the sibling-bridge table of structured areas; its
 		// first two non-id columns FK to the area's two children.
 		bridge bool
@@ -84,13 +84,13 @@ func pad(cfg Config, db *engine.DB, b *metagraph.Builder) {
 		area, pos := i/areaSize, i%areaSize
 		name := fmt.Sprintf("a%03d_t%d_td", area+1, pos)
 		pt := padTable{name: name}
-		pt.cols = append(pt.cols, engine.Column{Name: "id", Type: engine.TInt})
+		pt.cols = append(pt.cols, backend.Column{Name: "id", Type: backend.TInt})
 		usedCols++
 		if structuredArea(area, nTables) && pos == 5 && area < 6 {
 			pt.bridge = true
 			pt.cols = append(pt.cols,
-				engine.Column{Name: "p1_id", Type: engine.TInt},
-				engine.Column{Name: "p2_id", Type: engine.TInt})
+				backend.Column{Name: "p1_id", Type: backend.TInt},
+				backend.Column{Name: "p2_id", Type: backend.TInt})
 			usedCols += 2
 		}
 		tables[i] = pt
@@ -100,20 +100,20 @@ func pad(cfg Config, db *engine.DB, b *metagraph.Builder) {
 	}
 	// Distribute the remaining column budget round-robin with a cycle of
 	// warehouse-flavoured column shapes.
-	shapes := []engine.Column{
-		{Name: "amt", Type: engine.TFloat},
-		{Name: "ref_nm", Type: engine.TString},
-		{Name: "valid_from", Type: engine.TDate},
-		{Name: "valid_to", Type: engine.TDate},
-		{Name: "status_cd", Type: engine.TString},
-		{Name: "qty_cnt", Type: engine.TInt},
-		{Name: "upd_dt", Type: engine.TDate},
-		{Name: "src_sys_cd", Type: engine.TString},
+	shapes := []backend.Column{
+		{Name: "amt", Type: backend.TFloat},
+		{Name: "ref_nm", Type: backend.TString},
+		{Name: "valid_from", Type: backend.TDate},
+		{Name: "valid_to", Type: backend.TDate},
+		{Name: "status_cd", Type: backend.TString},
+		{Name: "qty_cnt", Type: backend.TInt},
+		{Name: "upd_dt", Type: backend.TDate},
+		{Name: "src_sys_cd", Type: backend.TString},
 	}
 	for k := 0; usedCols < nColumns; k++ {
 		ti := k % nTables
 		shape := shapes[(len(tables[ti].cols)-1)%len(shapes)]
-		col := engine.Column{
+		col := backend.Column{
 			Name: fmt.Sprintf("%s_%d", shape.Name, len(tables[ti].cols)),
 			Type: shape.Type,
 		}
@@ -176,21 +176,21 @@ func pad(cfg Config, db *engine.DB, b *metagraph.Builder) {
 	for i, pt := range tables {
 		tbl := db.Create(pt.name, pt.cols...)
 		for r := 0; r < cfg.PadRows; r++ {
-			row := make([]engine.Value, len(pt.cols))
+			row := make([]backend.Value, len(pt.cols))
 			for ci, col := range pt.cols {
 				switch {
 				case col.Name == "id":
-					row[ci] = engine.Int(int64(r + 1))
+					row[ci] = backend.Int(int64(r + 1))
 				case pt.bridge && ci == 1, pt.bridge && ci == 2:
-					row[ci] = engine.Int(int64(r%cfg.PadRows + 1))
-				case col.Type == engine.TInt:
-					row[ci] = engine.Int(int64(r % 7))
-				case col.Type == engine.TFloat:
-					row[ci] = engine.Float(float64((r + 1) * 10))
-				case col.Type == engine.TDate:
-					row[ci] = engine.DateOf(base.AddDate(0, 0, r))
+					row[ci] = backend.Int(int64(r%cfg.PadRows + 1))
+				case col.Type == backend.TInt:
+					row[ci] = backend.Int(int64(r % 7))
+				case col.Type == backend.TFloat:
+					row[ci] = backend.Float(float64((r + 1) * 10))
+				case col.Type == backend.TDate:
+					row[ci] = backend.DateOf(base.AddDate(0, 0, r))
 				default:
-					row[ci] = engine.Str(fmt.Sprintf("ref %s r%d", pt.name, r+1))
+					row[ci] = backend.Str(fmt.Sprintf("ref %s r%d", pt.name, r+1))
 				}
 			}
 			tbl.Insert(row...)
@@ -207,15 +207,15 @@ func structuredArea(area, nTables int) bool {
 	return (area+1)*areaSize <= nTables
 }
 
-func sqlTypeName(t engine.Type) string {
+func sqlTypeName(t backend.Type) string {
 	switch t {
-	case engine.TInt:
+	case backend.TInt:
 		return "int"
-	case engine.TFloat:
+	case backend.TFloat:
 		return "float"
-	case engine.TDate:
+	case backend.TDate:
 		return "date"
-	case engine.TBool:
+	case backend.TBool:
 		return "bool"
 	default:
 		return "text"

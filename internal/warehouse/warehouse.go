@@ -27,7 +27,7 @@ package warehouse
 import (
 	"fmt"
 
-	"soda/internal/engine"
+	"soda/internal/backend"
 	"soda/internal/invidx"
 	"soda/internal/metagraph"
 	"soda/internal/rdf"
@@ -111,7 +111,7 @@ func (c Config) withDefaults() Config {
 
 // World bundles the generated warehouse.
 type World struct {
-	DB    *engine.DB
+	DB    *backend.DB
 	Meta  *metagraph.Graph
 	Index *invidx.Index
 	Cfg   Config
@@ -134,7 +134,7 @@ func Build(cfg Config) *World {
 func BuildNoIndex(cfg Config) *World {
 	cfg = cfg.withDefaults()
 	w := &World{Cfg: cfg, Nodes: make(map[string]rdf.Term)}
-	w.DB = engine.NewDB()
+	w.DB = backend.NewDB()
 	b := metagraph.NewBuilder()
 
 	d := &domain{cfg: cfg, db: w.DB, b: b, nodes: w.Nodes}

@@ -3,7 +3,8 @@ package warehouse
 import (
 	"testing"
 
-	"soda/internal/engine"
+	"soda/internal/backend"
+	"soda/internal/backend/memory"
 	"soda/internal/metagraph"
 	"soda/internal/rdf"
 	"soda/internal/sqlparse"
@@ -177,7 +178,7 @@ func TestFixBiTemporalConfig(t *testing.T) {
 	fixed := Build(Config{FixBiTemporal: true})
 	// The fixed world models the proper join: all of Sara's versions
 	// reachable via individual_id.
-	res, err := engine.Exec(fixed.DB, sqlparse.MustParse(
+	res, err := memory.Exec(fixed.DB, sqlparse.MustParse(
 		`SELECT * FROM individual_name_hist, individual_td
 		 WHERE individual_name_hist.individual_id = individual_td.id
 		 AND given_nm = 'Sara'`))
@@ -215,9 +216,9 @@ func TestCrypticNamesOnlyViaLogicalLayer(t *testing.T) {
 	}
 }
 
-func exec(t *testing.T, sql string) *engine.Result {
+func exec(t *testing.T, sql string) *backend.Result {
 	t.Helper()
-	res, err := engine.Exec(world.DB, sqlparse.MustParse(sql))
+	res, err := memory.Exec(world.DB, sqlparse.MustParse(sql))
 	if err != nil {
 		t.Fatalf("exec %q: %v", sql, err)
 	}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"soda/internal/backend/memory"
 	"soda/internal/core"
 	"soda/internal/minibank"
 	"soda/internal/queryparse"
@@ -57,7 +58,7 @@ func TestGeneratedQueriesMix(t *testing.T) {
 // The §5.1.3 corner-case fuzz: Search never errors on generated input,
 // and every produced statement reparses and executes.
 func TestFuzzSearchMiniBank(t *testing.T) {
-	sys := core.NewSystem(mb.DB, mb.Meta, mb.Index, core.Options{})
+	sys := core.NewSystem(memory.New(mb.DB), mb.Meta, mb.Index, core.Options{})
 	sys.Warm()
 	g := New(mb.Meta, mb.Index, 11)
 	for i, q := range g.Queries(300) {
@@ -82,7 +83,7 @@ func TestFuzzSearchWarehouse(t *testing.T) {
 		t.Skip("warehouse fuzz in -short mode")
 	}
 	w := warehouse.Build(warehouse.Default())
-	sys := core.NewSystem(w.DB, w.Meta, w.Index, core.Options{})
+	sys := core.NewSystem(memory.New(w.DB), w.Meta, w.Index, core.Options{})
 	sys.Warm()
 	g := New(w.Meta, w.Index, 13)
 	for i, q := range g.Queries(100) {

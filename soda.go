@@ -26,6 +26,7 @@
 package soda
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -33,8 +34,15 @@ import (
 	"strings"
 	"sync"
 
+	"soda/internal/backend"
+	"soda/internal/backend/memory"
+	"soda/internal/backend/sqldb"
 	"soda/internal/core"
-	"soda/internal/engine"
+
+	// The in-tree database/sql drivers register themselves so
+	// Options.Driver "sodalite" and "pgwire" work out of the box.
+	_ "soda/internal/backend/pgwire"
+	_ "soda/internal/backend/sqldriver"
 	"soda/internal/invidx"
 	"soda/internal/metagraph"
 	"soda/internal/minibank"
@@ -78,6 +86,25 @@ type Options struct {
 	// input. Individual searches can override it via SearchOptions.
 	Dialect string
 
+	// Backend selects where generated SQL executes: "memory" (default)
+	// runs the in-process reference engine over the world's own data;
+	// "sqldb" drives a database/sql connection — the statements are
+	// rendered in Dialect, sent as text and the rows scanned back.
+	// NewSystem ignores this and always uses memory; Connect honors it.
+	Backend string
+	// Driver is the database/sql driver name for Backend "sqldb". Two
+	// ship in-tree: "sodalite" (hermetic in-process database) and
+	// "pgwire" (PostgreSQL). Builds that link other drivers can name
+	// them here.
+	Driver string
+	// DSN is the data source name for Backend "sqldb", e.g.
+	// "postgres://user:pw@host:5432/db" (pgwire) or "bank" (sodalite).
+	DSN string
+	// LoadCorpus forces loading the world's base data (CREATE TABLE +
+	// INSERT) into the SQL backend even if its tables seem to exist.
+	// Without it, Connect probes and loads only an empty target.
+	LoadCorpus bool
+
 	// Ablations (see DESIGN.md).
 	DisableBridges bool // skip bridge-table discovery
 	DisableDBpedia bool // drop DBpedia entry points
@@ -119,7 +146,7 @@ func KnownDialect(name string) bool {
 // lazily on first use, so Open can boot from a state-store snapshot
 // without ever paying the cold scan.
 type World struct {
-	db        *engine.DB
+	db        *backend.DB
 	meta      *metagraph.Graph
 	index     *invidx.Index
 	indexOnce sync.Once
@@ -129,15 +156,16 @@ type World struct {
 // NewWorld wraps custom substrates into a World. Most callers use
 // MiniBank or Warehouse instead. A nil index is built lazily from the
 // base data on first use.
-func NewWorld(name string, db *engine.DB, meta *metagraph.Graph, index *invidx.Index) *World {
+func NewWorld(name string, db *backend.DB, meta *metagraph.Graph, index *invidx.Index) *World {
 	return &World{db: db, meta: meta, index: index, name: name}
 }
 
 // Name identifies the world ("minibank", "warehouse", ...).
 func (w *World) Name() string { return w.name }
 
-// DB exposes the relational engine holding the base data.
-func (w *World) DB() *engine.DB { return w.db }
+// DB exposes the in-memory dataset holding the base data (the corpus a
+// SQL backend is loaded from).
+func (w *World) DB() *backend.DB { return w.db }
 
 // Meta exposes the metadata graph.
 func (w *World) Meta() *metagraph.Graph { return w.meta }
@@ -189,14 +217,75 @@ type System struct {
 }
 
 // NewSystem builds a System without persistence: derived state (the
-// inverted index) is built cold and feedback lives in memory only. Use
-// Open for a System whose state survives restarts.
+// inverted index) is built cold, feedback lives in memory only, and SQL
+// executes on the in-memory backend regardless of Options.Backend. Use
+// Connect for a System on a selectable backend and Open for one whose
+// state survives restarts.
 func NewSystem(w *World, opt Options) *System {
 	return &System{
 		world: w,
-		sys:   core.NewSystem(w.db, w.meta, w.Index(), opt.internal()),
+		sys:   core.NewSystem(memory.New(w.db), w.meta, w.Index(), opt.internal()),
 	}
 }
+
+// Connect builds a System on the execution backend selected by
+// Options.Backend/Driver/DSN. For "sqldb" the world's corpus is loaded
+// into the target database when its tables are missing (always when
+// Options.LoadCorpus is set), so the same five-step pipeline runs
+// end-to-end against a real warehouse: generated statements are rendered
+// in Options.Dialect, executed over the wire, and snippets scanned back.
+func Connect(w *World, opt Options) (*System, error) {
+	ex, err := newExecutor(w, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		world: w,
+		sys:   core.NewSystem(ex, w.meta, w.Index(), opt.internal()),
+	}, nil
+}
+
+// newExecutor builds (and for SQL backends, loads) the executor named by
+// the options.
+func newExecutor(w *World, opt Options) (backend.Executor, error) {
+	switch opt.Backend {
+	case "", "memory":
+		return memory.New(w.db), nil
+	case "sqldb":
+		d, ok := sqlast.DialectByName(opt.Dialect)
+		if !ok {
+			return nil, fmt.Errorf("soda: unknown dialect %q (supported: %s)",
+				opt.Dialect, strings.Join(Dialects(), ", "))
+		}
+		if opt.Driver == "" {
+			return nil, errors.New(`soda: backend "sqldb" needs Options.Driver (e.g. "sodalite", "pgwire")`)
+		}
+		ex, err := sqldb.Open(opt.Driver, opt.DSN, d)
+		if err != nil {
+			return nil, err
+		}
+		ctx := context.Background()
+		if opt.LoadCorpus {
+			err = ex.Load(ctx, w.db)
+		} else {
+			err = ex.EnsureLoaded(ctx, w.db)
+		}
+		if err != nil {
+			ex.Close()
+			return nil, err
+		}
+		return ex, nil
+	default:
+		return nil, fmt.Errorf("soda: unknown backend %q (want memory or sqldb)", opt.Backend)
+	}
+}
+
+// Backends lists the supported execution backend names.
+func Backends() []string { return []string{"memory", "sqldb"} }
+
+// Backend identifies the execution backend this System runs on
+// ("memory", "sqldb:pgwire:…").
+func (s *System) Backend() string { return s.sys.Backend.Name() }
 
 // Open builds a System backed by a persistent state store in dir — the
 // production lifecycle ("open the store, replay the tail" instead of
@@ -242,10 +331,18 @@ func Open(w *World, opt Options, dir string) (*System, error) {
 	} else {
 		idx = w.Index() // cold: scan the base data
 	}
-	cs := core.NewSystem(w.db, meta, idx, opt.internal())
+	ex, err := newExecutor(w, opt)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	cs := core.NewSystem(ex, meta, idx, opt.internal())
 	cs.SetFingerprint(fp)
 	if err := cs.OpenStore(st, snap); err != nil {
 		st.Close()
+		if c, ok := ex.(io.Closer); ok {
+			c.Close() // release the sqldb connection pool
+		}
 		return nil, err
 	}
 	return &System{world: w, sys: cs}, nil
@@ -270,9 +367,18 @@ func worldFingerprint(w *World) uint64 {
 	return h.Sum64()
 }
 
-// Close flushes persistent state (final snapshot + WAL sync) and releases
-// the store. A System built with NewSystem closes trivially.
-func (s *System) Close() error { return s.sys.Close() }
+// Close flushes persistent state (final snapshot + WAL sync), releases
+// the store, and closes the execution backend when it holds connections
+// (sqldb). A System built with NewSystem closes trivially.
+func (s *System) Close() error {
+	err := s.sys.Close()
+	if c, ok := s.sys.Backend.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // StoreStats re-exports the persistent-store diagnostics; WarmStart says
 // whether the System booted from a snapshot.
@@ -350,10 +456,10 @@ func (r *Result) Snippet() (*Rows, error) {
 // Rows is a materialised query result with display helpers.
 type Rows struct {
 	Columns []string
-	Values  [][]engine.Value
+	Values  [][]backend.Value
 }
 
-func newRows(res *engine.Result) *Rows {
+func newRows(res *backend.Result) *Rows {
 	return &Rows{Columns: res.Columns, Values: res.Rows}
 }
 
@@ -361,11 +467,11 @@ func newRows(res *engine.Result) *Rows {
 // snippet rows are shared by every answer-cache hit, and Rows' fields
 // are exported and mutable — handing out the shared slices would let
 // one caller corrupt the cache for everyone else.
-func newRowsCopy(res *engine.Result) *Rows {
+func newRowsCopy(res *backend.Result) *Rows {
 	cols := append([]string(nil), res.Columns...)
-	vals := make([][]engine.Value, len(res.Rows))
+	vals := make([][]backend.Value, len(res.Rows))
 	for i, row := range res.Rows {
-		vals[i] = append([]engine.Value(nil), row...)
+		vals[i] = append([]backend.Value(nil), row...)
 	}
 	return &Rows{Columns: cols, Values: vals}
 }
@@ -622,18 +728,16 @@ func (s *System) Browse(table string) (*TableInfo, error) {
 	return s.sys.Browse(table)
 }
 
-// ExplainSQL renders the engine's execution plan for a statement without
-// running it: scans with pushed-down filters, hash/cross join order,
-// residual predicates and the aggregation pipeline. The statement is
+// ExplainSQL renders the reference engine's execution plan for a
+// statement without running it: scans with pushed-down filters,
+// hash/cross join order, residual predicates and the aggregation
+// pipeline. The plan is always computed over the world's in-memory
+// corpus — a real SQL backend has its own EXPLAIN — and the statement is
 // read in the System's configured dialect.
 func (s *System) ExplainSQL(sql string) (string, error) {
 	sel, err := sqlparse.ParseDialect(sql, s.sys.Opt.Dialect)
 	if err != nil {
 		return "", err
 	}
-	plan, err := engine.Explain(s.world.db, sel)
-	if err != nil {
-		return "", err
-	}
-	return plan.String(), nil
+	return memory.Explain(s.world.db, sel)
 }
