@@ -31,6 +31,16 @@
 //	                    feedback survives restarts and a valid snapshot
 //	                    skips the cold inverted-index build entirely
 //	                    (warm start); pre-bake one with sodagen -prebake.
+//	-peers string       comma-separated base URLs of the other replicas in
+//	                    a fleet (e.g. "http://b:8080,http://c:8080").
+//	                    Requires -data-dir. Each replica pulls its peers'
+//	                    feedback records and applies them locally, so the
+//	                    whole fleet converges on the same learned
+//	                    rankings; list every other replica (full mesh).
+//	-replica-id string  stable replica identity within the fleet; empty
+//	                    generates one on first boot and persists it in the
+//	                    data dir. Must be unique across replicas.
+//	-sync-interval      peer poll interval (default 500ms)
 //
 // The daemon warms the join-graph caches before listening, serves until
 // SIGINT/SIGTERM and then shuts down gracefully, draining in-flight
@@ -66,6 +76,11 @@
 //
 //	GET  /explain?q=customers+Zürich
 //	    Plain-text pipeline trace in the shape of Figures 4-6.
+//
+//	GET  /cluster/pull?since=origin:seq,...&from=replica-id
+//	    Replication pull (fleet-internal): feedback records beyond the
+//	    caller's applied vector, or the folded state when the caller is
+//	    behind this replica's fold point. See README "Running a fleet".
 //
 // Examples:
 //
@@ -104,10 +119,14 @@ func main() {
 		driver      = flag.String("driver", "", `database/sql driver for -backend sqldb ("sodalite", "pgwire")`)
 		dsn         = flag.String("dsn", "", "data source name for -backend sqldb")
 		load        = flag.Bool("load", false, "force-load the world's corpus into the SQL backend")
+		peers       = flag.String("peers", "", "comma-separated base URLs of the other fleet replicas (requires -data-dir)")
+		replicaID   = flag.String("replica-id", "", "stable replica identity within the fleet (empty = generate and persist)")
+		syncEvery   = flag.Duration("sync-interval", 0, "peer poll interval (default 500ms)")
 	)
 	flag.Parse()
 	be := backendOptions{Backend: *backendName, Driver: *driver, DSN: *dsn, Load: *load}
-	if err := run(*addr, *world, *dialect, *dataDir, be, *parallelism, *cacheSize, *topN); err != nil {
+	cl := clusterOptions{Peers: splitPeers(*peers), ReplicaID: *replicaID, SyncInterval: *syncEvery}
+	if err := run(*addr, *world, *dialect, *dataDir, be, cl, *parallelism, *cacheSize, *topN); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -118,7 +137,25 @@ type backendOptions struct {
 	Load                 bool
 }
 
-func run(addr, world, dialect, dataDir string, be backendOptions, parallelism, cacheSize, topN int) error {
+// clusterOptions groups the fleet-replication flags.
+type clusterOptions struct {
+	Peers        []string
+	ReplicaID    string
+	SyncInterval time.Duration
+}
+
+// splitPeers parses the -peers flag, dropping empty entries.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func run(addr, world, dialect, dataDir string, be backendOptions, cl clusterOptions, parallelism, cacheSize, topN int) error {
 	var w *soda.World
 	switch world {
 	case "minibank":
@@ -132,15 +169,22 @@ func run(addr, world, dialect, dataDir string, be backendOptions, parallelism, c
 		return fmt.Errorf("unknown dialect %q (want %s)", dialect, strings.Join(soda.Dialects(), ", "))
 	}
 
+	if len(cl.Peers) > 0 && dataDir == "" {
+		return fmt.Errorf("-peers requires -data-dir (replication persists pulled records in the local WAL)")
+	}
 	opts := soda.Options{
-		TopN:        topN,
-		Parallelism: parallelism,
-		CacheSize:   cacheSize,
-		Dialect:     dialect,
-		Backend:     be.Backend,
-		Driver:      be.Driver,
-		DSN:         be.DSN,
-		LoadCorpus:  be.Load,
+		TopN:         topN,
+		Parallelism:  parallelism,
+		CacheSize:    cacheSize,
+		Dialect:      dialect,
+		Backend:      be.Backend,
+		Driver:       be.Driver,
+		DSN:          be.DSN,
+		LoadCorpus:   be.Load,
+		Peers:        cl.Peers,
+		ReplicaID:    cl.ReplicaID,
+		SyncInterval: cl.SyncInterval,
+		Logf:         log.Printf,
 	}
 	var sys *soda.System
 	if dataDir != "" {
@@ -159,6 +203,10 @@ func run(addr, world, dialect, dataDir string, be backendOptions, parallelism, c
 				reason = "no snapshot"
 			}
 			log.Printf("state store %s: cold start (%s), snapshot pre-baked for next boot", dataDir, reason)
+		}
+		if len(cl.Peers) > 0 {
+			log.Printf("cluster: replica %s pulling %d peer(s): %s",
+				sys.ReplicaID(), len(cl.Peers), strings.Join(cl.Peers, ", "))
 		}
 	} else {
 		var err error

@@ -146,6 +146,13 @@ func prebakeSnapshot(world *soda.World, dir string) {
 	if err := sys.Close(); err != nil {
 		log.Fatal(err)
 	}
+	// A pre-baked directory is a template that may be copied to several
+	// fleet replicas; it must not ship a replica identity (each member
+	// mints its own on first boot). The snapshot itself carries no
+	// origin state — prebaking writes no feedback records.
+	if err := soda.ClearReplicaIdentity(dir); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("prebaked %s snapshot in %s: %d bytes (epoch %d, %d WAL records)\n",
 		world.Name(), dir, st.SnapshotBytes, st.SnapshotEpoch, st.WALRecords)
 }

@@ -1,0 +1,251 @@
+// Package fleet is the fleet load test (ROADMAP item "load-test sodad and publish
+// throughput numbers"): boot an in-process fleet of N sodad replicas —
+// each with its own data dir, replicating feedback over loopback HTTP
+// exactly like production — seed feedback on one replica, wait for the
+// fleet to converge, then drive /search traffic at every replica
+// concurrently and report aggregate QPS. cmd/sodabench -replicas N runs
+// it from the command line. (Its own package so the root-package
+// benchmarks, which import internal/bench from inside package soda, do
+// not create an import cycle through the soda dependency here.)
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"soda"
+	"soda/internal/server"
+)
+
+// Config tunes Run.
+type Config struct {
+	// Replicas is the fleet size (default 3).
+	Replicas int
+	// Queries is the total number of /search requests to issue across the
+	// fleet (default 2000).
+	Queries int
+	// WorkersPerReplica is how many concurrent clients hit each replica
+	// (default 4).
+	WorkersPerReplica int
+}
+
+// Result is the outcome of one fleet load test.
+type Result struct {
+	Replicas    int
+	Queries     int
+	Workers     int
+	Convergence time.Duration // feedback on one replica visible fleet-wide
+	Duration    time.Duration // wall-clock of the search phase
+	QPS         float64       // aggregate across the fleet
+	PerReplica  []uint64      // requests served per replica
+}
+
+// Render formats the result as the README table row.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet load test: %d replicas, %d workers, %d searches\n", r.Replicas, r.Workers, r.Queries)
+	fmt.Fprintf(&b, "  convergence latency (1 feedback -> whole fleet): %v\n", r.Convergence.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  aggregate: %.0f searches/s over %v\n", r.QPS, r.Duration.Round(time.Millisecond))
+	for i, n := range r.PerReplica {
+		fmt.Fprintf(&b, "  replica %d served %d\n", i, n)
+	}
+	return b.String()
+}
+
+// fleetQueries is the mixed workload: repeated hot queries (answer-cache
+// hits, the steady state of a self-service search box) across the
+// mini-bank examples.
+var fleetQueries = []string{
+	"customer",
+	"customers Zürich",
+	"wealthy customers",
+	"customers Zürich financial instruments",
+}
+
+// Run executes the fleet load test. The fleet is torn down before it
+// returns.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.Queries <= 0 {
+		cfg.Queries = 2000
+	}
+	if cfg.WorkersPerReplica <= 0 {
+		cfg.WorkersPerReplica = 4
+	}
+	n := cfg.Replicas
+
+	// Bind every replica's address first (peers must be known at open),
+	// serving 503 until its System is up.
+	type slot struct {
+		mu  sync.RWMutex
+		h   http.Handler
+		srv *http.Server
+	}
+	slots := make([]*slot, n)
+	urls := make([]string, n)
+	dirs := make([]string, n)
+	var serveWG sync.WaitGroup
+	for i := range slots {
+		s := &slot{}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		dir, err := os.MkdirTemp("", "soda-fleet-*")
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		dirs[i] = dir
+		urls[i] = "http://" + ln.Addr().String()
+		s.srv = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			s.mu.RLock()
+			h := s.h
+			s.mu.RUnlock()
+			if h == nil {
+				http.Error(w, "booting", http.StatusServiceUnavailable)
+				return
+			}
+			h.ServeHTTP(w, r)
+		})}
+		slots[i] = s
+		serveWG.Add(1)
+		go func(srv *http.Server, ln net.Listener) {
+			defer serveWG.Done()
+			_ = srv.Serve(ln)
+		}(s.srv, ln)
+	}
+	systems := make([]*soda.System, n)
+	defer func() {
+		for _, sys := range systems {
+			if sys != nil {
+				sys.Close()
+			}
+		}
+		for _, s := range slots {
+			_ = s.srv.Close()
+		}
+		serveWG.Wait()
+		for _, d := range dirs {
+			os.RemoveAll(d)
+		}
+	}()
+	for i := range systems {
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		sys, err := soda.Open(soda.MiniBank(), soda.Options{
+			Peers:        peers,
+			ReplicaID:    fmt.Sprintf("bench%d", i),
+			SyncInterval: 25 * time.Millisecond,
+		}, dirs[i])
+		if err != nil {
+			return nil, err
+		}
+		systems[i] = sys
+		slots[i].mu.Lock()
+		slots[i].h = server.New(sys)
+		slots[i].mu.Unlock()
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.WorkersPerReplica + 2}}
+	defer client.CloseIdleConnections()
+	post := func(url, body string) error {
+		resp, err := client.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+		}
+		return nil
+	}
+
+	// Convergence: one feedback call on replica 0, visible fleet-wide.
+	convergeStart := time.Now()
+	if err := post(urls[0]+"/feedback", `{"query": "customer", "result": 0, "like": true}`); err != nil {
+		return nil, err
+	}
+	for {
+		converged := true
+		for _, sys := range systems {
+			if sys.AppliedVector()["bench0"] == 0 {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			break
+		}
+		if time.Since(convergeStart) > 30*time.Second {
+			return nil, fmt.Errorf("fleet did not converge within 30s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	convergence := time.Since(convergeStart)
+
+	// Search phase: WorkersPerReplica clients per replica, round-robin
+	// over the hot queries, until the global budget is spent.
+	var issued atomic.Int64
+	perReplica := make([]uint64, n)
+	var counts []atomic.Uint64 = make([]atomic.Uint64, n)
+	errc := make(chan error, n*cfg.WorkersPerReplica)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		for wkr := 0; wkr < cfg.WorkersPerReplica; wkr++ {
+			wg.Add(1)
+			go func(i, wkr int) {
+				defer wg.Done()
+				for {
+					q := int(issued.Add(1)) - 1
+					if q >= cfg.Queries {
+						return
+					}
+					body := fmt.Sprintf(`{"query": %q}`, fleetQueries[q%len(fleetQueries)])
+					if err := post(urls[i]+"/search", body); err != nil {
+						errc <- err
+						return
+					}
+					counts[i].Add(1)
+				}
+			}(i, wkr)
+		}
+	}
+	wg.Wait()
+	duration := time.Since(start)
+	close(errc)
+	for err := range errc {
+		return nil, err
+	}
+	total := uint64(0)
+	for i := range counts {
+		perReplica[i] = counts[i].Load()
+		total += perReplica[i]
+	}
+	return &Result{
+		Replicas:    n,
+		Queries:     int(total),
+		Workers:     n * cfg.WorkersPerReplica,
+		Convergence: convergence,
+		Duration:    duration,
+		QPS:         float64(total) / duration.Seconds(),
+		PerReplica:  perReplica,
+	}, nil
+}

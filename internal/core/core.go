@@ -156,17 +156,38 @@ type System struct {
 	// Relevance feedback. epoch counts ranking-function changes; cached
 	// answers from older epochs are never served. When a persistent
 	// store is attached (OpenStore) every change is logged to its WAL
-	// before it is applied, and appliedSeq tracks the last WAL sequence
-	// folded into the in-memory state.
+	// before it is applied. feedback is the *live* map — the fold of the
+	// folded base plus the unfolded tail in canonical record order (see
+	// cluster.go for the replication model).
 	fbMu            sync.RWMutex
 	feedback        map[feedbackKey]float64
 	epoch           atomic.Uint64
 	store           *store.Store
-	appliedSeq      uint64
 	warmStart       bool
 	replayedRecords int
 	fingerprint     uint64
 	compacting      atomic.Bool // an async auto-compaction is in flight
+
+	// Replication state (all under fbMu; maintained only with a store
+	// attached). tail holds the applied-but-unfolded records in canonical
+	// (LC, origin, originSeq) order; base/baseEpoch/foldPos describe the
+	// folded prefix the snapshot persists; vector and lastLC track, per
+	// origin, the highest contiguous OriginSeq applied and the newest
+	// Lamport clock heard; acks remembers each peer's pull vector (the
+	// compaction-safe retention gate).
+	replicaID    string
+	fleetPeers   int // configured peer count; 0 = single replica
+	lamport      uint64
+	vector       store.Vector
+	lastLC       map[string]uint64
+	tail         []store.Record
+	base         map[feedbackKey]float64
+	baseEpoch    uint64
+	foldPos      store.Pos
+	foldedVector store.Vector
+	foldedLastLC map[string]uint64
+	acks         map[string]store.Vector
+	reorders     uint64 // remote records that arrived below the fold watermark
 
 	cache *answerCache
 }
@@ -177,13 +198,18 @@ type System struct {
 func NewSystem(be backend.Executor, meta *metagraph.Graph, idx *invidx.Index, opt Options) *System {
 	reg := metagraph.Patterns()
 	s := &System{
-		Backend: be,
-		Meta:    meta,
-		Index:   idx,
-		Reg:     reg,
-		Opt:     opt.withDefaults(),
-		colMemo: make(map[rdf.Term]ColRef),
-		tblMemo: make(map[rdf.Term]string),
+		Backend:      be,
+		Meta:         meta,
+		Index:        idx,
+		Reg:          reg,
+		Opt:          opt.withDefaults(),
+		colMemo:      make(map[rdf.Term]ColRef),
+		tblMemo:      make(map[rdf.Term]string),
+		vector:       make(store.Vector),
+		lastLC:       make(map[string]uint64),
+		foldedVector: make(store.Vector),
+		foldedLastLC: make(map[string]uint64),
+		acks:         make(map[string]store.Vector),
 	}
 	s.matcher = pattern.NewMatcher(meta.G, reg)
 	if s.Opt.CacheSize > 0 {

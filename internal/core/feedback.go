@@ -93,12 +93,8 @@ func (s *System) Feedback(sol *Solution, like bool) error {
 	for i, e := range sol.Entries {
 		keys[i] = storeKey(keyOf(e))
 	}
-	if s.store != nil {
-		rec, err := s.store.Append(op, keys)
-		if err != nil {
-			return fmt.Errorf("core: logging feedback: %w", err)
-		}
-		s.appliedSeq = rec.Seq
+	if err := s.appendLocalLocked(op, keys); err != nil {
+		return fmt.Errorf("core: logging feedback: %w", err)
 	}
 	s.applyFeedbackLocked(keys, like)
 	s.epoch.Add(1)
@@ -106,29 +102,74 @@ func (s *System) Feedback(sol *Solution, like bool) error {
 	return nil
 }
 
-// applyFeedbackLocked folds one feedback event into the adjustment map.
-// The caller holds fbMu and is responsible for the epoch bump. Both the
-// live path and WAL replay go through here, so replay is exactly as
+// appendLocalLocked creates a locally-originated record for the event,
+// persists it to the WAL and adds it to the replication tail. A local
+// record always takes the next Lamport clock, so it extends the canonical
+// order at the end and the caller's incremental live-map apply is exact.
+// Without a store the event is applied in memory only (no replication, no
+// durability — the pre-cluster NewSystem behaviour).
+func (s *System) appendLocalLocked(op store.Op, keys []store.Key) error {
+	if s.store == nil {
+		return nil
+	}
+	rec := store.Record{
+		Origin:    s.replicaIDLocked(),
+		OriginSeq: s.vector[s.replicaIDLocked()] + 1,
+		LC:        s.lamport + 1,
+		Op:        op,
+		Keys:      keys,
+	}
+	stored, err := s.store.Append(rec)
+	if err != nil {
+		return err
+	}
+	s.tail = append(s.tail, stored)
+	s.noteAppliedLocked(stored)
+	return nil
+}
+
+// applyFeedbackLocked folds one feedback event into the live adjustment
+// map. The caller holds fbMu and is responsible for the epoch bump. The
+// live path, WAL replay and canonical re-folds all go through the same
+// per-record application (applyRecordTo), so replay is exactly as
 // deterministic as the original sequence of calls.
 func (s *System) applyFeedbackLocked(keys []store.Key, like bool) {
-	if s.feedback == nil {
-		s.feedback = make(map[feedbackKey]float64)
+	op := store.OpDislike
+	if like {
+		op = store.OpLike
 	}
-	delta := feedbackStep
-	if !like {
-		delta = -feedbackStep
-	}
-	for _, sk := range keys {
-		k := keyFromStore(sk)
-		v := s.feedback[k] + delta
-		if v > maxFeedback {
-			v = maxFeedback
+	s.feedback = applyRecordTo(s.feedback, store.Record{Op: op, Keys: keys})
+}
+
+// applyRecordTo folds one record into an adjustment map (allocating it on
+// first use; a reset returns nil). This is the single definition of what
+// a feedback record *does* — every replica folding the same records in
+// the same order through this function lands on bit-identical floats.
+func applyRecordTo(m map[feedbackKey]float64, rec store.Record) map[feedbackKey]float64 {
+	switch rec.Op {
+	case store.OpReset:
+		return nil
+	case store.OpLike, store.OpDislike:
+		if m == nil {
+			m = make(map[feedbackKey]float64)
 		}
-		if v < -maxFeedback {
-			v = -maxFeedback
+		delta := feedbackStep
+		if rec.Op == store.OpDislike {
+			delta = -feedbackStep
 		}
-		s.feedback[k] = v
+		for _, sk := range rec.Keys {
+			k := keyFromStore(sk)
+			v := m[k] + delta
+			if v > maxFeedback {
+				v = maxFeedback
+			}
+			if v < -maxFeedback {
+				v = -maxFeedback
+			}
+			m[k] = v
+		}
 	}
+	return m
 }
 
 // FeedbackAdjustment returns the accumulated adjustment for an entry
@@ -155,12 +196,8 @@ func (s *System) feedbackAdjustmentLocked(e EntryPoint) float64 {
 func (s *System) ResetFeedback() error {
 	s.fbMu.Lock()
 	defer s.fbMu.Unlock()
-	if s.store != nil {
-		rec, err := s.store.Append(store.OpReset, nil)
-		if err != nil {
-			return fmt.Errorf("core: logging feedback reset: %w", err)
-		}
-		s.appliedSeq = rec.Seq
+	if err := s.appendLocalLocked(store.OpReset, nil); err != nil {
+		return fmt.Errorf("core: logging feedback reset: %w", err)
 	}
 	s.feedback = nil
 	s.epoch.Add(1)

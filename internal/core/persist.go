@@ -10,6 +10,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"maps"
+	"sort"
 
 	"soda/internal/store"
 )
@@ -29,16 +31,18 @@ type StoreStats struct {
 	ReplayedRecords int `json:"replayed_records"`
 }
 
-// OpenStore attaches an open store to the System: it restores the
-// feedback map and ranking epoch from the snapshot (when one was loaded),
-// replays the WAL tail — skipping records the snapshot already folded in,
-// so nothing can double-apply — and from then on logs every feedback
-// change through the WAL. When the boot was cold (snap == nil) a fresh
-// snapshot is written immediately so the *next* boot is warm.
+// OpenStore attaches an open store to the System: it restores the folded
+// feedback base and its ranking epoch from the snapshot (when one was
+// loaded), replays the WAL tail in canonical record order — skipping
+// records at or below the snapshot's fold watermark, so nothing can
+// double-apply — and from then on logs every feedback change through the
+// WAL. When the boot was cold (snap == nil) a fresh snapshot is written
+// immediately so the *next* boot is warm.
 //
-// OpenStore must be called once, before the System serves searches. The
-// snapshot's Index/Meta sections are the caller's concern: pass them to
-// NewSystem to skip the cold rebuild, then hand the same snapshot here.
+// OpenStore must be called once, before the System serves searches (and
+// after SetReplica when the System is part of a fleet). The snapshot's
+// Index/Meta sections are the caller's concern: pass them to NewSystem to
+// skip the cold rebuild, then hand the same snapshot here.
 func (s *System) OpenStore(st *store.Store, snap *store.Snapshot) error {
 	if st == nil {
 		return errors.New("core: OpenStore: nil store")
@@ -48,24 +52,56 @@ func (s *System) OpenStore(st *store.Store, snap *store.Snapshot) error {
 	if s.store != nil {
 		return errors.New("core: store already attached")
 	}
+	if s.replicaID == "" {
+		s.replicaID = "local"
+	}
 	if snap != nil {
-		s.feedback = make(map[feedbackKey]float64, len(snap.Feedback))
+		s.base = make(map[feedbackKey]float64, len(snap.Feedback))
 		for _, e := range snap.Feedback {
-			s.feedback[keyFromStore(e.Key)] = e.Value
+			s.base[keyFromStore(e.Key)] = e.Value
 		}
-		s.epoch.Store(snap.Epoch)
-		s.appliedSeq = snap.AppliedSeq
+		s.baseEpoch = snap.Epoch
+		s.foldPos = snap.FoldPos
+		for _, o := range snap.Origins {
+			s.foldedVector[o.ID] = o.Seq
+			s.foldedLastLC[o.ID] = o.LC
+			s.vector[o.ID] = o.Seq
+			s.lastLC[o.ID] = o.LC
+			if o.LC > s.lamport {
+				s.lamport = o.LC
+			}
+		}
 		s.warmStart = true
 	}
-	replayed := 0
+	// Replay: the WAL holds records in arrival order; sort them into
+	// canonical order and fold on top of the base. The result is the same
+	// fold the live system computed before it stopped, however its local
+	// and remote records interleaved on the wire. Whether a record is
+	// already inside the base is decided by the snapshot's per-origin
+	// vector (the base always holds gap-free per-origin prefixes), which
+	// the duplicate check below performs against the vector seeded from
+	// snap.Origins.
+	pending := make([]store.Record, 0, len(st.Replayed()))
 	for _, rec := range st.Replayed() {
-		if rec.Seq <= s.appliedSeq {
-			continue // already folded into the snapshot
+		if rec.Origin == "" {
+			continue // unmigrated legacy record; soda.Open migrates before attaching
 		}
-		s.applyRecordLocked(rec)
-		replayed++
+		pending = append(pending, rec)
 	}
-	s.replayedRecords = replayed
+	sort.Slice(pending, func(i, j int) bool { return pending[i].Pos().Before(pending[j].Pos()) })
+	s.feedback = maps.Clone(s.base)
+	applied := 0
+	for _, rec := range pending {
+		if rec.OriginSeq <= s.vector[rec.Origin] {
+			continue // folded into the snapshot base, or a duplicate
+		}
+		s.tail = append(s.tail, rec)
+		s.noteAppliedLocked(rec)
+		s.feedback = applyRecordTo(s.feedback, rec)
+		applied++
+	}
+	s.epoch.Store(s.baseEpoch + uint64(applied))
+	s.replayedRecords = applied
 	s.store = st
 	if snap == nil {
 		// Cold boot: pre-bake the snapshot (and compact any replayed WAL)
@@ -77,50 +113,149 @@ func (s *System) OpenStore(st *store.Store, snap *store.Snapshot) error {
 	return nil
 }
 
-// applyRecordLocked replays one WAL record. Each record corresponds to
-// exactly one accepted feedback call, i.e. one epoch bump — so a replayed
-// System ends at the same epoch, with the same adjustments, as the one
-// that wrote the log.
-func (s *System) applyRecordLocked(rec store.Record) {
-	switch rec.Op {
-	case store.OpReset:
-		s.feedback = nil
-	case store.OpLike, store.OpDislike:
-		s.applyFeedbackLocked(rec.Keys, rec.Op == store.OpLike)
+// noteAppliedLocked advances the replication cursors for one applied
+// record: the per-origin contiguous vector, the per-origin Lamport
+// high-water mark, and the local Lamport clock.
+func (s *System) noteAppliedLocked(rec store.Record) {
+	s.vector[rec.Origin] = rec.OriginSeq
+	if rec.LC > s.lastLC[rec.Origin] {
+		s.lastLC[rec.Origin] = rec.LC
 	}
-	s.epoch.Add(1)
-	s.appliedSeq = rec.Seq
+	if rec.LC > s.lamport {
+		s.lamport = rec.LC
+	}
+}
+
+// refoldLocked recomputes the live feedback map from the folded base plus
+// the canonical tail — the out-of-order path: a pulled record sorted into
+// the middle of the tail, so the incremental apply would have folded it
+// in the wrong order.
+func (s *System) refoldLocked() {
+	s.feedback = maps.Clone(s.base)
+	for _, rec := range s.tail {
+		s.feedback = applyRecordTo(s.feedback, rec)
+	}
 }
 
 // WriteSnapshot persists the current derived state (index, metadata
-// graph, feedback map and epoch) and compacts the WAL. Safe to call
-// concurrently with searches and feedback; the feedback state and its WAL
-// position are captured atomically.
+// graph, folded feedback base and epoch) and compacts the WAL down to the
+// unfolded tail. Safe to call concurrently with searches and feedback:
+// only the fold advance and the state capture happen under the feedback
+// lock — the snapshot value is self-contained (copied feedback entries,
+// immutable index/graph), so the expensive encode and fsync run without
+// stalling concurrent searches.
 func (s *System) WriteSnapshot() (store.Stats, error) {
-	s.fbMu.RLock()
-	defer s.fbMu.RUnlock()
+	s.fbMu.Lock()
 	if s.store == nil {
+		s.fbMu.Unlock()
 		return store.Stats{}, errors.New("core: no store attached")
 	}
-	if err := s.writeSnapshotLocked(); err != nil {
+	snap := s.snapshotLocked()
+	st := s.store
+	s.fbMu.Unlock()
+	if err := st.WriteSnapshot(snap); err != nil {
 		return store.Stats{}, err
 	}
-	return s.store.Stats(), nil
+	return st.Stats(), nil
 }
 
-// snapshotLocked captures a consistent snapshot value; the caller holds
-// fbMu (read suffices: the feedback map is only written under the full
-// lock, and index/meta are immutable after construction). The capture is
-// cheap — the expensive encode happens when the snapshot is written.
+// foldLocked advances the folded base over the longest tail prefix that
+// is safe to make permanent. A record is safe once (a) no record the
+// fleet may still deliver can sort canonically below it — guaranteed past
+// the minimum last-heard position across every known remote origin — and
+// (b) every peer has acknowledged holding it (via the vector its pulls
+// carry), so compacting it away can never strand a peer that still needs
+// to pull it. A single replica (no peers) folds everything, which is
+// exactly the pre-cluster snapshot behaviour.
+func (s *System) foldLocked() {
+	k := s.foldableLocked()
+	if k == 0 {
+		return
+	}
+	for _, rec := range s.tail[:k] {
+		s.base = applyRecordTo(s.base, rec)
+		s.foldedVector[rec.Origin] = rec.OriginSeq
+		if rec.LC > s.foldedLastLC[rec.Origin] {
+			s.foldedLastLC[rec.Origin] = rec.LC
+		}
+		s.foldPos = rec.Pos()
+	}
+	s.baseEpoch += uint64(k)
+	s.tail = append([]store.Record(nil), s.tail[k:]...)
+}
+
+// foldableLocked counts the tail prefix foldLocked may fold.
+func (s *System) foldableLocked() int {
+	if len(s.tail) == 0 {
+		return 0
+	}
+	if s.fleetPeers == 0 {
+		return len(s.tail)
+	}
+	// Watermark: the minimum last-heard canonical position across remote
+	// origins. Anything the fleet can still send sorts above it — every
+	// origin's clocks and sequences only grow, and pulls deliver each
+	// origin's records contiguously. Until every configured peer has been
+	// heard from at least once the watermark is unknown, so nothing folds.
+	remote := 0
+	var w store.Pos
+	for o, lc := range s.lastLC {
+		if o == s.replicaID {
+			continue
+		}
+		p := store.Pos{LC: lc, Origin: o, Seq: s.vector[o]}
+		if remote == 0 || p.Before(w) {
+			w = p
+		}
+		remote++
+	}
+	if remote < s.fleetPeers {
+		return 0
+	}
+	k := 0
+	for _, rec := range s.tail {
+		if w.Before(rec.Pos()) {
+			break
+		}
+		// Ack gate: at least fleetPeers distinct replicas must have pulled
+		// past this record. Counting coverage (rather than requiring every
+		// tracked ack) keeps one stale id — an operator's debug pull, a
+		// peer that re-minted its identity — from wedging folding forever;
+		// a peer that genuinely misses a compacted record still recovers
+		// through the anti-entropy catch-up.
+		covered := 0
+		for _, av := range s.acks {
+			if av.Includes(rec.Origin, rec.OriginSeq) {
+				covered++
+			}
+		}
+		if covered < s.fleetPeers {
+			break
+		}
+		k++
+	}
+	return k
+}
+
+// snapshotLocked folds what is safe to fold, then captures a consistent
+// snapshot value: the folded base, its watermark and per-origin vector.
+// The caller holds fbMu for writing (folding mutates the base). The
+// capture is cheap — the expensive encode happens when the snapshot is
+// written.
 func (s *System) snapshotLocked() *store.Snapshot {
+	s.foldLocked()
 	snap := &store.Snapshot{
 		Fingerprint: s.fingerprint,
-		Epoch:       s.epoch.Load(),
-		AppliedSeq:  s.appliedSeq,
+		Epoch:       s.baseEpoch,
+		AppliedSeq:  s.store.Stats().NextSeq - 1,
+		FoldPos:     s.foldPos,
 		Index:       s.Index,
 		Meta:        s.Meta,
 	}
-	for k, v := range s.feedback {
+	for id, seq := range s.foldedVector {
+		snap.Origins = append(snap.Origins, store.OriginState{ID: id, Seq: seq, LC: s.foldedLastLC[id]})
+	}
+	for k, v := range s.base {
 		snap.Feedback = append(snap.Feedback, store.FeedbackEntry{Key: storeKey(k), Value: v})
 	}
 	return snap
@@ -140,12 +275,20 @@ func (s *System) writeSnapshotLocked() error {
 // that crossed the threshold. Errors are swallowed deliberately —
 // compaction is an optimisation, and the WAL record that triggered it is
 // already durable; records appended while the write runs stay in the
-// compacted log (they are newer than the captured AppliedSeq).
+// compacted log (they sort after the captured fold watermark).
 func (s *System) maybeCompactLocked() {
 	if s.store == nil || s.Opt.CompactEvery <= 0 {
 		return
 	}
 	if s.store.WALRecords() < s.Opt.CompactEvery {
+		return
+	}
+	if s.fleetPeers > 0 && s.foldableLocked() == 0 {
+		// Nothing is safe to fold yet (a peer unheard-from or behind on
+		// acks): a snapshot now would rewrite the same base and compact
+		// nothing, over and over, on every feedback call past the
+		// threshold. The log keeps growing until the fleet catches up —
+		// retention is the price of never stranding a peer.
 		return
 	}
 	if !s.compacting.CompareAndSwap(false, true) {

@@ -7,13 +7,15 @@
 //
 // Routes:
 //
-//	GET  /healthz          liveness + world name + cache/execution/store counters
+//	GET  /healthz          liveness + world name + cache/execution/store/cluster counters
 //	POST /search           {"query": "...", "snippets": true?, "dialect": "db2"?} -> ranked SQL
 //	POST /sql              {"sql": "...", "dialect": "mysql"?} -> rows (exploration, §5.3.2)
 //	GET  /browse/{table}   schema-browser view of one physical table
 //	POST /feedback         {"query": "...", "result": 0, "like": true}
 //	GET  /explain?q=...    text/plain pipeline trace (Figures 4-6)
 //	POST /admin/snapshot   persist derived state + compact the feedback WAL
+//	GET  /cluster/pull     replication pull: feedback records beyond the
+//	                       caller's vector (?since=origin:seq,...&from=id)
 package server
 
 import (
@@ -21,10 +23,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"soda"
+	"soda/internal/cluster"
 )
 
 // maxBodyBytes caps request bodies; queries and SQL are tiny.
@@ -47,6 +51,7 @@ func New(sys *soda.System) *Server {
 	s.mux.HandleFunc("POST /feedback", s.handleFeedback)
 	s.mux.HandleFunc("GET /explain", s.handleExplain)
 	s.mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /cluster/pull", s.handleClusterPull)
 	return s
 }
 
@@ -110,6 +115,11 @@ type HealthResponse struct {
 	// Store describes the persistent state store (WAL size, snapshot,
 	// warm-start flag); absent when the daemon runs without -data-dir.
 	Store *soda.StoreStats `json:"store,omitempty"`
+	// Cluster describes the replication state: this replica's id and
+	// applied vector, plus per-peer lag (records behind, last contact).
+	// Absent without -data-dir; present with an empty peer list for a
+	// single persistent replica (it can still be pulled from).
+	Cluster *soda.ClusterStatus `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -123,6 +133,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Executions:    s.sys.ExecCount(),
 		Dialects:      soda.Dialects(),
 		Store:         s.sys.StoreStats(),
+		Cluster:       s.sys.ClusterStatus(),
 	})
 }
 
@@ -412,6 +423,46 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SnapshotResponse{OK: true, Store: *st})
+}
+
+// --- /cluster/pull ------------------------------------------------------
+
+// handleClusterPull serves one replication pull to a peer replica: every
+// retained feedback record beyond the caller's applied vector (?since=,
+// in "origin:seq,origin:seq" form), in canonical order, capped at ?limit.
+// The caller identifies itself with ?from=<replica-id>; its vector is its
+// acknowledgement and gates this replica's WAL compaction. A caller that
+// fell behind the local fold point receives the folded state to adopt
+// ("behind": true) instead of records. Pulling is idempotent and
+// read-only on the feedback state.
+func (s *Server) handleClusterPull(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	since, err := cluster.ParseVector(q.Get("since"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	limit := cluster.DefaultBatchLimit
+	if ls := q.Get("limit"); ls != "" {
+		l, err := strconv.Atoi(ls)
+		if err != nil || l <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", ls))
+			return
+		}
+		if l > cluster.MaxBatchLimit {
+			l = cluster.MaxBatchLimit
+		}
+		limit = l
+	}
+	resp, err := s.sys.ClusterPull(q.Get("from"), since, limit)
+	if err != nil {
+		// No store attached (or a malformed replica id): the daemon is not
+		// replication-capable, which for a fleet peer is a configuration
+		// conflict, not a transient failure.
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- /explain ---------------------------------------------------------

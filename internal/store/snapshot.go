@@ -14,8 +14,9 @@ package store
 //	fingerprint u64      — structural hash of the world the snapshot
 //	                       belongs to; a mismatch (different world, config
 //	                       or schema) falls back to a cold rebuild
-//	epoch    u64         — ranking epoch at snapshot time
-//	appliedSeq u64       — last WAL sequence folded into this snapshot
+//	epoch    u64         — ranking epoch of the folded feedback base
+//	appliedSeq u64       — highest local WAL sequence assigned at snapshot
+//	                       time (keeps sequences from being reused)
 //	sections u32
 //	per section:
 //	  name   u8-len + bytes
@@ -45,12 +46,21 @@ import (
 )
 
 const (
-	snapshotMagic   = "SODASNP1"
-	snapshotVersion = uint16(1)
+	snapshotMagic = "SODASNP1"
+	// Version 2 added the replication framing: the fold watermark and the
+	// per-origin vector ("origins" section). Version 1 is still *read*
+	// (its header and section encodings are unchanged) so feedback a
+	// pre-cluster deployment folded into its snapshot survives the
+	// upgrade: the caller assigns the v1 fold to the local replica's
+	// identity (AdoptLegacyIdentity) the same way legacy WAL records are
+	// migrated. Writers always emit the current version.
+	snapshotVersion       = uint16(2)
+	snapshotLegacyVersion = uint16(1)
 
 	sectionIndex    = "invidx"
 	sectionMeta     = "metagraph"
 	sectionFeedback = "feedback"
+	sectionOrigins  = "origins"
 
 	// snapshotMaxSection caps a section payload readers will allocate.
 	snapshotMaxSection = 1 << 31
@@ -62,14 +72,62 @@ type FeedbackEntry struct {
 	Value float64
 }
 
-// Snapshot is the decoded durable state.
+// OriginState is one origin's folded replication state: the highest
+// OriginSeq and Lamport clock among that origin's records folded into the
+// snapshot's feedback base.
+type OriginState struct {
+	ID  string
+	Seq uint64
+	LC  uint64
+}
+
+// Snapshot is the decoded durable state. Feedback is the *folded base* —
+// the fold of every applied record at or below FoldPos in canonical
+// order; records above the watermark stay in the WAL and are replayed on
+// top at open. For a single replica the watermark is always the last
+// record and the base is the full state, exactly as before clustering.
 type Snapshot struct {
 	Fingerprint uint64
-	Epoch       uint64
-	AppliedSeq  uint64
-	Index       *invidx.Index
-	Meta        *metagraph.Graph
-	Feedback    []FeedbackEntry
+	// Epoch is the ranking epoch of the folded base (the live epoch is
+	// the base epoch plus one per replayed WAL record).
+	Epoch uint64
+	// AppliedSeq is the highest local WAL sequence ever assigned at
+	// snapshot time; it keeps sequence numbers from being reused when the
+	// compacted log is empty.
+	AppliedSeq uint64
+	// FoldPos is the canonical fold watermark: WAL records at or below it
+	// are already folded into Feedback and are skipped on replay.
+	FoldPos Pos
+	// Origins is the folded per-origin vector (and Lamport clocks), the
+	// starting point the replayed WAL tail extends.
+	Origins  []OriginState
+	Index    *invidx.Index
+	Meta     *metagraph.Graph
+	Feedback []FeedbackEntry
+	// Legacy marks a snapshot decoded from the pre-cluster v1 format: its
+	// fold has no replication identity yet. Call AdoptLegacyIdentity
+	// before using it in a replicated system.
+	Legacy bool
+}
+
+// AdoptLegacyIdentity assigns a v1 snapshot's folded feedback to the
+// local replica. Pre-cluster systems bumped the epoch exactly once per
+// folded event and folded everything on every snapshot write, so the
+// epoch doubles as the count of folded events — they become the
+// replica's own earliest records (OriginSeq and Lamport clock 1..Epoch),
+// which is exactly the numbering MigrateLegacy continues for the
+// remaining WAL tail when seeded with this fold. No-op on non-legacy
+// snapshots.
+func (s *Snapshot) AdoptLegacyIdentity(origin string) {
+	if !s.Legacy {
+		return
+	}
+	s.Legacy = false
+	if s.Epoch == 0 {
+		return
+	}
+	s.Origins = []OriginState{{ID: origin, Seq: s.Epoch, LC: s.Epoch}}
+	s.FoldPos = Pos{LC: s.Epoch, Origin: origin, Seq: s.Epoch}
 }
 
 // encodeSnapshot serialises snap into a byte buffer.
@@ -82,6 +140,7 @@ func encodeSnapshot(snap *Snapshot) ([]byte, error) {
 		return nil, fmt.Errorf("store: encode metagraph: %w", err)
 	}
 	fbBuf := encodeFeedback(snap.Feedback)
+	orgBuf := encodeOrigins(snap.FoldPos, snap.Origins)
 
 	var out bytes.Buffer
 	out.WriteString(snapshotMagic)
@@ -100,6 +159,7 @@ func encodeSnapshot(snap *Snapshot) ([]byte, error) {
 		{sectionIndex, idxBuf.Bytes()},
 		{sectionMeta, metaBuf.Bytes()},
 		{sectionFeedback, fbBuf},
+		{sectionOrigins, orgBuf},
 	}
 	var u32 [4]byte
 	binary.LittleEndian.PutUint32(u32[:], uint32(len(sections)))
@@ -132,7 +192,12 @@ func decodeSnapshot(r io.Reader, wantFP uint64) (*Snapshot, error) {
 	if _, err := io.ReadFull(br, u16[:]); err != nil {
 		return nil, fmt.Errorf("short version: %w", err)
 	}
-	if v := binary.LittleEndian.Uint16(u16[:]); v != snapshotVersion {
+	snap := &Snapshot{}
+	switch v := binary.LittleEndian.Uint16(u16[:]); v {
+	case snapshotVersion:
+	case snapshotLegacyVersion:
+		snap.Legacy = true
+	default:
 		return nil, fmt.Errorf("format version %d (reader speaks %d)", v, snapshotVersion)
 	}
 	var u64 [8]byte
@@ -142,7 +207,6 @@ func decodeSnapshot(r io.Reader, wantFP uint64) (*Snapshot, error) {
 		}
 		return binary.LittleEndian.Uint64(u64[:]), nil
 	}
-	snap := &Snapshot{}
 	var err error
 	if snap.Fingerprint, err = readU64(); err != nil {
 		return nil, fmt.Errorf("short fingerprint: %w", err)
@@ -207,9 +271,13 @@ func decodeSnapshot(r io.Reader, wantFP uint64) (*Snapshot, error) {
 		seen[string(name)] = true
 		sections = append(sections, section{string(name), wantSum, payload})
 	}
-	for _, required := range []string{sectionIndex, sectionMeta, sectionFeedback} {
-		if !seen[required] {
-			return nil, fmt.Errorf("missing section %q", required)
+	required := []string{sectionIndex, sectionMeta, sectionFeedback}
+	if !snap.Legacy {
+		required = append(required, sectionOrigins)
+	}
+	for _, name := range required {
+		if !seen[name] {
+			return nil, fmt.Errorf("missing section %q", name)
 		}
 	}
 	var wg sync.WaitGroup
@@ -231,6 +299,8 @@ func decodeSnapshot(r io.Reader, wantFP uint64) (*Snapshot, error) {
 				snap.Meta, err = metagraph.ReadGraph(bytes.NewReader(s.payload))
 			case sectionFeedback:
 				snap.Feedback, err = decodeFeedback(s.payload)
+			case sectionOrigins:
+				snap.FoldPos, snap.Origins, err = decodeOrigins(s.payload)
 			default:
 				// Unknown sections within a known version are skipped:
 				// they carry additive data a newer writer included.
@@ -305,6 +375,62 @@ func decodeFeedback(payload []byte) ([]FeedbackEntry, error) {
 		return nil, fmt.Errorf("trailing bytes in feedback section")
 	}
 	return entries, nil
+}
+
+// encodeOrigins serialises the fold watermark and the folded per-origin
+// vector, sorted by origin id for determinism.
+func encodeOrigins(fold Pos, origins []OriginState) []byte {
+	sorted := make([]OriginState, len(origins))
+	copy(sorted, origins)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	buf := binary.AppendUvarint(nil, fold.LC)
+	buf = appendString(buf, fold.Origin)
+	buf = binary.AppendUvarint(buf, fold.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(sorted)))
+	for _, o := range sorted {
+		buf = appendString(buf, o.ID)
+		buf = binary.AppendUvarint(buf, o.Seq)
+		buf = binary.AppendUvarint(buf, o.LC)
+	}
+	return buf
+}
+
+func decodeOrigins(payload []byte) (Pos, []OriginState, error) {
+	var fold Pos
+	var err error
+	rest := payload
+	if fold.LC, rest, err = takeUvarint(rest); err != nil {
+		return fold, nil, fmt.Errorf("fold watermark lc: %w", err)
+	}
+	if fold.Origin, rest, err = takeString(rest); err != nil {
+		return fold, nil, fmt.Errorf("fold watermark origin: %w", err)
+	}
+	if fold.Seq, rest, err = takeUvarint(rest); err != nil {
+		return fold, nil, fmt.Errorf("fold watermark seq: %w", err)
+	}
+	n, rest, err := takeUvarint(rest)
+	if err != nil {
+		return fold, nil, fmt.Errorf("origin count: %w", err)
+	}
+	if n > walMaxRecordSize {
+		return fold, nil, fmt.Errorf("origin count %d exceeds limit", n)
+	}
+	origins := make([]OriginState, n)
+	for i := range origins {
+		if origins[i].ID, rest, err = takeString(rest); err != nil {
+			return fold, nil, err
+		}
+		if origins[i].Seq, rest, err = takeUvarint(rest); err != nil {
+			return fold, nil, err
+		}
+		if origins[i].LC, rest, err = takeUvarint(rest); err != nil {
+			return fold, nil, err
+		}
+	}
+	if len(rest) != 0 {
+		return fold, nil, fmt.Errorf("trailing bytes in origins section")
+	}
+	return fold, origins, nil
 }
 
 // writeSnapshotFile writes the encoded snapshot atomically: temp file,

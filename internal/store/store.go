@@ -16,19 +16,49 @@
 package store
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"maps"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
 
 const (
-	walFileName      = "feedback.wal"
-	snapshotFileName = "snapshot.soda"
+	walFileName       = "feedback.wal"
+	snapshotFileName  = "snapshot.soda"
+	replicaIDFileName = "replica-id"
 )
+
+// Vector is a replication vector: per-origin, the highest contiguous
+// OriginSeq applied. Two vectors from different replicas are comparable
+// per origin; a replica pulls from a peer by sending its own vector and
+// receiving every record the peer holds beyond it.
+type Vector map[string]uint64
+
+// Clone returns a private copy of the vector.
+func (v Vector) Clone() Vector { return maps.Clone(v) }
+
+// Includes reports whether the vector covers the record identified by
+// (origin, seq).
+func (v Vector) Includes(origin string, seq uint64) bool { return v[origin] >= seq }
+
+// ReplicaState is a replica's full replication state: the folded feedback
+// base with its canonical watermark and per-origin vector, plus the
+// unfolded record tail. It is the anti-entropy payload a replica that
+// fell behind a peer's fold point adopts wholesale.
+type ReplicaState struct {
+	Feedback []FeedbackEntry
+	Epoch    uint64
+	FoldPos  Pos
+	Origins  []OriginState
+	Tail     []Record
+}
 
 // Store is one open data directory. It is safe for concurrent use.
 type Store struct {
@@ -37,8 +67,12 @@ type Store struct {
 
 	// snapMu serialises snapshot writes: concurrent writers would race
 	// on the shared temp file, and back-to-back snapshots of the same
-	// state are pointless anyway.
-	snapMu sync.Mutex
+	// state are pointless anyway. lastFolded (under snapMu) is the folded
+	// vector of the newest snapshot written or loaded — the monotonicity
+	// guard: a stale capture must never overwrite a newer snapshot whose
+	// compaction already dropped the records between them.
+	snapMu     sync.Mutex
+	lastFolded Vector
 
 	mu            sync.Mutex
 	replayed      []Record // records scanned from the WAL at open
@@ -103,6 +137,16 @@ func (st *Store) LoadSnapshot(fingerprint uint64) (*Snapshot, error) {
 	defer f.Close()
 	info, _ := f.Stat()
 	snap, derr := decodeSnapshot(f, fingerprint)
+	if derr == nil {
+		// Seed the write-monotonicity guard from the loaded state (snapMu
+		// strictly before st.mu: WriteSnapshot takes them in that order).
+		st.snapMu.Lock()
+		st.lastFolded = make(Vector, len(snap.Origins))
+		for _, o := range snap.Origins {
+			st.lastFolded[o.ID] = o.Seq
+		}
+		st.snapMu.Unlock()
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if derr != nil {
@@ -118,15 +162,139 @@ func (st *Store) LoadSnapshot(fingerprint uint64) (*Snapshot, error) {
 	return snap, nil
 }
 
-// Replayed returns the WAL records scanned at open, in sequence order.
-// The caller filters out records already folded into its snapshot (Seq <=
-// Snapshot.AppliedSeq).
+// Replayed returns the WAL records scanned at open, in local sequence
+// order (which for replicated logs is arrival order, not canonical
+// order). The caller filters out records already folded into its
+// snapshot (canonical position at or below Snapshot.FoldPos).
 func (st *Store) Replayed() []Record { return st.replayed }
 
-// Append logs one feedback event and returns it with its assigned
-// sequence number. Durability is fsync-batched (see package wal docs).
-func (st *Store) Append(op Op, keys []Key) (Record, error) {
-	return st.wal.append(op, keys)
+// MigrateLegacy assigns this replica's identity to records written
+// before the cluster subsystem (empty Origin) and rewrites the log, so
+// every on-disk record carries a canonical position. Pre-cluster records
+// were all created locally in sequence order, so they become the
+// replica's own earliest records.
+//
+// foldedEvents seeds the numbering: a v1 snapshot's fold counts as the
+// replica's events 1..foldedEvents (see Snapshot.AdoptLegacyIdentity),
+// so migrated WAL records continue from there — and legacy records with
+// a local sequence at or below foldedSeq (the v1 snapshot's AppliedSeq)
+// are *dropped*: they are already inside the fold, and a pre-cluster
+// crash between snapshot write and compaction can leave them in the log.
+// Idempotent; a no-op on logs with no legacy records.
+func (st *Store) MigrateLegacy(origin string, foldedEvents, foldedSeq uint64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	legacy := false
+	maxSeq, maxLC := foldedEvents, foldedEvents
+	for _, rec := range st.replayed {
+		if rec.Origin == "" {
+			legacy = true
+		} else {
+			if rec.Origin == origin && rec.OriginSeq > maxSeq {
+				maxSeq = rec.OriginSeq
+			}
+			if rec.LC > maxLC {
+				maxLC = rec.LC
+			}
+		}
+	}
+	if !legacy {
+		return nil
+	}
+	migrated := make([]Record, 0, len(st.replayed))
+	for _, rec := range st.replayed {
+		if rec.Origin == "" {
+			if rec.Seq <= foldedSeq {
+				continue // already folded into the v1 snapshot
+			}
+			maxSeq++
+			maxLC++
+			rec.Origin, rec.OriginSeq, rec.LC = origin, maxSeq, maxLC
+		}
+		migrated = append(migrated, rec)
+	}
+	if err := st.wal.replaceAll(migrated); err != nil {
+		return fmt.Errorf("store: migrate legacy wal: %w", err)
+	}
+	st.replayed = migrated
+	return nil
+}
+
+// Append logs one feedback event and returns it with its assigned local
+// sequence number. The record's replication identity (Origin, OriginSeq,
+// LC) is the caller's responsibility — both locally-created and
+// remotely-pulled records are persisted through here, each keeping its
+// original identity. Durability is fsync-batched (see package wal docs).
+func (st *Store) Append(rec Record) (Record, error) {
+	return st.wal.append(rec)
+}
+
+// ReplicaID returns this data directory's stable replica identity,
+// creating it on first use. With a non-empty preferred id the directory
+// is bound to it; a later open with a *different* preferred id fails
+// loudly, because silently changing identity would fork the per-origin
+// sequence numbers the rest of the fleet has already applied.
+func (st *Store) ReplicaID(preferred string) (string, error) {
+	path := filepath.Join(st.dir, replicaIDFileName)
+	if data, err := os.ReadFile(path); err == nil {
+		id := strings.TrimSpace(string(data))
+		if id != "" {
+			if preferred != "" && preferred != id {
+				return "", fmt.Errorf("store: data dir %s belongs to replica %q, refusing to run as %q (replica ids must be stable)", st.dir, id, preferred)
+			}
+			return id, nil
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return "", fmt.Errorf("store: read replica id: %w", err)
+	}
+	id := preferred
+	if id == "" {
+		var buf [6]byte
+		if _, err := rand.Read(buf[:]); err != nil {
+			return "", fmt.Errorf("store: generate replica id: %w", err)
+		}
+		id = hex.EncodeToString(buf[:])
+	}
+	if err := ValidReplicaID(id); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, []byte(id+"\n"), 0o644); err != nil {
+		return "", fmt.Errorf("store: persist replica id: %w", err)
+	}
+	syncDir(st.dir)
+	return id, nil
+}
+
+// ClearReplicaID removes a data directory's persisted replica identity.
+// Pre-baking uses it: a warm directory that will be *copied* to several
+// replicas must not clone one identity — each replica mints its own on
+// first boot. Missing identity is not an error.
+func ClearReplicaID(dir string) error {
+	err := os.Remove(filepath.Join(dir, replicaIDFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// ValidReplicaID rejects replica ids that would collide with the wire
+// framing (vectors are encoded as "origin:seq,origin:seq").
+func ValidReplicaID(id string) error {
+	if id == "" {
+		return errors.New("store: replica id must not be empty")
+	}
+	if len(id) > 64 {
+		return fmt.Errorf("store: replica id %q too long (max 64)", id)
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("store: replica id %q contains %q (allowed: letters, digits, '-', '_', '.')", id, r)
+		}
+	}
+	return nil
 }
 
 // Sync forces all appended records to disk.
@@ -139,15 +307,36 @@ func (st *Store) WALRecords() int {
 	return n
 }
 
-// WriteSnapshot atomically persists snap and compacts the WAL down to the
-// records newer than snap.AppliedSeq. The caller guarantees snap is a
-// consistent view (feedback state and AppliedSeq captured under its own
-// lock).
+// WriteSnapshot atomically persists snap and compacts the WAL down to
+// the records not yet folded into it. "Folded" is decided per origin by
+// the snapshot's vector (snap.Origins): the folded base always holds a
+// gap-free per-origin prefix, so vector coverage is exact — even for the
+// rare record that arrived canonically below the fold watermark and is
+// retained in the unfolded tail. In a cluster, records peers may still
+// pull stay in the log; single-replica snapshots fold everything and the
+// log empties, as before. The caller guarantees snap is a consistent
+// view (feedback state and vector captured under its own lock).
 func (st *Store) WriteSnapshot(snap *Snapshot) error {
 	st.snapMu.Lock()
 	defer st.snapMu.Unlock()
 	if st.closed.Load() {
 		return errors.New("store: closed")
+	}
+	folded := make(Vector, len(snap.Origins))
+	for _, o := range snap.Origins {
+		folded[o.ID] = o.Seq
+	}
+	// Monotonicity guard: snapshot captures race their writes (an admin
+	// snapshot vs. the async auto-compaction, a final Close flush vs. an
+	// in-flight write). If a newer snapshot already landed — and its
+	// compaction dropped the WAL records its base covers — writing this
+	// older capture would lose those records and rewind the vector, so
+	// origin sequences could be reused. The newer snapshot is a superset;
+	// skipping the stale write is a clean no-op.
+	for o, seq := range st.lastFolded {
+		if folded[o] < seq {
+			return nil
+		}
 	}
 	data, err := encodeSnapshot(snap)
 	if err != nil {
@@ -161,10 +350,15 @@ func (st *Store) WriteSnapshot(snap *Snapshot) error {
 	if err := writeSnapshotFile(filepath.Join(st.dir, snapshotFileName), data); err != nil {
 		return fmt.Errorf("store: write snapshot: %w", err)
 	}
-	if err := st.wal.compact(snap.AppliedSeq); err != nil {
+	// Unidentified legacy records are kept: they are invisible to the
+	// vector and dropping them would lose feedback a migration (MigrateLegacy)
+	// has not claimed yet.
+	keep := func(rec Record) bool { return rec.Origin == "" || rec.OriginSeq > folded[rec.Origin] }
+	if err := st.wal.compact(keep); err != nil {
 		return fmt.Errorf("store: compact wal: %w", err)
 	}
 	st.compactions.Add(1)
+	st.lastFolded = folded
 	st.mu.Lock()
 	st.snapshotBytes = int64(len(data))
 	st.snapshotEpoch = snap.Epoch

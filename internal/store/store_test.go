@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -15,11 +16,19 @@ var testWorld = minibank.Build(minibank.Default())
 
 const testFP = uint64(0xDEADBEEFCAFE)
 
+// rec builds a locally-identified record the way a single replica would:
+// OriginSeq and LC advance together.
+func rec(op Op, n uint64, keys ...Key) Record {
+	return Record{Origin: "r1", OriginSeq: n, LC: n, Op: op, Keys: keys}
+}
+
 func testSnapshot(epoch, appliedSeq uint64) *Snapshot {
 	return &Snapshot{
 		Fingerprint: testFP,
 		Epoch:       epoch,
 		AppliedSeq:  appliedSeq,
+		FoldPos:     Pos{LC: appliedSeq, Origin: "r1", Seq: appliedSeq},
+		Origins:     []OriginState{{ID: "r1", Seq: appliedSeq, LC: appliedSeq}},
 		Index:       testWorld.Index,
 		Meta:        testWorld.Meta,
 		Feedback: []FeedbackEntry{
@@ -43,15 +52,15 @@ func TestWALAppendAndReplay(t *testing.T) {
 	dir := t.TempDir()
 	st := mustOpen(t, dir)
 	keys := []Key{{Node: "ont:customer"}, {Table: "parties", Column: "name"}}
-	r1, err := st.Append(OpLike, keys)
+	r1, err := st.Append(rec(OpLike, 1, keys...))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := st.Append(OpDislike, keys[:1])
+	r2, err := st.Append(rec(OpDislike, 2, keys[0]))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r3, err := st.Append(OpReset, nil)
+	r3, err := st.Append(rec(OpReset, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,21 +74,22 @@ func TestWALAppendAndReplay(t *testing.T) {
 	st2 := mustOpen(t, dir)
 	got := st2.Replayed()
 	want := []Record{
-		{Seq: 1, Op: OpLike, Keys: keys},
-		{Seq: 2, Op: OpDislike, Keys: keys[:1]},
-		{Seq: 3, Op: OpReset, Keys: []Key{}},
+		{Seq: 1, Origin: "r1", OriginSeq: 1, LC: 1, Op: OpLike, Keys: keys},
+		{Seq: 2, Origin: "r1", OriginSeq: 2, LC: 2, Op: OpDislike, Keys: keys[:1]},
+		{Seq: 3, Origin: "r1", OriginSeq: 3, LC: 3, Op: OpReset, Keys: []Key{}},
 	}
 	if len(got) != len(want) {
 		t.Fatalf("replayed %d records, want %d", len(got), len(want))
 	}
 	for i := range want {
-		if got[i].Seq != want[i].Seq || got[i].Op != want[i].Op ||
-			!reflect.DeepEqual(append([]Key{}, got[i].Keys...), want[i].Keys) {
+		g := got[i]
+		g.Keys = append([]Key{}, g.Keys...)
+		if !reflect.DeepEqual(g, want[i]) {
 			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
 		}
 	}
-	// New appends continue the sequence.
-	r4, err := st2.Append(OpLike, nil)
+	// New appends continue the local sequence.
+	r4, err := st2.Append(rec(OpLike, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,13 +98,36 @@ func TestWALAppendAndReplay(t *testing.T) {
 	}
 }
 
+func TestWALPreservesRemoteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	remote := Record{Origin: "r9", OriginSeq: 7, LC: 42, Op: OpLike, Keys: []Key{{Node: "x"}}}
+	stored, err := st.Append(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored.Seq != 1 {
+		t.Fatalf("local seq = %d, want 1", stored.Seq)
+	}
+	st.Close()
+
+	st2 := mustOpen(t, dir)
+	got := st2.Replayed()
+	if len(got) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(got))
+	}
+	if got[0].Origin != "r9" || got[0].OriginSeq != 7 || got[0].LC != 42 {
+		t.Fatalf("remote identity lost: %+v", got[0])
+	}
+}
+
 func TestWALTornTailTruncated(t *testing.T) {
 	dir := t.TempDir()
 	st := mustOpen(t, dir)
-	if _, err := st.Append(OpLike, []Key{{Node: "a"}}); err != nil {
+	if _, err := st.Append(rec(OpLike, 1, Key{Node: "a"})); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.Append(OpDislike, []Key{{Node: "b"}}); err != nil {
+	if _, err := st.Append(rec(OpDislike, 2, Key{Node: "b"})); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
@@ -132,8 +165,8 @@ func TestWALTornTailTruncated(t *testing.T) {
 func TestWALCorruptRecordStopsReplay(t *testing.T) {
 	dir := t.TempDir()
 	st := mustOpen(t, dir)
-	for i := 0; i < 3; i++ {
-		if _, err := st.Append(OpLike, []Key{{Node: "a"}}); err != nil {
+	for i := uint64(1); i <= 3; i++ {
+		if _, err := st.Append(rec(OpLike, i, Key{Node: "a"})); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -155,6 +188,206 @@ func TestWALCorruptRecordStopsReplay(t *testing.T) {
 	st2 := mustOpen(t, dir)
 	if n := len(st2.Replayed()); n != 1 {
 		t.Fatalf("replayed %d records past corruption, want 1", n)
+	}
+}
+
+// TestWALLegacyRecordsMigrate frames two records in the pre-cluster
+// format (no identity flag on the op byte) and checks that they decode
+// with an empty origin and that MigrateLegacy rewrites them as the local
+// replica's earliest records.
+func TestWALLegacyRecordsMigrate(t *testing.T) {
+	dir := t.TempDir()
+	var raw []byte
+	raw = append(raw, legacyFrame(1, OpLike, []Key{{Node: "a"}})...)
+	raw = append(raw, legacyFrame(2, OpDislike, []Key{{Table: "t", Column: "c"}})...)
+	if err := os.WriteFile(filepath.Join(dir, walFileName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := mustOpen(t, dir)
+	got := st.Replayed()
+	if len(got) != 2 {
+		t.Fatalf("replayed %d legacy records, want 2", len(got))
+	}
+	if got[0].Origin != "" || got[0].LC != 0 {
+		t.Fatalf("legacy record decoded with identity: %+v", got[0])
+	}
+	if err := st.MigrateLegacy("self", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range st.Replayed() {
+		want := uint64(i + 1)
+		if r.Origin != "self" || r.OriginSeq != want || r.LC != want {
+			t.Fatalf("migrated record %d = %+v", i, r)
+		}
+	}
+	st.Close()
+
+	// The rewrite is durable: a reopen sees identified records and a
+	// second migration is a no-op.
+	st2 := mustOpen(t, dir)
+	if r := st2.Replayed()[1]; r.Origin != "self" || r.OriginSeq != 2 {
+		t.Fatalf("migration not durable: %+v", r)
+	}
+	if err := st2.MigrateLegacy("self", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// legacyFrame builds one WAL frame in the pre-cluster record format.
+func legacyFrame(seq uint64, op Op, keys []Key) []byte {
+	payload := binary.AppendUvarint(nil, seq)
+	payload = append(payload, byte(op)) // no opIdentityFlag
+	payload = binary.AppendUvarint(payload, uint64(len(keys)))
+	for _, k := range keys {
+		payload = appendString(payload, k.Node)
+		payload = appendString(payload, k.Table)
+		payload = appendString(payload, k.Column)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	return frame
+}
+
+// encodeV1Snapshot replicates the pre-cluster snapshot layout: version 1,
+// no origins section. The section encodings themselves are unchanged.
+func encodeV1Snapshot(snap *Snapshot) []byte {
+	full, err := encodeSnapshot(snap)
+	if err != nil {
+		panic(err)
+	}
+	// Patch the version and re-serialise without the origins section by
+	// rebuilding from the parts the current encoder produced.
+	var out bytes.Buffer
+	out.WriteString(snapshotMagic)
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], snapshotLegacyVersion)
+	out.Write(u16[:])
+	var u64 [8]byte
+	for _, v := range []uint64{snap.Fingerprint, snap.Epoch, snap.AppliedSeq} {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		out.Write(u64[:])
+	}
+	// Walk the v2 sections, dropping "origins" and fixing the count.
+	rest := full[len(snapshotMagic)+2+24:]
+	nSections := binary.LittleEndian.Uint32(rest[:4])
+	rest = rest[4:]
+	var kept [][]byte
+	for i := uint32(0); i < nSections; i++ {
+		nameLen := int(rest[0])
+		name := string(rest[1 : 1+nameLen])
+		length := binary.LittleEndian.Uint64(rest[1+nameLen : 9+nameLen])
+		section := rest[:1+nameLen+8+4+int(length)]
+		rest = rest[len(section):]
+		if name != sectionOrigins {
+			kept = append(kept, section)
+		}
+	}
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(kept)))
+	out.Write(u32[:])
+	for _, s := range kept {
+		out.Write(s)
+	}
+	return out.Bytes()
+}
+
+// TestV1SnapshotUpgrade: a data directory written by the pre-cluster
+// code — a v1 snapshot holding 5 folded events, plus a legacy WAL with
+// one already-folded record (crash between snapshot and compaction) and
+// two unfolded ones — loads with its folded feedback intact, and the
+// migration numbers the surviving tail to continue the fold.
+func TestV1SnapshotUpgrade(t *testing.T) {
+	dir := t.TempDir()
+	snap := testSnapshot(5, 5)
+	snap.FoldPos = Pos{}
+	snap.Origins = nil
+	if err := os.WriteFile(filepath.Join(dir, snapshotFileName), encodeV1Snapshot(snap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var raw []byte
+	raw = append(raw, legacyFrame(5, OpLike, []Key{{Node: "folded"}})...) // covered by AppliedSeq 5
+	raw = append(raw, legacyFrame(6, OpDislike, []Key{{Node: "tail1"}})...)
+	raw = append(raw, legacyFrame(7, OpLike, []Key{{Node: "tail2"}})...)
+	if err := os.WriteFile(filepath.Join(dir, walFileName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := mustOpen(t, dir)
+	got, err := st.LoadSnapshot(testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatalf("v1 snapshot did not load: %+v", st.Stats())
+	}
+	if !got.Legacy || len(got.Feedback) != 2 || got.Epoch != 5 {
+		t.Fatalf("v1 snapshot decoded as %+v (legacy=%v)", got, got.Legacy)
+	}
+	got.AdoptLegacyIdentity("self")
+	if got.Legacy {
+		t.Fatal("adoption did not clear the legacy flag")
+	}
+	wantOrigins := []OriginState{{ID: "self", Seq: 5, LC: 5}}
+	if !reflect.DeepEqual(got.Origins, wantOrigins) || got.FoldPos != (Pos{LC: 5, Origin: "self", Seq: 5}) {
+		t.Fatalf("adopted identity = %+v / %+v", got.Origins, got.FoldPos)
+	}
+	if err := st.MigrateLegacy("self", 5, got.AppliedSeq); err != nil {
+		t.Fatal(err)
+	}
+	recs := st.Replayed()
+	if len(recs) != 2 {
+		t.Fatalf("migrated tail = %d records, want 2 (the folded one dropped)", len(recs))
+	}
+	for i, r := range recs {
+		want := uint64(6 + i) // continues the fold's event numbering
+		if r.Origin != "self" || r.OriginSeq != want || r.LC != want {
+			t.Fatalf("migrated tail record %d = %+v, want seq/lc %d", i, r, want)
+		}
+	}
+}
+
+// TestWriteSnapshotMonotonicityGuard: a snapshot capture that is older
+// than the one already on disk (its folded vector is dominated) must be
+// skipped — writing it would orphan the WAL records the newer snapshot's
+// compaction already dropped.
+func TestWriteSnapshotMonotonicityGuard(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	for i := uint64(1); i <= 4; i++ {
+		if _, err := st.Append(rec(OpLike, i, Key{Node: "a"})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := testSnapshot(2, 2) // captured first: folds events 1-2
+	newer := testSnapshot(4, 4) // captured later: folds events 1-4
+	if err := st.WriteSnapshot(newer); err != nil {
+		t.Fatal(err)
+	}
+	if st.WALRecords() != 0 {
+		t.Fatalf("wal records after newer snapshot = %d, want 0", st.WALRecords())
+	}
+	// The racing stale write must be a no-op: epoch stays at 4.
+	if err := st.WriteSnapshot(stale); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().SnapshotEpoch; got != 4 {
+		t.Fatalf("stale snapshot overwrote a newer one: epoch %d, want 4", got)
+	}
+	st.Close()
+
+	// The guard also seeds from a loaded snapshot.
+	st2 := mustOpen(t, dir)
+	if _, err := st2.LoadSnapshot(testFP); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.WriteSnapshot(stale); err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Stats().SnapshotEpoch; got != 4 {
+		t.Fatalf("stale snapshot overwrote after reopen: epoch %d, want 4", got)
 	}
 }
 
@@ -180,6 +413,12 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if got.Epoch != 7 || got.AppliedSeq != 42 {
 		t.Fatalf("epoch/seq = %d/%d, want 7/42", got.Epoch, got.AppliedSeq)
 	}
+	if got.FoldPos != want.FoldPos {
+		t.Fatalf("fold watermark = %+v, want %+v", got.FoldPos, want.FoldPos)
+	}
+	if !reflect.DeepEqual(got.Origins, want.Origins) {
+		t.Fatalf("origins = %+v, want %+v", got.Origins, want.Origins)
+	}
 	// The encoder sorts entries by key for determinism; compare as sets.
 	asMap := func(entries []FeedbackEntry) map[Key]float64 {
 		m := make(map[Key]float64, len(entries))
@@ -200,12 +439,12 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatal("metagraph sizes changed across the round trip")
 	}
 	// Seq numbers continue past the snapshot even though the WAL is empty.
-	rec, err := st2.Append(OpLike, nil)
+	r, err := st2.Append(rec(OpLike, 43))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rec.Seq != 43 {
-		t.Fatalf("first seq after snapshot = %d, want 43", rec.Seq)
+	if r.Seq != 43 {
+		t.Fatalf("first seq after snapshot = %d, want 43", r.Seq)
 	}
 }
 
@@ -271,17 +510,15 @@ func TestSnapshotRejectsWrongFingerprintAndVersion(t *testing.T) {
 func TestWriteSnapshotCompactsWAL(t *testing.T) {
 	dir := t.TempDir()
 	st := mustOpen(t, dir)
-	var last Record
-	for i := 0; i < 5; i++ {
-		var err error
-		if last, err = st.Append(OpLike, []Key{{Node: "a"}}); err != nil {
+	for i := uint64(1); i <= 5; i++ {
+		if _, err := st.Append(rec(OpLike, i, Key{Node: "a"})); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if st.WALRecords() != 5 {
 		t.Fatalf("wal records = %d, want 5", st.WALRecords())
 	}
-	if err := st.WriteSnapshot(testSnapshot(5, last.Seq)); err != nil {
+	if err := st.WriteSnapshot(testSnapshot(5, 5)); err != nil {
 		t.Fatal(err)
 	}
 	if st.WALRecords() != 0 {
@@ -289,7 +526,7 @@ func TestWriteSnapshotCompactsWAL(t *testing.T) {
 	}
 	// Records appended after the snapshot survive a reopen and carry
 	// fresh sequence numbers.
-	r6, err := st.Append(OpDislike, []Key{{Node: "b"}})
+	r6, err := st.Append(rec(OpDislike, 6, Key{Node: "b"}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,6 +544,76 @@ func TestWriteSnapshotCompactsWAL(t *testing.T) {
 	}
 }
 
+// TestCompactionRetainsUnfoldedRemoteRecords is the compaction-safe
+// retention contract: records not covered by the snapshot's folded
+// vector survive compaction even when their local WAL sequence is
+// *smaller* than that of a folded record (replication delivers records
+// in network order, not canonical order).
+func TestCompactionRetainsUnfoldedRemoteRecords(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	// Local seq 1: a high-position remote record. Local seq 2: a
+	// low-position one. Fold only the low one.
+	high := Record{Origin: "r2", OriginSeq: 9, LC: 30, Op: OpLike, Keys: []Key{{Node: "hi"}}}
+	low := Record{Origin: "r3", OriginSeq: 1, LC: 5, Op: OpLike, Keys: []Key{{Node: "lo"}}}
+	if _, err := st.Append(high); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(low); err != nil {
+		t.Fatal(err)
+	}
+	snap := testSnapshot(1, 2)
+	snap.FoldPos = Pos{LC: 5, Origin: "r3", Seq: 1}         // folds `low` only
+	snap.Origins = []OriginState{{ID: "r3", Seq: 1, LC: 5}} // vector covers r3:1, not r2:9
+	if err := st.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if st.WALRecords() != 1 {
+		t.Fatalf("wal records after partial fold = %d, want 1", st.WALRecords())
+	}
+	st.Close()
+
+	st2 := mustOpen(t, dir)
+	got := st2.Replayed()
+	if len(got) != 1 || got[0].Origin != "r2" || got[0].OriginSeq != 9 {
+		t.Fatalf("retained records = %+v, want the unfolded r2 record", got)
+	}
+}
+
+func TestReplicaIDPersistsAndValidates(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir)
+	id, err := st.ReplicaID("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == "" {
+		t.Fatal("generated replica id is empty")
+	}
+	again, err := st.ReplicaID("")
+	if err != nil || again != id {
+		t.Fatalf("replica id not stable: %q then %q (%v)", id, again, err)
+	}
+	// The directory is bound to its identity: a different preferred id
+	// must be refused, the same one accepted.
+	if _, err := st.ReplicaID("other"); err == nil {
+		t.Fatal("conflicting replica id accepted")
+	}
+	if got, err := st.ReplicaID(id); err != nil || got != id {
+		t.Fatalf("matching preferred id rejected: %q, %v", got, err)
+	}
+	st.Close()
+
+	dir2 := t.TempDir()
+	st2 := mustOpen(t, dir2)
+	if _, err := st2.ReplicaID("has space"); err == nil {
+		t.Fatal("invalid replica id accepted")
+	}
+	if got, err := st2.ReplicaID("replica-7.eu"); err != nil || got != "replica-7.eu" {
+		t.Fatalf("preferred id = %q, %v", got, err)
+	}
+}
+
 func TestSnapshotEncodingDeterministic(t *testing.T) {
 	a, err := encodeSnapshot(testSnapshot(3, 9))
 	if err != nil {
@@ -318,5 +625,26 @@ func TestSnapshotEncodingDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(a, b) {
 		t.Fatal("snapshot encoding is not deterministic")
+	}
+}
+
+func TestPosOrdering(t *testing.T) {
+	ordered := []Pos{
+		{},
+		{LC: 1, Origin: "a", Seq: 1},
+		{LC: 1, Origin: "b", Seq: 1},
+		{LC: 2, Origin: "a", Seq: 2},
+		{LC: 2, Origin: "a", Seq: 3},
+		{LC: 3, Origin: "a", Seq: 4},
+	}
+	for i := range ordered {
+		for j := range ordered {
+			if got := ordered[i].Before(ordered[j]); got != (i < j) {
+				t.Fatalf("Before(%+v, %+v) = %v, want %v", ordered[i], ordered[j], got, i < j)
+			}
+		}
+	}
+	if !(Pos{}).IsZero() || (Pos{LC: 1}).IsZero() {
+		t.Fatal("IsZero misclassifies")
 	}
 }

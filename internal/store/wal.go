@@ -44,14 +44,58 @@ type Key struct {
 	Column string
 }
 
-// Record is one replayable feedback event. Seq is strictly increasing and
-// never reused; snapshots remember the last applied Seq so a replay can
-// never double-apply a record that is already folded into the snapshot.
+// Record is one replayable feedback event.
+//
+// Seq is the local WAL sequence: strictly increasing per log file, never
+// reused, and purely a storage concern (torn-tail detection, monotonicity
+// of the scan).
+//
+// Origin, OriginSeq and LC are the record's replication identity. Origin
+// names the replica that created the record; OriginSeq is that replica's
+// own 1-based, gap-free counter — together they identify the record
+// globally, so a record exchanged between replicas is applied exactly
+// once. LC is a Lamport clock (strictly greater than every clock the
+// origin had seen when it created the record); the triple
+// (LC, Origin, OriginSeq) is the record's canonical position, a total
+// order shared by every replica, and the feedback state is defined as the
+// fold of the applied records in canonical order — which is what makes a
+// fleet of replicas converge byte-identically on the same record set.
 type Record struct {
-	Seq  uint64
-	Op   Op
-	Keys []Key
+	Seq       uint64
+	Origin    string
+	OriginSeq uint64
+	LC        uint64
+	Op        Op
+	Keys      []Key
 }
+
+// Pos is a record's canonical replication position.
+type Pos struct {
+	LC     uint64
+	Origin string
+	Seq    uint64 // OriginSeq
+}
+
+// Pos returns the record's canonical position.
+func (r Record) Pos() Pos { return Pos{LC: r.LC, Origin: r.Origin, Seq: r.OriginSeq} }
+
+// Before reports whether p sorts strictly before q in canonical order.
+func (p Pos) Before(q Pos) bool {
+	if p.LC != q.LC {
+		return p.LC < q.LC
+	}
+	if p.Origin != q.Origin {
+		return p.Origin < q.Origin
+	}
+	return p.Seq < q.Seq
+}
+
+// After reports whether p sorts strictly after q.
+func (p Pos) After(q Pos) bool { return q.Before(p) }
+
+// IsZero reports whether p is the zero position (before every real
+// record: real records have LC >= 1).
+func (p Pos) IsZero() bool { return p.LC == 0 && p.Origin == "" && p.Seq == 0 }
 
 // walSyncInterval is how long an appended record may sit unsynced before
 // the background flusher forces it to disk.
@@ -158,10 +202,11 @@ func scanWAL(f *os.File) (records []Record, goodOffset int64, err error) {
 	}
 }
 
-// append assigns the next sequence number to the record, frames it and
-// writes it through to the file. Durability is provided by the flusher
-// (or an explicit sync).
-func (w *wal) append(op Op, keys []Key) (Record, error) {
+// append assigns the next local sequence number to the record (its
+// replication identity — Origin/OriginSeq/LC — is the caller's), frames
+// it and writes it through to the file. Durability is provided by the
+// flusher (or an explicit sync).
+func (w *wal) append(rec Record) (Record, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
@@ -170,8 +215,15 @@ func (w *wal) append(op Op, keys []Key) (Record, error) {
 	if w.failed != nil {
 		return Record{}, w.failed
 	}
-	rec := Record{Seq: w.nextSeq, Op: op, Keys: keys}
+	rec.Seq = w.nextSeq
 	frame := frameRecord(rec)
+	if len(frame)-8 > walMaxRecordSize {
+		// A record the scanner would reject must never be written: replay
+		// stops at the first bad frame, so persisting it would silently
+		// orphan everything appended after it. Oversized records can only
+		// come from a misbehaving replication peer.
+		return Record{}, fmt.Errorf("store: record payload %d bytes exceeds limit %d", len(frame)-8, walMaxRecordSize)
+	}
 	if n, err := w.f.Write(frame); err != nil {
 		if n > 0 {
 			// Rewind past the torn bytes: replay stops at the first bad
@@ -235,12 +287,16 @@ func (w *wal) flushLoop() {
 	}
 }
 
-// compact rewrites the log keeping only records with Seq > keepAfter —
-// called after a snapshot that folded everything up to keepAfter into
-// durable state. The rewrite goes through a temp file and a rename, so a
+// compact rewrites the log keeping only records the predicate accepts —
+// called after a snapshot folded the rest into durable state. Keeping is
+// per-record, not a sequence prefix: with replication, records arrive in
+// network order, so a retained (unfolded) record can carry a smaller
+// local Seq than a folded one. Kept records preserve their original local
+// sequence numbers and relative order, so the scan's monotonicity check
+// still holds. The rewrite goes through a temp file and a rename, so a
 // crash mid-compaction leaves either the old or the new log, never a
 // mangled one.
-func (w *wal) compact(keepAfter uint64) error {
+func (w *wal) compact(keep func(Record) bool) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
@@ -250,6 +306,18 @@ func (w *wal) compact(keepAfter uint64) error {
 	if err != nil {
 		return err
 	}
+	filtered := records[:0]
+	for _, rec := range records {
+		if keep(rec) {
+			filtered = append(filtered, rec)
+		}
+	}
+	return w.rewriteLocked(filtered)
+}
+
+// rewriteLocked replaces the log's contents with exactly the given
+// records (original local sequence numbers preserved). Caller holds mu.
+func (w *wal) rewriteLocked(records []Record) error {
 	tmpPath := w.path + ".tmp"
 	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -258,9 +326,6 @@ func (w *wal) compact(keepAfter uint64) error {
 	var kept int
 	var bytes int64
 	for _, rec := range records {
-		if rec.Seq <= keepAfter {
-			continue
-		}
 		frame := frameRecord(rec)
 		if _, err := tmp.Write(frame); err != nil {
 			tmp.Close()
@@ -305,6 +370,18 @@ func (w *wal) compact(keepAfter uint64) error {
 	return old.Close()
 }
 
+// replaceAll swaps the log's contents for the given records — the
+// legacy-migration path, where every pre-cluster record is rewritten with
+// its assigned replication identity.
+func (w *wal) replaceAll(records []Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("store: wal is closed")
+	}
+	return w.rewriteLocked(records)
+}
+
 // close stops the flusher, syncs and closes the file.
 func (w *wal) close() error {
 	close(w.flushStop)
@@ -342,9 +419,18 @@ func syncDir(dir string) {
 
 // --- record payload encoding -----------------------------------------
 
+// opIdentityFlag marks a record encoded with replication identity
+// (Origin/OriginSeq/LC) after the op byte. Records written before the
+// cluster subsystem lack the flag and decode with an empty Origin; the
+// replayer migrates them to the local replica's identity.
+const opIdentityFlag = 0x80
+
 func encodeRecord(rec Record) []byte {
 	buf := binary.AppendUvarint(nil, rec.Seq)
-	buf = append(buf, byte(rec.Op))
+	buf = append(buf, byte(rec.Op)|opIdentityFlag)
+	buf = appendString(buf, rec.Origin)
+	buf = binary.AppendUvarint(buf, rec.OriginSeq)
+	buf = binary.AppendUvarint(buf, rec.LC)
 	buf = binary.AppendUvarint(buf, uint64(len(rec.Keys)))
 	for _, k := range rec.Keys {
 		buf = appendString(buf, k.Node)
@@ -364,10 +450,22 @@ func decodeRecord(payload []byte) (Record, error) {
 	if len(rest) == 0 {
 		return rec, errors.New("store: record missing op")
 	}
-	rec.Op = Op(rest[0])
+	opByte := rest[0]
 	rest = rest[1:]
+	rec.Op = Op(opByte &^ opIdentityFlag)
 	if rec.Op != OpLike && rec.Op != OpDislike && rec.Op != OpReset {
 		return rec, fmt.Errorf("store: unknown record op %d", rec.Op)
+	}
+	if opByte&opIdentityFlag != 0 {
+		if rec.Origin, rest, err = takeString(rest); err != nil {
+			return rec, fmt.Errorf("store: record origin: %w", err)
+		}
+		if rec.OriginSeq, rest, err = takeUvarint(rest); err != nil {
+			return rec, fmt.Errorf("store: record origin seq: %w", err)
+		}
+		if rec.LC, rest, err = takeUvarint(rest); err != nil {
+			return rec, fmt.Errorf("store: record clock: %w", err)
+		}
 	}
 	n, rest, err := takeUvarint(rest)
 	if err != nil {

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Fleet-convergence check: three sodad replicas, each with its own
+# -data-dir, replicating feedback over /cluster/pull. Feedback is applied
+# to ONE replica only; one of the others is SIGKILLed mid-sync (a hard
+# crash: no graceful shutdown, no final snapshot) and restarted from its
+# own data dir; afterwards every replica must answer /search with
+# byte-identical responses. This is the end-to-end proof of the cluster
+# subsystem's contract (record identity + canonical fold + WAL persistence
+# of pulled records); the in-process variant lives in
+# internal/server/cluster_test.go.
+#
+# Usage: scripts/fleet_convergence.sh [workdir]
+# Requires: curl, jq, a built ./sodad (or set SODAD=path).
+set -euo pipefail
+
+SODAD=${SODAD:-./sodad}
+WORKDIR=${1:-$(mktemp -d)}
+BASE_PORT=${BASE_PORT:-18180}
+QUERY='{"query": "customers Zürich financial instruments"}'
+N=3
+
+ADDRS=()
+for i in $(seq 0 $((N - 1))); do
+  ADDRS+=("127.0.0.1:$((BASE_PORT + i))")
+done
+PIDS=(0 0 0)
+
+peers_of() { # i -> comma-separated peer URLs
+  local i=$1 out=()
+  for j in $(seq 0 $((N - 1))); do
+    if [ "$j" != "$i" ]; then out+=("http://${ADDRS[$j]}"); fi
+  done
+  local IFS=,
+  echo "${out[*]}"
+}
+
+boot() { # i
+  local i=$1
+  "$SODAD" -addr "${ADDRS[$i]}" -world minibank \
+    -data-dir "$WORKDIR/data$i" -replica-id "r$i" \
+    -peers "$(peers_of "$i")" -sync-interval 50ms \
+    >"$WORKDIR/replica$i.log" 2>&1 &
+  PIDS[$i]=$!
+}
+
+wait_healthy() { # addr
+  for _ in $(seq 1 100); do
+    if curl -sf "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "sodad did not become healthy on $1" >&2
+  return 1
+}
+
+feedback() { # addr query result like
+  curl -sf -X POST "http://$1/feedback" \
+    -d "{\"query\": \"$2\", \"result\": $3, \"like\": $4}" |
+    jq -e '.ok == true' >/dev/null
+}
+
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+}
+trap cleanup EXIT
+
+echo "== boot the fleet =="
+for i in $(seq 0 $((N - 1))); do boot "$i"; done
+for a in "${ADDRS[@]}"; do wait_healthy "$a"; done
+
+echo "== feedback to replica 0 only =="
+feedback "${ADDRS[0]}" "customers Zürich financial instruments" 1 true
+feedback "${ADDRS[0]}" "wealthy customers" 0 false
+
+echo "== SIGKILL replica 1 mid-sync (no graceful shutdown) =="
+feedback "${ADDRS[0]}" "customer" 0 true
+kill -9 "${PIDS[1]}"
+wait "${PIDS[1]}" 2>/dev/null || true
+
+echo "== more feedback while replica 1 is down =="
+feedback "${ADDRS[0]}" "customer" 0 true
+feedback "${ADDRS[0]}" "customers Zürich" 0 false
+
+echo "== restart replica 1 from its own data dir =="
+boot 1
+wait_healthy "${ADDRS[1]}"
+
+echo "== wait for identical applied vectors fleet-wide =="
+converged=0
+for _ in $(seq 1 200); do
+  vecs=$(for a in "${ADDRS[@]}"; do
+    curl -sf "http://$a/healthz" | jq -cS '.cluster.vector'
+  done | sort -u)
+  if [ "$(echo "$vecs" | wc -l)" = 1 ] && [ "$vecs" != "null" ]; then
+    converged=1
+    break
+  fi
+  sleep 0.1
+done
+if [ "$converged" != 1 ]; then
+  echo "fleet did not converge; vectors:" >&2
+  for a in "${ADDRS[@]}"; do curl -sf "http://$a/healthz" | jq -c '.cluster.vector' >&2; done
+  exit 1
+fi
+
+echo "== assert byte-identical /search on every replica =="
+for i in $(seq 0 $((N - 1))); do
+  curl -sf -X POST "http://${ADDRS[$i]}/search" -d "$QUERY" >"$WORKDIR/search$i.json"
+done
+for i in $(seq 1 $((N - 1))); do
+  if ! cmp "$WORKDIR/search0.json" "$WORKDIR/search$i.json"; then
+    echo "search output differs between replica 0 and replica $i" >&2
+    diff <(jq . "$WORKDIR/search0.json") <(jq . "$WORKDIR/search$i.json") >&2 || true
+    exit 1
+  fi
+done
+
+echo "== assert healthz reports peer lag fields =="
+curl -sf "http://${ADDRS[0]}/healthz" |
+  jq -e '.cluster.replica_id == "r0" and (.cluster.peers | length) == 2 and (.cluster.peers[0].last_contact != null)' >/dev/null ||
+  { echo "healthz cluster block incomplete" >&2; exit 1; }
+
+echo "OK: fleet converged to byte-identical /search after SIGKILL + restart"

@@ -33,10 +33,12 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"soda/internal/backend"
 	"soda/internal/backend/memory"
 	"soda/internal/backend/sqldb"
+	"soda/internal/cluster"
 	"soda/internal/core"
 
 	// The in-tree database/sql drivers register themselves so
@@ -104,6 +106,26 @@ type Options struct {
 	// INSERT) into the SQL backend even if its tables seem to exist.
 	// Without it, Connect probes and loads only an empty target.
 	LoadCorpus bool
+
+	// Peers lists the base URLs of the other replicas in a fleet (e.g.
+	// "http://replica-b:8080"). When set, Open starts a background tailer
+	// that pulls each peer's feedback records over /cluster/pull and
+	// applies them locally, so every replica converges on the same
+	// learned rankings. Requires a persistent data dir (Open); Connect
+	// and NewSystem reject it. Fleets should be full mesh: every replica
+	// lists every other.
+	Peers []string
+	// ReplicaID is this replica's stable identity within the fleet. Empty
+	// generates one on first open and persists it in the data dir;
+	// non-empty binds the data dir to the given id (a later open with a
+	// different id fails). Ids must be unique across the fleet.
+	ReplicaID string
+	// SyncInterval is how often the tailer polls each peer (default
+	// 500ms). Lower values converge faster at the cost of more chatter.
+	SyncInterval time.Duration
+	// Logf, when set, receives replication diagnostics (unreachable
+	// peers, catch-up adoptions). nil is silent.
+	Logf func(format string, args ...any)
 
 	// Ablations (see DESIGN.md).
 	DisableBridges bool // skip bridge-table discovery
@@ -212,8 +234,9 @@ func Warehouse(cfg WarehouseConfig) *World {
 
 // System is a SODA instance over one world.
 type System struct {
-	world *World
-	sys   *core.System
+	world  *World
+	sys    *core.System
+	tailer *cluster.Tailer // nil unless Options.Peers configured
 }
 
 // NewSystem builds a System without persistence: derived state (the
@@ -235,6 +258,9 @@ func NewSystem(w *World, opt Options) *System {
 // end-to-end against a real warehouse: generated statements are rendered
 // in Options.Dialect, executed over the wire, and snippets scanned back.
 func Connect(w *World, opt Options) (*System, error) {
+	if len(opt.Peers) > 0 {
+		return nil, errors.New("soda: cluster replication (Options.Peers) requires a persistent data dir — use Open")
+	}
 	ex, err := newExecutor(w, opt)
 	if err != nil {
 		return nil, err
@@ -309,9 +335,35 @@ func Open(w *World, opt Options, dir string) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The data dir carries a stable replica identity (generated on first
+	// open); every WAL record is stamped with it, so a fleet can tell
+	// each replica's feedback apart. Pre-cluster state is migrated once:
+	// a v1 snapshot's fold becomes the replica's earliest events and the
+	// legacy WAL tail is renumbered to continue from it.
+	replicaID, err := st.ReplicaID(opt.ReplicaID)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
 	fp := worldFingerprint(w)
 	snap, err := st.LoadSnapshot(fp)
 	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	var foldedEvents, foldedSeq uint64
+	if snap != nil {
+		if snap.Legacy {
+			foldedSeq = snap.AppliedSeq
+		}
+		snap.AdoptLegacyIdentity(replicaID)
+		for _, o := range snap.Origins {
+			if o.ID == replicaID {
+				foldedEvents = o.Seq
+			}
+		}
+	}
+	if err := st.MigrateLegacy(replicaID, foldedEvents, foldedSeq); err != nil {
 		st.Close()
 		return nil, err
 	}
@@ -338,6 +390,7 @@ func Open(w *World, opt Options, dir string) (*System, error) {
 	}
 	cs := core.NewSystem(ex, meta, idx, opt.internal())
 	cs.SetFingerprint(fp)
+	cs.SetReplica(replicaID, len(opt.Peers))
 	if err := cs.OpenStore(st, snap); err != nil {
 		st.Close()
 		if c, ok := ex.(io.Closer); ok {
@@ -345,8 +398,34 @@ func Open(w *World, opt Options, dir string) (*System, error) {
 		}
 		return nil, err
 	}
-	return &System{world: w, sys: cs}, nil
+	sys := &System{world: w, sys: cs}
+	if len(opt.Peers) > 0 {
+		sys.tailer = cluster.NewTailer(cluster.Config{
+			Local:    clusterLocal{cs},
+			Peers:    opt.Peers,
+			Interval: opt.SyncInterval,
+			Logf:     opt.Logf,
+		})
+		// One best-effort blocking round before serving: a replica that
+		// (re)joins a running fleet catches up — and learns the fleet's
+		// Lamport clocks — before it takes feedback of its own. Peers that
+		// are not up yet fail fast and are retried by the background loop.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		sys.tailer.SyncOnce(ctx)
+		cancel()
+		sys.tailer.Start()
+	}
+	return sys, nil
 }
+
+// clusterLocal adapts core.System to the tailer's Local interface.
+type clusterLocal struct{ sys *core.System }
+
+func (c clusterLocal) ReplicaID() string                            { return c.sys.ReplicaID() }
+func (c clusterLocal) AppliedVector() store.Vector                  { return c.sys.AppliedVector() }
+func (c clusterLocal) ApplyRemote(recs []store.Record) (int, error) { return c.sys.ApplyRemote(recs) }
+func (c clusterLocal) AdoptState(st *store.ReplicaState) error      { return c.sys.AdoptClusterState(st) }
+func (c clusterLocal) NoteOriginClock(origin string, lc uint64)     { c.sys.NoteOriginClock(origin, lc) }
 
 // worldFingerprint hashes the world's structure — name, table schemas,
 // row counts, metadata-graph size — so a snapshot taken over a different
@@ -369,8 +448,14 @@ func worldFingerprint(w *World) uint64 {
 
 // Close flushes persistent state (final snapshot + WAL sync), releases
 // the store, and closes the execution backend when it holds connections
-// (sqldb). A System built with NewSystem closes trivially.
+// (sqldb). In a fleet the peer tailer is stopped *first* — Stop blocks
+// until its goroutine has exited, so no in-flight remote apply can land
+// on a closing store and nothing leaks. A System built with NewSystem
+// closes trivially.
 func (s *System) Close() error {
+	if s.tailer != nil {
+		s.tailer.Stop()
+	}
 	err := s.sys.Close()
 	if c, ok := s.sys.Backend.(io.Closer); ok {
 		if cerr := c.Close(); err == nil {
@@ -400,6 +485,87 @@ func (s *System) Snapshot() (*StoreStats, error) {
 
 // World returns the system's world.
 func (s *System) World() *World { return s.world }
+
+// --- cluster replication ------------------------------------------------
+
+// ReplicationInfo re-exports the local replication diagnostics (replica
+// id, applied vector, unfolded tail size).
+type ReplicationInfo = core.ReplicationInfo
+
+// PeerStatus re-exports one peer's replication health (lag in records,
+// last contact, last error).
+type PeerStatus = cluster.PeerStatus
+
+// ClusterStatus is the /healthz cluster block: the local replication
+// state plus per-peer lag.
+type ClusterStatus struct {
+	ReplicationInfo
+	Peers []PeerStatus `json:"peers,omitempty"`
+}
+
+// ClusterStatus reports the replication state, or nil for a System
+// without a persistent store (replication needs record identities, which
+// need a data dir).
+func (s *System) ClusterStatus() *ClusterStatus {
+	info := s.sys.ReplicationInfo()
+	if info == nil {
+		return nil
+	}
+	cs := &ClusterStatus{ReplicationInfo: *info}
+	if s.tailer != nil {
+		cs.Peers = s.tailer.Peers()
+	}
+	return cs
+}
+
+// ReplicaID returns this System's replication identity ("local" for a
+// store-less System).
+func (s *System) ReplicaID() string { return s.sys.ReplicaID() }
+
+// ClearReplicaIdentity removes the persisted replica id from a (closed)
+// data directory. Pre-baked directories that will be copied to several
+// fleet members must not ship one identity; after clearing, each replica
+// mints its own on first boot. Never call it on a directory that has
+// already produced feedback records as part of a fleet — the id must
+// stay stable for the per-origin sequences the peers have applied.
+func ClearReplicaIdentity(dir string) error { return store.ClearReplicaID(dir) }
+
+// AppliedVector returns the replication vector: per origin, the highest
+// contiguous record sequence applied.
+func (s *System) AppliedVector() map[string]uint64 { return s.sys.AppliedVector() }
+
+// ClusterPull serves one replication pull (the /cluster/pull endpoint):
+// the retained feedback records beyond the requester's vector, or — when
+// the requester fell behind this replica's fold point — the folded state
+// to adopt. The requester's vector doubles as its acknowledgement, which
+// gates local WAL compaction (a record is only compacted away once every
+// peer holds it).
+func (s *System) ClusterPull(from string, since map[string]uint64, limit int) (*cluster.PullResponse, error) {
+	info := s.sys.ReplicationInfo()
+	if info == nil {
+		return nil, errors.New("soda: replication requires a persistent data dir (-data-dir)")
+	}
+	if from != "" {
+		if err := store.ValidReplicaID(from); err != nil {
+			return nil, err
+		}
+		s.sys.NoteAck(from, since)
+	}
+	recs, behind, more := s.sys.RecordsSince(since, limit)
+	resp := &cluster.PullResponse{
+		Origin: info.ReplicaID,
+		Vector: info.Vector,
+		LC:     info.Lamport,
+		More:   more,
+	}
+	if behind {
+		resp.Behind = true
+		resp.State = cluster.StateToWire(s.sys.ClusterState())
+	} else {
+		resp.Records = cluster.ToWireRecords(recs)
+	}
+	return resp, nil
+}
 
 // Result is one ranked, executable SQL statement.
 type Result struct {
