@@ -14,9 +14,15 @@
 //	                          # loopback HTTP), drive /search at all of
 //	                          # them and report aggregate QPS plus the
 //	                          # feedback convergence latency
+//	sodabench -latency        # search latency percentiles (cache-hit and
+//	                          # cold) for both corpora against the SLO;
+//	                          # writes BENCH_search.json (-latency-out).
+//	                          # With -latency-baseline <file>, exits 1 on
+//	                          # a >25% p99 regression vs that baseline.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -42,7 +48,17 @@ func main() {
 	replicas := flag.Int("replicas", 0, "fleet load test: boot this many in-process sodad replicas and report aggregate QPS")
 	fleetQueries := flag.Int("fleet-queries", 2000, "total /search requests for -replicas mode")
 	fleetWorkers := flag.Int("fleet-workers", 4, "concurrent clients per replica for -replicas mode")
+	latency := flag.Bool("latency", false, "measure search latency percentiles against the SLO and write -latency-out")
+	latencyOut := flag.String("latency-out", "BENCH_search.json", "output file for -latency")
+	latencyBaseline := flag.String("latency-baseline", "", "baseline BENCH_search.json to compare against; exit 1 on >25% p99 regression")
 	flag.Parse()
+
+	if *latency {
+		if err := runLatency(*latencyOut, *latencyBaseline); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *replicas > 0 {
 		res, err := fleet.Run(fleet.Config{
@@ -125,4 +141,50 @@ func main() {
 		s, err := env.RenderAblations()
 		out(s, err)
 	}
+}
+
+// runLatency measures the search latency SLO report, writes it to path
+// and (optionally) enforces the p99 regression budget against a committed
+// baseline.
+func runLatency(path, baselinePath string) error {
+	rep, err := bench.MeasureSearchLatency(bench.LatencyConfig{})
+	if err != nil {
+		return err
+	}
+	for _, c := range rep.Corpora {
+		verdict := func(pass bool) string {
+			if pass {
+				return "pass"
+			}
+			return "FAIL"
+		}
+		fmt.Printf("%-10s  hit  p50 %8.1fµs  p90 %8.1fµs  p99 %8.1fµs  (SLO %.0fµs: %s)\n",
+			c.Corpus, c.Hit.P50Us, c.Hit.P90Us, c.Hit.P99Us, rep.SLO.HitP99Us, verdict(c.HitPass))
+		fmt.Printf("%-10s  cold p50 %8.1fµs  p90 %8.1fµs  p99 %8.1fµs  (SLO %.0fµs: %s)\n",
+			c.Corpus, c.Cold.P50Us, c.Cold.P90Us, c.Cold.P99Us, rep.SLO.ColdP99Us, verdict(c.ColdPass))
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	if baselinePath == "" {
+		return nil
+	}
+	baseData, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base bench.LatencyReport
+	if err := json.Unmarshal(baseData, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	if regs := bench.CompareLatency(&base, rep, 0.25); len(regs) > 0 {
+		return fmt.Errorf("p99 regression vs %s:\n  %s", baselinePath, strings.Join(regs, "\n  "))
+	}
+	fmt.Printf("no p99 regression vs %s\n", baselinePath)
+	return nil
 }

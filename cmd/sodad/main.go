@@ -41,6 +41,14 @@
 //	                    generates one on first boot and persists it in the
 //	                    data dir. Must be unique across replicas.
 //	-sync-interval      peer poll interval (default 500ms)
+//	-peer-dead-after    duration after which a silent fleet peer stops
+//	                    gating feedback-WAL folding/compaction (default 0:
+//	                    never — a dead -peers entry pins the WAL until it
+//	                    is decommissioned via POST /admin/decommission)
+//	-max-inflight int   max concurrently executing /search requests;
+//	                    excess requests wait in a bounded queue (2x) and
+//	                    beyond that are shed with 503 + Retry-After
+//	                    (default 0: unlimited)
 //
 // The daemon warms the join-graph caches before listening, serves until
 // SIGINT/SIGTERM and then shuts down gracefully, draining in-flight
@@ -76,6 +84,10 @@
 //
 //	GET  /explain?q=customers+Zürich
 //	    Plain-text pipeline trace in the shape of Figures 4-6.
+//
+//	POST /admin/decommission?replica=<id>
+//	    Permanently removes a dead peer from the feedback fold quorum so
+//	    WAL folding and compaction can advance without it.
 //
 //	GET  /cluster/pull?since=origin:seq,...&from=replica-id
 //	    Replication pull (fleet-internal): feedback records beyond the
@@ -122,11 +134,13 @@ func main() {
 		peers       = flag.String("peers", "", "comma-separated base URLs of the other fleet replicas (requires -data-dir)")
 		replicaID   = flag.String("replica-id", "", "stable replica identity within the fleet (empty = generate and persist)")
 		syncEvery   = flag.Duration("sync-interval", 0, "peer poll interval (default 500ms)")
+		peerDead    = flag.Duration("peer-dead-after", 0, "treat a fleet peer silent this long as dead for WAL folding (0 = never)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing /search requests (0 = unlimited)")
 	)
 	flag.Parse()
 	be := backendOptions{Backend: *backendName, Driver: *driver, DSN: *dsn, Load: *load}
-	cl := clusterOptions{Peers: splitPeers(*peers), ReplicaID: *replicaID, SyncInterval: *syncEvery}
-	if err := run(*addr, *world, *dialect, *dataDir, be, cl, *parallelism, *cacheSize, *topN); err != nil {
+	cl := clusterOptions{Peers: splitPeers(*peers), ReplicaID: *replicaID, SyncInterval: *syncEvery, PeerDeadAfter: *peerDead}
+	if err := run(*addr, *world, *dialect, *dataDir, be, cl, *parallelism, *cacheSize, *topN, *maxInflight); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -139,9 +153,10 @@ type backendOptions struct {
 
 // clusterOptions groups the fleet-replication flags.
 type clusterOptions struct {
-	Peers        []string
-	ReplicaID    string
-	SyncInterval time.Duration
+	Peers         []string
+	ReplicaID     string
+	SyncInterval  time.Duration
+	PeerDeadAfter time.Duration
 }
 
 // splitPeers parses the -peers flag, dropping empty entries.
@@ -155,7 +170,7 @@ func splitPeers(s string) []string {
 	return out
 }
 
-func run(addr, world, dialect, dataDir string, be backendOptions, cl clusterOptions, parallelism, cacheSize, topN int) error {
+func run(addr, world, dialect, dataDir string, be backendOptions, cl clusterOptions, parallelism, cacheSize, topN, maxInflight int) error {
 	var w *soda.World
 	switch world {
 	case "minibank":
@@ -173,18 +188,19 @@ func run(addr, world, dialect, dataDir string, be backendOptions, cl clusterOpti
 		return fmt.Errorf("-peers requires -data-dir (replication persists pulled records in the local WAL)")
 	}
 	opts := soda.Options{
-		TopN:         topN,
-		Parallelism:  parallelism,
-		CacheSize:    cacheSize,
-		Dialect:      dialect,
-		Backend:      be.Backend,
-		Driver:       be.Driver,
-		DSN:          be.DSN,
-		LoadCorpus:   be.Load,
-		Peers:        cl.Peers,
-		ReplicaID:    cl.ReplicaID,
-		SyncInterval: cl.SyncInterval,
-		Logf:         log.Printf,
+		TopN:          topN,
+		Parallelism:   parallelism,
+		CacheSize:     cacheSize,
+		Dialect:       dialect,
+		Backend:       be.Backend,
+		Driver:        be.Driver,
+		DSN:           be.DSN,
+		LoadCorpus:    be.Load,
+		Peers:         cl.Peers,
+		ReplicaID:     cl.ReplicaID,
+		SyncInterval:  cl.SyncInterval,
+		PeerDeadAfter: cl.PeerDeadAfter,
+		Logf:          log.Printf,
 	}
 	var sys *soda.System
 	if dataDir != "" {
@@ -220,7 +236,7 @@ func run(addr, world, dialect, dataDir string, be backendOptions, cl clusterOpti
 
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           server.New(sys),
+		Handler:           server.NewWith(sys, server.Config{MaxInflight: maxInflight, Logf: log.Printf}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

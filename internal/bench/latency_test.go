@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"testing"
+
+	"soda/internal/backend/memory"
+	"soda/internal/core"
+	"soda/internal/minibank"
+)
+
+// Smoke: a tiny-round minibank measurement produces sane, non-empty
+// distributions (the real sizes run through cmd/sodabench -latency).
+func TestMeasureCorpusLatencySmoke(t *testing.T) {
+	w := minibank.Build(minibank.Default())
+	c, err := MeasureCorpusLatency("minibank",
+		core.NewSystem(memory.New(w.DB), w.Meta, w.Index, core.Options{}),
+		core.NewSystem(memory.New(w.DB), w.Meta, w.Index, core.Options{CacheSize: -1}),
+		minibankLatencyQueries(), LatencyConfig{HitRounds: 5, ColdRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Queries == 0 || c.Hit.Samples != 5*c.Queries || c.Cold.Samples != 2*c.Queries {
+		t.Fatalf("sample counts = %+v", c)
+	}
+	if c.Hit.P50Us <= 0 || c.Cold.P50Us <= 0 || c.Hit.MaxUs < c.Hit.P99Us {
+		t.Fatalf("percentiles not sane: %+v", c)
+	}
+}
+
+func TestCompareLatency(t *testing.T) {
+	mk := func(hit, cold float64) *LatencyReport {
+		rep := &LatencyReport{}
+		rep.Corpora = []CorpusLatency{{
+			Corpus: "minibank",
+			Hit:    LatencyPercentiles{P99Us: hit},
+			Cold:   LatencyPercentiles{P99Us: cold},
+		}}
+		return rep
+	}
+	if regs := CompareLatency(mk(10, 1000), mk(12, 1200), 0.25); len(regs) != 0 {
+		t.Fatalf("within budget flagged: %v", regs)
+	}
+	regs := CompareLatency(mk(10, 1000), mk(14, 1300), 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want both hit and cold flagged", regs)
+	}
+	// A corpus only in the current report is not comparable.
+	cur := mk(100, 10000)
+	cur.Corpora[0].Corpus = "other"
+	if regs := CompareLatency(mk(10, 1000), cur, 0.25); len(regs) != 0 {
+		t.Fatalf("uncomparable corpus flagged: %v", regs)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"container/list"
 	"hash/maphash"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -15,29 +16,37 @@ import (
 // epoch, so a like/dislike — which changes the ranking function — is
 // observed by the very next search instead of being masked by a stale
 // cached answer.
+//
+// Entries come in two flavours sharing one LRU: pipeline analyses keyed
+// by the canonical query form (whitespace variants share one entry), and
+// pre-rendered answer bytes keyed by the raw request input, so the
+// serving layer's repeated-query path is a byte-slice write with zero
+// heap allocations (see rendered.go). When the raw input already is
+// canonical, a single entry carries both.
 
 // defaultCacheSize is the total entry cap when Options.CacheSize is 0.
 const defaultCacheSize = 512
-
-// cacheShardCount is the number of independent LRU shards; a power of two
-// so shard picking is a mask.
-const cacheShardCount = 16
 
 var cacheSeed = maphash.MakeSeed()
 
 // CacheStats reports answer-cache effectiveness (JSON-tagged: the
 // daemon's /healthz embeds it).
 type CacheStats struct {
-	Hits    uint64 `json:"hits"`    // searches served from the cache
-	Misses  uint64 `json:"misses"`  // searches that ran the pipeline
-	Entries int    `json:"entries"` // answers currently cached (any epoch)
+	Hits   uint64 `json:"hits"`   // searches served from the cache
+	Misses uint64 `json:"misses"` // searches that ran the pipeline
+	// Entries counts the answers servable at the current ranking epoch.
+	// Stale-epoch leftovers are swept out while counting — they can never
+	// be served again, so reporting them would inflate the cache's
+	// apparent capacity after every feedback call.
+	Entries int `json:"entries"`
 }
 
-// answerCache is a sharded LRU of completed analyses keyed by the
-// canonical query form. Entries remember the feedback epoch they were
-// computed under; get never returns an entry from another epoch.
+// answerCache is a sharded LRU of completed analyses and pre-rendered
+// answer bytes. Entries remember the feedback epoch they were computed
+// under; lookups never return an entry from another epoch.
 type answerCache struct {
-	shards [cacheShardCount]cacheShard
+	shards []cacheShard
+	mask   uint64
 	hits   atomic.Uint64
 	misses atomic.Uint64
 }
@@ -49,10 +58,26 @@ type cacheShard struct {
 	byKey map[string]*list.Element
 }
 
+// cacheEntry holds what the cache knows about one key: the pipeline
+// analysis (canonical-key entries), pre-rendered answer bytes
+// (raw-input-key entries), or both when the raw input is already in
+// canonical form.
 type cacheEntry struct {
-	key   string
-	epoch uint64
-	a     *Analysis
+	key      string
+	epoch    uint64
+	a        *Analysis
+	rendered []byte
+}
+
+// cacheShardCount picks the shard count: the next power of two at or
+// above GOMAXPROCS, so searches running on every P rarely contend on the
+// same shard lock and shard picking stays a mask.
+func cacheShardCount() int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	return n
 }
 
 // newAnswerCache builds a cache holding up to total entries across all
@@ -60,9 +85,10 @@ type cacheEntry struct {
 // first shards), so CacheSize is an honest upper bound even when it is
 // smaller than the shard count.
 func newAnswerCache(total int) *answerCache {
-	base := total / cacheShardCount
-	extra := total % cacheShardCount
-	c := &answerCache{}
+	count := cacheShardCount()
+	c := &answerCache{shards: make([]cacheShard, count), mask: uint64(count - 1)}
+	base := total / count
+	extra := total % count
 	for i := range c.shards {
 		c.shards[i].cap = base
 		if i < extra {
@@ -74,61 +100,138 @@ func newAnswerCache(total int) *answerCache {
 	return c
 }
 
-func (c *answerCache) shard(key string) *cacheShard {
-	h := maphash.String(cacheSeed, key)
-	return &c.shards[h&(cacheShardCount-1)]
+func (c *answerCache) shard(h uint64) *cacheShard {
+	return &c.shards[h&c.mask]
+}
+
+// removeLocked drops one entry; the caller holds sh.mu.
+func (sh *cacheShard) removeLocked(el *list.Element, e *cacheEntry) {
+	sh.lru.Remove(el)
+	delete(sh.byKey, e.key)
+}
+
+// evictLocked trims the shard back to its cap; the caller holds sh.mu.
+func (sh *cacheShard) evictLocked() {
+	for sh.lru.Len() > sh.cap {
+		back := sh.lru.Back()
+		sh.removeLocked(back, back.Value.(*cacheEntry))
+	}
 }
 
 // get returns the cached analysis for key computed under exactly the
 // given epoch. A hit from an older epoch is evicted on sight — the
 // ranking function changed, so the answer can never be valid again.
 func (c *answerCache) get(key string, epoch uint64) (*Analysis, bool) {
-	sh := c.shard(key)
+	sh := c.shard(maphash.String(cacheSeed, key))
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	el, ok := sh.byKey[key]
 	if !ok {
+		sh.mu.Unlock()
 		c.misses.Add(1)
 		return nil, false
 	}
 	e := el.Value.(*cacheEntry)
-	if e.epoch != epoch {
-		sh.lru.Remove(el)
-		delete(sh.byKey, key)
+	if e.epoch != epoch || e.a == nil {
+		if e.epoch != epoch {
+			sh.removeLocked(el, e)
+		}
+		sh.mu.Unlock()
 		c.misses.Add(1)
 		return nil, false
 	}
 	sh.lru.MoveToFront(el)
+	sh.mu.Unlock()
 	c.hits.Add(1)
 	return e.a, true
 }
 
+// getRendered returns the pre-rendered answer bytes for a raw-input key
+// (built with appendCacheKey) under exactly the given epoch. The lookup
+// is allocation-free: the key stays a byte slice end to end
+// (maphash.Bytes plus the compiler's no-copy map lookup for
+// byKey[string(key)]). Only a byte hit counts toward Hits; a miss is not
+// counted here, because the caller falls back to SearchWith whose
+// canonical-key lookup does the counting — hit/miss totals therefore
+// match the pre-rendered-path behaviour exactly.
+func (c *answerCache) getRendered(key []byte, epoch uint64) ([]byte, bool) {
+	sh := c.shard(maphash.Bytes(cacheSeed, key))
+	sh.mu.Lock()
+	el, ok := sh.byKey[string(key)]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.epoch != epoch {
+		sh.removeLocked(el, e)
+		sh.mu.Unlock()
+		return nil, false
+	}
+	if e.rendered == nil {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return e.rendered, true
+}
+
 // put stores an analysis computed under the given epoch, evicting the
-// least recently used entry when the shard is full.
+// least recently used entry when the shard is full. Rendered bytes on a
+// replaced entry survive only if they were rendered under the same
+// epoch.
 func (c *answerCache) put(key string, epoch uint64, a *Analysis) {
-	sh := c.shard(key)
+	sh := c.shard(maphash.String(cacheSeed, key))
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if el, ok := sh.byKey[key]; ok {
 		e := el.Value.(*cacheEntry)
+		if e.epoch != epoch {
+			e.rendered = nil
+		}
 		e.epoch = epoch
 		e.a = a
 		sh.lru.MoveToFront(el)
 		return
 	}
 	sh.byKey[key] = sh.lru.PushFront(&cacheEntry{key: key, epoch: epoch, a: a})
-	for sh.lru.Len() > sh.cap {
-		back := sh.lru.Back()
-		sh.lru.Remove(back)
-		delete(sh.byKey, back.Value.(*cacheEntry).key)
-	}
+	sh.evictLocked()
 }
 
-func (c *answerCache) stats() CacheStats {
+// attachRendered stores rendered answer bytes (and the analysis they were
+// rendered from) under a raw-input key.
+func (c *answerCache) attachRendered(key string, epoch uint64, a *Analysis, data []byte) {
+	sh := c.shard(maphash.String(cacheSeed, key))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.byKey[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.epoch = epoch
+		e.a = a
+		e.rendered = data
+		sh.lru.MoveToFront(el)
+		return
+	}
+	sh.byKey[key] = sh.lru.PushFront(&cacheEntry{key: key, epoch: epoch, a: a, rendered: data})
+	sh.evictLocked()
+}
+
+// stats reports the counters and sweeps out entries from older epochs
+// while counting, so Entries is the number of answers the cache can
+// actually serve right now.
+func (c *answerCache) stats(epoch uint64) CacheStats {
 	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; {
+			next := el.Next()
+			if e := el.Value.(*cacheEntry); e.epoch != epoch {
+				sh.removeLocked(el, e)
+			}
+			el = next
+		}
 		st.Entries += sh.lru.Len()
 		sh.mu.Unlock()
 	}
@@ -136,10 +239,10 @@ func (c *answerCache) stats() CacheStats {
 }
 
 // CacheStats reports the answer cache's hit/miss counters and current
-// size; the zero value when caching is disabled.
+// servable size; the zero value when caching is disabled.
 func (s *System) CacheStats() CacheStats {
 	if s.cache == nil {
 		return CacheStats{}
 	}
-	return s.cache.stats()
+	return s.cache.stats(s.epoch.Load())
 }

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"soda/internal/store"
 )
@@ -92,6 +93,7 @@ func (s *System) NoteAck(from string, v store.Vector) {
 	if from == s.replicaIDLocked() {
 		return
 	}
+	s.lastContact[from] = time.Now()
 	prev := s.acks[from]
 	merged := v.Clone()
 	if merged == nil {
@@ -116,6 +118,9 @@ func (s *System) NoteOriginClock(origin string, lc uint64) {
 	}
 	s.fbMu.Lock()
 	defer s.fbMu.Unlock()
+	if origin != s.replicaIDLocked() {
+		s.lastContact[origin] = time.Now()
+	}
 	if lc > s.lastLC[origin] {
 		s.lastLC[origin] = lc
 	}
@@ -138,6 +143,7 @@ func (s *System) ApplyRemote(recs []store.Record) (int, error) {
 	}
 	applied := 0
 	refold := false
+	now := time.Now()
 	defer func() {
 		// One re-fold per batch, not per record: a batch of concurrent
 		// feedback routinely sorts into the middle of the tail, and
@@ -178,6 +184,9 @@ func (s *System) ApplyRemote(recs []store.Record) (int, error) {
 			refold = true
 		}
 		s.noteAppliedLocked(stored)
+		if stored.Origin != s.replicaIDLocked() {
+			s.lastContact[stored.Origin] = now
+		}
 		s.epoch.Add(1)
 		applied++
 	}
@@ -324,6 +333,28 @@ func (s *System) AdoptClusterState(cs *store.ReplicaState) error {
 	return nil
 }
 
+// DecommissionReplica permanently removes a peer from the fold quorum:
+// it stops gating the watermark and the ack coverage in foldableLocked,
+// so folding and WAL compaction advance without ever hearing from it
+// again. This is the operator's escape hatch for a static -peers entry
+// that is never coming back — without it one dead peer pins the tail (and
+// the WAL) forever. Safe even if the peer does return: it finds itself
+// behind the fold point (RecordsSince reports behind=true) and adopts the
+// folded state through the normal catch-up path, exactly like a fresh
+// replica.
+func (s *System) DecommissionReplica(id string) error {
+	if id == "" {
+		return errors.New("core: decommission: empty replica id")
+	}
+	s.fbMu.Lock()
+	defer s.fbMu.Unlock()
+	if id == s.replicaIDLocked() {
+		return fmt.Errorf("core: refusing to decommission the local replica %q", id)
+	}
+	s.decommissioned[id] = true
+	return nil
+}
+
 // ReplicationInfo describes the System's replication state for /healthz.
 type ReplicationInfo struct {
 	ReplicaID string       `json:"replica_id"`
@@ -335,6 +366,9 @@ type ReplicationInfo struct {
 	// Reorders counts remote records that arrived below the fold
 	// watermark (should stay 0 in a full-mesh fleet; see ApplyRemote).
 	Reorders uint64 `json:"reorders,omitempty"`
+	// Decommissioned lists peers an operator removed from the fold
+	// quorum (sorted; see DecommissionReplica).
+	Decommissioned []string `json:"decommissioned,omitempty"`
 }
 
 // ReplicationInfo returns the replication diagnostics, or nil when the
@@ -349,11 +383,16 @@ func (s *System) ReplicationInfo() *ReplicationInfo {
 	if id == "" {
 		id = "local"
 	}
-	return &ReplicationInfo{
+	info := &ReplicationInfo{
 		ReplicaID:   id,
 		Vector:      s.vector.Clone(),
 		Lamport:     s.lamport,
 		TailRecords: len(s.tail),
 		Reorders:    s.reorders,
 	}
+	for peer := range s.decommissioned {
+		info.Decommissioned = append(info.Decommissioned, peer)
+	}
+	sort.Strings(info.Decommissioned)
+	return info
 }

@@ -76,6 +76,18 @@ type Options struct {
 	// (snapshots still happen on Close and on explicit WriteSnapshot).
 	CompactEvery int
 
+	// PeerDeadAfter bounds how long a configured peer replica can stay
+	// silent before it stops gating feedback-WAL folding and compaction
+	// (see persist.go foldableLocked). 0 — the default — keeps the
+	// conservative behaviour: every configured peer gates retention
+	// forever, so a permanently-dead -peers entry stalls folding until an
+	// operator decommissions it (DecommissionReplica). Positive values
+	// trade that safety for bounded staleness: a peer silent longer than
+	// this is treated as dead and folded past; if it returns it re-enters
+	// through the normal catch-up path (RecordsSince reports it behind and
+	// it adopts the folded state wholesale).
+	PeerDeadAfter time.Duration
+
 	// Dialect selects the SQL surface syntax generated statements are
 	// rendered in (identifier quoting, LIMIT vs FETCH FIRST, string
 	// escaping). nil means sqlast.Generic. Individual searches can
@@ -189,6 +201,15 @@ type System struct {
 	acks         map[string]store.Vector
 	reorders     uint64 // remote records that arrived below the fold watermark
 
+	// Dead-peer bookkeeping for the fold gate's escape hatches:
+	// decommissioned peers are permanently out of the quorum (operator
+	// action), lastContact timestamps every ack/clock/record heard per
+	// origin, and replStart anchors the staleness bound for peers never
+	// heard from at all (set when OpenStore attaches the store).
+	decommissioned map[string]bool
+	lastContact    map[string]time.Time
+	replStart      time.Time
+
 	cache *answerCache
 }
 
@@ -210,6 +231,9 @@ func NewSystem(be backend.Executor, meta *metagraph.Graph, idx *invidx.Index, op
 		foldedVector: make(store.Vector),
 		foldedLastLC: make(map[string]uint64),
 		acks:         make(map[string]store.Vector),
+
+		decommissioned: make(map[string]bool),
+		lastContact:    make(map[string]time.Time),
 	}
 	s.matcher = pattern.NewMatcher(meta.G, reg)
 	if s.Opt.CacheSize > 0 {
@@ -551,11 +575,24 @@ func (s *System) SearchWith(input string, so SearchOptions) (*Analysis, error) {
 // pointed at different warehouses can legitimately return different
 // rows for the same statement).
 func cacheKey(canonical string, d *sqlast.Dialect, snippets bool, backendName string) string {
-	key := canonical + "\x1f" + d.Name() + "\x1f" + backendName
+	return string(appendCacheKey(nil, canonical, d, snippets, backendName))
+}
+
+// appendCacheKey appends the answer-cache key for (query, dialect,
+// snippets, backend) to dst and returns the extended slice. The rendered
+// fast path (rendered.go) builds keys into pooled scratch with this so a
+// cache-hit lookup allocates nothing; cacheKey wraps it for the canonical
+// string-keyed path.
+func appendCacheKey(dst []byte, q string, d *sqlast.Dialect, snippets bool, backendName string) []byte {
+	dst = append(dst, q...)
+	dst = append(dst, '\x1f')
+	dst = append(dst, d.Name()...)
+	dst = append(dst, '\x1f')
+	dst = append(dst, backendName...)
 	if snippets {
-		key += "\x1fsnippets"
+		dst = append(dst, "\x1fsnippets"...)
 	}
-	return key
+	return dst
 }
 
 // snippetStep executes one solution with the snippet row cap and stores

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"maps"
 	"sort"
+	"time"
 
 	"soda/internal/store"
 )
@@ -103,6 +104,9 @@ func (s *System) OpenStore(st *store.Store, snap *store.Snapshot) error {
 	s.epoch.Store(s.baseEpoch + uint64(applied))
 	s.replayedRecords = applied
 	s.store = st
+	// Anchor the dead-peer staleness bound: a peer never heard from at
+	// all ages against the moment replication started, not the zero time.
+	s.replStart = time.Now()
 	if snap == nil {
 		// Cold boot: pre-bake the snapshot (and compact any replayed WAL)
 		// so the next boot opens warm.
@@ -184,6 +188,26 @@ func (s *System) foldLocked() {
 	s.tail = append([]store.Record(nil), s.tail[k:]...)
 }
 
+// deadPeerLocked reports whether a peer no longer gates folding: it was
+// decommissioned by an operator, or — with Options.PeerDeadAfter set —
+// nothing has been heard from it for longer than the bound (a peer never
+// heard from at all ages against replStart). Dead peers are excluded from
+// the fold watermark and the ack quorum; one that returns re-enters
+// through the catch-up path, behind the fold point.
+func (s *System) deadPeerLocked(id string, now time.Time) bool {
+	if s.decommissioned[id] {
+		return true
+	}
+	if s.Opt.PeerDeadAfter <= 0 {
+		return false
+	}
+	last, ok := s.lastContact[id]
+	if !ok {
+		last = s.replStart
+	}
+	return now.Sub(last) > s.Opt.PeerDeadAfter
+}
+
 // foldableLocked counts the tail prefix foldLocked may fold.
 func (s *System) foldableLocked() int {
 	if len(s.tail) == 0 {
@@ -192,44 +216,82 @@ func (s *System) foldableLocked() int {
 	if s.fleetPeers == 0 {
 		return len(s.tail)
 	}
-	// Watermark: the minimum last-heard canonical position across remote
-	// origins. Anything the fleet can still send sorts above it — every
-	// origin's clocks and sequences only grow, and pulls deliver each
-	// origin's records contiguously. Until every configured peer has been
-	// heard from at least once the watermark is unknown, so nothing folds.
-	remote := 0
+	now := time.Now()
+	// Watermark: the minimum last-heard canonical position across the
+	// *live* remote origins. Anything the fleet can still send sorts above
+	// it — every origin's clocks and sequences only grow, and pulls
+	// deliver each origin's records contiguously. Dead origins are
+	// excluded: nothing more is coming from them, and a resurrected peer
+	// re-enters through the catch-up path rather than the record stream.
+	live := 0
+	heard := 0
 	var w store.Pos
 	for o, lc := range s.lastLC {
 		if o == s.replicaID {
 			continue
 		}
+		heard++
+		if s.deadPeerLocked(o, now) {
+			continue
+		}
 		p := store.Pos{LC: lc, Origin: o, Seq: s.vector[o]}
-		if remote == 0 || p.Before(w) {
+		if live == 0 || p.Before(w) {
 			w = p
 		}
-		remote++
+		live++
 	}
-	if remote < s.fleetPeers {
+	// The quorum starts at the configured peer count and shrinks by one
+	// for each dead peer: origins heard from and then declared dead,
+	// decommissioned ids never heard from at all, and — once the staleness
+	// bound has elapsed with no contact whatsoever — the remaining unheard
+	// slots. Until every *live* configured peer has been heard from at
+	// least once the watermark is unknown, so nothing folds.
+	deadHeard := heard - live
+	unheard := s.fleetPeers - heard
+	if unheard < 0 {
+		unheard = 0
+	}
+	deadUnheard := 0
+	if s.Opt.PeerDeadAfter > 0 && now.Sub(s.replStart) > s.Opt.PeerDeadAfter {
+		deadUnheard = unheard
+	} else {
+		for id := range s.decommissioned {
+			if _, ok := s.lastLC[id]; !ok && id != s.replicaID {
+				deadUnheard++
+			}
+		}
+		if deadUnheard > unheard {
+			deadUnheard = unheard
+		}
+	}
+	required := s.fleetPeers - deadHeard - deadUnheard
+	if required < 0 {
+		required = 0
+	}
+	if live < required {
 		return 0
 	}
 	k := 0
 	for _, rec := range s.tail {
-		if w.Before(rec.Pos()) {
+		if live > 0 && w.Before(rec.Pos()) {
 			break
 		}
-		// Ack gate: at least fleetPeers distinct replicas must have pulled
-		// past this record. Counting coverage (rather than requiring every
-		// tracked ack) keeps one stale id — an operator's debug pull, a
-		// peer that re-minted its identity — from wedging folding forever;
+		// Ack gate: at least `required` distinct live replicas must have
+		// pulled past this record. Counting coverage (rather than requiring
+		// every tracked ack) keeps one stale id — an operator's debug pull,
+		// a peer that re-minted its identity — from wedging folding forever;
 		// a peer that genuinely misses a compacted record still recovers
 		// through the anti-entropy catch-up.
 		covered := 0
-		for _, av := range s.acks {
+		for from, av := range s.acks {
+			if s.deadPeerLocked(from, now) {
+				continue
+			}
 			if av.Includes(rec.Origin, rec.OriginSeq) {
 				covered++
 			}
 		}
-		if covered < s.fleetPeers {
+		if covered < required {
 			break
 		}
 		k++

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync"
+
+	"soda/internal/sqlast"
+)
+
+// The rendered fast path: the serving layer caches the exact JSON bytes
+// it encoded for an answer alongside the Analysis, keyed by the *raw*
+// request input (not the canonical query form — canonicalisation would
+// require parsing, which allocates, and the response echoes the raw
+// query anyway). A repeated request is then a pooled-scratch key build,
+// one shard lookup and a byte-slice write: zero heap allocations, no
+// pipeline, no re-marshal. Epoch validation is identical to the analysis
+// path, so feedback invalidates rendered bytes and analyses alike.
+
+// keyScratch is per-request scratch for building cache keys on the hot
+// path without allocating. The pool holds pointers to a wrapper struct —
+// pooling bare slices would box them into the pool's interface value on
+// every Put.
+type keyScratch struct{ buf []byte }
+
+var keyScratchPool = sync.Pool{
+	New: func() any { return &keyScratch{buf: make([]byte, 0, 128)} },
+}
+
+// searchDialect resolves the dialect a search renders in.
+func (s *System) searchDialect(so SearchOptions) *sqlast.Dialect {
+	if so.Dialect != nil {
+		return so.Dialect
+	}
+	return s.Opt.Dialect
+}
+
+// CachedRendered returns the pre-rendered answer bytes cached for exactly
+// this raw input (plus dialect, snippet flag and backend) at the current
+// ranking epoch. The hit path performs zero heap allocations — guarded by
+// TestCachedRenderedZeroAlloc. The returned bytes are shared with the
+// cache: callers must write them out unmodified. A false return means the
+// caller should run SearchWith, render the answer and AttachRendered the
+// result; it deliberately counts no cache miss, because the SearchWith
+// fallback's canonical-key lookup does the counting.
+func (s *System) CachedRendered(input string, so SearchOptions) ([]byte, bool) {
+	if s.cache == nil {
+		return nil, false
+	}
+	sc := keyScratchPool.Get().(*keyScratch)
+	sc.buf = appendCacheKey(sc.buf[:0], input, s.searchDialect(so), so.Snippets, s.Backend.Name())
+	data, ok := s.cache.getRendered(sc.buf, s.epoch.Load())
+	keyScratchPool.Put(sc)
+	return data, ok
+}
+
+// AttachRendered caches rendered answer bytes for an analysis returned by
+// SearchWith, keyed by the raw input that produced it. The entry is
+// stored under the analysis's epoch: if feedback raced in since the
+// pipeline ran, the entry is already stale and will never be served.
+func (s *System) AttachRendered(input string, so SearchOptions, a *Analysis, data []byte) {
+	if s.cache == nil || a == nil || len(data) == 0 {
+		return
+	}
+	key := string(appendCacheKey(nil, input, s.searchDialect(so), so.Snippets, s.Backend.Name()))
+	s.cache.attachRendered(key, a.Epoch, a, data)
+}
+
+// SearchRendered is the serving-layer entry point combining the two:
+// cached bytes when available (hit=true, allocation-free), otherwise
+// SearchWith + render + AttachRendered (hit=false). render receives the
+// fresh analysis and returns the bytes to serve and cache.
+func (s *System) SearchRendered(input string, so SearchOptions, render func(*Analysis) ([]byte, error)) (data []byte, hit bool, err error) {
+	if data, ok := s.CachedRendered(input, so); ok {
+		return data, true, nil
+	}
+	a, err := s.SearchWith(input, so)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err = render(a)
+	if err != nil {
+		return nil, false, err
+	}
+	s.AttachRendered(input, so, a, data)
+	return data, false, nil
+}

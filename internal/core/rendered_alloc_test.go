@@ -1,0 +1,32 @@
+//go:build !race
+
+// The race detector instruments allocations, so the zero-alloc guard only
+// runs in non-race builds (the tier-1 `go test ./...` run and the CI
+// latency job both exercise it).
+
+package core
+
+import "testing"
+
+// TestCachedRenderedZeroAllocs is the committed guard for the tentpole:
+// a cache-hit /search must not allocate. Anything that re-introduces an
+// allocation on the hit path (key building, hashing, map lookup, LRU
+// touch) fails this test.
+func TestCachedRenderedZeroAllocs(t *testing.T) {
+	sys := newSys(t, Options{})
+	const q = "wealthy customers"
+	if _, _, err := sys.SearchRendered(q, SearchOptions{}, renderSQLs); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit := sys.CachedRendered(q, SearchOptions{}); !hit {
+		t.Fatal("priming did not populate the rendered cache")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, hit := sys.CachedRendered(q, SearchOptions{}); !hit {
+			t.Fatal("cache hit lost mid-run")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache-hit CachedRendered allocates %.1f times per call, want 0", allocs)
+	}
+}

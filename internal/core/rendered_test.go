@@ -1,0 +1,150 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// renderSQLs is a minimal render callback: the solutions' SQL texts, one
+// per line — enough to detect re-renders and epoch staleness.
+func renderSQLs(a *Analysis) ([]byte, error) {
+	var buf bytes.Buffer
+	for _, sol := range a.Solutions {
+		fmt.Fprintf(&buf, "%s\t%x\n", sol.SQLText(), sol.Score)
+	}
+	return buf.Bytes(), nil
+}
+
+// echoRender returns a render callback that emits a fixed payload —
+// standing in for a server response that echoes the raw request query.
+func echoRender(payload string) func(*Analysis) ([]byte, error) {
+	return func(*Analysis) ([]byte, error) { return []byte(payload), nil }
+}
+
+func TestSearchRenderedServesCachedBytes(t *testing.T) {
+	sys := newSys(t, Options{})
+	d1, hit, err := sys.SearchRendered("wealthy customers", SearchOptions{}, renderSQLs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first render reported a cache hit")
+	}
+	d2, hit, err := sys.SearchRendered("wealthy customers", SearchOptions{}, renderSQLs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("repeat render missed the cache")
+	}
+	if &d1[0] != &d2[0] {
+		t.Fatal("repeat did not return the cached byte slice")
+	}
+
+	// Feedback bumps the epoch: the cached bytes must never be served
+	// again, and the re-render reflects the new scores.
+	a := search(t, sys, "wealthy customers")
+	if err := sys.Feedback(a.Solutions[0], true); err != nil {
+		t.Fatal(err)
+	}
+	d3, hit, err := sys.SearchRendered("wealthy customers", SearchOptions{}, renderSQLs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("stale rendered bytes served after feedback")
+	}
+	if bytes.Equal(d2, d3) {
+		t.Fatal("re-render after feedback produced identical bytes (scores should have moved)")
+	}
+}
+
+// TestSearchRenderedKeyedByRawInput: rendered bytes are keyed by the raw
+// request string, so each whitespace variant is served the bytes rendered
+// for *it* (a server response echoes the raw query), while the underlying
+// analysis is still shared through the canonical-key entry.
+func TestSearchRenderedKeyedByRawInput(t *testing.T) {
+	sys := newSys(t, Options{})
+	raw1, raw2 := "wealthy   customers", "  wealthy customers  "
+
+	d1, hit, err := sys.SearchRendered(raw1, SearchOptions{}, echoRender(raw1))
+	if err != nil || hit {
+		t.Fatalf("first variant: hit=%v err=%v", hit, err)
+	}
+	st := sys.CacheStats()
+	// The second variant's rendered entry misses, but its SearchWith
+	// fallback hits the canonical analysis entry: no second pipeline run.
+	d2, hit, err := sys.SearchRendered(raw2, SearchOptions{}, echoRender(raw2))
+	if err != nil || hit {
+		t.Fatalf("second variant: hit=%v err=%v", hit, err)
+	}
+	st2 := sys.CacheStats()
+	if st2.Hits != st.Hits+1 {
+		t.Fatalf("canonical analysis not shared: hits %d -> %d", st.Hits, st2.Hits)
+	}
+	if string(d1) != raw1 || string(d2) != raw2 {
+		t.Fatalf("rendered bytes crossed variants: %q / %q", d1, d2)
+	}
+	// Repeats now serve each variant its own bytes.
+	for _, c := range []struct{ raw, want string }{{raw1, raw1}, {raw2, raw2}} {
+		d, hit, err := sys.SearchRendered(c.raw, SearchOptions{}, echoRender("re-rendered"))
+		if err != nil || !hit {
+			t.Fatalf("repeat of %q: hit=%v err=%v", c.raw, hit, err)
+		}
+		if string(d) != c.want {
+			t.Fatalf("repeat of %q served %q", c.raw, d)
+		}
+	}
+}
+
+func TestSearchRenderedKeyIncludesDialectAndSnippets(t *testing.T) {
+	sys := newSys(t, Options{})
+	seed := func(so SearchOptions, payload string) {
+		t.Helper()
+		if _, hit, err := sys.SearchRendered("customer", so, echoRender(payload)); err != nil || hit {
+			t.Fatalf("seeding %+v: hit=%v err=%v", so, hit, err)
+		}
+	}
+	seed(SearchOptions{}, "generic")
+	seed(SearchOptions{Snippets: true}, "snippets")
+	if d, hit, _ := sys.SearchRendered("customer", SearchOptions{}, echoRender("x")); !hit || string(d) != "generic" {
+		t.Fatalf("plain repeat: hit=%v data=%q", hit, d)
+	}
+	if d, hit, _ := sys.SearchRendered("customer", SearchOptions{Snippets: true}, echoRender("x")); !hit || string(d) != "snippets" {
+		t.Fatalf("snippet repeat: hit=%v data=%q", hit, d)
+	}
+}
+
+func TestSearchRenderedDisabledCache(t *testing.T) {
+	sys := newSys(t, Options{CacheSize: -1})
+	for i := 0; i < 2; i++ {
+		if _, hit, err := sys.SearchRendered("customer", SearchOptions{}, renderSQLs); err != nil || hit {
+			t.Fatalf("call %d with caching disabled: hit=%v err=%v", i, hit, err)
+		}
+	}
+}
+
+// TestCacheStatsEntriesServableOnly is the regression test for the
+// "entries count any epoch" bug: after feedback, /healthz must not report
+// dead stale-epoch answers as cached capacity.
+func TestCacheStatsEntriesServableOnly(t *testing.T) {
+	sys := newSys(t, Options{})
+	search(t, sys, "customer")
+	search(t, sys, "transactions")
+	if st := sys.CacheStats(); st.Entries != 2 {
+		t.Fatalf("entries before feedback = %d, want 2", st.Entries)
+	}
+	a := search(t, sys, "wealthy customers") // third entry
+	if err := sys.Feedback(a.Solutions[0], true); err != nil {
+		t.Fatal(err)
+	}
+	// Every cached answer predates the feedback epoch: none is servable.
+	if st := sys.CacheStats(); st.Entries != 0 {
+		t.Fatalf("entries after feedback = %d, want 0 (stale answers are not capacity)", st.Entries)
+	}
+	search(t, sys, "customer")
+	if st := sys.CacheStats(); st.Entries != 1 {
+		t.Fatalf("entries after re-search = %d, want 1", st.Entries)
+	}
+}

@@ -14,11 +14,14 @@
 //	POST /feedback         {"query": "...", "result": 0, "like": true}
 //	GET  /explain?q=...    text/plain pipeline trace (Figures 4-6)
 //	POST /admin/snapshot   persist derived state + compact the feedback WAL
+//	POST /admin/decommission?replica=<id>
+//	                       remove a dead peer from the feedback fold quorum
 //	GET  /cluster/pull     replication pull: feedback records beyond the
 //	                       caller's vector (?since=origin:seq,...&from=id)
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,11 +42,70 @@ type Server struct {
 	sys   *soda.System
 	mux   *http.ServeMux
 	start time.Time
+	logf  func(format string, args ...any)
+
+	// Admission control for /search (nil inflight = unlimited): inflight
+	// is a counting semaphore over executing searches and queue bounds
+	// how many more may wait for a slot; anything beyond gets an
+	// immediate 503 with Retry-After, so saturation degrades into fast,
+	// explicit shedding instead of an unbounded goroutine pile-up.
+	inflight   chan struct{}
+	queue      chan struct{}
+	retryAfter string // pre-rendered Retry-After value, in seconds
+
+	// Cache-hit vs cold /search service time, surfaced in /healthz
+	// (search_latency) against the stated SLO: p99 < 1ms hit, < 20ms cold.
+	hitLat  histogram
+	coldLat histogram
 }
 
-// New builds a Server over sys.
-func New(sys *soda.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux(), start: time.Now()}
+// Config tunes the serving layer. The zero value serves like the
+// pre-Config server: no admission limit, silent logging.
+type Config struct {
+	// MaxInflight caps concurrently executing /search requests
+	// (the daemon's -max-inflight flag); 0 means unlimited.
+	MaxInflight int
+	// QueueDepth is how many /search requests may wait for an inflight
+	// slot before load shedding starts. 0 defaults to 2×MaxInflight;
+	// negative means no queue (shed as soon as saturated). Ignored when
+	// MaxInflight is 0.
+	QueueDepth int
+	// RetryAfter is the hint sent with 503 responses (default 1s).
+	RetryAfter time.Duration
+	// Logf receives serving diagnostics — response-write failures, encode
+	// errors. nil is silent.
+	Logf func(format string, args ...any)
+}
+
+// New builds a Server over sys with default Config.
+func New(sys *soda.System) *Server { return NewWith(sys, Config{}) }
+
+// NewWith builds a Server over sys with explicit serving configuration.
+func NewWith(sys *soda.System, cfg Config) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux(), start: time.Now(), logf: cfg.Logf}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+		depth := cfg.QueueDepth
+		if depth == 0 {
+			depth = 2 * cfg.MaxInflight
+		}
+		if depth < 0 {
+			depth = 0
+		}
+		s.queue = make(chan struct{}, depth)
+	}
+	ra := cfg.RetryAfter
+	if ra <= 0 {
+		ra = time.Second
+	}
+	secs := int(ra / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	s.retryAfter = strconv.Itoa(secs)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /search", s.handleSearch)
 	s.mux.HandleFunc("POST /sql", s.handleSQL)
@@ -51,6 +113,7 @@ func New(sys *soda.System) *Server {
 	s.mux.HandleFunc("POST /feedback", s.handleFeedback)
 	s.mux.HandleFunc("GET /explain", s.handleExplain)
 	s.mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /admin/decommission", s.handleDecommission)
 	s.mux.HandleFunc("GET /cluster/pull", s.handleClusterPull)
 	return s
 }
@@ -66,32 +129,96 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+// encodeJSON renders v the way responses are framed: no HTML escaping
+// (generated SQL contains < and >), trailing newline. Encoding into a
+// buffer — instead of straight onto the wire — is what lets writeJSON
+// surface encode failures as a clean 500 and is the byte source the
+// rendered-answer cache stores.
+func encodeJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+// writeRaw writes pre-encoded JSON with an exact Content-Length. A write
+// failure means the client went away mid-response; it is logged, not
+// retried.
+func (s *Server) writeRaw(w http.ResponseWriter, status int, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(status)
+	if _, err := w.Write(data); err != nil {
+		s.logf("server: writing response: %v", err)
+	}
+}
+
+// writeJSON encodes v to a buffer first, so an encode failure becomes a
+// clean 500 instead of a 200 status already on the wire followed by
+// truncated JSON, then writes it with Content-Length.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := encodeJSON(v)
+	if err != nil {
+		s.logf("server: encoding %T response: %v", v, err)
+		http.Error(w, `{"error":"internal: response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	s.writeRaw(w, status, data)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
 // decodeBody parses the JSON request body into v.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
-			writeError(w, http.StatusRequestEntityTooLarge, err)
+			s.writeError(w, http.StatusRequestEntityTooLarge, err)
 			return false
 		}
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
 		return false
 	}
 	return true
+}
+
+// admit reserves an inflight slot for one /search, waiting in the bounded
+// queue when the server is saturated. false means the request should be
+// shed with 503 + Retry-After (or the client went away while queued).
+func (s *Server) admit(r *http.Request) bool {
+	if s.inflight == nil {
+		return true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+	}
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		return false // queue full too: shed
+	}
+	defer func() { <-s.queue }()
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+func (s *Server) release() {
+	if s.inflight != nil {
+		<-s.inflight
+	}
 }
 
 // --- /healthz ---------------------------------------------------------
@@ -120,10 +247,20 @@ type HealthResponse struct {
 	// Absent without -data-dir; present with an empty peer list for a
 	// single persistent replica (it can still be pulled from).
 	Cluster *soda.ClusterStatus `json:"cluster,omitempty"`
+	// SearchLatency reports /search service-time percentiles since boot,
+	// split cache-hit vs cold (full pipeline) — the serving-side view of
+	// the BENCH_search.json SLO (p99 < 1ms hit, < 20ms cold).
+	SearchLatency SearchLatency `json:"search_latency"`
+}
+
+// SearchLatency splits /search service time by cache outcome.
+type SearchLatency struct {
+	Hit  LatencySummary `json:"hit"`
+	Cold LatencySummary `json:"cold"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	s.writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        "ok",
 		World:         s.sys.World().Name(),
 		Tables:        len(s.sys.World().TableNames()),
@@ -134,6 +271,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Dialects:      soda.Dialects(),
 		Store:         s.sys.StoreStats(),
 		Cluster:       s.sys.ClusterStatus(),
+		SearchLatency: SearchLatency{Hit: s.hitLat.summary(), Cold: s.coldLat.summary()},
 	})
 }
 
@@ -196,24 +334,47 @@ func rowsJSON(rows *soda.Rows) *RowsJSON {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(r) {
+		w.Header().Set("Retry-After", s.retryAfter)
+		s.writeError(w, http.StatusServiceUnavailable,
+			errors.New("overloaded: search admission queue is full, retry later"))
+		return
+	}
+	defer s.release()
 	var req SearchRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if strings.TrimSpace(req.Query) == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing query"))
+		s.writeError(w, http.StatusBadRequest, errors.New("missing query"))
 		return
 	}
-	// Dialect validation happens in SearchWith; an unknown name surfaces
-	// as a 400 through the normal error path.
-	ans, err := s.sys.SearchWith(req.Query, soda.SearchOptions{
+	// The hot path: a repeat of an already-rendered query returns the
+	// cached response bytes — no pipeline, no re-marshal, zero core
+	// allocations — while a miss renders through searchResponse and caches
+	// the bytes for the next repeat. Dialect validation happens inside;
+	// an unknown name surfaces as a 400 through the normal error path.
+	start := time.Now()
+	data, hit, err := s.sys.SearchRendered(req.Query, soda.SearchOptions{
 		Dialect:  req.Dialect,
 		Snippets: req.Snippets,
+	}, func(ans *soda.Answer) ([]byte, error) {
+		return encodeJSON(searchResponse(req, ans))
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if hit {
+		s.hitLat.record(time.Since(start))
+	} else {
+		s.coldLat.record(time.Since(start))
+	}
+	s.writeRaw(w, http.StatusOK, data)
+}
+
+// searchResponse builds the /search response shape for one answer.
+func searchResponse(req SearchRequest, ans *soda.Answer) SearchResponse {
 	resp := SearchResponse{
 		Query:      req.Query,
 		Complexity: ans.Complexity,
@@ -244,7 +405,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results = append(resp.Results, sr)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // --- /sql -------------------------------------------------------------
@@ -260,19 +421,19 @@ type SQLRequest struct {
 
 func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	var req SQLRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if strings.TrimSpace(req.SQL) == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing sql"))
+		s.writeError(w, http.StatusBadRequest, errors.New("missing sql"))
 		return
 	}
 	rows, err := s.sys.ExecuteSQLIn(req.Dialect, req.SQL)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, rowsJSON(rows))
+	s.writeJSON(w, http.StatusOK, rowsJSON(rows))
 }
 
 // --- /browse/{table} --------------------------------------------------
@@ -303,7 +464,7 @@ func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 	table := r.PathValue("table")
 	info, err := s.sys.Browse(table)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		s.writeError(w, http.StatusNotFound, err)
 		return
 	}
 	resp := BrowseResponse{
@@ -318,7 +479,7 @@ func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 	for _, rel := range info.Related {
 		resp.Related = append(resp.Related, BrowseJoin{Table: rel.Table, Join: rel.Join.String()})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // --- /feedback --------------------------------------------------------
@@ -347,16 +508,16 @@ type FeedbackResponse struct {
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var req FeedbackRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if strings.TrimSpace(req.Query) == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing query"))
+		s.writeError(w, http.StatusBadRequest, errors.New("missing query"))
 		return
 	}
 	ans, err := s.sys.Search(req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	var res *soda.Result
@@ -370,12 +531,12 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if res == nil {
-			writeError(w, http.StatusNotFound,
+			s.writeError(w, http.StatusNotFound,
 				fmt.Errorf("no result with the given sql (query has %d results)", len(ans.Results)))
 			return
 		}
 	case req.Result < 0 || req.Result >= len(ans.Results):
-		writeError(w, http.StatusNotFound,
+		s.writeError(w, http.StatusNotFound,
 			fmt.Errorf("result %d out of range (query has %d results)", req.Result, len(ans.Results)))
 		return
 	default:
@@ -397,10 +558,10 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		if errors.As(ferr, &stale) {
 			status = http.StatusConflict
 		}
-		writeError(w, status, ferr)
+		s.writeError(w, status, ferr)
 		return
 	}
-	writeJSON(w, http.StatusOK, FeedbackResponse{
+	s.writeJSON(w, http.StatusOK, FeedbackResponse{
 		OK: true, Query: req.Query, Result: index, Like: req.Like, SQL: res.SQL,
 	})
 }
@@ -419,10 +580,39 @@ type SnapshotResponse struct {
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	st, err := s.sys.Snapshot()
 	if err != nil {
-		writeError(w, http.StatusConflict, err)
+		s.writeError(w, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SnapshotResponse{OK: true, Store: *st})
+	s.writeJSON(w, http.StatusOK, SnapshotResponse{OK: true, Store: *st})
+}
+
+// --- /admin/decommission ------------------------------------------------
+
+// DecommissionResponse confirms a replica was removed from the fold
+// quorum.
+type DecommissionResponse struct {
+	OK      bool   `json:"ok"`
+	Replica string `json:"replica"`
+}
+
+// handleDecommission permanently removes a peer replica from the feedback
+// fold quorum (?replica=<id>) — the operator's escape hatch for a static
+// -peers entry that is never coming back and would otherwise stall WAL
+// folding and compaction forever. A decommissioned peer that does return
+// adopts the folded state through the normal catch-up path. See also the
+// daemon's -peer-dead-after flag for the automatic variant.
+func (s *Server) handleDecommission(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("replica")
+	if id == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("missing replica parameter"))
+		return
+	}
+	if err := s.sys.Decommission(id); err != nil {
+		s.writeError(w, http.StatusConflict, err)
+		return
+	}
+	s.logf("server: replica %q decommissioned from the fold quorum", id)
+	s.writeJSON(w, http.StatusOK, DecommissionResponse{OK: true, Replica: id})
 }
 
 // --- /cluster/pull ------------------------------------------------------
@@ -439,14 +629,14 @@ func (s *Server) handleClusterPull(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	since, err := cluster.ParseVector(q.Get("since"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	limit := cluster.DefaultBatchLimit
 	if ls := q.Get("limit"); ls != "" {
 		l, err := strconv.Atoi(ls)
 		if err != nil || l <= 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", ls))
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", ls))
 			return
 		}
 		if l > cluster.MaxBatchLimit {
@@ -459,10 +649,10 @@ func (s *Server) handleClusterPull(w http.ResponseWriter, r *http.Request) {
 		// No store attached (or a malformed replica id): the daemon is not
 		// replication-capable, which for a fleet peer is a configuration
 		// conflict, not a transient failure.
-		writeError(w, http.StatusConflict, err)
+		s.writeError(w, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // --- /explain ---------------------------------------------------------
@@ -470,12 +660,12 @@ func (s *Server) handleClusterPull(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if strings.TrimSpace(q) == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		s.writeError(w, http.StatusBadRequest, errors.New("missing q parameter"))
 		return
 	}
 	ans, err := s.sys.SearchWith(q, soda.SearchOptions{Dialect: r.URL.Query().Get("dialect")})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -1,0 +1,282 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"soda"
+)
+
+// --- histogram ----------------------------------------------------------
+
+// TestHistogramBucketRoundtrip: every value maps into a bucket whose upper
+// bound is >= the value, and the upper bound maps back to the same bucket
+// (quantiles are conservative, never under-reported).
+func TestHistogramBucketRoundtrip(t *testing.T) {
+	values := []uint64{0, 1, 15, 16, 17, 31, 32, 33, 1000, 12345, 1 << 20, 1<<40 + 9}
+	for _, v := range values {
+		i := bucketOf(v)
+		up := bucketUpper(i)
+		if up < v {
+			t.Fatalf("bucketUpper(bucketOf(%d)) = %d < value", v, up)
+		}
+		if bucketOf(up) != i {
+			t.Fatalf("bucketOf(bucketUpper(%d)) = %d, want bucket %d", v, bucketOf(up), i)
+		}
+		// Relative error of the reported representative stays under the
+		// 1/16 sub-bucket width.
+		if v >= 16 && float64(up-v) > float64(v)/16+1 {
+			t.Fatalf("bucket error for %d: upper %d exceeds 6.25%%", v, up)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h histogram
+	if s := h.summary(); s.Count != 0 || s.P50Us != 0 || s.P99Us != 0 || s.MeanUs != 0 {
+		t.Fatalf("empty histogram summary = %+v, want zeros", s)
+	}
+	// Uniform 1..1000µs: quantiles must land on the right value within one
+	// bucket width (6.25%).
+	for i := 1; i <= 1000; i++ {
+		h.record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.summary()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	for _, c := range []struct {
+		got, want float64
+	}{{s.P50Us, 500}, {s.P90Us, 900}, {s.P99Us, 990}} {
+		if c.got < c.want || c.got > c.want*1.07 {
+			t.Fatalf("quantile = %.1fµs, want within [%.0f, %.0f]", c.got, c.want, c.want*1.07)
+		}
+	}
+	if s.MeanUs < 480 || s.MeanUs > 520 {
+		t.Fatalf("mean = %.1fµs, want ~500.5", s.MeanUs)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.record(time.Duration(g*1000+i) * time.Nanosecond)
+				if i%100 == 0 {
+					h.summary()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.count.Load(); got != 8000 {
+		t.Fatalf("count after concurrent records = %d, want 8000", got)
+	}
+}
+
+// --- admission control --------------------------------------------------
+
+func TestSearchOverloadSheds503(t *testing.T) {
+	srv := NewWith(sharedSys(), Config{MaxInflight: 1, QueueDepth: -1})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// Saturate the only inflight slot; with no queue the next request is
+	// shed immediately.
+	srv.inflight <- struct{}{}
+	resp, body := postJSON(t, ts.URL+"/search", `{"query": "customer"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated status = %d, body %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+	if !strings.Contains(string(body), "overloaded") {
+		t.Fatalf("shed body = %s", body)
+	}
+
+	// Slot released: serving resumes.
+	<-srv.inflight
+	resp, body = postJSON(t, ts.URL+"/search", `{"query": "customer"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain status = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+func TestSearchQueueHoldsThenAdmits(t *testing.T) {
+	srv := NewWith(sharedSys(), Config{MaxInflight: 1, QueueDepth: 1})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	srv.inflight <- struct{}{}
+	// This request parks in the queue waiting for the slot.
+	type result struct {
+		status int
+		body   string
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, body := postJSON(t, ts.URL+"/search", `{"query": "customer"}`)
+		done <- result{resp.StatusCode, string(body)}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(srv.queue) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never entered the admission queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Queue full + saturated: the next one is shed.
+	resp, body := postJSON(t, ts.URL+"/search", `{"query": "customer"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queue-full status = %d, body %s", resp.StatusCode, body)
+	}
+	// Freeing the slot admits the queued request.
+	<-srv.inflight
+	r := <-done
+	if r.status != http.StatusOK {
+		t.Fatalf("queued request status = %d, body %s", r.status, r.body)
+	}
+}
+
+// --- latency reporting --------------------------------------------------
+
+func TestHealthzReportsSearchLatency(t *testing.T) {
+	// A private System: the shared one's answer cache would make the first
+	// request a hit and the split non-deterministic.
+	sys := soda.NewSystem(soda.MiniBank(), soda.Options{})
+	sys.Warm()
+	ts := httptest.NewServer(New(sys))
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 2; i++ {
+		if resp, body := postJSON(t, ts.URL+"/search", `{"query": "wealthy customers"}`); resp.StatusCode != http.StatusOK {
+			t.Fatalf("search %d status = %d, body %s", i, resp.StatusCode, body)
+		}
+	}
+	var h HealthResponse
+	if _, body := getBody(t, ts.URL+"/healthz"); true {
+		if err := json.Unmarshal([]byte(body), &h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lat := h.SearchLatency
+	if lat.Cold.Count != 1 || lat.Hit.Count != 1 {
+		t.Fatalf("latency counts hit=%d cold=%d, want 1/1", lat.Hit.Count, lat.Cold.Count)
+	}
+	if lat.Cold.P99Us <= 0 || lat.Hit.P99Us <= 0 {
+		t.Fatalf("latency p99s hit=%.2f cold=%.2f, want > 0", lat.Hit.P99Us, lat.Cold.P99Us)
+	}
+	if lat.Hit.MeanUs > lat.Cold.MeanUs {
+		t.Fatalf("cache hit (%.1fµs) slower than cold pipeline (%.1fµs)", lat.Hit.MeanUs, lat.Cold.MeanUs)
+	}
+}
+
+// --- response framing ---------------------------------------------------
+
+func TestSearchResponseContentLength(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/search", `{"query": "customer"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	cl := resp.Header.Get("Content-Length")
+	if cl == "" {
+		t.Fatal("no Content-Length on /search response")
+	}
+	if n, err := strconv.Atoi(cl); err != nil || n != len(body) {
+		t.Fatalf("Content-Length = %q, body is %d bytes", cl, len(body))
+	}
+}
+
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	var logged []string
+	srv := NewWith(sharedSys(), Config{Logf: func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}})
+	rec := httptest.NewRecorder()
+	srv.writeJSON(rec, http.StatusOK, map[string]any{"bad": make(chan int)})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status after encode failure = %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "encoding failed") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+	if len(logged) == 0 || !strings.Contains(logged[0], "encoding") {
+		t.Fatalf("encode failure not logged: %v", logged)
+	}
+}
+
+// --- cache stats over the wire ------------------------------------------
+
+// TestHealthzCacheEntriesAfterFeedback: feedback invalidates every cached
+// answer, and /healthz must stop counting the stale ones immediately —
+// the serving-side view of the Entries regression.
+func TestHealthzCacheEntriesAfterFeedback(t *testing.T) {
+	sys := soda.NewSystem(soda.MiniBank(), soda.Options{})
+	sys.Warm()
+	ts := httptest.NewServer(New(sys))
+	t.Cleanup(ts.Close)
+
+	entries := func() int {
+		t.Helper()
+		_, body := getBody(t, ts.URL+"/healthz")
+		var h HealthResponse
+		if err := json.Unmarshal([]byte(body), &h); err != nil {
+			t.Fatal(err)
+		}
+		return h.Cache.Entries
+	}
+	if resp, body := postJSON(t, ts.URL+"/search", `{"query": "customer"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := entries(); got < 1 {
+		t.Fatalf("entries after search = %d, want >= 1", got)
+	}
+	if resp, body := postJSON(t, ts.URL+"/feedback", `{"query": "customer", "result": 0, "like": true}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback status = %d, body %s", resp.StatusCode, body)
+	}
+	if got := entries(); got != 0 {
+		t.Fatalf("entries after feedback = %d, want 0 (stale entries reported as servable)", got)
+	}
+}
+
+// --- /admin/decommission ------------------------------------------------
+
+func TestDecommissionEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	post := func(query string) (*http.Response, []byte) {
+		t.Helper()
+		return postJSON(t, ts.URL+"/admin/decommission"+query, "")
+	}
+	if resp, body := post(""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing replica: status = %d, body %s", resp.StatusCode, body)
+	}
+	// The shared System's identity is "local"; refusing self-decommission
+	// is a conflict.
+	if resp, body := post("?replica=local"); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("self decommission: status = %d, body %s", resp.StatusCode, body)
+	}
+	resp, body := post("?replica=ghost")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decommission ghost: status = %d, body %s", resp.StatusCode, body)
+	}
+	var dr DecommissionResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if !dr.OK || dr.Replica != "ghost" {
+		t.Fatalf("decommission response = %+v", dr)
+	}
+}

@@ -123,6 +123,15 @@ type Options struct {
 	// SyncInterval is how often the tailer polls each peer (default
 	// 500ms). Lower values converge faster at the cost of more chatter.
 	SyncInterval time.Duration
+	// PeerDeadAfter bounds how long a configured peer can stay silent
+	// before it stops gating feedback-WAL folding and compaction. 0 (the
+	// default) keeps the conservative behaviour: a permanently-dead
+	// -peers entry pins the WAL until an operator decommissions it
+	// (System.Decommission or POST /admin/decommission). A positive
+	// bound trades that safety for bounded staleness: peers silent
+	// longer are folded past and re-enter through the catch-up path if
+	// they return.
+	PeerDeadAfter time.Duration
 	// Logf, when set, receives replication diagnostics (unreachable
 	// peers, catch-up adoptions). nil is silent.
 	Logf func(format string, args ...any)
@@ -144,6 +153,7 @@ func (o Options) internal() core.Options {
 		Parallelism:    o.Parallelism,
 		CacheSize:      o.CacheSize,
 		CompactEvery:   o.CompactEvery,
+		PeerDeadAfter:  o.PeerDeadAfter,
 		Dialect:        d,
 		DisableBridges: o.DisableBridges,
 		DisableDBpedia: o.DisableDBpedia,
@@ -522,6 +532,17 @@ func (s *System) ClusterStatus() *ClusterStatus {
 // store-less System).
 func (s *System) ReplicaID() string { return s.sys.ReplicaID() }
 
+// Decommission permanently removes a peer replica from the feedback fold
+// quorum, letting WAL folding and compaction advance past a peer that is
+// never coming back (the /admin/decommission endpoint calls this; see
+// also Options.PeerDeadAfter for the automatic bounded-staleness
+// variant). A decommissioned peer that does return finds itself behind
+// the fold point and adopts the folded state through the normal catch-up
+// path. Decommissioning the local replica is refused.
+func (s *System) Decommission(replicaID string) error {
+	return s.sys.DecommissionReplica(replicaID)
+}
+
 // ClearReplicaIdentity removes the persisted replica id from a (closed)
 // data directory. Pre-baked directories that will be copied to several
 // fleet members must not ship one identity; after clearing, each replica
@@ -722,23 +743,66 @@ type SearchOptions struct {
 	Snippets bool
 }
 
-// SearchWith is Search with per-request options: a target SQL dialect
-// and/or cached snippet execution.
-func (s *System) SearchWith(query string, opts SearchOptions) (*Answer, error) {
+// coreSearchOptions resolves public SearchOptions into the core form,
+// rejecting unknown dialect names.
+func coreSearchOptions(opts SearchOptions) (core.SearchOptions, error) {
 	var so core.SearchOptions
 	if opts.Dialect != "" {
 		d, ok := sqlast.DialectByName(opts.Dialect)
 		if !ok {
-			return nil, fmt.Errorf("soda: unknown dialect %q (supported: %s)",
+			return so, fmt.Errorf("soda: unknown dialect %q (supported: %s)",
 				opts.Dialect, strings.Join(Dialects(), ", "))
 		}
 		so.Dialect = d
 	}
 	so.Snippets = opts.Snippets
+	return so, nil
+}
+
+// SearchWith is Search with per-request options: a target SQL dialect
+// and/or cached snippet execution.
+func (s *System) SearchWith(query string, opts SearchOptions) (*Answer, error) {
+	so, err := coreSearchOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	a, err := s.sys.SearchWith(query, so)
 	if err != nil {
 		return nil, err
 	}
+	return s.answerOf(a), nil
+}
+
+// SearchRendered is the serving layer's hot path. On a repeat of a query
+// already rendered (same raw query string, dialect and snippet flag,
+// ranking unchanged since) it returns the exact bytes previously produced
+// by render — no pipeline, no re-encode, and zero heap allocations in the
+// core lookup — with hit=true. Otherwise it searches, calls render on the
+// answer, caches the returned bytes alongside the analysis and returns
+// them with hit=false. The returned bytes are shared with the cache:
+// callers must write them out unmodified.
+func (s *System) SearchRendered(query string, opts SearchOptions, render func(*Answer) ([]byte, error)) (data []byte, hit bool, err error) {
+	so, err := coreSearchOptions(opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if data, ok := s.sys.CachedRendered(query, so); ok {
+		return data, true, nil
+	}
+	a, err := s.sys.SearchWith(query, so)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err = render(s.answerOf(a))
+	if err != nil {
+		return nil, false, err
+	}
+	s.sys.AttachRendered(query, so, a, data)
+	return data, false, nil
+}
+
+// answerOf wraps a completed core analysis in the public Answer shape.
+func (s *System) answerOf(a *core.Analysis) *Answer {
 	ans := &Answer{Complexity: a.Complexity, Ignored: a.Ignored, analysis: a}
 	for _, t := range a.Terms {
 		ans.Terms = append(ans.Terms, t.Text)
@@ -770,7 +834,7 @@ func (s *System) SearchWith(query string, opts SearchOptions) (*Answer, error) {
 		}
 		ans.Results = append(ans.Results, res)
 	}
-	return ans, nil
+	return ans
 }
 
 // ParseQuery exposes the input-pattern parser for tooling; most callers
