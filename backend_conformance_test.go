@@ -96,6 +96,134 @@ func conformanceRun(t *testing.T, d *sqlast.Dialect, mem, sq backend.Executor) {
 	}
 }
 
+// preparedCase is one parameterized conformance statement: generic SQL
+// with ?-placeholders, a name per placeholder (repeats share a binding),
+// and the named argument values.
+type preparedCase struct {
+	query string
+	sql   string
+	names []string
+	args  map[string]backend.Value
+}
+
+// preparedCorpus exercises every parameter type and the shared-name
+// binding (one postgres ordinal, two ?-dialect occurrences).
+func preparedCorpus() []preparedCase {
+	return []preparedCase{
+		{
+			query: "salary band",
+			sql:   "select i.firstname, i.lastname, i.salary from individuals i where i.salary >= ? and i.salary <= ?",
+			names: []string{"lo", "hi"},
+			args:  map[string]backend.Value{"lo": backend.Float(50000), "hi": backend.Float(900000)},
+		},
+		{
+			query: "households per city",
+			sql:   "select a.city, count(*) from addresses a where a.city = ? group by a.city",
+			names: []string{"city"},
+			args:  map[string]backend.Value{"city": backend.Str("Zürich")},
+		},
+		{
+			query: "trades since",
+			sql:   "select t.id from transactions t where t.trade_dt >= ? order by t.id limit 25",
+			names: []string{"since"},
+			args:  map[string]backend.Value{"since": backend.Date(2010, 1, 1)},
+		},
+		{
+			query: "pivot salary (shared binding)",
+			sql:   "select i.id from individuals i where i.salary >= ? or i.salary + i.salary <= ?",
+			names: []string{"pivot", "pivot"},
+			args:  map[string]backend.Value{"pivot": backend.Float(120000)},
+		},
+	}
+}
+
+// prepareCase parses the generic text and stamps the parameter names so
+// repeated names share a postgres ordinal.
+func prepareCase(t *testing.T, c preparedCase) *sqlast.Select {
+	t.Helper()
+	sel, err := sqlparse.Parse(c.sql)
+	if err != nil {
+		t.Fatalf("%q: %v", c.query, err)
+	}
+	params := sqlast.ParamsOf(sel)
+	if len(params) != len(c.names) {
+		t.Fatalf("%q: %d placeholders, %d names", c.query, len(params), len(c.names))
+	}
+	for i, p := range params {
+		p.Name = c.names[i]
+	}
+	sqlast.NumberParams(sel)
+	return sel
+}
+
+// execPrepared runs one case through an executor's prepared path,
+// building the positional arguments from the prepared statement's own
+// binding order (which differs between $N and ? dialects).
+func execPrepared(t *testing.T, ex backend.Executor, sel *sqlast.Select, c preparedCase) *backend.Result {
+	t.Helper()
+	pq, err := ex.Prepare(context.Background(), sel)
+	if err != nil {
+		t.Fatalf("%q: %s prepare: %v", c.query, ex.Name(), err)
+	}
+	defer pq.Close()
+	var args []backend.Value
+	for _, name := range pq.BindNames() {
+		v, ok := c.args[name]
+		if !ok {
+			t.Fatalf("%q: %s wants unknown binding %q", c.query, ex.Name(), name)
+		}
+		args = append(args, v)
+	}
+	res, err := ex.ExecPrepared(context.Background(), pq, args)
+	if err != nil {
+		t.Fatalf("%q: %s exec prepared: %v", c.query, ex.Name(), err)
+	}
+	return res
+}
+
+// TestPreparedConformanceSQLite is the prepared-statement half of the
+// hermetic conformance suite: the parameterized corpus must return
+// identical row multisets from the memory engine's eval-time binding and
+// the sqldb driver's database/sql placeholder binding, in every dialect
+// (?-placeholders and $N both on the wire), and the rows must be
+// non-trivial so "both empty" can't pass vacuously.
+func TestPreparedConformanceSQLite(t *testing.T) {
+	world := MiniBank()
+	mem := memory.New(world.DB())
+	for _, d := range sqlast.Dialects() {
+		t.Run(d.Name(), func(t *testing.T) {
+			sq, err := sqldb.Open("sodalite", fmt.Sprintf(":memory:?dialect=%s", d.Name()), d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sq.Close()
+			if err := sq.Load(context.Background(), world.DB()); err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range preparedCorpus() {
+				sel := prepareCase(t, c)
+				want := execPrepared(t, mem, sel, c)
+				got := execPrepared(t, sq, sel, c)
+				if want.NumRows() == 0 {
+					t.Errorf("%q: zero rows — the case does not exercise binding", c.query)
+					continue
+				}
+				if got.NumRows() != want.NumRows() {
+					t.Errorf("%q: sqldb returned %d rows, memory %d", c.query, got.NumRows(), want.NumRows())
+					continue
+				}
+				wk, gk := sortedKeys(want), sortedKeys(got)
+				for i := range wk {
+					if wk[i] != gk[i] {
+						t.Errorf("%q: row multisets diverge at %d:\n  memory: %q\n  sqldb:  %q", c.query, i, wk[i], gk[i])
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestBackendConformanceSQLite(t *testing.T) {
 	world := MiniBank()
 	mem := memory.New(world.DB())

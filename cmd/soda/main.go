@@ -37,6 +37,7 @@ func main() {
 	driver := flag.String("driver", "", `database/sql driver for -backend sqldb ("sodalite", "pgwire")`)
 	dsn := flag.String("dsn", "", "data source name for -backend sqldb")
 	load := flag.Bool("load", false, "force-load the world's corpus into the SQL backend")
+	queries := flag.String("queries", "", "JSON file of saved parameterized queries to register at startup")
 	flag.Parse()
 
 	var world *soda.World
@@ -63,6 +64,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer sys.Close()
+	if *queries != "" {
+		n, err := loadQueries(sys, *queries)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("registered %d saved quer%s from %s\n", n, plural(n, "y", "ies"), *queries)
+	}
 
 	if *query != "" {
 		run(sys, *query, *explain)
@@ -101,6 +109,32 @@ commands: like N | dislike N    relevance feedback on result N
 			last = run(sys, line, *explain)
 		}
 	}
+}
+
+// loadQueries registers the saved-query library from a JSON file (see
+// soda.QueriesFromJSON for the format).
+func loadQueries(sys *soda.System, path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	qs, err := soda.QueriesFromJSON(data)
+	if err != nil {
+		return 0, err
+	}
+	for _, q := range qs {
+		if err := sys.RegisterQuery(q); err != nil {
+			return 0, fmt.Errorf("%s: query %q: %w", path, q.Name, err)
+		}
+	}
+	return len(qs), nil
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // feedback applies "like N"/"dislike N" to the last answer.
@@ -176,6 +210,17 @@ func run(sys *soda.System, query string, explain bool) *soda.Answer {
 	}
 	for i, r := range ans.Results {
 		fmt.Printf("\n[%d] score %.2f\n%s\n", i+1, r.Score, r.SQL)
+		if r.Approved {
+			var binds []string
+			for _, p := range r.Params {
+				b := fmt.Sprintf("%s=%s", p.Name, p.Value)
+				if p.FromDefault {
+					b += " (default)"
+				}
+				binds = append(binds, b)
+			}
+			fmt.Printf("(approved query %q, %s)\n", r.QueryName, strings.Join(binds, ", "))
+		}
 		if r.Disconnected {
 			fmt.Println("(warning: entry points not fully connected — cross product)")
 		}

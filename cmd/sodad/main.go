@@ -25,6 +25,11 @@
 //	-load               force-load the world's corpus (CREATE TABLE +
 //	                    INSERT) into the SQL backend; without it the
 //	                    corpus is loaded only when its tables are missing
+//	-queries string     JSON file of saved parameterized queries to
+//	                    register at startup (see the README's "Saved
+//	                    queries" guide for the format); registration is
+//	                    last-write-wins, so re-running with the same file
+//	                    is idempotent
 //	-data-dir string    persistent state directory (feedback WAL + index
 //	                    snapshots). Empty runs in-memory: feedback dies
 //	                    with the process. With a directory, relevance
@@ -85,6 +90,11 @@
 //	GET  /explain?q=customers+Zürich
 //	    Plain-text pipeline trace in the shape of Figures 4-6.
 //
+//	PUT/GET/DELETE /admin/queries/{name}, GET /admin/queries
+//	    Saved-query library: register approved parameterized queries that
+//	    /search ranks alongside generated statements and executes through
+//	    prepared statements with bound parameters.
+//
 //	POST /admin/decommission?replica=<id>
 //	    Permanently removes a dead peer from the feedback fold quorum so
 //	    WAL folding and compaction can advance without it.
@@ -131,6 +141,7 @@ func main() {
 		driver      = flag.String("driver", "", `database/sql driver for -backend sqldb ("sodalite", "pgwire")`)
 		dsn         = flag.String("dsn", "", "data source name for -backend sqldb")
 		load        = flag.Bool("load", false, "force-load the world's corpus into the SQL backend")
+		queriesFile = flag.String("queries", "", "JSON file of saved parameterized queries to register at startup")
 		peers       = flag.String("peers", "", "comma-separated base URLs of the other fleet replicas (requires -data-dir)")
 		replicaID   = flag.String("replica-id", "", "stable replica identity within the fleet (empty = generate and persist)")
 		syncEvery   = flag.Duration("sync-interval", 0, "peer poll interval (default 500ms)")
@@ -140,7 +151,7 @@ func main() {
 	flag.Parse()
 	be := backendOptions{Backend: *backendName, Driver: *driver, DSN: *dsn, Load: *load}
 	cl := clusterOptions{Peers: splitPeers(*peers), ReplicaID: *replicaID, SyncInterval: *syncEvery, PeerDeadAfter: *peerDead}
-	if err := run(*addr, *world, *dialect, *dataDir, be, cl, *parallelism, *cacheSize, *topN, *maxInflight); err != nil {
+	if err := run(*addr, *world, *dialect, *dataDir, *queriesFile, be, cl, *parallelism, *cacheSize, *topN, *maxInflight); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -170,7 +181,7 @@ func splitPeers(s string) []string {
 	return out
 }
 
-func run(addr, world, dialect, dataDir string, be backendOptions, cl clusterOptions, parallelism, cacheSize, topN, maxInflight int) error {
+func run(addr, world, dialect, dataDir, queriesFile string, be backendOptions, cl clusterOptions, parallelism, cacheSize, topN, maxInflight int) error {
 	var w *soda.World
 	switch world {
 	case "minibank":
@@ -230,6 +241,22 @@ func run(addr, world, dialect, dataDir string, be backendOptions, cl clusterOpti
 		if err != nil {
 			return fmt.Errorf("connecting execution backend: %w", err)
 		}
+	}
+	if queriesFile != "" {
+		data, err := os.ReadFile(queriesFile)
+		if err != nil {
+			return fmt.Errorf("reading query library: %w", err)
+		}
+		qs, err := soda.QueriesFromJSON(data)
+		if err != nil {
+			return err
+		}
+		for _, q := range qs {
+			if err := sys.RegisterQuery(q); err != nil {
+				return fmt.Errorf("query library %s: %q: %w", queriesFile, q.Name, err)
+			}
+		}
+		log.Printf("registered %d saved quer(ies) from %s", len(qs), queriesFile)
 	}
 	log.Printf("warming %s (%d tables, backend %s)...", w.Name(), len(w.TableNames()), sys.Backend())
 	sys.Warm()

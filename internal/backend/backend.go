@@ -104,6 +104,34 @@ type Executor interface {
 	// answer cache's zero-execution guarantee on snippet hits is verified
 	// against this counter.
 	ExecCount() uint64
+
+	// Prepare readies a parameterized statement (a Select containing
+	// sqlast.Param placeholders) for repeated execution. The statement is
+	// rendered in the executor's dialect, so the same AST prepares as
+	// "$1" on Postgres and "?" elsewhere. Preparing a statement does not
+	// count as an execution.
+	Prepare(ctx context.Context, sel *sqlast.Select) (PreparedQuery, error)
+
+	// ExecPrepared runs a prepared statement with positional arguments —
+	// one Value per entry of prepared.BindNames(), in that order. It is
+	// the only execution path that carries user-supplied values separately
+	// from the SQL text: saved queries must never interpolate bindings
+	// into the statement.
+	ExecPrepared(ctx context.Context, prepared PreparedQuery, args []Value) (*Result, error)
+}
+
+// PreparedQuery is a statement prepared once against one executor and
+// executable many times with different argument bindings. A prepared
+// query is only valid on the executor that prepared it.
+type PreparedQuery interface {
+	// SQL returns the rendered statement text with placeholders.
+	SQL() string
+	// BindNames returns the binding-order parameter names declared by the
+	// statement's sqlast.Param nodes; ExecPrepared takes one argument per
+	// entry, in this order.
+	BindNames() []string
+	// Close releases any backend resources held by the statement.
+	Close() error
 }
 
 // Catalog is the schema/statistics view the planner and snippet path

@@ -7,6 +7,7 @@ package memory
 
 import (
 	"context"
+	"fmt"
 	"sync/atomic"
 
 	"soda/internal/backend"
@@ -32,6 +33,38 @@ func (e *Executor) Name() string { return "memory" }
 func (e *Executor) Exec(_ context.Context, sel *sqlast.Select) (*backend.Result, error) {
 	e.execs.Add(1)
 	return engine.Exec(e.db, sel)
+}
+
+// prepared is the memory backend's prepared statement: the AST itself,
+// executed with eval-time binding (no substitution into the tree).
+type prepared struct {
+	sel   *sqlast.Select
+	text  string
+	names []string
+}
+
+func (p *prepared) SQL() string         { return p.text }
+func (p *prepared) BindNames() []string { return append([]string(nil), p.names...) }
+func (p *prepared) Close() error        { return nil }
+
+// Prepare readies a parameterized statement. The engine executes the AST
+// in place, binding arguments by placeholder ordinal at evaluation time,
+// so the binding order is the statement's ordinal order.
+func (e *Executor) Prepare(_ context.Context, sel *sqlast.Select) (backend.PreparedQuery, error) {
+	return &prepared{sel: sel, text: sel.Render(sqlast.Generic), names: sqlast.BindNamesByOrdinal(sel)}, nil
+}
+
+// ExecPrepared runs a prepared statement with eval-time bindings.
+func (e *Executor) ExecPrepared(_ context.Context, pq backend.PreparedQuery, args []backend.Value) (*backend.Result, error) {
+	p, ok := pq.(*prepared)
+	if !ok {
+		return nil, fmt.Errorf("memory: prepared statement belongs to another backend")
+	}
+	if len(args) != len(p.names) {
+		return nil, fmt.Errorf("memory: %d argument(s) for %d placeholder(s)", len(args), len(p.names))
+	}
+	e.execs.Add(1)
+	return engine.ExecParams(e.db, p.sel, args)
 }
 
 // Catalog exposes the dataset's schema.

@@ -4,8 +4,10 @@
 // actual Postgres; this driver implements just enough of the v3 wire
 // protocol for that job: startup, password authentication (trust,
 // cleartext, MD5 and SCRAM-SHA-256), the simple query protocol with
-// text-format results, and error reporting. No TLS, no placeholders, no
-// COPY — SODA renders complete statements, so none are needed.
+// text-format results, the extended query protocol
+// (Parse/Bind/Execute/Sync) for parameterized statements with $N
+// placeholders, and error reporting. No TLS, no COPY — SODA renders
+// complete statements, so neither is needed.
 //
 // DSN forms:
 //
@@ -258,17 +260,21 @@ func (c *conn) IsValid() bool { return !c.dead }
 
 func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
 	if len(args) > 0 {
-		return nil, fmt.Errorf("pgwire: placeholders not supported")
+		rows, _, err := c.extendedQuery(ctx, query, args)
+		return rows, err
 	}
 	rows, _, err := c.simpleQuery(ctx, query)
 	return rows, err
 }
 
 func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	var tag string
+	var err error
 	if len(args) > 0 {
-		return nil, fmt.Errorf("pgwire: placeholders not supported")
+		_, tag, err = c.extendedQuery(ctx, query, args)
+	} else {
+		_, tag, err = c.simpleQuery(ctx, query)
 	}
-	_, tag, err := c.simpleQuery(ctx, query)
 	if err != nil {
 		return nil, err
 	}
@@ -336,6 +342,150 @@ func (c *conn) simpleQuery(ctx context.Context, query string) (*rows, string, er
 	}
 }
 
+// extendedQuery runs one parameterized statement through the extended
+// query protocol: Parse (unnamed statement), Bind (text-format
+// arguments, shipped separately from the SQL text), Describe, Execute
+// and Sync in a single batch, then the response stream is drained to
+// ReadyForQuery. Like simpleQuery it materialises the full text-format
+// result and never reports ErrBadConn after the batch was sent.
+func (c *conn) extendedQuery(ctx context.Context, query string, args []driver.NamedValue) (*rows, string, error) {
+	if deadline, ok := ctx.Deadline(); ok {
+		c.nc.SetDeadline(deadline)
+		defer c.nc.SetDeadline(time.Time{})
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, "", err
+	}
+	params, err := orderArgs(args)
+	if err != nil {
+		return nil, "", err
+	}
+
+	var parse msgBuilder
+	parse.cstr("") // unnamed statement
+	parse.cstr(query)
+	parse.int16(0) // parameter types: all inferred by the server
+
+	var bind msgBuilder
+	bind.cstr("") // unnamed portal
+	bind.cstr("") // unnamed statement
+	bind.int16(0) // parameter format codes: all text
+	bind.int16(int16(len(params)))
+	for _, v := range params {
+		s, null := encodeText(v)
+		if null {
+			bind.int32(-1)
+			continue
+		}
+		bind.int32(int32(len(s)))
+		bind.raw([]byte(s))
+	}
+	bind.int16(0) // result format codes: all text
+
+	var describe msgBuilder
+	describe.byte('P')
+	describe.cstr("") // unnamed portal
+
+	var execute msgBuilder
+	execute.cstr("") // unnamed portal
+	execute.int32(0) // no row limit
+
+	// One batch, one flush: Parse, Bind, Describe, Execute, Sync.
+	if err := errFirst(
+		c.writeMsg('P', parse.bytes()),
+		c.writeMsg('B', bind.bytes()),
+		c.writeMsg('D', describe.bytes()),
+		c.writeMsg('E', execute.bytes()),
+		c.writeMsg('S', nil),
+	); err != nil {
+		c.dead = true
+		return nil, "", fmt.Errorf("pgwire: write: %w", err)
+	}
+
+	res := &rows{}
+	var tag string
+	var qerr error
+	for {
+		typ, body, err := c.readMsg()
+		if err != nil {
+			c.dead = true
+			return nil, "", fmt.Errorf("pgwire: %w", err)
+		}
+		switch typ {
+		case '1', '2', 'n': // ParseComplete, BindComplete, NoData
+		case 'T':
+			res.fields = parseRowDescription(body)
+		case 'D':
+			row, err := parseDataRow(body, res.fields)
+			if err != nil && qerr == nil {
+				qerr = err
+			}
+			res.data = append(res.data, row)
+		case 'C':
+			tag = cstring(body)
+		case 's': // PortalSuspended: cannot happen with no row limit
+		case 'E':
+			if qerr == nil {
+				qerr = pgError(body)
+			}
+		case 'Z':
+			if qerr != nil {
+				return nil, "", qerr
+			}
+			return res, tag, nil
+		case 'N', 'S': // Notice, ParameterStatus
+		default:
+		}
+	}
+}
+
+// orderArgs sorts the driver's arguments into binding order.
+func orderArgs(args []driver.NamedValue) ([]driver.Value, error) {
+	params := make([]driver.Value, len(args))
+	for _, a := range args {
+		if a.Ordinal < 1 || a.Ordinal > len(args) {
+			return nil, fmt.Errorf("pgwire: argument ordinal %d out of range", a.Ordinal)
+		}
+		params[a.Ordinal-1] = a.Value
+	}
+	return params, nil
+}
+
+// encodeText renders one argument in the text format the Bind message
+// carries; the server casts it to the placeholder's inferred type.
+func encodeText(v driver.Value) (s string, null bool) {
+	switch x := v.(type) {
+	case nil:
+		return "", true
+	case int64:
+		return strconv.FormatInt(x, 10), false
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64), false
+	case bool:
+		if x {
+			return "true", false
+		}
+		return "false", false
+	case time.Time:
+		return x.Format("2006-01-02 15:04:05.999999999Z07:00"), false
+	case []byte:
+		return string(x), false
+	case string:
+		return x, false
+	default:
+		return fmt.Sprint(x), false
+	}
+}
+
+func errFirst(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // --- message IO ---------------------------------------------------------
 
 // writeMsg frames and sends one message; typ 0 means the untyped
@@ -387,6 +537,11 @@ type msgBuilder struct{ b []byte }
 func (m *msgBuilder) int32(v int32) {
 	var x [4]byte
 	binary.BigEndian.PutUint32(x[:], uint32(v))
+	m.b = append(m.b, x[:]...)
+}
+func (m *msgBuilder) int16(v int16) {
+	var x [2]byte
+	binary.BigEndian.PutUint16(x[:], uint16(v))
 	m.b = append(m.b, x[:]...)
 }
 func (m *msgBuilder) byte(v byte)   { m.b = append(m.b, v) }
@@ -444,19 +599,32 @@ type affected int64
 func (a affected) LastInsertId() (int64, error) { return 0, fmt.Errorf("pgwire: no insert ids") }
 func (a affected) RowsAffected() (int64, error) { return int64(a), nil }
 
-// stmt is the prepared-statement fallback (no placeholders).
+// stmt defers to the connection's query paths at execution time (the
+// extended protocol re-parses on each execution via the unnamed
+// statement, which is all SODA's workload needs). NumInput reports -1:
+// the driver doesn't parse SQL, so the placeholder count is the
+// server's to check.
 type stmt struct {
 	c     *conn
 	query string
 }
 
 func (s *stmt) Close() error  { return nil }
-func (s *stmt) NumInput() int { return 0 }
-func (s *stmt) Exec([]driver.Value) (driver.Result, error) {
-	return s.c.ExecContext(context.Background(), s.query, nil)
+func (s *stmt) NumInput() int { return -1 }
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	return s.c.ExecContext(context.Background(), s.query, named(args))
 }
-func (s *stmt) Query([]driver.Value) (driver.Rows, error) {
-	return s.c.QueryContext(context.Background(), s.query, nil)
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.c.QueryContext(context.Background(), s.query, named(args))
+}
+
+// named adapts legacy positional driver values to NamedValue ordinals.
+func named(args []driver.Value) []driver.NamedValue {
+	out := make([]driver.NamedValue, len(args))
+	for i, a := range args {
+		out[i] = driver.NamedValue{Ordinal: i + 1, Value: a}
+	}
+	return out
 }
 
 // --- result decoding ----------------------------------------------------

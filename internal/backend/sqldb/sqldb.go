@@ -111,6 +111,77 @@ func (e *Executor) Exec(ctx context.Context, sel *sqlast.Select) (*backend.Resul
 	if err != nil {
 		return nil, fmt.Errorf("sqldb: %w", err)
 	}
+	return materialize(rows)
+}
+
+// prepared wraps a database/sql prepared statement together with its
+// binding order in the executor's dialect.
+type prepared struct {
+	stmt  *sql.Stmt
+	text  string
+	names []string
+	owner *Executor
+}
+
+func (p *prepared) SQL() string         { return p.text }
+func (p *prepared) BindNames() []string { return append([]string(nil), p.names...) }
+func (p *prepared) Close() error        { return p.stmt.Close() }
+
+// Prepare renders the statement in the executor's dialect and prepares
+// it on the pool. The binding order follows the dialect: one argument
+// per ? occurrence, or one per distinct $N ordinal on Postgres.
+func (e *Executor) Prepare(ctx context.Context, sel *sqlast.Select) (backend.PreparedQuery, error) {
+	text := sel.Render(e.dialect)
+	stmt, err := e.db.PrepareContext(ctx, text)
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: prepare: %w", err)
+	}
+	return &prepared{stmt: stmt, text: text, names: e.dialect.BindNames(sel), owner: e}, nil
+}
+
+// ExecPrepared runs a prepared statement, shipping the arguments to the
+// database separately from the SQL text (the driver's parameter path —
+// values are never interpolated into the statement).
+func (e *Executor) ExecPrepared(ctx context.Context, pq backend.PreparedQuery, args []backend.Value) (*backend.Result, error) {
+	p, ok := pq.(*prepared)
+	if !ok || p.owner != e {
+		return nil, fmt.Errorf("sqldb: prepared statement belongs to another backend")
+	}
+	if len(args) != len(p.names) {
+		return nil, fmt.Errorf("sqldb: %d argument(s) for %d placeholder(s)", len(args), len(p.names))
+	}
+	e.execs.Add(1)
+	driverArgs := make([]any, len(args))
+	for i, v := range args {
+		driverArgs[i] = driverArg(v)
+	}
+	rows, err := p.stmt.QueryContext(ctx, driverArgs...)
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: %w", err)
+	}
+	return materialize(rows)
+}
+
+// driverArg converts a Value into what database/sql drivers accept.
+func driverArg(v backend.Value) any {
+	switch v.Kind {
+	case backend.KNull:
+		return nil
+	case backend.KInt:
+		return v.I
+	case backend.KFloat:
+		return v.F
+	case backend.KBool:
+		return v.B
+	case backend.KDate:
+		return v.T
+	default:
+		return v.S
+	}
+}
+
+// materialize scans a row set into the shared Result shape and closes it.
+func materialize(rows *sql.Rows) (*backend.Result, error) {
 	defer rows.Close()
 	cols, err := rows.Columns()
 	if err != nil {

@@ -14,10 +14,11 @@
 //	:memory:          a private database per sql.DB (like SQLite)
 //	name?dialect=db2  the SQL dialect arriving statements are written in
 //
-// Statements are executed one at a time (no placeholders, no
-// transactions — the loader and executor never use either); SELECTs run
-// under a read lock, DDL/DML under a write lock, so one database can
-// serve concurrent readers.
+// Statements are executed one at a time (no transactions — the loader
+// and executor never use either); SELECTs run under a read lock, DDL/DML
+// under a write lock, so one database can serve concurrent readers.
+// SELECTs may carry placeholders (? or $N, per the DSN dialect); the
+// engine binds the arguments at evaluation time.
 package sqldriver
 
 import (
@@ -146,17 +147,11 @@ func (c *conn) Prepare(query string) (driver.Stmt, error) {
 }
 
 func (c *conn) QueryContext(_ context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
-	if len(args) > 0 {
-		return nil, fmt.Errorf("sodalite: placeholders not supported")
-	}
-	return c.run(query)
+	return c.run(query, args)
 }
 
 func (c *conn) ExecContext(_ context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
-	if len(args) > 0 {
-		return nil, fmt.Errorf("sodalite: placeholders not supported")
-	}
-	rows, err := c.run(query)
+	rows, err := c.run(query, args)
 	if err != nil {
 		return nil, err
 	}
@@ -165,22 +160,31 @@ func (c *conn) ExecContext(_ context.Context, query string, args []driver.NamedV
 }
 
 // run parses the statement text in the connection's dialect and executes
-// it against the shared instance.
-func (c *conn) run(query string) (driver.Rows, error) {
+// it against the shared instance. Arguments bind to the statement's
+// placeholders by ordinal (each ? is its own ordinal; $N binds argument
+// N), exactly as the engine evaluates Param nodes.
+func (c *conn) run(query string, args []driver.NamedValue) (driver.Rows, error) {
 	st, err := sqlparse.ParseStatementDialect(query, c.dialect)
 	if err != nil {
 		return nil, err
 	}
 	switch st := st.(type) {
 	case *sqlast.Select:
+		params, err := bindArgs(args)
+		if err != nil {
+			return nil, err
+		}
 		c.inst.mu.RLock()
 		defer c.inst.mu.RUnlock()
-		res, err := engine.Exec(c.inst.db, st)
+		res, err := engine.ExecParams(c.inst.db, st, params)
 		if err != nil {
 			return nil, err
 		}
 		return &resultRows{cols: res.Columns, rows: res.Rows}, nil
 	case *sqlparse.CreateTable:
+		if len(args) > 0 {
+			return nil, fmt.Errorf("sodalite: placeholders in DDL not supported")
+		}
 		c.inst.mu.Lock()
 		defer c.inst.mu.Unlock()
 		if err := createTable(c.inst.db, st); err != nil {
@@ -188,6 +192,9 @@ func (c *conn) run(query string) (driver.Rows, error) {
 		}
 		return &resultRows{}, nil
 	case *sqlparse.Insert:
+		if len(args) > 0 {
+			return nil, fmt.Errorf("sodalite: placeholders in INSERT not supported")
+		}
 		c.inst.mu.Lock()
 		defer c.inst.mu.Unlock()
 		n, err := insertRows(c.inst.db, st)
@@ -320,21 +327,74 @@ func recoverTo(err *error) {
 	}
 }
 
-// stmt is the prepared-statement fallback path.
+// bindArgs converts the driver's positional arguments into the engine's
+// binding slice: params[i] binds placeholder ordinal i+1.
+func bindArgs(args []driver.NamedValue) ([]engine.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	params := make([]engine.Value, len(args))
+	for _, a := range args {
+		if a.Ordinal < 1 || a.Ordinal > len(args) {
+			return nil, fmt.Errorf("sodalite: argument ordinal %d out of range", a.Ordinal)
+		}
+		v, err := engineValue(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		params[a.Ordinal-1] = v
+	}
+	return params, nil
+}
+
+// engineValue converts a normalised driver argument to an engine value.
+func engineValue(v any) (engine.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return engine.Null(), nil
+	case int64:
+		return engine.Int(x), nil
+	case float64:
+		return engine.Float(x), nil
+	case bool:
+		return engine.Bool(x), nil
+	case time.Time:
+		return engine.DateOf(x), nil
+	case []byte:
+		return engine.Str(string(x)), nil
+	case string:
+		return engine.Str(x), nil
+	default:
+		return engine.Null(), fmt.Errorf("sodalite: unsupported argument type %T", v)
+	}
+}
+
+// stmt is the prepared-statement fallback path. NumInput reports -1 so
+// database/sql skips its argument-count check — the placeholder count is
+// only known after parsing, which happens at execution time.
 type stmt struct {
 	c     *conn
 	query string
 }
 
 func (s *stmt) Close() error  { return nil }
-func (s *stmt) NumInput() int { return 0 }
+func (s *stmt) NumInput() int { return -1 }
 
-func (s *stmt) Exec([]driver.Value) (driver.Result, error) {
-	return s.c.ExecContext(context.Background(), s.query, nil)
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	return s.c.ExecContext(context.Background(), s.query, named(args))
 }
 
-func (s *stmt) Query([]driver.Value) (driver.Rows, error) {
-	return s.c.QueryContext(context.Background(), s.query, nil)
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.c.QueryContext(context.Background(), s.query, named(args))
+}
+
+// named adapts legacy positional driver values to NamedValue ordinals.
+func named(args []driver.Value) []driver.NamedValue {
+	out := make([]driver.NamedValue, len(args))
+	for i, a := range args {
+		out[i] = driver.NamedValue{Ordinal: i + 1, Value: a}
+	}
+	return out
 }
 
 type affected int64

@@ -119,8 +119,49 @@ func TestErrors(t *testing.T) {
 			t.Errorf("%q should fail", bad)
 		}
 	}
-	if _, err := db.Exec("SELECT * FROM t WHERE id = ?", 1); err == nil {
-		t.Error("placeholders should be rejected")
+	if _, err := db.Exec("INSERT INTO t (id) VALUES (?)", 1); err == nil {
+		t.Error("placeholders in INSERT should be rejected")
+	}
+}
+
+func TestPlaceholders(t *testing.T) {
+	db := open(t, ":memory:")
+	mustExec(t, db, "CREATE TABLE t (id BIGINT, name TEXT)")
+	mustExec(t, db, "INSERT INTO t (id, name) VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+
+	var name string
+	if err := db.QueryRow("SELECT name FROM t WHERE id = ?", 2).Scan(&name); err != nil {
+		t.Fatal(err)
+	}
+	if name != "b" {
+		t.Fatalf("name = %q, want b", name)
+	}
+
+	// Each ? is its own binding ordinal.
+	var n int64
+	if err := db.QueryRow("SELECT count(*) FROM t WHERE id >= ? AND name <> ?", 2, "c").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("count = %d, want 1", n)
+	}
+
+	// $N placeholders bind by ordinal in the postgres dialect, and one
+	// argument may be referenced more than once.
+	pg := open(t, ":memory:?dialect=postgres")
+	mustExec(t, pg, `CREATE TABLE t (id BIGINT, name TEXT)`)
+	mustExec(t, pg, `INSERT INTO t (id, name) VALUES (1, 'a'), (2, 'b')`)
+	if err := pg.QueryRow(`SELECT count(*) FROM t WHERE id = $1 OR length(name) = $1`, 1).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+
+	// A placeholder with no bound argument fails when a row reaches it.
+	var rows int
+	if err := db.QueryRow("SELECT count(*) FROM t WHERE id = ?").Scan(&rows); err == nil {
+		t.Error("unbound placeholder should fail at evaluation")
 	}
 }
 

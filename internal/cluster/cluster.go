@@ -99,13 +99,16 @@ type WireKey struct {
 }
 
 // WireRecord is one replicated feedback record on the wire. Op uses the
-// store's numeric values (1 like, 2 dislike, 3 reset).
+// store's numeric values (1 like, 2 dislike, 3 reset, 4 set-query,
+// 5 delete-query). Payload carries the saved-query ops' opaque body
+// (base64 under encoding/json).
 type WireRecord struct {
-	Origin string    `json:"origin"`
-	Seq    uint64    `json:"seq"`
-	LC     uint64    `json:"lc"`
-	Op     uint8     `json:"op"`
-	Keys   []WireKey `json:"keys,omitempty"`
+	Origin  string    `json:"origin"`
+	Seq     uint64    `json:"seq"`
+	LC      uint64    `json:"lc"`
+	Op      uint8     `json:"op"`
+	Keys    []WireKey `json:"keys,omitempty"`
+	Payload []byte    `json:"payload,omitempty"`
 }
 
 // WireFeedback is one folded adjustment in a catch-up state payload.
@@ -121,10 +124,27 @@ type WireOrigin struct {
 	LC  uint64 `json:"lc"`
 }
 
+// WireParam is one saved-query parameter spec on the wire.
+type WireParam struct {
+	Name       string `json:"name"`
+	Type       string `json:"type"`
+	Default    string `json:"default,omitempty"`
+	HasDefault bool   `json:"has_default,omitempty"`
+}
+
+// WireQuery is one folded saved query in a catch-up state payload.
+type WireQuery struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description,omitempty"`
+	SQL         string      `json:"sql"`
+	Params      []WireParam `json:"params,omitempty"`
+}
+
 // WireState is the anti-entropy payload: the responder's folded base and
 // unfolded tail.
 type WireState struct {
 	Feedback   []WireFeedback `json:"feedback,omitempty"`
+	Queries    []WireQuery    `json:"queries,omitempty"`
 	Epoch      uint64         `json:"epoch"`
 	FoldLC     uint64         `json:"fold_lc"`
 	FoldOrigin string         `json:"fold_origin,omitempty"`
@@ -157,7 +177,7 @@ type PullResponse struct {
 func ToWireRecords(recs []store.Record) []WireRecord {
 	out := make([]WireRecord, len(recs))
 	for i, r := range recs {
-		out[i] = WireRecord{Origin: r.Origin, Seq: r.OriginSeq, LC: r.LC, Op: uint8(r.Op), Keys: toWireKeys(r.Keys)}
+		out[i] = WireRecord{Origin: r.Origin, Seq: r.OriginSeq, LC: r.LC, Op: uint8(r.Op), Keys: toWireKeys(r.Keys), Payload: r.Payload}
 	}
 	return out
 }
@@ -167,13 +187,15 @@ func FromWireRecords(recs []WireRecord) ([]store.Record, error) {
 	out := make([]store.Record, len(recs))
 	for i, r := range recs {
 		op := store.Op(r.Op)
-		if op != store.OpLike && op != store.OpDislike && op != store.OpReset {
+		switch op {
+		case store.OpLike, store.OpDislike, store.OpReset, store.OpSetQuery, store.OpDelQuery:
+		default:
 			return nil, fmt.Errorf("cluster: unknown record op %d from %s:%d", r.Op, r.Origin, r.Seq)
 		}
 		if err := store.ValidReplicaID(r.Origin); err != nil {
 			return nil, err
 		}
-		out[i] = store.Record{Origin: r.Origin, OriginSeq: r.Seq, LC: r.LC, Op: op, Keys: fromWireKeys(r.Keys)}
+		out[i] = store.Record{Origin: r.Origin, OriginSeq: r.Seq, LC: r.LC, Op: op, Keys: fromWireKeys(r.Keys), Payload: r.Payload}
 	}
 	return out, nil
 }
@@ -206,6 +228,13 @@ func StateToWire(st *store.ReplicaState) *WireState {
 	for _, e := range st.Feedback {
 		ws.Feedback = append(ws.Feedback, WireFeedback{Key: WireKey(e.Key), Value: e.Value})
 	}
+	for _, q := range st.Queries {
+		wq := WireQuery{Name: q.Name, Description: q.Description, SQL: q.SQL}
+		for _, p := range q.Params {
+			wq.Params = append(wq.Params, WireParam(p))
+		}
+		ws.Queries = append(ws.Queries, wq)
+	}
 	for _, o := range st.Origins {
 		ws.Origins = append(ws.Origins, WireOrigin{ID: o.ID, Seq: o.Seq, LC: o.LC})
 	}
@@ -226,6 +255,13 @@ func StateFromWire(ws *WireState) (*store.ReplicaState, error) {
 	}
 	for _, e := range ws.Feedback {
 		st.Feedback = append(st.Feedback, store.FeedbackEntry{Key: store.Key(e.Key), Value: e.Value})
+	}
+	for _, q := range ws.Queries {
+		sq := store.SavedQuery{Name: q.Name, Description: q.Description, SQL: q.SQL}
+		for _, p := range q.Params {
+			sq.Params = append(sq.Params, store.SavedParam(p))
+		}
+		st.Queries = append(st.Queries, sq)
 	}
 	for _, o := range ws.Origins {
 		if err := store.ValidReplicaID(o.ID); err != nil {

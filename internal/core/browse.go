@@ -45,7 +45,16 @@ type RelatedTable struct {
 // Browse assembles the browser view of one physical table, or an error if
 // the table is unknown. It only reads the immutable substrates and the
 // once-built join graph, so it is safe to call concurrently with searches.
+// The name is validated against the backend catalog (when the backend
+// knows its schema) before anything else: a hostile path segment from
+// /browse/{table} must die here as "unknown table", never travel further
+// as raw text.
 func (s *System) Browse(table string) (*TableInfo, error) {
+	if cat := s.Backend.Catalog(); cat != nil && len(cat.TableNames()) > 0 {
+		if _, ok := cat.Table(table); !ok {
+			return nil, fmt.Errorf("core: unknown table %q", table)
+		}
+	}
 	node, ok := s.findTableNode(table)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown table %q", table)

@@ -180,6 +180,7 @@ func (s *System) ApplyRemote(recs []store.Record) (int, error) {
 		}
 		if s.insertTailLocked(stored) && !refold {
 			s.feedback = applyRecordTo(s.feedback, stored)
+			s.queries = applyQueryRecordTo(s.queries, stored)
 		} else {
 			refold = true
 		}
@@ -250,6 +251,7 @@ func (s *System) ClusterState() *store.ReplicaState {
 	for k, v := range s.base {
 		cs.Feedback = append(cs.Feedback, store.FeedbackEntry{Key: storeKey(k), Value: v})
 	}
+	cs.Queries = rawQueries(s.baseQueries)
 	for id, seq := range s.foldedVector {
 		cs.Origins = append(cs.Origins, store.OriginState{ID: id, Seq: seq, LC: s.foldedLastLC[id]})
 	}
@@ -293,6 +295,7 @@ func (s *System) AdoptClusterState(cs *store.ReplicaState) error {
 	for _, e := range cs.Feedback {
 		s.base[keyFromStore(e.Key)] = e.Value
 	}
+	s.baseQueries = buildQueryMap(cs.Queries)
 	s.baseEpoch = cs.Epoch
 	s.foldPos = cs.FoldPos
 	s.foldedVector = adoptedVector.Clone()

@@ -173,6 +173,7 @@ type System struct {
 	// cluster.go for the replication model).
 	fbMu            sync.RWMutex
 	feedback        map[feedbackKey]float64
+	queries         map[string]*savedQueryEntry
 	epoch           atomic.Uint64
 	store           *store.Store
 	warmStart       bool
@@ -194,6 +195,7 @@ type System struct {
 	lastLC       map[string]uint64
 	tail         []store.Record
 	base         map[feedbackKey]float64
+	baseQueries  map[string]*savedQueryEntry
 	baseEpoch    uint64
 	foldPos      store.Pos
 	foldedVector store.Vector
@@ -408,6 +410,15 @@ type Solution struct {
 	// invalidates them together with the answer (same epoch).
 	Snippet    *backend.Result
 	SnippetErr string
+
+	// Approved marks a solution drawn from the saved-query library
+	// (queries.go) rather than generated by the pipeline. QueryName is
+	// the library key and Bindings the parameter values extracted from
+	// the search input (or defaults). Approved solutions execute
+	// exclusively through the backend's prepared-statement path.
+	Approved  bool
+	QueryName string
+	Bindings  []BoundParam
 }
 
 // SQLText renders the generated statement in the solution's dialect; the
@@ -549,6 +560,11 @@ func (s *System) SearchWith(input string, so SearchOptions) (*Analysis, error) {
 	})
 	a.Timings.SQL = time.Since(start)
 
+	// Saved-query library: merge matching pre-approved statements into
+	// the ranked solutions before snippets run, so an approved answer
+	// gets its rows like any generated one.
+	s.approvedStep(a, epoch)
+
 	if so.Snippets {
 		// Snippet execution rides the same worker pool; rows live on the
 		// solutions and are cached (and epoch-invalidated) with them.
@@ -666,10 +682,15 @@ func (s *System) parallelDo(n int, fn func(int)) {
 // Execute runs a solution's generated SQL through the text parser and
 // the backend, proving the statement is executable SQL text, not just an
 // AST. The text is parsed in the solution's dialect — the same round
-// trip a real warehouse client would perform.
+// trip a real warehouse client would perform. An approved solution
+// (saved query) instead goes through the backend's prepared-statement
+// path with its extracted bindings: the values never touch the SQL text.
 func (s *System) Execute(sol *Solution) (*backend.Result, error) {
 	if sol.SQL == nil {
 		return nil, fmt.Errorf("core: solution has no SQL")
+	}
+	if sol.Approved {
+		return s.execApproved(sol, 0)
 	}
 	sel, err := sqlparse.ParseDialect(sol.SQLText(), sol.dialect())
 	if err != nil {
@@ -714,8 +735,12 @@ func (s *System) Snippet(sol *Solution) (*backend.Result, error) {
 }
 
 // execSnippet reparses the rendered statement in its dialect, caps it to
-// the snippet row budget and runs it.
+// the snippet row budget and runs it. Approved solutions keep their
+// prepared-statement path, capped the same way.
 func (s *System) execSnippet(sol *Solution) (*backend.Result, error) {
+	if sol.Approved {
+		return s.execApproved(sol, s.Opt.SnippetRows)
+	}
 	sel, err := sqlparse.ParseDialect(sol.SQLText(), sol.dialect())
 	if err != nil {
 		return nil, err

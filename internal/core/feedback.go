@@ -93,7 +93,7 @@ func (s *System) Feedback(sol *Solution, like bool) error {
 	for i, e := range sol.Entries {
 		keys[i] = storeKey(keyOf(e))
 	}
-	if err := s.appendLocalLocked(op, keys); err != nil {
+	if err := s.appendLocalLocked(op, keys, nil); err != nil {
 		return fmt.Errorf("core: logging feedback: %w", err)
 	}
 	s.applyFeedbackLocked(keys, like)
@@ -108,7 +108,7 @@ func (s *System) Feedback(sol *Solution, like bool) error {
 // order at the end and the caller's incremental live-map apply is exact.
 // Without a store the event is applied in memory only (no replication, no
 // durability — the pre-cluster NewSystem behaviour).
-func (s *System) appendLocalLocked(op store.Op, keys []store.Key) error {
+func (s *System) appendLocalLocked(op store.Op, keys []store.Key, payload []byte) error {
 	if s.store == nil {
 		return nil
 	}
@@ -118,6 +118,7 @@ func (s *System) appendLocalLocked(op store.Op, keys []store.Key) error {
 		LC:        s.lamport + 1,
 		Op:        op,
 		Keys:      keys,
+		Payload:   payload,
 	}
 	stored, err := s.store.Append(rec)
 	if err != nil {
@@ -196,7 +197,7 @@ func (s *System) feedbackAdjustmentLocked(e EntryPoint) float64 {
 func (s *System) ResetFeedback() error {
 	s.fbMu.Lock()
 	defer s.fbMu.Unlock()
-	if err := s.appendLocalLocked(store.OpReset, nil); err != nil {
+	if err := s.appendLocalLocked(store.OpReset, nil, nil); err != nil {
 		return fmt.Errorf("core: logging feedback reset: %w", err)
 	}
 	s.feedback = nil

@@ -198,8 +198,19 @@ func TestBrowseParentListsChildren(t *testing.T) {
 
 func TestBrowseUnknownTable(t *testing.T) {
 	sys := NewSystem(memory.New(world.DB), world.Meta, world.Index, Options{})
-	if _, err := sys.Browse("no_such_table"); err == nil {
-		t.Fatal("unknown table should error")
+	// Unknown and hostile names alike die at the backend-catalog check
+	// with a clean "unknown table" error — a raw /browse/{table} path
+	// segment must never travel further as text.
+	for _, name := range []string{
+		"no_such_table",
+		"parties; drop table parties",
+		"../../etc/passwd",
+		`parties" or 1=1`,
+		"",
+	} {
+		if _, err := sys.Browse(name); err == nil {
+			t.Fatalf("Browse(%q) should error", name)
+		}
 	}
 }
 

@@ -61,6 +61,7 @@ func (s *System) OpenStore(st *store.Store, snap *store.Snapshot) error {
 		for _, e := range snap.Feedback {
 			s.base[keyFromStore(e.Key)] = e.Value
 		}
+		s.baseQueries = buildQueryMap(snap.Queries)
 		s.baseEpoch = snap.Epoch
 		s.foldPos = snap.FoldPos
 		for _, o := range snap.Origins {
@@ -91,6 +92,7 @@ func (s *System) OpenStore(st *store.Store, snap *store.Snapshot) error {
 	}
 	sort.Slice(pending, func(i, j int) bool { return pending[i].Pos().Before(pending[j].Pos()) })
 	s.feedback = maps.Clone(s.base)
+	s.queries = maps.Clone(s.baseQueries)
 	applied := 0
 	for _, rec := range pending {
 		if rec.OriginSeq <= s.vector[rec.Origin] {
@@ -99,6 +101,7 @@ func (s *System) OpenStore(st *store.Store, snap *store.Snapshot) error {
 		s.tail = append(s.tail, rec)
 		s.noteAppliedLocked(rec)
 		s.feedback = applyRecordTo(s.feedback, rec)
+		s.queries = applyQueryRecordTo(s.queries, rec)
 		applied++
 	}
 	s.epoch.Store(s.baseEpoch + uint64(applied))
@@ -136,8 +139,10 @@ func (s *System) noteAppliedLocked(rec store.Record) {
 // in the wrong order.
 func (s *System) refoldLocked() {
 	s.feedback = maps.Clone(s.base)
+	s.queries = maps.Clone(s.baseQueries)
 	for _, rec := range s.tail {
 		s.feedback = applyRecordTo(s.feedback, rec)
+		s.queries = applyQueryRecordTo(s.queries, rec)
 	}
 }
 
@@ -178,6 +183,7 @@ func (s *System) foldLocked() {
 	}
 	for _, rec := range s.tail[:k] {
 		s.base = applyRecordTo(s.base, rec)
+		s.baseQueries = applyQueryRecordTo(s.baseQueries, rec)
 		s.foldedVector[rec.Origin] = rec.OriginSeq
 		if rec.LC > s.foldedLastLC[rec.Origin] {
 			s.foldedLastLC[rec.Origin] = rec.LC
@@ -320,6 +326,7 @@ func (s *System) snapshotLocked() *store.Snapshot {
 	for k, v := range s.base {
 		snap.Feedback = append(snap.Feedback, store.FeedbackEntry{Key: storeKey(k), Value: v})
 	}
+	snap.Queries = rawQueries(s.baseQueries)
 	return snap
 }
 

@@ -18,6 +18,9 @@ type evalCtx struct {
 	rels []relation
 	locs map[*sqlast.ColumnRef]colLoc
 	aggs map[*sqlast.FuncCall]Value
+	// params are the bound placeholder values: params[i] is binding
+	// ordinal i+1 (ExecParams).
+	params []Value
 }
 
 // relation is one FROM entry with its filtered candidate rows.
@@ -96,6 +99,12 @@ func (c *evalCtx) eval(e sqlast.Expr, tu tuple) (Value, error) {
 	switch x := e.(type) {
 	case *sqlast.Literal:
 		return litValue(x), nil
+
+	case *sqlast.Param:
+		if x.Ordinal < 1 || x.Ordinal > len(c.params) {
+			return Null(), fmt.Errorf("engine: no binding for placeholder %d (%d argument(s) bound)", x.Ordinal, len(c.params))
+		}
+		return c.params[x.Ordinal-1], nil
 
 	case *sqlast.ColumnRef:
 		loc, ok := c.locs[x]

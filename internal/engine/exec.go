@@ -38,11 +38,20 @@ func (r *Result) KeySet() map[string]struct{} {
 
 // Exec executes a SELECT against the database.
 func Exec(db *DB, sel *sqlast.Select) (*Result, error) {
+	return ExecParams(db, sel, nil)
+}
+
+// ExecParams executes a SELECT that may contain parameter placeholders
+// (sqlast.Param), binding them at evaluation time: params[i] is the
+// value of binding ordinal i+1. Placeholders are never substituted into
+// the statement — they evaluate like literals against the binding slice,
+// so the same prepared AST runs repeatedly with different arguments.
+func ExecParams(db *DB, sel *sqlast.Select, params []Value) (*Result, error) {
 	if len(sel.From) == 0 {
 		return nil, fmt.Errorf("engine: empty FROM list")
 	}
 
-	ctx := &evalCtx{locs: make(map[*sqlast.ColumnRef]colLoc)}
+	ctx := &evalCtx{locs: make(map[*sqlast.ColumnRef]colLoc), params: params}
 	seen := make(map[string]bool)
 	for _, ref := range sel.From {
 		tbl := db.Table(ref.Table)

@@ -386,3 +386,95 @@ func TestHealthzClusterBlock(t *testing.T) {
 		t.Fatalf("converged fleet reports lag: %+v", p)
 	}
 }
+
+// doJSON issues one JSON request with an arbitrary method on replica i.
+func (f *fleet) doJSON(i int, method, path, body string) (int, string) {
+	f.t.Helper()
+	req, err := http.NewRequest(method, f.urls[i]+path, strings.NewReader(body))
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// TestFleetReplicatesSavedQueries is the saved-query replication
+// satellite (run under -race in CI): a query registered through
+// /admin/queries on one replica reaches every peer through the ordinary
+// pull protocol, ranks in /search byte-identically fleet-wide, survives
+// a replica restart from its own data dir, and a delete replicates the
+// same way.
+func TestFleetReplicatesSavedQueries(t *testing.T) {
+	f := startFleet(t, 3)
+	const qpath = "/admin/queries/big%20earners"
+	body := `{"description": "individuals with a salary above a threshold",
+		"sql": "select i.firstname, i.lastname, i.salary from individuals i where i.salary >= ?",
+		"params": [{"name": "min salary", "type": "float", "default": "100000"}]}`
+	if status, msg := f.doJSON(0, http.MethodPut, qpath, body); status != http.StatusOK {
+		t.Fatalf("PUT saved query: status %d: %s", status, msg)
+	}
+	f.awaitConvergence()
+
+	// The library entry is byte-identical on every replica.
+	var wantEntry string
+	for i := range f.sys {
+		status, got := f.doJSON(i, http.MethodGet, qpath, "")
+		if status != http.StatusOK {
+			t.Fatalf("GET saved query on replica %d: status %d: %s", i, status, got)
+		}
+		if i == 0 {
+			wantEntry = got
+			continue
+		}
+		if got != wantEntry {
+			t.Fatalf("saved query differs between replica 0 and %d:\n%s\nvs\n%s", i, wantEntry, got)
+		}
+	}
+
+	// /search ranks the approved query on every replica, byte-identically,
+	// with the parameter bound from the input on all of them.
+	const search = "big earners salary >= 50000"
+	var want string
+	for i := range f.sys {
+		got := f.searchBytes(i, search)
+		if !strings.Contains(got, `"approved":true`) || !strings.Contains(got, `"value":"50000"`) {
+			t.Fatalf("replica %d /search lacks the bound approved query:\n%s", i, got)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("/search %q differs between replica 0 and %d:\n%s\nvs\n%s", search, i, want, got)
+		}
+	}
+
+	// Restart replica 2 from its own data dir: the replicated registration
+	// must come back from local persistence, not just from peers.
+	f.stop(2)
+	f.restart(2)
+	f.awaitConvergence()
+	if got := f.searchBytes(2, search); got != want {
+		t.Fatalf("/search after restart differs:\n%s\nvs\n%s", want, got)
+	}
+
+	// Deleting on a different replica replicates too.
+	if status, msg := f.doJSON(1, http.MethodDelete, qpath, ""); status != http.StatusOK {
+		t.Fatalf("DELETE saved query: status %d: %s", status, msg)
+	}
+	f.awaitConvergence()
+	for i := range f.sys {
+		if status, _ := f.doJSON(i, http.MethodGet, qpath, ""); status != http.StatusNotFound {
+			t.Fatalf("replica %d still serves the deleted query (status %d)", i, status)
+		}
+		if got := f.searchBytes(i, search); strings.Contains(got, `"approved":true`) {
+			t.Fatalf("replica %d still ranks the deleted query:\n%s", i, got)
+		}
+	}
+}

@@ -13,6 +13,13 @@
 //	GET  /browse/{table}   schema-browser view of one physical table
 //	POST /feedback         {"query": "...", "result": 0, "like": true}
 //	GET  /explain?q=...    text/plain pipeline trace (Figures 4-6)
+//	GET  /admin/queries    list the saved-query library
+//	PUT  /admin/queries/{name}
+//	                       register an approved parameterized query
+//	GET  /admin/queries/{name}
+//	                       fetch one saved query
+//	DELETE /admin/queries/{name}
+//	                       remove a saved query
 //	POST /admin/snapshot   persist derived state + compact the feedback WAL
 //	POST /admin/decommission?replica=<id>
 //	                       remove a dead peer from the feedback fold quorum
@@ -112,6 +119,10 @@ func NewWith(sys *soda.System, cfg Config) *Server {
 	s.mux.HandleFunc("GET /browse/{table}", s.handleBrowse)
 	s.mux.HandleFunc("POST /feedback", s.handleFeedback)
 	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	s.mux.HandleFunc("GET /admin/queries", s.handleQueryList)
+	s.mux.HandleFunc("PUT /admin/queries/{name}", s.handleQueryPut)
+	s.mux.HandleFunc("GET /admin/queries/{name}", s.handleQueryGet)
+	s.mux.HandleFunc("DELETE /admin/queries/{name}", s.handleQueryDelete)
 	s.mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /admin/decommission", s.handleDecommission)
 	s.mux.HandleFunc("GET /cluster/pull", s.handleClusterPull)
@@ -290,18 +301,25 @@ type SearchRequest struct {
 	Dialect  string `json:"dialect,omitempty"`
 }
 
-// SearchResult is one ranked statement.
+// SearchResult is one ranked statement. Approved marks a result resolved
+// from the saved-query library: QueryName is the library key, SQL shows
+// the parameterized statement, and Params carries the values bound from
+// the search input (or defaults) — execution binds them through prepared
+// statements, never into the SQL text.
 type SearchResult struct {
-	Index        int       `json:"index"`
-	SQL          string    `json:"sql"`
-	Score        float64   `json:"score"`
-	Tables       []string  `json:"tables"`
-	FromTables   []string  `json:"from_tables"`
-	Joins        []string  `json:"joins,omitempty"`
-	Filters      []string  `json:"filters,omitempty"`
-	Disconnected bool      `json:"disconnected,omitempty"`
-	Snippet      *RowsJSON `json:"snippet,omitempty"`
-	SnippetError string    `json:"snippet_error,omitempty"`
+	Index        int                 `json:"index"`
+	SQL          string              `json:"sql"`
+	Score        float64             `json:"score"`
+	Tables       []string            `json:"tables"`
+	FromTables   []string            `json:"from_tables"`
+	Joins        []string            `json:"joins,omitempty"`
+	Filters      []string            `json:"filters,omitempty"`
+	Disconnected bool                `json:"disconnected,omitempty"`
+	Approved     bool                `json:"approved,omitempty"`
+	QueryName    string              `json:"query_name,omitempty"`
+	Params       []soda.ParamBinding `json:"params,omitempty"`
+	Snippet      *RowsJSON           `json:"snippet,omitempty"`
+	SnippetError string              `json:"snippet_error,omitempty"`
 }
 
 // SearchResponse is the full answer for one query.
@@ -392,6 +410,9 @@ func searchResponse(req SearchRequest, ans *soda.Answer) SearchResponse {
 			Joins:        res.Joins,
 			Filters:      res.Filters,
 			Disconnected: res.Disconnected,
+			Approved:     res.Approved,
+			QueryName:    res.QueryName,
+			Params:       res.Params,
 		}
 		if req.Snippets {
 			// Snippet rows were executed with the pipeline and live in
@@ -584,6 +605,125 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, SnapshotResponse{OK: true, Store: *st})
+}
+
+// --- /admin/queries -----------------------------------------------------
+
+// SavedParamJSON is one parameter spec of a saved query on the wire.
+// Default is a pointer so "no default" (parameter required) and "default
+// is the empty string" stay distinguishable.
+type SavedParamJSON struct {
+	Name    string  `json:"name"`
+	Type    string  `json:"type"`
+	Default *string `json:"default,omitempty"`
+}
+
+// SavedQueryJSON is one library entry on the wire. SQL is the
+// parameterized statement in the generic dialect with $1..$n
+// placeholders in occurrence order; Params describes each placeholder.
+type SavedQueryJSON struct {
+	Name        string           `json:"name"`
+	Description string           `json:"description,omitempty"`
+	SQL         string           `json:"sql"`
+	Params      []SavedParamJSON `json:"params,omitempty"`
+}
+
+// QueryListResponse is the GET /admin/queries payload.
+type QueryListResponse struct {
+	Queries []SavedQueryJSON `json:"queries"`
+}
+
+// QueryPutResponse confirms a registration.
+type QueryPutResponse struct {
+	OK    bool           `json:"ok"`
+	Query SavedQueryJSON `json:"query"`
+}
+
+// QueryDeleteResponse confirms a removal.
+type QueryDeleteResponse struct {
+	OK   bool   `json:"ok"`
+	Name string `json:"name"`
+}
+
+func savedQueryJSON(q soda.SavedQuery) SavedQueryJSON {
+	out := SavedQueryJSON{Name: q.Name, Description: q.Description, SQL: q.SQL}
+	for _, p := range q.Params {
+		pj := SavedParamJSON{Name: p.Name, Type: p.Type}
+		if p.HasDefault {
+			d := p.Default
+			pj.Default = &d
+		}
+		out.Params = append(out.Params, pj)
+	}
+	return out
+}
+
+func savedQueryFromJSON(qj SavedQueryJSON) soda.SavedQuery {
+	q := soda.SavedQuery{Name: qj.Name, Description: qj.Description, SQL: qj.SQL}
+	for _, p := range qj.Params {
+		sp := soda.SavedParam{Name: p.Name, Type: p.Type}
+		if p.Default != nil {
+			sp.Default = *p.Default
+			sp.HasDefault = true
+		}
+		q.Params = append(q.Params, sp)
+	}
+	return q
+}
+
+// handleQueryPut registers (or replaces) a saved query under the path
+// name. The registration is validated — parse, placeholder/spec
+// agreement, default values — before it is accepted, so a 200 means the
+// query will compile on every replica. The record replicates through the
+// cluster like any feedback write.
+func (s *Server) handleQueryPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var qj SavedQueryJSON
+	if !s.decodeBody(w, r, &qj) {
+		return
+	}
+	if qj.Name != "" && qj.Name != name {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("body name %q does not match path name %q", qj.Name, name))
+		return
+	}
+	qj.Name = name
+	q := savedQueryFromJSON(qj)
+	if err := s.sys.RegisterQuery(q); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	stored, _ := s.sys.SavedQuery(name)
+	s.logf("server: saved query %q registered (%d params)", name, len(stored.Params))
+	s.writeJSON(w, http.StatusOK, QueryPutResponse{OK: true, Query: savedQueryJSON(stored)})
+}
+
+func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	q, ok := s.sys.SavedQuery(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no saved query %q", name))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, savedQueryJSON(q))
+}
+
+func (s *Server) handleQueryDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.sys.DeleteSavedQuery(name); err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.logf("server: saved query %q deleted", name)
+	s.writeJSON(w, http.StatusOK, QueryDeleteResponse{OK: true, Name: name})
+}
+
+func (s *Server) handleQueryList(w http.ResponseWriter, r *http.Request) {
+	resp := QueryListResponse{Queries: []SavedQueryJSON{}}
+	for _, q := range s.sys.SavedQueries() {
+		resp.Queries = append(resp.Queries, savedQueryJSON(q))
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // --- /admin/decommission ------------------------------------------------

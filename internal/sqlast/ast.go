@@ -243,6 +243,100 @@ func BoolLit(b bool) *Literal { return &Literal{Kind: LitBool, B: b} }
 // NullLit returns the NULL literal.
 func NullLit() *Literal { return &Literal{Kind: LitNull} }
 
+// Param is a query parameter placeholder — valid anywhere a literal is.
+// Name is the binding name a saved query declares ("start"); Ordinal is
+// the 1-based binding position the placeholder renders as ($2 in
+// Postgres); Type is the literal kind the binding is expected to carry
+// (LitNull means untyped). Placeholders parsed from text carry only the
+// ordinal — names and types live in the statement's parameter specs.
+type Param struct {
+	Name    string
+	Ordinal int
+	Type    LiteralKind
+}
+
+func (*Param) exprNode() {}
+
+func (p *Param) String() string { return RenderExpr(p, Generic) }
+
+// ParamsOf returns every parameter placeholder in the statement in
+// render order (SELECT list, WHERE, GROUP BY, HAVING, ORDER BY) — the
+// occurrence order ?-placeholder dialects bind arguments in.
+func ParamsOf(s *Select) []*Param {
+	var out []*Param
+	collect := func(e Expr) {
+		for _, p := range paramsIn(e) {
+			out = append(out, p)
+		}
+	}
+	for _, it := range s.Items {
+		if !it.Star {
+			collect(it.Expr)
+		}
+	}
+	collect(s.Where)
+	for _, g := range s.GroupBy {
+		collect(g)
+	}
+	collect(s.Having)
+	for _, o := range s.OrderBy {
+		collect(o.Expr)
+	}
+	return out
+}
+
+// paramsIn returns the placeholders of one expression in depth-first
+// (render) order.
+func paramsIn(e Expr) []*Param {
+	var out []*Param
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *Param:
+			out = append(out, x)
+		case *Binary:
+			walk(x.L)
+			walk(x.R)
+		case *Not:
+			walk(x.X)
+		case *IsNull:
+			walk(x.X)
+		case *FuncCall:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	return out
+}
+
+// NumberParams assigns binding ordinals to the statement's placeholders
+// in render order — placeholders sharing a non-empty Name share an
+// ordinal (they bind one argument, rendered $N twice in Postgres) —
+// and returns the binding names by ordinal. Unnamed placeholders each
+// take their own ordinal and report their placeholder spelling as name.
+func NumberParams(s *Select) []string {
+	var names []string
+	byName := map[string]int{}
+	for _, p := range ParamsOf(s) {
+		if p.Name != "" {
+			if ord, ok := byName[p.Name]; ok {
+				p.Ordinal = ord
+				continue
+			}
+		}
+		names = append(names, p.Name)
+		p.Ordinal = len(names)
+		if p.Name != "" {
+			byName[p.Name] = p.Ordinal
+		}
+	}
+	return names
+}
+
 // FuncCall is an aggregate or scalar function call. Star marks COUNT(*).
 type FuncCall struct {
 	Name string // lower-case: count, sum, avg, min, max
@@ -507,6 +601,8 @@ func renderExpr(b *strings.Builder, e Expr, d *Dialect) {
 		b.WriteString(d.Ident(x.Column))
 	case *Literal:
 		x.render(b, d)
+	case *Param:
+		b.WriteString(d.Placeholder(x.Ordinal))
 	case *FuncCall:
 		b.WriteString(x.Name)
 		if x.Star {

@@ -28,6 +28,7 @@ type Dialect struct {
 	concatFunc bool // CONCAT(a, b, ...) instead of a || b (MySQL)
 	boolAsInt  bool // 1/0 instead of TRUE/FALSE (DB2 has no bool literals)
 	dateFunc   bool // DATE('yyyy-mm-dd') instead of DATE 'yyyy-mm-dd'
+	dollarPh   bool // $N parameter placeholders instead of ? (Postgres)
 }
 
 // The supported dialects. Generic is the maximally portable form and the
@@ -40,7 +41,7 @@ type Dialect struct {
 // FALSE render as 1 and 0.
 var (
 	Generic  = &Dialect{name: "generic", identQuote: '"'}
-	Postgres = &Dialect{name: "postgres", identQuote: '"'}
+	Postgres = &Dialect{name: "postgres", identQuote: '"', dollarPh: true}
 	MySQL    = &Dialect{name: "mysql", identQuote: '`', backslash: true, concatFunc: true, dateFunc: true}
 	DB2      = &Dialect{name: "db2", identQuote: '"', fetchFirst: true, boolAsInt: true, dateFunc: true}
 )
@@ -185,6 +186,52 @@ func (d *Dialect) LimitClause(n int) string {
 		return "FETCH FIRST " + strconv.Itoa(n) + " ROWS ONLY"
 	}
 	return "LIMIT " + strconv.Itoa(n)
+}
+
+// Placeholder renders a parameter placeholder with the given 1-based
+// binding ordinal: $N for Postgres, ? for the other dialects. Like every
+// rendered form it is a per-dialect fixpoint: $3 reparses to ordinal 3
+// and re-renders as $3; ? reparses to its occurrence ordinal, which
+// renders as ? again.
+func (d *Dialect) Placeholder(ordinal int) string {
+	if d.dollarPh {
+		return "$" + strconv.Itoa(ordinal)
+	}
+	return "?"
+}
+
+// BindNames returns the binding-order parameter names for a statement
+// prepared in this dialect: one argument per distinct ordinal where
+// placeholders are numbered ($N can repeat in Postgres), one per
+// placeholder occurrence in the ?-placeholder dialects (the same named
+// parameter appearing twice binds two identical arguments).
+func (d *Dialect) BindNames(s *Select) []string {
+	if d.dollarPh {
+		return BindNamesByOrdinal(s)
+	}
+	params := ParamsOf(s)
+	names := make([]string, len(params))
+	for i, p := range params {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// BindNamesByOrdinal returns the parameter names indexed by binding
+// ordinal (names[ord-1]) — the binding order for executors that bind by
+// ordinal rather than by placeholder occurrence: numbered-placeholder
+// dialects and the in-process engines that evaluate the AST directly.
+func BindNamesByOrdinal(s *Select) []string {
+	var names []string
+	for _, p := range ParamsOf(s) {
+		for len(names) < p.Ordinal {
+			names = append(names, "")
+		}
+		if p.Ordinal >= 1 && names[p.Ordinal-1] == "" {
+			names[p.Ordinal-1] = p.Name
+		}
+	}
+	return names
 }
 
 // dateLiteral renders a DATE literal in the dialect's idiom.

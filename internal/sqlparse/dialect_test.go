@@ -166,6 +166,98 @@ func TestComparisonAndIsNullParens(t *testing.T) {
 	}
 }
 
+// TestParamPlaceholderGolden pins the per-dialect placeholder surface
+// for parameterized statements: ? for generic/mysql/db2, $N for
+// postgres, with a repeated parameter name sharing one postgres ordinal
+// while ?-dialects repeat the placeholder per occurrence. Each rendering
+// must also be a render-parse-render fixpoint — saved queries round-trip
+// through the WAL and the cluster as rendered text.
+func TestParamPlaceholderGolden(t *testing.T) {
+	sel := sqlast.NewSelect()
+	sel.Items = []sqlast.SelectItem{{Expr: &sqlast.ColumnRef{Table: "t", Column: "name"}}}
+	sel.From = []sqlast.TableRef{{Table: "t"}}
+	sel.Where = sqlast.AndAll(
+		&sqlast.Binary{Op: sqlast.OpEq, L: &sqlast.ColumnRef{Column: "city"}, R: &sqlast.Param{Name: "city", Type: sqlast.LitString}},
+		&sqlast.Binary{Op: sqlast.OpGe, L: &sqlast.ColumnRef{Column: "low"}, R: &sqlast.Param{Name: "amount", Type: sqlast.LitInt}},
+		&sqlast.Binary{Op: sqlast.OpLe, L: &sqlast.ColumnRef{Column: "high"}, R: &sqlast.Param{Name: "amount", Type: sqlast.LitInt}},
+	)
+	names := sqlast.NumberParams(sel)
+	if len(names) != 2 || names[0] != "city" || names[1] != "amount" {
+		t.Fatalf("NumberParams = %v, want [city amount] (repeated name shares an ordinal)", names)
+	}
+	golden := map[string]string{
+		"generic":  "SELECT t.name\nFROM t\nWHERE city = ? AND low >= ? AND high <= ?",
+		"postgres": "SELECT t.name\nFROM t\nWHERE city = $1 AND low >= $2 AND high <= $2",
+		"mysql":    "SELECT t.name\nFROM t\nWHERE city = ? AND low >= ? AND high <= ?",
+		"db2":      "SELECT t.name\nFROM t\nWHERE city = ? AND low >= ? AND high <= ?",
+	}
+	bindGolden := map[string][]string{
+		"generic":  {"city", "amount", "amount"},
+		"postgres": {"city", "amount"},
+		"mysql":    {"city", "amount", "amount"},
+		"db2":      {"city", "amount", "amount"},
+	}
+	for _, d := range sqlast.Dialects() {
+		want, ok := golden[d.Name()]
+		if !ok {
+			t.Fatalf("dialect %s has no golden placeholder rendering — add one", d.Name())
+		}
+		if got := sel.Render(d); got != want {
+			t.Errorf("%s render = %q, want %q", d.Name(), got, want)
+		}
+		if got, want := d.BindNames(sel), bindGolden[d.Name()]; !equalStrings(got, want) {
+			t.Errorf("%s BindNames = %v, want %v", d.Name(), got, want)
+		}
+	}
+	roundTrip(t, sel)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParamParsePositions drives placeholders through every clause a
+// value expression can occupy and asserts the parse assigns occurrence
+// ordinals for ? and textual ordinals for $N.
+func TestParamParsePositions(t *testing.T) {
+	sel, err := sqlparse.Parse("select ? from t where a = ? group by b having count(*) > ? order by c limit 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := sqlast.ParamsOf(sel)
+	if len(params) != 3 {
+		t.Fatalf("ParamsOf = %d params, want 3", len(params))
+	}
+	for i, p := range params {
+		if p.Ordinal != i+1 {
+			t.Fatalf("param %d ordinal = %d, want %d", i, p.Ordinal, i+1)
+		}
+	}
+	pg, err := sqlparse.ParseDialect("select * from t where low <= $2 and $1 = name and high >= $2", sqlast.Postgres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ords []int
+	for _, p := range sqlast.ParamsOf(pg) {
+		ords = append(ords, p.Ordinal)
+	}
+	if len(ords) != 3 || ords[0] != 2 || ords[1] != 1 || ords[2] != 2 {
+		t.Fatalf("postgres ordinals = %v, want [2 1 2]", ords)
+	}
+	roundTrip(t, pg)
+	if _, err := sqlparse.ParseDialect("select * from t where a = $0", sqlast.Postgres); err == nil {
+		t.Fatal("$0 should be rejected")
+	}
+}
+
 func TestParseFetchFirst(t *testing.T) {
 	sel, err := sqlparse.Parse("select * from t fetch first 5 rows only")
 	if err != nil {

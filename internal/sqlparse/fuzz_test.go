@@ -27,6 +27,7 @@ func FuzzParse(f *testing.F) {
 		"select sum(t.amount) from t where t.d >= date '2011-01-01' order by sum(t.amount) desc limit 10",
 		"select distinct p.name from parties p where p.city like '%Z' or p.id <> 4",
 		"select * from t where x between 1 and 2.5 and y in ('a', 'b')",
+		"select * from t where city = ? and amount between ? and ?",
 		"select * from",
 		"select * from t where (",
 		"select 'unterminated from t",
@@ -79,6 +80,11 @@ func FuzzDialectRoundTrip(f *testing.F) {
 		"select concat(a, '\\', b) from `transaction date` limit 2",
 		"select * from t where d = date('2011-04-23') and ok = true",
 		"select sum(t.amount) from t group by t.c order by sum(t.amount) desc limit 10",
+		// Parameter placeholders (saved-query library): ? in the generic
+		// dialect, $N for Postgres, mixed with literals and repeated.
+		"select * from t where city = ? and amount >= ?",
+		"select * from t where low <= ? and ? <= high and name = 'x'",
+		"select sum(t.amount) from t where t.d >= ? group by t.c having count(*) > ? order by sum(t.amount) desc limit 10",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -22,6 +22,7 @@ const (
 	tokNumber
 	tokString
 	tokSymbol // punctuation and operators
+	tokParam  // parameter placeholder: "?" or "$N"
 )
 
 type token struct {
@@ -94,6 +95,18 @@ func lex(src string, backslash bool) ([]token, error) {
 		case strings.ContainsRune("(),.*=<>+-/", rune(c)):
 			l.emit(tokSymbol, string(c))
 			l.pos++
+		case c == '?':
+			// Parameter placeholder (?-placeholder dialects).
+			l.emit(tokParam, "?")
+			l.pos++
+		case c == '$' && l.peekAt(1) >= '0' && l.peekAt(1) <= '9':
+			// Numbered parameter placeholder ($N, Postgres).
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokParam, text: l.src[start:l.pos], pos: start})
 		default:
 			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
 		}

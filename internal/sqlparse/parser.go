@@ -52,6 +52,10 @@ func MustParse(src string) *sqlast.Select {
 type parser struct {
 	toks []token
 	pos  int
+	// params counts ?-placeholders seen so far: each occurrence takes the
+	// next binding ordinal, matching how ?-placeholder drivers bind
+	// arguments positionally.
+	params int
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -299,7 +303,8 @@ func (p *parser) parseTableRef() (sqlast.TableRef, error) {
 //	addExpr := mulExpr ( (+|-|'||') mulExpr )*
 //	mulExpr := unary ( (*|/) unary )*
 //	unary   := - unary | primary
-//	primary := literal | funcCall | columnRef | ( expr )
+//	primary := literal | param | funcCall | columnRef | ( expr )
+//	param   := '?' | '$' digits
 func (p *parser) parseExpr() (sqlast.Expr, error) { return p.parseOr() }
 
 func (p *parser) parseOr() (sqlast.Expr, error) {
@@ -513,6 +518,18 @@ func (p *parser) parsePrimary() (sqlast.Expr, error) {
 	case tokString:
 		p.next()
 		return sqlast.StringLit(t.text), nil
+
+	case tokParam:
+		p.next()
+		if t.text == "?" {
+			p.params++
+			return &sqlast.Param{Ordinal: p.params}, nil
+		}
+		n, err := strconv.Atoi(t.text[1:])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("sql: bad placeholder %q", t.text)
+		}
+		return &sqlast.Param{Ordinal: n}, nil
 
 	case tokSymbol:
 		if t.text == "(" {

@@ -61,6 +61,10 @@ const (
 	sectionMeta     = "metagraph"
 	sectionFeedback = "feedback"
 	sectionOrigins  = "origins"
+	// sectionQueries holds the folded saved-query library. Additive: a
+	// snapshot without it decodes to an empty library (readers that
+	// predate it skip the unknown section).
+	sectionQueries = "queries"
 
 	// snapshotMaxSection caps a section payload readers will allocate.
 	snapshotMaxSection = 1 << 31
@@ -104,6 +108,9 @@ type Snapshot struct {
 	Index    *invidx.Index
 	Meta     *metagraph.Graph
 	Feedback []FeedbackEntry
+	// Queries is the folded saved-query library at FoldPos; set/delete
+	// records above the watermark replay on top, like feedback.
+	Queries []SavedQuery
 	// Legacy marks a snapshot decoded from the pre-cluster v1 format: its
 	// fold has no replication identity yet. Call AdoptLegacyIdentity
 	// before using it in a replicated system.
@@ -141,6 +148,7 @@ func encodeSnapshot(snap *Snapshot) ([]byte, error) {
 	}
 	fbBuf := encodeFeedback(snap.Feedback)
 	orgBuf := encodeOrigins(snap.FoldPos, snap.Origins)
+	qBuf := encodeQueries(snap.Queries)
 
 	var out bytes.Buffer
 	out.WriteString(snapshotMagic)
@@ -160,6 +168,7 @@ func encodeSnapshot(snap *Snapshot) ([]byte, error) {
 		{sectionMeta, metaBuf.Bytes()},
 		{sectionFeedback, fbBuf},
 		{sectionOrigins, orgBuf},
+		{sectionQueries, qBuf},
 	}
 	var u32 [4]byte
 	binary.LittleEndian.PutUint32(u32[:], uint32(len(sections)))
@@ -301,6 +310,8 @@ func decodeSnapshot(r io.Reader, wantFP uint64) (*Snapshot, error) {
 				snap.Feedback, err = decodeFeedback(s.payload)
 			case sectionOrigins:
 				snap.FoldPos, snap.Origins, err = decodeOrigins(s.payload)
+			case sectionQueries:
+				snap.Queries, err = decodeQueries(s.payload)
 			default:
 				// Unknown sections within a known version are skipped:
 				// they carry additive data a newer writer included.

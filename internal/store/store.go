@@ -54,10 +54,12 @@ func (v Vector) Includes(origin string, seq uint64) bool { return v[origin] >= s
 // fell behind a peer's fold point adopts wholesale.
 type ReplicaState struct {
 	Feedback []FeedbackEntry
-	Epoch    uint64
-	FoldPos  Pos
-	Origins  []OriginState
-	Tail     []Record
+	// Queries is the folded saved-query library at FoldPos.
+	Queries []SavedQuery
+	Epoch   uint64
+	FoldPos Pos
+	Origins []OriginState
+	Tail    []Record
 }
 
 // Store is one open data directory. It is safe for concurrent use.

@@ -34,7 +34,23 @@ const (
 	OpDislike Op = 2
 	// OpReset clears the whole feedback map.
 	OpReset Op = 3
+	// OpSetQuery upserts a saved parameterized query; the record's Payload
+	// is EncodeSavedQuery's output.
+	OpSetQuery Op = 4
+	// OpDelQuery removes a saved query; the Payload is the query name.
+	OpDelQuery Op = 5
 )
+
+// validOp reports whether the op is one this reader understands. Unknown
+// ops hard-fail the decode: silently dropping a record would fork the
+// folded state between replicas running different versions.
+func validOp(op Op) bool {
+	switch op {
+	case OpLike, OpDislike, OpReset, OpSetQuery, OpDelQuery:
+		return true
+	}
+	return false
+}
 
 // Key identifies one feedback entry point on disk: a metadata node (Node
 // set) or a base-data column (Table/Column set).
@@ -67,6 +83,10 @@ type Record struct {
 	LC        uint64
 	Op        Op
 	Keys      []Key
+	// Payload carries the op-specific body for record types that are not
+	// key-shaped: the encoded saved query for OpSetQuery, the query name
+	// for OpDelQuery. Empty for the feedback ops.
+	Payload []byte
 }
 
 // Pos is a record's canonical replication position.
@@ -423,14 +443,27 @@ func syncDir(dir string) {
 // (Origin/OriginSeq/LC) after the op byte. Records written before the
 // cluster subsystem lack the flag and decode with an empty Origin; the
 // replayer migrates them to the local replica's identity.
-const opIdentityFlag = 0x80
+// opPayloadFlag marks a record carrying an op-specific Payload between
+// the identity fields and the key list (saved-query records).
+const (
+	opIdentityFlag = 0x80
+	opPayloadFlag  = 0x40
+)
 
 func encodeRecord(rec Record) []byte {
 	buf := binary.AppendUvarint(nil, rec.Seq)
-	buf = append(buf, byte(rec.Op)|opIdentityFlag)
+	opByte := byte(rec.Op) | opIdentityFlag
+	if len(rec.Payload) > 0 {
+		opByte |= opPayloadFlag
+	}
+	buf = append(buf, opByte)
 	buf = appendString(buf, rec.Origin)
 	buf = binary.AppendUvarint(buf, rec.OriginSeq)
 	buf = binary.AppendUvarint(buf, rec.LC)
+	if len(rec.Payload) > 0 {
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Payload)))
+		buf = append(buf, rec.Payload...)
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(rec.Keys)))
 	for _, k := range rec.Keys {
 		buf = appendString(buf, k.Node)
@@ -452,8 +485,8 @@ func decodeRecord(payload []byte) (Record, error) {
 	}
 	opByte := rest[0]
 	rest = rest[1:]
-	rec.Op = Op(opByte &^ opIdentityFlag)
-	if rec.Op != OpLike && rec.Op != OpDislike && rec.Op != OpReset {
+	rec.Op = Op(opByte &^ (opIdentityFlag | opPayloadFlag))
+	if !validOp(rec.Op) {
 		return rec, fmt.Errorf("store: unknown record op %d", rec.Op)
 	}
 	if opByte&opIdentityFlag != 0 {
@@ -466,6 +499,13 @@ func decodeRecord(payload []byte) (Record, error) {
 		if rec.LC, rest, err = takeUvarint(rest); err != nil {
 			return rec, fmt.Errorf("store: record clock: %w", err)
 		}
+	}
+	if opByte&opPayloadFlag != 0 {
+		var body string
+		if body, rest, err = takeString(rest); err != nil {
+			return rec, fmt.Errorf("store: record payload: %w", err)
+		}
+		rec.Payload = []byte(body)
 	}
 	n, rest, err := takeUvarint(rest)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"soda/internal/backend/memory"
 	"soda/internal/backend/sqldb"
 	"soda/internal/sqlast"
+	"soda/internal/sqlparse"
 )
 
 func TestPostgresConformance(t *testing.T) {
@@ -39,6 +40,86 @@ func TestPostgresConformance(t *testing.T) {
 		t.Fatalf("loading MiniBank into Postgres: %v", err)
 	}
 	conformanceRun(t, d, memory.New(world.DB()), sq)
+}
+
+// TestPostgresExtendedQueryConformance drives the same statements down
+// both Postgres protocol paths — the simple-query text protocol (Exec)
+// and the extended-query protocol (Parse/Bind/Execute/Sync behind
+// Prepare/ExecPrepared) — and asserts identical row multisets. The
+// golden corpus covers the zero-parameter case; the parameterized corpus
+// covers $N binding against the in-memory reference, including the
+// shared-ordinal repeat.
+func TestPostgresExtendedQueryConformance(t *testing.T) {
+	dsn := os.Getenv("SODA_PG_DSN")
+	if dsn == "" {
+		t.Skip("SODA_PG_DSN not set; skipping real-Postgres conformance (CI runs it against a service container)")
+	}
+	world := MiniBank()
+	d := sqlast.Postgres
+	sq, err := sqldb.Open("pgwire", dsn, d)
+	if err != nil {
+		t.Fatalf("connecting to Postgres at %s: %v", dsn, err)
+	}
+	defer sq.Close()
+	if err := sq.EnsureLoaded(context.Background(), world.DB()); err != nil {
+		t.Fatalf("loading MiniBank into Postgres: %v", err)
+	}
+
+	for _, pair := range goldenStatements(t, d.Name()) {
+		query, text := pair[0], pair[1]
+		sel, err := sqlparse.ParseDialect(text, d)
+		if err != nil {
+			t.Fatalf("%q: golden SQL does not parse: %v", query, err)
+		}
+		simple, err := sq.Exec(context.Background(), sel)
+		if err != nil {
+			t.Fatalf("%q: simple-query execution: %v", query, err)
+		}
+		pq, err := sq.Prepare(context.Background(), sel)
+		if err != nil {
+			t.Fatalf("%q: extended-query prepare: %v", query, err)
+		}
+		extended, err := sq.ExecPrepared(context.Background(), pq, nil)
+		pq.Close()
+		if err != nil {
+			t.Fatalf("%q: extended-query execution: %v", query, err)
+		}
+		if extended.NumRows() != simple.NumRows() {
+			t.Errorf("%q: extended-query returned %d rows, simple-query %d", query, extended.NumRows(), simple.NumRows())
+			continue
+		}
+		sk, ek := sortedKeys(simple), sortedKeys(extended)
+		for i := range sk {
+			if sk[i] != ek[i] {
+				t.Errorf("%q: protocol paths diverge at row %d:\n  simple:   %q\n  extended: %q", query, i, sk[i], ek[i])
+				break
+			}
+		}
+	}
+
+	// Parameterized corpus: $N placeholders bound over the wire must match
+	// the in-memory reference engine's eval-time binding.
+	mem := memory.New(world.DB())
+	for _, c := range preparedCorpus() {
+		sel := prepareCase(t, c)
+		want := execPrepared(t, mem, sel, c)
+		got := execPrepared(t, sq, sel, c)
+		if want.NumRows() == 0 {
+			t.Errorf("%q: zero rows — the case does not exercise binding", c.query)
+			continue
+		}
+		if got.NumRows() != want.NumRows() {
+			t.Errorf("%q: postgres returned %d rows, memory %d", c.query, got.NumRows(), want.NumRows())
+			continue
+		}
+		wk, gk := sortedKeys(want), sortedKeys(got)
+		for i := range wk {
+			if wk[i] != gk[i] {
+				t.Errorf("%q: row multisets diverge at %d:\n  memory:   %q\n  postgres: %q", c.query, i, wk[i], gk[i])
+				break
+			}
+		}
+	}
 }
 
 // TestPostgresPipelineEndToEnd runs the full pipeline against Postgres:

@@ -27,6 +27,7 @@ package soda
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -588,6 +589,85 @@ func (s *System) ClusterPull(from string, since map[string]uint64, limit int) (*
 	return resp, nil
 }
 
+// SavedQuery is one approved parameterized query in the library: the
+// registry key, the human description search keywords match against, the
+// SQL in the generic dialect with placeholders (? in occurrence order,
+// or $1..$n each used once), and one parameter spec per placeholder.
+type SavedQuery = store.SavedQuery
+
+// SavedParam declares one binding of a saved query: a name, a type
+// ("string", "int", "float", "date" or "bool") and an optional default.
+type SavedParam = store.SavedParam
+
+// RegisterQuery adds (or replaces) a saved parameterized query in the
+// library — the admin half of the approved-query workflow. The query is
+// validated and canonicalised (the SQL must parse, with one parameter
+// spec per placeholder), WAL-logged when a store is attached, replicated
+// to fleet peers, and from then on ranked by Search whenever the input
+// keywords cover the query's name. Saved queries execute exclusively
+// through the backend's prepared-statement path.
+func (s *System) RegisterQuery(q SavedQuery) error { return s.sys.RegisterQuery(q) }
+
+// DeleteSavedQuery removes a saved query from the library.
+func (s *System) DeleteSavedQuery(name string) error { return s.sys.DeleteQuery(name) }
+
+// SavedQueries lists the library sorted by name.
+func (s *System) SavedQueries() []SavedQuery { return s.sys.SavedQueries() }
+
+// SavedQuery returns one library entry by name.
+func (s *System) SavedQuery(name string) (SavedQuery, bool) { return s.sys.SavedQueryByName(name) }
+
+// QueriesFromJSON parses a saved-query library file: a JSON array of
+//
+//	{"name": "...", "description": "...", "sql": "select ... where x = $1",
+//	 "params": [{"name": "city", "type": "string", "default": "Zurich"}]}
+//
+// A parameter's "default" may be omitted to make it required (a search
+// that cannot bind it skips the query). This is the file format behind
+// the soda/sodad -queries flag; entries still go through RegisterQuery
+// validation.
+func QueriesFromJSON(data []byte) ([]SavedQuery, error) {
+	type paramJSON struct {
+		Name    string  `json:"name"`
+		Type    string  `json:"type"`
+		Default *string `json:"default"`
+	}
+	type queryJSON struct {
+		Name        string      `json:"name"`
+		Description string      `json:"description"`
+		SQL         string      `json:"sql"`
+		Params      []paramJSON `json:"params"`
+	}
+	var raw []queryJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("soda: parsing query library: %w", err)
+	}
+	out := make([]SavedQuery, 0, len(raw))
+	for _, qj := range raw {
+		q := SavedQuery{Name: qj.Name, Description: qj.Description, SQL: qj.SQL}
+		for _, p := range qj.Params {
+			sp := SavedParam{Name: p.Name, Type: p.Type}
+			if p.Default != nil {
+				sp.Default = *p.Default
+				sp.HasDefault = true
+			}
+			q.Params = append(q.Params, sp)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// ParamBinding is one bound parameter of an approved result: the
+// declared name and type, the bound value rendered as text, and whether
+// it came from the query's default rather than the search input.
+type ParamBinding struct {
+	Name        string `json:"name"`
+	Type        string `json:"type"`
+	Value       string `json:"value"`
+	FromDefault bool   `json:"from_default,omitempty"`
+}
+
 // Result is one ranked, executable SQL statement.
 type Result struct {
 	// SQL is the generated statement text; parse it back or hand it to
@@ -612,6 +692,16 @@ type Result struct {
 	SnippetRows *Rows
 	// SnippetError reports why snippet execution failed, when it did.
 	SnippetError string
+
+	// Approved marks a result drawn from the saved-query library rather
+	// than generated by the pipeline; QueryName is the library key and
+	// Params the bindings extracted from the search input (or defaults).
+	// The SQL field shows the parameterized statement — Execute and
+	// Snippet run it through the backend's prepared-statement path with
+	// the bound values, never interpolated into the text.
+	Approved  bool
+	QueryName string
+	Params    []ParamBinding
 
 	sys      *core.System
 	sol      *core.Solution
@@ -822,6 +912,15 @@ func (s *System) answerOf(a *core.Analysis) *Answer {
 			sys:          s.sys,
 			sol:          sol,
 			analysis:     a,
+		}
+		if sol.Approved {
+			res.Approved = true
+			res.QueryName = sol.QueryName
+			for _, b := range sol.Bindings {
+				res.Params = append(res.Params, ParamBinding{
+					Name: b.Name, Type: b.Type, Value: b.Value.String(), FromDefault: b.FromDefault,
+				})
+			}
 		}
 		if sol.Snippet != nil {
 			res.SnippetRows = newRowsCopy(sol.Snippet)
