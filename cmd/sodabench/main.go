@@ -162,6 +162,10 @@ func runLatency(path, baselinePath string) error {
 			c.Corpus, c.Hit.P50Us, c.Hit.P90Us, c.Hit.P99Us, rep.SLO.HitP99Us, verdict(c.HitPass))
 		fmt.Printf("%-10s  cold p50 %8.1fµs  p90 %8.1fµs  p99 %8.1fµs  (SLO %.0fµs: %s)\n",
 			c.Corpus, c.Cold.P50Us, c.Cold.P90Us, c.Cold.P99Us, rep.SLO.ColdP99Us, verdict(c.ColdPass))
+		for _, st := range c.Steps {
+			fmt.Printf("%-10s    step %-8s p50 %8.1fµs  p99 %8.1fµs  (%d samples)\n",
+				c.Corpus, st.Step, st.P50Us, st.P99Us, st.Count)
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

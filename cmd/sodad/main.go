@@ -54,6 +54,18 @@
 //	                    excess requests wait in a bounded queue (2x) and
 //	                    beyond that are shed with 503 + Retry-After
 //	                    (default 0: unlimited)
+//	-metrics            serve the Prometheus text exposition on
+//	                    GET /metrics (default true); -metrics=false hides
+//	                    the route (instruments still record)
+//	-debug-addr string  separate listen address for the net/http/pprof
+//	                    profiling handlers (e.g. "localhost:6060"); empty
+//	                    disables them. Kept off the service port so
+//	                    profiling is never exposed to search clients.
+//	-access-log string  structured request log destination: a file path
+//	                    (appended) or "-" for stdout; empty disables it.
+//	                    One JSON line per request: request id, method,
+//	                    path, dialect, cache outcome, per-step pipeline
+//	                    timings, status, bytes, duration.
 //
 // The daemon warms the join-graph caches before listening, serves until
 // SIGINT/SIGTERM and then shuts down gracefully, draining in-flight
@@ -64,6 +76,12 @@
 //
 //	GET  /healthz
 //	    Liveness, world name, table count and answer-cache counters.
+//
+//	GET  /metrics
+//	    Prometheus text exposition: pipeline step histograms, cache and
+//	    backend counters, store WAL/snapshot timings, cluster replication
+//	    lag gauges, serving latency. See the README's "Observability"
+//	    section for the metric catalog.
 //
 //	POST /search
 //	    {"query": "customers Zürich", "snippets": true, "dialect": "db2"}
@@ -116,8 +134,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers on DefaultServeMux, served only via -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -147,11 +167,15 @@ func main() {
 		syncEvery   = flag.Duration("sync-interval", 0, "peer poll interval (default 500ms)")
 		peerDead    = flag.Duration("peer-dead-after", 0, "treat a fleet peer silent this long as dead for WAL folding (0 = never)")
 		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing /search requests (0 = unlimited)")
+		metricsOn   = flag.Bool("metrics", true, "serve the Prometheus exposition on GET /metrics")
+		debugAddr   = flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty = off)")
+		accessLog   = flag.String("access-log", "", `structured request log: file path or "-" for stdout (empty = off)`)
 	)
 	flag.Parse()
 	be := backendOptions{Backend: *backendName, Driver: *driver, DSN: *dsn, Load: *load}
 	cl := clusterOptions{Peers: splitPeers(*peers), ReplicaID: *replicaID, SyncInterval: *syncEvery, PeerDeadAfter: *peerDead}
-	if err := run(*addr, *world, *dialect, *dataDir, *queriesFile, be, cl, *parallelism, *cacheSize, *topN, *maxInflight); err != nil {
+	sv := servingOptions{MaxInflight: *maxInflight, Metrics: *metricsOn, DebugAddr: *debugAddr, AccessLog: *accessLog}
+	if err := run(*addr, *world, *dialect, *dataDir, *queriesFile, be, cl, sv, *parallelism, *cacheSize, *topN); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -170,6 +194,28 @@ type clusterOptions struct {
 	PeerDeadAfter time.Duration
 }
 
+// servingOptions groups the serving/observability flags.
+type servingOptions struct {
+	MaxInflight int
+	Metrics     bool
+	DebugAddr   string
+	AccessLog   string
+}
+
+// openAccessLog resolves the -access-log flag to a writer: "-" is
+// stdout, anything else a file opened for append. The returned closer is
+// a no-op for stdout.
+func openAccessLog(dest string) (io.Writer, func() error, error) {
+	if dest == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening access log: %w", err)
+	}
+	return f, f.Close, nil
+}
+
 // splitPeers parses the -peers flag, dropping empty entries.
 func splitPeers(s string) []string {
 	var out []string
@@ -181,7 +227,7 @@ func splitPeers(s string) []string {
 	return out
 }
 
-func run(addr, world, dialect, dataDir, queriesFile string, be backendOptions, cl clusterOptions, parallelism, cacheSize, topN, maxInflight int) error {
+func run(addr, world, dialect, dataDir, queriesFile string, be backendOptions, cl clusterOptions, sv servingOptions, parallelism, cacheSize, topN int) error {
 	var w *soda.World
 	switch world {
 	case "minibank":
@@ -261,14 +307,37 @@ func run(addr, world, dialect, dataDir, queriesFile string, be backendOptions, c
 	log.Printf("warming %s (%d tables, backend %s)...", w.Name(), len(w.TableNames()), sys.Backend())
 	sys.Warm()
 
+	srvCfg := server.Config{MaxInflight: sv.MaxInflight, Logf: log.Printf, DisableMetrics: !sv.Metrics}
+	if sv.AccessLog != "" {
+		w, closeLog, err := openAccessLog(sv.AccessLog)
+		if err != nil {
+			return err
+		}
+		defer closeLog()
+		srvCfg.AccessLog = w
+	}
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           server.NewWith(sys, server.Config{MaxInflight: maxInflight, Logf: log.Printf}),
+		Handler:           server.NewWith(sys, srvCfg),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The pprof handlers live on http.DefaultServeMux (blank import
+	// above); the main server uses its own mux, so they are reachable only
+	// through this separate listener — never on the service port.
+	if sv.DebugAddr != "" {
+		dbg := &http.Server{Addr: sv.DebugAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("debug server (pprof) on %s", sv.DebugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		defer dbg.Close()
+	}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -15,12 +15,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"soda"
+	"soda/internal/obs"
 	"soda/internal/server"
 )
 
@@ -45,6 +47,19 @@ type Result struct {
 	Duration    time.Duration // wall-clock of the search phase
 	QPS         float64       // aggregate across the fleet
 	PerReplica  []uint64      // requests served per replica
+	// MetricDeltas is the fleet-wide growth of every counter series
+	// between a /metrics scrape before and after the search phase — the
+	// replicas' own accounting of the load (requests by cache outcome,
+	// backend executions, replication pulls), cross-checkable against the
+	// client-side counts above.
+	MetricDeltas []MetricDelta
+}
+
+// MetricDelta is one counter series' growth across the search phase,
+// summed over the fleet.
+type MetricDelta struct {
+	Series string
+	Delta  float64
 }
 
 // Render formats the result as the README table row.
@@ -56,7 +71,55 @@ func (r *Result) Render() string {
 	for i, n := range r.PerReplica {
 		fmt.Fprintf(&b, "  replica %d served %d\n", i, n)
 	}
+	if len(r.MetricDeltas) > 0 {
+		fmt.Fprintf(&b, "  /metrics counter deltas over the search phase (fleet-wide):\n")
+		for _, d := range r.MetricDeltas {
+			fmt.Fprintf(&b, "    %-60s +%.0f\n", d.Series, d.Delta)
+		}
+	}
 	return b.String()
+}
+
+// scrapeFleet sums every replica's /metrics series into one fleet-wide
+// snapshot.
+func scrapeFleet(client *http.Client, urls []string) (map[string]float64, error) {
+	total := make(map[string]float64)
+	for _, u := range urls {
+		resp, err := client.Get(u + "/metrics")
+		if err != nil {
+			return nil, err
+		}
+		vals, err := obs.ParseText(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s/metrics: %w", u, err)
+		}
+		for k, v := range vals {
+			total[k] += v
+		}
+	}
+	return total, nil
+}
+
+// counterDeltas reports how much each counter series grew between two
+// fleet snapshots, sorted by series name. Gauges and quantile series are
+// skipped — a delta of a point-in-time value is noise.
+func counterDeltas(before, after map[string]float64) []MetricDelta {
+	var out []MetricDelta
+	for k, v := range after {
+		name := k
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if !strings.HasSuffix(name, "_total") && !strings.HasSuffix(name, "_count") {
+			continue
+		}
+		if d := v - before[k]; d > 0 {
+			out = append(out, MetricDelta{Series: k, Delta: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Series < out[j].Series })
+	return out
 }
 
 // fleetQueries is the mixed workload: repeated hot queries (answer-cache
@@ -200,6 +263,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 	convergence := time.Since(convergeStart)
 
+	// Snapshot every replica's counters before the search phase; the
+	// scrape after it yields the fleet's own accounting of the load.
+	before, err := scrapeFleet(client, urls)
+	if err != nil {
+		return nil, err
+	}
+
 	// Search phase: WorkersPerReplica clients per replica, round-robin
 	// over the hot queries, until the global budget is spent.
 	var issued atomic.Int64
@@ -239,13 +309,18 @@ func Run(cfg Config) (*Result, error) {
 		perReplica[i] = counts[i].Load()
 		total += perReplica[i]
 	}
+	after, err := scrapeFleet(client, urls)
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
-		Replicas:    n,
-		Queries:     int(total),
-		Workers:     n * cfg.WorkersPerReplica,
-		Convergence: convergence,
-		Duration:    duration,
-		QPS:         float64(total) / duration.Seconds(),
-		PerReplica:  perReplica,
+		MetricDeltas: counterDeltas(before, after),
+		Replicas:     n,
+		Queries:      int(total),
+		Workers:      n * cfg.WorkersPerReplica,
+		Convergence:  convergence,
+		Duration:     duration,
+		QPS:          float64(total) / duration.Seconds(),
+		PerReplica:   perReplica,
 	}, nil
 }

@@ -18,6 +18,7 @@ import (
 	"soda/internal/core"
 	"soda/internal/eval"
 	"soda/internal/minibank"
+	"soda/internal/obs"
 	"soda/internal/warehouse"
 )
 
@@ -57,6 +58,16 @@ type LatencyPercentiles struct {
 	MaxUs   float64 `json:"max_us"`
 }
 
+// StepLatency is one pipeline step's distribution across the cold
+// rounds, read from the cold system's soda_pipeline_step_seconds
+// histograms — it breaks the cold p99 down into where the time goes.
+type StepLatency struct {
+	Step  string  `json:"step"`
+	Count uint64  `json:"count"`
+	P50Us float64 `json:"p50_us"`
+	P99Us float64 `json:"p99_us"`
+}
+
 // CorpusLatency is one corpus's hit and cold distributions plus the SLO
 // verdicts.
 type CorpusLatency struct {
@@ -64,6 +75,7 @@ type CorpusLatency struct {
 	Queries  int                `json:"queries"`
 	Hit      LatencyPercentiles `json:"hit"`
 	Cold     LatencyPercentiles `json:"cold"`
+	Steps    []StepLatency      `json:"steps,omitempty"`
 	HitPass  bool               `json:"hit_pass"`
 	ColdPass bool               `json:"cold_pass"`
 }
@@ -213,10 +225,27 @@ func MeasureCorpusLatency(name string, hitSys, coldSys *core.System, queries []s
 		Queries: len(queries),
 		Hit:     summarise(hits),
 		Cold:    summarise(colds),
+		Steps:   stepLatencies(coldSys),
 	}
 	c.HitPass = c.Hit.P99Us <= float64(HitSLOP99)/1e3
 	c.ColdPass = c.Cold.P99Us <= float64(ColdSLOP99)/1e3
 	return c, nil
+}
+
+// stepLatencies reads the per-step breakdown of the cold rounds out of
+// the system's own pipeline-step histograms (the same instruments GET
+// /metrics exposes).
+func stepLatencies(sys *core.System) []StepLatency {
+	reg := sys.MetricsRegistry()
+	var out []StepLatency
+	for _, step := range []string{"lookup", "rank", "tables", "filters", "sqlgen"} {
+		h := reg.Histogram("soda_pipeline_step_seconds",
+			"Pipeline step latency by step (lookup/rank/tables/filters/sqlgen/snippet).",
+			obs.Label{Name: "step", Value: step})
+		s := h.Summary()
+		out = append(out, StepLatency{Step: step, Count: s.Count, P50Us: s.P50Us, P99Us: s.P99Us})
+	}
+	return out
 }
 
 // summarise sorts the samples and reads the percentiles off directly

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"soda/internal/obs"
 	"soda/internal/store"
 )
 
@@ -63,9 +64,10 @@ type Config struct {
 	BatchLimit int
 	// Client is the HTTP client (default: 5s timeout).
 	Client *http.Client
-	// Logf, when set, receives replication warnings (peer unreachable,
-	// catch-up adoptions).
-	Logf func(format string, args ...any)
+	// Log, when set, receives replication warnings (peer unreachable,
+	// catch-up adoptions). The tailer tags its lines with the "cluster"
+	// component; a nil logger drops them.
+	Log *obs.Logger
 }
 
 // Tailer polls peers and applies their records locally. Start launches
@@ -177,6 +179,19 @@ func (t *Tailer) Peers() []PeerStatus {
 	return out
 }
 
+// Status returns one peer's replication health by address; ok is false
+// for an address the tailer is not configured with. Metric gauges read
+// through this at scrape time.
+func (t *Tailer) Status(addr string) (PeerStatus, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.status[addr]
+	if !ok {
+		return PeerStatus{}, false
+	}
+	return *st, true
+}
+
 func (t *Tailer) pullPeer(ctx context.Context, peer string) {
 	for round := 0; round < maxRoundsPerTick; round++ {
 		resp, err := t.pullOnce(ctx, peer)
@@ -194,7 +209,7 @@ func (t *Tailer) pullPeer(ctx context.Context, peer string) {
 				t.recordError(peer, err)
 				return
 			}
-			t.logf("cluster: behind peer %s (%s): adopting folded state (%d origins, %d tail records)",
+			t.cfg.Log.Printf("behind peer %s (%s): adopting folded state (%d origins, %d tail records)",
 				peer, resp.Origin, len(st.Origins), len(st.Tail))
 			if err := t.cfg.Local.AdoptState(st); err != nil {
 				t.recordError(peer, err)
@@ -277,14 +292,8 @@ func (t *Tailer) recordError(peer string, err error) {
 	if t.ctx.Err() != nil {
 		return // shutting down: cancellation noise, not peer health
 	}
-	t.logf("cluster: pull %s: %v", peer, err)
+	t.cfg.Log.Printf("pull %s: %v", peer, err)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.status[peer].LastError = err.Error()
-}
-
-func (t *Tailer) logf(format string, args ...any) {
-	if t.cfg.Logf != nil {
-		t.cfg.Logf(format, args...)
-	}
 }

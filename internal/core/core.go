@@ -30,6 +30,7 @@ import (
 	"soda/internal/backend"
 	"soda/internal/invidx"
 	"soda/internal/metagraph"
+	"soda/internal/obs"
 	"soda/internal/pattern"
 	"soda/internal/queryparse"
 	"soda/internal/rdf"
@@ -213,6 +214,13 @@ type System struct {
 	replStart      time.Time
 
 	cache *answerCache
+
+	// Observability: the registry all layers scrape through, the resolved
+	// core instruments and the component-tagged diagnostic logger (nil
+	// logger = silent; see metrics.go).
+	reg     *obs.Registry
+	metrics *sysMetrics
+	log     *obs.Logger
 }
 
 // NewSystem builds a System over the given substrates: an execution
@@ -241,6 +249,9 @@ func NewSystem(be backend.Executor, meta *metagraph.Graph, idx *invidx.Index, op
 	if s.Opt.CacheSize > 0 {
 		s.cache = newAnswerCache(s.Opt.CacheSize)
 	}
+	s.reg = obs.NewRegistry()
+	s.metrics = newSysMetrics(s.reg, be.Name())
+	s.registerCacheMetrics()
 	return s
 }
 
@@ -527,10 +538,12 @@ func (s *System) SearchWith(input string, so SearchOptions) (*Analysis, error) {
 	start := time.Now()
 	s.lookup(a) // step 1
 	a.Timings.Lookup = time.Since(start)
+	s.metrics.stepLookup.Record(a.Timings.Lookup)
 
 	start = time.Now()
 	s.rank(a) // step 2
 	a.Timings.Rank = time.Since(start)
+	s.metrics.stepRank.Record(a.Timings.Rank)
 
 	// Stamp every solution with the pipeline's epoch: Feedback checks it
 	// so feedback from a page ranked under an older function is detected
@@ -547,18 +560,21 @@ func (s *System) SearchWith(input string, so SearchOptions) (*Analysis, error) {
 		s.tablesStep(sol, a) // step 3
 	})
 	a.Timings.Tables = time.Since(start)
+	s.metrics.stepTables.Record(a.Timings.Tables)
 
 	start = time.Now()
 	s.forEachSolution(a.Solutions, func(sol *Solution) {
 		s.filtersStep(sol, a) // step 4
 	})
 	a.Timings.Filters = time.Since(start)
+	s.metrics.stepFilters.Record(a.Timings.Filters)
 
 	start = time.Now()
 	s.forEachSolution(a.Solutions, func(sol *Solution) {
 		s.sqlStep(sol, a) // step 5
 	})
 	a.Timings.SQL = time.Since(start)
+	s.metrics.stepSQL.Record(a.Timings.SQL)
 
 	// Saved-query library: merge matching pre-approved statements into
 	// the ranked solutions before snippets run, so an approved answer
@@ -573,6 +589,7 @@ func (s *System) SearchWith(input string, so SearchOptions) (*Analysis, error) {
 			s.snippetStep(sol)
 		})
 		a.Timings.Snippet = time.Since(start)
+		s.metrics.stepSnippet.Record(a.Timings.Snippet)
 	}
 
 	if s.cache != nil {
@@ -751,9 +768,13 @@ func (s *System) execSnippet(sol *Solution) (*backend.Result, error) {
 	return s.runSQL(sel)
 }
 
-// runSQL executes a parsed statement on the backend.
+// runSQL executes a parsed statement on the backend, with per-backend
+// latency and error accounting.
 func (s *System) runSQL(sel *sqlast.Select) (*backend.Result, error) {
-	return s.Backend.Exec(context.Background(), sel)
+	m := s.metrics
+	return instrumentedExec(m.execTotal, m.execErrors, m.execSeconds, func() (*backend.Result, error) {
+		return s.Backend.Exec(context.Background(), sel)
+	})
 }
 
 // ExecCount reports how many SQL statements the backend has executed on

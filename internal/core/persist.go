@@ -107,6 +107,7 @@ func (s *System) OpenStore(st *store.Store, snap *store.Snapshot) error {
 	s.epoch.Store(s.baseEpoch + uint64(applied))
 	s.replayedRecords = applied
 	s.store = st
+	s.registerStoreMetrics()
 	// Anchor the dead-peer staleness bound: a peer never heard from at
 	// all ages against the moment replication started, not the zero time.
 	s.replStart = time.Now()
@@ -341,10 +342,13 @@ func (s *System) writeSnapshotLocked() error {
 // state capture happens under the lock: encoding and fsyncing a
 // warehouse-scale snapshot takes long enough that doing it inline would
 // stall every concurrent search behind the one unlucky feedback call
-// that crossed the threshold. Errors are swallowed deliberately —
-// compaction is an optimisation, and the WAL record that triggered it is
-// already durable; records appended while the write runs stay in the
-// compacted log (they sort after the captured fold watermark).
+// that crossed the threshold. A failed write does not fail the feedback
+// call — the WAL record that triggered it is already durable, and records
+// appended while the write runs stay in the compacted log (they sort
+// after the captured fold watermark) — but it is never silent: the error
+// is logged with the store component tag and counted in
+// soda_snapshot_errors_total, because a disk that rejects every snapshot
+// means unbounded WAL growth an operator must see.
 func (s *System) maybeCompactLocked() {
 	if s.store == nil || s.Opt.CompactEvery <= 0 {
 		return
@@ -367,7 +371,12 @@ func (s *System) maybeCompactLocked() {
 	st := s.store
 	go func() {
 		defer s.compacting.Store(false)
-		_ = st.WriteSnapshot(snap) // a closed store rejects the write; fine
+		if err := st.WriteSnapshot(snap); err != nil && !errors.Is(err, store.ErrClosed) {
+			// A closed store is the shutdown race, not a fault; anything
+			// else is a real persistence failure.
+			s.metrics.snapshotErrors.Inc()
+			s.log.With("store").Printf("background snapshot write failed (WAL keeps growing until one succeeds): %v", err)
+		}
 	}()
 }
 

@@ -534,6 +534,7 @@ func (s *System) execApproved(sol *Solution, limit int) (*backend.Result, error)
 	}
 	pq, err := s.Backend.Prepare(context.Background(), sel)
 	if err != nil {
+		s.metrics.prepErrors.Inc()
 		return nil, fmt.Errorf("core: preparing saved query %q: %w", sol.QueryName, err)
 	}
 	defer pq.Close()
@@ -546,5 +547,8 @@ func (s *System) execApproved(sol *Solution, limit int) (*backend.Result, error)
 		}
 		args[i] = v
 	}
-	return s.Backend.ExecPrepared(context.Background(), pq, args)
+	m := s.metrics
+	return instrumentedExec(m.prepTotal, m.prepErrors, m.prepSeconds, func() (*backend.Result, error) {
+		return s.Backend.ExecPrepared(context.Background(), pq, args)
+	})
 }

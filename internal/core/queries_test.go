@@ -41,7 +41,7 @@ func TestRegisterQueryValidation(t *testing.T) {
 		{"unnamed param", store.SavedQuery{Name: "x", SQL: "select * from parties where id = ?",
 			Params: []store.SavedParam{{Type: "int"}}}},
 		{"repeated ordinal", store.SavedQuery{Name: "x",
-			SQL: "select * from parties where id = $1 and kind = $1",
+			SQL:    "select * from parties where id = $1 and kind = $1",
 			Params: []store.SavedParam{{Name: "p", Type: "int"}, {Name: "q", Type: "string"}}}},
 	}
 	for _, c := range cases {

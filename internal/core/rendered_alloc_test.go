@@ -6,12 +6,18 @@
 
 package core
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"soda/internal/obs"
+)
 
 // TestCachedRenderedZeroAllocs is the committed guard for the tentpole:
-// a cache-hit /search must not allocate. Anything that re-introduces an
-// allocation on the hit path (key building, hashing, map lookup, LRU
-// touch) fails this test.
+// a cache-hit /search must not allocate — with metrics enabled. The loop
+// includes the instrumentation the serving layer performs on a hit
+// (latency histogram record, request counter increment), so the guard
+// covers the full instrumented hit path, not just the cache lookup.
 func TestCachedRenderedZeroAllocs(t *testing.T) {
 	sys := newSys(t, Options{})
 	const q = "wealthy customers"
@@ -21,12 +27,19 @@ func TestCachedRenderedZeroAllocs(t *testing.T) {
 	if _, hit := sys.CachedRendered(q, SearchOptions{}); !hit {
 		t.Fatal("priming did not populate the rendered cache")
 	}
+	hitLat := sys.MetricsRegistry().Histogram("soda_search_latency_seconds",
+		"/search service time by cache outcome.", obs.Label{Name: "outcome", Value: "hit"})
+	hits := sys.MetricsRegistry().Counter("soda_search_requests_total",
+		"/search requests served, by cache outcome.", obs.Label{Name: "outcome", Value: "hit"})
 	allocs := testing.AllocsPerRun(200, func() {
+		start := time.Now()
 		if _, hit := sys.CachedRendered(q, SearchOptions{}); !hit {
 			t.Fatal("cache hit lost mid-run")
 		}
+		hits.Inc()
+		hitLat.Record(time.Since(start))
 	})
 	if allocs != 0 {
-		t.Fatalf("cache-hit CachedRendered allocates %.1f times per call, want 0", allocs)
+		t.Fatalf("instrumented cache-hit CachedRendered allocates %.1f times per call, want 0", allocs)
 	}
 }

@@ -1,11 +1,11 @@
-package server
+package obs
 
-// Log-linear latency histogram for the /search hot path: 16 linear
-// sub-buckets per power of two of nanoseconds (HDR-style), giving at most
-// ~6.25% relative error at any magnitude from nanoseconds to minutes in a
-// fixed 1KB-per-histogram footprint. Recording is two atomic adds — no
-// locks, no allocation — so the cache-hit path stays allocation-free while
-// still being measured.
+// Log-linear latency histogram for hot paths: 16 linear sub-buckets per
+// power of two of nanoseconds (HDR-style), giving at most ~6.25% relative
+// error at any magnitude from nanoseconds to minutes in a fixed
+// 1KB-per-histogram footprint. Recording is three atomic adds — no locks,
+// no allocation — so the cache-hit path stays allocation-free while still
+// being measured.
 
 import (
 	"math/bits"
@@ -17,7 +17,10 @@ import (
 // exact values below 16ns, then 16 sub-buckets per power of two.
 const histBuckets = 16 * 64
 
-type histogram struct {
+// Histogram is a fixed-footprint log-linear distribution of nanosecond
+// durations. The zero value is ready to use; a nil *Histogram is a valid
+// no-op receiver so instrumentation points never need nil checks.
+type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64
 	buckets [histBuckets]atomic.Uint64
@@ -44,7 +47,12 @@ func bucketUpper(i int) uint64 {
 	return (m+1)<<uint(e) - 1
 }
 
-func (h *histogram) record(d time.Duration) {
+// Record adds one duration sample. Safe for concurrent use; no-op on a
+// nil receiver.
+func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
 	if d < 0 {
 		d = 0
 	}
@@ -54,10 +62,29 @@ func (h *histogram) record(d time.Duration) {
 	h.count.Add(1)
 }
 
-// quantile returns the q-quantile (0 < q <= 1) in nanoseconds. Counters
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all recorded samples in nanoseconds.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) in nanoseconds. Counters
 // are read without a consistent snapshot; a record racing the walk can
 // shift the result by one sample, which is fine for diagnostics.
-func (h *histogram) quantile(q float64) uint64 {
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
 	total := h.count.Load()
 	if total == 0 {
 		return 0
@@ -89,13 +116,17 @@ type LatencySummary struct {
 	P99Us  float64 `json:"p99_us"`
 }
 
-func (h *histogram) summary() LatencySummary {
+// Summary condenses the distribution into the /healthz JSON shape.
+func (h *Histogram) Summary() LatencySummary {
+	if h == nil {
+		return LatencySummary{}
+	}
 	n := h.count.Load()
 	s := LatencySummary{
 		Count: n,
-		P50Us: float64(h.quantile(0.50)) / 1e3,
-		P90Us: float64(h.quantile(0.90)) / 1e3,
-		P99Us: float64(h.quantile(0.99)) / 1e3,
+		P50Us: float64(h.Quantile(0.50)) / 1e3,
+		P90Us: float64(h.Quantile(0.90)) / 1e3,
+		P99Us: float64(h.Quantile(0.99)) / 1e3,
 	}
 	if n > 0 {
 		s.MeanUs = float64(h.sum.Load()) / float64(n) / 1e3

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketRoundtrip: every value maps into a bucket whose upper
+// bound is >= the value, and the upper bound maps back to the same bucket
+// (quantiles are conservative, never under-reported).
+func TestHistogramBucketRoundtrip(t *testing.T) {
+	values := []uint64{0, 1, 15, 16, 17, 31, 32, 33, 1000, 12345, 1 << 20, 1<<40 + 9}
+	for _, v := range values {
+		i := bucketOf(v)
+		up := bucketUpper(i)
+		if up < v {
+			t.Fatalf("bucketUpper(bucketOf(%d)) = %d < value", v, up)
+		}
+		if bucketOf(up) != i {
+			t.Fatalf("bucketOf(bucketUpper(%d)) = %d, want bucket %d", v, bucketOf(up), i)
+		}
+		// Relative error of the reported representative stays under the
+		// 1/16 sub-bucket width.
+		if v >= 16 && float64(up-v) > float64(v)/16+1 {
+			t.Fatalf("bucket error for %d: upper %d exceeds 6.25%%", v, up)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if s := h.Summary(); s.Count != 0 || s.P50Us != 0 || s.P99Us != 0 || s.MeanUs != 0 {
+		t.Fatalf("empty histogram summary = %+v, want zeros", s)
+	}
+	// Uniform 1..1000µs: quantiles must land on the right value within one
+	// bucket width (6.25%).
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Summary()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	for _, c := range []struct {
+		got, want float64
+	}{{s.P50Us, 500}, {s.P90Us, 900}, {s.P99Us, 990}} {
+		if c.got < c.want || c.got > c.want*1.07 {
+			t.Fatalf("quantile = %.1fµs, want within [%.0f, %.0f]", c.got, c.want, c.want*1.07)
+		}
+	}
+	if s.MeanUs < 480 || s.MeanUs > 520 {
+		t.Fatalf("mean = %.1fµs, want ~500.5", s.MeanUs)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Duration(g*1000+i) * time.Nanosecond)
+				if i%100 == 0 {
+					h.Summary()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count after concurrent records = %d, want 8000", got)
+	}
+}
+
+// TestNilInstrumentsAreNoOps: every instrument must tolerate a nil
+// receiver so optional instrumentation never forces nil checks at the
+// call site.
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var h *Histogram
+	h.Record(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram not a no-op")
+	}
+	if s := h.Summary(); s.Count != 0 {
+		t.Fatal("nil histogram summary not zero")
+	}
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Fatal("nil counter not a no-op")
+	}
+	var g *Gauge
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge not a no-op")
+	}
+	var r *Registry
+	if r.Counter("x", "h") != nil || r.Gauge("x", "h") != nil || r.Histogram("x", "h") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	r.CounterFunc("x", "h", func() float64 { return 1 })
+	r.GaugeFunc("x", "h", func() float64 { return 1 })
+	if err := r.WriteText(nil); err != nil {
+		t.Fatal(err)
+	}
+	var l *Logger
+	l.Printf("dropped %d", 1)
+	if l.With("c") != nil {
+		t.Fatal("nil logger With must stay nil")
+	}
+	var tr *Trace
+	tr.Add("x", time.Second)
+	tr.Start("y")()
+	if tr.Spans() != nil {
+		t.Fatal("nil trace must drop spans")
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+// Logger is the one logging seam every component shares. It wraps the
+// user-supplied Logf sink (Options.Logf / server.Config.Logf) and tags
+// each line with the emitting component, so `cluster: `, `store: ` and
+// `server: ` lines are distinguishable in a merged stream. A nil *Logger
+// is a valid no-op, which is how "no logging configured" is spelled —
+// call sites never nil-check.
+
+import "fmt"
+
+// Logger prefixes log lines with a component tag and forwards them to a
+// printf-style sink.
+type Logger struct {
+	sink      func(format string, args ...any)
+	component string
+}
+
+// NewLogger wraps a printf-style sink. Returns nil (the no-op logger)
+// when sink is nil, so wiring code can pass Options.Logf straight in.
+func NewLogger(sink func(format string, args ...any)) *Logger {
+	if sink == nil {
+		return nil
+	}
+	return &Logger{sink: sink}
+}
+
+// With returns a logger that prefixes lines with "component: ". Chained
+// components join with "/" (e.g. "store/compact").
+func (l *Logger) With(component string) *Logger {
+	if l == nil {
+		return nil
+	}
+	c := component
+	if l.component != "" {
+		c = l.component + "/" + component
+	}
+	return &Logger{sink: l.sink, component: c}
+}
+
+// Printf emits one line through the sink. No-op on a nil receiver.
+func (l *Logger) Printf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	if l.component != "" {
+		l.sink("%s: %s", l.component, fmt.Sprintf(format, args...))
+		return
+	}
+	l.sink(format, args...)
+}

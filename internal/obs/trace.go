@@ -1,0 +1,60 @@
+package obs
+
+// Lightweight span tracer for per-request pipeline traces. A Trace is a
+// flat, append-only list of named spans with durations — enough to
+// reconstruct "lookup 80µs → rank 40µs → sqlgen 200µs" for one request
+// in the structured access log, without the weight (or allocations on
+// shared paths) of a distributed-tracing client. Traces are per-request
+// values, not shared, so they need no locking.
+
+import "time"
+
+// Span is one named, timed step inside a trace.
+type Span struct {
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+}
+
+// Trace collects spans for one request. The zero value is ready to use;
+// a nil *Trace drops all spans.
+type Trace struct {
+	spans []Span
+}
+
+// NewTrace returns a trace with room for a typical pipeline's spans.
+func NewTrace() *Trace {
+	return &Trace{spans: make([]Span, 0, 8)}
+}
+
+// Add records a completed span with an explicit duration — used when the
+// step was timed elsewhere (e.g. pipeline Timings).
+func (t *Trace) Add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, Span{Name: name, Dur: d})
+}
+
+// Start opens a span; the returned func closes it. Usage:
+//
+//	done := trace.Start("render")
+//	...
+//	done()
+func (t *Trace) Start(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		t.spans = append(t.spans, Span{Name: name, Start: start, Dur: time.Since(start)})
+	}
+}
+
+// Spans returns the recorded spans in append order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}

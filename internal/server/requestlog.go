@@ -1,0 +1,188 @@
+package server
+
+// The structured request log and request-id plumbing. Every request is
+// assigned an id in ServeHTTP; handlers annotate the in-flight
+// requestInfo (dialect, cache outcome, pipeline step timings) through the
+// request context, and when Config.AccessLog is set the accumulated
+// record is written as one JSON line after the handler returns — the
+// machine-readable replacement for ad-hoc per-handler log lines.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"soda/internal/obs"
+)
+
+// requestIDs mints request ids: a per-boot random prefix plus a
+// monotonic counter ("3f9ac2d1-000042"), unique within a fleet without
+// coordination and sortable within one process.
+type requestIDs struct {
+	prefix string
+	n      atomic.Uint64
+}
+
+func (g *requestIDs) init() {
+	var b [4]byte
+	_, _ = rand.Read(b[:])
+	g.prefix = hex.EncodeToString(b[:])
+}
+
+func (g *requestIDs) next() string {
+	buf := make([]byte, 0, len(g.prefix)+8)
+	buf = append(buf, g.prefix...)
+	buf = append(buf, '-')
+	n := g.n.Add(1)
+	var digits [20]byte
+	i := len(digits)
+	for {
+		i--
+		digits[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	for len(digits)-i < 6 {
+		i--
+		digits[i] = '0'
+	}
+	return string(append(buf, digits[i:]...))
+}
+
+// requestInfo accumulates the request-log fields while a handler runs.
+// The setters are nil-safe so handlers never guard; a mutex covers the
+// annotations because the search render callback may run concurrently
+// with nothing else but future readers shouldn't have to prove that.
+type requestInfo struct {
+	id    string
+	start time.Time
+
+	mu      sync.Mutex
+	dialect string
+	outcome string // "hit" | "cold" for /search
+	trace   *obs.Trace
+}
+
+type reqInfoKey struct{}
+
+// requestInfoFrom returns the request's log record, or nil for a request
+// that did not pass through ServeHTTP (direct handler calls in tests).
+func requestInfoFrom(r *http.Request) *requestInfo {
+	info, _ := r.Context().Value(reqInfoKey{}).(*requestInfo)
+	return info
+}
+
+func (i *requestInfo) setDialect(d string) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	i.dialect = d
+	i.mu.Unlock()
+}
+
+func (i *requestInfo) setOutcome(o string) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	i.outcome = o
+	i.mu.Unlock()
+}
+
+func (i *requestInfo) setTrace(tr *obs.Trace) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	i.trace = tr
+	i.mu.Unlock()
+}
+
+// statusWriter captures the response status and body size for the
+// request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// requestLogLine is one structured request-log record. Durations are in
+// microseconds — the resolution /healthz summaries already use. Steps
+// holds the request's trace spans ("lookup_us", "rank_us", …) — the
+// request-scoped view of the soda_pipeline_step_seconds histograms,
+// present on cold /search only.
+type requestLogLine struct {
+	Time      string             `json:"time"`
+	RequestID string             `json:"request_id"`
+	Method    string             `json:"method"`
+	Path      string             `json:"path"`
+	Status    int                `json:"status"`
+	Bytes     int                `json:"bytes"`
+	DurUs     float64            `json:"dur_us"`
+	Dialect   string             `json:"dialect,omitempty"`
+	Cache     string             `json:"cache,omitempty"`
+	Steps     map[string]float64 `json:"steps,omitempty"`
+}
+
+// accessLogger serializes request-log lines onto one writer.
+type accessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *accessLogger) write(info *requestInfo, r *http.Request, sw *statusWriter) {
+	info.mu.Lock()
+	line := requestLogLine{
+		Time:      info.start.UTC().Format(time.RFC3339Nano),
+		RequestID: info.id,
+		Method:    r.Method,
+		Path:      r.URL.Path,
+		Status:    sw.status,
+		Bytes:     sw.bytes,
+		DurUs:     float64(time.Since(info.start)) / float64(time.Microsecond),
+		Dialect:   info.dialect,
+		Cache:     info.outcome,
+	}
+	if tr := info.trace; tr != nil {
+		line.Steps = make(map[string]float64, len(tr.Spans()))
+		for _, sp := range tr.Spans() {
+			line.Steps[sp.Name+"_us"] = float64(sp.Dur) / float64(time.Microsecond)
+		}
+	}
+	info.mu.Unlock()
+	if line.Status == 0 {
+		line.Status = http.StatusOK // handler wrote nothing: net/http sends 200
+	}
+	data, err := json.Marshal(line)
+	if err != nil {
+		return // a float is always marshalable; defensive only
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(data)
+	l.mu.Unlock()
+}

@@ -8,6 +8,7 @@
 // Routes:
 //
 //	GET  /healthz          liveness + world name + cache/execution/store/cluster counters
+//	GET  /metrics          Prometheus text exposition of the full metric registry
 //	POST /search           {"query": "...", "snippets": true?, "dialect": "db2"?} -> ranked SQL
 //	POST /sql              {"sql": "...", "dialect": "mysql"?} -> rows (exploration, §5.3.2)
 //	GET  /browse/{table}   schema-browser view of one physical table
@@ -29,9 +30,11 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -39,17 +42,22 @@ import (
 
 	"soda"
 	"soda/internal/cluster"
+	"soda/internal/obs"
 )
 
 // maxBodyBytes caps request bodies; queries and SQL are tiny.
 const maxBodyBytes = 1 << 20
+
+// LatencySummary re-exports the /healthz latency-distribution shape
+// (promoted into internal/obs; the JSON contract is unchanged).
+type LatencySummary = obs.LatencySummary
 
 // Server is the HTTP serving layer over one shared soda.System.
 type Server struct {
 	sys   *soda.System
 	mux   *http.ServeMux
 	start time.Time
-	logf  func(format string, args ...any)
+	log   *obs.Logger // component-tagged diagnostics ("server: ...")
 
 	// Admission control for /search (nil inflight = unlimited): inflight
 	// is a counting semaphore over executing searches and queue bounds
@@ -60,14 +68,22 @@ type Server struct {
 	queue      chan struct{}
 	retryAfter string // pre-rendered Retry-After value, in seconds
 
-	// Cache-hit vs cold /search service time, surfaced in /healthz
-	// (search_latency) against the stated SLO: p99 < 1ms hit, < 20ms cold.
-	hitLat  histogram
-	coldLat histogram
+	// Cache-hit vs cold /search service time, registered in the System's
+	// metric registry (soda_search_latency_seconds{outcome}) and surfaced
+	// in /healthz (search_latency) against the stated SLO: p99 < 1ms hit,
+	// < 20ms cold. Pointers resolved once at construction — the hit path
+	// records through direct atomics, no registry lookups.
+	hitLat    *obs.Histogram
+	coldLat   *obs.Histogram
+	reqHit    *obs.Counter // soda_search_requests_total{outcome="hit"}
+	reqCold   *obs.Counter // soda_search_requests_total{outcome="cold"}
+	shed      *obs.Counter // soda_search_shed_total
+	accessLog *accessLogger
+	reqIDs    requestIDs
 }
 
 // Config tunes the serving layer. The zero value serves like the
-// pre-Config server: no admission limit, silent logging.
+// pre-Config server: no admission limit, silent logging, metrics on.
 type Config struct {
 	// MaxInflight caps concurrently executing /search requests
 	// (the daemon's -max-inflight flag); 0 means unlimited.
@@ -82,6 +98,14 @@ type Config struct {
 	// Logf receives serving diagnostics — response-write failures, encode
 	// errors. nil is silent.
 	Logf func(format string, args ...any)
+	// AccessLog, when set, receives the structured request log: one JSON
+	// line per request (request id, method, path, dialect, cache outcome,
+	// per-step pipeline timings, status, bytes, duration). Writes are
+	// serialized; the writer need not be concurrency-safe.
+	AccessLog io.Writer
+	// DisableMetrics hides GET /metrics (the daemon's -metrics=false).
+	// Instruments still record — only the exposition route is gated.
+	DisableMetrics bool
 }
 
 // New builds a Server over sys with default Config.
@@ -89,10 +113,24 @@ func New(sys *soda.System) *Server { return NewWith(sys, Config{}) }
 
 // NewWith builds a Server over sys with explicit serving configuration.
 func NewWith(sys *soda.System, cfg Config) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux(), start: time.Now(), logf: cfg.Logf}
-	if s.logf == nil {
-		s.logf = func(string, ...any) {}
+	s := &Server{sys: sys, mux: http.NewServeMux(), start: time.Now(),
+		log: obs.NewLogger(cfg.Logf).With("server")}
+	reg := sys.Metrics()
+	outcome := func(v string) obs.Label { return obs.Label{Name: "outcome", Value: v} }
+	s.hitLat = reg.Histogram("soda_search_latency_seconds",
+		"/search service time by cache outcome.", outcome("hit"))
+	s.coldLat = reg.Histogram("soda_search_latency_seconds",
+		"/search service time by cache outcome.", outcome("cold"))
+	s.reqHit = reg.Counter("soda_search_requests_total",
+		"/search requests served, by cache outcome.", outcome("hit"))
+	s.reqCold = reg.Counter("soda_search_requests_total",
+		"/search requests served, by cache outcome.", outcome("cold"))
+	s.shed = reg.Counter("soda_search_shed_total",
+		"/search requests shed with 503 (admission queue full).")
+	if cfg.AccessLog != nil {
+		s.accessLog = &accessLogger{w: cfg.AccessLog}
 	}
+	s.reqIDs.init()
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
 		depth := cfg.QueueDepth
@@ -114,6 +152,9 @@ func NewWith(sys *soda.System, cfg Config) *Server {
 	}
 	s.retryAfter = strconv.Itoa(secs)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if !cfg.DisableMetrics {
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
 	s.mux.HandleFunc("POST /search", s.handleSearch)
 	s.mux.HandleFunc("POST /sql", s.handleSQL)
 	s.mux.HandleFunc("GET /browse/{table}", s.handleBrowse)
@@ -129,15 +170,27 @@ func NewWith(sys *soda.System, cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request gets an id (echoed in
+// the X-Request-Id header and in error envelopes) and, when the access
+// log is on, one structured JSON line after the handler returns.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	s.mux.ServeHTTP(w, r)
+	info := &requestInfo{id: s.reqIDs.next(), start: time.Now()}
+	w.Header().Set("X-Request-Id", info.id)
+	sw := &statusWriter{ResponseWriter: w}
+	r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, info))
+	s.mux.ServeHTTP(sw, r)
+	if s.accessLog != nil {
+		s.accessLog.write(info, r, sw)
+	}
 }
 
-// errorResponse is the uniform error envelope.
+// errorResponse is the uniform error envelope. RequestID echoes the
+// X-Request-Id header so a client error report can be matched against the
+// server's request log.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // encodeJSON renders v the way responses are framed: no HTML escaping
@@ -163,7 +216,7 @@ func (s *Server) writeRaw(w http.ResponseWriter, status int, data []byte) {
 	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 	w.WriteHeader(status)
 	if _, err := w.Write(data); err != nil {
-		s.logf("server: writing response: %v", err)
+		s.log.Printf("writing response: %v", err)
 	}
 }
 
@@ -173,15 +226,35 @@ func (s *Server) writeRaw(w http.ResponseWriter, status int, data []byte) {
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	data, err := encodeJSON(v)
 	if err != nil {
-		s.logf("server: encoding %T response: %v", v, err)
+		s.log.Printf("encoding %T response: %v", v, err)
 		http.Error(w, `{"error":"internal: response encoding failed"}`, http.StatusInternalServerError)
 		return
 	}
 	s.writeRaw(w, status, data)
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	resp := errorResponse{Error: err.Error()}
+	if info := requestInfoFrom(r); info != nil {
+		resp.RequestID = info.id
+	}
+	s.writeJSON(w, status, resp)
+}
+
+// handleMetrics serves the registry in Prometheus text format — every
+// instrument in the process: pipeline steps, cache, backend executions,
+// store WAL/snapshot timings, cluster replication lag, serving latency.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.sys.Metrics().WriteText(&buf); err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		s.log.Printf("writing metrics response: %v", err)
+	}
 }
 
 // decodeBody parses the JSON request body into v.
@@ -191,10 +264,10 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	if err := dec.Decode(v); err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
-			s.writeError(w, http.StatusRequestEntityTooLarge, err)
+			s.writeError(w, r, http.StatusRequestEntityTooLarge, err)
 			return false
 		}
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
 		return false
 	}
 	return true
@@ -282,7 +355,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Dialects:      soda.Dialects(),
 		Store:         s.sys.StoreStats(),
 		Cluster:       s.sys.ClusterStatus(),
-		SearchLatency: SearchLatency{Hit: s.hitLat.summary(), Cold: s.coldLat.summary()},
+		SearchLatency: SearchLatency{Hit: s.hitLat.Summary(), Cold: s.coldLat.Summary()},
 	})
 }
 
@@ -353,8 +426,9 @@ func rowsJSON(rows *soda.Rows) *RowsJSON {
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(r) {
+		s.shed.Inc()
 		w.Header().Set("Retry-After", s.retryAfter)
-		s.writeError(w, http.StatusServiceUnavailable,
+		s.writeError(w, r, http.StatusServiceUnavailable,
 			errors.New("overloaded: search admission queue is full, retry later"))
 		return
 	}
@@ -364,7 +438,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if strings.TrimSpace(req.Query) == "" {
-		s.writeError(w, http.StatusBadRequest, errors.New("missing query"))
+		s.writeError(w, r, http.StatusBadRequest, errors.New("missing query"))
 		return
 	}
 	// The hot path: a repeat of an already-rendered query returns the
@@ -372,23 +446,45 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// allocations — while a miss renders through searchResponse and caches
 	// the bytes for the next repeat. Dialect validation happens inside;
 	// an unknown name surfaces as a 400 through the normal error path.
+	info := requestInfoFrom(r)
+	info.setDialect(req.Dialect)
 	start := time.Now()
 	data, hit, err := s.sys.SearchRendered(req.Query, soda.SearchOptions{
 		Dialect:  req.Dialect,
 		Snippets: req.Snippets,
 	}, func(ans *soda.Answer) ([]byte, error) {
+		info.setTrace(pipelineTrace(ans.Timings()))
 		return encodeJSON(searchResponse(req, ans))
 	})
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if hit {
-		s.hitLat.record(time.Since(start))
+		info.setOutcome("hit")
+		s.reqHit.Inc()
+		s.hitLat.Record(time.Since(start))
 	} else {
-		s.coldLat.record(time.Since(start))
+		info.setOutcome("cold")
+		s.reqCold.Inc()
+		s.coldLat.Record(time.Since(start))
 	}
 	s.writeRaw(w, http.StatusOK, data)
+}
+
+// pipelineTrace converts one cold run's step timings into the request's
+// span trace, carried into the structured request log.
+func pipelineTrace(t soda.Timings) *obs.Trace {
+	tr := obs.NewTrace()
+	tr.Add("lookup", t.Lookup)
+	tr.Add("rank", t.Rank)
+	tr.Add("tables", t.Tables)
+	tr.Add("filters", t.Filters)
+	tr.Add("sqlgen", t.SQL)
+	if t.Snippet > 0 {
+		tr.Add("snippet", t.Snippet)
+	}
+	return tr
 }
 
 // searchResponse builds the /search response shape for one answer.
@@ -446,12 +542,12 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if strings.TrimSpace(req.SQL) == "" {
-		s.writeError(w, http.StatusBadRequest, errors.New("missing sql"))
+		s.writeError(w, r, http.StatusBadRequest, errors.New("missing sql"))
 		return
 	}
 	rows, err := s.sys.ExecuteSQLIn(req.Dialect, req.SQL)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, rowsJSON(rows))
@@ -485,7 +581,7 @@ func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 	table := r.PathValue("table")
 	info, err := s.sys.Browse(table)
 	if err != nil {
-		s.writeError(w, http.StatusNotFound, err)
+		s.writeError(w, r, http.StatusNotFound, err)
 		return
 	}
 	resp := BrowseResponse{
@@ -533,12 +629,12 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if strings.TrimSpace(req.Query) == "" {
-		s.writeError(w, http.StatusBadRequest, errors.New("missing query"))
+		s.writeError(w, r, http.StatusBadRequest, errors.New("missing query"))
 		return
 	}
 	ans, err := s.sys.Search(req.Query)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	var res *soda.Result
@@ -552,12 +648,12 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if res == nil {
-			s.writeError(w, http.StatusNotFound,
+			s.writeError(w, r, http.StatusNotFound,
 				fmt.Errorf("no result with the given sql (query has %d results)", len(ans.Results)))
 			return
 		}
 	case req.Result < 0 || req.Result >= len(ans.Results):
-		s.writeError(w, http.StatusNotFound,
+		s.writeError(w, r, http.StatusNotFound,
 			fmt.Errorf("result %d out of range (query has %d results)", req.Result, len(ans.Results)))
 		return
 	default:
@@ -579,7 +675,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		if errors.As(ferr, &stale) {
 			status = http.StatusConflict
 		}
-		s.writeError(w, status, ferr)
+		s.writeError(w, r, status, ferr)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, FeedbackResponse{
@@ -601,7 +697,7 @@ type SnapshotResponse struct {
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	st, err := s.sys.Snapshot()
 	if err != nil {
-		s.writeError(w, http.StatusConflict, err)
+		s.writeError(w, r, http.StatusConflict, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, SnapshotResponse{OK: true, Store: *st})
@@ -683,18 +779,18 @@ func (s *Server) handleQueryPut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if qj.Name != "" && qj.Name != name {
-		s.writeError(w, http.StatusBadRequest,
+		s.writeError(w, r, http.StatusBadRequest,
 			fmt.Errorf("body name %q does not match path name %q", qj.Name, name))
 		return
 	}
 	qj.Name = name
 	q := savedQueryFromJSON(qj)
 	if err := s.sys.RegisterQuery(q); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	stored, _ := s.sys.SavedQuery(name)
-	s.logf("server: saved query %q registered (%d params)", name, len(stored.Params))
+	s.log.Printf("saved query %q registered (%d params)", name, len(stored.Params))
 	s.writeJSON(w, http.StatusOK, QueryPutResponse{OK: true, Query: savedQueryJSON(stored)})
 }
 
@@ -702,7 +798,7 @@ func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	q, ok := s.sys.SavedQuery(name)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("no saved query %q", name))
+		s.writeError(w, r, http.StatusNotFound, fmt.Errorf("no saved query %q", name))
 		return
 	}
 	s.writeJSON(w, http.StatusOK, savedQueryJSON(q))
@@ -711,10 +807,10 @@ func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleQueryDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := s.sys.DeleteSavedQuery(name); err != nil {
-		s.writeError(w, http.StatusNotFound, err)
+		s.writeError(w, r, http.StatusNotFound, err)
 		return
 	}
-	s.logf("server: saved query %q deleted", name)
+	s.log.Printf("saved query %q deleted", name)
 	s.writeJSON(w, http.StatusOK, QueryDeleteResponse{OK: true, Name: name})
 }
 
@@ -744,14 +840,14 @@ type DecommissionResponse struct {
 func (s *Server) handleDecommission(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("replica")
 	if id == "" {
-		s.writeError(w, http.StatusBadRequest, errors.New("missing replica parameter"))
+		s.writeError(w, r, http.StatusBadRequest, errors.New("missing replica parameter"))
 		return
 	}
 	if err := s.sys.Decommission(id); err != nil {
-		s.writeError(w, http.StatusConflict, err)
+		s.writeError(w, r, http.StatusConflict, err)
 		return
 	}
-	s.logf("server: replica %q decommissioned from the fold quorum", id)
+	s.log.Printf("replica %q decommissioned from the fold quorum", id)
 	s.writeJSON(w, http.StatusOK, DecommissionResponse{OK: true, Replica: id})
 }
 
@@ -769,14 +865,14 @@ func (s *Server) handleClusterPull(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	since, err := cluster.ParseVector(q.Get("since"))
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	limit := cluster.DefaultBatchLimit
 	if ls := q.Get("limit"); ls != "" {
 		l, err := strconv.Atoi(ls)
 		if err != nil || l <= 0 {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", ls))
+			s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad limit %q", ls))
 			return
 		}
 		if l > cluster.MaxBatchLimit {
@@ -789,7 +885,7 @@ func (s *Server) handleClusterPull(w http.ResponseWriter, r *http.Request) {
 		// No store attached (or a malformed replica id): the daemon is not
 		// replication-capable, which for a fleet peer is a configuration
 		// conflict, not a transient failure.
-		s.writeError(w, http.StatusConflict, err)
+		s.writeError(w, r, http.StatusConflict, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, resp)
@@ -800,12 +896,12 @@ func (s *Server) handleClusterPull(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if strings.TrimSpace(q) == "" {
-		s.writeError(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		s.writeError(w, r, http.StatusBadRequest, errors.New("missing q parameter"))
 		return
 	}
 	ans, err := s.sys.SearchWith(q, soda.SearchOptions{Dialect: r.URL.Query().Get("dialect")})
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -7,83 +7,11 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
-	"sync"
 	"testing"
 	"time"
 
 	"soda"
 )
-
-// --- histogram ----------------------------------------------------------
-
-// TestHistogramBucketRoundtrip: every value maps into a bucket whose upper
-// bound is >= the value, and the upper bound maps back to the same bucket
-// (quantiles are conservative, never under-reported).
-func TestHistogramBucketRoundtrip(t *testing.T) {
-	values := []uint64{0, 1, 15, 16, 17, 31, 32, 33, 1000, 12345, 1 << 20, 1<<40 + 9}
-	for _, v := range values {
-		i := bucketOf(v)
-		up := bucketUpper(i)
-		if up < v {
-			t.Fatalf("bucketUpper(bucketOf(%d)) = %d < value", v, up)
-		}
-		if bucketOf(up) != i {
-			t.Fatalf("bucketOf(bucketUpper(%d)) = %d, want bucket %d", v, bucketOf(up), i)
-		}
-		// Relative error of the reported representative stays under the
-		// 1/16 sub-bucket width.
-		if v >= 16 && float64(up-v) > float64(v)/16+1 {
-			t.Fatalf("bucket error for %d: upper %d exceeds 6.25%%", v, up)
-		}
-	}
-}
-
-func TestHistogramQuantiles(t *testing.T) {
-	var h histogram
-	if s := h.summary(); s.Count != 0 || s.P50Us != 0 || s.P99Us != 0 || s.MeanUs != 0 {
-		t.Fatalf("empty histogram summary = %+v, want zeros", s)
-	}
-	// Uniform 1..1000µs: quantiles must land on the right value within one
-	// bucket width (6.25%).
-	for i := 1; i <= 1000; i++ {
-		h.record(time.Duration(i) * time.Microsecond)
-	}
-	s := h.summary()
-	if s.Count != 1000 {
-		t.Fatalf("count = %d, want 1000", s.Count)
-	}
-	for _, c := range []struct {
-		got, want float64
-	}{{s.P50Us, 500}, {s.P90Us, 900}, {s.P99Us, 990}} {
-		if c.got < c.want || c.got > c.want*1.07 {
-			t.Fatalf("quantile = %.1fµs, want within [%.0f, %.0f]", c.got, c.want, c.want*1.07)
-		}
-	}
-	if s.MeanUs < 480 || s.MeanUs > 520 {
-		t.Fatalf("mean = %.1fµs, want ~500.5", s.MeanUs)
-	}
-}
-
-func TestHistogramConcurrentRecord(t *testing.T) {
-	var h histogram
-	var wg sync.WaitGroup
-	for g := 0; g < 8; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for i := 0; i < 1000; i++ {
-				h.record(time.Duration(g*1000+i) * time.Nanosecond)
-				if i%100 == 0 {
-					h.summary()
-				}
-			}
-		}(g)
-	}
-	wg.Wait()
-	if got := h.count.Load(); got != 8000 {
-		t.Fatalf("count after concurrent records = %d, want 8000", got)
-	}
-}
 
 // --- admission control --------------------------------------------------
 

@@ -27,6 +27,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"soda/internal/obs"
 )
 
 const (
@@ -34,6 +37,11 @@ const (
 	snapshotFileName  = "snapshot.soda"
 	replicaIDFileName = "replica-id"
 )
+
+// ErrClosed reports an operation on a store after Close. Callers racing a
+// graceful shutdown (background compaction) match it with errors.Is to
+// tell the benign shutdown race from a real persistence failure.
+var ErrClosed = errors.New("store: closed")
 
 // Vector is a replication vector: per-origin, the highest contiguous
 // OriginSeq applied. Two vectors from different replicas are comparable
@@ -85,6 +93,33 @@ type Store struct {
 
 	compactions atomic.Uint64
 	closed      atomic.Bool
+
+	// Durability-path instruments (nil until SetMetrics; obs instruments
+	// are nil-safe so the hooks below never check).
+	appendHist atomic.Pointer[obs.Histogram]
+	snapHist   atomic.Pointer[obs.Histogram]
+}
+
+// Metrics is the set of durability-path instruments a Store records into.
+// All fields are optional; a zero Metrics disables instrumentation.
+type Metrics struct {
+	// AppendSeconds times each WAL record append (framing + file write,
+	// not the deferred fsync).
+	AppendSeconds *obs.Histogram
+	// FsyncSeconds times each WAL fsync (batched: one per flush interval
+	// under load).
+	FsyncSeconds *obs.Histogram
+	// SnapshotWriteSeconds times each full snapshot persist (encode +
+	// WAL sync + atomic file write + WAL compaction).
+	SnapshotWriteSeconds *obs.Histogram
+}
+
+// SetMetrics wires instruments into the store's durability paths. Safe to
+// call at any time; typically once right after Open.
+func (st *Store) SetMetrics(m Metrics) {
+	st.appendHist.Store(m.AppendSeconds)
+	st.snapHist.Store(m.SnapshotWriteSeconds)
+	st.wal.setFsyncHist(m.FsyncSeconds)
 }
 
 // Stats describes the store for diagnostics (/healthz).
@@ -228,7 +263,10 @@ func (st *Store) MigrateLegacy(origin string, foldedEvents, foldedSeq uint64) er
 // remotely-pulled records are persisted through here, each keeping its
 // original identity. Durability is fsync-batched (see package wal docs).
 func (st *Store) Append(rec Record) (Record, error) {
-	return st.wal.append(rec)
+	start := time.Now()
+	out, err := st.wal.append(rec)
+	st.appendHist.Load().Record(time.Since(start))
+	return out, err
 }
 
 // ReplicaID returns this data directory's stable replica identity,
@@ -319,10 +357,12 @@ func (st *Store) WALRecords() int {
 // log empties, as before. The caller guarantees snap is a consistent
 // view (feedback state and vector captured under its own lock).
 func (st *Store) WriteSnapshot(snap *Snapshot) error {
+	start := time.Now()
+	defer func() { st.snapHist.Load().Record(time.Since(start)) }()
 	st.snapMu.Lock()
 	defer st.snapMu.Unlock()
 	if st.closed.Load() {
-		return errors.New("store: closed")
+		return ErrClosed
 	}
 	folded := make(Vector, len(snap.Origins))
 	for _, o := range snap.Origins {

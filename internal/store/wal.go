@@ -22,6 +22,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"soda/internal/obs"
 )
 
 // Op discriminates WAL record types.
@@ -140,8 +142,19 @@ type wal struct {
 	// land somewhere the next replay will never read.
 	failed error
 
+	// fsyncHist, when set, times each f.Sync (nil-safe no-op otherwise).
+	fsyncHist *obs.Histogram
+
 	flushStop chan struct{}
 	flushDone chan struct{}
+}
+
+// setFsyncHist wires the fsync-latency instrument (under the log's own
+// lock, so a concurrent flush tick never sees a torn pointer).
+func (w *wal) setFsyncHist(h *obs.Histogram) {
+	w.mu.Lock()
+	w.fsyncHist = h
+	w.mu.Unlock()
 }
 
 // openWAL opens (or creates) the log at path, scans it for valid records,
@@ -284,7 +297,10 @@ func (w *wal) syncLocked() error {
 	if w.f == nil || !w.dirty {
 		return nil
 	}
-	if err := w.f.Sync(); err != nil {
+	start := time.Now()
+	err := w.f.Sync()
+	w.fsyncHist.Record(time.Since(start))
+	if err != nil {
 		return err
 	}
 	w.dirty = false

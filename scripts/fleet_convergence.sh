@@ -119,4 +119,49 @@ curl -sf "http://${ADDRS[0]}/healthz" |
   jq -e '.cluster.replica_id == "r0" and (.cluster.peers | length) == 2 and (.cluster.peers[0].last_contact != null)' >/dev/null ||
   { echo "healthz cluster block incomplete" >&2; exit 1; }
 
+echo "== assert /metrics lag gauges return to 0 on every replica =="
+# Converged vectors mean every peer's records are applied, but the gauge
+# reads the status of the *last* pull — give the pollers a few rounds.
+metric() { # addr series-regex -> value of the first matching series
+  curl -sf "http://$1/metrics" | awk "/$2/ {print \$2; exit}"
+}
+for a in "${ADDRS[@]}"; do
+  lag_zero=0
+  for _ in $(seq 1 100); do
+    max=$(curl -sf "http://$a/metrics" |
+      awk '/^soda_cluster_peer_records_behind\{/ {if ($2+0 > m) m = $2+0} END {print m+0}')
+    if [ "$max" = 0 ]; then lag_zero=1; break; fi
+    sleep 0.1
+  done
+  if [ "$lag_zero" != 1 ]; then
+    echo "replica $a still reports replication lag:" >&2
+    curl -sf "http://$a/metrics" | grep '^soda_cluster_peer_records_behind' >&2
+    exit 1
+  fi
+done
+
+echo "== assert pipeline step histogram counts agree with each other =="
+# Every cold pipeline run passes through all five steps, so their sample
+# counts must be identical (and nonzero: each replica served at least the
+# byte-identity search above plus feedback-handler searches).
+for a in "${ADDRS[@]}"; do
+  counts=$(curl -sf "http://$a/metrics" |
+    awk '/^soda_pipeline_step_seconds_count\{step="(lookup|rank|tables|filters|sqlgen)"\}/ {print $2}' | sort -u)
+  if [ "$(echo "$counts" | wc -l)" != 1 ] || [ "$counts" = 0 ] || [ -z "$counts" ]; then
+    echo "replica $a pipeline step counts diverge or are zero:" >&2
+    curl -sf "http://$a/metrics" | grep '^soda_pipeline_step_seconds_count' >&2
+    exit 1
+  fi
+done
+
+echo "== assert /search request counts match the serving histograms =="
+for a in "${ADDRS[@]}"; do
+  reqs=$(metric "$a" '^soda_search_requests_total\{outcome="cold"\}')
+  hist=$(metric "$a" '^soda_search_latency_seconds_count\{outcome="cold"\}')
+  if [ -z "$reqs" ] || [ "$reqs" != "$hist" ]; then
+    echo "replica $a: requests_total{cold}=$reqs != latency_seconds_count{cold}=$hist" >&2
+    exit 1
+  fi
+done
+
 echo "OK: fleet converged to byte-identical /search after SIGKILL + restart"

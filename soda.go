@@ -49,6 +49,7 @@ import (
 	"soda/internal/invidx"
 	"soda/internal/metagraph"
 	"soda/internal/minibank"
+	"soda/internal/obs"
 	"soda/internal/queryparse"
 	"soda/internal/sqlast"
 	"soda/internal/sqlparse"
@@ -256,10 +257,9 @@ type System struct {
 // Connect for a System on a selectable backend and Open for one whose
 // state survives restarts.
 func NewSystem(w *World, opt Options) *System {
-	return &System{
-		world: w,
-		sys:   core.NewSystem(memory.New(w.db), w.meta, w.Index(), opt.internal()),
-	}
+	cs := core.NewSystem(memory.New(w.db), w.meta, w.Index(), opt.internal())
+	cs.SetLogger(obs.NewLogger(opt.Logf))
+	return &System{world: w, sys: cs}
 }
 
 // Connect builds a System on the execution backend selected by
@@ -276,10 +276,9 @@ func Connect(w *World, opt Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{
-		world: w,
-		sys:   core.NewSystem(ex, w.meta, w.Index(), opt.internal()),
-	}, nil
+	cs := core.NewSystem(ex, w.meta, w.Index(), opt.internal())
+	cs.SetLogger(obs.NewLogger(opt.Logf))
+	return &System{world: w, sys: cs}, nil
 }
 
 // newExecutor builds (and for SQL backends, loads) the executor named by
@@ -400,6 +399,7 @@ func Open(w *World, opt Options, dir string) (*System, error) {
 		return nil, err
 	}
 	cs := core.NewSystem(ex, meta, idx, opt.internal())
+	cs.SetLogger(obs.NewLogger(opt.Logf))
 	cs.SetFingerprint(fp)
 	cs.SetReplica(replicaID, len(opt.Peers))
 	if err := cs.OpenStore(st, snap); err != nil {
@@ -415,8 +415,9 @@ func Open(w *World, opt Options, dir string) (*System, error) {
 			Local:    clusterLocal{cs},
 			Peers:    opt.Peers,
 			Interval: opt.SyncInterval,
-			Logf:     opt.Logf,
+			Log:      cs.Logger().With("cluster"),
 		})
+		sys.registerClusterMetrics(opt.Peers)
 		// One best-effort blocking round before serving: a replica that
 		// (re)joins a running fleet catches up — and learns the fleet's
 		// Lamport clocks — before it takes feedback of its own. Peers that
@@ -427,6 +428,45 @@ func Open(w *World, opt Options, dir string) (*System, error) {
 		sys.tailer.Start()
 	}
 	return sys, nil
+}
+
+// Metrics returns the System's metric registry — the counters, gauges
+// and latency histograms every layer (pipeline, cache, backend, store,
+// cluster, HTTP server) registers into. Serve it with Registry.WriteText
+// (the server's GET /metrics does exactly that).
+func (s *System) Metrics() *obs.Registry { return s.sys.MetricsRegistry() }
+
+// registerClusterMetrics exposes per-peer replication lag as gauges read
+// from the tailer's status at scrape time:
+//
+//	soda_cluster_peer_records_behind{peer}        records applied by the
+//	                                              peer but not yet here
+//	soda_cluster_peer_last_contact_seconds{peer}  seconds since the last
+//	                                              successful pull; -1
+//	                                              until first contact
+func (s *System) registerClusterMetrics(peers []string) {
+	reg := s.sys.MetricsRegistry()
+	for _, peer := range peers {
+		pl := obs.Label{Name: "peer", Value: peer}
+		addr := peer
+		reg.GaugeFunc("soda_cluster_peer_records_behind",
+			"Feedback records the peer has applied that this replica has not.",
+			func() float64 {
+				if st, ok := s.tailer.Status(addr); ok {
+					return float64(st.RecordsBehind)
+				}
+				return 0
+			}, pl)
+		reg.GaugeFunc("soda_cluster_peer_last_contact_seconds",
+			"Seconds since the last successful pull from the peer (-1 before first contact).",
+			func() float64 {
+				st, ok := s.tailer.Status(addr)
+				if !ok || st.LastContact.IsZero() {
+					return -1
+				}
+				return time.Since(st.LastContact).Seconds()
+			}, pl)
+	}
 }
 
 // clusterLocal adapts core.System to the tailer's Local interface.
@@ -809,6 +849,14 @@ type Answer struct {
 
 // Explain renders the full pipeline trace (Figures 4-6) for the answer.
 func (a *Answer) Explain() string { return core.Explain(a.analysis) }
+
+// Timings re-exports the per-step pipeline durations (Table 4's split).
+type Timings = core.Timings
+
+// Timings reports how long each pipeline step took for this answer. For
+// an answer served from the cache these are the durations of the original
+// pipeline run that produced it.
+func (a *Answer) Timings() Timings { return a.analysis.Timings }
 
 // Search runs the five-step pipeline on a keyword/operator query written
 // in the paper's input language (§4.3):
