@@ -18,7 +18,12 @@
 //	                          # cold) for both corpora against the SLO;
 //	                          # writes BENCH_search.json (-latency-out).
 //	                          # With -latency-baseline <file>, exits 1 on
-//	                          # a >25% p99 regression vs that baseline.
+//	                          # a >25% p99 regression vs that baseline
+//	                          # (overall hit/cold p99 and the cold
+//	                          # `tables` step p99 specifically).
+//	sodabench -latency -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	                          # any mode can capture pprof profiles of
+//	                          # itself for offline analysis
 package main
 
 import (
@@ -51,7 +56,23 @@ func main() {
 	latency := flag.Bool("latency", false, "measure search latency percentiles against the SLO and write -latency-out")
 	latencyOut := flag.String("latency-out", "BENCH_search.json", "output file for -latency")
 	latencyBaseline := flag.String("latency-baseline", "", "baseline BENCH_search.json to compare against; exit 1 on >25% p99 regression")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" || *memProfile != "" {
+		stop, err := bench.StartProfiles(*cpuProfile, *memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Every mode below returns through main; log.Fatal paths lose the
+		// profile, which is fine — a failed run has nothing worth profiling.
+		defer func() {
+			if err := stop(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	if *latency {
 		if err := runLatency(*latencyOut, *latencyBaseline); err != nil {

@@ -61,11 +61,16 @@ type LatencyPercentiles struct {
 // StepLatency is one pipeline step's distribution across the cold
 // rounds, read from the cold system's soda_pipeline_step_seconds
 // histograms — it breaks the cold p99 down into where the time goes.
+// AllocsPerOp is the step's steady-state heap allocations per cold
+// search (per-query minimum over a few counted runs, averaged across
+// the workload), measured in a separate pass so the stop-the-world
+// MemStats reads never touch the timed samples.
 type StepLatency struct {
-	Step  string  `json:"step"`
-	Count uint64  `json:"count"`
-	P50Us float64 `json:"p50_us"`
-	P99Us float64 `json:"p99_us"`
+	Step        string  `json:"step"`
+	Count       uint64  `json:"count"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // CorpusLatency is one corpus's hit and cold distributions plus the SLO
@@ -227,9 +232,52 @@ func MeasureCorpusLatency(name string, hitSys, coldSys *core.System, queries []s
 		Cold:    summarise(colds),
 		Steps:   stepLatencies(coldSys),
 	}
+	// Allocation pass last: it re-runs the workload with CountAllocs on,
+	// which pays two ReadMemStats stop-the-worlds per step — the timed
+	// samples and the step histograms above are already banked.
+	allocs, err := measureStepAllocs(coldSys, queries)
+	if err != nil {
+		return CorpusLatency{}, err
+	}
+	for i := range c.Steps {
+		c.Steps[i].AllocsPerOp = allocs[c.Steps[i].Step]
+	}
 	c.HitPass = c.Hit.P99Us <= float64(HitSLOP99)/1e3
 	c.ColdPass = c.Cold.P99Us <= float64(ColdSLOP99)/1e3
 	return c, nil
+}
+
+// measureStepAllocs runs each query a few times with per-step allocation
+// counting enabled and returns, per step, the mean across queries of the
+// per-query minimum — the steady-state heap cost of a cold search with
+// warm memos, with GC-timing noise minimised by the min.
+func measureStepAllocs(sys *core.System, queries []string) (map[string]float64, error) {
+	const rounds = 3
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	totals := make(map[string]float64)
+	for _, q := range queries {
+		mins := make(map[string]uint64)
+		for r := 0; r < rounds; r++ {
+			a, err := sys.SearchWith(q, core.SearchOptions{CountAllocs: true})
+			if err != nil {
+				return nil, fmt.Errorf("bench: alloc pass %q: %w", q, err)
+			}
+			for step, n := range a.StepAllocs {
+				if have, ok := mins[step]; !ok || n < have {
+					mins[step] = n
+				}
+			}
+		}
+		for step, n := range mins {
+			totals[step] += float64(n)
+		}
+	}
+	for step := range totals {
+		totals[step] /= float64(len(queries))
+	}
+	return totals, nil
 }
 
 // stepLatencies reads the per-step breakdown of the cold rounds out of
@@ -275,12 +323,23 @@ func summarise(samples []time.Duration) LatencyPercentiles {
 }
 
 // CompareLatency lists the p99 regressions of cur against base beyond
-// frac (0.25 = fail on >25% growth). Corpora present only on one side are
-// ignored — the workload changed, there is nothing to compare.
+// frac (0.25 = fail on >25% growth): cache-hit p99, cold p99, and the
+// cold `tables` step p99 specifically — Step 3 is the cold path's
+// dominant cost and must not quietly regrow after being precomputed
+// away. Corpora present only on one side are ignored — the workload
+// changed, there is nothing to compare.
 func CompareLatency(base, cur *LatencyReport, frac float64) []string {
 	byName := make(map[string]CorpusLatency, len(base.Corpora))
 	for _, c := range base.Corpora {
 		byName[c.Corpus] = c
+	}
+	stepP99 := func(c CorpusLatency, name string) float64 {
+		for _, s := range c.Steps {
+			if s.Step == name {
+				return s.P99Us
+			}
+		}
+		return 0
 	}
 	var regressions []string
 	for _, c := range cur.Corpora {
@@ -297,6 +356,11 @@ func CompareLatency(base, cur *LatencyReport, frac float64) []string {
 			regressions = append(regressions, fmt.Sprintf(
 				"%s cold p99 %.1fµs vs baseline %.1fµs (+%.0f%%)",
 				c.Corpus, c.Cold.P99Us, b.Cold.P99Us, 100*(c.Cold.P99Us/b.Cold.P99Us-1)))
+		}
+		if bt, ct := stepP99(b, "tables"), stepP99(c, "tables"); bt > 0 && ct > bt*(1+frac) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s tables step p99 %.1fµs vs baseline %.1fµs (+%.0f%%)",
+				c.Corpus, ct, bt, 100*(ct/bt-1)))
 		}
 	}
 	return regressions

@@ -25,6 +25,13 @@ func TestMeasureCorpusLatencySmoke(t *testing.T) {
 	if c.Hit.P50Us <= 0 || c.Cold.P50Us <= 0 || c.Hit.MaxUs < c.Hit.P99Us {
 		t.Fatalf("percentiles not sane: %+v", c)
 	}
+	// The alloc pass must fill every step: a cold pipeline run allocates
+	// at least its result structures in every step.
+	for _, s := range c.Steps {
+		if s.AllocsPerOp <= 0 {
+			t.Fatalf("step %s has no allocs_per_op: %+v", s.Step, c.Steps)
+		}
+	}
 }
 
 func TestCompareLatency(t *testing.T) {
@@ -49,5 +56,19 @@ func TestCompareLatency(t *testing.T) {
 	cur.Corpora[0].Corpus = "other"
 	if regs := CompareLatency(mk(10, 1000), cur, 0.25); len(regs) != 0 {
 		t.Fatalf("uncomparable corpus flagged: %v", regs)
+	}
+	// The cold `tables` step p99 is gated on its own, even when the
+	// overall cold p99 stays within budget.
+	withTables := func(rep *LatencyReport, p99 float64) *LatencyReport {
+		rep.Corpora[0].Steps = []StepLatency{{Step: "tables", P99Us: p99}}
+		return rep
+	}
+	regs = CompareLatency(withTables(mk(10, 1000), 100), withTables(mk(10, 1000), 200), 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("tables-step regression not flagged alone: %v", regs)
+	}
+	regs = CompareLatency(withTables(mk(10, 1000), 100), withTables(mk(10, 1000), 110), 0.25)
+	if len(regs) != 0 {
+		t.Fatalf("tables-step within budget flagged: %v", regs)
 	}
 }

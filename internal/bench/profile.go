@@ -1,0 +1,61 @@
+package bench
+
+// pprof capture for benchmark runs: sodabench -cpuprofile/-memprofile
+// wrap whatever mode runs (tables, figures, -latency, -replicas) so the
+// ROADMAP "multi-core fleet numbers" session on real hardware can come
+// home with profiles, not just percentiles.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts CPU profiling into cpuPath and arranges a heap
+// profile into memPath; either path may be empty to skip that profile.
+// It returns a stop function that finishes both (flushing the CPU
+// profile and writing the heap profile after a final GC); the stop
+// function must be called exactly once, and only one profiling session
+// may be active per process.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("bench: creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("bench: starting cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = err
+			}
+		}
+		if memPath != "" {
+			memFile, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("bench: creating mem profile: %w", err)
+				}
+				return firstErr
+			}
+			// Up-to-date allocation stats: profile after a full collection,
+			// the same thing `go test -memprofile` does.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(memFile); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("bench: writing mem profile: %w", err)
+			}
+			if err := memFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}

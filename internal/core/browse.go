@@ -71,21 +71,25 @@ func (s *System) Browse(table string) (*TableInfo, error) {
 		info.Columns = append(info.Columns, ColumnInfo{Name: name, Type: typ})
 	}
 
-	// Join-graph neighbours.
+	// Join-graph neighbours: the raw discovery view (adjAll), which keeps
+	// ignored edges — the browser shows what is related, not what the
+	// pathfinder may traverse.
 	jg := s.joinGraphCached()
-	seen := map[string]bool{}
-	for _, ei := range jg.adj[table] {
-		e := jg.edges[ei]
-		other := e.t1
-		if other == table {
-			other = e.t2
+	if id := jg.tables.id(table); id >= 0 {
+		seen := map[string]bool{}
+		for _, ei := range jg.adjAll[id] {
+			e := jg.edges[ei]
+			other := e.t1
+			if other == table {
+				other = e.t2
+			}
+			key := other + "/" + e.c1 + "/" + e.c2
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			info.Related = append(info.Related, RelatedTable{Table: other, Join: e.join()})
 		}
-		key := other + "/" + e.c1 + "/" + e.c2
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		info.Related = append(info.Related, RelatedTable{Table: other, Join: e.join()})
 	}
 	sort.Slice(info.Related, func(i, j int) bool {
 		if info.Related[i].Table != info.Related[j].Table {
@@ -138,9 +142,8 @@ func (s *System) businessTerms(node rdf.Term) []string {
 	queue := []rdf.Term{node}
 	labelSet := map[string]bool{}
 	var labels []string
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		n := queue[head]
 		s.Meta.G.Incoming(n, func(p, src rdf.Term) bool {
 			if !upPreds[p.Value()] || visited[src] {
 				return true

@@ -159,12 +159,25 @@ type System struct {
 	derivedOnce sync.Once
 	jg          *joinGraph
 	bridgeMemo  []bridgeRel
+	bridgeIDs   []discoveredBridge
 
 	// Node-level memo tables shared by concurrent traversals. Values are
 	// deterministic functions of the node, so racing fills are benign.
-	memoMu  sync.RWMutex
-	colMemo map[rdf.Term]ColRef
-	tblMemo map[rdf.Term]string
+	// entryMemo caches whole entry-point traversals (tables.go
+	// entryTables) under the same discipline.
+	memoMu    sync.RWMutex
+	colMemo   map[rdf.Term]ColRef
+	tblMemo   map[rdf.Term]string
+	entryMemo map[entryKey][]string
+
+	// Step-3 result memos over the derived join graph (pathing.go):
+	// shortest paths per anchor pair / anchor set and FK upward closures
+	// per root table. Pure functions of the immutable join graph, so they
+	// share its lifetime and racing fills are benign.
+	step3Mu     sync.RWMutex
+	pairPaths   map[pairPathKey]pathResult
+	multiPaths  map[string]pathResult
+	closureMemo map[int32][]closureStep
 
 	// Relevance feedback. epoch counts ranking-function changes; cached
 	// answers from older epochs are never served. When a persistent
@@ -236,6 +249,10 @@ func NewSystem(be backend.Executor, meta *metagraph.Graph, idx *invidx.Index, op
 		Opt:          opt.withDefaults(),
 		colMemo:      make(map[rdf.Term]ColRef),
 		tblMemo:      make(map[rdf.Term]string),
+		entryMemo:    make(map[entryKey][]string),
+		pairPaths:    make(map[pairPathKey]pathResult),
+		multiPaths:   make(map[string]pathResult),
+		closureMemo:  make(map[int32][]closureStep),
 		vector:       make(store.Vector),
 		lastLC:       make(map[string]uint64),
 		foldedVector: make(store.Vector),
@@ -482,6 +499,11 @@ type Analysis struct {
 	// Epoch is the ranking epoch the analysis was computed under (the
 	// same value stamped on every solution).
 	Epoch uint64
+
+	// StepAllocs is the number of heap allocations each step performed,
+	// keyed by step name ("lookup" ... "sqlgen", "snippet"). Only set
+	// when the search ran with SearchOptions.CountAllocs.
+	StepAllocs map[string]uint64
 }
 
 // Warm precomputes the join graph and bridge-table caches so the first
@@ -501,6 +523,13 @@ type SearchOptions struct {
 	// the pipeline and caches the rows alongside the analysis, so
 	// repeated snippet searches perform zero SQL executions.
 	Snippets bool
+	// CountAllocs populates Analysis.StepAllocs with the heap allocations
+	// each pipeline step performed (runtime.MemStats Mallocs deltas).
+	// Benchmarking aid: the counts are process-wide, so they are only
+	// meaningful with Parallelism 1 and no concurrent load, and each
+	// sampled step pays two ReadMemStats calls. Off by default — the
+	// serving path never reads MemStats.
+	CountAllocs bool
 }
 
 // Search runs the five-step pipeline on an input query with the System's
@@ -535,13 +564,27 @@ func (s *System) SearchWith(input string, so SearchOptions) (*Analysis, error) {
 
 	a := &Analysis{Query: q, Dialect: dialect, WithSnippets: so.Snippets, Epoch: epoch}
 
+	// runStep is the identity wrapper unless the request asked for
+	// per-step allocation counts (a benchmarking aid; see CountAllocs).
+	runStep := func(name string, f func()) { f() }
+	if so.CountAllocs {
+		a.StepAllocs = make(map[string]uint64, 6)
+		runStep = func(name string, f func()) {
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			f()
+			runtime.ReadMemStats(&m1)
+			a.StepAllocs[name] = m1.Mallocs - m0.Mallocs
+		}
+	}
+
 	start := time.Now()
-	s.lookup(a) // step 1
+	runStep("lookup", func() { s.lookup(a) }) // step 1
 	a.Timings.Lookup = time.Since(start)
 	s.metrics.stepLookup.Record(a.Timings.Lookup)
 
 	start = time.Now()
-	s.rank(a) // step 2
+	runStep("rank", func() { s.rank(a) }) // step 2
 	a.Timings.Rank = time.Since(start)
 	s.metrics.stepRank.Record(a.Timings.Rank)
 
@@ -556,22 +599,28 @@ func (s *System) SearchWith(input string, so SearchOptions) (*Analysis, error) {
 	// bounded worker pool. Solutions keep their slice positions, so the
 	// ranked output is byte-identical to a sequential run.
 	start = time.Now()
-	s.forEachSolution(a.Solutions, func(sol *Solution) {
-		s.tablesStep(sol, a) // step 3
+	runStep("tables", func() {
+		s.forEachSolution(a.Solutions, func(sol *Solution) {
+			s.tablesStep(sol, a) // step 3
+		})
 	})
 	a.Timings.Tables = time.Since(start)
 	s.metrics.stepTables.Record(a.Timings.Tables)
 
 	start = time.Now()
-	s.forEachSolution(a.Solutions, func(sol *Solution) {
-		s.filtersStep(sol, a) // step 4
+	runStep("filters", func() {
+		s.forEachSolution(a.Solutions, func(sol *Solution) {
+			s.filtersStep(sol, a) // step 4
+		})
 	})
 	a.Timings.Filters = time.Since(start)
 	s.metrics.stepFilters.Record(a.Timings.Filters)
 
 	start = time.Now()
-	s.forEachSolution(a.Solutions, func(sol *Solution) {
-		s.sqlStep(sol, a) // step 5
+	runStep("sqlgen", func() {
+		s.forEachSolution(a.Solutions, func(sol *Solution) {
+			s.sqlStep(sol, a) // step 5
+		})
 	})
 	a.Timings.SQL = time.Since(start)
 	s.metrics.stepSQL.Record(a.Timings.SQL)
@@ -585,8 +634,10 @@ func (s *System) SearchWith(input string, so SearchOptions) (*Analysis, error) {
 		// Snippet execution rides the same worker pool; rows live on the
 		// solutions and are cached (and epoch-invalidated) with them.
 		start = time.Now()
-		s.forEachSolution(a.Solutions, func(sol *Solution) {
-			s.snippetStep(sol)
+		runStep("snippet", func() {
+			s.forEachSolution(a.Solutions, func(sol *Solution) {
+				s.snippetStep(sol)
+			})
 		})
 		a.Timings.Snippet = time.Since(start)
 		s.metrics.stepSnippet.Record(a.Timings.Snippet)

@@ -103,8 +103,7 @@ func (s *System) ensureTable(sol *Solution, table string) {
 		sol.SQLTables = append(sol.SQLTables, table)
 		return
 	}
-	jg := s.joinGraphCached()
-	path, ok := jg.shortestPath(sol.SQLTables, []string{table}, s.Opt.DisableBridges, s.Opt.MaxPathLen)
+	path, ok := s.multiPath(sol.SQLTables, table, s.Opt.DisableBridges, s.Opt.MaxPathLen)
 	if !ok {
 		sol.SQLTables = append(sol.SQLTables, table)
 		sol.Disconnected = true

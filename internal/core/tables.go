@@ -30,16 +30,34 @@ import (
 //     unless annotated with ignore_join (§5.3.1).
 func (s *System) tablesStep(sol *Solution, a *Analysis) {
 	jg := s.joinGraphCached()
+	it := jg.tables
+	sc := tablesPool.Get().(*tablesScratch)
+	defer tablesPool.Put(sc)
+	sc.discovered.reset(it.size())
+	sc.inSQL.reset(it.size())
+	sc.edgeSeen.reset(len(jg.edges))
 
 	// Part 1: per-entry table sets via graph traversal (discovery view).
 	entrySets := make([][]string, len(sol.Entries))
-	discovered := make(map[string]bool)
 	var tables []string
 	addDiscovered := func(t string) {
-		if t != "" && !discovered[t] {
-			discovered[t] = true
-			tables = append(tables, t)
+		if t == "" {
+			return
 		}
+		if id := it.id(t); id >= 0 {
+			if !sc.discovered.add(id) {
+				return
+			}
+		} else {
+			// A base-data table the schema graph does not know; rare
+			// enough that a linear-scan dedup is fine.
+			for _, have := range tables {
+				if have == t {
+					return
+				}
+			}
+		}
+		tables = append(tables, t)
 	}
 	for i, e := range sol.Entries {
 		set := s.entryTables(e)
@@ -52,12 +70,10 @@ func (s *System) tablesStep(sol *Solution, a *Analysis) {
 	// Discovery view of bridges: a bridge between two discovered tables
 	// is part of the Figure 6 output.
 	if !s.Opt.DisableBridges {
-		for _, br := range s.bridgesCached() {
-			if br.ignored {
-				continue
-			}
-			if discovered[br.left.Table] && discovered[br.right.Table] {
-				addDiscovered(br.bridge)
+		for _, br := range s.bridgeIDs {
+			if sc.discovered.has(br.left) && sc.discovered.has(br.right) &&
+				sc.discovered.add(br.bridge) {
+				tables = append(tables, it.name(br.bridge))
 			}
 		}
 	}
@@ -75,24 +91,41 @@ func (s *System) tablesStep(sol *Solution, a *Analysis) {
 	// Part 2+3: joins on direct paths between the anchors, walking the
 	// global join graph built from the Foreign Key / Join-Relationship
 	// patterns (bridge edges included unless ablated).
-	inSQL := make(map[string]bool)
 	var sqlTables []string
+	sqlIDs := sc.sqlIDs[:0]
 	addSQLTable := func(t string) {
-		if t != "" && !inSQL[t] {
-			inSQL[t] = true
-			sqlTables = append(sqlTables, t)
-		}
-	}
-	joinSeen := make(map[Join]bool)
-	var joins []Join
-	addJoin := func(j Join) {
-		if joinSeen[j] {
+		if t == "" {
 			return
 		}
-		joinSeen[j] = true
-		joins = append(joins, j)
-		addSQLTable(j.LeftTable)
-		addSQLTable(j.RightTable)
+		id := it.id(t)
+		if id >= 0 {
+			if !sc.inSQL.add(id) {
+				return
+			}
+		} else {
+			for _, have := range sqlTables {
+				if have == t {
+					return
+				}
+			}
+		}
+		sqlTables = append(sqlTables, t)
+		sqlIDs = append(sqlIDs, id)
+	}
+	// Joins are deduplicated by edge index: every join emitted below is
+	// some edge's join(), and distinct non-ignored edges always render
+	// distinct Join values (identical tuples were merged at build time).
+	var joins []Join
+	joinEdges := sc.joinEdges[:0]
+	addJoinEdge := func(ei int32) {
+		if !sc.edgeSeen.add(ei) {
+			return
+		}
+		e := &jg.edges[ei]
+		joins = append(joins, e.join())
+		joinEdges = append(joinEdges, ei)
+		addSQLTable(e.t1)
+		addSQLTable(e.t2)
 	}
 	for _, p := range primaries {
 		addSQLTable(p)
@@ -103,15 +136,14 @@ func (s *System) tablesStep(sol *Solution, a *Analysis) {
 			if primaries[i] == primaries[j] {
 				continue
 			}
-			path, ok := jg.shortestPath(
-				[]string{primaries[i]}, []string{primaries[j]},
+			path, ok := s.pairPath(primaries[i], primaries[j],
 				s.Opt.DisableBridges, s.Opt.MaxPathLen)
 			if !ok {
 				sol.Disconnected = true
 				continue
 			}
 			for _, e := range path {
-				addJoin(e.join())
+				addJoinEdge(e.idx)
 			}
 		}
 	}
@@ -123,83 +155,79 @@ func (s *System) tablesStep(sol *Solution, a *Analysis) {
 	// to its entity. N-to-1 joins over total foreign keys preserve the
 	// result rows while completing the business object; this is also
 	// where the bi-temporal snapshot trap of §5.2.1 bites (the modelled
-	// snapshot join silently drops historic versions).
+	// snapshot join silently drops historic versions). The closure of a
+	// root table is a pure function of the join graph, so it is computed
+	// once (closureOf) and replayed here. Bridge edges are excluded from
+	// it — following a bridge would jump to an unrelated entity, not
+	// complete the current one — and it is capped to keep FROM lists sane
+	// on pathological schemas.
 	for _, p := range primaries {
-		s.fkUpwardClosure(p, addJoin, addSQLTable)
+		if root := it.id(p); root >= 0 {
+			for _, step := range s.closureOf(root) {
+				addSQLTable(it.name(step.tbl))
+				addJoinEdge(step.ei)
+			}
+		}
 	}
 
 	// Ablation: keep every join between the SQL tables (Figure 9 off).
 	if s.Opt.AllJoins {
-		for _, e := range jg.edges {
+		for i := range jg.edges {
+			e := &jg.edges[i]
 			if e.ignored {
 				continue
 			}
-			if inSQL[e.t1] && inSQL[e.t2] {
-				addJoin(e.join())
+			if sc.inSQL.has(e.t1id) && sc.inSQL.has(e.t2id) {
+				addJoinEdge(int32(i))
 			}
 		}
 	}
 
 	sol.SQLTables = sqlTables
 	sol.Joins = joins
-	if !connectedUnder(sqlTables, joins) {
+	if !jg.connectedIDs(sc, sqlIDs, joinEdges) {
 		sol.Disconnected = true
 	}
+	sc.sqlIDs = sqlIDs
+	sc.joinEdges = joinEdges
 }
 
-// fkUpwardClosure joins a table with everything it references: outgoing
-// foreign keys (t1 is always the FK side) and inheritance parents,
-// transitively. Bridge edges are excluded — following a bridge would jump
-// to an unrelated entity, not complete the current one. The closure is
-// capped to keep FROM lists sane on pathological schemas.
-func (s *System) fkUpwardClosure(table string, addJoin func(Join), addTable func(string)) {
-	const maxClosure = 16
-	jg := s.joinGraphCached()
-	visited := map[string]bool{table: true}
-	queue := []string{table}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		var outs []jgEdge
-		for _, ei := range jg.adj[cur] {
-			e := jg.edges[ei]
-			if e.ignored || e.via == "bridge" || e.t1 != cur {
-				continue
-			}
-			outs = append(outs, e)
-		}
-		sort.Slice(outs, func(i, j int) bool {
-			if outs[i].t2 != outs[j].t2 {
-				return outs[i].t2 < outs[j].t2
-			}
-			return outs[i].c1 < outs[j].c1
-		})
-		// Follow at most one FK per referenced table: a fact table with
-		// two role FKs to the same dimension (fromparty/toparty) must not
-		// join both on a single instance — that would force the roles to
-		// coincide. Without aliases SODA keeps the first role.
-		followed := make(map[string]bool)
-		for _, e := range outs {
-			if len(visited) >= maxClosure {
-				return
-			}
-			if followed[e.t2] {
-				continue
-			}
-			followed[e.t2] = true
-			addTable(e.t2)
-			addJoin(e.join())
-			if !visited[e.t2] {
-				visited[e.t2] = true
-				queue = append(queue, e.t2)
-			}
-		}
-	}
-}
-
-// entryTables runs the traversal of part 1 for a single entry point. The
-// first table in the result is the entry's anchor (nearest table).
+// entryTables runs the traversal of part 1 for a single entry point,
+// memoised per entry-point identity: the traversal only depends on the
+// immutable metadata graph, and the ranked solutions of a single query
+// (let alone a workload) share entry points heavily. The returned slice
+// is shared and must be treated as read-only. The first table in the
+// result is the entry's anchor (nearest table).
 func (s *System) entryTables(e EntryPoint) []string {
+	k := entryKey{kind: e.Kind, node: e.Node, table: e.Table, column: e.Column}
+	s.memoMu.RLock()
+	set, ok := s.entryMemo[k]
+	s.memoMu.RUnlock()
+	if ok {
+		return set
+	}
+	set = s.computeEntryTables(e)
+	s.memoMu.Lock()
+	if have, dup := s.entryMemo[k]; dup {
+		set = have // racing fills compute the same value; keep the first
+	} else {
+		s.entryMemo[k] = set
+	}
+	s.memoMu.Unlock()
+	return set
+}
+
+// entryKey identifies an entry point for the entryTables memo: the kind
+// selects the traversal root (metadata node vs. base-data table/column),
+// so together these four fields determine the result.
+type entryKey struct {
+	kind   EntryKind
+	node   rdf.Term
+	table  string
+	column string
+}
+
+func (s *System) computeEntryTables(e EntryPoint) []string {
 	collected := make(map[string]bool)
 	var out []string
 	add := func(t string) {
@@ -232,9 +260,8 @@ func (s *System) entryTables(e EntryPoint) []string {
 func (s *System) traverse(start rdf.Term, add func(string)) {
 	visited := map[rdf.Term]bool{start: true}
 	queue := []rdf.Term{start}
-	for len(queue) > 0 {
-		node := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		node := queue[head]
 
 		s.collectAtNode(node, add)
 
@@ -334,9 +361,8 @@ func (s *System) resolveColumn(node rdf.Term) (ColRef, bool) {
 	ref = ColRef{}
 	visited := map[rdf.Term]bool{node: true}
 	queue := []rdf.Term{node}
-	for len(queue) > 0 && ref.Table == "" {
-		n := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue) && ref.Table == ""; head++ {
+		n := queue[head]
 		if r, ok := s.columnRef(n); ok {
 			ref = r
 			break
@@ -380,20 +406,39 @@ func (s *System) findColumnNode(table, column string) (rdf.Term, bool) {
 
 // ---- Join graph -----------------------------------------------------
 
-// jgEdge is one join condition in the global join graph.
+// jgEdge is one join condition in the global join graph. Besides the
+// semantic fields, each edge carries its own index and the interned IDs
+// of its endpoint tables, assigned once at build time.
 type jgEdge struct {
 	t1, c1, t2, c2 string
 	via            string // "fk", "joinrel", "inheritance", "bridge"
 	ignored        bool
+	idx            int32 // index of this edge in joinGraph.edges
+	t1id, t2id     int32 // interned table IDs of t1/t2
 }
 
 func (e jgEdge) join() Join {
 	return Join{LeftTable: e.t1, LeftCol: e.c1, RightTable: e.t2, RightCol: e.c2, Via: e.via}
 }
 
+// joinGraph is the precomputed global join graph. All adjacency is
+// indexed by interned table ID:
+//
+//	adjAll — every edge (ignored included) in insertion order, the raw
+//	         discovery view (Browse renders from this);
+//	adj    — traversable edges, pre-sorted in (neighbour, edge-index)
+//	         order, exactly the order the BFS used to sort out per visit;
+//	adjNB  — adj without bridge edges (the DisableBridges ablation);
+//	fkOut  — outgoing FK/inheritance edges (t1 == table, bridges
+//	         excluded) in the (t2 name, c1) order fkUpwardClosure used to
+//	         sort out per node.
 type joinGraph struct {
-	edges []jgEdge
-	adj   map[string][]int // table -> edge indexes
+	edges  []jgEdge
+	tables *tableInterner
+	adjAll [][]int32
+	adj    [][]jgArc
+	adjNB  [][]jgArc
+	fkOut  [][]jgArc
 }
 
 // bridgeRel is one discovered bridge table with its two FK targets.
@@ -404,12 +449,29 @@ type bridgeRel struct {
 	ignored           bool
 }
 
-// buildDerived computes the one-time derived join structures: bridge
-// tables first (the join graph tags edges touching them), then the global
-// join graph. It runs exactly once per System, through derivedOnce.
+// buildDerived computes the one-time derived join structures: the table
+// interner first (everything else speaks interned IDs), then bridge
+// tables (the join graph tags edges touching them), then the global join
+// graph and the interned view of the bridge list. It runs exactly once
+// per System, through derivedOnce; the Step-3 memos guarded by step3Mu
+// (pairPaths, multiPaths, closureMemo) are derived from these structures
+// and share their lifetime.
 func (s *System) buildDerived() {
+	it := s.buildTableInterner()
 	s.bridgeMemo = s.findBridges()
-	s.jg = s.buildJoinGraph()
+	s.jg = s.buildJoinGraph(it)
+	var bids []discoveredBridge
+	for _, br := range s.bridgeMemo {
+		if br.ignored {
+			continue
+		}
+		l, r, b := it.id(br.left.Table), it.id(br.right.Table), it.id(br.bridge)
+		if l < 0 || r < 0 || b < 0 {
+			continue // bridge endpoints always resolve via the schema graph
+		}
+		bids = append(bids, discoveredBridge{left: l, right: r, bridge: b})
+	}
+	s.bridgeIDs = bids
 }
 
 // joinGraphCached returns the global join graph, building it on first use.
@@ -427,15 +489,25 @@ func (s *System) bridgesCached() []bridgeRel {
 // buildJoinGraph matches the Foreign Key and Join-Relationship patterns
 // across the whole metadata graph, honouring ignore_join annotations
 // (§5.3.1). Edges touching a bridge table are tagged via="bridge" so the
-// Figure 9 pathfinding can be ablated separately.
-func (s *System) buildJoinGraph() *joinGraph {
+// Figure 9 pathfinding can be ablated separately. After edge discovery
+// it precomputes the ID-indexed adjacency views (see joinGraph): the
+// deterministic neighbour orders that shortestPath and fkUpwardClosure
+// used to establish per visit are fixed here, once.
+func (s *System) buildJoinGraph(it *tableInterner) *joinGraph {
 	bridgeTables := make(map[string]bool)
 	for _, br := range s.bridgeMemo {
 		bridgeTables[br.bridge] = true
 	}
 
-	jg := &joinGraph{adj: make(map[string][]int)}
+	jg := &joinGraph{tables: it}
 	ignorePred := rdf.NewIRI(metagraph.PredIgnoreJoin)
+
+	// Dedup on the semantic fields only (idx/t1id/t2id are derived).
+	type edgeKey struct {
+		t1, c1, t2, c2, via string
+		ignored             bool
+	}
+	seen := make(map[edgeKey]bool)
 
 	addEdge := func(fkCol, pkCol rdf.Term, extraIgnore bool) {
 		fkRef, ok1 := s.columnRef(fkCol)
@@ -453,16 +525,15 @@ func (s *System) buildJoinGraph() *joinGraph {
 		case s.isInheritanceLink(fkRef.Table, pkRef.Table):
 			via = "inheritance"
 		}
-		e := jgEdge{t1: fkRef.Table, c1: fkRef.Column, t2: pkRef.Table, c2: pkRef.Column, via: via, ignored: ignored}
-		for _, have := range jg.edges {
-			if have == e {
-				return
-			}
+		k := edgeKey{t1: fkRef.Table, c1: fkRef.Column, t2: pkRef.Table, c2: pkRef.Column, via: via, ignored: ignored}
+		if seen[k] {
+			return
 		}
-		idx := len(jg.edges)
-		jg.edges = append(jg.edges, e)
-		jg.adj[e.t1] = append(jg.adj[e.t1], idx)
-		jg.adj[e.t2] = append(jg.adj[e.t2], idx)
+		seen[k] = true
+		jg.edges = append(jg.edges, jgEdge{
+			t1: k.t1, c1: k.c1, t2: k.t2, c2: k.c2, via: via, ignored: ignored,
+			idx: int32(len(jg.edges)), t1id: it.id(k.t1), t2id: it.id(k.t2),
+		})
 	}
 
 	// Simple foreign keys (Figure 8).
@@ -479,7 +550,72 @@ func (s *System) buildJoinGraph() *joinGraph {
 		ignored := s.Meta.G.Has(x, ignorePred, rdf.NewText("true"))
 		addEdge(f, p, ignored)
 	}
+
+	// Raw adjacency: every edge, under both endpoints, insertion order.
+	n := it.size()
+	jg.adjAll = make([][]int32, n)
+	for i := range jg.edges {
+		e := &jg.edges[i]
+		if e.t1id >= 0 {
+			jg.adjAll[e.t1id] = append(jg.adjAll[e.t1id], int32(i))
+		}
+		if e.t2id >= 0 {
+			jg.adjAll[e.t2id] = append(jg.adjAll[e.t2id], int32(i))
+		}
+	}
+
+	// Traversal views with the per-visit orders baked in.
+	jg.adj = make([][]jgArc, n)
+	jg.adjNB = make([][]jgArc, n)
+	jg.fkOut = make([][]jgArc, n)
+	for t := int32(0); t < int32(n); t++ {
+		for _, ei := range jg.adjAll[t] {
+			e := &jg.edges[ei]
+			if e.ignored {
+				continue
+			}
+			next := e.t1id
+			if next == t {
+				next = e.t2id
+			}
+			arc := jgArc{next: next, ei: ei}
+			jg.adj[t] = append(jg.adj[t], arc)
+			if e.via != "bridge" {
+				jg.adjNB[t] = append(jg.adjNB[t], arc)
+				if e.t1id == t {
+					jg.fkOut[t] = append(jg.fkOut[t], jgArc{next: e.t2id, ei: ei})
+				}
+			}
+		}
+		// BFS expansion order: neighbour, then edge index. IDs are
+		// assigned in sorted-name order, so comparing IDs compares names.
+		sortArcs(jg.adj[t])
+		sortArcs(jg.adjNB[t])
+		// FK closure order: referenced table name, then FK column name —
+		// the same sort.Slice call fkUpwardClosure ran per visit, applied
+		// to the same insertion-order candidate list, so ties resolve to
+		// the identical permutation.
+		fk := jg.fkOut[t]
+		sort.Slice(fk, func(i, j int) bool {
+			a, b := &jg.edges[fk[i].ei], &jg.edges[fk[j].ei]
+			if a.t2 != b.t2 {
+				return a.t2 < b.t2
+			}
+			return a.c1 < b.c1
+		})
+	}
 	return jg
+}
+
+// sortArcs orders an adjacency list by (neighbour, edge index) — a total
+// order, so the result is unique regardless of sort stability.
+func sortArcs(arcs []jgArc) {
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].next != arcs[j].next {
+			return arcs[i].next < arcs[j].next
+		}
+		return arcs[i].ei < arcs[j].ei
+	})
 }
 
 // columnRef resolves a column node to (table, column) without traversal.
@@ -570,118 +706,7 @@ func (s *System) findBridges() []bridgeRel {
 	return out
 }
 
-// shortestPath runs a BFS over the join graph from any table in src to any
-// table in dst, skipping ignored edges (and bridge edges when
-// skipBridges). It returns the edges of one shortest path,
-// deterministically: neighbours are explored in sorted table order so tied
-// paths resolve the same way every run.
-func (g *joinGraph) shortestPath(src, dst []string, skipBridges bool, maxLen int) ([]jgEdge, bool) {
-	dstSet := make(map[string]bool, len(dst))
-	for _, t := range dst {
-		dstSet[t] = true
-	}
-	type state struct {
-		table string
-		via   int // edge index used to reach it, -1 for sources
-		prev  int // index into states, -1 for sources
-		depth int
-	}
-	var states []state
-	visited := make(map[string]bool)
-	queue := []int{}
-	srcSorted := append([]string(nil), src...)
-	sort.Strings(srcSorted)
-	for _, t := range srcSorted {
-		if visited[t] {
-			continue
-		}
-		visited[t] = true
-		states = append(states, state{table: t, via: -1, prev: -1, depth: 0})
-		queue = append(queue, len(states)-1)
-	}
-	for len(queue) > 0 {
-		si := queue[0]
-		queue = queue[1:]
-		st := states[si]
-		if dstSet[st.table] {
-			var path []jgEdge
-			for cur := si; states[cur].via >= 0; cur = states[cur].prev {
-				path = append(path, g.edges[states[cur].via])
-			}
-			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-				path[i], path[j] = path[j], path[i]
-			}
-			return path, true
-		}
-		if maxLen > 0 && st.depth >= maxLen {
-			continue // path would exceed the far-fetching bound
-		}
-		// Deterministic neighbour order: sort candidate edges by the
-		// neighbour table name, then by column names.
-		type cand struct {
-			next string
-			ei   int
-		}
-		var cands []cand
-		for _, ei := range g.adj[st.table] {
-			e := g.edges[ei]
-			if e.ignored || (skipBridges && e.via == "bridge") {
-				continue
-			}
-			next := e.t1
-			if next == st.table {
-				next = e.t2
-			}
-			if visited[next] {
-				continue
-			}
-			cands = append(cands, cand{next: next, ei: ei})
-		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].next != cands[j].next {
-				return cands[i].next < cands[j].next
-			}
-			return cands[i].ei < cands[j].ei
-		})
-		for _, c := range cands {
-			if visited[c.next] {
-				continue
-			}
-			visited[c.next] = true
-			states = append(states, state{table: c.next, via: c.ei, prev: si, depth: st.depth + 1})
-			queue = append(queue, len(states)-1)
-		}
-	}
-	return nil, false
-}
-
-// connectedUnder reports whether the tables form one connected component
-// under the given joins.
-func connectedUnder(tables []string, joins []Join) bool {
-	if len(tables) <= 1 {
-		return true
-	}
-	adj := make(map[string][]string)
-	for _, j := range joins {
-		adj[j.LeftTable] = append(adj[j.LeftTable], j.RightTable)
-		adj[j.RightTable] = append(adj[j.RightTable], j.LeftTable)
-	}
-	visited := map[string]bool{tables[0]: true}
-	queue := []string{tables[0]}
-	for len(queue) > 0 {
-		t := queue[0]
-		queue = queue[1:]
-		for _, n := range adj[t] {
-			if !visited[n] {
-				visited[n] = true
-				queue = append(queue, n)
-			}
-		}
-	}
-	for _, t := range tables {
-		if !visited[t] {
-			return false
-		}
-	}
-	return true
-}
+// The string-map shortestPath / connectedUnder / fkUpwardClosure that
+// used to live here survive verbatim as the reference oracle in
+// tables_reference_test.go; the serving path runs their interned
+// equivalents (pathing.go), equivalence enforced by randomized tests.
