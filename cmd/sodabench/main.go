@@ -13,7 +13,10 @@
 //	                          # of sodad replicas (replicating over
 //	                          # loopback HTTP), drive /search at all of
 //	                          # them and report aggregate QPS plus the
-//	                          # feedback convergence latency
+//	                          # feedback convergence latency; counter
+//	                          # deltas come from one replica's merged
+//	                          # /admin/fleet/metrics view, and every load
+//	                          # request carries a W3C traceparent
 //	sodabench -latency        # search latency percentiles (cache-hit and
 //	                          # cold) for both corpora against the SLO;
 //	                          # writes BENCH_search.json (-latency-out).

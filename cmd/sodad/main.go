@@ -63,9 +63,14 @@
 //	                    profiling is never exposed to search clients.
 //	-access-log string  structured request log destination: a file path
 //	                    (appended) or "-" for stdout; empty disables it.
-//	                    One JSON line per request: request id, method,
-//	                    path, dialect, cache outcome, per-step pipeline
-//	                    timings, status, bytes, duration.
+//	                    One JSON line per request: request id, W3C trace
+//	                    id, method, path, dialect, cache outcome, per-step
+//	                    pipeline timings, status, bytes, duration.
+//	-flight int         flight-recorder capacity: how many completed
+//	                    request traces GET /debug/requests retains (0 =
+//	                    default 256; one third of the slots are reserved
+//	                    for over-SLO and 5xx traces, which normal traffic
+//	                    never evicts)
 //
 // The daemon warms the join-graph caches before listening, serves until
 // SIGINT/SIGTERM and then shuts down gracefully, draining in-flight
@@ -82,6 +87,18 @@
 //	    backend counters, store WAL/snapshot timings, cluster replication
 //	    lag gauges, serving latency. See the README's "Observability"
 //	    section for the metric catalog.
+//
+//	GET  /debug/requests
+//	    Flight recorder: recent and retained slow/error request traces
+//	    with per-step spans, resolved SQL, cache outcome and backend
+//	    identity; ?id=<trace or request id> fetches one trace. Requests
+//	    carrying a W3C `traceparent` header keep their trace id, so a
+//	    caller can follow one query across the fleet.
+//
+//	GET  /admin/fleet/metrics
+//	    Fleet-wide metric aggregation: this replica's /metrics merged
+//	    with every -peers replica's scrape (counters and histogram
+//	    counts summed, gauges per-replica under a `replica` label).
 //
 //	POST /search
 //	    {"query": "customers Zürich", "snippets": true, "dialect": "db2"}
@@ -170,11 +187,12 @@ func main() {
 		metricsOn   = flag.Bool("metrics", true, "serve the Prometheus exposition on GET /metrics")
 		debugAddr   = flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty = off)")
 		accessLog   = flag.String("access-log", "", `structured request log: file path or "-" for stdout (empty = off)`)
+		flightSize  = flag.Int("flight", 0, "flight-recorder trace capacity for GET /debug/requests (0 = default 256)")
 	)
 	flag.Parse()
 	be := backendOptions{Backend: *backendName, Driver: *driver, DSN: *dsn, Load: *load}
 	cl := clusterOptions{Peers: splitPeers(*peers), ReplicaID: *replicaID, SyncInterval: *syncEvery, PeerDeadAfter: *peerDead}
-	sv := servingOptions{MaxInflight: *maxInflight, Metrics: *metricsOn, DebugAddr: *debugAddr, AccessLog: *accessLog}
+	sv := servingOptions{MaxInflight: *maxInflight, Metrics: *metricsOn, DebugAddr: *debugAddr, AccessLog: *accessLog, FlightSize: *flightSize}
 	if err := run(*addr, *world, *dialect, *dataDir, *queriesFile, be, cl, sv, *parallelism, *cacheSize, *topN); err != nil {
 		log.Fatal(err)
 	}
@@ -200,6 +218,7 @@ type servingOptions struct {
 	Metrics     bool
 	DebugAddr   string
 	AccessLog   string
+	FlightSize  int
 }
 
 // openAccessLog resolves the -access-log flag to a writer: "-" is
@@ -307,7 +326,13 @@ func run(addr, world, dialect, dataDir, queriesFile string, be backendOptions, c
 	log.Printf("warming %s (%d tables, backend %s)...", w.Name(), len(w.TableNames()), sys.Backend())
 	sys.Warm()
 
-	srvCfg := server.Config{MaxInflight: sv.MaxInflight, Logf: log.Printf, DisableMetrics: !sv.Metrics}
+	srvCfg := server.Config{
+		MaxInflight:        sv.MaxInflight,
+		Logf:               log.Printf,
+		DisableMetrics:     !sv.Metrics,
+		FleetPeers:         cl.Peers,
+		FlightRecorderSize: sv.FlightSize,
+	}
 	if sv.AccessLog != "" {
 		w, closeLog, err := openAccessLog(sv.AccessLog)
 		if err != nil {

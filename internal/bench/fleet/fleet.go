@@ -80,25 +80,31 @@ func (r *Result) Render() string {
 	return b.String()
 }
 
-// scrapeFleet sums every replica's /metrics series into one fleet-wide
-// snapshot.
+// scrapeFleet reads the whole fleet's counters through replica 0's
+// /admin/fleet/metrics — one request whose merged output (counters and
+// histogram counts summed across replicas by the serving replica itself)
+// replaces the previous client-side sum of per-replica scrapes. The
+// scrape carries a minted traceparent, so the fan-out is correlated in
+// every replica's request log.
 func scrapeFleet(client *http.Client, urls []string) (map[string]float64, error) {
-	total := make(map[string]float64)
-	for _, u := range urls {
-		resp, err := client.Get(u + "/metrics")
-		if err != nil {
-			return nil, err
-		}
-		vals, err := obs.ParseText(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return nil, fmt.Errorf("parsing %s/metrics: %w", u, err)
-		}
-		for k, v := range vals {
-			total[k] += v
-		}
+	req, err := http.NewRequest(http.MethodGet, urls[0]+"/admin/fleet/metrics", nil)
+	if err != nil {
+		return nil, err
 	}
-	return total, nil
+	req.Header.Set(obs.TraceparentHeader, obs.MintTraceContext().Header())
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet metrics: status %d", resp.StatusCode)
+	}
+	vals, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("parsing fleet metrics: %w", err)
+	}
+	return vals, nil
 }
 
 // counterDeltas reports how much each counter series grew between two
@@ -219,14 +225,23 @@ func Run(cfg Config) (*Result, error) {
 		}
 		systems[i] = sys
 		slots[i].mu.Lock()
-		slots[i].h = server.New(sys)
+		slots[i].h = server.NewWith(sys, server.Config{FleetPeers: peers})
 		slots[i].mu.Unlock()
 	}
 
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.WorkersPerReplica + 2}}
 	defer client.CloseIdleConnections()
+	// Every load request carries a freshly minted traceparent — the same
+	// propagation a real caller would use, exercising the adopt-inbound
+	// path on each replica.
 	post := func(url, body string) error {
-		resp, err := client.Post(url, "application/json", strings.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(obs.TraceparentHeader, obs.MintTraceContext().Header())
+		resp, err := client.Do(req)
 		if err != nil {
 			return err
 		}

@@ -193,8 +193,12 @@ func (t *Tailer) Status(addr string) (PeerStatus, bool) {
 }
 
 func (t *Tailer) pullPeer(ctx context.Context, peer string) {
+	// One trace per drain: every pull round of this tick shares a trace id
+	// (with a fresh span id per request), so the peer's request log shows
+	// which pulls belonged to one catch-up pass.
+	tc := obs.MintTraceContext()
 	for round := 0; round < maxRoundsPerTick; round++ {
-		resp, err := t.pullOnce(ctx, peer)
+		resp, err := t.pullOnce(ctx, peer, tc)
 		if err != nil {
 			t.recordError(peer, err)
 			return
@@ -240,12 +244,13 @@ func (t *Tailer) pullPeer(ctx context.Context, peer string) {
 	}
 }
 
-func (t *Tailer) pullOnce(ctx context.Context, peer string) (*PullResponse, error) {
+func (t *Tailer) pullOnce(ctx context.Context, peer string, tc obs.TraceContext) (*PullResponse, error) {
 	u := PullURL(peer, t.cfg.Local.ReplicaID(), t.cfg.Local.AppliedVector(), t.cfg.BatchLimit)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, err
 	}
+	req.Header.Set(obs.TraceparentHeader, tc.Child().Header())
 	httpResp, err := t.cfg.Client.Do(req)
 	if err != nil {
 		return nil, err

@@ -538,14 +538,22 @@ func (s *System) Search(input string) (*Analysis, error) {
 	return s.SearchWith(input, SearchOptions{})
 }
 
-// SearchWith runs the five-step pipeline on an input query. Repeated
-// queries hit the answer cache (keyed by the canonical query form, the
-// dialect and the snippet flag — a cached generic answer is never served
-// to a db2 request, nor a row-less answer to a snippet request) unless
-// relevance feedback bumped the ranking epoch since the answer was
-// computed; the returned Analysis is shared between such callers and must
-// be treated as read-only.
+// SearchWith runs the five-step pipeline with a background context. See
+// SearchWithContext.
 func (s *System) SearchWith(input string, so SearchOptions) (*Analysis, error) {
+	return s.SearchWithContext(context.Background(), input, so)
+}
+
+// SearchWithContext runs the five-step pipeline on an input query.
+// Repeated queries hit the answer cache (keyed by the canonical query
+// form, the dialect and the snippet flag — a cached generic answer is
+// never served to a db2 request, nor a row-less answer to a snippet
+// request) unless relevance feedback bumped the ranking epoch since the
+// answer was computed; the returned Analysis is shared between such
+// callers and must be treated as read-only. ctx flows into backend
+// executions (snippet runs), carrying cancellation and the request's
+// trace span collector.
+func (s *System) SearchWithContext(ctx context.Context, input string, so SearchOptions) (*Analysis, error) {
 	q, err := queryparse.Parse(input)
 	if err != nil {
 		return nil, err
@@ -636,7 +644,7 @@ func (s *System) SearchWith(input string, so SearchOptions) (*Analysis, error) {
 		start = time.Now()
 		runStep("snippet", func() {
 			s.forEachSolution(a.Solutions, func(sol *Solution) {
-				s.snippetStep(sol)
+				s.snippetStep(ctx, sol)
 			})
 		})
 		a.Timings.Snippet = time.Since(start)
@@ -681,12 +689,12 @@ func appendCacheKey(dst []byte, q string, d *sqlast.Dialect, snippets bool, back
 
 // snippetStep executes one solution with the snippet row cap and stores
 // the rows (or the error) on the solution.
-func (s *System) snippetStep(sol *Solution) {
+func (s *System) snippetStep(ctx context.Context, sol *Solution) {
 	if sol.SQL == nil {
 		sol.SnippetErr = "core: solution has no SQL"
 		return
 	}
-	res, err := s.execSnippet(sol)
+	res, err := s.execSnippet(ctx, sol)
 	if err != nil {
 		sol.SnippetErr = err.Error()
 		return
@@ -754,17 +762,23 @@ func (s *System) parallelDo(n int, fn func(int)) {
 // (saved query) instead goes through the backend's prepared-statement
 // path with its extracted bindings: the values never touch the SQL text.
 func (s *System) Execute(sol *Solution) (*backend.Result, error) {
+	return s.ExecuteContext(context.Background(), sol)
+}
+
+// ExecuteContext is Execute with an explicit context for cancellation and
+// trace-span capture.
+func (s *System) ExecuteContext(ctx context.Context, sol *Solution) (*backend.Result, error) {
 	if sol.SQL == nil {
 		return nil, fmt.Errorf("core: solution has no SQL")
 	}
 	if sol.Approved {
-		return s.execApproved(sol, 0)
+		return s.execApproved(ctx, sol, 0)
 	}
 	sel, err := sqlparse.ParseDialect(sol.SQLText(), sol.dialect())
 	if err != nil {
 		return nil, fmt.Errorf("core: generated SQL does not reparse: %w", err)
 	}
-	return s.runSQL(sel)
+	return s.runSQL(ctx, sel)
 }
 
 // ExecSQL parses and runs an arbitrary statement in the supported SQL
@@ -772,17 +786,29 @@ func (s *System) Execute(sol *Solution) (*backend.Result, error) {
 // workflows of §5.3.2. The statement is read in the System's configured
 // dialect; use ExecSQLDialect for a per-call override.
 func (s *System) ExecSQL(sql string) (*backend.Result, error) {
-	return s.ExecSQLDialect(sql, s.Opt.Dialect)
+	return s.ExecSQLDialectContext(context.Background(), sql, s.Opt.Dialect)
+}
+
+// ExecSQLContext is ExecSQL with an explicit context for cancellation and
+// trace-span capture.
+func (s *System) ExecSQLContext(ctx context.Context, sql string) (*backend.Result, error) {
+	return s.ExecSQLDialectContext(ctx, sql, s.Opt.Dialect)
 }
 
 // ExecSQLDialect parses the statement in the given dialect (nil =
 // generic) and runs it.
 func (s *System) ExecSQLDialect(sql string, d *sqlast.Dialect) (*backend.Result, error) {
+	return s.ExecSQLDialectContext(context.Background(), sql, d)
+}
+
+// ExecSQLDialectContext is ExecSQLDialect with an explicit context for
+// cancellation and trace-span capture.
+func (s *System) ExecSQLDialectContext(ctx context.Context, sql string, d *sqlast.Dialect) (*backend.Result, error) {
 	sel, err := sqlparse.ParseDialect(sql, d)
 	if err != nil {
 		return nil, err
 	}
-	return s.runSQL(sel)
+	return s.runSQL(ctx, sel)
 }
 
 // Snippet returns a solution's result snippet (paper: "result snippets
@@ -799,15 +825,15 @@ func (s *System) Snippet(sol *Solution) (*backend.Result, error) {
 	if sol.SQL == nil {
 		return nil, fmt.Errorf("core: solution has no SQL")
 	}
-	return s.execSnippet(sol)
+	return s.execSnippet(context.Background(), sol)
 }
 
 // execSnippet reparses the rendered statement in its dialect, caps it to
 // the snippet row budget and runs it. Approved solutions keep their
 // prepared-statement path, capped the same way.
-func (s *System) execSnippet(sol *Solution) (*backend.Result, error) {
+func (s *System) execSnippet(ctx context.Context, sol *Solution) (*backend.Result, error) {
 	if sol.Approved {
-		return s.execApproved(sol, s.Opt.SnippetRows)
+		return s.execApproved(ctx, sol, s.Opt.SnippetRows)
 	}
 	sel, err := sqlparse.ParseDialect(sol.SQLText(), sol.dialect())
 	if err != nil {
@@ -816,15 +842,16 @@ func (s *System) execSnippet(sol *Solution) (*backend.Result, error) {
 	if sel.Limit < 0 || sel.Limit > s.Opt.SnippetRows {
 		sel.Limit = s.Opt.SnippetRows
 	}
-	return s.runSQL(sel)
+	return s.runSQL(ctx, sel)
 }
 
 // runSQL executes a parsed statement on the backend, with per-backend
-// latency and error accounting.
-func (s *System) runSQL(sel *sqlast.Select) (*backend.Result, error) {
+// latency and error accounting and a "backend:exec" span on the
+// request's trace (when ctx carries one).
+func (s *System) runSQL(ctx context.Context, sel *sqlast.Select) (*backend.Result, error) {
 	m := s.metrics
-	return instrumentedExec(m.execTotal, m.execErrors, m.execSeconds, func() (*backend.Result, error) {
-		return s.Backend.Exec(context.Background(), sel)
+	return instrumentedExec(ctx, "backend:exec", m.execTotal, m.execErrors, m.execSeconds, func() (*backend.Result, error) {
+		return s.Backend.Exec(ctx, sel)
 	})
 }
 

@@ -8,6 +8,7 @@ package core
 // exposition surface documented in the README's Observability section.
 
 import (
+	"context"
 	"time"
 
 	"soda/internal/backend"
@@ -141,12 +142,17 @@ func (s *System) SetLogger(l *obs.Logger) { s.log = l }
 func (s *System) Logger() *obs.Logger { return s.log }
 
 // instrumentedExec runs one backend execution with latency and error
-// accounting for the given path instruments.
-func instrumentedExec(total, errs *obs.Counter, lat *obs.Histogram, run func() (*backend.Result, error)) (*backend.Result, error) {
+// accounting for the given path instruments, and appends a named span to
+// the request trace when ctx carries one ("backend:exec" for parsed
+// statements, "backend:prepared" for saved queries) — a nil trace is a
+// no-op, so untraced callers pay one context lookup and nothing else.
+func instrumentedExec(ctx context.Context, span string, total, errs *obs.Counter, lat *obs.Histogram, run func() (*backend.Result, error)) (*backend.Result, error) {
 	total.Inc()
 	start := time.Now()
 	res, err := run()
-	lat.Record(time.Since(start))
+	dur := time.Since(start)
+	lat.Record(dur)
+	obs.TraceFromContext(ctx).Add(span, dur)
 	if err != nil {
 		errs.Inc()
 	}

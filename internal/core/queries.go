@@ -525,14 +525,14 @@ func (sol *Solution) binding(name string) (backend.Value, bool) {
 // the statement text is the registration-time render and the bound
 // values travel as arguments. limit > 0 caps the row count (snippets)
 // via a shallow statement copy; the shared AST is never mutated.
-func (s *System) execApproved(sol *Solution, limit int) (*backend.Result, error) {
+func (s *System) execApproved(ctx context.Context, sol *Solution, limit int) (*backend.Result, error) {
 	sel := sol.SQL
 	if limit > 0 && (sel.Limit < 0 || sel.Limit > limit) {
 		capped := *sel
 		capped.Limit = limit
 		sel = &capped
 	}
-	pq, err := s.Backend.Prepare(context.Background(), sel)
+	pq, err := s.Backend.Prepare(ctx, sel)
 	if err != nil {
 		s.metrics.prepErrors.Inc()
 		return nil, fmt.Errorf("core: preparing saved query %q: %w", sol.QueryName, err)
@@ -548,7 +548,7 @@ func (s *System) execApproved(sol *Solution, limit int) (*backend.Result, error)
 		args[i] = v
 	}
 	m := s.metrics
-	return instrumentedExec(m.prepTotal, m.prepErrors, m.prepSeconds, func() (*backend.Result, error) {
-		return s.Backend.ExecPrepared(context.Background(), pq, args)
+	return instrumentedExec(ctx, "backend:prepared", m.prepTotal, m.prepErrors, m.prepSeconds, func() (*backend.Result, error) {
+		return s.Backend.ExecPrepared(ctx, pq, args)
 	})
 }

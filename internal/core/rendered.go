@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"soda/internal/sqlast"
@@ -69,10 +70,18 @@ func (s *System) AttachRendered(input string, so SearchOptions, a *Analysis, dat
 // SearchWith + render + AttachRendered (hit=false). render receives the
 // fresh analysis and returns the bytes to serve and cache.
 func (s *System) SearchRendered(input string, so SearchOptions, render func(*Analysis) ([]byte, error)) (data []byte, hit bool, err error) {
+	return s.SearchRenderedContext(context.Background(), input, so, render)
+}
+
+// SearchRenderedContext is SearchRendered with an explicit context. The
+// cache-hit path never touches ctx — it stays allocation-free regardless
+// of what the context carries; only the cold path threads it into the
+// pipeline (backend spans, cancellation).
+func (s *System) SearchRenderedContext(ctx context.Context, input string, so SearchOptions, render func(*Analysis) ([]byte, error)) (data []byte, hit bool, err error) {
 	if data, ok := s.CachedRendered(input, so); ok {
 		return data, true, nil
 	}
-	a, err := s.SearchWith(input, so)
+	a, err := s.SearchWithContext(ctx, input, so)
 	if err != nil {
 		return nil, false, err
 	}

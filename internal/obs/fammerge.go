@@ -1,0 +1,223 @@
+package obs
+
+// Family-preserving exposition parsing and fleet-wide merging. ParseText
+// (expfmt.go) flattens a scrape into a map for delta reports; the fleet
+// aggregation endpoint needs more — it must re-emit valid exposition, so
+// HELP/TYPE lines, family order and label structure have to survive the
+// round trip. ParseFamilies keeps them; MergeScrapes folds per-replica
+// scrapes into one fleet view (counters and summary _sum/_count summed,
+// gauges and quantiles kept per-replica under a `replica` label);
+// WriteFamilies renders the result back to text the in-tree parser — or
+// Prometheus — accepts.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricPoint is one sample line of a family. Suffix distinguishes the
+// summary sub-series ("", "_sum" or "_count"); Labels are kept sorted by
+// name so identical label sets compare equal across replicas.
+type MetricPoint struct {
+	Suffix string
+	Labels []Label
+	Value  float64
+}
+
+// MetricFamily is one metric name with its HELP/TYPE metadata and all
+// sample lines, in input order.
+type MetricFamily struct {
+	Name   string
+	Help   string
+	Type   string // "counter", "gauge", "summary" or "untyped"
+	Points []MetricPoint
+}
+
+// ParseFamilies parses text exposition preserving family structure.
+// Sample lines are attached to the family whose name matches exactly, or
+// — for summaries — whose name plus "_sum"/"_count" matches. Lines with
+// no preceding HELP/TYPE start an untyped family.
+func ParseFamilies(r io.Reader) ([]*MetricFamily, error) {
+	var fams []*MetricFamily
+	byName := make(map[string]*MetricFamily)
+	get := func(name, typ string) *MetricFamily {
+		if f := byName[name]; f != nil {
+			return f
+		}
+		f := &MetricFamily{Name: name, Type: typ}
+		byName[name] = f
+		fams = append(fams, f)
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimSpace(line[1:])
+			switch {
+			case strings.HasPrefix(rest, "HELP "):
+				parts := strings.SplitN(rest[len("HELP "):], " ", 2)
+				f := get(parts[0], "untyped")
+				if len(parts) == 2 {
+					f.Help = parts[1]
+				}
+			case strings.HasPrefix(rest, "TYPE "):
+				parts := strings.SplitN(rest[len("TYPE "):], " ", 2)
+				if len(parts) == 2 {
+					get(parts[0], parts[1]).Type = parts[1]
+				}
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("obs: unparseable exposition line %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad value in line %q: %w", line, err)
+		}
+		name := key
+		var labels []Label
+		if open := strings.IndexByte(key, '{'); open >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				return nil, fmt.Errorf("obs: unterminated label set in line %q", line)
+			}
+			name = key[:open]
+			labels, err = parseLabelBody(key[open+1 : len(key)-1])
+			if err != nil {
+				return nil, fmt.Errorf("obs: %w in line %q", err, line)
+			}
+			sort.Slice(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name })
+		}
+		famName, suffix := name, ""
+		if f := byName[name]; f == nil {
+			// Summary sub-series carry the family name plus a suffix.
+			for _, suf := range []string{"_sum", "_count"} {
+				base := strings.TrimSuffix(name, suf)
+				if base != name {
+					if bf := byName[base]; bf != nil && bf.Type == "summary" {
+						famName, suffix = base, suf
+						break
+					}
+				}
+			}
+		}
+		f := get(famName, "untyped")
+		f.Points = append(f.Points, MetricPoint{Suffix: suffix, Labels: labels, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// ReplicaScrape pairs a replica identity with its parsed scrape.
+type ReplicaScrape struct {
+	Replica  string
+	Families []*MetricFamily
+}
+
+// pointKey identifies a sample within a family for merge lookups.
+type pointKey struct {
+	suffix   string
+	labelKey string
+}
+
+// withReplicaLabel returns labels plus replica="id", sorted — unless a
+// replica label is already present (per-replica gauges like cluster lag
+// already carry one; overwriting it would lie about the source).
+func withReplicaLabel(labels []Label, replica string) []Label {
+	for _, l := range labels {
+		if l.Name == "replica" {
+			return labels
+		}
+	}
+	out := make([]Label, 0, len(labels)+1)
+	out = append(out, labels...)
+	out = append(out, Label{Name: "replica", Value: replica})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MergeScrapes folds per-replica scrapes into one fleet-wide family set.
+// Counters and summary _sum/_count series are summed across replicas by
+// label set; gauges, untyped series and summary quantile series are kept
+// per-replica with a `replica` label added (preserved when already
+// present, e.g. the cluster lag gauges). Family order follows first
+// appearance across the scrapes, so the merged output is deterministic
+// for a fixed scrape order.
+func MergeScrapes(scrapes []ReplicaScrape) []*MetricFamily {
+	var out []*MetricFamily
+	byName := make(map[string]*MetricFamily)
+	idx := make(map[string]map[pointKey]int)
+
+	for _, sc := range scrapes {
+		for _, f := range sc.Families {
+			m := byName[f.Name]
+			if m == nil {
+				m = &MetricFamily{Name: f.Name, Help: f.Help, Type: f.Type}
+				byName[f.Name] = m
+				idx[f.Name] = make(map[pointKey]int)
+				out = append(out, m)
+			}
+			if m.Help == "" {
+				m.Help = f.Help
+			}
+			keys := idx[f.Name]
+			for _, p := range f.Points {
+				summed := m.Type == "counter" || (m.Type == "summary" && p.Suffix != "")
+				labels := p.Labels
+				if !summed {
+					labels = withReplicaLabel(p.Labels, sc.Replica)
+				}
+				k := pointKey{suffix: p.Suffix, labelKey: labelKey(labels)}
+				if at, ok := keys[k]; ok {
+					if summed {
+						m.Points[at].Value += p.Value
+					} else {
+						// Same labels from two replicas (replica label was
+						// already present): last writer wins so the merged
+						// output never carries duplicate series.
+						m.Points[at].Value = p.Value
+					}
+					continue
+				}
+				keys[k] = len(m.Points)
+				m.Points = append(m.Points, MetricPoint{Suffix: p.Suffix, Labels: labels, Value: p.Value})
+			}
+		}
+	}
+	return out
+}
+
+// WriteFamilies renders families back to text exposition. Output parses
+// with both ParseText and ParseFamilies.
+func WriteFamilies(w io.Writer, fams []*MetricFamily) error {
+	b := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.Help != "" {
+			fmt.Fprintf(b, "# HELP %s %s\n", f.Name, f.Help)
+		}
+		fmt.Fprintf(b, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, p := range f.Points {
+			b.WriteString(f.Name)
+			b.WriteString(p.Suffix)
+			writeLabels(b, p.Labels)
+			b.WriteByte(' ')
+			writeFloat(b, p.Value)
+			b.WriteByte('\n')
+		}
+	}
+	return b.Flush()
+}

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// scrapeRegistry builds a registry with the shapes the fleet exposes:
+// counters, gauges (including one already carrying a replica label, like
+// the cluster lag gauges) and a histogram-as-summary.
+func scrapeRegistry(t *testing.T, replica string, reqs uint64, lagFrom string, lag float64) string {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("soda_requests_total", "Requests served.", Label{Name: "path", Value: "/search"}).Add(reqs)
+	reg.Gauge("soda_inflight", "In-flight requests.").Set(2)
+	reg.Gauge("soda_cluster_lag", "Ops behind peer.", Label{Name: "replica", Value: lagFrom}).Set(lag)
+	h := reg.Histogram("soda_search_seconds", "Search latency.")
+	for i := uint64(0); i < reqs; i++ {
+		h.Record(time.Millisecond)
+	}
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func parseFams(t *testing.T, text string) []*MetricFamily {
+	t.Helper()
+	fams, err := ParseFamilies(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+func findFamily(fams []*MetricFamily, name string) *MetricFamily {
+	for _, f := range fams {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+func pointValue(t *testing.T, f *MetricFamily, suffix string, labels ...Label) float64 {
+	t.Helper()
+	want := labelKey(labels)
+	for _, p := range f.Points {
+		if p.Suffix == suffix && labelKey(p.Labels) == want {
+			return p.Value
+		}
+	}
+	t.Fatalf("family %s: no point suffix=%q labels=%v; have %+v", f.Name, suffix, labels, f.Points)
+	return 0
+}
+
+// TestParseFamiliesRoundTrip checks ParseFamilies → WriteFamilies
+// preserves families, types and values for a real registry scrape.
+func TestParseFamiliesRoundTrip(t *testing.T) {
+	text := scrapeRegistry(t, "r0", 5, "r1", 3)
+	fams := parseFams(t, text)
+
+	var b strings.Builder
+	if err := WriteFamilies(&b, fams); err != nil {
+		t.Fatal(err)
+	}
+	// The rewritten text must parse identically with the flat parser.
+	flat1, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat2, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat1) != len(flat2) {
+		t.Fatalf("round trip changed series count: %d -> %d", len(flat1), len(flat2))
+	}
+	for k, v := range flat1 {
+		if flat2[k] != v {
+			t.Fatalf("round trip changed %s: %v -> %v", k, v, flat2[k])
+		}
+	}
+
+	sum := findFamily(fams, "soda_search_seconds")
+	if sum == nil || sum.Type != "summary" {
+		t.Fatalf("summary family lost: %+v", sum)
+	}
+	if got := pointValue(t, sum, "_count"); got != 5 {
+		t.Fatalf("summary _count = %v, want 5", got)
+	}
+}
+
+// TestMergeScrapesFleet merges three replica scrapes that all expose the
+// same metric names — counters must sum, summary counts must sum, gauges
+// must stay per-replica, and the merged text must re-parse cleanly.
+func TestMergeScrapesFleet(t *testing.T) {
+	scrapes := []ReplicaScrape{
+		{Replica: "r0", Families: parseFams(t, scrapeRegistry(t, "r0", 5, "r1", 3))},
+		{Replica: "r1", Families: parseFams(t, scrapeRegistry(t, "r1", 7, "r0", 2))},
+		{Replica: "r2", Families: parseFams(t, scrapeRegistry(t, "r2", 11, "r0", 1))},
+	}
+	merged := MergeScrapes(scrapes)
+
+	// Counters with identical names across peers sum by label set.
+	reqs := findFamily(merged, "soda_requests_total")
+	if reqs == nil {
+		t.Fatal("requests family lost in merge")
+	}
+	if got := pointValue(t, reqs, "", Label{Name: "path", Value: "/search"}); got != 23 {
+		t.Fatalf("merged requests_total = %v, want 5+7+11=23", got)
+	}
+	if len(reqs.Points) != 1 {
+		t.Fatalf("counter merge left %d series, want 1", len(reqs.Points))
+	}
+
+	// Summary _count/_sum sum across replicas; quantiles stay per-replica.
+	lat := findFamily(merged, "soda_search_seconds")
+	if got := pointValue(t, lat, "_count"); got != 23 {
+		t.Fatalf("merged histogram count = %v, want 23", got)
+	}
+	quantiles := 0
+	for _, p := range lat.Points {
+		for _, l := range p.Labels {
+			if l.Name == "quantile" {
+				quantiles++
+				if !hasLabel(p.Labels, "replica") {
+					t.Fatalf("quantile point lost replica label: %+v", p)
+				}
+			}
+		}
+	}
+	if quantiles != 9 { // 3 quantiles × 3 replicas
+		t.Fatalf("merged quantile series = %d, want 9", quantiles)
+	}
+
+	// Gauges gain a replica label per peer.
+	inflight := findFamily(merged, "soda_inflight")
+	if len(inflight.Points) != 3 {
+		t.Fatalf("gauge merge left %d series, want 3 (one per replica)", len(inflight.Points))
+	}
+	if got := pointValue(t, inflight, "", Label{Name: "replica", Value: "r1"}); got != 2 {
+		t.Fatalf("inflight{replica=r1} = %v, want 2", got)
+	}
+
+	// Label collision edge case: the lag gauge already carries a replica
+	// label naming the *peer*; merging must preserve it, not stamp the
+	// scraped replica over it.
+	lag := findFamily(merged, "soda_cluster_lag")
+	if got := pointValue(t, lag, "", Label{Name: "replica", Value: "r1"}); got != 3 {
+		t.Fatalf("lag{replica=r1} = %v, want 3 (from r0's scrape)", got)
+	}
+	// r1 and r2 both report lag{replica="r0"}; last scrape wins so the
+	// merged output has no duplicate series.
+	if got := pointValue(t, lag, "", Label{Name: "replica", Value: "r0"}); got != 1 {
+		t.Fatalf("lag{replica=r0} = %v, want 1 (last writer)", got)
+	}
+	if len(lag.Points) != 2 {
+		t.Fatalf("lag merge left %d series, want 2", len(lag.Points))
+	}
+
+	// The merged output must be valid exposition for both in-tree parsers.
+	var b strings.Builder
+	if err := WriteFamilies(&b, merged); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("merged output does not re-parse: %v", err)
+	}
+	if got := flat[SeriesKey("soda_requests_total", Label{Name: "path", Value: "/search"})]; got != 23 {
+		t.Fatalf("re-parsed merged requests_total = %v, want 23", got)
+	}
+	refams, err := ParseFamilies(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("merged output does not re-parse as families: %v", err)
+	}
+	if got := pointValue(t, findFamily(refams, "soda_search_seconds"), "_count"); got != 23 {
+		t.Fatalf("re-parsed merged histogram count = %v, want 23", got)
+	}
+}
+
+func hasLabel(labels []Label, name string) bool {
+	for _, l := range labels {
+		if l.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMergeScrapesEscaping checks escaped label values survive the
+// parse → merge → write → parse cycle.
+func TestMergeScrapesEscaping(t *testing.T) {
+	text := "# HELP weird A counter.\n# TYPE weird counter\n" +
+		"weird{q=\"say \\\"hi\\\"\\nnow\\\\\"} 4\n"
+	scrapes := []ReplicaScrape{
+		{Replica: "r0", Families: parseFams(t, text)},
+		{Replica: "r1", Families: parseFams(t, text)},
+	}
+	var b strings.Builder
+	if err := WriteFamilies(&b, MergeScrapes(scrapes)); err != nil {
+		t.Fatal(err)
+	}
+	flat, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := SeriesKey("weird", Label{Name: "q", Value: "say \"hi\"\nnow\\"})
+	if flat[key] != 8 {
+		t.Fatalf("escaped counter merged to %v, want 8", flat[key])
+	}
+}

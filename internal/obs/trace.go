@@ -3,11 +3,16 @@ package obs
 // Lightweight span tracer for per-request pipeline traces. A Trace is a
 // flat, append-only list of named spans with durations — enough to
 // reconstruct "lookup 80µs → rank 40µs → sqlgen 200µs" for one request
-// in the structured access log, without the weight (or allocations on
-// shared paths) of a distributed-tracing client. Traces are per-request
-// values, not shared, so they need no locking.
+// in the structured access log and the flight recorder, without the
+// weight of a distributed-tracing client. A small mutex makes Add safe
+// from the pipeline's worker pool (parallel snippet execution records
+// backend spans concurrently); the zero value carries no spans, so the
+// cache-hit path never allocates span storage.
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // Span is one named, timed step inside a trace.
 type Span struct {
@@ -19,6 +24,7 @@ type Span struct {
 // Trace collects spans for one request. The zero value is ready to use;
 // a nil *Trace drops all spans.
 type Trace struct {
+	mu    sync.Mutex
 	spans []Span
 }
 
@@ -33,7 +39,9 @@ func (t *Trace) Add(name string, d time.Duration) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
 	t.spans = append(t.spans, Span{Name: name, Dur: d})
+	t.mu.Unlock()
 }
 
 // Start opens a span; the returned func closes it. Usage:
@@ -47,14 +55,32 @@ func (t *Trace) Start(name string) func() {
 	}
 	start := time.Now()
 	return func() {
+		t.mu.Lock()
 		t.spans = append(t.spans, Span{Name: name, Start: start, Dur: time.Since(start)})
+		t.mu.Unlock()
 	}
 }
 
-// Spans returns the recorded spans in append order.
+// Spans returns a snapshot of the recorded spans in append order. An
+// empty trace returns nil without allocating.
 func (t *Trace) Spans() []Span {
 	if t == nil {
 		return nil
 	}
-	return t.spans
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) == 0 {
+		return nil
+	}
+	return append([]Span(nil), t.spans...)
+}
+
+// Len reports the number of recorded spans without copying them.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
 }

@@ -1,0 +1,210 @@
+package obs
+
+// W3C Trace Context (traceparent) support: the fleet's distributed
+// tracing currency. A TraceContext is the parsed form of the
+// `traceparent` request header — trace id, parent span id, flags — and
+// every layer that crosses a process boundary (serving, cluster tailer,
+// fleet metric scrapes, bench load) either adopts the caller's context
+// or mints a fresh one, so one trace id follows a query across the whole
+// fleet. Stdlib-only, like the rest of the package.
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	mathrand "math/rand/v2"
+	"sync"
+)
+
+// TraceparentHeader is the canonical request-header name.
+const TraceparentHeader = "traceparent"
+
+// TraceContext is a parsed W3C traceparent: version 00, a 16-byte trace
+// id and an 8-byte span id, both lowercase hex. The zero value is
+// invalid (all-zero ids are forbidden by the spec).
+type TraceContext struct {
+	TraceID string // 32 lowercase hex characters, not all-zero
+	SpanID  string // 16 lowercase hex characters, not all-zero
+	Flags   byte   // bit 0: sampled
+}
+
+// Valid reports whether the context carries well-formed, non-zero ids.
+func (tc TraceContext) Valid() bool {
+	return isHexID(tc.TraceID, 32) && isHexID(tc.SpanID, 16)
+}
+
+// Header renders the context in traceparent wire form
+// ("00-<trace-id>-<span-id>-<flags>").
+func (tc TraceContext) Header() string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = append(b, tc.TraceID...)
+	b = append(b, '-')
+	b = append(b, tc.SpanID...)
+	b = append(b, '-')
+	b = append(b, hexDigits[tc.Flags>>4], hexDigits[tc.Flags&0xf])
+	return string(b)
+}
+
+// Child returns a context in the same trace with a freshly minted span
+// id — what an outbound request propagates so the receiver's log line
+// can be distinguished from the originating request's.
+func (tc TraceContext) Child() TraceContext {
+	return TraceContext{TraceID: tc.TraceID, SpanID: mintHexID(16), Flags: tc.Flags}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// isHexID reports whether s is exactly n lowercase hex digits and not
+// all zeros (the spec forbids all-zero trace and span ids).
+func isHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	zero := true
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}
+
+// ParseTraceparent parses a traceparent header value. ok is false for a
+// missing or malformed header — the spec says to discard and restart the
+// trace, which is exactly what callers do by minting a fresh context.
+// Unknown future versions are accepted as long as the 00-format prefix
+// parses (per the spec's forward-compatibility rule); version "ff" is
+// forbidden.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	if len(h) < 55 {
+		return TraceContext{}, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceContext{}, false
+	}
+	version := h[0:2]
+	if !isHexPair(version) || version == "ff" {
+		return TraceContext{}, false
+	}
+	if version == "00" && len(h) != 55 {
+		return TraceContext{}, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return TraceContext{}, false
+	}
+	tc := TraceContext{TraceID: h[3:35], SpanID: h[36:52]}
+	if !isHexPair(h[53:55]) {
+		return TraceContext{}, false
+	}
+	tc.Flags = unhex(h[53])<<4 | unhex(h[54])
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+func isHexPair(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return len(s) == 2
+}
+
+func unhex(c byte) byte {
+	if c >= 'a' {
+		return c - 'a' + 10
+	}
+	return c - '0'
+}
+
+// idRand is the trace-id source: a fast PRNG seeded once from
+// crypto/rand. Trace ids need uniqueness, not unpredictability, so the
+// per-request cost is two locked PRNG reads instead of a syscall.
+var (
+	idRandMu sync.Mutex
+	idRand   *mathrand.Rand
+)
+
+func init() {
+	var seed [32]byte
+	_, _ = cryptorand.Read(seed[:])
+	var chacha [4]uint64
+	for i := range chacha {
+		chacha[i] = binary.LittleEndian.Uint64(seed[i*8:])
+	}
+	idRand = mathrand.New(mathrand.NewPCG(chacha[0]^chacha[2], chacha[1]^chacha[3]))
+}
+
+// mintHexID returns n random lowercase hex digits (n must be even and
+// ≤ 32), never all-zero.
+func mintHexID(n int) string {
+	var raw [16]byte
+	idRandMu.Lock()
+	hi, lo := idRand.Uint64(), idRand.Uint64()
+	idRandMu.Unlock()
+	binary.BigEndian.PutUint64(raw[0:8], hi)
+	binary.BigEndian.PutUint64(raw[8:16], lo)
+	b := make([]byte, n)
+	zero := true
+	for i := 0; i < n; i += 2 {
+		c := raw[(i/2)%16]
+		b[i] = hexDigits[c>>4]
+		b[i+1] = hexDigits[c&0xf]
+		if c != 0 {
+			zero = false
+		}
+	}
+	if zero {
+		b[n-1] = '1' // astronomically unlikely; the spec forbids all-zero ids
+	}
+	return string(b)
+}
+
+// MintTraceContext starts a new sampled trace: fresh trace and span ids.
+func MintTraceContext() TraceContext {
+	return TraceContext{TraceID: mintHexID(32), SpanID: mintHexID(16), Flags: 0x01}
+}
+
+// ActiveTrace binds one request's W3C trace context to its span
+// collector. The serving layer embeds one per request and stores it in
+// the request context; the core pipeline appends backend-execution spans
+// through TraceFromContext, and outbound HTTP calls (fleet metric
+// scrapes) propagate TC.Child() — all without the layers importing each
+// other.
+type ActiveTrace struct {
+	TC    TraceContext
+	Spans *Trace
+}
+
+type activeTraceKey struct{}
+
+// ContextWithActive attaches an active trace to ctx.
+func ContextWithActive(ctx context.Context, at *ActiveTrace) context.Context {
+	return context.WithValue(ctx, activeTraceKey{}, at)
+}
+
+// ActiveFromContext returns the request's active trace, or nil.
+func ActiveFromContext(ctx context.Context) *ActiveTrace {
+	if ctx == nil {
+		return nil
+	}
+	at, _ := ctx.Value(activeTraceKey{}).(*ActiveTrace)
+	return at
+}
+
+// TraceFromContext returns the request's span collector, or nil (a valid
+// no-op Trace receiver) when the caller is not inside a traced request.
+func TraceFromContext(ctx context.Context) *Trace {
+	if at := ActiveFromContext(ctx); at != nil {
+		return at.Spans
+	}
+	return nil
+}

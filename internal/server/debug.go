@@ -1,0 +1,53 @@
+package server
+
+// GET /debug/requests — the flight recorder's HTTP face. The list view
+// returns the recorder's health summary plus recent and retained
+// slow/error traces, newest first; ?id=<trace or request id> returns one
+// trace in full: per-step pipeline spans, backend-execution spans, the
+// resolved SQL, cache outcome and backend identity. This is the
+// "why was that query slow" endpoint — the per-request counterpart of
+// the aggregate /metrics histograms.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"soda/internal/obs"
+)
+
+// DebugRequestsResponse is the GET /debug/requests list payload.
+type DebugRequestsResponse struct {
+	FlightRecorder obs.FlightStats   `json:"flight_recorder"`
+	Requests       []obs.FlightEntry `json:"requests"`
+}
+
+// defaultDebugRequestLimit caps the list view; ?limit= overrides.
+const defaultDebugRequestLimit = 100
+
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if id := q.Get("id"); id != "" {
+		entry, ok := s.flight.Get(id)
+		if !ok {
+			s.writeError(w, r, http.StatusNotFound,
+				fmt.Errorf("no retained trace with id %q (the ring may have churned past it)", id))
+			return
+		}
+		s.writeJSON(w, http.StatusOK, entry)
+		return
+	}
+	limit := defaultDebugRequestLimit
+	if ls := q.Get("limit"); ls != "" {
+		l, err := strconv.Atoi(ls)
+		if err != nil || l <= 0 {
+			s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad limit %q", ls))
+			return
+		}
+		limit = l
+	}
+	s.writeJSON(w, http.StatusOK, DebugRequestsResponse{
+		FlightRecorder: s.flight.Stats(),
+		Requests:       s.flight.List(limit),
+	})
+}

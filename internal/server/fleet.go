@@ -1,0 +1,96 @@
+package server
+
+// GET /admin/fleet/metrics — fleet-wide metric aggregation. The serving
+// replica scrapes its own registry plus every configured peer's /metrics
+// (propagating the request's trace context on each outbound scrape, so
+// the whole fan-out shares one trace id across the fleet's request logs)
+// and merges the scrapes with the obs family merger: counters and
+// histogram _sum/_count summed across replicas, gauges and quantiles kept
+// per-replica under a `replica` label. The output is valid exposition —
+// a coordinator or sodabench -replicas reads the fleet through one URL
+// instead of N.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"soda/internal/obs"
+)
+
+// peerLabel names one peer scrape source in the merged output: the peer
+// URL's host (peer replica ids are not known from configuration alone;
+// the local scrape uses the replica id directly).
+func peerLabel(peer string) string {
+	if u, err := url.Parse(peer); err == nil && u.Host != "" {
+		return u.Host
+	}
+	return strings.TrimPrefix(strings.TrimPrefix(peer, "http://"), "https://")
+}
+
+func (s *Server) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.sys.Metrics().WriteText(&buf); err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	localFams, err := obs.ParseFamilies(&buf)
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, fmt.Errorf("parsing local scrape: %w", err))
+		return
+	}
+	local := s.sys.ReplicaID()
+	if local == "" {
+		local = "local"
+	}
+	scrapes := []obs.ReplicaScrape{{Replica: local, Families: localFams}}
+
+	// Outbound scrapes carry a child of this request's trace context, so
+	// one fixed traceparent on /admin/fleet/metrics shows up in every
+	// peer's request log.
+	tc := obs.MintTraceContext()
+	if at := obs.ActiveFromContext(r.Context()); at != nil {
+		tc = at.TC
+	}
+	for _, peer := range s.fleetPeers {
+		fams, err := s.scrapePeer(r, peer, tc)
+		if err != nil {
+			s.scrapeErrs.Inc()
+			s.log.Printf("fleet scrape of %s failed: %v", peer, err)
+			continue
+		}
+		scrapes = append(scrapes, obs.ReplicaScrape{Replica: peerLabel(peer), Families: fams})
+	}
+
+	var out bytes.Buffer
+	if err := obs.WriteFamilies(&out, obs.MergeScrapes(scrapes)); err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	if _, err := w.Write(out.Bytes()); err != nil {
+		s.log.Printf("writing fleet metrics response: %v", err)
+	}
+}
+
+// scrapePeer fetches and parses one peer's /metrics, propagating a child
+// span of the aggregation request's trace.
+func (s *Server) scrapePeer(r *http.Request, peer string, tc obs.TraceContext) ([]*obs.MetricFamily, error) {
+	u := strings.TrimRight(peer, "/") + "/metrics"
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(obs.TraceparentHeader, tc.Child().Header())
+	resp, err := s.fleetClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer returned %s", resp.Status)
+	}
+	return obs.ParseFamilies(resp.Body)
+}

@@ -1,11 +1,13 @@
 package server
 
 // The structured request log and request-id plumbing. Every request is
-// assigned an id in ServeHTTP; handlers annotate the in-flight
-// requestInfo (dialect, cache outcome, pipeline step timings) through the
-// request context, and when Config.AccessLog is set the accumulated
-// record is written as one JSON line after the handler returns — the
-// machine-readable replacement for ad-hoc per-handler log lines.
+// assigned an id and a W3C trace context in ServeHTTP; handlers annotate
+// the in-flight requestInfo (dialect, cache outcome, query, resolved SQL)
+// through the request context, the core pipeline appends spans to the
+// embedded trace, and when Config.AccessLog is set the accumulated record
+// is written as one JSON line after the handler returns — the
+// machine-readable replacement for ad-hoc per-handler log lines. The same
+// record feeds the flight recorder.
 
 import (
 	"crypto/rand"
@@ -57,17 +59,25 @@ func (g *requestIDs) next() string {
 }
 
 // requestInfo accumulates the request-log fields while a handler runs.
-// The setters are nil-safe so handlers never guard; a mutex covers the
-// annotations because the search render callback may run concurrently
-// with nothing else but future readers shouldn't have to prove that.
+// The trace collector and active trace context are embedded by value —
+// requestInfo is the one per-request heap allocation, so binding them
+// here keeps the cache-hit path free of further allocations. The setters
+// are nil-safe so handlers never guard; a mutex covers the annotations
+// because the search render callback may run concurrently with nothing
+// else but future readers shouldn't have to prove that.
 type requestInfo struct {
-	id    string
-	start time.Time
+	id         string
+	start      time.Time
+	propagated bool // the client sent a valid traceparent
+
+	tr     obs.Trace       // span collector (pipeline steps, backend calls)
+	active obs.ActiveTrace // W3C trace context bound to tr
 
 	mu      sync.Mutex
 	dialect string
 	outcome string // "hit" | "cold" for /search
-	trace   *obs.Trace
+	query   string // /search input
+	sqlText string // top-ranked resolved statement, or /sql body
 }
 
 type reqInfoKey struct{}
@@ -97,13 +107,30 @@ func (i *requestInfo) setOutcome(o string) {
 	i.mu.Unlock()
 }
 
-func (i *requestInfo) setTrace(tr *obs.Trace) {
+func (i *requestInfo) setQuery(q string) {
 	if i == nil {
 		return
 	}
 	i.mu.Lock()
-	i.trace = tr
+	i.query = q
 	i.mu.Unlock()
+}
+
+func (i *requestInfo) setSQL(sql string) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	i.sqlText = sql
+	i.mu.Unlock()
+}
+
+// traceID returns the request's W3C trace id ("" outside ServeHTTP).
+func (i *requestInfo) traceID() string {
+	if i == nil {
+		return ""
+	}
+	return i.active.TC.TraceID
 }
 
 // statusWriter captures the response status and body size for the
@@ -131,13 +158,16 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 }
 
 // requestLogLine is one structured request-log record. Durations are in
-// microseconds — the resolution /healthz summaries already use. Steps
-// holds the request's trace spans ("lookup_us", "rank_us", …) — the
+// microseconds — the resolution /healthz summaries already use. TraceID
+// is the W3C trace id (propagated or minted), the join key across the
+// fleet's request logs and /debug/requests. Steps holds the request's
+// trace spans ("lookup_us", "rank_us", "backend:exec_us", …) — the
 // request-scoped view of the soda_pipeline_step_seconds histograms,
 // present on cold /search only.
 type requestLogLine struct {
 	Time      string             `json:"time"`
 	RequestID string             `json:"request_id"`
+	TraceID   string             `json:"trace_id,omitempty"`
 	Method    string             `json:"method"`
 	Path      string             `json:"path"`
 	Status    int                `json:"status"`
@@ -159,6 +189,7 @@ func (l *accessLogger) write(info *requestInfo, r *http.Request, sw *statusWrite
 	line := requestLogLine{
 		Time:      info.start.UTC().Format(time.RFC3339Nano),
 		RequestID: info.id,
+		TraceID:   info.active.TC.TraceID,
 		Method:    r.Method,
 		Path:      r.URL.Path,
 		Status:    sw.status,
@@ -167,13 +198,13 @@ func (l *accessLogger) write(info *requestInfo, r *http.Request, sw *statusWrite
 		Dialect:   info.dialect,
 		Cache:     info.outcome,
 	}
-	if tr := info.trace; tr != nil {
-		line.Steps = make(map[string]float64, len(tr.Spans()))
-		for _, sp := range tr.Spans() {
+	info.mu.Unlock()
+	if spans := info.tr.Spans(); len(spans) > 0 {
+		line.Steps = make(map[string]float64, len(spans))
+		for _, sp := range spans {
 			line.Steps[sp.Name+"_us"] = float64(sp.Dur) / float64(time.Microsecond)
 		}
 	}
-	info.mu.Unlock()
 	if line.Status == 0 {
 		line.Status = http.StatusOK // handler wrote nothing: net/http sends 200
 	}

@@ -9,6 +9,11 @@
 //
 //	GET  /healthz          liveness + world name + cache/execution/store/cluster counters
 //	GET  /metrics          Prometheus text exposition of the full metric registry
+//	GET  /debug/requests   flight recorder: recent + slow/error request traces
+//	                       (?id=<trace or request id> for one trace's spans)
+//	GET  /admin/fleet/metrics
+//	                       fleet-wide metric aggregation: local + every peer's
+//	                       /metrics merged into one exposition
 //	POST /search           {"query": "...", "snippets": true?, "dialect": "db2"?} -> ranked SQL
 //	POST /sql              {"sql": "...", "dialect": "mysql"?} -> rows (exploration, §5.3.2)
 //	GET  /browse/{table}   schema-browser view of one physical table
@@ -36,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -47,6 +53,15 @@ import (
 
 // maxBodyBytes caps request bodies; queries and SQL are tiny.
 const maxBodyBytes = 1 << 20
+
+// Slow-request thresholds, mirroring the BENCH_search.json SLO targets
+// (p99 < 1ms cache-hit, < 20ms cold): a /search over its outcome's
+// threshold — or any other request over the cold threshold — is logged to
+// the slow-query log and pinned in the flight recorder.
+const (
+	defaultSlowHit  = time.Millisecond
+	defaultSlowCold = 20 * time.Millisecond
+)
 
 // LatencySummary re-exports the /healthz latency-distribution shape
 // (promoted into internal/obs; the JSON contract is unchanged).
@@ -80,6 +95,21 @@ type Server struct {
 	shed      *obs.Counter // soda_search_shed_total
 	accessLog *accessLogger
 	reqIDs    requestIDs
+
+	// Flight recorder + slow-query accounting: every request is recorded;
+	// over-SLO /search requests additionally bump soda_slow_requests_total
+	// and emit one structured slow-query log line.
+	flight    *obs.FlightRecorder
+	slowHit   *obs.Counter // soda_slow_requests_total{outcome="hit"}
+	slowCold  *obs.Counter // soda_slow_requests_total{outcome="cold"}
+	slowOther *obs.Counter // soda_slow_requests_total{outcome="other"}
+	slowLog   *obs.Logger
+	backendID string
+
+	// Fleet metric aggregation (GET /admin/fleet/metrics).
+	fleetPeers  []string
+	fleetClient *http.Client
+	scrapeErrs  *obs.Counter // soda_fleet_scrape_errors_total
 }
 
 // Config tunes the serving layer. The zero value serves like the
@@ -106,6 +136,14 @@ type Config struct {
 	// DisableMetrics hides GET /metrics (the daemon's -metrics=false).
 	// Instruments still record — only the exposition route is gated.
 	DisableMetrics bool
+	// FleetPeers lists peer base URLs whose /metrics are scraped and
+	// merged into GET /admin/fleet/metrics (normally the daemon's -peers).
+	// Empty still serves the endpoint with just the local scrape.
+	FleetPeers []string
+	// FlightRecorderSize is the total trace-slot capacity of the flight
+	// recorder (0 defaults to 256; one third is reserved for over-SLO and
+	// 5xx traces).
+	FlightRecorderSize int
 }
 
 // New builds a Server over sys with default Config.
@@ -127,6 +165,31 @@ func NewWith(sys *soda.System, cfg Config) *Server {
 		"/search requests served, by cache outcome.", outcome("cold"))
 	s.shed = reg.Counter("soda_search_shed_total",
 		"/search requests shed with 503 (admission queue full).")
+	s.slowHit = reg.Counter("soda_slow_requests_total",
+		"Requests that exceeded their SLO threshold, by cache outcome.", outcome("hit"))
+	s.slowCold = reg.Counter("soda_slow_requests_total",
+		"Requests that exceeded their SLO threshold, by cache outcome.", outcome("cold"))
+	s.slowOther = reg.Counter("soda_slow_requests_total",
+		"Requests that exceeded their SLO threshold, by cache outcome.", outcome("other"))
+	s.scrapeErrs = reg.Counter("soda_fleet_scrape_errors_total",
+		"Peer /metrics scrapes that failed during fleet aggregation.")
+	s.backendID = sys.Backend()
+	replica := sys.ReplicaID()
+	if replica == "" {
+		replica = "local"
+	}
+	// Build identity as a constant-1 gauge: scrapes can tell replicas'
+	// versions apart during rolling upgrades by label, not value.
+	reg.Gauge("soda_build_info", "Build and corpus identity (value is always 1).",
+		obs.Label{Name: "go_version", Value: runtime.Version()},
+		obs.Label{Name: "corpus", Value: sys.World().Name()},
+		obs.Label{Name: "backend", Value: s.backendID},
+		obs.Label{Name: "replica", Value: replica},
+	).Set(1)
+	s.flight = obs.NewFlightRecorder(cfg.FlightRecorderSize, defaultSlowHit, defaultSlowCold)
+	s.slowLog = obs.NewLogger(cfg.Logf).With("server/slow")
+	s.fleetPeers = append([]string(nil), cfg.FleetPeers...)
+	s.fleetClient = &http.Client{Timeout: 5 * time.Second}
 	if cfg.AccessLog != nil {
 		s.accessLog = &accessLogger{w: cfg.AccessLog}
 	}
@@ -167,21 +230,122 @@ func NewWith(sys *soda.System, cfg Config) *Server {
 	s.mux.HandleFunc("POST /admin/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /admin/decommission", s.handleDecommission)
 	s.mux.HandleFunc("GET /cluster/pull", s.handleClusterPull)
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /admin/fleet/metrics", s.handleFleetMetrics)
 	return s
 }
 
-// ServeHTTP implements http.Handler. Every request gets an id (echoed in
-// the X-Request-Id header and in error envelopes) and, when the access
-// log is on, one structured JSON line after the handler returns.
+// ServeHTTP implements http.Handler. Every request gets an id and a W3C
+// trace context — adopted from a valid inbound `traceparent` header, or
+// freshly minted — so one trace id follows a query across the fleet.
+// X-Request-Id echoes the trace id when one was propagated in (the
+// caller's correlation key) and the local request id otherwise. After the
+// handler returns the request is recorded in the flight recorder, slow
+// requests hit the slow-query log, and, when the access log is on, one
+// structured JSON line is written.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	info := &requestInfo{id: s.reqIDs.next(), start: time.Now()}
-	w.Header().Set("X-Request-Id", info.id)
+	tc, propagated := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	if !propagated {
+		tc = obs.MintTraceContext()
+	}
+	info.propagated = propagated
+	info.active = obs.ActiveTrace{TC: tc, Spans: &info.tr}
+	if propagated {
+		w.Header().Set("X-Request-Id", tc.TraceID)
+	} else {
+		w.Header().Set("X-Request-Id", info.id)
+	}
 	sw := &statusWriter{ResponseWriter: w}
-	r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, info))
-	s.mux.ServeHTTP(sw, r)
+	ctx := context.WithValue(r.Context(), reqInfoKey{}, info)
+	ctx = obs.ContextWithActive(ctx, &info.active)
+	s.mux.ServeHTTP(sw, r.WithContext(ctx))
+	s.finish(info, r, sw)
 	if s.accessLog != nil {
 		s.accessLog.write(info, r, sw)
+	}
+}
+
+// slowQueryLine is one structured slow-query log record, emitted through
+// the diagnostics logger (component "server/slow") when a request
+// exceeds its SLO threshold.
+type slowQueryLine struct {
+	TraceID   string             `json:"trace_id"`
+	RequestID string             `json:"request_id"`
+	Method    string             `json:"method"`
+	Path      string             `json:"path"`
+	Status    int                `json:"status"`
+	DurUs     float64            `json:"dur_us"`
+	SLOUs     float64            `json:"slo_us"`
+	Dialect   string             `json:"dialect,omitempty"`
+	Cache     string             `json:"cache,omitempty"`
+	Query     string             `json:"query,omitempty"`
+	SQL       string             `json:"sql,omitempty"`
+	Steps     map[string]float64 `json:"steps,omitempty"`
+}
+
+// finish records the completed request in the flight recorder and, when
+// it exceeded its SLO threshold, bumps soda_slow_requests_total and
+// writes the slow-query log line.
+func (s *Server) finish(info *requestInfo, r *http.Request, sw *statusWriter) {
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	info.mu.Lock()
+	sample := obs.FlightSample{
+		TraceID:   info.active.TC.TraceID,
+		RequestID: info.id,
+		Method:    r.Method,
+		Path:      r.URL.Path,
+		Status:    status,
+		Start:     info.start,
+		Dur:       time.Since(info.start),
+		Dialect:   info.dialect,
+		Outcome:   info.outcome,
+		Query:     info.query,
+		SQL:       info.sqlText,
+		Backend:   s.backendID,
+	}
+	info.mu.Unlock()
+	if info.tr.Len() > 0 {
+		sample.Spans = info.tr.Spans()
+	}
+	if !s.flight.Record(sample) {
+		return
+	}
+	slo := defaultSlowCold
+	switch sample.Outcome {
+	case "hit":
+		slo = defaultSlowHit
+		s.slowHit.Inc()
+	case "cold":
+		s.slowCold.Inc()
+	default:
+		s.slowOther.Inc()
+	}
+	line := slowQueryLine{
+		TraceID:   sample.TraceID,
+		RequestID: sample.RequestID,
+		Method:    sample.Method,
+		Path:      sample.Path,
+		Status:    sample.Status,
+		DurUs:     float64(sample.Dur) / float64(time.Microsecond),
+		SLOUs:     float64(slo) / float64(time.Microsecond),
+		Dialect:   sample.Dialect,
+		Cache:     sample.Outcome,
+		Query:     sample.Query,
+		SQL:       sample.SQL,
+	}
+	if len(sample.Spans) > 0 {
+		line.Steps = make(map[string]float64, len(sample.Spans))
+		for _, sp := range sample.Spans {
+			line.Steps[sp.Name+"_us"] = float64(sp.Dur) / float64(time.Microsecond)
+		}
+	}
+	if data, err := json.Marshal(line); err == nil {
+		s.slowLog.Printf("%s", data)
 	}
 }
 
@@ -335,6 +499,22 @@ type HealthResponse struct {
 	// split cache-hit vs cold (full pipeline) — the serving-side view of
 	// the BENCH_search.json SLO (p99 < 1ms hit, < 20ms cold).
 	SearchLatency SearchLatency `json:"search_latency"`
+	// Build identifies this replica's build — the JSON twin of the
+	// soda_build_info gauge, for telling replicas apart during rolling
+	// upgrades.
+	Build BuildInfo `json:"build"`
+	// FlightRecorder summarizes the /debug/requests ring: capacity,
+	// retained traces, notable (over-SLO / 5xx) traces, drops and the
+	// slowest trace id seen since boot.
+	FlightRecorder obs.FlightStats `json:"flight_recorder"`
+}
+
+// BuildInfo identifies the running build on /healthz.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Corpus    string `json:"corpus"`
+	Backend   string `json:"backend"`
+	Replica   string `json:"replica,omitempty"`
 }
 
 // SearchLatency splits /search service time by cache outcome.
@@ -356,6 +536,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Store:         s.sys.StoreStats(),
 		Cluster:       s.sys.ClusterStatus(),
 		SearchLatency: SearchLatency{Hit: s.hitLat.Summary(), Cold: s.coldLat.Summary()},
+		Build: BuildInfo{
+			GoVersion: runtime.Version(),
+			Corpus:    s.sys.World().Name(),
+			Backend:   s.backendID,
+			Replica:   s.sys.ReplicaID(),
+		},
+		FlightRecorder: s.flight.Stats(),
 	})
 }
 
@@ -448,12 +635,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// an unknown name surfaces as a 400 through the normal error path.
 	info := requestInfoFrom(r)
 	info.setDialect(req.Dialect)
+	info.setQuery(req.Query)
 	start := time.Now()
-	data, hit, err := s.sys.SearchRendered(req.Query, soda.SearchOptions{
+	data, hit, err := s.sys.SearchRenderedContext(r.Context(), req.Query, soda.SearchOptions{
 		Dialect:  req.Dialect,
 		Snippets: req.Snippets,
 	}, func(ans *soda.Answer) ([]byte, error) {
-		info.setTrace(pipelineTrace(ans.Timings()))
+		addPipelineSpans(&info.tr, ans.Timings())
+		if len(ans.Results) > 0 {
+			info.setSQL(ans.Results[0].SQL)
+		}
 		return encodeJSON(searchResponse(req, ans))
 	})
 	if err != nil {
@@ -472,10 +663,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.writeRaw(w, http.StatusOK, data)
 }
 
-// pipelineTrace converts one cold run's step timings into the request's
-// span trace, carried into the structured request log.
-func pipelineTrace(t soda.Timings) *obs.Trace {
-	tr := obs.NewTrace()
+// addPipelineSpans appends one cold run's step timings to the request's
+// span trace, carried into the structured request log, the flight
+// recorder and /debug/requests. The core pipeline appends its own
+// backend-execution spans to the same trace through the request context,
+// so the callback only contributes the step breakdown.
+func addPipelineSpans(tr *obs.Trace, t soda.Timings) {
 	tr.Add("lookup", t.Lookup)
 	tr.Add("rank", t.Rank)
 	tr.Add("tables", t.Tables)
@@ -484,7 +677,6 @@ func pipelineTrace(t soda.Timings) *obs.Trace {
 	if t.Snippet > 0 {
 		tr.Add("snippet", t.Snippet)
 	}
-	return tr
 }
 
 // searchResponse builds the /search response shape for one answer.
@@ -545,7 +737,10 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, errors.New("missing sql"))
 		return
 	}
-	rows, err := s.sys.ExecuteSQLIn(req.Dialect, req.SQL)
+	info := requestInfoFrom(r)
+	info.setDialect(req.Dialect)
+	info.setSQL(req.SQL)
+	rows, err := s.sys.ExecuteSQLInContext(r.Context(), req.Dialect, req.SQL)
 	if err != nil {
 		s.writeError(w, r, http.StatusBadRequest, err)
 		return

@@ -39,6 +39,7 @@ boot() { # i
   "$SODAD" -addr "${ADDRS[$i]}" -world minibank \
     -data-dir "$WORKDIR/data$i" -replica-id "r$i" \
     -peers "$(peers_of "$i")" -sync-interval 50ms \
+    -access-log "$WORKDIR/access$i.log" \
     >"$WORKDIR/replica$i.log" 2>&1 &
   PIDS[$i]=$!
 }
@@ -163,5 +164,70 @@ for a in "${ADDRS[@]}"; do
     exit 1
   fi
 done
+
+wait_log() { # file pattern: the log line is written just after the
+  # response is flushed, so give it a few rounds
+  for _ in $(seq 1 50); do
+    if grep -q "$2" "$1" 2>/dev/null; then return 0; fi
+    sleep 0.1
+  done
+  return 1
+}
+
+echo "== assert traceparent propagation: one trace id across the fleet =="
+TRACE=4bf92f3577b34da6a3ce929d0e0e4736
+PARENT="00-$TRACE-00f067aa0ba902b7-01"
+# (a) the serving replica echoes the propagated trace id as X-Request-Id
+hdr=$(curl -sf -D - -o /dev/null -X POST "http://${ADDRS[0]}/search" \
+  -H "traceparent: $PARENT" -d "$QUERY" |
+  awk 'tolower($1) == "x-request-id:" {print $2}' | tr -d '\r')
+if [ "$hdr" != "$TRACE" ]; then
+  echo "X-Request-Id = '$hdr', want propagated trace id $TRACE" >&2
+  exit 1
+fi
+# (b) the trace id lands in the serving replica's request log
+wait_log "$WORKDIR/access0.log" "\"trace_id\":\"$TRACE\"" ||
+  { echo "trace id missing from replica 0 request log" >&2; exit 1; }
+# (c) the flight recorder retains the trace under the same id
+curl -sf "http://${ADDRS[0]}/debug/requests?id=$TRACE" |
+  jq -e --arg t "$TRACE" '.trace_id == $t and .path == "/search"' >/dev/null ||
+  { echo "/debug/requests does not retain trace $TRACE" >&2; exit 1; }
+
+echo "== assert a traced /cluster/pull lands in the peer's request log =="
+PULL_TRACE=aaaabbbbccccddddeeeeffff00001111
+since=$(curl -sf "http://${ADDRS[0]}/healthz" |
+  jq -r '.cluster.vector | to_entries | map("\(.key):\(.value)") | join(",")')
+curl -sf "http://${ADDRS[1]}/cluster/pull?from=r0&since=$since" \
+  -H "traceparent: 00-$PULL_TRACE-00f067aa0ba902b7-01" >/dev/null
+wait_log "$WORKDIR/access1.log" "\"trace_id\":\"$PULL_TRACE\"" ||
+  { echo "traced /cluster/pull missing from replica 1 request log" >&2; exit 1; }
+# Background replication pulls carry minted trace ids too.
+for i in 1 2; do
+  grep '"path":"/cluster/pull"' "$WORKDIR/access$i.log" |
+    jq -e 'select(.trace_id == null or .trace_id == "")' >/dev/null 2>&1 &&
+    { echo "replica $i has /cluster/pull log lines without a trace id" >&2; exit 1; }
+done
+
+echo "== assert /admin/fleet/metrics merges the fleet and propagates its trace =="
+FLEET_TRACE=1234567890abcdef1234567890abcdef
+curl -sf "http://${ADDRS[0]}/admin/fleet/metrics" \
+  -H "traceparent: 00-$FLEET_TRACE-00f067aa0ba902b7-01" >"$WORKDIR/fleet_metrics.txt"
+for i in 1 2; do
+  wait_log "$WORKDIR/access$i.log" "\"trace_id\":\"$FLEET_TRACE\"" ||
+    { echo "fleet-metrics trace missing from replica $i request log" >&2; exit 1; }
+done
+# The merged histogram count equals the sum of the per-replica scrapes
+# taken immediately after (no cold searches run in between).
+sum=0
+for a in "${ADDRS[@]}"; do
+  v=$(metric "$a" '^soda_pipeline_step_seconds_count\{step="lookup"\}')
+  sum=$((sum + v))
+done
+merged=$(awk '/^soda_pipeline_step_seconds_count\{step="lookup"\}/ {print $2; exit}' \
+  "$WORKDIR/fleet_metrics.txt")
+if [ -z "$merged" ] || [ "$merged" != "$sum" ]; then
+  echo "fleet lookup count = '$merged', want sum of per-replica scrapes = $sum" >&2
+  exit 1
+fi
 
 echo "OK: fleet converged to byte-identical /search after SIGKILL + restart"

@@ -920,6 +920,14 @@ func (s *System) SearchWith(query string, opts SearchOptions) (*Answer, error) {
 // them with hit=false. The returned bytes are shared with the cache:
 // callers must write them out unmodified.
 func (s *System) SearchRendered(query string, opts SearchOptions, render func(*Answer) ([]byte, error)) (data []byte, hit bool, err error) {
+	return s.SearchRenderedContext(context.Background(), query, opts, render)
+}
+
+// SearchRenderedContext is SearchRendered with an explicit context: the
+// cold path threads ctx into the pipeline's backend executions
+// (cancellation plus the request's trace-span collector); the cache-hit
+// path never touches ctx and stays allocation-free.
+func (s *System) SearchRenderedContext(ctx context.Context, query string, opts SearchOptions, render func(*Answer) ([]byte, error)) (data []byte, hit bool, err error) {
 	so, err := coreSearchOptions(opts)
 	if err != nil {
 		return nil, false, err
@@ -927,7 +935,7 @@ func (s *System) SearchRendered(query string, opts SearchOptions, render func(*A
 	if data, ok := s.sys.CachedRendered(query, so); ok {
 		return data, true, nil
 	}
-	a, err := s.sys.SearchWith(query, so)
+	a, err := s.sys.SearchWithContext(ctx, query, so)
 	if err != nil {
 		return nil, false, err
 	}
@@ -1005,15 +1013,24 @@ func (s *System) ExecuteSQL(sql string) (*Rows, error) {
 // ExecuteSQLIn runs a statement written in the named dialect (empty =
 // the System's configured dialect); unknown names are an error.
 func (s *System) ExecuteSQLIn(dialect, sql string) (*Rows, error) {
+	return s.ExecuteSQLInContext(context.Background(), dialect, sql)
+}
+
+// ExecuteSQLInContext is ExecuteSQLIn with an explicit context for
+// cancellation and trace-span capture on the backend execution.
+func (s *System) ExecuteSQLInContext(ctx context.Context, dialect, sql string) (*Rows, error) {
 	d, ok := sqlast.DialectByName(dialect)
 	if !ok {
 		return nil, fmt.Errorf("soda: unknown dialect %q (supported: %s)",
 			dialect, strings.Join(Dialects(), ", "))
 	}
+	var res *backend.Result
+	var err error
 	if dialect == "" {
-		return s.ExecuteSQL(sql)
+		res, err = s.sys.ExecSQLContext(ctx, sql) // the System's configured dialect
+	} else {
+		res, err = s.sys.ExecSQLDialectContext(ctx, sql, d)
 	}
-	res, err := s.sys.ExecSQLDialect(sql, d)
 	if err != nil {
 		return nil, err
 	}
